@@ -1,0 +1,146 @@
+//! Criterion micro-benchmarks of the simulator's hot paths plus two
+//! end-to-end kernel simulations (baseline and Virtual Thread), so
+//! simulator-performance regressions are caught alongside the
+//! architecture experiments.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use vt_core::{Architecture, Gpu, GpuConfig};
+use vt_isa::interp::Interpreter;
+use vt_isa::SimtStack;
+use vt_mem::cache::Cache;
+use vt_mem::coalesce::{coalesce, shared_bank_conflicts};
+use vt_mem::mshr::Mshr;
+use vt_mem::{MemConfig, MemSystem, ReqKind};
+use vt_workloads::{suite, Scale};
+
+fn bench_coalescer(c: &mut Criterion) {
+    let mut unit = [0u32; 32];
+    let mut strided = [0u32; 32];
+    let mut random = [0u32; 32];
+    for i in 0..32u32 {
+        unit[i as usize] = 0x1000 + i * 4;
+        strided[i as usize] = 0x1000 + i * 512;
+        random[i as usize] = i.wrapping_mul(2654435761) % (1 << 20);
+    }
+    c.bench_function("coalesce/unit-stride", |b| {
+        b.iter(|| coalesce(black_box(&unit), u32::MAX, 128))
+    });
+    c.bench_function("coalesce/strided", |b| {
+        b.iter(|| coalesce(black_box(&strided), u32::MAX, 128))
+    });
+    c.bench_function("coalesce/random", |b| {
+        b.iter(|| coalesce(black_box(&random), u32::MAX, 128))
+    });
+    c.bench_function("smem-bank-conflicts", |b| {
+        b.iter(|| shared_bank_conflicts(black_box(&random), u32::MAX, 32))
+    });
+}
+
+fn bench_simt_stack(c: &mut Criterion) {
+    c.bench_function("simt/diverge-reconverge", |b| {
+        b.iter(|| {
+            let mut s = SimtStack::new(u32::MAX);
+            s.branch(0x0000_ffff, 10, 20);
+            for _ in 10..20 {
+                s.advance();
+            }
+            for _ in 1..19 {
+                s.advance();
+            }
+            black_box(s.depth())
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    c.bench_function("cache/probe-fill", |b| {
+        b.iter_batched(
+            || Cache::new(32, 4),
+            |mut cache| {
+                for i in 0..256u64 {
+                    let _ = cache.probe(i % 192, i);
+                    let _ = cache.fill(i % 192, i, false);
+                }
+                black_box(cache.valid_lines())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    c.bench_function("mshr/alloc-fill", |b| {
+        b.iter_batched(
+            || Mshr::<u64>::new(64, 8),
+            |mut mshr| {
+                for i in 0..64u64 {
+                    let _ = mshr.alloc(i % 32, i);
+                }
+                for i in 0..32u64 {
+                    black_box(mshr.fill(i).len());
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_mem_system(c: &mut Criterion) {
+    c.bench_function("mem-system/load-round-trip", |b| {
+        b.iter_batched(
+            || MemSystem::new(&MemConfig::default(), 1),
+            |mut mem| {
+                mem.tick(0);
+                assert!(mem.try_submit(0, 1, 12345, ReqKind::Load).accepted());
+                let mut cycle = 1;
+                loop {
+                    mem.tick(cycle);
+                    if mem.pop_response(0).is_some() {
+                        break;
+                    }
+                    cycle += 1;
+                }
+                black_box(cycle)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let scale = Scale { ctas: 30, iters: 4 };
+    let kernel = suite(&scale)
+        .into_iter()
+        .find(|w| w.name == "streamcluster")
+        .expect("suite contains streamcluster")
+        .kernel;
+    let mut small = GpuConfig::default();
+    small.core.num_sms = 4;
+
+    c.bench_function("sim/streamcluster-baseline", |b| {
+        let gpu = Gpu::new(small.clone());
+        b.iter(|| black_box(gpu.run(&kernel).expect("run succeeds").stats.cycles))
+    });
+    let mut vt_cfg = small.clone();
+    vt_cfg.arch = Architecture::virtual_thread();
+    c.bench_function("sim/streamcluster-vt", |b| {
+        let gpu = Gpu::new(vt_cfg.clone());
+        b.iter(|| black_box(gpu.run(&kernel).expect("run succeeds").stats.cycles))
+    });
+    c.bench_function("interp/streamcluster", |b| {
+        b.iter(|| {
+            black_box(
+                Interpreter::new(&kernel)
+                    .expect("valid kernel")
+                    .run()
+                    .expect("runs")
+                    .warp_instrs(),
+            )
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_coalescer, bench_simt_stack, bench_cache, bench_mem_system, bench_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! **Figure 1 (motivation)** — occupancy-limiter classification.
+//!
+//! For every benchmark: how many CTAs each resource class would allow per
+//! SM, and which one actually binds. Reproduces the paper's observation
+//! that the *scheduling limit* (CTA/warp slots) curtails concurrency for
+//! most general-purpose workloads while on-chip memory sits idle.
+
+use serde::Serialize;
+use vt_bench::{Harness, Table};
+use vt_core::occupancy;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    by_cta_slots: u32,
+    by_warp_slots: u32,
+    by_registers: u32,
+    by_shared_memory: Option<u32>,
+    baseline_ctas: u32,
+    capacity_ctas: u32,
+    limiter: String,
+    scheduling_limited: bool,
+    headroom: f64,
+}
+
+fn main() {
+    let h = Harness::from_env();
+    let mut table = Table::new(vec![
+        "benchmark",
+        "cta-slots",
+        "warp-slots",
+        "registers",
+        "shared-mem",
+        "baseline",
+        "capacity",
+        "limiter",
+        "headroom",
+    ]);
+    let mut rows = Vec::new();
+    for w in h.suite() {
+        let occ = occupancy::analyze(&h.core, &w.kernel);
+        let smem = (occ.by_shared_memory != u32::MAX).then_some(occ.by_shared_memory);
+        table.row(vec![
+            w.name.to_string(),
+            occ.by_cta_slots.to_string(),
+            occ.by_warp_slots.to_string(),
+            occ.by_registers.to_string(),
+            smem.map_or_else(|| "-".to_string(), |v| v.to_string()),
+            occ.baseline_ctas.to_string(),
+            occ.capacity_ctas.to_string(),
+            occ.limiter.to_string(),
+            format!("{:.1}x", occ.virtualization_headroom()),
+        ]);
+        rows.push(Row {
+            name: w.name.to_string(),
+            by_cta_slots: occ.by_cta_slots,
+            by_warp_slots: occ.by_warp_slots,
+            by_registers: occ.by_registers,
+            by_shared_memory: smem,
+            baseline_ctas: occ.baseline_ctas,
+            capacity_ctas: occ.capacity_ctas,
+            limiter: occ.limiter.to_string(),
+            scheduling_limited: occ.limiter.is_scheduling(),
+            headroom: occ.virtualization_headroom(),
+        });
+    }
+    let sched = rows.iter().filter(|r| r.scheduling_limited).count();
+    let human = format!(
+        "Fig. 1 — CTAs/SM allowed by each resource and the binding limiter\n\n{}\n{} of {} \
+         benchmarks are scheduling-limited.",
+        table.render(),
+        sched,
+        rows.len()
+    );
+    h.emit("fig01_limiter", &human, &rows);
+    assert!(
+        sched * 2 > rows.len(),
+        "motivation requires a scheduling-limited majority ({sched}/{})",
+        rows.len()
+    );
+}

@@ -1,0 +1,86 @@
+//! **Figure 3 (main result)** — IPC of Virtual Thread normalised to the
+//! baseline, per benchmark plus the geometric mean. The paper reports
+//! +23.9% on average, concentrated in scheduling-limited benchmarks with
+//! capacity-limited ones unchanged.
+
+use serde::Serialize;
+use vt_bench::{bar, geomean, Harness, Table};
+use vt_core::Architecture;
+use vt_workloads::LimiterClass;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    class: String,
+    baseline_cycles: u64,
+    vt_cycles: u64,
+    speedup: f64,
+    swaps: u64,
+    baseline_resident_warps: f64,
+    vt_resident_warps: f64,
+}
+
+fn main() {
+    let h = Harness::from_env();
+    let mut t = Table::new(vec!["benchmark", "class", "speedup", "", "swaps", "warps base→vt"]);
+    let mut rows = Vec::new();
+    for w in h.suite() {
+        let base = h.run(Architecture::Baseline, &w.kernel);
+        let vt = h.run(Architecture::virtual_thread(), &w.kernel);
+        assert_eq!(vt.mem_image, base.mem_image, "{}: functional mismatch", w.name);
+        let row = Row {
+            name: w.name.to_string(),
+            class: format!("{:?}", w.class),
+            baseline_cycles: base.stats.cycles,
+            vt_cycles: vt.stats.cycles,
+            speedup: vt.speedup_over(&base),
+            swaps: vt.stats.swaps.swaps_out,
+            baseline_resident_warps: base.stats.occupancy.avg_resident_warps(),
+            vt_resident_warps: vt.stats.occupancy.avg_resident_warps(),
+        };
+        t.row(vec![
+            row.name.clone(),
+            row.class.clone(),
+            format!("{:.3}", row.speedup),
+            bar(row.speedup, 2.5, 25),
+            row.swaps.to_string(),
+            format!("{:4.1} → {:4.1}", row.baseline_resident_warps, row.vt_resident_warps),
+        ]);
+        rows.push(row);
+    }
+    let all = geomean(&rows.iter().map(|r| r.speedup).collect::<Vec<_>>());
+    let sched = geomean(
+        &rows
+            .iter()
+            .filter(|r| r.class == format!("{:?}", LimiterClass::Scheduling))
+            .map(|r| r.speedup)
+            .collect::<Vec<_>>(),
+    );
+    let cap = geomean(
+        &rows
+            .iter()
+            .filter(|r| r.class == format!("{:?}", LimiterClass::Capacity))
+            .map(|r| r.speedup)
+            .collect::<Vec<_>>(),
+    );
+    let human = format!(
+        "Fig. 3 — VT speedup over baseline (IPC normalised; paper: +23.9% avg)\n\n{}\ngeomean: \
+         all {:.3}  |  scheduling-limited {:.3}  |  capacity-limited {:.3}",
+        t.render(),
+        all,
+        sched,
+        cap
+    );
+    h.emit("fig03_speedup", &human, &rows);
+
+    // Acceptance criteria (DESIGN.md §5).
+    assert!(
+        (1.05..=1.40).contains(&all),
+        "average VT speedup {all:.3} outside the paper's band"
+    );
+    assert!(sched > cap, "gains must concentrate in scheduling-limited kernels");
+    assert!(
+        (0.99..=1.01).contains(&cap),
+        "capacity-limited kernels must be unchanged, got {cap:.3}"
+    );
+}

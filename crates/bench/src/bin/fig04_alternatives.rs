@@ -1,0 +1,71 @@
+//! **Figure 4** — Virtual Thread against its design alternatives:
+//! `Ideal` (scheduling structures scaled with capacity for free) and
+//! `MemSwap` (CTA context switching through the memory hierarchy). VT is
+//! expected to track Ideal closely while MemSwap forfeits much of the
+//! benefit — the paper's core architectural argument for keeping
+//! registers and shared memory resident during a swap.
+
+use serde::Serialize;
+use vt_bench::{geomean, Harness, Table};
+use vt_core::{Architecture, MemSwapParams};
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    vt: f64,
+    ideal: f64,
+    memswap: f64,
+    vt_swaps: u64,
+    memswap_swaps: u64,
+}
+
+fn main() {
+    let h = Harness::from_env();
+    let mut t = Table::new(vec!["benchmark", "vt", "ideal", "memswap"]);
+    let mut rows = Vec::new();
+    for w in h.suite() {
+        let base = h.run(Architecture::Baseline, &w.kernel);
+        let vt = h.run(Architecture::virtual_thread(), &w.kernel);
+        let ideal = h.run(Architecture::Ideal, &w.kernel);
+        let memswap = h.run(Architecture::MemSwap(MemSwapParams::default()), &w.kernel);
+        for r in [&vt, &ideal, &memswap] {
+            assert_eq!(r.mem_image, base.mem_image, "{}: functional mismatch", w.name);
+        }
+        let row = Row {
+            name: w.name.to_string(),
+            vt: vt.speedup_over(&base),
+            ideal: ideal.speedup_over(&base),
+            memswap: memswap.speedup_over(&base),
+            vt_swaps: vt.stats.swaps.swaps_out,
+            memswap_swaps: memswap.stats.swaps.swaps_out,
+        };
+        t.row(vec![
+            row.name.clone(),
+            format!("{:.3}", row.vt),
+            format!("{:.3}", row.ideal),
+            format!("{:.3}", row.memswap),
+        ]);
+        rows.push(row);
+    }
+    let gm = |f: fn(&Row) -> f64| geomean(&rows.iter().map(f).collect::<Vec<_>>());
+    let (g_vt, g_ideal, g_memswap) = (gm(|r| r.vt), gm(|r| r.ideal), gm(|r| r.memswap));
+    let human = format!(
+        "Fig. 4 — speedup over baseline: VT vs. Ideal vs. MemSwap\n\n{}\ngeomean: vt {:.3}, \
+         ideal {:.3}, memswap {:.3}",
+        t.render(),
+        g_vt,
+        g_ideal,
+        g_memswap
+    );
+    h.emit("fig04_alternatives", &human, &rows);
+
+    assert!(g_ideal >= g_vt * 0.98, "ideal ({g_ideal:.3}) is VT's upper bound ({g_vt:.3})");
+    assert!(
+        g_memswap < g_vt,
+        "memory-hierarchy swapping ({g_memswap:.3}) must forfeit VT's benefit ({g_vt:.3})"
+    );
+    assert!(
+        rows.iter().any(|r| r.memswap < 1.0),
+        "full-state swapping should regress at least one kernel"
+    );
+}

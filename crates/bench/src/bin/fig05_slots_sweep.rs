@@ -1,0 +1,80 @@
+//! **Figure 5 (sensitivity)** — speedup as a function of the virtual CTA
+//! budget per SM (the context-buffer size). The curve should rise from
+//! the baseline at the scheduling limit and saturate once capacity or
+//! memory-system limits take over — with a cache-sensitivity downturn on
+//! the gather-heavy kernel.
+
+use serde::Serialize;
+use vt_bench::{geomean, Harness, Table};
+use vt_core::{Architecture, VtParams};
+
+const KERNELS: &[&str] = &["streamcluster", "bfs", "nw", "kmeans", "spmv"];
+
+#[derive(Serialize)]
+struct Point {
+    max_virtual_ctas: Option<u32>,
+    speedups: Vec<(String, f64)>,
+    geomean: f64,
+}
+
+fn main() {
+    let h = Harness::from_env();
+    // The sweep needs enough CTAs per SM to reach the capacity limit
+    // (up to ~50 for the leanest kernels), so it runs a 3x-deeper grid
+    // than the other figures.
+    let mut scale = h.scale();
+    scale.ctas *= 3;
+    let suite = vt_workloads::suite(&scale);
+    let workloads: Vec<_> = suite.iter().filter(|w| KERNELS.contains(&w.name)).collect();
+    let baselines: Vec<_> =
+        workloads.iter().map(|w| h.run(Architecture::Baseline, &w.kernel)).collect();
+
+    let caps: &[Option<u32>] = if h.quick {
+        &[Some(8), Some(16), None]
+    } else {
+        &[Some(8), Some(12), Some(16), Some(24), Some(32), None]
+    };
+    let mut t = Table::new(
+        std::iter::once("virtual CTAs".to_string())
+            .chain(workloads.iter().map(|w| w.name.to_string()))
+            .chain(std::iter::once("geomean".to_string()))
+            .collect::<Vec<_>>(),
+    );
+    let mut points = Vec::new();
+    for &cap in caps {
+        let mut speedups = Vec::new();
+        for (w, base) in workloads.iter().zip(&baselines) {
+            let arch =
+                Architecture::VirtualThread(VtParams { max_virtual_ctas: cap, ..VtParams::default() });
+            let r = h.run(arch, &w.kernel);
+            speedups.push((w.name.to_string(), r.speedup_over(base)));
+        }
+        let gm = geomean(&speedups.iter().map(|(_, s)| *s).collect::<Vec<_>>());
+        t.row(
+            std::iter::once(cap.map_or("capacity".to_string(), |c| c.to_string()))
+                .chain(speedups.iter().map(|(_, s)| format!("{s:.3}")))
+                .chain(std::iter::once(format!("{gm:.3}")))
+                .collect::<Vec<_>>(),
+        );
+        points.push(Point { max_virtual_ctas: cap, speedups, geomean: gm });
+    }
+    let human = format!(
+        "Fig. 5 — VT speedup vs. virtual CTA budget per SM (8 = scheduling limit)\n\n{}",
+        t.render()
+    );
+    h.emit("fig05_slots_sweep", &human, &points);
+
+    // At the scheduling limit VT degenerates to (roughly) the baseline;
+    // more virtual CTAs must help on the latency-bound kernels.
+    let first = &points[0];
+    assert!(
+        (0.9..1.1).contains(&first.geomean),
+        "8 virtual CTAs should be near-baseline, got {:.3}",
+        first.geomean
+    );
+    let last = points.last().expect("non-empty sweep");
+    assert!(
+        last.geomean > first.geomean,
+        "speedup should grow with the virtual CTA budget"
+    );
+}

@@ -1,0 +1,61 @@
+//! **Figure 6 (sensitivity)** — speedup as a function of the context-
+//! switch cost, from a free swap down to memory-hierarchy cost. Shows the
+//! window in which CTA virtualisation pays: cheap on-chip swaps keep
+//! nearly all of the benefit; at DRAM-like costs the benefit is gone —
+//! the quantitative version of the paper's "registers never move" claim.
+
+use serde::Serialize;
+use vt_bench::{geomean, Harness, Table};
+use vt_core::{Architecture, VtParams};
+
+const KERNELS: &[&str] = &["streamcluster", "bfs", "nw", "hotspot"];
+
+#[derive(Serialize)]
+struct Point {
+    buffer_words_per_cycle: u32,
+    approx_swap_cycles: u32,
+    geomean: f64,
+}
+
+fn main() {
+    let h = Harness::from_env();
+    let suite = h.suite();
+    let workloads: Vec<_> = suite.iter().filter(|w| KERNELS.contains(&w.name)).collect();
+    let baselines: Vec<_> =
+        workloads.iter().map(|w| h.run(Architecture::Baseline, &w.kernel)).collect();
+
+    // Halving the context-buffer port width doubles the swap cost; width 0
+    // is sentinel-mapped to 1 word/cycle below.
+    let widths: &[u32] =
+        if h.quick { &[64, 8, 1] } else { &[64, 32, 16, 8, 4, 2, 1] };
+    let mut t = Table::new(vec!["buffer words/cycle", "≈swap cycles", "geomean speedup"]);
+    let mut points = Vec::new();
+    for &width in widths {
+        let params = VtParams { buffer_words_per_cycle: width, ..VtParams::default() };
+        let mut speedups = Vec::new();
+        let mut cost = 0;
+        for (w, base) in workloads.iter().zip(&baselines) {
+            cost = cost.max(params.swap_cycles(&w.kernel));
+            let r = h.run(Architecture::VirtualThread(params), &w.kernel);
+            speedups.push(r.speedup_over(base));
+        }
+        let gm = geomean(&speedups);
+        t.row(vec![width.to_string(), cost.to_string(), format!("{gm:.3}")]);
+        points.push(Point { buffer_words_per_cycle: width, approx_swap_cycles: cost, geomean: gm });
+    }
+    let human = format!(
+        "Fig. 6 — VT speedup vs. context-switch cost (latency-bound kernels)\n\n{}",
+        t.render()
+    );
+    h.emit("fig06_swap_latency", &human, &points);
+
+    let fast = points.first().expect("non-empty");
+    let slow = points.last().expect("non-empty");
+    assert!(fast.geomean > 1.1, "cheap swaps must show the VT benefit, got {:.3}", fast.geomean);
+    assert!(
+        slow.geomean < fast.geomean,
+        "expensive swaps ({:.3}) must erode the benefit ({:.3})",
+        slow.geomean,
+        fast.geomean
+    );
+}

@@ -1,0 +1,65 @@
+//! **Figure 9 (ablation)** — the swap-trigger design choice: the paper's
+//! all-warps-stalled policy against an eager any-warp-stalled variant and
+//! a no-swap variant (inactive CTAs activate only when an active CTA
+//! finishes). Eager swapping evicts CTAs that still have issuable warps;
+//! never swapping strands the virtualised CTAs.
+
+use serde::Serialize;
+use vt_bench::{geomean, Harness, Table};
+use vt_core::{Architecture, SwapTrigger, VtParams};
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    all_stalled: f64,
+    any_stalled: f64,
+    never: f64,
+}
+
+fn main() {
+    let h = Harness::from_env();
+    let triggers = [
+        ("all-stalled", SwapTrigger::AllWarpsStalled),
+        ("any-stalled", SwapTrigger::AnyWarpStalled),
+        ("never", SwapTrigger::Never),
+    ];
+    let mut t = Table::new(vec!["benchmark", "all-stalled", "any-stalled", "never"]);
+    let mut rows = Vec::new();
+    for w in h.suite() {
+        let base = h.run(Architecture::Baseline, &w.kernel);
+        let mut s = Vec::new();
+        for (_, trigger) in triggers {
+            let arch = Architecture::VirtualThread(VtParams { trigger, ..VtParams::default() });
+            let r = h.run(arch, &w.kernel);
+            s.push(r.speedup_over(&base));
+        }
+        t.row(vec![
+            w.name.to_string(),
+            format!("{:.3}", s[0]),
+            format!("{:.3}", s[1]),
+            format!("{:.3}", s[2]),
+        ]);
+        rows.push(Row { name: w.name.to_string(), all_stalled: s[0], any_stalled: s[1], never: s[2] });
+    }
+    let g_all = geomean(&rows.iter().map(|r| r.all_stalled).collect::<Vec<_>>());
+    let g_any = geomean(&rows.iter().map(|r| r.any_stalled).collect::<Vec<_>>());
+    let g_never = geomean(&rows.iter().map(|r| r.never).collect::<Vec<_>>());
+    let human = format!(
+        "Fig. 9 — swap-trigger ablation (VT speedup over baseline)\n\n{}\ngeomean: all-stalled \
+         {:.3}, any-stalled {:.3}, never {:.3}",
+        t.render(),
+        g_all,
+        g_any,
+        g_never
+    );
+    h.emit("fig09_trigger_ablation", &human, &rows);
+
+    assert!(
+        g_all >= g_never,
+        "the paper's trigger ({g_all:.3}) must beat never swapping ({g_never:.3})"
+    );
+    assert!(
+        g_all >= g_any * 0.97,
+        "the paper's trigger ({g_all:.3}) should not lose clearly to eager swapping ({g_any:.3})"
+    );
+}

@@ -1,0 +1,68 @@
+//! **Figure 12 (extension)** — VT's gain as a function of memory round-
+//! trip latency (interconnect + DRAM scaled together). The longer the
+//! stalls, the more TLP it takes to hide them and the more the paper's
+//! mechanism is worth — the trend that makes VT *more* relevant on
+//! later, higher-latency parts.
+
+use serde::Serialize;
+use vt_bench::{geomean, Harness, Table};
+use vt_core::Architecture;
+
+const KERNELS: &[&str] = &["streamcluster", "bfs", "nw", "hotspot"];
+
+#[derive(Serialize)]
+struct Point {
+    latency_scale: f64,
+    uncontended_round_trip: u32,
+    geomean: f64,
+}
+
+fn main() {
+    let mut h = Harness::from_env();
+    let suite = h.suite();
+    let workloads: Vec<_> = suite.iter().filter(|w| KERNELS.contains(&w.name)).collect();
+    let base_mem = h.mem.clone();
+    let scales: &[f64] = if h.quick { &[0.5, 1.0, 2.0] } else { &[0.25, 0.5, 1.0, 2.0, 4.0] };
+    let mut t = Table::new(vec!["latency scale", "round trip", "geomean VT speedup"]);
+    let mut points = Vec::new();
+    for &scale in scales {
+        let s = |v: u32| ((f64::from(v) * scale).round() as u32).max(1);
+        h.mem.icnt_latency = s(base_mem.icnt_latency);
+        h.mem.l2_hit_latency = s(base_mem.l2_hit_latency);
+        h.mem.dram_row_hit_latency = s(base_mem.dram_row_hit_latency);
+        h.mem.dram_row_miss_latency = s(base_mem.dram_row_miss_latency);
+        let mut speedups = Vec::new();
+        for w in &workloads {
+            let base = h.run(Architecture::Baseline, &w.kernel);
+            let vt = h.run(Architecture::virtual_thread(), &w.kernel);
+            speedups.push(vt.speedup_over(&base));
+        }
+        let gm = geomean(&speedups);
+        t.row(vec![
+            format!("{scale}x"),
+            format!("{} cycles", h.mem.uncontended_miss_latency()),
+            format!("{gm:.3}"),
+        ]);
+        points.push(Point {
+            latency_scale: scale,
+            uncontended_round_trip: h.mem.uncontended_miss_latency(),
+            geomean: gm,
+        });
+    }
+    let human = format!(
+        "Fig. 12 — VT speedup vs. memory latency (latency-bound kernels)\n\n{}",
+        t.render()
+    );
+    h.emit("fig12_latency_sensitivity", &human, &points);
+
+    let first = points.first().expect("non-empty");
+    let last = points.last().expect("non-empty");
+    assert!(
+        last.geomean > first.geomean,
+        "VT's benefit must grow with memory latency ({:.3} at {}x vs {:.3} at {}x)",
+        first.geomean,
+        first.latency_scale,
+        last.geomean,
+        last.latency_scale
+    );
+}

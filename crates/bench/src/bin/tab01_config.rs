@@ -1,0 +1,69 @@
+//! **Table 1** — the simulated machine configuration (Fermi/GTX 480
+//! class, mirroring the paper's GPGPU-Sim setup).
+
+use serde::Serialize;
+use vt_bench::{Harness, Table};
+use vt_core::{CoreConfig, MemConfig};
+
+#[derive(Serialize)]
+struct Record {
+    core: CoreConfig,
+    mem: MemConfig,
+}
+
+fn main() {
+    let h = Harness::from_env();
+    let c = &h.core;
+    let m = &h.mem;
+    let mut t = Table::new(vec!["parameter", "value"]);
+    t.row(vec!["SMs", &c.num_sms.to_string()]);
+    t.row(vec!["warp size", "32"]);
+    t.row(vec!["warp slots / SM (scheduling limit)", &c.max_warps_per_sm.to_string()]);
+    t.row(vec!["CTA slots / SM (scheduling limit)", &c.max_ctas_per_sm.to_string()]);
+    t.row(vec![
+        "register file / SM (capacity limit)",
+        &format!("{} KiB", c.regfile_bytes / 1024),
+    ]);
+    t.row(vec!["shared memory / SM (capacity limit)", &format!("{} KiB", c.smem_bytes / 1024)]);
+    t.row(vec!["warp schedulers / SM", &c.schedulers_per_sm.to_string()]);
+    t.row(vec!["scheduler policy", &format!("{:?}", c.scheduler)]);
+    t.row(vec!["ALU / SFU latency", &format!("{} / {} cycles", c.alu_latency, c.sfu_latency)]);
+    t.row(vec![
+        "shared memory",
+        &format!("{} banks, {}-cycle latency", c.smem_banks, c.smem_latency),
+    ]);
+    t.row(vec![
+        "L1D / SM",
+        &format!(
+            "{} KiB, {}-way, {} B lines, {} MSHRs, {}-cycle hit",
+            m.l1_bytes / 1024,
+            m.l1_ways,
+            m.line_bytes,
+            m.l1_mshr_entries,
+            m.l1_hit_latency
+        ),
+    ]);
+    t.row(vec![
+        "L2 (total)",
+        &format!(
+            "{} KiB in {} partitions, {}-way, {}-cycle hit",
+            m.l2_slice_bytes * m.partitions / 1024,
+            m.partitions,
+            m.l2_ways,
+            m.l2_hit_latency
+        ),
+    ]);
+    t.row(vec![
+        "interconnect",
+        &format!("{}-cycle latency, {} B/cycle/direction", m.icnt_latency, m.icnt_flits_per_cycle * 32),
+    ]);
+    t.row(vec![
+        "DRAM",
+        &format!(
+            "{} channels x {} banks, row hit/miss {}/{} cycles, {} B rows",
+            m.partitions, m.dram_banks, m.dram_row_hit_latency, m.dram_row_miss_latency, m.dram_row_bytes
+        ),
+    ]);
+    let human = format!("Table 1 — simulated GPU configuration\n\n{}", t.render());
+    h.emit("tab01_config", &human, &Record { core: c.clone(), mem: m.clone() });
+}

@@ -1,0 +1,69 @@
+//! **Table 2** — benchmark characteristics: CTA shape, resource
+//! footprint, instruction mix, limiter class, and resident CTAs per SM
+//! under the baseline vs. Virtual Thread.
+
+use serde::Serialize;
+use vt_bench::{Harness, Table};
+use vt_core::occupancy;
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    mirrors: String,
+    threads_per_cta: u32,
+    warps_per_cta: u32,
+    regs_per_thread: u16,
+    smem_bytes: u32,
+    global_mem_instrs: usize,
+    barriers: usize,
+    limiter: String,
+    baseline_ctas: u32,
+    vt_ctas: u32,
+}
+
+fn main() {
+    let h = Harness::from_env();
+    let mut t = Table::new(vec![
+        "benchmark",
+        "mirrors",
+        "cta",
+        "warps",
+        "regs",
+        "smem",
+        "limiter",
+        "ctas/SM base",
+        "ctas/SM vt",
+    ]);
+    let mut rows = Vec::new();
+    for w in h.suite() {
+        let occ = occupancy::analyze(&h.core, &w.kernel);
+        let mix = w.kernel.program().mix();
+        t.row(vec![
+            w.name.to_string(),
+            w.mirrors.split(" (").next().unwrap_or(w.mirrors).to_string(),
+            w.kernel.threads_per_cta().to_string(),
+            w.kernel.warps_per_cta().to_string(),
+            w.kernel.regs_per_thread().to_string(),
+            w.kernel.smem_bytes_per_cta().to_string(),
+            occ.limiter.to_string(),
+            occ.baseline_ctas.to_string(),
+            occ.capacity_ctas.to_string(),
+        ]);
+        rows.push(Row {
+            name: w.name.to_string(),
+            mirrors: w.mirrors.to_string(),
+            threads_per_cta: w.kernel.threads_per_cta(),
+            warps_per_cta: w.kernel.warps_per_cta(),
+            regs_per_thread: w.kernel.regs_per_thread(),
+            smem_bytes: w.kernel.smem_bytes_per_cta(),
+            global_mem_instrs: mix.global_mem,
+            barriers: mix.barrier,
+            limiter: occ.limiter.to_string(),
+            baseline_ctas: occ.baseline_ctas,
+            vt_ctas: occ.capacity_ctas,
+        });
+    }
+    let human = format!("Table 2 — benchmark characteristics\n\n{}", t.render());
+    h.emit("tab02_benchmarks", &human, &rows);
+    assert_eq!(rows.len(), 14);
+}

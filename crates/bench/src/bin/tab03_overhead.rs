@@ -1,0 +1,67 @@
+//! **Table 3** — hardware overhead of the Virtual Thread context buffer:
+//! the per-SM storage added to hold the scheduling state (PCs, SIMT
+//! stacks, scoreboards) of virtualised CTAs, for several design points.
+//! Substantiates the paper's low-complexity claim: a few KiB against a
+//! 128 KiB register file.
+
+use serde::Serialize;
+use vt_bench::{Harness, Table};
+use vt_core::{context_buffer, OverheadBreakdown, VtParams};
+
+#[derive(Serialize)]
+struct Row {
+    virtual_ctas: u32,
+    warps_per_cta: u32,
+    breakdown: OverheadBreakdown,
+    total_bytes: u32,
+    fraction_of_regfile: f64,
+}
+
+fn main() {
+    let h = Harness::from_env();
+    let params = VtParams::default();
+    let mut t = Table::new(vec![
+        "virtual CTAs",
+        "warps/CTA",
+        "buffered warps",
+        "PCs",
+        "SIMT stacks",
+        "scoreboards",
+        "CTA meta",
+        "total",
+        "% of regfile",
+    ]);
+    let mut rows = Vec::new();
+    for (virtual_ctas, wpc) in [(16u32, 2u32), (24, 2), (32, 2), (48, 1), (16, 4), (12, 8)] {
+        let b = context_buffer(&h.core, &params, virtual_ctas, wpc);
+        t.row(vec![
+            virtual_ctas.to_string(),
+            wpc.to_string(),
+            b.buffered_warp_contexts.to_string(),
+            format!("{} B", b.pc_bytes),
+            format!("{} B", b.simt_stack_bytes),
+            format!("{} B", b.scoreboard_bytes),
+            format!("{} B", b.cta_metadata_bytes),
+            format!("{:.1} KiB", b.total_bytes() as f64 / 1024.0),
+            format!("{:.2}%", 100.0 * b.fraction_of_regfile(&h.core)),
+        ]);
+        rows.push(Row {
+            virtual_ctas,
+            warps_per_cta: wpc,
+            total_bytes: b.total_bytes(),
+            fraction_of_regfile: b.fraction_of_regfile(&h.core),
+            breakdown: b,
+        });
+    }
+    let human = format!(
+        "Table 3 — context-buffer storage per SM (stack budget {} entries/warp)\n\n{}",
+        params.stack_entries_per_warp,
+        t.render()
+    );
+    h.emit("tab03_overhead", &human, &rows);
+
+    assert!(
+        rows.iter().all(|r| r.fraction_of_regfile < 0.10),
+        "context buffer must stay small relative to the register file"
+    );
+}

@@ -1,0 +1,84 @@
+//! **Table 4 (extension)** — first-order dynamic energy: Virtual
+//! Thread's context-switch energy against memory-hierarchy swapping, and
+//! the energy-delay product of each architecture relative to the
+//! baseline. Quantifies the paper's "only scheduling state moves" energy
+//! argument.
+
+use serde::Serialize;
+use vt_bench::{geomean, Harness, Table};
+use vt_core::{estimate_energy, Architecture, EnergyParams, MemSwapParams};
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    baseline_uj: f64,
+    vt_uj: f64,
+    vt_swap_fraction: f64,
+    memswap_uj: f64,
+    memswap_swap_fraction: f64,
+    vt_edp_rel: f64,
+    memswap_edp_rel: f64,
+}
+
+fn main() {
+    let h = Harness::from_env();
+    let p = EnergyParams::default();
+    let mut t = Table::new(vec![
+        "benchmark",
+        "base µJ",
+        "vt µJ",
+        "vt swap%",
+        "memswap µJ",
+        "ms swap%",
+        "vt EDP",
+        "ms EDP",
+    ]);
+    let mut rows = Vec::new();
+    for w in h.suite() {
+        let base = h.run(Architecture::Baseline, &w.kernel);
+        let vt = h.run(Architecture::virtual_thread(), &w.kernel);
+        let ms = h.run(Architecture::MemSwap(MemSwapParams::default()), &w.kernel);
+        let e_base = estimate_energy(&base, &w.kernel, &p);
+        let e_vt = estimate_energy(&vt, &w.kernel, &p);
+        let e_ms = estimate_energy(&ms, &w.kernel, &p);
+        let base_edp = e_base.edp(base.stats.cycles);
+        let row = Row {
+            name: w.name.to_string(),
+            baseline_uj: e_base.total_uj(),
+            vt_uj: e_vt.total_uj(),
+            vt_swap_fraction: e_vt.swap_fraction(),
+            memswap_uj: e_ms.total_uj(),
+            memswap_swap_fraction: e_ms.swap_fraction(),
+            vt_edp_rel: e_vt.edp(vt.stats.cycles) / base_edp,
+            memswap_edp_rel: e_ms.edp(ms.stats.cycles) / base_edp,
+        };
+        t.row(vec![
+            row.name.clone(),
+            format!("{:.0}", row.baseline_uj),
+            format!("{:.0}", row.vt_uj),
+            format!("{:.2}%", 100.0 * row.vt_swap_fraction),
+            format!("{:.0}", row.memswap_uj),
+            format!("{:.2}%", 100.0 * row.memswap_swap_fraction),
+            format!("{:.3}", row.vt_edp_rel),
+            format!("{:.3}", row.memswap_edp_rel),
+        ]);
+        rows.push(row);
+    }
+    let g_vt_edp = geomean(&rows.iter().map(|r| r.vt_edp_rel).collect::<Vec<_>>());
+    let g_ms_edp = geomean(&rows.iter().map(|r| r.memswap_edp_rel).collect::<Vec<_>>());
+    let max_vt_swap =
+        rows.iter().map(|r| r.vt_swap_fraction).fold(0.0f64, f64::max);
+    let human = format!(
+        "Table 4 — dynamic energy and energy-delay product (EDP relative to baseline)\n\n{}\n\
+         geomean EDP: vt {:.3}, memswap {:.3}; worst-case VT swap energy share {:.2}%",
+        t.render(),
+        g_vt_edp,
+        g_ms_edp,
+        100.0 * max_vt_swap
+    );
+    h.emit("tab04_energy", &human, &rows);
+
+    assert!(max_vt_swap < 0.05, "VT swap energy must stay negligible ({max_vt_swap:.4})");
+    assert!(g_vt_edp < 1.0, "VT must improve EDP ({g_vt_edp:.3})");
+    assert!(g_ms_edp > g_vt_edp, "memswap EDP must be worse than VT's");
+}

@@ -1,0 +1,230 @@
+//! A first-order dynamic-energy model.
+//!
+//! The paper argues Virtual Thread's context switches are energetically
+//! negligible because only scheduling state moves through a small SRAM,
+//! whereas memory-hierarchy CTA swapping drags the full register/shared-
+//! memory image through DRAM. This module quantifies that with per-event
+//! energies in the 40 nm-era range used by GPU power models
+//! (GPUWattch-flavoured): the absolute joules are rough, the *ratios*
+//! between the architectures are the point.
+
+use crate::arch::Architecture;
+use crate::gpu::Report;
+use serde::{Deserialize, Serialize};
+use vt_isa::Kernel;
+
+/// Per-event dynamic energies in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Execute one thread instruction (ALU + pipeline control).
+    pub thread_instr_pj: f64,
+    /// Register-file accesses per thread instruction (reads + write),
+    /// folded into one per-instruction cost.
+    pub reg_access_pj: f64,
+    /// One L1D lookup.
+    pub l1_access_pj: f64,
+    /// One L2 lookup.
+    pub l2_access_pj: f64,
+    /// One 128-byte DRAM transfer.
+    pub dram_line_pj: f64,
+    /// One 128-byte interconnect traversal.
+    pub icnt_line_pj: f64,
+    /// Moving one byte into/out of the VT context buffer (small SRAM).
+    pub context_byte_pj: f64,
+    /// Moving one byte of CTA state through the memory hierarchy
+    /// (MemSwap's cost: cache + interconnect + DRAM per byte).
+    pub memswap_byte_pj: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            thread_instr_pj: 2.0,
+            reg_access_pj: 1.2,
+            l1_access_pj: 30.0,
+            l2_access_pj: 120.0,
+            dram_line_pj: 2600.0, // ~20 pJ/bit x 128 B
+            icnt_line_pj: 260.0,
+            context_byte_pj: 0.3,
+            memswap_byte_pj: 25.0,
+        }
+    }
+}
+
+/// A dynamic-energy estimate for one run, broken down by component.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyEstimate {
+    /// Core (ALU + register file) energy, in microjoules.
+    pub core_uj: f64,
+    /// L1D energy.
+    pub l1_uj: f64,
+    /// L2 energy.
+    pub l2_uj: f64,
+    /// DRAM + interconnect energy.
+    pub dram_uj: f64,
+    /// Context-switch energy (context buffer for VT, memory traffic for
+    /// MemSwap; zero for Baseline/Ideal).
+    pub swap_uj: f64,
+}
+
+impl EnergyEstimate {
+    /// Total dynamic energy in microjoules.
+    pub fn total_uj(&self) -> f64 {
+        self.core_uj + self.l1_uj + self.l2_uj + self.dram_uj + self.swap_uj
+    }
+
+    /// The context-switch share of total energy (0..1).
+    pub fn swap_fraction(&self) -> f64 {
+        let t = self.total_uj();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.swap_uj / t
+        }
+    }
+
+    /// Energy-delay product in (µJ · cycles); lower is better.
+    pub fn edp(&self, cycles: u64) -> f64 {
+        self.total_uj() * cycles as f64
+    }
+}
+
+/// Estimates the dynamic energy of `report`'s run of `kernel`.
+///
+/// Swap energy depends on the architecture: VT moves each CTA's
+/// scheduling state through the context buffer; MemSwap moves the full
+/// register + shared-memory image through the memory hierarchy; the
+/// baseline and the idealised machine never switch.
+pub fn estimate(report: &Report, kernel: &Kernel, p: &EnergyParams) -> EnergyEstimate {
+    let s = &report.stats;
+    let pj_to_uj = 1e-6;
+    let core_uj =
+        s.thread_instrs as f64 * (p.thread_instr_pj + p.reg_access_pj) * pj_to_uj;
+    let l1_uj = (s.mem.l1_accesses + s.mem.stores + s.mem.atomics) as f64
+        * p.l1_access_pj
+        * pj_to_uj;
+    let l2_uj = s.mem.l2_accesses as f64 * p.l2_access_pj * pj_to_uj;
+    let dram_lines = (s.mem.dram_reads + s.mem.dram_writes) as f64;
+    let icnt_lines = (s.mem.l1_misses + s.mem.stores + s.mem.atomics) as f64 * 2.0;
+    let dram_uj = (dram_lines * p.dram_line_pj + icnt_lines * p.icnt_line_pj) * pj_to_uj;
+
+    let swap_events = s.swaps.swaps_out + s.swaps.swaps_in;
+    let swap_uj = match report.arch {
+        Architecture::VirtualThread(v) => {
+            let bytes = u64::from(v.context_bytes_per_warp() * kernel.warps_per_cta());
+            (swap_events * bytes) as f64 * p.context_byte_pj * pj_to_uj
+        }
+        Architecture::MemSwap(_) => {
+            let bytes =
+                u64::from(kernel.reg_bytes_per_cta() + kernel.smem_bytes_per_cta());
+            (swap_events * bytes) as f64 * p.memswap_byte_pj * pj_to_uj
+        }
+        Architecture::Baseline | Architecture::Ideal => 0.0,
+    };
+    EnergyEstimate { core_uj, l1_uj, l2_uj, dram_uj, swap_uj }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::{compare, Gpu, GpuConfig};
+    use crate::MemSwapParams;
+    use vt_core_test_kernels::latency_kernel;
+
+    // A tiny private helper crate-in-module so the test kernel builder is
+    // shared without polluting the public API.
+    mod vt_core_test_kernels {
+        use vt_isa::op::Operand;
+        use vt_isa::{Kernel, KernelBuilder};
+
+        pub fn latency_kernel() -> Kernel {
+            let mut b = KernelBuilder::new("e");
+            let data = b.alloc_global(1 << 15);
+            let gid = b.reg();
+            let v = b.reg();
+            let i = b.reg();
+            b.global_thread_id(gid);
+            b.and_(v, Operand::Reg(gid), Operand::Imm((1 << 15) - 1));
+            b.for_range(i, Operand::Imm(0), Operand::Imm(4), 1, |b, _| {
+                b.shl(v, Operand::Reg(v), Operand::Imm(2));
+                b.and_(v, Operand::Reg(v), Operand::Imm((1 << 17) - 4));
+                b.ld_global(v, Operand::Reg(v), data as i32);
+            });
+            b.shl(gid, Operand::Reg(gid), Operand::Imm(2));
+            b.and_(gid, Operand::Reg(gid), Operand::Imm((1 << 17) - 4));
+            b.st_global(Operand::Reg(gid), data as i32, Operand::Reg(v));
+            b.pad_regs(16);
+            b.build(48, 64).unwrap()
+        }
+    }
+
+    fn small(arch: Architecture) -> GpuConfig {
+        let mut cfg = GpuConfig::with_arch(arch);
+        cfg.core.num_sms = 2;
+        cfg
+    }
+
+    #[test]
+    fn baseline_has_no_swap_energy() {
+        let k = latency_kernel();
+        let r = Gpu::new(small(Architecture::Baseline)).run(&k).unwrap();
+        let e = estimate(&r, &k, &EnergyParams::default());
+        assert_eq!(e.swap_uj, 0.0);
+        assert!(e.total_uj() > 0.0);
+        assert!(e.core_uj > 0.0 && e.dram_uj > 0.0);
+    }
+
+    #[test]
+    fn vt_swap_energy_is_negligible_memswap_is_not() {
+        let k = latency_kernel();
+        let reports = compare(
+            &small(Architecture::Baseline).core,
+            &GpuConfig::default().mem,
+            &[
+                Architecture::virtual_thread(),
+                Architecture::MemSwap(MemSwapParams::default()),
+            ],
+            &k,
+        )
+        .unwrap();
+        let p = EnergyParams::default();
+        let vt = estimate(&reports[0], &k, &p);
+        let ms = estimate(&reports[1], &k, &p);
+        assert!(reports[0].stats.swaps.swaps_out > 0, "VT must actually swap");
+        assert!(
+            vt.swap_fraction() < 0.02,
+            "VT swap energy must be negligible, got {:.4}",
+            vt.swap_fraction()
+        );
+        if reports[1].stats.swaps.swaps_out > 0 {
+            assert!(
+                ms.swap_uj > 20.0 * vt.swap_uj.max(1e-9),
+                "memswap ({:.3} uJ) must dwarf VT ({:.3} uJ)",
+                ms.swap_uj,
+                vt.swap_uj
+            );
+        }
+    }
+
+    #[test]
+    fn edp_improves_with_vt_on_latency_bound_work() {
+        let k = latency_kernel();
+        let p = EnergyParams::default();
+        let base = Gpu::new(small(Architecture::Baseline)).run(&k).unwrap();
+        let vt = Gpu::new(small(Architecture::virtual_thread())).run(&k).unwrap();
+        let e_base = estimate(&base, &k, &p).edp(base.stats.cycles);
+        let e_vt = estimate(&vt, &k, &p).edp(vt.stats.cycles);
+        assert!(
+            e_vt < e_base,
+            "VT EDP ({e_vt:.1}) should beat baseline ({e_base:.1})"
+        );
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let e = EnergyEstimate { core_uj: 1.0, l1_uj: 2.0, l2_uj: 3.0, dram_uj: 4.0, swap_uj: 0.5 };
+        assert!((e.total_uj() - 10.5).abs() < 1e-12);
+        assert!((e.swap_fraction() - 0.5 / 10.5).abs() < 1e-12);
+        assert_eq!(e.edp(2), 21.0);
+    }
+}

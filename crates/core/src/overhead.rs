@@ -1,0 +1,118 @@
+//! Hardware-overhead model of the Virtual Thread context buffer — the
+//! storage added per SM to hold the scheduling state of inactive CTAs
+//! (the paper's low-complexity claim, its overhead table).
+
+use crate::arch::VtParams;
+use serde::{Deserialize, Serialize};
+use vt_sim::CoreConfig;
+
+/// Per-SM storage the VT context buffer adds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverheadBreakdown {
+    /// Warp contexts the buffer must hold (virtual warps beyond the
+    /// hardware warp slots).
+    pub buffered_warp_contexts: u32,
+    /// Bytes for saved PCs.
+    pub pc_bytes: u32,
+    /// Bytes for saved SIMT stacks.
+    pub simt_stack_bytes: u32,
+    /// Bytes for saved scoreboard state.
+    pub scoreboard_bytes: u32,
+    /// Bytes of CTA-level bookkeeping (phase, barrier count, pending-load
+    /// count, base pointers).
+    pub cta_metadata_bytes: u32,
+}
+
+impl OverheadBreakdown {
+    /// Total context-buffer bytes per SM.
+    pub fn total_bytes(&self) -> u32 {
+        self.pc_bytes + self.simt_stack_bytes + self.scoreboard_bytes + self.cta_metadata_bytes
+    }
+
+    /// Context buffer as a fraction of the SM's register file — the
+    /// paper's "small relative to on-chip memory" argument.
+    pub fn fraction_of_regfile(&self, core: &CoreConfig) -> f64 {
+        f64::from(self.total_bytes()) / f64::from(core.regfile_bytes)
+    }
+}
+
+/// Bytes of CTA-level bookkeeping per virtual CTA.
+const CTA_METADATA_BYTES: u32 = 16;
+
+/// Sizes the context buffer for a design that virtualises up to
+/// `virtual_ctas_per_sm` CTAs of `warps_per_cta` warps each.
+///
+/// Only warps *beyond* the hardware warp slots need buffered context —
+/// active CTAs keep their state in the existing scheduling structures.
+pub fn context_buffer(
+    core: &CoreConfig,
+    params: &VtParams,
+    virtual_ctas_per_sm: u32,
+    warps_per_cta: u32,
+) -> OverheadBreakdown {
+    let virtual_warps = virtual_ctas_per_sm * warps_per_cta;
+    let buffered = virtual_warps.saturating_sub(core.max_warps_per_sm);
+    OverheadBreakdown {
+        buffered_warp_contexts: buffered,
+        pc_bytes: buffered * 4,
+        simt_stack_bytes: buffered * params.stack_entries_per_warp * 8,
+        scoreboard_bytes: buffered * params.scoreboard_bytes_per_warp,
+        cta_metadata_bytes: virtual_ctas_per_sm.saturating_sub(core.max_ctas_per_sm)
+            * CTA_METADATA_BYTES,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_overhead_when_within_scheduling_limit() {
+        let core = CoreConfig::default();
+        let b = context_buffer(&core, &VtParams::default(), 8, 2);
+        assert_eq!(b.buffered_warp_contexts, 0);
+        assert_eq!(b.total_bytes(), 0);
+    }
+
+    #[test]
+    fn overhead_is_kilobytes_not_register_file() {
+        let core = CoreConfig::default();
+        // 32 virtual CTAs of 2 warps = 64 warps; 16 beyond the 48 slots.
+        let b = context_buffer(&core, &VtParams::default(), 32, 2);
+        assert_eq!(b.buffered_warp_contexts, 16);
+        assert!(b.total_bytes() > 0);
+        assert!(
+            b.fraction_of_regfile(&core) < 0.05,
+            "context buffer should be tiny vs the register file, got {}",
+            b.fraction_of_regfile(&core)
+        );
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let core = CoreConfig::default();
+        let b = context_buffer(&core, &VtParams::default(), 48, 2);
+        assert_eq!(
+            b.total_bytes(),
+            b.pc_bytes + b.simt_stack_bytes + b.scoreboard_bytes + b.cta_metadata_bytes
+        );
+    }
+
+    #[test]
+    fn deeper_stacks_cost_more() {
+        let core = CoreConfig::default();
+        let small = context_buffer(
+            &core,
+            &VtParams { stack_entries_per_warp: 4, ..VtParams::default() },
+            32,
+            2,
+        );
+        let big = context_buffer(
+            &core,
+            &VtParams { stack_entries_per_warp: 32, ..VtParams::default() },
+            32,
+            2,
+        );
+        assert!(big.simt_stack_bytes > small.simt_stack_bytes);
+    }
+}

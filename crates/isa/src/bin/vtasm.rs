@@ -1,0 +1,95 @@
+//! `vtasm` — assemble, disassemble, validate and functionally run kernels
+//! written in the textual mini-ISA.
+//!
+//! ```text
+//! vtasm check  kernel.vt          # assemble + validate, print resources
+//! vtasm dis    kernel.vt          # round-trip through the disassembler
+//! vtasm run    kernel.vt [words]  # run on the reference interpreter and
+//!                                 # dump the first `words` of memory
+//! ```
+
+use std::process::ExitCode;
+use vt_isa::asm::{assemble, disassemble};
+use vt_isa::interp::Interpreter;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path) = match (args.first(), args.get(1)) {
+        (Some(c), Some(p)) => (c.as_str(), p.as_str()),
+        _ => {
+            eprintln!("usage: vtasm <check|dis|run> <file.vt> [words-to-dump]");
+            return ExitCode::from(2);
+        }
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("vtasm: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let kernel = match assemble(&src) {
+        Ok(k) => k,
+        Err(e) => {
+            eprintln!("vtasm: {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd {
+        "check" => {
+            println!(
+                "{}: OK — {} instructions, {} CTAs x {} threads, {} regs/thread, {} B smem/CTA, \
+                 {} B global memory",
+                kernel.name(),
+                kernel.program().len(),
+                kernel.num_ctas(),
+                kernel.threads_per_cta(),
+                kernel.regs_per_thread(),
+                kernel.smem_bytes_per_cta(),
+                kernel.global_mem().byte_len(),
+            );
+            let mix = kernel.program().mix();
+            println!(
+                "mix: {} alu, {} sfu, {} global-mem, {} shared-mem, {} barrier, {} control",
+                mix.alu, mix.sfu, mix.global_mem, mix.shared_mem, mix.barrier, mix.control
+            );
+            ExitCode::SUCCESS
+        }
+        "dis" => {
+            print!("{}", disassemble(kernel.program()));
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            let words: usize = args.get(2).and_then(|w| w.parse().ok()).unwrap_or(16);
+            let interp = match Interpreter::new(&kernel) {
+                Ok(i) => i,
+                Err(e) => {
+                    eprintln!("vtasm: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match interp.run() {
+                Ok(result) => {
+                    println!(
+                        "ran {} warp instructions ({} thread instructions)",
+                        result.warp_instrs(),
+                        result.thread_instrs()
+                    );
+                    let n = words.min(result.mem().word_len());
+                    for (i, w) in result.mem().as_words()[..n].iter().enumerate() {
+                        println!("[{:#06x}] = {w:#010x} ({w})", i * 4);
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("vtasm: execution trapped: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        other => {
+            eprintln!("vtasm: unknown command `{other}`");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,615 @@
+//! A typed DSL for constructing kernels with structured control flow.
+//!
+//! The builder guarantees by construction that every divergent branch
+//! carries a correct reconvergence PC, so programs it emits always pass
+//! [`crate::program::Program::validate`] and execute correctly on the
+//! IPDOM SIMT stack.
+
+use crate::error::IsaError;
+use crate::instr::Instr;
+use crate::kernel::{Kernel, MemImage};
+use crate::op::{AluOp, AtomOp, BranchIf, MemSpace, Operand, Reg, SfuOp, Sreg};
+use crate::program::Program;
+
+/// Incrementally builds a [`Kernel`]: allocates registers, shared and
+/// global memory, and emits instructions including structured control flow.
+///
+/// # Example
+///
+/// ```
+/// use vt_isa::builder::KernelBuilder;
+/// use vt_isa::op::Operand;
+///
+/// # fn main() -> Result<(), vt_isa::IsaError> {
+/// let mut b = KernelBuilder::new("count-down");
+/// let ctr = b.reg();
+/// b.mov(ctr, Operand::Imm(10));
+/// b.while_(
+///     |b| {
+///         let c = b.reg();
+///         b.set_gt(c, Operand::Reg(ctr), Operand::Imm(0));
+///         Operand::Reg(c)
+///     },
+///     |b| {
+///         b.sub(ctr, Operand::Reg(ctr), Operand::Imm(1));
+///     },
+/// );
+/// b.exit();
+/// let kernel = b.build(1, 32)?;
+/// assert!(kernel.program().len() > 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct KernelBuilder {
+    name: String,
+    instrs: Vec<Instr>,
+    next_reg: u16,
+    min_regs: u16,
+    scratch: Option<Reg>,
+    smem_cursor: u32,
+    min_smem: u32,
+    global_image: Vec<u32>,
+}
+
+impl KernelBuilder {
+    /// Starts building a kernel named `name`.
+    pub fn new(name: impl Into<String>) -> KernelBuilder {
+        KernelBuilder {
+            name: name.into(),
+            instrs: Vec::new(),
+            next_reg: 0,
+            min_regs: 0,
+            scratch: None,
+            smem_cursor: 0,
+            min_smem: 0,
+            global_image: Vec::new(),
+        }
+    }
+
+    // ----- resource allocation -------------------------------------------
+
+    /// Allocates a fresh per-thread register.
+    pub fn reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Declares a register-footprint floor, modelling kernels whose
+    /// compiled register usage exceeds what this mini-ISA program needs
+    /// (the capacity-limited workloads of the paper).
+    pub fn pad_regs(&mut self, total: u16) {
+        self.min_regs = self.min_regs.max(total);
+    }
+
+    /// Allocates `words` 32-bit words of shared memory, returning the byte
+    /// address of the allocation.
+    pub fn alloc_shared(&mut self, words: u32) -> u32 {
+        let addr = self.smem_cursor;
+        self.smem_cursor += words * 4;
+        addr
+    }
+
+    /// Declares a shared-memory floor in bytes (capacity-limit modelling,
+    /// like [`KernelBuilder::pad_regs`]).
+    pub fn pad_smem(&mut self, bytes: u32) {
+        self.min_smem = self.min_smem.max(bytes);
+    }
+
+    /// Allocates `words` zeroed words of global memory, returning the byte
+    /// address of the buffer.
+    pub fn alloc_global(&mut self, words: usize) -> u32 {
+        let addr = (self.global_image.len() * 4) as u32;
+        self.global_image.resize(self.global_image.len() + words, 0);
+        addr
+    }
+
+    /// Allocates a global buffer initialised with `values`, returning its
+    /// byte address.
+    pub fn alloc_global_init(&mut self, values: &[u32]) -> u32 {
+        let addr = (self.global_image.len() * 4) as u32;
+        self.global_image.extend_from_slice(values);
+        addr
+    }
+
+    /// Allocates a global buffer initialised with float `values`.
+    pub fn alloc_global_init_f32(&mut self, values: &[f32]) -> u32 {
+        let words: Vec<u32> = values.iter().map(|v| v.to_bits()).collect();
+        self.alloc_global_init(&words)
+    }
+
+    /// Current program length (the PC the next emitted instruction gets).
+    pub fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    fn scratch_reg(&mut self) -> Reg {
+        match self.scratch {
+            Some(r) => r,
+            None => {
+                let r = self.reg();
+                self.scratch = Some(r);
+                r
+            }
+        }
+    }
+
+    // ----- raw emission ---------------------------------------------------
+
+    /// Emits a raw instruction; prefer the typed helpers below.
+    pub fn emit(&mut self, i: Instr) -> usize {
+        self.instrs.push(i);
+        self.instrs.len() - 1
+    }
+
+    fn alu(&mut self, op: AluOp, dst: Reg, a: Operand, b: Operand) {
+        self.emit(Instr::Alu { op, dst, a, b });
+    }
+
+    // ----- ALU helpers ----------------------------------------------------
+
+    /// `dst = a`.
+    pub fn mov(&mut self, dst: Reg, a: Operand) {
+        self.alu(AluOp::Mov, dst, a, Operand::Imm(0));
+    }
+
+    /// `dst = a + b` (wrapping).
+    pub fn add(&mut self, dst: Reg, a: Operand, b: Operand) {
+        self.alu(AluOp::Add, dst, a, b);
+    }
+
+    /// `dst = a - b` (wrapping).
+    pub fn sub(&mut self, dst: Reg, a: Operand, b: Operand) {
+        self.alu(AluOp::Sub, dst, a, b);
+    }
+
+    /// `dst = a * b` (low 32 bits).
+    pub fn mul(&mut self, dst: Reg, a: Operand, b: Operand) {
+        self.alu(AluOp::Mul, dst, a, b);
+    }
+
+    /// `dst = a / b` (unsigned).
+    pub fn div(&mut self, dst: Reg, a: Operand, b: Operand) {
+        self.alu(AluOp::Div, dst, a, b);
+    }
+
+    /// `dst = a % b` (unsigned).
+    pub fn rem(&mut self, dst: Reg, a: Operand, b: Operand) {
+        self.alu(AluOp::Rem, dst, a, b);
+    }
+
+    /// `dst = min(a, b)` (unsigned).
+    pub fn min_(&mut self, dst: Reg, a: Operand, b: Operand) {
+        self.alu(AluOp::Min, dst, a, b);
+    }
+
+    /// `dst = max(a, b)` (unsigned).
+    pub fn max_(&mut self, dst: Reg, a: Operand, b: Operand) {
+        self.alu(AluOp::Max, dst, a, b);
+    }
+
+    /// `dst = a & b`.
+    pub fn and_(&mut self, dst: Reg, a: Operand, b: Operand) {
+        self.alu(AluOp::And, dst, a, b);
+    }
+
+    /// `dst = a | b`.
+    pub fn or_(&mut self, dst: Reg, a: Operand, b: Operand) {
+        self.alu(AluOp::Or, dst, a, b);
+    }
+
+    /// `dst = a ^ b`.
+    pub fn xor_(&mut self, dst: Reg, a: Operand, b: Operand) {
+        self.alu(AluOp::Xor, dst, a, b);
+    }
+
+    /// `dst = a << b`.
+    pub fn shl(&mut self, dst: Reg, a: Operand, b: Operand) {
+        self.alu(AluOp::Shl, dst, a, b);
+    }
+
+    /// `dst = a >> b` (logical).
+    pub fn shr(&mut self, dst: Reg, a: Operand, b: Operand) {
+        self.alu(AluOp::Shr, dst, a, b);
+    }
+
+    /// `dst = (a < b)` (unsigned).
+    pub fn set_lt(&mut self, dst: Reg, a: Operand, b: Operand) {
+        self.alu(AluOp::SetLt, dst, a, b);
+    }
+
+    /// `dst = (a <= b)` (unsigned).
+    pub fn set_le(&mut self, dst: Reg, a: Operand, b: Operand) {
+        self.alu(AluOp::SetLe, dst, a, b);
+    }
+
+    /// `dst = (a == b)`.
+    pub fn set_eq(&mut self, dst: Reg, a: Operand, b: Operand) {
+        self.alu(AluOp::SetEq, dst, a, b);
+    }
+
+    /// `dst = (a != b)`.
+    pub fn set_ne(&mut self, dst: Reg, a: Operand, b: Operand) {
+        self.alu(AluOp::SetNe, dst, a, b);
+    }
+
+    /// `dst = (a > b)` (unsigned).
+    pub fn set_gt(&mut self, dst: Reg, a: Operand, b: Operand) {
+        self.alu(AluOp::SetGt, dst, a, b);
+    }
+
+    /// `dst = (a >= b)` (unsigned).
+    pub fn set_ge(&mut self, dst: Reg, a: Operand, b: Operand) {
+        self.alu(AluOp::SetGe, dst, a, b);
+    }
+
+    /// `dst = a + b` as floats.
+    pub fn fadd(&mut self, dst: Reg, a: Operand, b: Operand) {
+        self.alu(AluOp::FAdd, dst, a, b);
+    }
+
+    /// `dst = a - b` as floats.
+    pub fn fsub(&mut self, dst: Reg, a: Operand, b: Operand) {
+        self.alu(AluOp::FSub, dst, a, b);
+    }
+
+    /// `dst = a * b` as floats.
+    pub fn fmul(&mut self, dst: Reg, a: Operand, b: Operand) {
+        self.alu(AluOp::FMul, dst, a, b);
+    }
+
+    /// `dst = (a < b)` as floats.
+    pub fn fset_lt(&mut self, dst: Reg, a: Operand, b: Operand) {
+        self.alu(AluOp::FSetLt, dst, a, b);
+    }
+
+    /// `dst = float(a)` (unsigned to float).
+    pub fn u2f(&mut self, dst: Reg, a: Operand) {
+        self.alu(AluOp::U2F, dst, a, Operand::Imm(0));
+    }
+
+    /// `dst = uint(a)` (float to unsigned, saturating).
+    pub fn f2u(&mut self, dst: Reg, a: Operand) {
+        self.alu(AluOp::F2U, dst, a, Operand::Imm(0));
+    }
+
+    /// `dst = a * b + c` (integer).
+    pub fn mad(&mut self, dst: Reg, a: Operand, b: Operand, c: Operand) {
+        self.emit(Instr::Mad { dst, a, b, c });
+    }
+
+    /// `dst = a * b + c` (float fused).
+    pub fn ffma(&mut self, dst: Reg, a: Operand, b: Operand, c: Operand) {
+        self.emit(Instr::Ffma { dst, a, b, c });
+    }
+
+    /// `dst = op(a)` on the SFU pipeline.
+    pub fn sfu(&mut self, op: SfuOp, dst: Reg, a: Operand) {
+        self.emit(Instr::Sfu { op, dst, a });
+    }
+
+    /// `dst = ctaid * ntid + tid` — the global linear thread id.
+    pub fn global_thread_id(&mut self, dst: Reg) {
+        self.mad(
+            dst,
+            Operand::Sreg(Sreg::CtaId),
+            Operand::Sreg(Sreg::NTid),
+            Operand::Sreg(Sreg::Tid),
+        );
+    }
+
+    // ----- memory ---------------------------------------------------------
+
+    /// `dst = global[addr + offset]`.
+    pub fn ld_global(&mut self, dst: Reg, addr: Operand, offset: i32) {
+        self.emit(Instr::Ld { space: MemSpace::Global, dst, addr, offset });
+    }
+
+    /// `global[addr + offset] = src`.
+    pub fn st_global(&mut self, addr: Operand, offset: i32, src: Operand) {
+        self.emit(Instr::St { space: MemSpace::Global, addr, offset, src });
+    }
+
+    /// `dst = shared[addr + offset]`.
+    pub fn ld_shared(&mut self, dst: Reg, addr: Operand, offset: i32) {
+        self.emit(Instr::Ld { space: MemSpace::Shared, dst, addr, offset });
+    }
+
+    /// `shared[addr + offset] = src`.
+    pub fn st_shared(&mut self, addr: Operand, offset: i32, src: Operand) {
+        self.emit(Instr::St { space: MemSpace::Shared, addr, offset, src });
+    }
+
+    /// Atomic read-modify-write on global memory.
+    pub fn atom(&mut self, op: AtomOp, dst: Option<Reg>, addr: Operand, offset: i32, val: Operand) {
+        self.emit(Instr::Atom { op, dst, addr, offset, val });
+    }
+
+    /// CTA-wide barrier.
+    pub fn bar(&mut self) {
+        self.emit(Instr::Bar);
+    }
+
+    /// Terminates the thread.
+    pub fn exit(&mut self) {
+        self.emit(Instr::Exit);
+    }
+
+    // ----- structured control flow -----------------------------------------
+
+    /// Runs `body` only for lanes where `pred` is non-zero.
+    pub fn if_(&mut self, pred: Operand, body: impl FnOnce(&mut Self)) {
+        let br = self.emit(Instr::BraCond {
+            pred,
+            when: BranchIf::Zero,
+            target: usize::MAX,
+            reconv: usize::MAX,
+        });
+        body(self);
+        let end = self.here();
+        self.patch_brc(br, end, end);
+    }
+
+    /// Runs `then_b` for lanes where `pred` is non-zero and `else_b` for
+    /// the rest.
+    pub fn if_else(
+        &mut self,
+        pred: Operand,
+        then_b: impl FnOnce(&mut Self),
+        else_b: impl FnOnce(&mut Self),
+    ) {
+        let br = self.emit(Instr::BraCond {
+            pred,
+            when: BranchIf::Zero,
+            target: usize::MAX,
+            reconv: usize::MAX,
+        });
+        then_b(self);
+        let jump = self.emit(Instr::Bra { target: usize::MAX });
+        let else_start = self.here();
+        else_b(self);
+        let join = self.here();
+        self.patch_brc(br, else_start, join);
+        if let Instr::Bra { target } = &mut self.instrs[jump] {
+            *target = join;
+        }
+    }
+
+    /// Loops `body` while the operand returned by `cond` is non-zero. The
+    /// condition code is emitted once at the loop head and re-executed on
+    /// every iteration via the back edge.
+    pub fn while_(
+        &mut self,
+        cond: impl FnOnce(&mut Self) -> Operand,
+        body: impl FnOnce(&mut Self),
+    ) {
+        let top = self.here();
+        let pred = cond(self);
+        let br = self.emit(Instr::BraCond {
+            pred,
+            when: BranchIf::Zero,
+            target: usize::MAX,
+            reconv: usize::MAX,
+        });
+        body(self);
+        self.emit(Instr::Bra { target: top });
+        let exit = self.here();
+        self.patch_brc(br, exit, exit);
+    }
+
+    /// Counted loop: `for ctr in (start..end).step_by(step)`, where `end`
+    /// is evaluated each iteration.
+    pub fn for_range(
+        &mut self,
+        ctr: Reg,
+        start: Operand,
+        end: Operand,
+        step: u32,
+        body: impl FnOnce(&mut Self, Reg),
+    ) {
+        self.mov(ctr, start);
+        let scratch = self.scratch_reg();
+        let top = self.here();
+        self.set_lt(scratch, Operand::Reg(ctr), end);
+        let br = self.emit(Instr::BraCond {
+            pred: Operand::Reg(scratch),
+            when: BranchIf::Zero,
+            target: usize::MAX,
+            reconv: usize::MAX,
+        });
+        body(self, ctr);
+        self.add(ctr, Operand::Reg(ctr), Operand::Imm(step));
+        self.emit(Instr::Bra { target: top });
+        let exit = self.here();
+        self.patch_brc(br, exit, exit);
+    }
+
+    fn patch_brc(&mut self, at: usize, target: usize, reconv: usize) {
+        match &mut self.instrs[at] {
+            Instr::BraCond { target: t, reconv: r, .. } => {
+                *t = target;
+                *r = reconv;
+            }
+            other => unreachable!("patching non-branch {other:?}"),
+        }
+    }
+
+    // ----- finalisation -----------------------------------------------------
+
+    /// Finishes the kernel with the given launch geometry.
+    ///
+    /// Appends a trailing `exit` if the program does not already end in a
+    /// control transfer, then validates the program against the allocated
+    /// resources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::Program`] if validation fails (only possible via
+    /// raw [`KernelBuilder::emit`] usage).
+    pub fn build(mut self, num_ctas: u32, threads_per_cta: u32) -> Result<Kernel, IsaError> {
+        // Always terminate with `exit` unless one is already there: control
+        // constructs that end the program patch their branches to point one
+        // past the last emitted instruction, and this trailing `exit` is
+        // that landing pad.
+        if !matches!(self.instrs.last(), Some(Instr::Exit)) {
+            self.instrs.push(Instr::Exit);
+        }
+        let regs = self.next_reg.max(self.min_regs).max(1);
+        let smem = self.smem_cursor.max(self.min_smem);
+        let kernel = Kernel::new(
+            self.name,
+            Program::new(self.instrs),
+            num_ctas,
+            threads_per_cta,
+            regs,
+            smem,
+            MemImage::from_words(self.global_image),
+        )?;
+        Ok(kernel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_build() {
+        let mut b = KernelBuilder::new("t");
+        let r = b.reg();
+        b.mov(r, Operand::Imm(1));
+        b.exit();
+        let k = b.build(2, 64).unwrap();
+        assert_eq!(k.program().len(), 2);
+        assert_eq!(k.regs_per_thread(), 1);
+        assert_eq!(k.num_ctas(), 2);
+    }
+
+    #[test]
+    fn auto_appends_exit() {
+        let mut b = KernelBuilder::new("t");
+        let r = b.reg();
+        b.mov(r, Operand::Imm(1));
+        let k = b.build(1, 32).unwrap();
+        assert_eq!(*k.program().fetch(1), Instr::Exit);
+    }
+
+    #[test]
+    fn resource_allocation() {
+        let mut b = KernelBuilder::new("t");
+        let s0 = b.alloc_shared(16);
+        let s1 = b.alloc_shared(8);
+        assert_eq!(s0, 0);
+        assert_eq!(s1, 64);
+        let g0 = b.alloc_global(4);
+        let g1 = b.alloc_global_init(&[7, 8]);
+        assert_eq!(g0, 0);
+        assert_eq!(g1, 16);
+        b.pad_regs(40);
+        b.pad_smem(4096);
+        b.exit();
+        let k = b.build(1, 32).unwrap();
+        assert_eq!(k.regs_per_thread(), 40);
+        assert_eq!(k.smem_bytes_per_cta(), 4096);
+        assert_eq!(k.global_mem().load(16), Some(7));
+        assert_eq!(k.global_mem().load(20), Some(8));
+    }
+
+    #[test]
+    fn if_patches_structured_branch() {
+        let mut b = KernelBuilder::new("t");
+        let p = b.reg();
+        let x = b.reg();
+        b.mov(p, Operand::Sreg(Sreg::Lane));
+        b.if_(Operand::Reg(p), |b| {
+            b.add(x, Operand::Reg(x), Operand::Imm(1));
+            b.add(x, Operand::Reg(x), Operand::Imm(2));
+        });
+        b.exit();
+        let k = b.build(1, 32).unwrap();
+        match *k.program().fetch(1) {
+            Instr::BraCond { when: BranchIf::Zero, target, reconv, .. } => {
+                assert_eq!(target, 4);
+                assert_eq!(reconv, 4);
+            }
+            ref other => panic!("expected branch, got {other}"),
+        }
+    }
+
+    #[test]
+    fn if_else_patches_both_edges() {
+        let mut b = KernelBuilder::new("t");
+        let p = b.reg();
+        let x = b.reg();
+        b.if_else(
+            Operand::Reg(p),
+            |b| b.mov(x, Operand::Imm(1)),
+            |b| b.mov(x, Operand::Imm(2)),
+        );
+        b.exit();
+        let k = b.build(1, 32).unwrap();
+        // 0: brc.z -> else(3), reconv 4; 1: then; 2: bra 4; 3: else; 4: exit
+        match *k.program().fetch(0) {
+            Instr::BraCond { target, reconv, .. } => {
+                assert_eq!(target, 3);
+                assert_eq!(reconv, 4);
+            }
+            ref other => panic!("expected branch, got {other}"),
+        }
+        assert_eq!(*k.program().fetch(2), Instr::Bra { target: 4 });
+    }
+
+    #[test]
+    fn while_and_for_validate() {
+        let mut b = KernelBuilder::new("t");
+        let i = b.reg();
+        let acc = b.reg();
+        b.for_range(i, Operand::Imm(0), Operand::Imm(10), 1, |b, i| {
+            b.add(acc, Operand::Reg(acc), Operand::Reg(i));
+        });
+        b.while_(
+            |b| {
+                let c = b.reg();
+                b.set_lt(c, Operand::Reg(acc), Operand::Imm(100));
+                Operand::Reg(c)
+            },
+            |b| {
+                b.add(acc, Operand::Reg(acc), Operand::Imm(7));
+            },
+        );
+        b.exit();
+        // build() runs Program::validate, which checks structuredness.
+        let k = b.build(1, 32).unwrap();
+        assert!(k.program().len() >= 9);
+    }
+
+    #[test]
+    fn nested_control_flow_validates() {
+        let mut b = KernelBuilder::new("t");
+        let i = b.reg();
+        let p = b.reg();
+        let x = b.reg();
+        b.for_range(i, Operand::Imm(0), Operand::Imm(4), 1, |b, i| {
+            b.and_(p, Operand::Reg(i), Operand::Imm(1));
+            b.if_else(
+                Operand::Reg(p),
+                |b| {
+                    b.if_(Operand::Reg(x), |b| b.add(x, Operand::Reg(x), Operand::Imm(1)));
+                },
+                |b| b.mov(x, Operand::Imm(0)),
+            );
+        });
+        assert!(b.build(1, 64).is_ok());
+    }
+
+    #[test]
+    fn global_thread_id_is_mad() {
+        let mut b = KernelBuilder::new("t");
+        let g = b.reg();
+        b.global_thread_id(g);
+        b.exit();
+        let k = b.build(1, 32).unwrap();
+        assert!(matches!(*k.program().fetch(0), Instr::Mad { .. }));
+    }
+}

@@ -1,0 +1,180 @@
+//! Error types shared across the crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Any error produced while building, parsing, validating or executing a
+/// kernel.
+///
+/// The variants mirror the pipeline stages: [`IsaError::Program`] for static
+/// validation, [`IsaError::Asm`] for the text assembler and
+/// [`IsaError::Exec`] for functional execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IsaError {
+    /// The program failed static validation.
+    Program(ProgramError),
+    /// The assembler rejected the source text.
+    Asm(AsmError),
+    /// Functional execution trapped.
+    Exec(ExecError),
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::Program(e) => write!(f, "program validation failed: {e}"),
+            IsaError::Asm(e) => write!(f, "assembly failed: {e}"),
+            IsaError::Exec(e) => write!(f, "execution trapped: {e}"),
+        }
+    }
+}
+
+impl Error for IsaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IsaError::Program(e) => Some(e),
+            IsaError::Asm(e) => Some(e),
+            IsaError::Exec(e) => Some(e),
+        }
+    }
+}
+
+impl From<ProgramError> for IsaError {
+    fn from(e: ProgramError) -> Self {
+        IsaError::Program(e)
+    }
+}
+
+impl From<AsmError> for IsaError {
+    fn from(e: AsmError) -> Self {
+        IsaError::Asm(e)
+    }
+}
+
+impl From<ExecError> for IsaError {
+    fn from(e: ExecError) -> Self {
+        IsaError::Exec(e)
+    }
+}
+
+/// A static validation failure in a [`crate::program::Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The program contains no instructions.
+    Empty,
+    /// A register operand exceeds the kernel's declared register count.
+    RegisterOutOfRange {
+        /// Instruction index of the offending access.
+        pc: usize,
+        /// The register that was referenced.
+        reg: u16,
+        /// The declared per-thread register count.
+        limit: u16,
+    },
+    /// A branch target points outside the program.
+    TargetOutOfRange {
+        /// Instruction index of the branch.
+        pc: usize,
+        /// The out-of-range target.
+        target: usize,
+    },
+    /// A divergent branch is not structured: its reconvergence point must
+    /// be a forward location at or after the taken target.
+    UnstructuredBranch {
+        /// Instruction index of the branch.
+        pc: usize,
+    },
+    /// The program can run off the end (the last instruction is not an
+    /// unconditional control transfer or `exit`).
+    MissingExit,
+    /// A shared-memory access offset is known statically to exceed the
+    /// declared shared-memory size.
+    SharedOutOfRange {
+        /// Instruction index of the access.
+        pc: usize,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Empty => write!(f, "program is empty"),
+            ProgramError::RegisterOutOfRange { pc, reg, limit } => {
+                write!(f, "r{reg} at pc {pc} exceeds register count {limit}")
+            }
+            ProgramError::TargetOutOfRange { pc, target } => {
+                write!(f, "branch at pc {pc} targets out-of-range pc {target}")
+            }
+            ProgramError::UnstructuredBranch { pc } => {
+                write!(f, "divergent branch at pc {pc} is not structured")
+            }
+            ProgramError::MissingExit => write!(f, "control can run off the end of the program"),
+            ProgramError::SharedOutOfRange { pc } => {
+                write!(f, "shared-memory access at pc {pc} exceeds declared shared memory")
+            }
+        }
+    }
+}
+
+impl Error for ProgramError {}
+
+/// A parse failure in [`crate::asm`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line of the failure.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+/// A functional-execution trap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A memory access was not 4-byte aligned.
+    Unaligned {
+        /// The faulting byte address.
+        addr: u32,
+    },
+    /// A global access fell outside the kernel's global memory image.
+    GlobalOutOfRange {
+        /// The faulting byte address.
+        addr: u32,
+    },
+    /// A shared access fell outside the CTA's shared memory allocation.
+    SharedOutOfRange {
+        /// The faulting byte address.
+        addr: u32,
+    },
+    /// A warp executed more than the configured instruction budget,
+    /// indicating a runaway loop.
+    InstructionBudgetExceeded,
+    /// A barrier deadlock: some warps wait at a barrier that can never be
+    /// released (e.g. divergent barrier).
+    BarrierDeadlock,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Unaligned { addr } => write!(f, "unaligned access at {addr:#x}"),
+            ExecError::GlobalOutOfRange { addr } => {
+                write!(f, "global access out of range at {addr:#x}")
+            }
+            ExecError::SharedOutOfRange { addr } => {
+                write!(f, "shared access out of range at {addr:#x}")
+            }
+            ExecError::InstructionBudgetExceeded => write!(f, "instruction budget exceeded"),
+            ExecError::BarrierDeadlock => write!(f, "barrier deadlock"),
+        }
+    }
+}
+
+impl Error for ExecError {}

@@ -1,0 +1,385 @@
+//! Operand and opcode vocabulary of the mini-ISA.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A general-purpose 32-bit register index within a thread's register frame.
+///
+/// Register indices are validated against the kernel's declared
+/// `regs_per_thread` by [`crate::program::Program::validate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u16);
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// Read-only special registers exposing the thread's position in the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sreg {
+    /// Thread index within the CTA (`threadIdx.x`).
+    Tid,
+    /// CTA index within the grid (`blockIdx.x`).
+    CtaId,
+    /// Threads per CTA (`blockDim.x`).
+    NTid,
+    /// CTAs in the grid (`gridDim.x`).
+    NCta,
+    /// Lane index within the warp (0..32).
+    Lane,
+    /// Warp index within the CTA.
+    WarpId,
+}
+
+impl fmt::Display for Sreg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Sreg::Tid => "%tid",
+            Sreg::CtaId => "%ctaid",
+            Sreg::NTid => "%ntid",
+            Sreg::NCta => "%ncta",
+            Sreg::Lane => "%lane",
+            Sreg::WarpId => "%warpid",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A source operand: a register, a 32-bit immediate or a special register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// Value of a general-purpose register.
+    Reg(Reg),
+    /// A 32-bit immediate constant.
+    Imm(u32),
+    /// Value of a special register.
+    Sreg(Sreg),
+}
+
+impl Operand {
+    /// The register read by this operand, if any.
+    pub fn reg(&self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// A float immediate, stored as its IEEE-754 bit pattern.
+    pub fn fimm(v: f32) -> Operand {
+        Operand::Imm(v.to_bits())
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+            Operand::Sreg(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<u32> for Operand {
+    fn from(v: u32) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+/// Binary (and unary-via-`Mov`) ALU operations executed on the SP pipeline.
+///
+/// Integer ops treat values as `u32` with wrapping semantics unless the name
+/// carries an `S` suffix (signed comparison). Float ops reinterpret the bit
+/// pattern as IEEE-754 `f32`. Comparison ops produce `1` or `0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluOp {
+    /// `dst = a` (second source ignored).
+    Mov,
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (low 32 bits).
+    Mul,
+    /// High 32 bits of the 64-bit unsigned product.
+    MulHi,
+    /// Unsigned division; division by zero yields `u32::MAX` like PTX.
+    Div,
+    /// Unsigned remainder; remainder by zero yields the dividend.
+    Rem,
+    /// Unsigned minimum.
+    Min,
+    /// Unsigned maximum.
+    Max,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical left shift (shift amount masked to 5 bits).
+    Shl,
+    /// Logical right shift (shift amount masked to 5 bits).
+    Shr,
+    /// Unsigned `a < b`.
+    SetLt,
+    /// Unsigned `a <= b`.
+    SetLe,
+    /// `a == b`.
+    SetEq,
+    /// `a != b`.
+    SetNe,
+    /// Unsigned `a > b`.
+    SetGt,
+    /// Unsigned `a >= b`.
+    SetGe,
+    /// Signed `a < b`.
+    SetLtS,
+    /// Signed `a >= b`.
+    SetGeS,
+    /// Float addition.
+    FAdd,
+    /// Float subtraction.
+    FSub,
+    /// Float multiplication.
+    FMul,
+    /// Float minimum (NaN-propagating like `f32::min`).
+    FMin,
+    /// Float maximum.
+    FMax,
+    /// Float `a < b`.
+    FSetLt,
+    /// Float `a <= b`.
+    FSetLe,
+    /// Float `a > b`.
+    FSetGt,
+    /// Convert unsigned integer to float.
+    U2F,
+    /// Convert float to unsigned integer (saturating, NaN → 0).
+    F2U,
+}
+
+impl AluOp {
+    /// Mnemonic used by the assembler.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            AluOp::Mov => "mov",
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::MulHi => "mulhi",
+            AluOp::Div => "div",
+            AluOp::Rem => "rem",
+            AluOp::Min => "min",
+            AluOp::Max => "max",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::SetLt => "set.lt",
+            AluOp::SetLe => "set.le",
+            AluOp::SetEq => "set.eq",
+            AluOp::SetNe => "set.ne",
+            AluOp::SetGt => "set.gt",
+            AluOp::SetGe => "set.ge",
+            AluOp::SetLtS => "set.lts",
+            AluOp::SetGeS => "set.ges",
+            AluOp::FAdd => "fadd",
+            AluOp::FSub => "fsub",
+            AluOp::FMul => "fmul",
+            AluOp::FMin => "fmin",
+            AluOp::FMax => "fmax",
+            AluOp::FSetLt => "fset.lt",
+            AluOp::FSetLe => "fset.le",
+            AluOp::FSetGt => "fset.gt",
+            AluOp::U2F => "u2f",
+            AluOp::F2U => "f2u",
+        }
+    }
+
+    /// All ALU opcodes, for the assembler's mnemonic table and for
+    /// property-test generation.
+    pub const ALL: &'static [AluOp] = &[
+        AluOp::Mov,
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::MulHi,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::Min,
+        AluOp::Max,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::SetLt,
+        AluOp::SetLe,
+        AluOp::SetEq,
+        AluOp::SetNe,
+        AluOp::SetGt,
+        AluOp::SetGe,
+        AluOp::SetLtS,
+        AluOp::SetGeS,
+        AluOp::FAdd,
+        AluOp::FSub,
+        AluOp::FMul,
+        AluOp::FMin,
+        AluOp::FMax,
+        AluOp::FSetLt,
+        AluOp::FSetLe,
+        AluOp::FSetGt,
+        AluOp::U2F,
+        AluOp::F2U,
+    ];
+}
+
+/// Long-latency transcendental operations executed on the SFU pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SfuOp {
+    /// Reciprocal `1/x`.
+    Rcp,
+    /// Square root.
+    Sqrt,
+    /// Reciprocal square root.
+    Rsqrt,
+    /// Base-2 exponential.
+    Exp2,
+    /// Base-2 logarithm.
+    Log2,
+    /// Sine (argument in radians).
+    Sin,
+}
+
+impl SfuOp {
+    /// Mnemonic used by the assembler.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            SfuOp::Rcp => "rcp",
+            SfuOp::Sqrt => "sqrt",
+            SfuOp::Rsqrt => "rsqrt",
+            SfuOp::Exp2 => "exp2",
+            SfuOp::Log2 => "log2",
+            SfuOp::Sin => "sin",
+        }
+    }
+
+    /// All SFU opcodes.
+    pub const ALL: &'static [SfuOp] = &[
+        SfuOp::Rcp,
+        SfuOp::Sqrt,
+        SfuOp::Rsqrt,
+        SfuOp::Exp2,
+        SfuOp::Log2,
+        SfuOp::Sin,
+    ];
+}
+
+/// Read-modify-write operations for `atom.*` instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AtomOp {
+    /// Atomic wrapping add; returns the old value.
+    Add,
+    /// Atomic unsigned max; returns the old value.
+    Max,
+    /// Atomic unsigned min; returns the old value.
+    Min,
+    /// Atomic exchange; returns the old value.
+    Exch,
+}
+
+impl AtomOp {
+    /// Mnemonic used by the assembler.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            AtomOp::Add => "add",
+            AtomOp::Max => "max",
+            AtomOp::Min => "min",
+            AtomOp::Exch => "exch",
+        }
+    }
+}
+
+/// Address space of a memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemSpace {
+    /// Device memory, served by L1 → L2 → DRAM.
+    Global,
+    /// Per-CTA scratchpad, served by the banked shared memory.
+    Shared,
+}
+
+impl fmt::Display for MemSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemSpace::Global => f.write_str("g"),
+            MemSpace::Shared => f.write_str("s"),
+        }
+    }
+}
+
+/// Polarity of a conditional branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BranchIf {
+    /// Taken by lanes whose predicate value is non-zero.
+    NonZero,
+    /// Taken by lanes whose predicate value is zero.
+    Zero,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(Reg(3)), Operand::Reg(Reg(3)));
+        assert_eq!(Operand::from(7u32), Operand::Imm(7));
+        assert_eq!(Operand::Reg(Reg(3)).reg(), Some(Reg(3)));
+        assert_eq!(Operand::Imm(1).reg(), None);
+    }
+
+    #[test]
+    fn float_immediate_round_trips() {
+        let op = Operand::fimm(1.5);
+        match op {
+            Operand::Imm(bits) => assert_eq!(f32::from_bits(bits), 1.5),
+            _ => panic!("expected immediate"),
+        }
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(Reg(4).to_string(), "r4");
+        assert_eq!(Sreg::Tid.to_string(), "%tid");
+        assert_eq!(Operand::Imm(12).to_string(), "12");
+        assert_eq!(MemSpace::Global.to_string(), "g");
+        for op in AluOp::ALL {
+            assert!(!op.mnemonic().is_empty());
+        }
+        for op in SfuOp::ALL {
+            assert!(!op.mnemonic().is_empty());
+        }
+    }
+
+    #[test]
+    fn alu_all_has_no_duplicates() {
+        for (i, a) in AluOp::ALL.iter().enumerate() {
+            for b in &AluOp::ALL[i + 1..] {
+                assert_ne!(a, b);
+                assert_ne!(a.mnemonic(), b.mnemonic());
+            }
+        }
+    }
+}

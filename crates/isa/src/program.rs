@@ -1,0 +1,293 @@
+//! A validated sequence of instructions.
+
+use crate::error::ProgramError;
+use crate::instr::Instr;
+use crate::op::Operand;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An immutable, index-addressed instruction sequence.
+///
+/// Program counters are plain indices into the instruction vector. A
+/// `Program` is usually produced by [`crate::builder::KernelBuilder`] or
+/// [`crate::asm::assemble`] and validated against a kernel's resource
+/// declaration by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// Wraps a raw instruction vector. Prefer the builder or assembler,
+    /// which guarantee structured control flow by construction.
+    pub fn new(instrs: Vec<Instr>) -> Program {
+        Program { instrs }
+    }
+
+    /// The instruction at `pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pc` is out of range; validated programs never reach an
+    /// out-of-range PC.
+    pub fn fetch(&self, pc: usize) -> &Instr {
+        &self.instrs[pc]
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Iterates over `(pc, instruction)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Instr)> {
+        self.instrs.iter().enumerate()
+    }
+
+    /// The raw instruction slice.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Statically checks the program against a per-thread register count
+    /// and per-CTA shared memory size.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProgramError`] found: empty program, register
+    /// index or branch target out of range, an unstructured divergent
+    /// branch (`reconv < target` or a non-forward edge), a missing trailing
+    /// control transfer, or a statically-out-of-range shared access (only
+    /// detectable for immediate addresses).
+    pub fn validate(&self, regs_per_thread: u16, smem_bytes: u32) -> Result<(), ProgramError> {
+        if self.instrs.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        let len = self.instrs.len();
+        for (pc, instr) in self.instrs.iter().enumerate() {
+            if let Some(dst) = instr.dst() {
+                if dst.0 >= regs_per_thread {
+                    return Err(ProgramError::RegisterOutOfRange {
+                        pc,
+                        reg: dst.0,
+                        limit: regs_per_thread,
+                    });
+                }
+            }
+            for src in instr.src_regs() {
+                if src.0 >= regs_per_thread {
+                    return Err(ProgramError::RegisterOutOfRange {
+                        pc,
+                        reg: src.0,
+                        limit: regs_per_thread,
+                    });
+                }
+            }
+            match *instr {
+                Instr::Bra { target }
+                    if target >= len => {
+                        return Err(ProgramError::TargetOutOfRange { pc, target });
+                    }
+                Instr::BraCond { target, reconv, .. } => {
+                    if target >= len {
+                        return Err(ProgramError::TargetOutOfRange { pc, target });
+                    }
+                    if reconv > len {
+                        return Err(ProgramError::TargetOutOfRange { pc, target: reconv });
+                    }
+                    // Structured divergence: the taken edge and the
+                    // reconvergence point are both forward, and lanes on
+                    // the taken path never run past the reconvergence
+                    // point from behind it.
+                    if target <= pc || reconv < target {
+                        return Err(ProgramError::UnstructuredBranch { pc });
+                    }
+                }
+                Instr::Ld { space: crate::op::MemSpace::Shared, addr, offset, .. }
+                | Instr::St { space: crate::op::MemSpace::Shared, addr, offset, .. } => {
+                    if let Operand::Imm(base) = addr {
+                        let a = base.wrapping_add(offset as u32);
+                        if a.saturating_add(4) > smem_bytes {
+                            return Err(ProgramError::SharedOutOfRange { pc });
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Control must not be able to run off the end.
+        match self.instrs[len - 1] {
+            Instr::Exit | Instr::Bra { .. } => Ok(()),
+            _ => Err(ProgramError::MissingExit),
+        }
+    }
+
+    /// Static instruction counts by category, used for workload
+    /// characterization tables.
+    pub fn mix(&self) -> InstrMix {
+        let mut mix = InstrMix::default();
+        for i in &self.instrs {
+            match i {
+                Instr::Alu { .. } | Instr::Mad { .. } | Instr::Ffma { .. } => mix.alu += 1,
+                Instr::Sfu { .. } => mix.sfu += 1,
+                Instr::Ld { space: crate::op::MemSpace::Global, .. }
+                | Instr::St { space: crate::op::MemSpace::Global, .. }
+                | Instr::Atom { .. } => mix.global_mem += 1,
+                Instr::Ld { .. } | Instr::St { .. } => mix.shared_mem += 1,
+                Instr::Bar => mix.barrier += 1,
+                Instr::Bra { .. } | Instr::BraCond { .. } | Instr::Exit => mix.control += 1,
+            }
+        }
+        mix
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (pc, i) in self.iter() {
+            writeln!(f, "{pc:4}: {i}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Instr> for Program {
+    fn from_iter<T: IntoIterator<Item = Instr>>(iter: T) -> Self {
+        Program::new(iter.into_iter().collect())
+    }
+}
+
+/// Static instruction mix of a program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstrMix {
+    /// SP-pipeline arithmetic instructions.
+    pub alu: usize,
+    /// SFU-pipeline instructions.
+    pub sfu: usize,
+    /// Global loads, stores and atomics.
+    pub global_mem: usize,
+    /// Shared-memory loads and stores.
+    pub shared_mem: usize,
+    /// Barriers.
+    pub barrier: usize,
+    /// Branches and exits.
+    pub control: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{AluOp, BranchIf, MemSpace, Reg};
+
+    fn add(dst: u16, a: u16) -> Instr {
+        Instr::Alu {
+            op: AluOp::Add,
+            dst: Reg(dst),
+            a: Operand::Reg(Reg(a)),
+            b: Operand::Imm(1),
+        }
+    }
+
+    #[test]
+    fn validate_accepts_simple_program() {
+        let p = Program::new(vec![add(0, 1), Instr::Exit]);
+        assert!(p.validate(2, 0).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_empty() {
+        assert_eq!(Program::new(vec![]).validate(8, 0), Err(ProgramError::Empty));
+    }
+
+    #[test]
+    fn validate_rejects_register_overflow() {
+        let p = Program::new(vec![add(5, 0), Instr::Exit]);
+        assert_eq!(
+            p.validate(4, 0),
+            Err(ProgramError::RegisterOutOfRange { pc: 0, reg: 5, limit: 4 })
+        );
+    }
+
+    #[test]
+    fn validate_rejects_missing_exit() {
+        let p = Program::new(vec![add(0, 0)]);
+        assert_eq!(p.validate(1, 0), Err(ProgramError::MissingExit));
+    }
+
+    #[test]
+    fn validate_rejects_backward_divergent_branch() {
+        let p = Program::new(vec![
+            add(0, 0),
+            Instr::BraCond {
+                pred: Operand::Reg(Reg(0)),
+                when: BranchIf::NonZero,
+                target: 0,
+                reconv: 2,
+            },
+            Instr::Exit,
+        ]);
+        assert_eq!(p.validate(1, 0), Err(ProgramError::UnstructuredBranch { pc: 1 }));
+    }
+
+    #[test]
+    fn validate_rejects_reconv_before_target() {
+        let p = Program::new(vec![
+            Instr::BraCond {
+                pred: Operand::Reg(Reg(0)),
+                when: BranchIf::NonZero,
+                target: 2,
+                reconv: 1,
+            },
+            add(0, 0),
+            Instr::Exit,
+        ]);
+        assert_eq!(p.validate(1, 0), Err(ProgramError::UnstructuredBranch { pc: 0 }));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_target() {
+        let p = Program::new(vec![Instr::Bra { target: 9 }, Instr::Exit]);
+        assert_eq!(p.validate(1, 0), Err(ProgramError::TargetOutOfRange { pc: 0, target: 9 }));
+    }
+
+    #[test]
+    fn validate_rejects_static_shared_overflow() {
+        let p = Program::new(vec![
+            Instr::Ld {
+                space: MemSpace::Shared,
+                dst: Reg(0),
+                addr: Operand::Imm(1024),
+                offset: 0,
+            },
+            Instr::Exit,
+        ]);
+        assert_eq!(p.validate(1, 1024), Err(ProgramError::SharedOutOfRange { pc: 0 }));
+        assert!(p.validate(1, 2048).is_ok());
+    }
+
+    #[test]
+    fn mix_counts_categories() {
+        let p = Program::new(vec![
+            add(0, 0),
+            Instr::Ld {
+                space: MemSpace::Global,
+                dst: Reg(0),
+                addr: Operand::Imm(0),
+                offset: 0,
+            },
+            Instr::Bar,
+            Instr::Exit,
+        ]);
+        let m = p.mix();
+        assert_eq!(m.alu, 1);
+        assert_eq!(m.global_mem, 1);
+        assert_eq!(m.barrier, 1);
+        assert_eq!(m.control, 1);
+        assert_eq!(m.shared_mem, 0);
+    }
+}

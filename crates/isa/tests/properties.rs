@@ -1,0 +1,250 @@
+//! Property tests for the ISA layer: the SIMT stack conserves lanes for
+//! arbitrary structured programs, the assembler round-trips arbitrary
+//! instruction sequences, and ALU semantics obey algebraic laws.
+
+use proptest::prelude::*;
+use vt_isa::asm::{assemble_program, disassemble};
+use vt_isa::exec::eval_alu;
+use vt_isa::interp::Interpreter;
+use vt_isa::op::{AluOp, AtomOp, BranchIf, MemSpace, Operand, Reg, SfuOp, Sreg};
+use vt_isa::{Instr, KernelBuilder, Program};
+
+// ---------- lane conservation through arbitrary structured control flow ----
+
+/// A recipe for a random structured program.
+#[derive(Debug, Clone)]
+enum Ctl {
+    Work(u8),
+    If(Vec<Ctl>),
+    IfElse(Vec<Ctl>, Vec<Ctl>),
+    Loop(u8, Vec<Ctl>),
+}
+
+fn ctl_strategy(depth: u32) -> impl Strategy<Value = Ctl> {
+    let leaf = (0u8..4).prop_map(Ctl::Work);
+    leaf.prop_recursive(depth, 12, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..3).prop_map(Ctl::If),
+            (proptest::collection::vec(inner.clone(), 0..3),
+             proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(a, b)| Ctl::IfElse(a, b)),
+            (1u8..4, proptest::collection::vec(inner, 0..3))
+                .prop_map(|(n, body)| Ctl::Loop(n, body)),
+        ]
+    })
+}
+
+fn emit(b: &mut KernelBuilder, node: &Ctl, acc: Reg, p: Reg, salt: &mut u32) {
+    *salt = salt.wrapping_mul(1664525).wrapping_add(1013904223);
+    match node {
+        Ctl::Work(n) => {
+            for _ in 0..*n {
+                b.add(acc, Operand::Reg(acc), Operand::Imm(*salt & 0xff));
+            }
+        }
+        Ctl::If(body) => {
+            b.and_(p, Operand::Sreg(Sreg::Tid), Operand::Imm(1 + (*salt & 7)));
+            let body = body.clone();
+            let mut s = *salt;
+            b.if_(Operand::Reg(p), |b| {
+                for n in &body {
+                    emit(b, n, acc, p, &mut s);
+                }
+            });
+        }
+        Ctl::IfElse(t, e) => {
+            b.and_(p, Operand::Sreg(Sreg::Tid), Operand::Imm(1 + (*salt & 7)));
+            let (t, e) = (t.clone(), e.clone());
+            let mut s = *salt;
+            let mut s2 = salt.wrapping_add(99);
+            b.if_else(
+                Operand::Reg(p),
+                |b| {
+                    for n in &t {
+                        emit(b, n, acc, p, &mut s);
+                    }
+                },
+                |b| {
+                    for n in &e {
+                        emit(b, n, acc, p, &mut s2);
+                    }
+                },
+            );
+        }
+        Ctl::Loop(trips, body) => {
+            let ctr = b.reg();
+            // Trip count varies per thread (tid-dependent) to force
+            // loop-exit divergence.
+            let lim = b.reg();
+            b.and_(lim, Operand::Sreg(Sreg::Tid), Operand::Imm(u32::from(*trips)));
+            let body = body.clone();
+            let mut s = *salt;
+            b.for_range(ctr, Operand::Imm(0), Operand::Reg(lim), 1, |b, _| {
+                for n in &body {
+                    emit(b, n, acc, p, &mut s);
+                }
+            });
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Every thread must complete and write its result exactly once, no
+    /// matter how control flow nests: the SIMT stack never strands or
+    /// duplicates lanes.
+    #[test]
+    fn structured_programs_conserve_lanes(
+        nodes in proptest::collection::vec(ctl_strategy(3), 1..5),
+        threads in prop_oneof![Just(32u32), Just(40), Just(64)],
+    ) {
+        let mut b = KernelBuilder::new("lanes");
+        let out = b.alloc_global(threads as usize);
+        let acc = b.reg();
+        let p = b.reg();
+        let off = b.reg();
+        b.mov(acc, Operand::Imm(1));
+        let mut salt = 0x9e3779b9u32;
+        for n in &nodes {
+            emit(&mut b, n, acc, p, &mut salt);
+        }
+        // acc >= 1 always; out[tid] = acc marks the lane as completed.
+        b.max_(acc, Operand::Reg(acc), Operand::Imm(1));
+        b.shl(off, Operand::Sreg(Sreg::Tid), Operand::Imm(2));
+        b.st_global(Operand::Reg(off), out as i32, Operand::Reg(acc));
+        let kernel = b.build(1, threads).unwrap();
+        let r = Interpreter::new(&kernel).unwrap().run().unwrap();
+        for t in 0..threads {
+            prop_assert!(
+                r.load_words(out + 4 * t, 1)[0] >= 1,
+                "thread {t} never reached the epilogue"
+            );
+        }
+        prop_assert!(r.max_simt_depth() <= 2 * 3 * 5 + 1, "stack stays bounded");
+    }
+}
+
+// ---------- assembler round trip ------------------------------------------
+
+fn operand_strategy() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (0u16..32).prop_map(|r| Operand::Reg(Reg(r))),
+        any::<u32>().prop_map(Operand::Imm),
+        prop_oneof![
+            Just(Sreg::Tid),
+            Just(Sreg::CtaId),
+            Just(Sreg::NTid),
+            Just(Sreg::NCta),
+            Just(Sreg::Lane),
+            Just(Sreg::WarpId)
+        ]
+        .prop_map(Operand::Sreg),
+    ]
+}
+
+fn instr_strategy() -> impl Strategy<Value = Instr> {
+    let alu = proptest::sample::select(AluOp::ALL.to_vec());
+    let sfu = proptest::sample::select(SfuOp::ALL.to_vec());
+    let space = prop_oneof![Just(MemSpace::Global), Just(MemSpace::Shared)];
+    let atom = prop_oneof![
+        Just(AtomOp::Add),
+        Just(AtomOp::Max),
+        Just(AtomOp::Min),
+        Just(AtomOp::Exch)
+    ];
+    prop_oneof![
+        (alu, 0u16..32, operand_strategy(), operand_strategy()).prop_map(|(op, d, a, b)| {
+            // Unary forms print without the second operand; normalise it.
+            let b = match op {
+                AluOp::Mov | AluOp::U2F | AluOp::F2U => Operand::Imm(0),
+                _ => b,
+            };
+            Instr::Alu { op, dst: Reg(d), a, b }
+        }),
+        (0u16..32, operand_strategy(), operand_strategy(), operand_strategy())
+            .prop_map(|(d, a, b, c)| Instr::Mad { dst: Reg(d), a, b, c }),
+        (0u16..32, operand_strategy(), operand_strategy(), operand_strategy())
+            .prop_map(|(d, a, b, c)| Instr::Ffma { dst: Reg(d), a, b, c }),
+        (sfu, 0u16..32, operand_strategy()).prop_map(|(op, d, a)| Instr::Sfu {
+            op,
+            dst: Reg(d),
+            a
+        }),
+        (space.clone(), 0u16..32, operand_strategy(), -64i32..64).prop_map(
+            |(space, d, addr, offset)| Instr::Ld { space, dst: Reg(d), addr, offset }
+        ),
+        (space, operand_strategy(), -64i32..64, operand_strategy())
+            .prop_map(|(space, addr, offset, src)| Instr::St { space, addr, offset, src }),
+        (atom, proptest::option::of(0u16..32), operand_strategy(), -64i32..64, operand_strategy())
+            .prop_map(|(op, d, addr, offset, val)| Instr::Atom {
+                op,
+                dst: d.map(Reg),
+                addr,
+                offset,
+                val
+            }),
+        Just(Instr::Bar),
+        (0usize..100).prop_map(|t| Instr::Bra { target: t }),
+        (prop_oneof![Just(BranchIf::NonZero), Just(BranchIf::Zero)], operand_strategy())
+            .prop_map(|(when, pred)| Instr::BraCond { pred, when, target: 50, reconv: 60 }),
+        Just(Instr::Exit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn disassembly_reassembles_identically(
+        instrs in proptest::collection::vec(instr_strategy(), 1..30),
+    ) {
+        let program = Program::new(instrs);
+        let text = disassemble(&program);
+        let back = assemble_program(&text).unwrap_or_else(|e| {
+            panic!("reassembly failed: {e}\n{text}")
+        });
+        prop_assert_eq!(program, back);
+    }
+}
+
+// ---------- ALU algebra -----------------------------------------------------
+
+proptest! {
+    #[test]
+    fn commutative_ops(a in any::<u32>(), b in any::<u32>()) {
+        for op in [AluOp::Add, AluOp::Mul, AluOp::Min, AluOp::Max, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::MulHi] {
+            prop_assert_eq!(eval_alu(op, a, b), eval_alu(op, b, a), "{:?}", op);
+        }
+    }
+
+    #[test]
+    fn identities(a in any::<u32>()) {
+        prop_assert_eq!(eval_alu(AluOp::Add, a, 0), a);
+        prop_assert_eq!(eval_alu(AluOp::Mul, a, 1), a);
+        prop_assert_eq!(eval_alu(AluOp::Or, a, 0), a);
+        prop_assert_eq!(eval_alu(AluOp::And, a, u32::MAX), a);
+        prop_assert_eq!(eval_alu(AluOp::Xor, a, a), 0);
+        prop_assert_eq!(eval_alu(AluOp::Sub, a, a), 0);
+        prop_assert_eq!(eval_alu(AluOp::Mov, a, 12345), a);
+    }
+
+    #[test]
+    fn comparisons_are_consistent(a in any::<u32>(), b in any::<u32>()) {
+        let lt = eval_alu(AluOp::SetLt, a, b);
+        let ge = eval_alu(AluOp::SetGe, a, b);
+        prop_assert_eq!(lt ^ ge, 1, "lt and ge partition");
+        let eq = eval_alu(AluOp::SetEq, a, b);
+        let ne = eval_alu(AluOp::SetNe, a, b);
+        prop_assert_eq!(eq ^ ne, 1);
+        prop_assert_eq!(eval_alu(AluOp::SetGt, a, b), eval_alu(AluOp::SetLt, b, a));
+    }
+
+    #[test]
+    fn div_rem_reconstruct(a in any::<u32>(), b in 1u32..) {
+        let q = eval_alu(AluOp::Div, a, b);
+        let r = eval_alu(AluOp::Rem, a, b);
+        prop_assert_eq!(q * b + r, a);
+        prop_assert!(r < b);
+    }
+}

@@ -1,0 +1,140 @@
+//! Memory-system configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the whole memory hierarchy.
+///
+/// Defaults approximate the Fermi (GTX 480)-class configuration the paper
+/// simulates: 16 KiB L1D per SM, 6 memory partitions each with a 128 KiB
+/// L2 slice and one GDDR channel. All latencies are in core cycles.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// Cache line (and coalescing segment) size in bytes.
+    pub line_bytes: u32,
+    /// L1D size per SM in bytes.
+    pub l1_bytes: u32,
+    /// L1D associativity.
+    pub l1_ways: u32,
+    /// L1D hit latency (load-to-use, pipeline included).
+    pub l1_hit_latency: u32,
+    /// L1D MSHR entries (distinct outstanding miss lines per SM).
+    pub l1_mshr_entries: u32,
+    /// Maximum requests merged into one L1 MSHR entry.
+    pub l1_mshr_merges: u32,
+    /// Transactions the L1 accepts from the LD/ST unit per cycle.
+    pub l1_ports: u32,
+    /// Memory partitions (L2 slice + DRAM channel pairs).
+    pub partitions: u32,
+    /// L2 slice size per partition in bytes.
+    pub l2_slice_bytes: u32,
+    /// L2 associativity.
+    pub l2_ways: u32,
+    /// L2 hit latency beyond the interconnect.
+    pub l2_hit_latency: u32,
+    /// L2 MSHR entries per slice.
+    pub l2_mshr_entries: u32,
+    /// Maximum requests merged into one L2 MSHR entry.
+    pub l2_mshr_merges: u32,
+    /// Requests each L2 slice starts per cycle.
+    pub l2_ports: u32,
+    /// One-way interconnect latency.
+    pub icnt_latency: u32,
+    /// Interconnect flits per cycle per direction (one flit = 32 bytes).
+    pub icnt_flits_per_cycle: u32,
+    /// DRAM row-buffer hit service latency.
+    pub dram_row_hit_latency: u32,
+    /// DRAM row-buffer miss (precharge + activate + CAS) service latency.
+    pub dram_row_miss_latency: u32,
+    /// Cycles the channel data bus is busy per line transfer.
+    pub dram_burst_cycles: u32,
+    /// DRAM banks per channel.
+    pub dram_banks: u32,
+    /// DRAM row size in bytes (consecutive lines mapping to one row).
+    pub dram_row_bytes: u32,
+    /// In-flight request capacity of each DRAM channel's queue.
+    pub dram_queue_depth: u32,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            line_bytes: 128,
+            l1_bytes: 16 * 1024,
+            l1_ways: 4,
+            l1_hit_latency: 24,
+            l1_mshr_entries: 128,
+            l1_mshr_merges: 8,
+            l1_ports: 1,
+            partitions: 6,
+            l2_slice_bytes: 128 * 1024,
+            l2_ways: 8,
+            l2_hit_latency: 40,
+            l2_mshr_entries: 32,
+            l2_mshr_merges: 8,
+            l2_ports: 2,
+            icnt_latency: 100,
+            icnt_flits_per_cycle: 16,
+            dram_row_hit_latency: 45,
+            dram_row_miss_latency: 90,
+            dram_burst_cycles: 4,
+            dram_banks: 16,
+            dram_row_bytes: 2048,
+            dram_queue_depth: 64,
+        }
+    }
+}
+
+impl MemConfig {
+    /// Lines in the L1D.
+    pub fn l1_lines(&self) -> u32 {
+        self.l1_bytes / self.line_bytes
+    }
+
+    /// Sets in the L1D.
+    pub fn l1_sets(&self) -> u32 {
+        (self.l1_lines() / self.l1_ways).max(1)
+    }
+
+    /// Sets in one L2 slice.
+    pub fn l2_sets(&self) -> u32 {
+        (self.l2_slice_bytes / self.line_bytes / self.l2_ways).max(1)
+    }
+
+    /// The partition a line address maps to.
+    pub fn partition_of(&self, line_addr: u64) -> usize {
+        (line_addr % u64::from(self.partitions)) as usize
+    }
+
+    /// An idealised round-trip latency with no contention, used by
+    /// analytical sanity checks in tests.
+    pub fn uncontended_miss_latency(&self) -> u32 {
+        self.l1_hit_latency
+            + 2 * self.icnt_latency
+            + self.l2_hit_latency
+            + self.dram_row_miss_latency
+            + self.dram_burst_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_is_consistent() {
+        let c = MemConfig::default();
+        assert_eq!(c.l1_lines(), 128);
+        assert_eq!(c.l1_sets(), 32);
+        assert_eq!(c.l2_sets() * c.l2_ways * c.line_bytes, c.l2_slice_bytes);
+        assert!(c.uncontended_miss_latency() > c.l1_hit_latency);
+    }
+
+    #[test]
+    fn partition_mapping_interleaves_lines() {
+        let c = MemConfig::default();
+        let p0 = c.partition_of(0);
+        let p1 = c.partition_of(1);
+        assert_ne!(p0, p1);
+        assert_eq!(c.partition_of(6), 0);
+    }
+}

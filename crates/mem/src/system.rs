@@ -1,0 +1,459 @@
+//! The top-level memory system an SM talks to.
+//!
+//! One [`MemSystem`] serves all SMs: it owns the per-SM L1D caches, the
+//! two interconnect directions and the memory partitions, and is ticked
+//! once per core cycle by the GPU model.
+//!
+//! ## Protocol
+//!
+//! Each cycle the simulator calls [`MemSystem::tick`], then SMs submit
+//! coalesced transactions with [`MemSystem::try_submit`] (which may refuse —
+//! MSHR or port exhaustion — in which case the LD/ST unit retries next
+//! cycle) and drain completions with [`MemSystem::pop_response`].
+//! Responses are matched by the opaque `id` the SM chose at submission.
+
+use crate::cache::{Cache, Probe};
+use crate::config::MemConfig;
+use crate::icnt::Icnt;
+use crate::mshr::{Mshr, MshrAlloc};
+use crate::partition::{PartReq, PartResp, Partition};
+use crate::stats::MemStats;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+pub use crate::partition::ReqKind;
+
+/// Outcome of [`MemSystem::try_submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submit {
+    /// Accepted and served by the L1 (short latency).
+    Hit,
+    /// Accepted but going below the L1 (long latency) — a fresh miss, a
+    /// merge onto an in-flight miss, a store, or an atomic.
+    Miss,
+    /// Rejected (port or MSHR exhaustion); retry next cycle.
+    Rejected,
+}
+
+impl Submit {
+    /// Whether the transaction was accepted.
+    pub fn accepted(&self) -> bool {
+        !matches!(self, Submit::Rejected)
+    }
+}
+
+/// Flits for a request header (loads, atomics).
+const REQ_FLITS: u32 = 1;
+/// Flits for a store request (header + 128 B data).
+const STORE_FLITS: u32 = 5;
+/// Flits for a fill response (header + 128 B data).
+const RESP_FLITS: u32 = 5;
+
+/// The complete memory hierarchy below the SMs' LD/ST units.
+#[derive(Debug)]
+pub struct MemSystem {
+    l1s: Vec<L1>,
+    to_mem: Icnt<PartReq>,
+    to_sm: Icnt<PartResp>,
+    partitions: Vec<Partition>,
+    sm_resps: Vec<BinaryHeap<Reverse<(u64, u64, u64)>>>, // (ready, seq, id)
+    submit_times: HashMap<u64, u64>,
+    stats: MemStats,
+    cfg: MemConfig,
+    now: u64,
+    seq: u64,
+}
+
+#[derive(Debug)]
+struct L1 {
+    cache: Cache,
+    mshr: Mshr<u64>,
+    ports_used: u32,
+    window_hits: u64,
+    window_accesses: u64,
+}
+
+impl MemSystem {
+    /// Builds the hierarchy for `num_sms` SMs.
+    pub fn new(cfg: &MemConfig, num_sms: usize) -> MemSystem {
+        MemSystem {
+            l1s: (0..num_sms)
+                .map(|_| L1 {
+                    cache: Cache::new(cfg.l1_sets(), cfg.l1_ways),
+                    mshr: Mshr::new(cfg.l1_mshr_entries, cfg.l1_mshr_merges),
+                    ports_used: 0,
+                    window_hits: 0,
+                    window_accesses: 0,
+                })
+                .collect(),
+            to_mem: Icnt::new(cfg.icnt_latency, cfg.icnt_flits_per_cycle),
+            to_sm: Icnt::new(cfg.icnt_latency, cfg.icnt_flits_per_cycle),
+            partitions: (0..cfg.partitions).map(|_| Partition::new(cfg)).collect(),
+            sm_resps: (0..num_sms).map(|_| BinaryHeap::new()).collect(),
+            submit_times: HashMap::new(),
+            stats: MemStats::default(),
+            cfg: cfg.clone(),
+            now: 0,
+            seq: 0,
+        }
+    }
+
+    /// Bytes per cache line / coalescing segment.
+    pub fn line_bytes(&self) -> u32 {
+        self.cfg.line_bytes
+    }
+
+    /// Advances the whole hierarchy to cycle `now`. Call once per cycle,
+    /// before the SMs submit that cycle's transactions.
+    pub fn tick(&mut self, now: u64) {
+        self.now = now;
+        for l1 in &mut self.l1s {
+            l1.ports_used = 0;
+        }
+        // Partitions produce responses into the SM-bound network.
+        for p in &mut self.partitions {
+            for resp in p.tick(now, &mut self.stats) {
+                self.to_sm.push(now, RESP_FLITS, resp);
+            }
+        }
+        // Requests arrive at partitions.
+        for req in self.to_mem.deliver(now) {
+            let p = self.cfg.partition_of(req.line_addr);
+            self.partitions[p].push(req);
+        }
+        // Responses arrive at L1s.
+        for resp in self.to_sm.deliver(now) {
+            self.on_response(resp, now);
+        }
+    }
+
+    fn on_response(&mut self, resp: PartResp, now: u64) {
+        match resp.kind {
+            ReqKind::Load => {
+                let l1 = &mut self.l1s[resp.sm];
+                // Fill; write-through means victims are never dirty.
+                let _ = l1.cache.fill(resp.line_addr, now, false);
+                for id in l1.mshr.fill(resp.line_addr) {
+                    self.seq += 1;
+                    self.sm_resps[resp.sm].push(Reverse((now, self.seq, id)));
+                    self.finish_load(id, now);
+                }
+            }
+            ReqKind::Atomic => {
+                self.seq += 1;
+                self.sm_resps[resp.sm].push(Reverse((now, self.seq, resp.id)));
+                self.finish_load(resp.id, now);
+            }
+            ReqKind::Store => {}
+        }
+    }
+
+    fn finish_load(&mut self, id: u64, now: u64) {
+        if let Some(t) = self.submit_times.remove(&id) {
+            self.stats.loads_completed += 1;
+            self.stats.load_latency_sum += now.saturating_sub(t);
+        }
+    }
+
+    /// Submits one coalesced transaction from SM `sm`.
+    ///
+    /// `line_addr` is the byte address divided by [`MemSystem::line_bytes`].
+    /// Returns [`Submit::Rejected`] on a resource stall (L1 port or MSHR
+    /// exhaustion); the caller must retry with the same `id` on a later
+    /// cycle. Loads and atomics eventually produce `id` via
+    /// [`MemSystem::pop_response`]; stores complete immediately from the
+    /// SM's perspective. The `Hit`/`Miss` distinction feeds the Virtual
+    /// Thread swap trigger, which only reacts to long-latency stalls.
+    pub fn try_submit(&mut self, sm: usize, id: u64, line_addr: u64, kind: ReqKind) -> Submit {
+        let now = self.now;
+        let l1 = &mut self.l1s[sm];
+        if l1.ports_used >= self.cfg.l1_ports {
+            self.stats.l1_stalls += 1;
+            return Submit::Rejected;
+        }
+        match kind {
+            ReqKind::Load => {
+                if l1.cache.probe(line_addr, now) == Probe::Hit {
+                    l1.ports_used += 1;
+                    l1.window_hits += 1;
+                    l1.window_accesses += 1;
+                    self.stats.l1_accesses += 1;
+                    self.stats.l1_hits += 1;
+                    self.seq += 1;
+                    let ready = now + u64::from(self.cfg.l1_hit_latency);
+                    self.sm_resps[sm].push(Reverse((ready, self.seq, id)));
+                    self.stats.loads_completed += 1;
+                    self.stats.load_latency_sum += u64::from(self.cfg.l1_hit_latency);
+                    return Submit::Hit;
+                }
+                match l1.mshr.alloc(line_addr, id) {
+                    MshrAlloc::NewMiss => {
+                        l1.ports_used += 1;
+                        l1.window_accesses += 1;
+                        self.stats.l1_accesses += 1;
+                        self.stats.l1_misses += 1;
+                        self.submit_times.insert(id, now);
+                        self.to_mem.push(now, REQ_FLITS, PartReq { sm, id, line_addr, kind });
+                        Submit::Miss
+                    }
+                    MshrAlloc::Merged => {
+                        l1.ports_used += 1;
+                        l1.window_accesses += 1;
+                        self.stats.l1_accesses += 1;
+                        self.stats.l1_mshr_merged += 1;
+                        self.submit_times.insert(id, now);
+                        Submit::Miss
+                    }
+                    MshrAlloc::Stall => {
+                        self.stats.l1_stalls += 1;
+                        Submit::Rejected
+                    }
+                }
+            }
+            ReqKind::Store => {
+                l1.ports_used += 1;
+                // Write-through, write-evict: drop any cached copy and
+                // send the data to the partition.
+                l1.cache.invalidate(line_addr);
+                self.to_mem.push(now, STORE_FLITS, PartReq { sm, id, line_addr, kind });
+                Submit::Miss
+            }
+            ReqKind::Atomic => {
+                l1.ports_used += 1;
+                self.stats.atomics += 1;
+                l1.cache.invalidate(line_addr);
+                self.submit_times.insert(id, now);
+                self.to_mem.push(now, REQ_FLITS, PartReq { sm, id, line_addr, kind });
+                Submit::Miss
+            }
+        }
+    }
+
+    /// Pops one completed load/atomic id for SM `sm`, if any is ready.
+    pub fn pop_response(&mut self, sm: usize) -> Option<u64> {
+        let heap = &mut self.sm_resps[sm];
+        match heap.peek() {
+            Some(&Reverse((ready, _, _))) if ready <= self.now => {
+                let Reverse((_, _, id)) = heap.pop().expect("peeked");
+                Some(id)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether the entire hierarchy has no request in flight.
+    pub fn quiesced(&self) -> bool {
+        self.to_mem.is_empty()
+            && self.to_sm.is_empty()
+            && self.partitions.iter().all(Partition::quiesced)
+            && self.l1s.iter().all(|l| l.mshr.is_empty())
+            && self.sm_resps.iter().all(BinaryHeap::is_empty)
+    }
+
+    /// Loads and atomics currently outstanding (submitted, not yet
+    /// responded).
+    pub fn pending_loads(&self) -> usize {
+        self.submit_times.len()
+    }
+
+    /// Takes and resets SM `sm`'s windowed L1 counters: `(hits, lookups)`
+    /// since the last call. Feeds adaptive thrash-control policies.
+    pub fn take_l1_window(&mut self, sm: usize) -> (u64, u64) {
+        let l1 = &mut self.l1s[sm];
+        let w = (l1.window_hits, l1.window_accesses);
+        l1.window_hits = 0;
+        l1.window_accesses = 0;
+        w
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_until_response(mem: &mut MemSystem, sm: usize, start: u64, limit: u64) -> (u64, u64) {
+        for cycle in start..start + limit {
+            mem.tick(cycle);
+            if let Some(id) = mem.pop_response(sm) {
+                return (cycle, id);
+            }
+        }
+        panic!("no response within {limit} cycles");
+    }
+
+    #[test]
+    fn load_miss_round_trip_latency_is_plausible() {
+        let cfg = MemConfig::default();
+        let mut mem = MemSystem::new(&cfg, 2);
+        mem.tick(0);
+        assert!(mem.try_submit(0, 1, 100, ReqKind::Load).accepted());
+        let (t, id) = run_until_response(&mut mem, 0, 1, 2000);
+        assert_eq!(id, 1);
+        let expected_min =
+            u64::from(2 * cfg.icnt_latency + cfg.dram_row_miss_latency + cfg.dram_burst_cycles);
+        assert!(t >= expected_min, "{t} < {expected_min}");
+        assert!(t < u64::from(cfg.uncontended_miss_latency()) * 3);
+        assert_eq!(mem.stats().l1_misses, 1);
+        // Wait for quiescence.
+        for c in t + 1..t + 10 {
+            mem.tick(c);
+        }
+        assert!(mem.quiesced());
+    }
+
+    #[test]
+    fn second_load_hits_l1() {
+        let cfg = MemConfig::default();
+        let mut mem = MemSystem::new(&cfg, 1);
+        mem.tick(0);
+        assert!(mem.try_submit(0, 1, 100, ReqKind::Load).accepted());
+        let (t1, _) = run_until_response(&mut mem, 0, 1, 2000);
+        mem.tick(t1 + 1);
+        assert!(mem.try_submit(0, 2, 100, ReqKind::Load).accepted());
+        let (t2, id) = run_until_response(&mut mem, 0, t1 + 2, 200);
+        assert_eq!(id, 2);
+        assert_eq!(t2 - (t1 + 1), u64::from(cfg.l1_hit_latency));
+        assert_eq!(mem.stats().l1_hits, 1);
+    }
+
+    #[test]
+    fn mshr_merging_same_line() {
+        let mut mem = MemSystem::new(&MemConfig::default(), 1);
+        mem.tick(0);
+        assert!(mem.try_submit(0, 1, 100, ReqKind::Load).accepted());
+        mem.tick(1);
+        assert!(mem.try_submit(0, 2, 100, ReqKind::Load).accepted());
+        let mut got = Vec::new();
+        for cycle in 2..2000 {
+            mem.tick(cycle);
+            while let Some(id) = mem.pop_response(0) {
+                got.push(id);
+            }
+            if got.len() == 2 {
+                break;
+            }
+        }
+        assert_eq!(got, vec![1, 2]);
+        assert_eq!(mem.stats().l1_misses, 1);
+        assert_eq!(mem.stats().l1_mshr_merged, 1);
+        assert_eq!(mem.stats().dram_reads, 1);
+    }
+
+    #[test]
+    fn l1_port_limit_rejects_second_submission() {
+        let cfg = MemConfig::default(); // 1 port
+        let mut mem = MemSystem::new(&cfg, 1);
+        mem.tick(0);
+        assert_eq!(mem.try_submit(0, 1, 1, ReqKind::Load), Submit::Miss);
+        assert_eq!(mem.try_submit(0, 2, 2, ReqKind::Load), Submit::Rejected, "port exhausted");
+        assert_eq!(mem.stats().l1_stalls, 1);
+        mem.tick(1);
+        assert!(mem.try_submit(0, 2, 2, ReqKind::Load).accepted(), "new cycle, new port");
+    }
+
+    #[test]
+    fn mshr_exhaustion_stalls() {
+        let cfg = MemConfig { l1_mshr_entries: 2, l1_ports: 8, ..MemConfig::default() };
+        let mut mem = MemSystem::new(&cfg, 1);
+        mem.tick(0);
+        assert!(mem.try_submit(0, 1, 10, ReqKind::Load).accepted());
+        assert!(mem.try_submit(0, 2, 20, ReqKind::Load).accepted());
+        assert_eq!(mem.try_submit(0, 3, 30, ReqKind::Load), Submit::Rejected, "MSHRs full");
+    }
+
+    #[test]
+    fn stores_complete_without_response() {
+        let mut mem = MemSystem::new(&MemConfig::default(), 1);
+        mem.tick(0);
+        assert!(mem.try_submit(0, 1, 5, ReqKind::Store).accepted());
+        for cycle in 1..2000 {
+            mem.tick(cycle);
+            assert_eq!(mem.pop_response(0), None);
+            if mem.quiesced() {
+                break;
+            }
+        }
+        assert!(mem.quiesced(), "store drained");
+        assert_eq!(mem.stats().stores, 1);
+    }
+
+    #[test]
+    fn store_invalidates_l1_copy() {
+        let cfg = MemConfig::default();
+        let mut mem = MemSystem::new(&cfg, 1);
+        mem.tick(0);
+        assert!(mem.try_submit(0, 1, 100, ReqKind::Load).accepted());
+        let (t, _) = run_until_response(&mut mem, 0, 1, 2000);
+        mem.tick(t + 1);
+        assert!(mem.try_submit(0, 2, 100, ReqKind::Store).accepted());
+        mem.tick(t + 2);
+        assert!(mem.try_submit(0, 3, 100, ReqKind::Load).accepted());
+        let (_t2, id) = run_until_response(&mut mem, 0, t + 3, 2000);
+        assert_eq!(id, 3);
+        assert_eq!(mem.stats().l1_hits, 0, "write-evict forced a re-fetch");
+    }
+
+    #[test]
+    fn atomic_round_trips_and_bypasses_l1() {
+        let mut mem = MemSystem::new(&MemConfig::default(), 1);
+        mem.tick(0);
+        assert!(mem.try_submit(0, 9, 40, ReqKind::Atomic).accepted());
+        let (_, id) = run_until_response(&mut mem, 0, 1, 2000);
+        assert_eq!(id, 9);
+        assert_eq!(mem.stats().atomics, 1);
+        // Atomics never fill the L1.
+        mem.tick(5000);
+        assert_eq!(mem.try_submit(0, 10, 40, ReqKind::Load), Submit::Miss);
+        assert_eq!(mem.stats().l1_hits, 0);
+    }
+
+    #[test]
+    fn per_sm_isolation() {
+        let mut mem = MemSystem::new(&MemConfig::default(), 2);
+        mem.tick(0);
+        assert!(mem.try_submit(0, 1, 100, ReqKind::Load).accepted());
+        assert!(mem.try_submit(1, 2, 100, ReqKind::Load).accepted());
+        let mut got = [Vec::new(), Vec::new()];
+        for cycle in 1..3000 {
+            mem.tick(cycle);
+            for (sm, bucket) in got.iter_mut().enumerate() {
+                while let Some(id) = mem.pop_response(sm) {
+                    bucket.push(id);
+                }
+            }
+        }
+        assert_eq!(got[0], vec![1]);
+        assert_eq!(got[1], vec![2]);
+        // Both SMs missed their private L1s; the L2 merged the fills.
+        assert_eq!(mem.stats().l1_misses, 2);
+        assert_eq!(mem.stats().dram_reads, 1);
+    }
+
+    #[test]
+    fn l1_window_counts_and_resets() {
+        let mut mem = MemSystem::new(&MemConfig::default(), 1);
+        mem.tick(0);
+        assert!(mem.try_submit(0, 1, 100, ReqKind::Load).accepted());
+        let (t, _) = run_until_response(&mut mem, 0, 1, 2000);
+        mem.tick(t + 1);
+        assert!(mem.try_submit(0, 2, 100, ReqKind::Load).accepted()); // hit
+        let (h, a) = mem.take_l1_window(0);
+        assert_eq!((h, a), (1, 2), "one miss + one hit observed");
+        assert_eq!(mem.take_l1_window(0), (0, 0), "window resets");
+    }
+
+    #[test]
+    fn load_latency_stat_accumulates() {
+        let mut mem = MemSystem::new(&MemConfig::default(), 1);
+        mem.tick(0);
+        assert!(mem.try_submit(0, 1, 100, ReqKind::Load).accepted());
+        run_until_response(&mut mem, 0, 1, 2000);
+        assert_eq!(mem.stats().loads_completed, 1);
+        assert!(mem.stats().avg_load_latency() > 100.0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Per-CTA runtime state and the active/inactive phase machine.
+
+/// Lifecycle phase of a resident CTA.
+///
+/// The Virtual Thread state machine: CTAs are admitted up to the capacity
+/// limit, but only CTAs in [`CtaPhase::Active`] own warp-scheduler slots.
+/// Context switches move CTAs through the `Swapping*` phases, charging the
+/// configured cycle costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtaPhase {
+    /// Owns scheduling structures; its warps may issue.
+    Active,
+    /// Resident (registers + shared memory on chip) but not schedulable.
+    /// `has_context` distinguishes a previously-run CTA (whose PCs/SIMT
+    /// stacks sit in the context buffer) from a fresh one.
+    Inactive {
+        /// Whether saved scheduling state exists for this CTA.
+        has_context: bool,
+    },
+    /// Scheduling state being saved to the context buffer.
+    SwappingOut {
+        /// Cycle at which the save completes.
+        done_at: u64,
+    },
+    /// Scheduling state being restored (or initialised, for fresh CTAs).
+    SwappingIn {
+        /// Cycle at which the restore completes.
+        done_at: u64,
+    },
+    /// All warps exited; the slot is reusable.
+    Finished,
+}
+
+/// The runtime state of one resident CTA.
+#[derive(Debug, Clone)]
+pub struct CtaRt {
+    /// Index of this CTA in the kernel grid.
+    pub cta_id: u32,
+    /// Lifecycle phase.
+    pub phase: CtaPhase,
+    /// Warp slots (indices into the SM warp table) of this CTA.
+    pub warps: Vec<usize>,
+    /// Warps that have not yet exited.
+    pub live_warps: u32,
+    /// Warps currently waiting at the barrier.
+    pub barrier_arrived: u32,
+    /// Shared-memory contents (functional).
+    pub smem: Vec<u32>,
+    /// Register-file bytes this CTA holds.
+    pub reg_bytes: u32,
+    /// Shared-memory bytes this CTA holds.
+    pub smem_bytes: u32,
+    /// Outstanding global loads summed over the CTA's warps.
+    pub pending_loads: u32,
+    /// Admission order (used as an age tiebreak).
+    pub seq: u64,
+}
+
+impl CtaRt {
+    /// Whether the CTA occupies an active slot. A CTA being swapped *out*
+    /// releases its slot the moment the save starts (the incoming CTA's
+    /// restore overlaps with the save through the dual-ported context
+    /// buffer), so only `Active` and `SwappingIn` hold slots.
+    pub fn holds_active_slot(&self) -> bool {
+        matches!(self.phase, CtaPhase::Active | CtaPhase::SwappingIn { .. })
+    }
+
+    /// Whether the CTA is resident (counts against capacity).
+    pub fn is_resident(&self) -> bool {
+        !matches!(self.phase, CtaPhase::Finished)
+    }
+
+    /// Whether the CTA is schedulable right now.
+    pub fn is_active(&self) -> bool {
+        self.phase == CtaPhase::Active
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cta(phase: CtaPhase) -> CtaRt {
+        CtaRt {
+            cta_id: 0,
+            phase,
+            warps: vec![0, 1],
+            live_warps: 2,
+            barrier_arrived: 0,
+            smem: Vec::new(),
+            reg_bytes: 1024,
+            smem_bytes: 0,
+            pending_loads: 0,
+            seq: 0,
+        }
+    }
+
+    #[test]
+    fn phase_predicates() {
+        assert!(cta(CtaPhase::Active).is_active());
+        assert!(cta(CtaPhase::Active).holds_active_slot());
+        assert!(!cta(CtaPhase::SwappingOut { done_at: 5 }).holds_active_slot());
+        assert!(cta(CtaPhase::SwappingIn { done_at: 5 }).holds_active_slot());
+        assert!(!cta(CtaPhase::Inactive { has_context: false }).holds_active_slot());
+        assert!(!cta(CtaPhase::Finished).is_resident());
+        assert!(cta(CtaPhase::Inactive { has_context: true }).is_resident());
+        assert!(!cta(CtaPhase::SwappingIn { done_at: 1 }).is_active());
+    }
+}

@@ -1,0 +1,492 @@
+//! The whole-GPU simulation: CTA dispatcher, SMs, memory system and the
+//! main clock loop.
+
+use crate::config::{check_launchable, LaunchError, SimConfig};
+use crate::sm::Sm;
+use crate::stats::{RunStats, Timeline};
+use std::error::Error;
+use std::fmt;
+use vt_isa::error::ExecError;
+use vt_isa::kernel::MemImage;
+use vt_isa::Kernel;
+use vt_mem::MemSystem;
+
+/// Why a simulation could not complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The kernel cannot fit on the configured hardware at all.
+    Launch(LaunchError),
+    /// A warp trapped (functional fault).
+    Exec(ExecError),
+    /// The run exceeded the configured cycle watchdog.
+    Watchdog {
+        /// Cycle at which the run was aborted.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Launch(e) => write!(f, "kernel not launchable: {e}"),
+            SimError::Exec(e) => write!(f, "warp trapped: {e}"),
+            SimError::Watchdog { cycle } => write!(f, "watchdog expired at cycle {cycle}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Launch(e) => Some(e),
+            SimError::Exec(e) => Some(e),
+            SimError::Watchdog { .. } => None,
+        }
+    }
+}
+
+impl From<LaunchError> for SimError {
+    fn from(e: LaunchError) -> Self {
+        SimError::Launch(e)
+    }
+}
+
+impl From<ExecError> for SimError {
+    fn from(e: ExecError) -> Self {
+        SimError::Exec(e)
+    }
+}
+
+/// The outcome of a completed run: timing statistics plus the functional
+/// final memory image (comparable against the reference interpreter).
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Timing and utilisation statistics.
+    pub stats: RunStats,
+    /// Final global memory contents.
+    pub mem_image: MemImage,
+}
+
+/// A cycle-level GPU simulation of one kernel launch.
+///
+/// # Example
+///
+/// ```
+/// use vt_sim::{GpuSim, SimConfig};
+/// use vt_isa::KernelBuilder;
+/// use vt_isa::op::Operand;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = KernelBuilder::new("store-ones");
+/// let out = b.alloc_global(256);
+/// let gid = b.reg();
+/// let off = b.reg();
+/// b.global_thread_id(gid);
+/// b.shl(off, Operand::Reg(gid), Operand::Imm(2));
+/// b.st_global(Operand::Reg(off), out as i32, Operand::Imm(1));
+/// let kernel = b.build(8, 32)?;
+///
+/// let result = GpuSim::new(&SimConfig::default(), &kernel)?.run()?;
+/// assert!(result.stats.cycles > 0);
+/// assert_eq!(result.mem_image.load(out + 4 * 100), Some(1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct GpuSim<'k> {
+    kernel: &'k Kernel,
+    cfg: SimConfig,
+    mem: MemSystem,
+    image: MemImage,
+    sms: Vec<Sm>,
+    next_cta: u32,
+    dispatch_ptr: usize,
+    stats: RunStats,
+}
+
+impl<'k> GpuSim<'k> {
+    /// Prepares a simulation of `kernel` under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Launch`] if one CTA of the kernel cannot fit on
+    /// one SM.
+    pub fn new(cfg: &SimConfig, kernel: &'k Kernel) -> Result<GpuSim<'k>, SimError> {
+        check_launchable(&cfg.core, kernel)?;
+        let num_sms = cfg.core.num_sms.max(1) as usize;
+        Ok(GpuSim {
+            kernel,
+            cfg: cfg.clone(),
+            mem: MemSystem::new(&cfg.mem, num_sms),
+            image: kernel.global_mem().clone(),
+            sms: (0..num_sms)
+                .map(|i| Sm::new(i, &cfg.core, cfg.mem.line_bytes))
+                .collect(),
+            next_cta: 0,
+            dispatch_ptr: 0,
+            stats: RunStats::default(),
+        })
+    }
+
+    /// Runs the kernel to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Exec`] on a functional trap and
+    /// [`SimError::Watchdog`] if `core.max_cycles` elapses first.
+    pub fn run(mut self) -> Result<RunResult, SimError> {
+        let mut timeline = self
+            .cfg
+            .core
+            .timeline_interval
+            .map(|interval| Timeline { interval: interval.max(1), ..Timeline::default() });
+        let mut cycle: u64 = 0;
+        loop {
+            if let Some(t) = &mut timeline {
+                if cycle.is_multiple_of(t.interval) {
+                    let n = self.sms.len() as f32;
+                    let resident: u32 = self.sms.iter().map(Sm::resident_warps).sum();
+                    let active: u32 = self.sms.iter().map(Sm::active_warps).sum();
+                    t.push(resident as f32 / n, active as f32 / n);
+                }
+            }
+            self.mem.tick(cycle);
+            for sm in &mut self.sms {
+                sm.tick(
+                    cycle,
+                    self.kernel,
+                    &self.cfg.core,
+                    &self.cfg.residency,
+                    &mut self.mem,
+                    &mut self.image,
+                    &mut self.stats,
+                )?;
+            }
+            self.dispatch(cycle);
+            if self.finished() {
+                break;
+            }
+            cycle += 1;
+            if cycle >= self.cfg.core.max_cycles {
+                return Err(SimError::Watchdog { cycle });
+            }
+        }
+        self.stats.cycles = cycle + 1;
+        self.stats.mem = self.mem.stats().clone();
+        self.stats.max_simt_depth =
+            self.sms.iter().map(Sm::max_simt_depth).max().unwrap_or(0);
+        self.stats.timeline = timeline;
+        Ok(RunResult { stats: self.stats, mem_image: self.image })
+    }
+
+    /// Hands out up to one CTA per SM per cycle, rotating the starting SM
+    /// for balance.
+    fn dispatch(&mut self, now: u64) {
+        if self.next_cta >= self.kernel.num_ctas() {
+            return;
+        }
+        let n = self.sms.len();
+        for i in 0..n {
+            if self.next_cta >= self.kernel.num_ctas() {
+                break;
+            }
+            let sm = &mut self.sms[(self.dispatch_ptr + i) % n];
+            if sm.can_admit(self.kernel, &self.cfg.core, &self.cfg.residency) {
+                sm.admit(
+                    self.next_cta,
+                    self.kernel,
+                    &self.cfg.core,
+                    &self.cfg.residency,
+                    now,
+                    &mut self.stats,
+                );
+                self.next_cta += 1;
+            }
+        }
+        self.dispatch_ptr = (self.dispatch_ptr + 1) % n;
+    }
+
+    fn finished(&self) -> bool {
+        self.next_cta >= self.kernel.num_ctas()
+            && self.sms.iter().all(Sm::idle)
+            && self.mem.quiesced()
+    }
+}
+
+/// Convenience: build and run in one call.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from construction or the run.
+pub fn simulate(cfg: &SimConfig, kernel: &Kernel) -> Result<RunResult, SimError> {
+    GpuSim::new(cfg, kernel)?.run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{
+        ActivePolicy, AdmissionPolicy, ResidencyConfig, SchedPolicy, SwapConfig, SwapTrigger,
+    };
+    use vt_isa::interp::Interpreter;
+    use vt_isa::op::{AtomOp, Operand, Sreg};
+    use vt_isa::KernelBuilder;
+
+    /// out[gid] = xs[gid] * 3 + 1, streaming.
+    fn streaming_kernel(ctas: u32, threads: u32) -> Kernel {
+        let n = (ctas * threads) as usize;
+        let mut b = KernelBuilder::new("stream");
+        let xs = b.alloc_global_init(&(0..n as u32).collect::<Vec<_>>());
+        let out = b.alloc_global(n);
+        let gid = b.reg();
+        let off = b.reg();
+        let v = b.reg();
+        b.global_thread_id(gid);
+        b.shl(off, Operand::Reg(gid), Operand::Imm(2));
+        b.ld_global(v, Operand::Reg(off), xs as i32);
+        b.mad(v, Operand::Reg(v), Operand::Imm(3), Operand::Imm(1));
+        b.st_global(Operand::Reg(off), out as i32, Operand::Reg(v));
+        b.exit();
+        b.build(ctas, threads).unwrap()
+    }
+
+    fn small_cfg() -> SimConfig {
+        let mut cfg = SimConfig::default();
+        cfg.core.num_sms = 2;
+        cfg
+    }
+
+    #[test]
+    fn streaming_kernel_matches_interpreter() {
+        let k = streaming_kernel(8, 64);
+        let sim = simulate(&small_cfg(), &k).unwrap();
+        let reference = Interpreter::new(&k).unwrap().run().unwrap();
+        assert_eq!(sim.mem_image.as_words(), reference.mem().as_words());
+        assert_eq!(sim.stats.ctas_completed, 8);
+        assert!(sim.stats.cycles > 0);
+        assert!(sim.stats.warp_instrs >= 8 * 2 * 6);
+    }
+
+    #[test]
+    fn divergent_kernel_matches_interpreter() {
+        let mut b = KernelBuilder::new("diverge");
+        let out = b.alloc_global(256);
+        let gid = b.reg();
+        let off = b.reg();
+        let p = b.reg();
+        let v = b.reg();
+        let i = b.reg();
+        b.global_thread_id(gid);
+        b.shl(off, Operand::Reg(gid), Operand::Imm(2));
+        b.and_(p, Operand::Reg(gid), Operand::Imm(3));
+        b.mov(v, Operand::Imm(0));
+        b.for_range(i, Operand::Imm(0), Operand::Reg(p), 1, |b, i| {
+            b.add(v, Operand::Reg(v), Operand::Reg(i));
+        });
+        b.if_else(
+            Operand::Reg(p),
+            |b| b.add(v, Operand::Reg(v), Operand::Imm(100)),
+            |b| b.add(v, Operand::Reg(v), Operand::Imm(200)),
+        );
+        b.st_global(Operand::Reg(off), out as i32, Operand::Reg(v));
+        b.exit();
+        let k = b.build(4, 64).unwrap();
+        let sim = simulate(&small_cfg(), &k).unwrap();
+        let reference = Interpreter::new(&k).unwrap().run().unwrap();
+        assert_eq!(sim.mem_image.as_words(), reference.mem().as_words());
+        assert!(sim.stats.divergent_branches > 0);
+    }
+
+    #[test]
+    fn barrier_reduction_matches_interpreter() {
+        let nt = 64u32;
+        let mut b = KernelBuilder::new("reduce");
+        let out = b.alloc_global(16);
+        let buf = b.alloc_shared(nt);
+        let soff = b.reg();
+        let stride = b.reg();
+        let p = b.reg();
+        let x = b.reg();
+        let y = b.reg();
+        let other = b.reg();
+        b.shl(soff, Operand::Sreg(Sreg::Tid), Operand::Imm(2));
+        b.st_shared(Operand::Reg(soff), buf as i32, Operand::Sreg(Sreg::Tid));
+        b.bar();
+        b.mov(stride, Operand::Imm(nt / 2));
+        b.while_(
+            |b| {
+                let c = b.reg();
+                b.set_gt(c, Operand::Reg(stride), Operand::Imm(0));
+                Operand::Reg(c)
+            },
+            |b| {
+                b.set_lt(p, Operand::Sreg(Sreg::Tid), Operand::Reg(stride));
+                b.if_(Operand::Reg(p), |b| {
+                    b.add(other, Operand::Sreg(Sreg::Tid), Operand::Reg(stride));
+                    b.shl(other, Operand::Reg(other), Operand::Imm(2));
+                    b.ld_shared(x, Operand::Reg(soff), buf as i32);
+                    b.ld_shared(y, Operand::Reg(other), buf as i32);
+                    b.add(x, Operand::Reg(x), Operand::Reg(y));
+                    b.st_shared(Operand::Reg(soff), buf as i32, Operand::Reg(x));
+                });
+                b.bar();
+                b.shr(stride, Operand::Reg(stride), Operand::Imm(1));
+            },
+        );
+        b.set_eq(p, Operand::Sreg(Sreg::Tid), Operand::Imm(0));
+        b.if_(Operand::Reg(p), |b| {
+            b.shl(x, Operand::Sreg(Sreg::CtaId), Operand::Imm(2));
+            b.ld_shared(y, Operand::Reg(soff), buf as i32);
+            b.st_global(Operand::Reg(x), out as i32, Operand::Reg(y));
+        });
+        b.exit();
+        let k = b.build(6, nt).unwrap();
+        let sim = simulate(&small_cfg(), &k).unwrap();
+        let reference = Interpreter::new(&k).unwrap().run().unwrap();
+        assert_eq!(sim.mem_image.as_words(), reference.mem().as_words());
+        assert!(sim.stats.barriers > 0);
+    }
+
+    #[test]
+    fn atomics_match_interpreter() {
+        let mut b = KernelBuilder::new("atom");
+        let out = b.alloc_global(4);
+        let bin = b.reg();
+        b.and_(bin, Operand::Sreg(Sreg::Tid), Operand::Imm(3));
+        b.shl(bin, Operand::Reg(bin), Operand::Imm(2));
+        b.atom(AtomOp::Add, None, Operand::Reg(bin), out as i32, Operand::Imm(1));
+        b.exit();
+        let k = b.build(6, 96).unwrap();
+        let sim = simulate(&small_cfg(), &k).unwrap();
+        let reference = Interpreter::new(&k).unwrap().run().unwrap();
+        assert_eq!(sim.mem_image.as_words(), reference.mem().as_words());
+        assert_eq!(sim.mem_image.load(out), Some(6 * 96 / 4));
+    }
+
+    #[test]
+    fn deterministic_cycle_counts() {
+        let k = streaming_kernel(10, 96);
+        let a = simulate(&small_cfg(), &k).unwrap();
+        let b = simulate(&small_cfg(), &k).unwrap();
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn lrr_and_gto_both_complete() {
+        let k = streaming_kernel(8, 64);
+        for policy in [SchedPolicy::Lrr, SchedPolicy::Gto] {
+            let mut cfg = small_cfg();
+            cfg.core.scheduler = policy;
+            let r = simulate(&cfg, &k).unwrap();
+            let reference = Interpreter::new(&k).unwrap().run().unwrap();
+            assert_eq!(r.mem_image.as_words(), reference.mem().as_words(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn virtual_thread_config_runs_and_swaps() {
+        // Memory-latency-bound kernel with few warps per CTA: the baseline
+        // scheduling limit strands capacity, VT uses it.
+        let k = streaming_kernel(64, 64);
+        let mut cfg = small_cfg();
+        cfg.residency = ResidencyConfig {
+            admission: AdmissionPolicy::CapacityOnly { max_resident_ctas: Some(32) },
+            active: ActivePolicy::SchedulingLimit,
+            swap: Some(SwapConfig {
+                trigger: SwapTrigger::AllWarpsStalled,
+                save_cycles: 20,
+                restore_cycles: 20,
+                fresh_activation_cycles: 2,
+                throttle: None,
+            }),
+        };
+        let vt = simulate(&cfg, &k).unwrap();
+        let reference = Interpreter::new(&k).unwrap().run().unwrap();
+        assert_eq!(vt.mem_image.as_words(), reference.mem().as_words());
+        assert!(vt.stats.swaps.swaps_out > 0, "VT should context switch");
+
+        let base = simulate(&small_cfg(), &k).unwrap();
+        assert_eq!(base.mem_image.as_words(), reference.mem().as_words());
+        assert!(
+            vt.stats.occupancy.avg_resident_warps() > base.stats.occupancy.avg_resident_warps(),
+            "VT hosts more TLP"
+        );
+    }
+
+    #[test]
+    fn ideal_config_at_least_as_fast_as_baseline() {
+        let k = streaming_kernel(48, 64);
+        let base = simulate(&small_cfg(), &k).unwrap();
+        let mut cfg = small_cfg();
+        cfg.residency = ResidencyConfig {
+            admission: AdmissionPolicy::CapacityOnly { max_resident_ctas: None },
+            active: ActivePolicy::Unlimited,
+            swap: None,
+        };
+        let ideal = simulate(&cfg, &k).unwrap();
+        assert!(
+            ideal.stats.cycles <= base.stats.cycles,
+            "ideal {} vs baseline {}",
+            ideal.stats.cycles,
+            base.stats.cycles
+        );
+    }
+
+    #[test]
+    fn watchdog_fires() {
+        let mut b = KernelBuilder::new("spin");
+        b.while_(|_| Operand::Imm(1), |_| {});
+        let k = b.build(1, 32).unwrap();
+        let mut cfg = small_cfg();
+        cfg.core.max_cycles = 5_000;
+        assert_eq!(simulate(&cfg, &k).unwrap_err(), SimError::Watchdog { cycle: 5_000 });
+    }
+
+    #[test]
+    fn trap_propagates() {
+        let mut b = KernelBuilder::new("oob");
+        let r = b.reg();
+        b.ld_global(r, Operand::Imm(1 << 26), 0);
+        let k = b.build(1, 32).unwrap();
+        let err = simulate(&small_cfg(), &k).unwrap_err();
+        assert!(matches!(err, SimError::Exec(ExecError::GlobalOutOfRange { .. })));
+    }
+
+    #[test]
+    fn partial_warps_simulate_correctly() {
+        let k = streaming_kernel(3, 40); // 40 threads: second warp partial
+        let sim = simulate(&small_cfg(), &k).unwrap();
+        let reference = Interpreter::new(&k).unwrap().run().unwrap();
+        assert_eq!(sim.mem_image.as_words(), reference.mem().as_words());
+    }
+
+    #[test]
+    fn timeline_sampling_is_opt_in() {
+        let k = streaming_kernel(8, 64);
+        let off = simulate(&small_cfg(), &k).unwrap();
+        assert!(off.stats.timeline.is_none(), "disabled by default");
+
+        let mut cfg = small_cfg();
+        cfg.core.timeline_interval = Some(50);
+        let on = simulate(&cfg, &k).unwrap();
+        let tl = on.stats.timeline.expect("sampling enabled");
+        assert_eq!(tl.interval, 50);
+        let expected = on.stats.cycles.div_ceil(50) as usize;
+        assert!(tl.len() >= expected.saturating_sub(1) && tl.len() <= expected + 1);
+        // Samples never exceed physically-resident warps.
+        let cap = 48.0 * 8.0; // warp slots x generous margin
+        assert!(tl.resident_warps.iter().all(|&w| (0.0..=cap).contains(&w)));
+        // Timing stats are unaffected by observation.
+        assert_eq!(on.stats.cycles, off.stats.cycles);
+    }
+
+    #[test]
+    fn idle_breakdown_sums_to_unissued_cycles() {
+        let k = streaming_kernel(8, 64);
+        let r = simulate(&small_cfg(), &k).unwrap();
+        let occ = &r.stats.occupancy;
+        assert_eq!(occ.sm_cycles, r.stats.cycles * 2, "2 SMs accumulate once per cycle");
+        assert!(r.stats.idle.total() <= occ.sm_cycles);
+        assert!(r.stats.idle.memory > 0, "a streaming kernel stalls on memory");
+    }
+}

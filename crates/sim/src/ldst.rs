@@ -1,0 +1,421 @@
+//! The SM's LD/ST unit: an in-order queue of warp memory instructions
+//! feeding shared memory (with bank-conflict serialisation) and the L1D.
+
+use std::collections::{HashMap, VecDeque};
+use vt_isa::Reg;
+use vt_mem::{MemSystem, ReqKind, Submit};
+
+/// One warp memory instruction queued in the LD/ST unit.
+#[derive(Debug, Clone)]
+pub struct MemWork {
+    /// Warp slot of the issuing warp.
+    pub warp_slot: usize,
+    /// Uid of the issuing warp, guarding against slot reuse.
+    pub warp_uid: u64,
+    /// Operation body.
+    pub body: MemWorkBody,
+}
+
+/// The two paths through the LD/ST unit.
+#[derive(Debug, Clone)]
+pub enum MemWorkBody {
+    /// Shared-memory access: serialised over bank-conflict rounds, then a
+    /// fixed latency to writeback (for loads).
+    Shared {
+        /// Conflict rounds remaining.
+        rounds_left: u32,
+        /// Destination register (loads only).
+        dst: Option<Reg>,
+    },
+    /// Global access: coalesced transactions injected into the L1 one per
+    /// port per cycle.
+    Global {
+        /// Coalesced line addresses.
+        lines: Vec<u64>,
+        /// How many have been accepted by the L1.
+        submitted: usize,
+        /// Load-group token for response matching (loads/atomics).
+        token: Option<u64>,
+        /// Kind submitted to the memory system.
+        kind: ReqKind,
+    },
+}
+
+/// A group of transactions belonging to one load/atomic instruction; the
+/// destination register is released when the last one responds.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadGroup {
+    /// Warp slot of the issuing warp.
+    pub warp_slot: usize,
+    /// Uid of the issuing warp, guarding against slot reuse.
+    pub warp_uid: u64,
+    /// Destination register to release (atomics without a destination
+    /// still track completion for the pending-load count).
+    pub dst: Option<Reg>,
+    /// Responses still outstanding.
+    pub remaining: u32,
+    /// Whether any transaction of this group missed the L1 — i.e. the
+    /// warp is in a *long-latency* stall, the condition the Virtual
+    /// Thread swap trigger reacts to.
+    pub missed: bool,
+}
+
+/// Completion record returned to the SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemCompletion {
+    /// Warp slot whose instruction completed.
+    pub warp_slot: usize,
+    /// Uid the warp had at issue; the SM drops completions whose slot has
+    /// been reassigned since.
+    pub warp_uid: u64,
+    /// Register to clear in the warp's scoreboard, if any.
+    pub dst: Option<Reg>,
+    /// Whether this was a global load/atomic (decrements pending loads).
+    pub was_global_load: bool,
+    /// Whether the access went below the L1 (ends a long-latency stall).
+    pub was_long: bool,
+}
+
+/// An event the LD/ST unit reports to the SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LdstEvent {
+    /// A warp memory instruction fully completed.
+    Completed(MemCompletion),
+    /// A load/atomic was observed to go below the L1: the issuing warp
+    /// has entered a long-latency stall.
+    MissObserved {
+        /// Warp slot of the stalled warp.
+        warp_slot: usize,
+        /// Uid the warp had at issue.
+        warp_uid: u64,
+    },
+}
+
+/// The LD/ST unit of one SM.
+#[derive(Debug)]
+pub struct LdstUnit {
+    queue: VecDeque<MemWork>,
+    depth: usize,
+    smem_latency: u64,
+    groups: HashMap<u64, LoadGroup>,
+    req_to_group: HashMap<u64, u64>,
+    next_id: u64,
+    sm_id: usize,
+    /// Shared loads whose rounds finished, waiting out the access latency:
+    /// (ready cycle, warp slot, warp uid, dst).
+    smem_inflight: VecDeque<(u64, usize, u64, Option<Reg>)>,
+}
+
+impl LdstUnit {
+    /// A unit for SM `sm_id` with the given queue depth and conflict-free
+    /// shared-memory latency.
+    pub fn new(sm_id: usize, depth: u32, smem_latency: u32) -> LdstUnit {
+        LdstUnit {
+            queue: VecDeque::new(),
+            depth: depth.max(1) as usize,
+            smem_latency: u64::from(smem_latency),
+            groups: HashMap::new(),
+            req_to_group: HashMap::new(),
+            next_id: 0,
+            sm_id,
+            smem_inflight: VecDeque::new(),
+        }
+    }
+
+    /// Whether another warp memory instruction can be accepted this cycle.
+    pub fn has_space(&self) -> bool {
+        self.queue.len() < self.depth
+    }
+
+    /// Queue occupancy.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        self.next_id += 1;
+        ((self.sm_id as u64) << 40) | self.next_id
+    }
+
+    /// Enqueues a shared-memory access of `rounds` bank-conflict rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full; callers must check
+    /// [`LdstUnit::has_space`] at issue.
+    pub fn push_shared(&mut self, warp_slot: usize, warp_uid: u64, rounds: u32, dst: Option<Reg>) {
+        assert!(self.has_space(), "LD/ST queue overflow");
+        self.queue.push_back(MemWork {
+            warp_slot,
+            warp_uid,
+            body: MemWorkBody::Shared { rounds_left: rounds.max(1), dst },
+        });
+    }
+
+    /// Enqueues a global access of coalesced `lines`. For loads and
+    /// atomics a load group is created so the destination register is
+    /// released when every transaction has responded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is full or `lines` is empty.
+    pub fn push_global(
+        &mut self,
+        warp_slot: usize,
+        warp_uid: u64,
+        lines: Vec<u64>,
+        kind: ReqKind,
+        dst: Option<Reg>,
+    ) {
+        assert!(self.has_space(), "LD/ST queue overflow");
+        assert!(!lines.is_empty(), "global access with no transactions");
+        let token = if kind == ReqKind::Store {
+            None
+        } else {
+            let token = self.fresh_id();
+            self.groups.insert(
+                token,
+                LoadGroup { warp_slot, warp_uid, dst, remaining: lines.len() as u32, missed: false },
+            );
+            Some(token)
+        };
+        self.queue.push_back(MemWork {
+            warp_slot,
+            warp_uid,
+            body: MemWorkBody::Global { lines, submitted: 0, token, kind },
+        });
+    }
+
+    /// Advances the unit one cycle: injects the front work's transactions
+    /// into the memory system and completes shared-memory accesses whose
+    /// latency elapsed. Returns events for the SM to apply.
+    pub fn tick(&mut self, now: u64, mem: &mut MemSystem) -> Vec<LdstEvent> {
+        let mut out = Vec::new();
+
+        // Shared accesses that finished their latency.
+        while let Some(&(ready, warp_slot, warp_uid, dst)) = self.smem_inflight.front() {
+            if ready > now {
+                break;
+            }
+            self.smem_inflight.pop_front();
+            out.push(LdstEvent::Completed(MemCompletion {
+                warp_slot,
+                warp_uid,
+                dst,
+                was_global_load: false,
+                was_long: false,
+            }));
+        }
+
+        // Process the front of the in-order queue.
+        let mut pop = false;
+        if let Some(work) = self.queue.front_mut() {
+            match &mut work.body {
+                MemWorkBody::Shared { rounds_left, dst } => {
+                    *rounds_left -= 1;
+                    if *rounds_left == 0 {
+                        if dst.is_some() {
+                            self.smem_inflight.push_back((
+                                now + self.smem_latency,
+                                work.warp_slot,
+                                work.warp_uid,
+                                *dst,
+                            ));
+                        }
+                        pop = true;
+                    }
+                }
+                MemWorkBody::Global { lines, submitted, token, kind } => {
+                    // Each transaction gets its own request id, mapped back
+                    // to the instruction's load group on response.
+                    while *submitted < lines.len() {
+                        let id = ((self.sm_id as u64) << 40) | (self.next_id + 1);
+                        let outcome = mem.try_submit(self.sm_id, id, lines[*submitted], *kind);
+                        if outcome == Submit::Rejected {
+                            break;
+                        }
+                        self.next_id += 1;
+                        if let Some(t) = token {
+                            self.req_to_group.insert(id, *t);
+                            if outcome == Submit::Miss {
+                                let g = self.groups.get_mut(t).expect("group exists");
+                                if !g.missed {
+                                    g.missed = true;
+                                    out.push(LdstEvent::MissObserved {
+                                        warp_slot: g.warp_slot,
+                                        warp_uid: g.warp_uid,
+                                    });
+                                }
+                            }
+                        }
+                        *submitted += 1;
+                    }
+                    if *submitted == lines.len() {
+                        pop = true;
+                    }
+                }
+            }
+        }
+        if pop {
+            self.queue.pop_front();
+        }
+
+        // Drain global responses.
+        while let Some(id) = mem.pop_response(self.sm_id) {
+            let Some(token) = self.req_to_group.remove(&id) else {
+                continue;
+            };
+            let group = self.groups.get_mut(&token).expect("group exists for token");
+            group.remaining -= 1;
+            if group.remaining == 0 {
+                let g = self.groups.remove(&token).expect("present");
+                out.push(LdstEvent::Completed(MemCompletion {
+                    warp_slot: g.warp_slot,
+                    warp_uid: g.warp_uid,
+                    dst: g.dst,
+                    was_global_load: true,
+                    was_long: g.missed,
+                }));
+            }
+        }
+        out
+    }
+
+    /// Whether nothing is queued or in flight in this unit (global
+    /// responses may still be travelling in the memory system itself).
+    pub fn idle(&self) -> bool {
+        self.queue.is_empty() && self.groups.is_empty() && self.smem_inflight.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_mem::MemConfig;
+
+    fn mem() -> MemSystem {
+        MemSystem::new(&MemConfig::default(), 1)
+    }
+
+    #[test]
+    fn shared_load_completes_after_rounds_and_latency() {
+        let mut mem = mem();
+        let mut u = LdstUnit::new(0, 8, 24);
+        u.push_shared(3, 11, 2, Some(Reg(5)));
+        let mut done = Vec::new();
+        let mut finish = None;
+        for now in 0..100 {
+            mem.tick(now);
+            for c in u.tick(now, &mut mem) {
+                finish = Some(now);
+                done.push(c);
+            }
+            if finish.is_some() {
+                break;
+            }
+        }
+        // 2 conflict rounds (cycles 0 and 1) + 24 latency.
+        assert_eq!(finish, Some(1 + 24));
+        assert_eq!(
+            done[0],
+            LdstEvent::Completed(MemCompletion {
+                warp_slot: 3,
+                warp_uid: 11,
+                dst: Some(Reg(5)),
+                was_global_load: false,
+                was_long: false,
+            })
+        );
+        assert!(u.idle());
+    }
+
+    #[test]
+    fn shared_store_frees_queue_without_completion() {
+        let mut mem = mem();
+        let mut u = LdstUnit::new(0, 8, 24);
+        u.push_shared(0, 1, 1, None);
+        mem.tick(0);
+        assert!(u.tick(0, &mut mem).is_empty());
+        assert!(u.idle());
+    }
+
+    #[test]
+    fn global_load_group_waits_for_all_transactions() {
+        let mut mem = mem();
+        let mut u = LdstUnit::new(0, 8, 24);
+        u.push_global(7, 9, vec![10, 20, 30], ReqKind::Load, Some(Reg(1)));
+        let mut misses = 0;
+        let mut completions = Vec::new();
+        for now in 0..5000 {
+            mem.tick(now);
+            for e in u.tick(now, &mut mem) {
+                match e {
+                    LdstEvent::Completed(c) => completions.push(c),
+                    LdstEvent::MissObserved { warp_slot, warp_uid } => {
+                        assert_eq!((warp_slot, warp_uid), (7, 9));
+                        misses += 1;
+                    }
+                }
+            }
+            if !completions.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(misses, 1, "one long-stall notification per instruction");
+        assert_eq!(completions.len(), 1, "one completion for the whole group");
+        assert_eq!(completions[0].warp_slot, 7);
+        assert_eq!(completions[0].dst, Some(Reg(1)));
+        assert!(completions[0].was_global_load);
+        assert!(completions[0].was_long);
+        assert!(u.idle());
+    }
+
+    #[test]
+    fn transactions_respect_l1_port_limit() {
+        let mut mem = mem(); // 1 port/cycle
+        let mut u = LdstUnit::new(0, 8, 24);
+        u.push_global(0, 1, vec![1, 2, 3], ReqKind::Load, Some(Reg(0)));
+        mem.tick(0);
+        u.tick(0, &mut mem);
+        assert_eq!(u.queue_len(), 1, "not fully injected in one cycle");
+        mem.tick(1);
+        u.tick(1, &mut mem);
+        mem.tick(2);
+        u.tick(2, &mut mem);
+        assert_eq!(u.queue_len(), 0, "three cycles for three transactions");
+    }
+
+    #[test]
+    fn in_order_queue_blocks_behind_front() {
+        let mut mem = mem();
+        let mut u = LdstUnit::new(0, 2, 4);
+        u.push_shared(0, 1, 3, None); // 3 rounds
+        u.push_shared(1, 2, 1, None);
+        assert!(!u.has_space());
+        mem.tick(0);
+        u.tick(0, &mut mem);
+        assert_eq!(u.queue_len(), 2, "front still serialising");
+        mem.tick(1);
+        u.tick(1, &mut mem);
+        mem.tick(2);
+        u.tick(2, &mut mem);
+        assert_eq!(u.queue_len(), 1, "front done after 3 rounds");
+        assert!(u.has_space());
+    }
+
+    #[test]
+    fn stores_need_no_group() {
+        let mut mem = mem();
+        let mut u = LdstUnit::new(0, 8, 4);
+        u.push_global(0, 1, vec![5], ReqKind::Store, None);
+        for now in 0..2000 {
+            mem.tick(now);
+            assert!(u.tick(now, &mut mem).is_empty(), "stores emit no events");
+            if u.idle() && mem.quiesced() {
+                break;
+            }
+        }
+        assert!(u.idle());
+        assert!(mem.quiesced());
+    }
+}

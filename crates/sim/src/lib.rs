@@ -1,0 +1,39 @@
+//! # vt-sim — cycle-level GPU timing simulation
+//!
+//! This crate models a Fermi-class GPU at cycle granularity: per-SM warp
+//! schedulers ([`config::SchedPolicy`]), scoreboards
+//! ([`scoreboard::Scoreboard`]), SIMT reconvergence, execution pipelines
+//! with latency classes, shared-memory bank conflicts, an in-order LD/ST
+//! unit ([`ldst::LdstUnit`]) feeding the `vt-mem` hierarchy, CTA barriers,
+//! and — the part the Virtual Thread paper modifies — the **CTA residency
+//! machinery**: admission ([`config::AdmissionPolicy`]), active-slot
+//! management ([`config::ActivePolicy`]) and context switching
+//! ([`config::SwapConfig`]).
+//!
+//! Execution is *functional-at-issue*: instruction semantics run the
+//! moment an instruction issues, while scoreboards, queues, caches and
+//! DRAM decide when results become architecturally visible. Every run is
+//! deterministic and the final memory image can be compared bit-for-bit
+//! against `vt_isa::interp::Interpreter`.
+//!
+//! The public entry point is [`gpu::GpuSim`] (or the [`gpu::simulate`]
+//! convenience function); higher-level architecture selection (Baseline /
+//! VirtualThread / Ideal / MemSwap) lives in the `vt-core` crate.
+
+pub mod config;
+pub mod cta;
+pub mod gpu;
+pub mod ldst;
+pub mod occupancy;
+pub mod scoreboard;
+pub mod sm;
+pub mod stats;
+pub mod warp;
+
+pub use config::{
+    check_launchable, ActivePolicy, AdmissionPolicy, CoreConfig, LaunchError, ResidencyConfig,
+    SchedPolicy, SimConfig, SwapConfig, SwapTrigger,
+};
+pub use gpu::{simulate, GpuSim, RunResult, SimError};
+pub use occupancy::{analyze, Limiter, OccupancyAnalysis};
+pub use stats::RunStats;

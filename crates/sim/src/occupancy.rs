@@ -1,0 +1,220 @@
+//! Static occupancy analysis: how many CTAs fit per SM and which resource
+//! binds — the paper's motivation study (its Figures 1–2).
+
+use crate::config::CoreConfig;
+use serde::{Deserialize, Serialize};
+use vt_isa::Kernel;
+
+/// The resource that limits concurrent CTAs per SM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Limiter {
+    /// CTA slots (scheduling limit).
+    CtaSlots,
+    /// Warp slots / PCs / SIMT stacks (scheduling limit).
+    WarpSlots,
+    /// Register file (capacity limit).
+    Registers,
+    /// Shared memory (capacity limit).
+    SharedMemory,
+    /// Scheduling and capacity limits coincide.
+    Balanced,
+}
+
+impl Limiter {
+    /// Whether this limiter is a scheduling-structure shortage — the class
+    /// of applications Virtual Thread accelerates.
+    pub fn is_scheduling(&self) -> bool {
+        matches!(self, Limiter::CtaSlots | Limiter::WarpSlots)
+    }
+}
+
+impl std::fmt::Display for Limiter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Limiter::CtaSlots => "cta-slots",
+            Limiter::WarpSlots => "warp-slots",
+            Limiter::Registers => "registers",
+            Limiter::SharedMemory => "shared-memory",
+            Limiter::Balanced => "balanced",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Static occupancy of one kernel on one SM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OccupancyAnalysis {
+    /// CTAs allowed by the CTA-slot limit.
+    pub by_cta_slots: u32,
+    /// CTAs allowed by the warp-slot limit.
+    pub by_warp_slots: u32,
+    /// CTAs allowed by the register file.
+    pub by_registers: u32,
+    /// CTAs allowed by shared memory (`u32::MAX` when the kernel uses
+    /// none).
+    pub by_shared_memory: u32,
+    /// Resident CTAs under the baseline (min of all four).
+    pub baseline_ctas: u32,
+    /// Resident CTAs under a capacity-only policy (min of the two
+    /// capacity limits).
+    pub capacity_ctas: u32,
+    /// The binding resource class.
+    pub limiter: Limiter,
+}
+
+impl OccupancyAnalysis {
+    /// How many times more CTAs Virtual Thread can host than the baseline.
+    pub fn virtualization_headroom(&self) -> f64 {
+        if self.baseline_ctas == 0 {
+            return 0.0;
+        }
+        f64::from(self.capacity_ctas) / f64::from(self.baseline_ctas)
+    }
+
+    /// Fraction of the register file the baseline occupancy uses.
+    pub fn baseline_reg_utilization(&self) -> f64 {
+        if self.by_registers == 0 {
+            return 0.0;
+        }
+        f64::from(self.baseline_ctas) / f64::from(self.by_registers)
+    }
+
+    /// Fraction of shared memory the baseline occupancy uses (0 when the
+    /// kernel uses none).
+    pub fn baseline_smem_utilization(&self) -> f64 {
+        if self.by_shared_memory == u32::MAX || self.by_shared_memory == 0 {
+            return 0.0;
+        }
+        f64::from(self.baseline_ctas) / f64::from(self.by_shared_memory)
+    }
+
+    /// Fraction of thread slots the baseline occupancy uses.
+    pub fn baseline_thread_slot_utilization(&self) -> f64 {
+        if self.by_warp_slots == 0 {
+            return 0.0;
+        }
+        f64::from(self.baseline_ctas) / f64::from(self.by_warp_slots)
+    }
+}
+
+/// Computes the static occupancy of `kernel` on `core`.
+pub fn analyze(core: &CoreConfig, kernel: &Kernel) -> OccupancyAnalysis {
+    let wpc = kernel.warps_per_cta().max(1);
+    let by_cta_slots = core.max_ctas_per_sm;
+    let by_warp_slots = core.max_warps_per_sm / wpc;
+    let reg_bytes = kernel.reg_bytes_per_cta().max(1);
+    let by_registers = core.regfile_bytes / reg_bytes;
+    let by_shared_memory = if kernel.smem_bytes_per_cta() == 0 {
+        u32::MAX
+    } else {
+        core.smem_bytes / kernel.smem_bytes_per_cta()
+    };
+    let sched = by_cta_slots.min(by_warp_slots);
+    let cap = by_registers.min(by_shared_memory);
+    let limiter = match sched.cmp(&cap) {
+        std::cmp::Ordering::Less => {
+            if by_cta_slots <= by_warp_slots {
+                Limiter::CtaSlots
+            } else {
+                Limiter::WarpSlots
+            }
+        }
+        std::cmp::Ordering::Greater => {
+            if by_registers <= by_shared_memory {
+                Limiter::Registers
+            } else {
+                Limiter::SharedMemory
+            }
+        }
+        std::cmp::Ordering::Equal => Limiter::Balanced,
+    };
+    OccupancyAnalysis {
+        by_cta_slots,
+        by_warp_slots,
+        by_registers,
+        by_shared_memory,
+        baseline_ctas: sched.min(cap),
+        // `by_registers` is always finite, so the capacity minimum is too.
+        capacity_ctas: cap,
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_isa::KernelBuilder;
+
+    fn kernel(threads: u32, regs: u16, smem: u32) -> Kernel {
+        let mut b = KernelBuilder::new("k");
+        b.pad_regs(regs);
+        b.pad_smem(smem);
+        b.exit();
+        b.build(1, threads).unwrap()
+    }
+
+    #[test]
+    fn small_ctas_are_cta_slot_limited() {
+        let core = CoreConfig::default();
+        // 64 threads, 16 regs, no smem: 8 CTA slots bind long before
+        // 32768/1024 = 32 CTAs of registers.
+        let a = analyze(&core, &kernel(64, 16, 0));
+        assert_eq!(a.by_cta_slots, 8);
+        assert_eq!(a.by_warp_slots, 24);
+        assert_eq!(a.by_registers, 32768 * 4 / (64 * 16 * 4));
+        assert_eq!(a.baseline_ctas, 8);
+        assert_eq!(a.limiter, Limiter::CtaSlots);
+        assert!(a.limiter.is_scheduling());
+        assert!(a.virtualization_headroom() > 2.0);
+    }
+
+    #[test]
+    fn large_ctas_are_warp_slot_limited() {
+        let core = CoreConfig::default();
+        // 512 threads/CTA: 48/16 = 3 CTAs by warps; 8 CTA slots; regs
+        // allow 4 (512*16 regs per CTA → 8192 regs → 32768/8192 = 4).
+        let a = analyze(&core, &kernel(512, 16, 0));
+        assert_eq!(a.by_warp_slots, 3);
+        assert_eq!(a.limiter, Limiter::WarpSlots);
+        assert_eq!(a.baseline_ctas, 3);
+    }
+
+    #[test]
+    fn register_heavy_kernels_are_capacity_limited() {
+        let core = CoreConfig::default();
+        // 256 threads × 42 regs = 10752 regs/CTA → 3 CTAs by registers;
+        // warp slots would allow 6.
+        let a = analyze(&core, &kernel(256, 42, 0));
+        assert_eq!(a.limiter, Limiter::Registers);
+        assert!(!a.limiter.is_scheduling());
+        assert_eq!(a.baseline_ctas, a.capacity_ctas, "VT cannot help");
+        assert!((a.virtualization_headroom() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smem_heavy_kernels_are_capacity_limited() {
+        let core = CoreConfig::default();
+        let a = analyze(&core, &kernel(128, 16, 16 * 1024));
+        assert_eq!(a.by_shared_memory, 3);
+        assert_eq!(a.limiter, Limiter::SharedMemory);
+    }
+
+    #[test]
+    fn balanced_kernels_classify_as_balanced() {
+        let core = CoreConfig::default();
+        // 8 by CTA slots; choose regs so capacity also allows exactly 8:
+        // 32768 regs / 8 = 4096 regs/CTA = 128 threads × 32 regs.
+        let a = analyze(&core, &kernel(128, 32, 0));
+        assert_eq!(a.by_registers, 8);
+        assert_eq!(a.limiter, Limiter::Balanced);
+    }
+
+    #[test]
+    fn utilization_fractions() {
+        let core = CoreConfig::default();
+        let a = analyze(&core, &kernel(64, 16, 0));
+        assert!(a.baseline_reg_utilization() < 0.5, "registers mostly idle");
+        assert_eq!(a.baseline_smem_utilization(), 0.0);
+        assert!(a.baseline_thread_slot_utilization() <= 1.0);
+    }
+}

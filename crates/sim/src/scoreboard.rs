@@ -1,0 +1,135 @@
+//! Per-warp register scoreboard.
+
+use vt_isa::{Instr, Reg};
+
+/// Tracks which destination registers of a warp have results in flight.
+/// Issue is blocked on RAW and WAW hazards against pending registers.
+///
+/// Sized for the ISA's maximum of 256 architectural registers per thread.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Scoreboard {
+    pending: [u64; 4],
+    count: u32,
+}
+
+impl Scoreboard {
+    /// An empty scoreboard.
+    pub fn new() -> Scoreboard {
+        Scoreboard::default()
+    }
+
+    fn slot(reg: Reg) -> (usize, u64) {
+        ((reg.0 / 64) as usize, 1u64 << (reg.0 % 64))
+    }
+
+    /// Marks `reg` as having a result in flight.
+    pub fn set_pending(&mut self, reg: Reg) {
+        let (i, m) = Self::slot(reg);
+        if self.pending[i] & m == 0 {
+            self.pending[i] |= m;
+            self.count += 1;
+        }
+    }
+
+    /// Clears `reg` (its result wrote back).
+    pub fn clear(&mut self, reg: Reg) {
+        let (i, m) = Self::slot(reg);
+        if self.pending[i] & m != 0 {
+            self.pending[i] &= !m;
+            self.count -= 1;
+        }
+    }
+
+    /// Whether `reg` has a result in flight.
+    pub fn is_pending(&self, reg: Reg) -> bool {
+        let (i, m) = Self::slot(reg);
+        self.pending[i] & m != 0
+    }
+
+    /// Number of registers in flight.
+    pub fn pending_count(&self) -> u32 {
+        self.count
+    }
+
+    /// Whether `instr` can issue: none of its sources or its destination
+    /// may be pending.
+    pub fn can_issue(&self, instr: &Instr) -> bool {
+        if self.count == 0 {
+            return true;
+        }
+        if let Some(d) = instr.dst() {
+            if self.is_pending(d) {
+                return false;
+            }
+        }
+        instr
+            .sources_fixed()
+            .into_iter()
+            .flatten()
+            .filter_map(|o| o.reg())
+            .all(|r| !self.is_pending(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_isa::{AluOp, Operand};
+
+    fn add(dst: u16, a: u16, b: u16) -> Instr {
+        Instr::Alu {
+            op: AluOp::Add,
+            dst: Reg(dst),
+            a: Operand::Reg(Reg(a)),
+            b: Operand::Reg(Reg(b)),
+        }
+    }
+
+    #[test]
+    fn set_clear_pending() {
+        let mut s = Scoreboard::new();
+        assert!(!s.is_pending(Reg(5)));
+        s.set_pending(Reg(5));
+        assert!(s.is_pending(Reg(5)));
+        assert_eq!(s.pending_count(), 1);
+        s.set_pending(Reg(5));
+        assert_eq!(s.pending_count(), 1, "idempotent");
+        s.clear(Reg(5));
+        assert!(!s.is_pending(Reg(5)));
+        assert_eq!(s.pending_count(), 0);
+        s.clear(Reg(5));
+        assert_eq!(s.pending_count(), 0, "double clear is safe");
+    }
+
+    #[test]
+    fn raw_hazard_blocks_issue() {
+        let mut s = Scoreboard::new();
+        s.set_pending(Reg(1));
+        assert!(!s.can_issue(&add(3, 1, 2)), "source pending");
+        assert!(s.can_issue(&add(3, 2, 2)));
+    }
+
+    #[test]
+    fn waw_hazard_blocks_issue() {
+        let mut s = Scoreboard::new();
+        s.set_pending(Reg(3));
+        assert!(!s.can_issue(&add(3, 1, 2)), "destination pending");
+    }
+
+    #[test]
+    fn high_register_indices_work() {
+        let mut s = Scoreboard::new();
+        s.set_pending(Reg(200));
+        assert!(s.is_pending(Reg(200)));
+        assert!(!s.is_pending(Reg(201)));
+        assert!(!s.can_issue(&add(0, 200, 0)));
+    }
+
+    #[test]
+    fn barriers_and_branches_always_issue() {
+        let mut s = Scoreboard::new();
+        s.set_pending(Reg(0));
+        assert!(s.can_issue(&Instr::Bar));
+        assert!(s.can_issue(&Instr::Exit));
+    }
+}

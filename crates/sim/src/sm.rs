@@ -1,0 +1,1139 @@
+//! The streaming multiprocessor: warp scheduling, instruction issue,
+//! functional execution, barriers, and the CTA residency / context-switch
+//! machinery at the heart of the Virtual Thread architecture.
+
+use crate::config::{ActivePolicy, AdmissionPolicy, CoreConfig, ResidencyConfig, SwapTrigger};
+use crate::cta::{CtaPhase, CtaRt};
+use crate::ldst::{LdstEvent, LdstUnit};
+use crate::stats::RunStats;
+use crate::warp::WarpRt;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use vt_isa::error::ExecError;
+use vt_isa::exec::{self, ThreadCtx};
+use vt_isa::kernel::MemImage;
+use vt_isa::op::{BranchIf, MemSpace, Operand};
+use vt_isa::{Instr, Kernel, Reg, WARP_SIZE};
+use vt_mem::coalesce::{coalesce, shared_bank_conflicts};
+use vt_mem::{MemSystem, ReqKind};
+
+/// Why a warp cannot issue this cycle; used for scheduling and for the
+/// idle-cycle breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Readiness {
+    Ready,
+    Done,
+    Barrier,
+    /// Scoreboard-blocked while global loads are outstanding.
+    BlockedMem,
+    /// Scoreboard-blocked on short pipeline latencies only.
+    BlockedPipe,
+    /// Structural: LD/ST queue full.
+    LdstFull,
+    /// Structural: SFU initiation interval.
+    SfuBusy,
+}
+
+/// One streaming multiprocessor.
+#[derive(Debug)]
+pub struct Sm {
+    /// This SM's index.
+    pub id: usize,
+    line_bytes: u32,
+    ctas: Vec<CtaRt>,
+    free_cta_slots: Vec<usize>,
+    warps: Vec<WarpRt>,
+    free_warp_slots: Vec<usize>,
+    warp_uids: Vec<u64>,
+
+    // Capacity accounting (resident CTAs).
+    resident_reg_bytes: u32,
+    resident_smem_bytes: u32,
+    resident_warps: u32,
+    resident_ctas: u32,
+    // Scheduling-structure accounting (CTAs holding an active slot,
+    // including mid-swap) and actually schedulable warps.
+    slot_ctas: u32,
+    slot_warps: u32,
+    active_phase_warps: u32,
+    swapping_ctas: u32,
+
+    sched_last: Vec<Option<usize>>,
+    sched_ptr: Vec<usize>,
+    sfu_free_at: u64,
+    ldst: LdstUnit,
+    // (ready cycle, warp slot, reg, warp uid)
+    writebacks: BinaryHeap<Reverse<(u64, usize, u16, u64)>>,
+    issue_list: Vec<usize>,
+    issue_dirty: bool,
+    next_uid: u64,
+    cta_seq: u64,
+    max_simt_depth: usize,
+    /// Thrash-throttle (hill-climber) state: phase-based measurement of
+    /// the issue rate under "rotate" vs "hold".
+    throttle_hold: bool,
+    throttle_window_end: u64,
+    phase_window: u32,
+    phase_accum: u64,
+    phases_since_probe: u32,
+    window_issues: u64,
+    // Issue-rate estimate per mode, scaled by 2^16: [rotate, hold].
+    mode_ipc_est: [Option<u64>; 2],
+}
+
+impl Sm {
+    /// Creates SM `id` under configuration `core`; `line_bytes` is the
+    /// memory system's coalescing segment size.
+    pub fn new(id: usize, core: &CoreConfig, line_bytes: u32) -> Sm {
+        Sm {
+            id,
+            line_bytes,
+            ctas: Vec::new(),
+            free_cta_slots: Vec::new(),
+            warps: Vec::new(),
+            free_warp_slots: Vec::new(),
+            warp_uids: Vec::new(),
+            resident_reg_bytes: 0,
+            resident_smem_bytes: 0,
+            resident_warps: 0,
+            resident_ctas: 0,
+            slot_ctas: 0,
+            slot_warps: 0,
+            active_phase_warps: 0,
+            swapping_ctas: 0,
+            sched_last: vec![None; core.schedulers_per_sm.max(1) as usize],
+            sched_ptr: vec![0; core.schedulers_per_sm.max(1) as usize],
+            sfu_free_at: 0,
+            ldst: LdstUnit::new(id, core.ldst_queue_depth, core.smem_latency),
+            writebacks: BinaryHeap::new(),
+            issue_list: Vec::new(),
+            issue_dirty: true,
+            next_uid: 0,
+            cta_seq: 0,
+            max_simt_depth: 0,
+            throttle_hold: false,
+            throttle_window_end: 0,
+            phase_window: 0,
+            phase_accum: 0,
+            phases_since_probe: 0,
+            window_issues: 0,
+            mode_ipc_est: [None, None],
+        }
+    }
+
+    // ----- admission ------------------------------------------------------
+
+    /// Whether another CTA of `kernel` can become resident under the
+    /// residency policy.
+    pub fn can_admit(&self, kernel: &Kernel, core: &CoreConfig, res: &ResidencyConfig) -> bool {
+        let wpc = kernel.warps_per_cta();
+        if wpc > core.max_warps_per_sm {
+            return false;
+        }
+        // Capacity limit always applies: registers and shared memory are
+        // physically finite.
+        if self.resident_reg_bytes + kernel.reg_bytes_per_cta() > core.regfile_bytes {
+            return false;
+        }
+        if self.resident_smem_bytes + kernel.smem_bytes_per_cta() > core.smem_bytes {
+            return false;
+        }
+        match res.admission {
+            AdmissionPolicy::SchedulingAndCapacity => {
+                self.resident_ctas < core.max_ctas_per_sm
+                    && self.resident_warps + wpc <= core.max_warps_per_sm
+            }
+            AdmissionPolicy::CapacityOnly { max_resident_ctas } => match max_resident_ctas {
+                Some(cap) => self.resident_ctas < cap,
+                None => true,
+            },
+        }
+    }
+
+    /// Makes CTA `cta_id` of `kernel` resident, activating it immediately
+    /// if an active slot is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`Sm::can_admit`] would return false.
+    pub fn admit(
+        &mut self,
+        cta_id: u32,
+        kernel: &Kernel,
+        core: &CoreConfig,
+        res: &ResidencyConfig,
+        now: u64,
+        stats: &mut RunStats,
+    ) {
+        assert!(self.can_admit(kernel, core, res), "admit called without can_admit");
+        let wpc = kernel.warps_per_cta();
+        let nthreads = kernel.threads_per_cta();
+        let cta_slot = match self.free_cta_slots.pop() {
+            Some(s) => s,
+            None => {
+                self.ctas.push(CtaRt {
+                    cta_id: 0,
+                    phase: CtaPhase::Finished,
+                    warps: Vec::new(),
+                    live_warps: 0,
+                    barrier_arrived: 0,
+                    smem: Vec::new(),
+                    reg_bytes: 0,
+                    smem_bytes: 0,
+                    pending_loads: 0,
+                    seq: 0,
+                });
+                self.ctas.len() - 1
+            }
+        };
+        let mut warp_slots = Vec::with_capacity(wpc as usize);
+        for w in 0..wpc {
+            let lanes = (nthreads - w * WARP_SIZE).min(WARP_SIZE);
+            self.next_uid += 1;
+            let warp = WarpRt::new(cta_slot, w, lanes, kernel.regs_per_thread(), self.next_uid);
+            let slot = match self.free_warp_slots.pop() {
+                Some(s) => {
+                    self.warps[s] = warp;
+                    self.warp_uids[s] = self.next_uid;
+                    s
+                }
+                None => {
+                    self.warps.push(warp);
+                    self.warp_uids.push(self.next_uid);
+                    self.warps.len() - 1
+                }
+            };
+            warp_slots.push(slot);
+        }
+        self.cta_seq += 1;
+        let cta = CtaRt {
+            cta_id,
+            phase: CtaPhase::Inactive { has_context: false },
+            warps: warp_slots,
+            live_warps: wpc,
+            barrier_arrived: 0,
+            smem: vec![0u32; (kernel.smem_bytes_per_cta() as usize).div_ceil(4)],
+            reg_bytes: kernel.reg_bytes_per_cta(),
+            smem_bytes: kernel.smem_bytes_per_cta(),
+            pending_loads: 0,
+            seq: self.cta_seq,
+        };
+        self.resident_reg_bytes += cta.reg_bytes;
+        self.resident_smem_bytes += cta.smem_bytes;
+        self.resident_warps += wpc;
+        self.resident_ctas += 1;
+        self.ctas[cta_slot] = cta;
+        self.issue_dirty = true;
+        self.try_activate(now, kernel, core, res, stats);
+    }
+
+    fn active_slot_available(&self, wpc: u32, core: &CoreConfig, res: &ResidencyConfig) -> bool {
+        match res.active {
+            ActivePolicy::Unlimited => true,
+            ActivePolicy::SchedulingLimit => {
+                self.slot_ctas < core.max_ctas_per_sm
+                    && self.slot_warps + wpc <= core.max_warps_per_sm
+            }
+        }
+    }
+
+    /// Whether an inactive CTA could make forward progress if activated.
+    fn cta_ready(&self, cta: &CtaRt) -> bool {
+        match cta.phase {
+            CtaPhase::Inactive { has_context: false } => true,
+            CtaPhase::Inactive { has_context: true } => cta.warps.iter().any(|&w| {
+                let warp = &self.warps[w];
+                !warp.done && !warp.waiting_barrier && warp.pending_loads == 0
+            }),
+            _ => false,
+        }
+    }
+
+    /// Activates ready inactive CTAs while active slots are available.
+    fn try_activate(
+        &mut self,
+        now: u64,
+        kernel: &Kernel,
+        core: &CoreConfig,
+        res: &ResidencyConfig,
+        stats: &mut RunStats,
+    ) {
+        let wpc = kernel.warps_per_cta();
+        loop {
+            if !self.active_slot_available(wpc, core, res) {
+                return;
+            }
+            // Oldest ready CTA first: partially-run CTAs drain capacity
+            // sooner, fresh CTAs keep the pipeline fed.
+            let candidate = self
+                .ctas
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| self.cta_ready(c))
+                .min_by_key(|(_, c)| c.seq)
+                .map(|(i, c)| (i, matches!(c.phase, CtaPhase::Inactive { has_context: true })));
+            let Some((slot, has_context)) = candidate else { return };
+            let n_warps = self.ctas[slot].warps.len() as u32;
+            self.slot_ctas += 1;
+            self.slot_warps += n_warps;
+            match res.swap {
+                Some(swap) => {
+                    let cost = if has_context {
+                        stats.swaps.swaps_in += 1;
+                        u64::from(swap.restore_cycles)
+                    } else {
+                        stats.swaps.fresh_activations += 1;
+                        u64::from(swap.fresh_activation_cycles)
+                    };
+                    if cost == 0 {
+                        self.finish_activation(slot);
+                    } else {
+                        self.ctas[slot].phase = CtaPhase::SwappingIn { done_at: now + cost };
+                        self.swapping_ctas += 1;
+                    }
+                }
+                None => {
+                    if has_context {
+                        stats.swaps.swaps_in += 1;
+                    } else {
+                        stats.swaps.fresh_activations += 1;
+                    }
+                    self.finish_activation(slot);
+                }
+            }
+        }
+    }
+
+    fn finish_activation(&mut self, slot: usize) {
+        self.ctas[slot].phase = CtaPhase::Active;
+        self.active_phase_warps += self.ctas[slot].warps.len() as u32;
+        self.issue_dirty = true;
+    }
+
+    /// Completes timed swap transitions and evaluates the swap trigger.
+    fn update_residency(
+        &mut self,
+        now: u64,
+        kernel: &Kernel,
+        core: &CoreConfig,
+        res: &ResidencyConfig,
+        _mem: &mut MemSystem,
+        stats: &mut RunStats,
+    ) {
+        let Some(swap) = res.swap else {
+            // No swapping: still activate parked CTAs when slots free up
+            // (e.g. after a CTA finished).
+            if self.issue_dirty {
+                self.try_activate(now, kernel, core, res, stats);
+            }
+            return;
+        };
+
+        // 1. Complete in-flight transitions.
+        for slot in 0..self.ctas.len() {
+            match self.ctas[slot].phase {
+                CtaPhase::SwappingOut { done_at } if done_at <= now => {
+                    // The slot was already released when the save started.
+                    self.ctas[slot].phase = CtaPhase::Inactive { has_context: true };
+                    self.swapping_ctas -= 1;
+                }
+                CtaPhase::SwappingIn { done_at } if done_at <= now => {
+                    self.swapping_ctas -= 1;
+                    self.finish_activation(slot);
+                }
+                _ => {}
+            }
+        }
+
+        // 2. Fill any free active slots with ready CTAs.
+        self.try_activate(now, kernel, core, res, stats);
+
+        // 3. Thrash feedback: hill-climb between "rotate" (normal VT) and
+        //    "hold" (stable active set) on the measured issue rate.
+        if let Some(th) = swap.throttle {
+            if now >= self.throttle_window_end {
+                let window = u64::from(th.window_cycles.max(1));
+                let phase_len = th.phase_windows.max(2);
+                if self.throttle_window_end > 0 {
+                    // The first window of a phase inherits the previous
+                    // mode's stall pattern; record the rest.
+                    if self.phase_window >= 1 {
+                        self.phase_accum += (self.window_issues << 16) / window;
+                    }
+                    self.phase_window += 1;
+                    if self.phase_window >= phase_len {
+                        let measured = self.phase_accum / u64::from(phase_len - 1);
+                        let slot = usize::from(self.throttle_hold);
+                        // Light EWMA so one noisy phase cannot flip modes
+                        // permanently.
+                        self.mode_ipc_est[slot] =
+                            Some(self.mode_ipc_est[slot].map_or(measured, |old| (old + measured) / 2));
+                        self.phase_accum = 0;
+                        self.phase_window = 0;
+                        self.phases_since_probe += 1;
+                        self.throttle_hold = match (self.mode_ipc_est[0], self.mode_ipc_est[1]) {
+                            (None, _) => false,
+                            (Some(_), None) => true,
+                            (Some(rotate), Some(hold)) => {
+                                // Hysteresis: rotation is the architecture's
+                                // default; holding must win by a clear margin.
+                                let hold_wins = hold > rotate + rotate / 8;
+                                if self.phases_since_probe >= th.probe_every_phases.max(2) {
+                                    self.phases_since_probe = 0;
+                                    !hold_wins // re-probe the loser
+                                } else {
+                                    hold_wins
+                                }
+                            }
+                        };
+                    }
+                }
+                self.window_issues = 0;
+                self.throttle_window_end = now + window;
+            }
+            if self.throttle_hold {
+                return;
+            }
+        }
+
+        // 4. Trigger: swap out stalled active CTAs, one per ready
+        //    replacement waiting in the inactive pool.
+        if swap.trigger == SwapTrigger::Never {
+            return;
+        }
+        let mut ready_replacements = self
+            .ctas
+            .iter()
+            .filter(|c| self.cta_ready(c))
+            .count();
+        if ready_replacements == 0 {
+            return;
+        }
+        let mut swapped_any = false;
+        for slot in 0..self.ctas.len() {
+            if ready_replacements == 0 {
+                break;
+            }
+            if self.ctas[slot].phase != CtaPhase::Active {
+                continue;
+            }
+            if self.swap_trigger_met(slot, swap.trigger, kernel) {
+                let n_warps = self.ctas[slot].warps.len() as u32;
+                self.ctas[slot].phase =
+                    CtaPhase::SwappingOut { done_at: now + u64::from(swap.save_cycles) };
+                // Release the slot immediately: the incoming CTA's restore
+                // overlaps with this save through the context buffer.
+                self.slot_ctas -= 1;
+                self.slot_warps -= n_warps;
+                self.active_phase_warps -= n_warps;
+                self.swapping_ctas += 1;
+                self.issue_dirty = true;
+                stats.swaps.swaps_out += 1;
+                ready_replacements -= 1;
+                swapped_any = true;
+            }
+        }
+        if swapped_any {
+            // Refill the freed slots in the same cycle (overlapped swap).
+            self.try_activate(now, kernel, core, res, stats);
+        }
+    }
+
+    fn swap_trigger_met(&self, cta_slot: usize, trigger: SwapTrigger, kernel: &Kernel) -> bool {
+        let cta = &self.ctas[cta_slot];
+        let mut any_mem_stalled = false;
+        let mut all_stalled = true;
+        for &wslot in &cta.warps {
+            let w = &self.warps[wslot];
+            if w.done {
+                continue;
+            }
+            if w.waiting_barrier {
+                continue; // stalled, but not the memory kind
+            }
+            // Only *long-latency* stalls (L1 misses in flight) qualify;
+            // a warp waiting out an L1 hit will resume within ~20 cycles
+            // and swapping for it would thrash.
+            let blocked_on_mem = w.long_pending_loads > 0
+                && !w.scoreboard.can_issue(kernel.program().fetch(w.stack.pc()));
+            if blocked_on_mem {
+                any_mem_stalled = true;
+            } else {
+                all_stalled = false;
+            }
+        }
+        match trigger {
+            SwapTrigger::AllWarpsStalled => any_mem_stalled && all_stalled,
+            SwapTrigger::AnyWarpStalled => any_mem_stalled,
+            SwapTrigger::Never => false,
+        }
+    }
+
+    // ----- per-cycle operation --------------------------------------------
+
+    /// Advances the SM one cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if a warp traps (out-of-range or unaligned
+    /// access).
+    #[allow(clippy::too_many_arguments)]
+    pub fn tick(
+        &mut self,
+        now: u64,
+        kernel: &Kernel,
+        core: &CoreConfig,
+        res: &ResidencyConfig,
+        mem: &mut MemSystem,
+        image: &mut MemImage,
+        stats: &mut RunStats,
+    ) -> Result<(), ExecError> {
+        // 1. Short-latency writebacks.
+        while let Some(&Reverse((ready, wslot, reg, uid))) = self.writebacks.peek() {
+            if ready > now {
+                break;
+            }
+            self.writebacks.pop();
+            if self.warp_uids[wslot] == uid {
+                self.warps[wslot].scoreboard.clear(Reg(reg));
+            }
+        }
+
+        // 2. Memory events (shared latency, global responses, long-stall
+        //    notifications). Events may outlive their CTA — a warp can
+        //    exit with loads in flight — so uids filter stale records.
+        for event in self.ldst.tick(now, mem) {
+            match event {
+                LdstEvent::Completed(c) => {
+                    if self.warp_uids[c.warp_slot] != c.warp_uid {
+                        continue;
+                    }
+                    let w = &mut self.warps[c.warp_slot];
+                    if let Some(dst) = c.dst {
+                        w.scoreboard.clear(dst);
+                    }
+                    if c.was_global_load {
+                        w.pending_loads -= 1;
+                        if c.was_long {
+                            w.long_pending_loads -= 1;
+                        }
+                        let cta = &mut self.ctas[w.cta_slot];
+                        cta.pending_loads -= 1;
+                    }
+                }
+                LdstEvent::MissObserved { warp_slot, warp_uid } => {
+                    if self.warp_uids[warp_slot] == warp_uid {
+                        self.warps[warp_slot].long_pending_loads += 1;
+                    }
+                }
+            }
+        }
+
+        // 3. CTA residency: swap completions, trigger, activations.
+        self.update_residency(now, kernel, core, res, mem, stats);
+
+        // 4. Issue.
+        if self.issue_dirty {
+            self.rebuild_issue_list();
+        }
+        let schedulers = self.sched_last.len();
+        let mut issued = 0u32;
+        for s in 0..schedulers {
+            if let Some(wslot) = self.pick_warp(s, now, kernel, core) {
+                self.issue_warp(wslot, now, kernel, core, res, image, stats)?;
+                self.sched_last[s] = Some(wslot);
+                issued += 1;
+            }
+        }
+
+        self.window_issues += u64::from(issued);
+
+        // 5. Stats.
+        self.accumulate_stats(now, issued, kernel, stats);
+        Ok(())
+    }
+
+    fn rebuild_issue_list(&mut self) {
+        self.issue_list.clear();
+        for cta in &self.ctas {
+            if cta.is_active() {
+                for &w in &cta.warps {
+                    if !self.warps[w].done {
+                        self.issue_list.push(w);
+                    }
+                }
+            }
+        }
+        // Age order gives the GTO scheduler its "oldest" notion and makes
+        // LRR rotation deterministic.
+        let warps = &self.warps;
+        self.issue_list.sort_by_key(|&w| warps[w].age);
+        self.issue_dirty = false;
+    }
+
+    fn readiness(&self, wslot: usize, now: u64, kernel: &Kernel) -> Readiness {
+        let w = &self.warps[wslot];
+        if w.done {
+            return Readiness::Done;
+        }
+        if w.waiting_barrier {
+            return Readiness::Barrier;
+        }
+        let instr = kernel.program().fetch(w.stack.pc());
+        if !w.scoreboard.can_issue(instr) {
+            return if w.pending_loads > 0 {
+                Readiness::BlockedMem
+            } else {
+                Readiness::BlockedPipe
+            };
+        }
+        if instr.is_mem() && !self.ldst.has_space() {
+            return Readiness::LdstFull;
+        }
+        if matches!(instr, Instr::Sfu { .. }) && now < self.sfu_free_at {
+            return Readiness::SfuBusy;
+        }
+        Readiness::Ready
+    }
+
+    /// Picks a warp for scheduler `s` (warps are statically partitioned
+    /// across schedulers by slot index). Allocation-free: this runs once
+    /// per scheduler per cycle.
+    fn pick_warp(&mut self, s: usize, now: u64, kernel: &Kernel, core: &CoreConfig) -> Option<usize> {
+        let schedulers = self.sched_last.len();
+        let in_partition = |w: usize| w % schedulers == s;
+        match core.scheduler {
+            crate::config::SchedPolicy::Gto => {
+                if let Some(last) = self.sched_last[s] {
+                    if in_partition(last)
+                        && self.issue_list.contains(&last)
+                        && self.readiness(last, now, kernel) == Readiness::Ready
+                    {
+                        return Some(last);
+                    }
+                }
+                // Oldest ready: the issue list is already age-sorted.
+                self.issue_list
+                    .iter()
+                    .copied()
+                    .filter(|&w| in_partition(w))
+                    .find(|&w| self.readiness(w, now, kernel) == Readiness::Ready)
+            }
+            crate::config::SchedPolicy::Lrr => {
+                let n = self.issue_list.iter().filter(|&&w| in_partition(w)).count();
+                if n == 0 {
+                    return None;
+                }
+                let start = self.sched_ptr[s] % n;
+                // Rotate through the partition: positions start.. then 0..start.
+                let mut pick = None;
+                for round in 0..2 {
+                    let mut idx = 0;
+                    for &w in &self.issue_list {
+                        if !in_partition(w) {
+                            continue;
+                        }
+                        let in_range =
+                            if round == 0 { idx >= start } else { idx < start };
+                        if in_range && self.readiness(w, now, kernel) == Readiness::Ready {
+                            pick = Some((idx, w));
+                            break;
+                        }
+                        idx += 1;
+                    }
+                    if pick.is_some() {
+                        break;
+                    }
+                }
+                let (pos, w) = pick?;
+                self.sched_ptr[s] = (pos + 1) % n;
+                Some(w)
+            }
+        }
+    }
+
+    // ----- instruction execution --------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn issue_warp(
+        &mut self,
+        wslot: usize,
+        now: u64,
+        kernel: &Kernel,
+        core: &CoreConfig,
+        res: &ResidencyConfig,
+        image: &mut MemImage,
+        stats: &mut RunStats,
+    ) -> Result<(), ExecError> {
+        let instr = *kernel.program().fetch(self.warps[wslot].stack.pc());
+        let mask = self.warps[wslot].stack.active_mask();
+        stats.warp_instrs += 1;
+        stats.thread_instrs += u64::from(mask.count_ones());
+
+        match instr {
+            Instr::Alu { op, dst, a, b } => {
+                self.exec_lanes(wslot, kernel, mask, |regs, ctx| {
+                    let va = exec::resolve(a, regs, ctx);
+                    let vb = exec::resolve(b, regs, ctx);
+                    Some((dst, exec::eval_alu(op, va, vb)))
+                });
+                self.retire_alu(wslot, dst, now + u64::from(core.alu_latency));
+                self.advance(wslot);
+            }
+            Instr::Mad { dst, a, b, c } => {
+                self.exec_lanes(wslot, kernel, mask, |regs, ctx| {
+                    let (va, vb, vc) =
+                        (exec::resolve(a, regs, ctx), exec::resolve(b, regs, ctx), exec::resolve(c, regs, ctx));
+                    Some((dst, exec::eval_mad(va, vb, vc)))
+                });
+                self.retire_alu(wslot, dst, now + u64::from(core.alu_latency));
+                self.advance(wslot);
+            }
+            Instr::Ffma { dst, a, b, c } => {
+                self.exec_lanes(wslot, kernel, mask, |regs, ctx| {
+                    let (va, vb, vc) =
+                        (exec::resolve(a, regs, ctx), exec::resolve(b, regs, ctx), exec::resolve(c, regs, ctx));
+                    Some((dst, exec::eval_ffma(va, vb, vc)))
+                });
+                self.retire_alu(wslot, dst, now + u64::from(core.alu_latency));
+                self.advance(wslot);
+            }
+            Instr::Sfu { op, dst, a } => {
+                self.exec_lanes(wslot, kernel, mask, |regs, ctx| {
+                    Some((dst, exec::eval_sfu(op, exec::resolve(a, regs, ctx))))
+                });
+                self.retire_alu(wslot, dst, now + u64::from(core.sfu_latency));
+                self.sfu_free_at = now + u64::from(core.sfu_init_interval);
+                self.advance(wslot);
+            }
+            Instr::Ld { space, dst, addr, offset } => {
+                self.exec_mem(wslot, kernel, core, mask, space, addr, offset, MemOp::Load { dst }, image)?;
+                self.advance(wslot);
+            }
+            Instr::St { space, addr, offset, src } => {
+                self.exec_mem(wslot, kernel, core, mask, space, addr, offset, MemOp::Store { src }, image)?;
+                self.advance(wslot);
+            }
+            Instr::Atom { op, dst, addr, offset, val } => {
+                self.exec_mem(
+                    wslot,
+                    kernel,
+                    core,
+                    mask,
+                    MemSpace::Global,
+                    addr,
+                    offset,
+                    MemOp::Atomic { op, dst, val },
+                    image,
+                )?;
+                self.advance(wslot);
+            }
+            Instr::Bar => {
+                stats.barriers += 1;
+                self.warps[wslot].waiting_barrier = true;
+                self.warps[wslot].stack.advance();
+                let cta_slot = self.warps[wslot].cta_slot;
+                self.ctas[cta_slot].barrier_arrived += 1;
+                self.check_barrier_release(cta_slot);
+                self.issue_dirty = true;
+            }
+            Instr::Bra { target } => {
+                self.warps[wslot].stack.jump(target);
+                self.check_done(wslot, kernel, core, res, now, stats);
+            }
+            Instr::BraCond { pred, when, target, reconv } => {
+                let mut taken = 0u32;
+                {
+                    let w = &self.warps[wslot];
+                    let mut m = mask;
+                    while m != 0 {
+                        let lane = m.trailing_zeros();
+                        m &= m - 1;
+                        let ctx = thread_ctx(w, lane, kernel, &self.ctas);
+                        let v = exec::resolve(pred, w.lane_regs(lane), &ctx);
+                        let t = match when {
+                            BranchIf::NonZero => v != 0,
+                            BranchIf::Zero => v == 0,
+                        };
+                        if t {
+                            taken |= 1 << lane;
+                        }
+                    }
+                }
+                if self.warps[wslot].stack.branch(taken, target, reconv) {
+                    stats.divergent_branches += 1;
+                }
+            }
+            Instr::Exit => {
+                self.warps[wslot].stack.exit();
+                self.check_done(wslot, kernel, core, res, now, stats);
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `f` over every active lane, writing its result register.
+    fn exec_lanes(
+        &mut self,
+        wslot: usize,
+        kernel: &Kernel,
+        mask: u32,
+        mut f: impl FnMut(&[u32], &ThreadCtx) -> Option<(Reg, u32)>,
+    ) {
+        let ctas = &self.ctas;
+        let w = &mut self.warps[wslot];
+        let mut m = mask;
+        while m != 0 {
+            let lane = m.trailing_zeros();
+            m &= m - 1;
+            let ctx = thread_ctx(w, lane, kernel, ctas);
+            if let Some((dst, v)) = f(w.lane_regs(lane), &ctx) {
+                w.set_reg(lane, dst.0, v);
+            }
+        }
+    }
+
+    fn retire_alu(&mut self, wslot: usize, dst: Reg, ready: u64) {
+        self.warps[wslot].scoreboard.set_pending(dst);
+        self.writebacks.push(Reverse((ready, wslot, dst.0, self.warp_uids[wslot])));
+    }
+
+    fn advance(&mut self, wslot: usize) {
+        self.warps[wslot].stack.advance();
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_mem(
+        &mut self,
+        wslot: usize,
+        kernel: &Kernel,
+        core: &CoreConfig,
+        mask: u32,
+        space: MemSpace,
+        addr: Operand,
+        offset: i32,
+        op: MemOp,
+        image: &mut MemImage,
+    ) -> Result<(), ExecError> {
+        // Compute lane addresses and apply functional effects now; the
+        // LD/ST unit and memory system model only the timing.
+        let mut addrs = [0u32; WARP_SIZE as usize];
+        {
+            let (warps, ctas) = (&mut self.warps, &mut self.ctas);
+            let w = &mut warps[wslot];
+            let cta = &mut ctas[w.cta_slot];
+            let mut m = mask;
+            while m != 0 {
+                let lane = m.trailing_zeros();
+                m &= m - 1;
+                let ctx = ThreadCtx {
+                    tid: w.first_tid + lane,
+                    ctaid: cta.cta_id,
+                    ntid: kernel.threads_per_cta(),
+                    ncta: kernel.num_ctas(),
+                };
+                let a = exec::resolve(addr, w.lane_regs(lane), &ctx).wrapping_add(offset as u32);
+                if !a.is_multiple_of(4) {
+                    return Err(ExecError::Unaligned { addr: a });
+                }
+                addrs[lane as usize] = a;
+                match op {
+                    MemOp::Load { dst } => {
+                        let v = match space {
+                            MemSpace::Global => {
+                                image.load(a).ok_or(ExecError::GlobalOutOfRange { addr: a })?
+                            }
+                            MemSpace::Shared => *cta
+                                .smem
+                                .get((a / 4) as usize)
+                                .ok_or(ExecError::SharedOutOfRange { addr: a })?,
+                        };
+                        w.set_reg(lane, dst.0, v);
+                    }
+                    MemOp::Store { src } => {
+                        let v = exec::resolve(src, w.lane_regs(lane), &ctx);
+                        match space {
+                            MemSpace::Global => {
+                                if !image.store(a, v) {
+                                    return Err(ExecError::GlobalOutOfRange { addr: a });
+                                }
+                            }
+                            MemSpace::Shared => {
+                                let word = cta
+                                    .smem
+                                    .get_mut((a / 4) as usize)
+                                    .ok_or(ExecError::SharedOutOfRange { addr: a })?;
+                                *word = v;
+                            }
+                        }
+                    }
+                    MemOp::Atomic { op, dst, val } => {
+                        let v = exec::resolve(val, w.lane_regs(lane), &ctx);
+                        let old = image.load(a).ok_or(ExecError::GlobalOutOfRange { addr: a })?;
+                        let new = exec::eval_atom(op, old, v);
+                        image.store(a, new);
+                        if let Some(d) = dst {
+                            w.set_reg(lane, d.0, old);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Timing side.
+        match space {
+            MemSpace::Shared => {
+                let rounds = shared_bank_conflicts(&addrs, mask, core.smem_banks);
+                let dst = match op {
+                    MemOp::Load { dst } => {
+                        self.warps[wslot].scoreboard.set_pending(dst);
+                        Some(dst)
+                    }
+                    _ => None,
+                };
+                self.ldst.push_shared(wslot, self.warp_uids[wslot], rounds, dst);
+            }
+            MemSpace::Global => {
+                let txs = coalesce(&addrs, mask, self.line_bytes);
+                let lines: Vec<u64> = txs.iter().map(|t| t.line_addr).collect();
+                match op {
+                    MemOp::Load { dst } => {
+                        self.warps[wslot].scoreboard.set_pending(dst);
+                        self.warps[wslot].pending_loads += 1;
+                        let cta_slot = self.warps[wslot].cta_slot;
+                        self.ctas[cta_slot].pending_loads += 1;
+                        self.ldst.push_global(
+                            wslot,
+                            self.warp_uids[wslot],
+                            lines,
+                            ReqKind::Load,
+                            Some(dst),
+                        );
+                    }
+                    MemOp::Store { .. } => {
+                        self.ldst.push_global(
+                            wslot,
+                            self.warp_uids[wslot],
+                            lines,
+                            ReqKind::Store,
+                            None,
+                        );
+                    }
+                    MemOp::Atomic { dst, .. } => {
+                        if let Some(d) = dst {
+                            self.warps[wslot].scoreboard.set_pending(d);
+                        }
+                        self.warps[wslot].pending_loads += 1;
+                        let cta_slot = self.warps[wslot].cta_slot;
+                        self.ctas[cta_slot].pending_loads += 1;
+                        self.ldst.push_global(
+                            wslot,
+                            self.warp_uids[wslot],
+                            lines,
+                            ReqKind::Atomic,
+                            dst,
+                        );
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_barrier_release(&mut self, cta_slot: usize) {
+        let cta = &mut self.ctas[cta_slot];
+        if cta.live_warps > 0 && cta.barrier_arrived >= cta.live_warps {
+            cta.barrier_arrived = 0;
+            for &w in &cta.warps.clone() {
+                self.warps[w].waiting_barrier = false;
+            }
+            self.issue_dirty = true;
+        }
+    }
+
+    fn check_done(
+        &mut self,
+        wslot: usize,
+        kernel: &Kernel,
+        core: &CoreConfig,
+        res: &ResidencyConfig,
+        now: u64,
+        stats: &mut RunStats,
+    ) {
+        if !self.warps[wslot].stack.is_done() || self.warps[wslot].done {
+            return;
+        }
+        self.warps[wslot].done = true;
+        self.max_simt_depth = self.max_simt_depth.max(self.warps[wslot].stack.max_depth());
+        let cta_slot = self.warps[wslot].cta_slot;
+        self.ctas[cta_slot].live_warps -= 1;
+        self.issue_dirty = true;
+        if self.ctas[cta_slot].live_warps == 0 {
+            self.finish_cta(cta_slot, kernel, core, res, now, stats);
+        } else {
+            // Remaining warps may all be at the barrier now.
+            self.check_barrier_release(cta_slot);
+        }
+    }
+
+    fn finish_cta(
+        &mut self,
+        cta_slot: usize,
+        kernel: &Kernel,
+        core: &CoreConfig,
+        res: &ResidencyConfig,
+        now: u64,
+        stats: &mut RunStats,
+    ) {
+        let n_warps = self.ctas[cta_slot].warps.len() as u32;
+        if self.ctas[cta_slot].holds_active_slot() {
+            self.slot_ctas -= 1;
+            self.slot_warps -= n_warps;
+            if self.ctas[cta_slot].is_active() {
+                self.active_phase_warps -= n_warps;
+            } else {
+                self.swapping_ctas -= 1; // SwappingIn
+            }
+        } else {
+            // Only Active CTAs issue, so a CTA cannot finish mid-swap.
+            debug_assert!(
+                !matches!(self.ctas[cta_slot].phase, CtaPhase::SwappingOut { .. }),
+                "CTA finished while swapping out"
+            );
+        }
+        self.resident_reg_bytes -= self.ctas[cta_slot].reg_bytes;
+        self.resident_smem_bytes -= self.ctas[cta_slot].smem_bytes;
+        self.resident_warps -= n_warps;
+        self.resident_ctas -= 1;
+        for &w in &self.ctas[cta_slot].warps.clone() {
+            // Invalidate the slot's uid so in-flight completions and
+            // writebacks for this warp are dropped.
+            self.warp_uids[w] = 0;
+            self.free_warp_slots.push(w);
+        }
+        self.ctas[cta_slot].phase = CtaPhase::Finished;
+        self.ctas[cta_slot].warps.clear();
+        self.free_cta_slots.push(cta_slot);
+        self.issue_dirty = true;
+        stats.ctas_completed += 1;
+        // A slot freed: a parked CTA may activate.
+        self.try_activate(now, kernel, core, res, stats);
+    }
+
+    // ----- stats -------------------------------------------------------------
+
+    fn accumulate_stats(&self, now: u64, issued: u32, kernel: &Kernel, stats: &mut RunStats) {
+        let occ = &mut stats.occupancy;
+        occ.sm_cycles += 1;
+        occ.resident_warp_cycles += u64::from(self.resident_warps);
+        occ.active_warp_cycles += u64::from(self.active_phase_warps);
+        occ.resident_cta_cycles += u64::from(self.resident_ctas);
+        occ.active_cta_cycles += u64::from(self.slot_ctas);
+        occ.reg_byte_cycles += u64::from(self.resident_reg_bytes);
+        occ.smem_byte_cycles += u64::from(self.resident_smem_bytes);
+        if self.swapping_ctas > 0 {
+            stats.swaps.swap_busy_cycles += 1;
+        }
+        if issued > 0 {
+            return;
+        }
+        // Idle cycle: classify.
+        let idle = &mut stats.idle;
+        if self.resident_warps == 0 {
+            idle.no_warps += 1;
+            return;
+        }
+        if self.active_phase_warps == 0 {
+            if self.swapping_ctas > 0 {
+                idle.swapping += 1;
+            } else {
+                // Everything resident is inactive and waiting on memory.
+                idle.memory += 1;
+            }
+            return;
+        }
+        let (mut mem_b, mut pipe_b, mut barrier_b) = (false, false, false);
+        let mut all_barrier = true;
+        for &w in &self.issue_list {
+            match self.readiness(w, now, kernel) {
+                Readiness::BlockedMem => {
+                    mem_b = true;
+                    all_barrier = false;
+                }
+                Readiness::BlockedPipe => {
+                    pipe_b = true;
+                    all_barrier = false;
+                }
+                Readiness::Barrier => barrier_b = true,
+                Readiness::Done => {}
+                // LD/ST queue or SFU structural hazards, and ready warps
+                // a scheduler partition could not reach, fall through to
+                // the `other` bucket below.
+                Readiness::LdstFull | Readiness::SfuBusy | Readiness::Ready => {
+                    all_barrier = false;
+                }
+            }
+        }
+        if mem_b {
+            idle.memory += 1;
+        } else if barrier_b && all_barrier {
+            idle.barrier += 1;
+        } else if pipe_b {
+            idle.pipeline += 1;
+        } else {
+            // Structural hazards (LD/ST queue, SFU interval, scheduler
+            // partition imbalance) and anything unclassified.
+            idle.other += 1;
+        }
+    }
+
+    // ----- introspection -------------------------------------------------------
+
+    /// Whether the SM holds no CTAs and has no local work in flight.
+    pub fn idle(&self) -> bool {
+        self.resident_ctas == 0 && self.ldst.idle() && self.writebacks.is_empty()
+    }
+
+    /// Resident CTAs right now.
+    pub fn resident_ctas(&self) -> u32 {
+        self.resident_ctas
+    }
+
+    /// Resident warps right now.
+    pub fn resident_warps(&self) -> u32 {
+        self.resident_warps
+    }
+
+    /// Schedulable (active-phase) warps right now.
+    pub fn active_warps(&self) -> u32 {
+        self.active_phase_warps
+    }
+
+    /// CTAs holding active slots right now.
+    pub fn slot_ctas(&self) -> u32 {
+        self.slot_ctas
+    }
+
+    /// Deepest SIMT stack seen on this SM so far.
+    pub fn max_simt_depth(&self) -> usize {
+        self.max_simt_depth
+    }
+}
+
+/// Memory micro-op discriminant used by `exec_mem`.
+#[derive(Debug, Clone, Copy)]
+enum MemOp {
+    Load { dst: Reg },
+    Store { src: Operand },
+    Atomic { op: vt_isa::AtomOp, dst: Option<Reg>, val: Operand },
+}
+
+fn thread_ctx(w: &WarpRt, lane: u32, kernel: &Kernel, ctas: &[CtaRt]) -> ThreadCtx {
+    ThreadCtx {
+        tid: w.first_tid + lane,
+        ctaid: ctas[w.cta_slot].cta_id,
+        ntid: kernel.threads_per_cta(),
+        ncta: kernel.num_ctas(),
+    }
+}
+

@@ -1,0 +1,261 @@
+//! Run statistics: performance, occupancy, stall breakdown and swap
+//! activity — everything the paper's figures are built from.
+
+use serde::{Deserialize, Serialize};
+use vt_mem::MemStats;
+
+/// Why an SM issued nothing in a cycle. One bucket is charged per SM-cycle
+/// with zero issues; the buckets are mutually exclusive by the listed
+/// precedence.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IdleBreakdown {
+    /// No warp resident at all (SM drained near kernel end or start).
+    pub no_warps: u64,
+    /// Every otherwise-ready warp was blocked waiting for a global-memory
+    /// result — the stall VT attacks.
+    pub memory: u64,
+    /// Blocked on short ALU/SFU dependencies (scoreboard, no memory
+    /// involvement).
+    pub pipeline: u64,
+    /// All unfinished warps were waiting at a barrier.
+    pub barrier: u64,
+    /// Active CTAs were mid context switch.
+    pub swapping: u64,
+    /// Anything else (e.g. LD/ST queue back-pressure).
+    pub other: u64,
+}
+
+impl IdleBreakdown {
+    /// Total idle SM-cycles.
+    pub fn total(&self) -> u64 {
+        self.no_warps + self.memory + self.pipeline + self.barrier + self.swapping + self.other
+    }
+
+    /// Adds another breakdown into this one.
+    pub fn merge(&mut self, o: &IdleBreakdown) {
+        self.no_warps += o.no_warps;
+        self.memory += o.memory;
+        self.pipeline += o.pipeline;
+        self.barrier += o.barrier;
+        self.swapping += o.swapping;
+        self.other += o.other;
+    }
+}
+
+/// Time-integrated resource occupancy, accumulated once per SM-cycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OccupancyAccum {
+    /// Σ resident warps over SM-cycles.
+    pub resident_warp_cycles: u64,
+    /// Σ active (schedulable) warps over SM-cycles.
+    pub active_warp_cycles: u64,
+    /// Σ resident CTAs over SM-cycles.
+    pub resident_cta_cycles: u64,
+    /// Σ active CTAs over SM-cycles.
+    pub active_cta_cycles: u64,
+    /// Σ allocated register bytes over SM-cycles.
+    pub reg_byte_cycles: u64,
+    /// Σ allocated shared-memory bytes over SM-cycles.
+    pub smem_byte_cycles: u64,
+    /// SM-cycles accumulated (num_sms × cycles).
+    pub sm_cycles: u64,
+}
+
+impl OccupancyAccum {
+    /// Mean resident warps per SM.
+    pub fn avg_resident_warps(&self) -> f64 {
+        ratio(self.resident_warp_cycles, self.sm_cycles)
+    }
+
+    /// Mean active warps per SM.
+    pub fn avg_active_warps(&self) -> f64 {
+        ratio(self.active_warp_cycles, self.sm_cycles)
+    }
+
+    /// Mean resident CTAs per SM.
+    pub fn avg_resident_ctas(&self) -> f64 {
+        ratio(self.resident_cta_cycles, self.sm_cycles)
+    }
+
+    /// Mean register-file utilisation (0..1) given the file size.
+    pub fn reg_utilization(&self, regfile_bytes: u32) -> f64 {
+        ratio(self.reg_byte_cycles, self.sm_cycles * u64::from(regfile_bytes))
+    }
+
+    /// Mean shared-memory utilisation (0..1) given the scratchpad size.
+    pub fn smem_utilization(&self, smem_bytes: u32) -> f64 {
+        ratio(self.smem_byte_cycles, self.sm_cycles * u64::from(smem_bytes))
+    }
+
+    /// Mean thread-slot utilisation (0..1) given the warp slots, counting
+    /// *active* warps (the ones occupying scheduling structures).
+    pub fn thread_slot_utilization(&self, max_warps: u32) -> f64 {
+        ratio(self.active_warp_cycles, self.sm_cycles * u64::from(max_warps))
+    }
+
+    /// Adds another accumulator into this one.
+    pub fn merge(&mut self, o: &OccupancyAccum) {
+        self.resident_warp_cycles += o.resident_warp_cycles;
+        self.active_warp_cycles += o.active_warp_cycles;
+        self.resident_cta_cycles += o.resident_cta_cycles;
+        self.active_cta_cycles += o.active_cta_cycles;
+        self.reg_byte_cycles += o.reg_byte_cycles;
+        self.smem_byte_cycles += o.smem_byte_cycles;
+        self.sm_cycles += o.sm_cycles;
+    }
+}
+
+/// CTA context-switch activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwapStats {
+    /// CTAs switched out.
+    pub swaps_out: u64,
+    /// CTAs switched in (activated from the swapped-out state).
+    pub swaps_in: u64,
+    /// Fresh CTAs activated into a slot vacated by a swap or completion.
+    pub fresh_activations: u64,
+    /// SM-cycles any CTA spent mid-switch.
+    pub swap_busy_cycles: u64,
+}
+
+impl SwapStats {
+    /// Adds another block into this one.
+    pub fn merge(&mut self, o: &SwapStats) {
+        self.swaps_out += o.swaps_out;
+        self.swaps_in += o.swaps_in;
+        self.fresh_activations += o.fresh_activations;
+        self.swap_busy_cycles += o.swap_busy_cycles;
+    }
+}
+
+/// A sampled time series of per-SM occupancy, for occupancy-over-time
+/// figures. Enabled via `CoreConfig::timeline_interval`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    /// Cycles between samples.
+    pub interval: u64,
+    /// Mean resident warps per SM at each sample.
+    pub resident_warps: Vec<f32>,
+    /// Mean schedulable (active-phase) warps per SM at each sample.
+    pub active_warps: Vec<f32>,
+}
+
+impl Timeline {
+    /// Appends one sample.
+    pub fn push(&mut self, resident: f32, active: f32) {
+        self.resident_warps.push(resident);
+        self.active_warps.push(active);
+    }
+
+    /// Number of samples taken.
+    pub fn len(&self) -> usize {
+        self.resident_warps.len()
+    }
+
+    /// Whether no samples were taken.
+    pub fn is_empty(&self) -> bool {
+        self.resident_warps.is_empty()
+    }
+}
+
+/// Complete statistics of one simulated kernel run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Cycles the kernel took.
+    pub cycles: u64,
+    /// Warp instructions issued.
+    pub warp_instrs: u64,
+    /// Thread instructions executed (warp instruction × active lanes).
+    pub thread_instrs: u64,
+    /// Divergent branches resolved.
+    pub divergent_branches: u64,
+    /// Barrier instructions executed (warp granularity).
+    pub barriers: u64,
+    /// CTAs completed.
+    pub ctas_completed: u64,
+    /// Idle-cycle classification.
+    pub idle: IdleBreakdown,
+    /// Time-integrated occupancy.
+    pub occupancy: OccupancyAccum,
+    /// Context-switch activity.
+    pub swaps: SwapStats,
+    /// Memory-hierarchy statistics.
+    pub mem: MemStats,
+    /// Deepest SIMT stack observed.
+    pub max_simt_depth: usize,
+    /// Occupancy time series, if sampling was enabled.
+    pub timeline: Option<Timeline>,
+}
+
+impl RunStats {
+    /// Thread instructions per cycle — the paper's IPC metric.
+    pub fn ipc(&self) -> f64 {
+        ratio(self.thread_instrs, self.cycles)
+    }
+
+    /// Warp instructions per cycle.
+    pub fn warp_ipc(&self) -> f64 {
+        ratio(self.warp_instrs, self.cycles)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_handles_zero_cycles() {
+        assert_eq!(RunStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn occupancy_ratios() {
+        let o = OccupancyAccum {
+            resident_warp_cycles: 200,
+            active_warp_cycles: 100,
+            resident_cta_cycles: 40,
+            active_cta_cycles: 20,
+            reg_byte_cycles: 1000,
+            smem_byte_cycles: 500,
+            sm_cycles: 10,
+        };
+        assert_eq!(o.avg_resident_warps(), 20.0);
+        assert_eq!(o.avg_active_warps(), 10.0);
+        assert_eq!(o.avg_resident_ctas(), 4.0);
+        assert_eq!(o.reg_utilization(100), 1.0);
+        assert_eq!(o.smem_utilization(100), 0.5);
+        assert!((o.thread_slot_utilization(48) - 10.0 / 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeline_accumulates_samples() {
+        let mut t = Timeline { interval: 100, ..Timeline::default() };
+        assert!(t.is_empty());
+        t.push(10.0, 5.0);
+        t.push(20.0, 8.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.resident_warps, vec![10.0, 20.0]);
+        assert_eq!(t.active_warps, vec![5.0, 8.0]);
+    }
+
+    #[test]
+    fn merges_add_up() {
+        let mut a = IdleBreakdown { memory: 5, ..Default::default() };
+        a.merge(&IdleBreakdown { memory: 3, barrier: 1, ..Default::default() });
+        assert_eq!(a.memory, 8);
+        assert_eq!(a.total(), 9);
+
+        let mut s = SwapStats { swaps_out: 1, ..Default::default() };
+        s.merge(&SwapStats { swaps_out: 2, swaps_in: 2, ..Default::default() });
+        assert_eq!(s.swaps_out, 3);
+        assert_eq!(s.swaps_in, 2);
+    }
+}

@@ -1,0 +1,132 @@
+//! Per-warp runtime state.
+
+use crate::scoreboard::Scoreboard;
+use vt_isa::{SimtStack, WARP_SIZE};
+
+/// The runtime state of one warp resident on an SM.
+///
+/// This bundles exactly the state the Virtual Thread paper splits into two
+/// classes: the *scheduling state* (PC + SIMT stack + scoreboard — what VT
+/// saves to the context buffer on a swap) and the *capacity state* (the
+/// register values, which stay resident on chip for active and inactive
+/// CTAs alike).
+#[derive(Debug, Clone)]
+pub struct WarpRt {
+    /// Slot of the owning CTA in the SM's CTA table.
+    pub cta_slot: usize,
+    /// Warp index within the CTA.
+    pub warp_in_cta: u32,
+    /// First thread id of this warp within the CTA.
+    pub first_tid: u32,
+    /// PC + reconvergence stack.
+    pub stack: SimtStack,
+    /// In-flight destination registers.
+    pub scoreboard: Scoreboard,
+    /// Register values, `[lane * regs_per_thread + reg]`.
+    pub regs: Vec<u32>,
+    /// Registers per thread (row stride of `regs`).
+    pub regs_per_thread: u16,
+    /// Waiting at a CTA barrier.
+    pub waiting_barrier: bool,
+    /// Outstanding global load/atomic *instructions* (not transactions).
+    pub pending_loads: u32,
+    /// Outstanding loads known to have missed the L1 — the long-latency
+    /// stalls the Virtual Thread swap trigger reacts to.
+    pub long_pending_loads: u32,
+    /// All lanes exited.
+    pub done: bool,
+    /// Global launch order, used by the greedy-then-oldest scheduler.
+    pub age: u64,
+}
+
+impl WarpRt {
+    /// Creates the state for a fresh warp of `lanes` live threads.
+    pub fn new(
+        cta_slot: usize,
+        warp_in_cta: u32,
+        lanes: u32,
+        regs_per_thread: u16,
+        age: u64,
+    ) -> WarpRt {
+        let mask = if lanes >= WARP_SIZE { u32::MAX } else { (1u32 << lanes) - 1 };
+        WarpRt {
+            cta_slot,
+            warp_in_cta,
+            first_tid: warp_in_cta * WARP_SIZE,
+            stack: SimtStack::new(mask),
+            scoreboard: Scoreboard::new(),
+            regs: vec![0; WARP_SIZE as usize * regs_per_thread as usize],
+            regs_per_thread,
+            waiting_barrier: false,
+            pending_loads: 0,
+            long_pending_loads: 0,
+            done: false,
+            age,
+        }
+    }
+
+    /// Register `reg` of `lane`.
+    pub fn reg(&self, lane: u32, reg: u16) -> u32 {
+        self.regs[lane as usize * self.regs_per_thread as usize + reg as usize]
+    }
+
+    /// The register frame of `lane`.
+    pub fn lane_regs(&self, lane: u32) -> &[u32] {
+        let stride = self.regs_per_thread as usize;
+        let base = lane as usize * stride;
+        &self.regs[base..base + stride]
+    }
+
+    /// Writes register `reg` of `lane`.
+    pub fn set_reg(&mut self, lane: u32, reg: u16, value: u32) {
+        self.regs[lane as usize * self.regs_per_thread as usize + reg as usize] = value;
+    }
+
+    /// Whether the warp is parked for a long-latency event: waiting at a
+    /// barrier or holding outstanding global loads. Used by the swap
+    /// trigger.
+    pub fn long_stalled(&self) -> bool {
+        self.waiting_barrier || self.pending_loads > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_warp_state() {
+        let w = WarpRt::new(3, 2, 32, 8, 17);
+        assert_eq!(w.first_tid, 64);
+        assert_eq!(w.stack.active_mask(), u32::MAX);
+        assert!(!w.done);
+        assert_eq!(w.age, 17);
+        assert_eq!(w.regs.len(), 32 * 8);
+    }
+
+    #[test]
+    fn partial_warp_mask() {
+        let w = WarpRt::new(0, 0, 5, 4, 0);
+        assert_eq!(w.stack.active_mask(), 0b11111);
+    }
+
+    #[test]
+    fn reg_accessors_are_lane_major() {
+        let mut w = WarpRt::new(0, 0, 32, 4, 0);
+        w.set_reg(2, 3, 42);
+        assert_eq!(w.reg(2, 3), 42);
+        assert_eq!(w.lane_regs(2), &[0, 0, 0, 42]);
+        assert_eq!(w.reg(3, 3), 0);
+    }
+
+    #[test]
+    fn long_stall_detection() {
+        let mut w = WarpRt::new(0, 0, 32, 4, 0);
+        assert!(!w.long_stalled());
+        w.pending_loads = 1;
+        assert!(w.long_stalled());
+        w.pending_loads = 0;
+        w.waiting_barrier = true;
+        assert!(w.long_stalled());
+    }
+}

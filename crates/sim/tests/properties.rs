@@ -1,0 +1,142 @@
+//! Property tests for the timing simulator: arbitrary residency
+//! configurations preserve functional results, the scoreboard agrees
+//! with a set model, and randomly-shaped kernels complete.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use vt_isa::interp::Interpreter;
+use vt_isa::op::{Operand, Sreg};
+use vt_isa::{Instr, Kernel, KernelBuilder, Reg};
+use vt_sim::scoreboard::Scoreboard;
+use vt_sim::{
+    simulate, ActivePolicy, AdmissionPolicy, ResidencyConfig, SchedPolicy, SimConfig, SwapConfig,
+    SwapTrigger,
+};
+
+proptest! {
+    #[test]
+    fn scoreboard_matches_set_model(
+        ops in proptest::collection::vec((any::<bool>(), 0u16..256), 1..300),
+    ) {
+        let mut sb = Scoreboard::new();
+        let mut model: HashSet<u16> = HashSet::new();
+        for (set, reg) in ops {
+            if set {
+                sb.set_pending(Reg(reg));
+                model.insert(reg);
+            } else {
+                sb.clear(Reg(reg));
+                model.remove(&reg);
+            }
+            prop_assert_eq!(sb.pending_count() as usize, model.len());
+            prop_assert_eq!(sb.is_pending(Reg(reg)), model.contains(&reg));
+            // can_issue agrees with the model for an instruction reading
+            // and writing this register.
+            let i = Instr::Alu {
+                op: vt_isa::AluOp::Add,
+                dst: Reg(reg),
+                a: Operand::Reg(Reg(reg)),
+                b: Operand::Imm(1),
+            };
+            prop_assert_eq!(sb.can_issue(&i), !model.contains(&reg));
+        }
+    }
+}
+
+/// A small memory-heavy kernel with a barrier, parameterised by shape.
+fn kernel(ctas: u32, threads: u32, regs: u16, smem: u32, iters: u32) -> Kernel {
+    let n = ctas * threads;
+    let mut b = KernelBuilder::new("prop");
+    let data = b.alloc_global((n * 2) as usize);
+    let out = b.alloc_global(n as usize);
+    let gid = b.reg();
+    let off = b.reg();
+    let v = b.reg();
+    let acc = b.reg();
+    let i = b.reg();
+    b.global_thread_id(gid);
+    b.shl(off, Operand::Reg(gid), Operand::Imm(2));
+    b.mov(acc, Operand::Sreg(Sreg::Tid));
+    b.for_range(i, Operand::Imm(0), Operand::Imm(iters), 1, |b, i| {
+        b.mad(v, Operand::Reg(i), Operand::Imm(n), Operand::Reg(gid));
+        b.rem(v, Operand::Reg(v), Operand::Imm(2 * n));
+        b.shl(v, Operand::Reg(v), Operand::Imm(2));
+        b.ld_global(v, Operand::Reg(v), data as i32);
+        b.add(acc, Operand::Reg(acc), Operand::Reg(v));
+        b.st_global(Operand::Reg(off), data as i32, Operand::Reg(acc));
+    });
+    if smem > 0 {
+        let buf = b.alloc_shared(1);
+        b.st_shared(Operand::Imm(buf), 0, Operand::Reg(acc));
+        b.bar();
+        b.pad_smem(smem);
+    }
+    b.st_global(Operand::Reg(off), out as i32, Operand::Reg(acc));
+    b.pad_regs(regs);
+    b.build(ctas, threads).expect("valid property kernel")
+}
+
+fn residency_strategy() -> impl Strategy<Value = ResidencyConfig> {
+    let admission = prop_oneof![
+        Just(AdmissionPolicy::SchedulingAndCapacity),
+        prop_oneof![Just(None), (9u32..48).prop_map(Some)]
+            .prop_map(|cap| AdmissionPolicy::CapacityOnly { max_resident_ctas: cap }),
+    ];
+    let active = prop_oneof![Just(ActivePolicy::SchedulingLimit), Just(ActivePolicy::Unlimited)];
+    let swap = proptest::option::of(
+        (
+            prop_oneof![
+                Just(SwapTrigger::AllWarpsStalled),
+                Just(SwapTrigger::AnyWarpStalled),
+                Just(SwapTrigger::Never)
+            ],
+            0u32..120,
+            0u32..120,
+            0u32..8,
+        )
+            .prop_map(|(trigger, save, restore, fresh)| SwapConfig {
+                trigger,
+                save_cycles: save,
+                restore_cycles: restore,
+                fresh_activation_cycles: fresh,
+                throttle: if fresh % 2 == 0 {
+                    None
+                } else {
+                    Some(vt_sim::config::ThrottleConfig::default())
+                },
+            }),
+    );
+    (admission, active, swap).prop_map(|(admission, active, swap)| ResidencyConfig {
+        admission,
+        active,
+        swap,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
+
+    /// Whatever the residency policy — any admission rule, any activation
+    /// rule, any swap costs and trigger — the functional result matches
+    /// the interpreter and every CTA completes.
+    #[test]
+    fn any_residency_config_is_functionally_transparent(
+        residency in residency_strategy(),
+        sched in prop_oneof![Just(SchedPolicy::Lrr), Just(SchedPolicy::Gto)],
+        threads in prop_oneof![Just(32u32), Just(48), Just(96)],
+        ctas in 4u32..12,
+        regs in 8u16..40,
+        smem in prop_oneof![Just(0u32), Just(1024), Just(6 * 1024)],
+    ) {
+        let k = kernel(ctas, threads, regs, smem, 3);
+        let mut cfg = SimConfig::default();
+        cfg.core.num_sms = 2;
+        cfg.core.scheduler = sched;
+        cfg.residency = residency;
+        let result = simulate(&cfg, &k).expect("simulation completes");
+        let reference = Interpreter::new(&k).unwrap().run().unwrap();
+        prop_assert_eq!(result.mem_image.as_words(), reference.mem().as_words());
+        prop_assert_eq!(result.stats.ctas_completed, u64::from(ctas));
+        prop_assert!(result.stats.idle.total() <= result.stats.occupancy.sm_cycles);
+    }
+}

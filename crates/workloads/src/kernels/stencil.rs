@@ -1,0 +1,226 @@
+//! Stencil-style kernels: thermal simulation, 3-D stencil, diffusion with
+//! transcendentals, and grid path search.
+
+use super::util::{rand_floats, rng};
+use crate::suite::Scale;
+use vt_isa::op::{Operand, SfuOp, Sreg};
+use vt_isa::{Kernel, KernelBuilder};
+
+/// `hotspot`-like: shared-memory-tiled 3-point stencil with a barrier per
+/// time step. Modest shared memory keeps it scheduling-limited.
+pub fn hotspot_like(scale: &Scale) -> Kernel {
+    let ctas = scale.ctas;
+    let threads = 64u32;
+    let n = ctas * threads;
+    let mut r = rng(0x0004_0757);
+    let mut b = KernelBuilder::new("hotspot");
+    let temp = b.alloc_global_init(&rand_floats(&mut r, n as usize));
+    let out = b.alloc_global(n as usize);
+    let tile = b.alloc_shared(threads);
+
+    let gid = b.reg();
+    let goff = b.reg();
+    let soff = b.reg();
+    let v = b.reg();
+    let left = b.reg();
+    let right = b.reg();
+    let t = b.reg();
+    let tmp = b.reg();
+    b.global_thread_id(gid);
+    b.shl(goff, Operand::Reg(gid), Operand::Imm(2));
+    b.shl(soff, Operand::Sreg(Sreg::Tid), Operand::Imm(2));
+    b.ld_global(v, Operand::Reg(goff), temp as i32);
+    b.for_range(t, Operand::Imm(0), Operand::Imm(scale.iters), 1, |b, _| {
+        b.st_shared(Operand::Reg(soff), tile as i32, Operand::Reg(v));
+        b.bar();
+        // Neighbours wrap within the tile (halo cells elided; the timing
+        // behaviour — smem traffic + barrier cadence — is what matters).
+        b.add(tmp, Operand::Sreg(Sreg::Tid), Operand::Imm(threads - 1));
+        b.and_(tmp, Operand::Reg(tmp), Operand::Imm(threads - 1));
+        b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
+        b.ld_shared(left, Operand::Reg(tmp), tile as i32);
+        b.add(tmp, Operand::Sreg(Sreg::Tid), Operand::Imm(1));
+        b.and_(tmp, Operand::Reg(tmp), Operand::Imm(threads - 1));
+        b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
+        b.ld_shared(right, Operand::Reg(tmp), tile as i32);
+        b.fadd(left, Operand::Reg(left), Operand::Reg(right));
+        b.ffma(v, Operand::Reg(left), Operand::fimm(0.25), Operand::Reg(v));
+        b.fmul(v, Operand::Reg(v), Operand::fimm(0.8));
+        b.bar();
+    });
+    b.st_global(Operand::Reg(goff), out as i32, Operand::Reg(v));
+    b.pad_regs(20);
+    b.build(ctas, threads).expect("hotspot kernel is valid")
+}
+
+/// Parboil-`stencil`-like: 3-D 4-point stencil straight from global
+/// memory. The row/plane strides split each warp access into several
+/// memory transactions, stressing MSHRs and DRAM row locality.
+pub fn stencil3d_like(scale: &Scale) -> Kernel {
+    let ctas = scale.ctas;
+    let threads = 64u32;
+    let n = ctas * threads;
+    let row = 64u32; // elements per row
+    let plane = row * 16;
+    let mut r = rng(0x0057_ec11);
+    let mut b = KernelBuilder::new("stencil");
+    let grid = b.alloc_global_init(&rand_floats(&mut r, (n + plane + row + 1) as usize));
+    let out = b.alloc_global(n as usize);
+
+    let gid = b.reg();
+    let off = b.reg();
+    let acc = b.reg();
+    let v = b.reg();
+    let tmp = b.reg();
+    let i = b.reg();
+    b.global_thread_id(gid);
+    b.shl(off, Operand::Reg(gid), Operand::Imm(2));
+    b.for_range(i, Operand::Imm(0), Operand::Imm(scale.iters), 1, |b, _| {
+        b.ld_global(acc, Operand::Reg(off), grid as i32);
+        b.ld_global(v, Operand::Reg(off), (grid + 4) as i32);
+        b.fadd(acc, Operand::Reg(acc), Operand::Reg(v));
+        b.ld_global(v, Operand::Reg(off), (grid + 4 * row) as i32);
+        b.fadd(acc, Operand::Reg(acc), Operand::Reg(v));
+        b.ld_global(v, Operand::Reg(off), (grid + 4 * plane) as i32);
+        b.fadd(acc, Operand::Reg(acc), Operand::Reg(v));
+        b.fmul(tmp, Operand::Reg(acc), Operand::fimm(0.25));
+        b.st_global(Operand::Reg(off), out as i32, Operand::Reg(tmp));
+    });
+    b.pad_regs(20);
+    b.build(ctas, threads).expect("stencil kernel is valid")
+}
+
+/// `srad`-like: diffusion coefficients with a chain of SFU
+/// transcendentals per element. High register pressure (36/thread) makes
+/// it the third capacity-limited kernel.
+pub fn srad_like(scale: &Scale) -> Kernel {
+    let ctas = scale.ctas;
+    let threads = 128u32;
+    let n = ctas * threads;
+    let mut r = rng(0x0005_12ad);
+    let mut b = KernelBuilder::new("srad");
+    let img = b.alloc_global_init(&rand_floats(&mut r, (n + 1) as usize));
+    let out = b.alloc_global(n as usize);
+
+    let gid = b.reg();
+    let off = b.reg();
+    let v = b.reg();
+    let nb = b.reg();
+    let g = b.reg();
+    let c = b.reg();
+    let i = b.reg();
+    b.global_thread_id(gid);
+    b.shl(off, Operand::Reg(gid), Operand::Imm(2));
+    b.ld_global(v, Operand::Reg(off), img as i32);
+    b.for_range(i, Operand::Imm(0), Operand::Imm(scale.iters), 1, |b, _| {
+        b.ld_global(nb, Operand::Reg(off), (img + 4) as i32);
+        b.fsub(g, Operand::Reg(nb), Operand::Reg(v));
+        b.fmul(g, Operand::Reg(g), Operand::Reg(g));
+        b.fadd(g, Operand::Reg(g), Operand::fimm(1.0));
+        b.sfu(SfuOp::Sqrt, g, Operand::Reg(g));
+        b.sfu(SfuOp::Rcp, c, Operand::Reg(g));
+        b.ffma(v, Operand::Reg(c), Operand::Reg(nb), Operand::Reg(v));
+        b.fmul(v, Operand::Reg(v), Operand::fimm(0.5));
+    });
+    b.st_global(Operand::Reg(off), out as i32, Operand::Reg(v));
+    b.pad_regs(36);
+    b.build(ctas, threads).expect("srad kernel is valid")
+}
+
+/// `pathfinder`-like: dynamic-programming wavefront held in shared
+/// memory, one barrier per relaxation step, light global traffic.
+pub fn pathfinder_like(scale: &Scale) -> Kernel {
+    let ctas = scale.ctas;
+    let threads = 64u32;
+    let n = ctas * threads;
+    let mut r = rng(0x9a7f);
+    let mut b = KernelBuilder::new("pathfinder");
+    let cost = b.alloc_global_init(
+        &(0..n).map(|_| r.gen_range(0u32..100)).collect::<Vec<_>>(),
+    );
+    let out = b.alloc_global(n as usize);
+    let wave = b.alloc_shared(threads);
+
+    let gid = b.reg();
+    let goff = b.reg();
+    let soff = b.reg();
+    let v = b.reg();
+    let l = b.reg();
+    let rr = b.reg();
+    let t = b.reg();
+    let tmp = b.reg();
+    b.global_thread_id(gid);
+    b.shl(goff, Operand::Reg(gid), Operand::Imm(2));
+    b.shl(soff, Operand::Sreg(Sreg::Tid), Operand::Imm(2));
+    b.ld_global(v, Operand::Reg(goff), cost as i32);
+    b.st_shared(Operand::Reg(soff), wave as i32, Operand::Reg(v));
+    b.bar();
+    b.for_range(t, Operand::Imm(0), Operand::Imm(scale.iters), 1, |b, _| {
+        b.add(tmp, Operand::Sreg(Sreg::Tid), Operand::Imm(threads - 1));
+        b.and_(tmp, Operand::Reg(tmp), Operand::Imm(threads - 1));
+        b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
+        b.ld_shared(l, Operand::Reg(tmp), wave as i32);
+        b.add(tmp, Operand::Sreg(Sreg::Tid), Operand::Imm(1));
+        b.and_(tmp, Operand::Reg(tmp), Operand::Imm(threads - 1));
+        b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
+        b.ld_shared(rr, Operand::Reg(tmp), wave as i32);
+        b.min_(l, Operand::Reg(l), Operand::Reg(rr));
+        b.bar();
+        b.add(v, Operand::Reg(v), Operand::Reg(l));
+        b.st_shared(Operand::Reg(soff), wave as i32, Operand::Reg(v));
+        b.bar();
+    });
+    b.st_global(Operand::Reg(goff), out as i32, Operand::Reg(v));
+    b.pad_regs(14);
+    b.build(ctas, threads).expect("pathfinder kernel is valid")
+}
+
+use rand::Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_core::{occupancy, CoreConfig, Limiter};
+    use vt_isa::interp::Interpreter;
+
+    fn tiny() -> Scale {
+        Scale { ctas: 4, iters: 2 }
+    }
+
+    #[test]
+    fn all_stencils_run_on_the_interpreter() {
+        for k in [
+            hotspot_like(&tiny()),
+            stencil3d_like(&tiny()),
+            srad_like(&tiny()),
+            pathfinder_like(&tiny()),
+        ] {
+            Interpreter::new(&k).unwrap().run().unwrap_or_else(|e| {
+                panic!("{} failed: {e}", k.name());
+            });
+        }
+    }
+
+    #[test]
+    fn srad_is_register_limited() {
+        let occ = occupancy::analyze(&CoreConfig::default(), &srad_like(&tiny()));
+        assert_eq!(occ.limiter, Limiter::Registers);
+    }
+
+    #[test]
+    fn hotspot_and_pathfinder_are_scheduling_limited() {
+        for k in [hotspot_like(&tiny()), pathfinder_like(&tiny())] {
+            let occ = occupancy::analyze(&CoreConfig::default(), &k);
+            assert!(occ.limiter.is_scheduling(), "{}: {:?}", k.name(), occ.limiter);
+        }
+    }
+
+    #[test]
+    fn stencil_uses_multiple_transactions_per_warp() {
+        // The plane-stride load touches a different 128 B segment than the
+        // unit-stride load for every warp.
+        let k = stencil3d_like(&tiny());
+        let mix = k.program().mix();
+        assert!(mix.global_mem >= 5);
+    }
+}

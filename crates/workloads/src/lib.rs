@@ -1,0 +1,28 @@
+//! # vt-workloads — the benchmark suite
+//!
+//! Fourteen synthetic kernels written in the `vt-isa` mini-ISA, each
+//! mirroring the resource footprint and memory behaviour of a benchmark
+//! class from the Rodinia/Parboil suites the Virtual Thread paper
+//! evaluates (we do not have the authors' CUDA binaries or GPGPU-Sim, so
+//! the suite is rebuilt from each benchmark's published characteristics:
+//! CTA size, register pressure, shared-memory usage, access pattern and
+//! synchronisation structure).
+//!
+//! The suite deliberately spans the paper's two populations:
+//!
+//! * **scheduling-limited** kernels (small CTAs, modest registers, little
+//!   shared memory) whose baseline occupancy is capped by CTA/warp slots —
+//!   the kernels Virtual Thread accelerates, and
+//! * **capacity-limited** kernels (register- or shared-memory-hungry)
+//!   where VT has no headroom and must at least not hurt.
+//!
+//! Use [`suite()`](suite::suite) for the full list, [`Workload`] for per-kernel metadata,
+//! and [`generator::SyntheticParams`] to build parameterised kernels for
+//! sensitivity sweeps.
+
+pub mod generator;
+pub mod kernels;
+pub mod suite;
+
+pub use generator::{AccessPattern, SyntheticParams};
+pub use suite::{suite, LimiterClass, Scale, Workload};

@@ -1,0 +1,202 @@
+//! The assembled 14-kernel suite with per-workload metadata.
+
+use crate::kernels::{dense, irregular, stencil, sync};
+use serde::{Deserialize, Serialize};
+use vt_isa::Kernel;
+
+/// Problem-size knob shared by every workload: grid size and inner
+/// iteration count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Scale {
+    /// CTAs in the grid.
+    pub ctas: u32,
+    /// Inner loop trip count (time steps, tiles, samples per thread…).
+    pub iters: u32,
+}
+
+impl Scale {
+    /// Minimal scale for unit/integration tests.
+    pub fn test() -> Scale {
+        Scale { ctas: 6, iters: 2 }
+    }
+
+    /// Small scale for quick experiments (seconds per run).
+    pub fn small() -> Scale {
+        Scale { ctas: 90, iters: 4 }
+    }
+
+    /// The scale the experiment harness uses to regenerate the paper's
+    /// figures: enough waves of CTAs per SM for steady-state behaviour.
+    pub fn paper() -> Scale {
+        Scale { ctas: 360, iters: 8 }
+    }
+}
+
+/// Which limit family binds a workload's baseline occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LimiterClass {
+    /// CTA or warp slots bind first — Virtual Thread's target population.
+    Scheduling,
+    /// Registers or shared memory bind first — VT must not hurt these.
+    Capacity,
+}
+
+/// One benchmark of the suite.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name used in tables and figures.
+    pub name: &'static str,
+    /// The benchmark this kernel's footprint and behaviour mirror.
+    pub mirrors: &'static str,
+    /// Expected limiter class on the default (Fermi-like) configuration.
+    pub class: LimiterClass,
+    /// The kernel itself.
+    pub kernel: Kernel,
+}
+
+/// Builds the full suite at the given scale.
+///
+/// Eleven workloads are scheduling-limited and three capacity-limited,
+/// matching the paper's observation that the scheduling limit binds most
+/// general-purpose GPU applications.
+pub fn suite(scale: &Scale) -> Vec<Workload> {
+    use LimiterClass::{Capacity, Scheduling};
+    vec![
+        Workload {
+            name: "bfs",
+            mirrors: "Rodinia bfs (irregular graph gather)",
+            class: Scheduling,
+            kernel: irregular::bfs_like(scale),
+        },
+        Workload {
+            name: "kmeans",
+            mirrors: "Rodinia kmeans (point classification)",
+            class: Scheduling,
+            kernel: dense::kmeans_like(scale),
+        },
+        Workload {
+            name: "hotspot",
+            mirrors: "Rodinia hotspot (tiled thermal stencil)",
+            class: Scheduling,
+            kernel: stencil::hotspot_like(scale),
+        },
+        Workload {
+            name: "sgemm",
+            mirrors: "Parboil sgemm (shared-memory tiled GEMM)",
+            class: Capacity,
+            kernel: dense::sgemm_like(scale),
+        },
+        Workload {
+            name: "spmv",
+            mirrors: "Parboil spmv (padded-CSR gather)",
+            class: Scheduling,
+            kernel: irregular::spmv_like(scale),
+        },
+        Workload {
+            name: "stencil",
+            mirrors: "Parboil stencil (3-D 4-point stencil)",
+            class: Scheduling,
+            kernel: stencil::stencil3d_like(scale),
+        },
+        Workload {
+            name: "pathfinder",
+            mirrors: "Rodinia pathfinder (DP wavefront)",
+            class: Scheduling,
+            kernel: stencil::pathfinder_like(scale),
+        },
+        Workload {
+            name: "backprop",
+            mirrors: "Rodinia backprop (layer reduction)",
+            class: Scheduling,
+            kernel: sync::backprop_like(scale),
+        },
+        Workload {
+            name: "histo",
+            mirrors: "Parboil histo (atomic histogram)",
+            class: Scheduling,
+            kernel: irregular::histo_like(scale),
+        },
+        Workload {
+            name: "lbm",
+            mirrors: "Parboil lbm (register-heavy streaming)",
+            class: Capacity,
+            kernel: dense::lbm_like(scale),
+        },
+        Workload {
+            name: "nw",
+            mirrors: "Rodinia nw (single-warp wavefront CTAs)",
+            class: Scheduling,
+            kernel: sync::nw_like(scale),
+        },
+        Workload {
+            name: "srad",
+            mirrors: "Rodinia srad (diffusion, SFU-heavy, high regs)",
+            class: Capacity,
+            kernel: stencil::srad_like(scale),
+        },
+        Workload {
+            name: "reduction",
+            mirrors: "CUDA SDK reduction (tree + atomic)",
+            class: Scheduling,
+            kernel: sync::reduction_like(scale),
+        },
+        Workload {
+            name: "streamcluster",
+            mirrors: "Rodinia streamcluster (distance streaming)",
+            class: Scheduling,
+            kernel: dense::streamcluster_like(scale),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_core::{occupancy, CoreConfig};
+
+    #[test]
+    fn suite_has_fourteen_distinct_workloads() {
+        let s = suite(&Scale::test());
+        assert_eq!(s.len(), 14);
+        for (i, a) in s.iter().enumerate() {
+            for b in &s[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn declared_limiter_classes_match_occupancy_analysis() {
+        let core = CoreConfig::default();
+        for w in suite(&Scale::test()) {
+            let occ = occupancy::analyze(&core, &w.kernel);
+            let is_sched = occ.limiter.is_scheduling();
+            match w.class {
+                LimiterClass::Scheduling => {
+                    assert!(is_sched, "{} declared scheduling but is {:?}", w.name, occ.limiter)
+                }
+                LimiterClass::Capacity => {
+                    assert!(!is_sched, "{} declared capacity but is {:?}", w.name, occ.limiter)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn majority_is_scheduling_limited_like_the_paper_claims() {
+        let s = suite(&Scale::test());
+        let sched = s.iter().filter(|w| w.class == LimiterClass::Scheduling).count();
+        assert!(sched * 2 > s.len(), "{sched}/{} scheduling-limited", s.len());
+    }
+
+    #[test]
+    fn scale_changes_grid_size_only() {
+        let a = suite(&Scale { ctas: 4, iters: 2 });
+        let b = suite(&Scale { ctas: 8, iters: 2 });
+        for (wa, wb) in a.iter().zip(&b) {
+            assert_eq!(wa.kernel.threads_per_cta(), wb.kernel.threads_per_cta());
+            assert_eq!(wa.kernel.regs_per_thread(), wb.kernel.regs_per_thread());
+            assert_eq!(wb.kernel.num_ctas(), 8);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Scheduler study: run one suite workload under every combination of
+//! warp scheduler (LRR/GTO) and architecture (baseline/VT), showing that
+//! VT's benefit is orthogonal to the issue policy.
+//!
+//! ```text
+//! cargo run --release -p vt-examples --bin scheduler_study [workload]
+//! ```
+
+use vt_core::{Architecture, Gpu, GpuConfig, SchedPolicy};
+use vt_workloads::{suite, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "streamcluster".to_string());
+    let workloads = suite(&Scale { ctas: 240, iters: 4 });
+    let w = workloads
+        .iter()
+        .find(|w| w.name == which)
+        .unwrap_or_else(|| {
+            let names: Vec<&str> = workloads.iter().map(|w| w.name).collect();
+            panic!("unknown workload `{which}`; try one of {names:?}")
+        });
+    println!("workload `{}` ({})\n", w.name, w.mirrors);
+    println!("scheduler  architecture   cycles      IPC   mem-idle SM-cycles");
+    let mut cycles = [[0u64; 2]; 2];
+    for (si, sched) in [SchedPolicy::Lrr, SchedPolicy::Gto].into_iter().enumerate() {
+        for (ai, arch) in [Architecture::Baseline, Architecture::virtual_thread()]
+            .into_iter()
+            .enumerate()
+        {
+            let mut cfg = GpuConfig::with_arch(arch);
+            cfg.core.scheduler = sched;
+            let r = Gpu::new(cfg).run(&w.kernel)?;
+            cycles[si][ai] = r.stats.cycles;
+            println!(
+                "{:9} {:12} {:9} {:8.1} {:12}",
+                format!("{sched:?}"),
+                arch.label(),
+                r.stats.cycles,
+                r.ipc(),
+                r.stats.idle.memory
+            );
+        }
+    }
+    println!(
+        "\nVT speedup: {:.2}x under LRR, {:.2}x under GTO",
+        cycles[0][0] as f64 / cycles[0][1] as f64,
+        cycles[1][0] as f64 / cycles[1][1] as f64
+    );
+    Ok(())
+}

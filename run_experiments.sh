@@ -1,0 +1,12 @@
+#!/bin/bash
+# Regenerates every table and figure of the paper at full scale.
+set -e
+cd "$(dirname "$0")"
+BINS="tab01_config tab02_benchmarks tab03_overhead tab04_energy fig01_limiter fig02_utilization fig03_speedup fig04_alternatives fig05_slots_sweep fig06_swap_latency fig07_scheduler fig08_idle_breakdown fig09_trigger_ablation fig10_timeline fig11_cache_sensitivity fig12_latency_sensitivity fig13_adaptive_throttle"
+for b in $BINS; do
+  echo "=============================================================="
+  echo "== $b"
+  echo "=============================================================="
+  cargo run --release -q -p vt-bench --bin "$b" -- "$@" 2>/dev/null
+  echo
+done

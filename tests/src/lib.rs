@@ -1,0 +1,36 @@
+//! Shared helpers for the workspace's integration tests.
+
+use vt_core::{Architecture, CoreConfig, Gpu, GpuConfig, MemConfig, Report};
+use vt_isa::Kernel;
+
+/// A 2-SM configuration that keeps integration-test runs fast while still
+/// exercising multi-SM dispatch, the shared L2 and DRAM contention.
+pub fn small_config(arch: Architecture) -> GpuConfig {
+    GpuConfig {
+        core: CoreConfig { num_sms: 2, ..CoreConfig::default() },
+        mem: MemConfig::default(),
+        arch,
+    }
+}
+
+/// Runs `kernel` under `arch` on the small test configuration.
+///
+/// # Panics
+///
+/// Panics on simulation failure — integration-test kernels are valid by
+/// construction.
+pub fn run(arch: Architecture, kernel: &Kernel) -> Report {
+    Gpu::new(small_config(arch))
+        .run(kernel)
+        .unwrap_or_else(|e| panic!("{} under {}: {e}", kernel.name(), arch.label()))
+}
+
+/// All four architectures under comparison.
+pub fn all_archs() -> [Architecture; 4] {
+    [
+        Architecture::Baseline,
+        Architecture::virtual_thread(),
+        Architecture::Ideal,
+        Architecture::MemSwap(vt_core::MemSwapParams::default()),
+    ]
+}

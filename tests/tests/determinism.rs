@@ -1,0 +1,43 @@
+//! The simulator is a deterministic function of (configuration, kernel):
+//! repeated runs must agree cycle-for-cycle, and the workload generators
+//! must be reproducible.
+
+use vt_tests::{all_archs, run};
+use vt_workloads::{suite, Scale, SyntheticParams};
+
+#[test]
+fn repeated_runs_are_cycle_identical() {
+    for w in suite(&Scale::test()).into_iter().take(4) {
+        for arch in all_archs() {
+            let a = run(arch, &w.kernel);
+            let b = run(arch, &w.kernel);
+            assert_eq!(a.stats, b.stats, "{} under {}", w.name, arch.label());
+            assert_eq!(a.mem_image, b.mem_image);
+        }
+    }
+}
+
+#[test]
+fn suite_construction_is_reproducible() {
+    let a = suite(&Scale::test());
+    let b = suite(&Scale::test());
+    for (wa, wb) in a.iter().zip(&b) {
+        assert_eq!(wa.kernel, wb.kernel, "{}", wa.name);
+    }
+}
+
+#[test]
+fn synthetic_generator_is_reproducible() {
+    let p = SyntheticParams { ctas: 6, ..SyntheticParams::latency_bound() };
+    assert_eq!(p.build(), p.build());
+}
+
+#[test]
+fn stats_are_independent_of_prior_runs() {
+    // Running kernel A must not perturb a later run of kernel B.
+    let ws = suite(&Scale::test());
+    let fresh = run(vt_core::Architecture::Baseline, &ws[1].kernel);
+    let _warmup = run(vt_core::Architecture::Baseline, &ws[0].kernel);
+    let after = run(vt_core::Architecture::Baseline, &ws[1].kernel);
+    assert_eq!(fresh.stats, after.stats);
+}

@@ -1,0 +1,149 @@
+//! Property-based integration tests: random synthetic kernels and random
+//! straight-line programs must agree between the cycle-level simulator
+//! and the reference interpreter, and random architecture parameters must
+//! preserve functional results.
+
+use proptest::prelude::*;
+use vt_core::{Architecture, SwapTrigger, VtParams};
+use vt_isa::interp::Interpreter;
+use vt_isa::op::{AluOp, Operand, Reg, Sreg};
+use vt_isa::{Kernel, KernelBuilder};
+use vt_tests::run;
+use vt_workloads::{AccessPattern, SyntheticParams};
+
+fn access_strategy() -> impl Strategy<Value = AccessPattern> {
+    prop_oneof![
+        Just(AccessPattern::Coalesced),
+        (1u32..64).prop_map(AccessPattern::Strided),
+        Just(AccessPattern::Random),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn synthetic_kernels_match_interpreter(
+        threads in prop_oneof![Just(32u32), Just(48), Just(64), Just(128)],
+        ctas in 2u32..8,
+        iters in 1u32..5,
+        loads in 1u32..4,
+        alu in 0u32..6,
+        access in access_strategy(),
+        barrier in any::<bool>(),
+    ) {
+        let p = SyntheticParams {
+            name: "prop".to_string(),
+            ctas,
+            threads_per_cta: threads,
+            regs_per_thread: 16,
+            smem_bytes: if barrier { 256 } else { 0 },
+            iters,
+            loads_per_iter: loads,
+            alu_per_load: alu,
+            access,
+            barrier_per_iter: barrier,
+        };
+        let kernel = p.build();
+        let reference = Interpreter::new(&kernel).unwrap().run().unwrap();
+        for arch in [Architecture::Baseline, Architecture::virtual_thread()] {
+            let report = run(arch, &kernel);
+            prop_assert_eq!(
+                report.mem_image.as_words(),
+                reference.mem().as_words(),
+                "arch {}", arch.label()
+            );
+        }
+    }
+
+    #[test]
+    fn random_vt_parameters_preserve_functionality(
+        max_virtual in prop_oneof![Just(None), (9u32..40).prop_map(Some)],
+        buffer_width in 1u32..64,
+        stack_entries in 1u32..32,
+        trigger in prop_oneof![
+            Just(SwapTrigger::AllWarpsStalled),
+            Just(SwapTrigger::AnyWarpStalled),
+            Just(SwapTrigger::Never),
+        ],
+    ) {
+        let kernel = SyntheticParams {
+            ctas: 24,
+            access: AccessPattern::Random,
+            ..SyntheticParams::default()
+        }
+        .build();
+        let reference = Interpreter::new(&kernel).unwrap().run().unwrap();
+        let arch = Architecture::VirtualThread(VtParams {
+            max_virtual_ctas: max_virtual,
+            buffer_words_per_cycle: buffer_width,
+            stack_entries_per_warp: stack_entries,
+            trigger,
+            ..VtParams::default()
+        });
+        let report = run(arch, &kernel);
+        prop_assert_eq!(report.mem_image.as_words(), reference.mem().as_words());
+        prop_assert_eq!(report.stats.ctas_completed, 24);
+    }
+}
+
+/// A random straight-line ALU program over a handful of registers.
+fn straight_line(ops: &[(u8, u8, u8, u8)]) -> Kernel {
+    const REGS: u16 = 6;
+    let mut b = KernelBuilder::new("straight");
+    let out = b.alloc_global(64 * REGS as usize);
+    let regs: Vec<Reg> = (0..REGS).map(|_| b.reg()).collect();
+    // Seed registers with thread-dependent values.
+    for (i, r) in regs.iter().enumerate() {
+        b.mad(*r, Operand::Sreg(Sreg::Tid), Operand::Imm(i as u32 + 1), Operand::Imm(7));
+    }
+    let table: &[AluOp] = &[
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Min,
+        AluOp::Max,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::SetLt,
+        AluOp::Div,
+        AluOp::Rem,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::MulHi,
+    ];
+    for &(op, d, a, c) in ops {
+        let op = table[op as usize % table.len()];
+        let dst = regs[d as usize % regs.len()];
+        let a = Operand::Reg(regs[a as usize % regs.len()]);
+        let c = Operand::Reg(regs[c as usize % regs.len()]);
+        b.emit(vt_isa::Instr::Alu { op, dst, a, b: c });
+    }
+    // Dump every register of every thread.
+    let off = b.reg();
+    for (i, r) in regs.iter().enumerate() {
+        b.mad(
+            off,
+            Operand::Sreg(Sreg::Tid),
+            Operand::Imm(REGS as u32 * 4),
+            Operand::Imm(i as u32 * 4),
+        );
+        b.st_global(Operand::Reg(off), out as i32, Operand::Reg(*r));
+    }
+    b.build(2, 32).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_alu_programs_match_interpreter(
+        ops in proptest::collection::vec(any::<(u8, u8, u8, u8)>(), 1..40),
+    ) {
+        let kernel = straight_line(&ops);
+        let reference = Interpreter::new(&kernel).unwrap().run().unwrap();
+        let report = run(Architecture::Baseline, &kernel);
+        prop_assert_eq!(report.mem_image.as_words(), reference.mem().as_words());
+    }
+}

@@ -1,0 +1,164 @@
+//! Torture kernels for the interplay of divergence, barriers, partial
+//! warps and early exits — the hardest cases for the SIMT stack and the
+//! barrier unit, checked against the reference interpreter.
+
+use vt_core::Architecture;
+use vt_isa::interp::Interpreter;
+use vt_isa::op::{Operand, Sreg};
+use vt_isa::{Kernel, KernelBuilder};
+use vt_tests::run;
+
+fn check(kernel: &Kernel) {
+    let reference = Interpreter::new(kernel).unwrap().run().unwrap();
+    for arch in [Architecture::Baseline, Architecture::virtual_thread()] {
+        let report = run(arch, kernel);
+        assert_eq!(
+            report.mem_image.as_words(),
+            reference.mem().as_words(),
+            "{} under {}",
+            kernel.name(),
+            arch.label()
+        );
+    }
+}
+
+#[test]
+fn deeply_nested_divergence() {
+    // Four nested data-dependent branches over each thread's bits.
+    let mut b = KernelBuilder::new("nest4");
+    let out = b.alloc_global(512);
+    let gid = b.reg();
+    let off = b.reg();
+    let acc = b.reg();
+    let p = b.reg();
+    b.global_thread_id(gid);
+    b.shl(off, Operand::Reg(gid), Operand::Imm(2));
+    b.mov(acc, Operand::Imm(0));
+    fn nest(b: &mut KernelBuilder, gid: vt_isa::Reg, p: vt_isa::Reg, acc: vt_isa::Reg, bit: u32) {
+        if bit == 4 {
+            b.add(acc, Operand::Reg(acc), Operand::Imm(1000));
+            return;
+        }
+        b.and_(p, Operand::Reg(gid), Operand::Imm(1 << bit));
+        b.if_else(
+            Operand::Reg(p),
+            |b| {
+                b.add(acc, Operand::Reg(acc), Operand::Imm(1 << bit));
+                nest(b, gid, p, acc, bit + 1);
+            },
+            |b| nest(b, gid, p, acc, bit + 1),
+        );
+    }
+    nest(&mut b, gid, p, acc, 0);
+    b.st_global(Operand::Reg(off), out as i32, Operand::Reg(acc));
+    let k = b.build(8, 64).unwrap();
+    check(&k);
+    // Sanity: the reference result is what the arithmetic says.
+    let r = Interpreter::new(&k).unwrap().run().unwrap();
+    for t in 0..512u32 {
+        assert_eq!(r.load_words(out + 4 * t, 1)[0], (t % 16) + 1000);
+    }
+}
+
+#[test]
+fn divergent_early_exit() {
+    // A quarter of each warp exits immediately; the rest loop.
+    let mut b = KernelBuilder::new("early-exit");
+    let out = b.alloc_global(256);
+    let gid = b.reg();
+    let off = b.reg();
+    let p = b.reg();
+    let acc = b.reg();
+    let i = b.reg();
+    b.global_thread_id(gid);
+    b.shl(off, Operand::Reg(gid), Operand::Imm(2));
+    b.and_(p, Operand::Reg(gid), Operand::Imm(3));
+    b.set_eq(p, Operand::Reg(p), Operand::Imm(0));
+    b.if_(Operand::Reg(p), |b| {
+        b.st_global(Operand::Reg(off), out as i32, Operand::Imm(7));
+        b.exit();
+    });
+    b.mov(acc, Operand::Imm(0));
+    b.for_range(i, Operand::Imm(0), Operand::Imm(5), 1, |b, i| {
+        b.add(acc, Operand::Reg(acc), Operand::Reg(i));
+    });
+    b.st_global(Operand::Reg(off), out as i32, Operand::Reg(acc));
+    let k = b.build(4, 64).unwrap();
+    check(&k);
+    let r = Interpreter::new(&k).unwrap().run().unwrap();
+    for t in 0..256u32 {
+        let want = if t % 4 == 0 { 7 } else { 10 };
+        assert_eq!(r.load_words(out + 4 * t, 1)[0], want, "thread {t}");
+    }
+}
+
+#[test]
+fn barrier_inside_loop_with_partial_warp() {
+    // 48 threads (one full + one half warp) ping-pong through shared
+    // memory with a barrier each step.
+    let nt = 48u32;
+    let mut b = KernelBuilder::new("pingpong");
+    let out = b.alloc_global(nt as usize * 4);
+    let buf = b.alloc_shared(nt);
+    let soff = b.reg();
+    let v = b.reg();
+    let nb = b.reg();
+    let t = b.reg();
+    let tmp = b.reg();
+    let goff = b.reg();
+    b.shl(soff, Operand::Sreg(Sreg::Tid), Operand::Imm(2));
+    b.st_shared(Operand::Reg(soff), buf as i32, Operand::Sreg(Sreg::Tid));
+    b.bar();
+    b.mov(v, Operand::Sreg(Sreg::Tid));
+    b.for_range(t, Operand::Imm(0), Operand::Imm(6), 1, |b, _| {
+        b.add(tmp, Operand::Sreg(Sreg::Tid), Operand::Imm(1));
+        b.rem(tmp, Operand::Reg(tmp), Operand::Imm(nt));
+        b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
+        b.ld_shared(nb, Operand::Reg(tmp), buf as i32);
+        b.add(v, Operand::Reg(v), Operand::Reg(nb));
+        b.bar();
+        b.st_shared(Operand::Reg(soff), buf as i32, Operand::Reg(v));
+        b.bar();
+    });
+    b.global_thread_id(goff);
+    b.shl(goff, Operand::Reg(goff), Operand::Imm(2));
+    b.st_global(Operand::Reg(goff), out as i32, Operand::Reg(v));
+    let k = b.build(4, nt).unwrap();
+    check(&k);
+}
+
+#[test]
+fn warp_exits_with_loads_in_flight() {
+    // Stores + a load whose result is never consumed; the warp exits
+    // while the response is still travelling. Exercises the stale-
+    // completion (uid) machinery.
+    let mut b = KernelBuilder::new("fire-and-exit");
+    let data = b.alloc_global(4096);
+    let gid = b.reg();
+    let off = b.reg();
+    let v = b.reg();
+    b.global_thread_id(gid);
+    b.shl(off, Operand::Reg(gid), Operand::Imm(2));
+    b.st_global(Operand::Reg(off), data as i32, Operand::Reg(gid));
+    b.ld_global(v, Operand::Reg(off), data as i32);
+    b.exit();
+    let k = b.build(32, 64).unwrap();
+    check(&k);
+}
+
+#[test]
+fn empty_branch_bodies() {
+    let mut b = KernelBuilder::new("empty");
+    let out = b.alloc_global(64);
+    let gid = b.reg();
+    let off = b.reg();
+    let p = b.reg();
+    b.global_thread_id(gid);
+    b.and_(p, Operand::Reg(gid), Operand::Imm(1));
+    b.if_(Operand::Reg(p), |_| {});
+    b.if_else(Operand::Reg(p), |_| {}, |_| {});
+    b.shl(off, Operand::Reg(gid), Operand::Imm(2));
+    b.st_global(Operand::Reg(off), out as i32, Operand::Imm(1));
+    let k = b.build(1, 64).unwrap();
+    check(&k);
+}

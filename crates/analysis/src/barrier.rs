@@ -1,0 +1,191 @@
+//! Barrier-safety lints.
+//!
+//! `bar` synchronises every thread of a CTA: all warps must arrive. Two
+//! ways a structured program can break that contract:
+//!
+//! * a `bar` inside a divergent region — some lanes branch around it
+//!   (or iterate a loop fewer times) and never arrive: **deadlock**;
+//! * a divergent branch whose two arms contain different numbers of
+//!   `bar`s — threads taking different arms pair up different barriers.
+//!
+//! Both checks key off the uniformity analysis: branches with
+//! CTA-uniform predicates send every thread the same way and are exempt
+//! (the suite's tree reductions run `bar` inside uniform `while` loops).
+
+use crate::dataflow::BitSet;
+use crate::diag::{Diagnostic, Rule, Severity};
+use crate::uniform::Uniformity;
+use vt_isa::{Instr, Program};
+
+/// Flags barriers reachable under divergence and divergent branches with
+/// mismatched per-arm barrier counts.
+pub fn check(program: &Program, uniform: &Uniformity, reachable: &BitSet) -> Vec<Diagnostic> {
+    let n = program.len();
+    let mut diags = Vec::new();
+    for (pc, instr) in program.iter() {
+        if !reachable.contains(pc) {
+            continue;
+        }
+        match *instr {
+            Instr::Bar if uniform.divergent[pc] => {
+                diags.push(Diagnostic::at(
+                    Severity::Error,
+                    Rule::DivergentBarrier,
+                    pc,
+                    "bar may execute with only part of the CTA's lanes active; \
+                     threads that branched around it never arrive",
+                ));
+            }
+            Instr::BraCond { target, reconv, .. } if uniform.divergent_branch[pc] => {
+                let bars = |lo: usize, hi: usize| {
+                    (lo..hi.min(n))
+                        .filter(|&i| matches!(program.fetch(i), Instr::Bar))
+                        .count()
+                };
+                let fallthrough = bars(pc + 1, target);
+                let taken = bars(target, reconv);
+                if fallthrough != taken {
+                    diags.push(Diagnostic::at(
+                        Severity::Error,
+                        Rule::BarrierMismatch,
+                        pc,
+                        format!(
+                            "divergent branch arms contain {fallthrough} and {taken} \
+                             barriers; threads taking different arms wait at \
+                             different barriers"
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    diags
+}
+
+/// Static `bar` count of a program.
+pub fn count(program: &Program) -> usize {
+    program
+        .iter()
+        .filter(|(_, i)| matches!(i, Instr::Bar))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::defs::Reaching;
+    use vt_isa::op::{AluOp, BranchIf, Operand, Reg, Sreg};
+
+    fn analyse(p: &Program, regs: u16) -> Vec<Diagnostic> {
+        let cfg = Cfg::build(p);
+        let reach = cfg.reachable();
+        let r = Reaching::compute(p, &cfg, regs);
+        let u = Uniformity::compute(p, &r, &reach);
+        check(p, &u, &reach)
+    }
+
+    fn mov(dst: u16, a: Operand) -> Instr {
+        Instr::Alu {
+            op: AluOp::Mov,
+            dst: Reg(dst),
+            a,
+            b: Operand::Imm(0),
+        }
+    }
+
+    #[test]
+    fn barrier_under_tid_guard_is_rejected() {
+        // if (tid) { bar; }
+        let p = Program::new(vec![
+            mov(0, Operand::Sreg(Sreg::Tid)),
+            Instr::BraCond {
+                pred: Operand::Reg(Reg(0)),
+                when: BranchIf::Zero,
+                target: 3,
+                reconv: 3,
+            },
+            Instr::Bar,
+            Instr::Exit,
+        ]);
+        let diags = analyse(&p, 1);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == Rule::DivergentBarrier && d.pc == Some(2)));
+        // The empty arm has 0 bars vs 1 in the body: mismatch too.
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == Rule::BarrierMismatch && d.pc == Some(1)));
+        assert!(diags.iter().all(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn barrier_in_uniform_loop_is_fine() {
+        // for (r0 = 0; r0 < 4; r0++) { bar; } — uniform trip count.
+        let p = Program::new(vec![
+            mov(0, Operand::Imm(0)),
+            Instr::Alu {
+                op: AluOp::SetLt,
+                dst: Reg(1),
+                a: Operand::Reg(Reg(0)),
+                b: Operand::Imm(4),
+            },
+            Instr::BraCond {
+                pred: Operand::Reg(Reg(1)),
+                when: BranchIf::Zero,
+                target: 6,
+                reconv: 6,
+            },
+            Instr::Bar,
+            Instr::Alu {
+                op: AluOp::Add,
+                dst: Reg(0),
+                a: Operand::Reg(Reg(0)),
+                b: Operand::Imm(1),
+            },
+            Instr::Bra { target: 1 },
+            Instr::Exit,
+        ]);
+        assert!(analyse(&p, 2).is_empty());
+    }
+
+    #[test]
+    fn balanced_divergent_arms_still_flag_each_barrier() {
+        // if (tid) { bar; } else { bar; } — counts match (no mismatch),
+        // but in lockstep SIMT each arm's bar runs with a partial mask.
+        let p = Program::new(vec![
+            mov(0, Operand::Sreg(Sreg::Tid)),
+            Instr::BraCond {
+                pred: Operand::Reg(Reg(0)),
+                when: BranchIf::Zero,
+                target: 4,
+                reconv: 5,
+            },
+            Instr::Bar,
+            Instr::Bra { target: 5 },
+            Instr::Bar,
+            Instr::Exit,
+        ]);
+        let diags = analyse(&p, 1);
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.rule == Rule::DivergentBarrier)
+                .count(),
+            2
+        );
+        assert!(diags.iter().all(|d| d.rule != Rule::BarrierMismatch));
+    }
+
+    #[test]
+    fn bar_counting() {
+        let p = Program::new(vec![
+            Instr::Bar,
+            mov(0, Operand::Imm(1)),
+            Instr::Bar,
+            Instr::Exit,
+        ]);
+        assert_eq!(count(&p), 2);
+    }
+}

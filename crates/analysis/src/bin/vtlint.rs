@@ -1,0 +1,104 @@
+//! `vtlint` — static lints for virtual-thread kernels.
+//!
+//! ```text
+//! vtlint [--json] [--suite] [FILE.vtasm ...]
+//! ```
+//!
+//! Lints `.vtasm` files and/or every kernel of the built-in workload
+//! suite. Human output prints one headline per kernel followed by its
+//! diagnostics; `--json` emits an array of per-kernel reports instead.
+//!
+//! Exit status: `0` when no error-severity finding was produced, `1`
+//! when at least one kernel has errors, `2` on usage, I/O or parse
+//! problems.
+
+use std::process::ExitCode;
+use vt_analysis::{analyze, Report};
+use vt_json::{Json, ToJson};
+use vt_workloads::{suite, Scale};
+
+struct Args {
+    json: bool,
+    suite: bool,
+    files: Vec<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json: false,
+        suite: false,
+        files: Vec::new(),
+    };
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--suite" => args.suite = true,
+            "--help" | "-h" => {
+                return Err("usage: vtlint [--json] [--suite] [FILE.vtasm ...]".to_string())
+            }
+            _ if a.starts_with('-') => return Err(format!("unknown flag `{a}`")),
+            _ => args.files.push(a),
+        }
+    }
+    if !args.suite && args.files.is_empty() {
+        return Err("nothing to lint: pass --suite and/or .vtasm files".to_string());
+    }
+    Ok(args)
+}
+
+fn collect(args: &Args) -> Result<Vec<Report>, String> {
+    let mut reports = Vec::new();
+    for path in &args.files {
+        let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let kernel = vt_isa::asm::assemble(&src).map_err(|e| format!("{path}: {e}"))?;
+        reports.push(analyze(&kernel));
+    }
+    if args.suite {
+        for w in suite(&Scale::test()) {
+            reports.push(analyze(&w.kernel));
+        }
+    }
+    Ok(reports)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let reports = match collect(&args) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("vtlint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.json {
+        let arr = Json::Array(reports.iter().map(ToJson::to_json).collect());
+        println!("{}", arr.pretty());
+    } else {
+        for r in &reports {
+            println!("{}", r.headline());
+            for d in &r.diagnostics {
+                println!("  {d}");
+            }
+        }
+        let errors: usize = reports.iter().map(Report::error_count).sum();
+        let warnings: usize = reports.iter().map(Report::warning_count).sum();
+        println!(
+            "{} kernel{} linted: {errors} error{}, {warnings} warning{}",
+            reports.len(),
+            if reports.len() == 1 { "" } else { "s" },
+            if errors == 1 { "" } else { "s" },
+            if warnings == 1 { "" } else { "s" },
+        );
+    }
+    if reports.iter().any(Report::has_errors) {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

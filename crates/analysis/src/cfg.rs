@@ -1,0 +1,275 @@
+//! Instruction-level control-flow graph with post-dominator analysis.
+//!
+//! Every instruction is a node; a virtual exit node collects all `exit`
+//! instructions (and any fallthrough off the end, though validated
+//! programs cannot have one). Post-dominator sets are computed by
+//! iterative intersection over the reverse graph, and a branch's
+//! immediate post-dominator is checked against its declared
+//! reconvergence PC: on an IPDOM-based SIMT stack, reconverging anywhere
+//! other than the immediate post-dominator either replays instructions
+//! or keeps lanes serialised longer than necessary.
+
+use crate::dataflow::BitSet;
+use crate::diag::{Diagnostic, Rule, Severity};
+use vt_isa::{Instr, Program};
+
+/// A control-flow graph over instruction indices `0..len`, plus a
+/// virtual exit node at index `len`.
+#[derive(Debug)]
+pub struct Cfg {
+    /// Successor lists, indexed by node; the exit node has none.
+    pub succs: Vec<Vec<usize>>,
+    /// Predecessor lists, indexed by node.
+    pub preds: Vec<Vec<usize>>,
+    /// Number of real instructions (the exit node is `len`).
+    pub len: usize,
+}
+
+impl Cfg {
+    /// Builds the graph for a program.
+    pub fn build(program: &Program) -> Cfg {
+        let len = program.len();
+        let exit = len;
+        let mut succs = vec![Vec::new(); len + 1];
+        for (pc, instr) in program.iter() {
+            match *instr {
+                Instr::Exit => succs[pc].push(exit),
+                Instr::Bra { target } => succs[pc].push(target.min(exit)),
+                Instr::BraCond {
+                    target, reconv: _, ..
+                } => {
+                    // Fallthrough first, taken edge second; the declared
+                    // reconvergence point is metadata, not an edge.
+                    succs[pc].push(if pc + 1 < len { pc + 1 } else { exit });
+                    let t = target.min(exit);
+                    if !succs[pc].contains(&t) {
+                        succs[pc].push(t);
+                    }
+                }
+                _ => succs[pc].push(if pc + 1 < len { pc + 1 } else { exit }),
+            }
+        }
+        let mut preds = vec![Vec::new(); len + 1];
+        for (n, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                preds[s].push(n);
+            }
+        }
+        Cfg { succs, preds, len }
+    }
+
+    /// The virtual exit node's index.
+    pub fn exit(&self) -> usize {
+        self.len
+    }
+
+    /// Nodes reachable from instruction 0 (the kernel entry).
+    pub fn reachable(&self) -> BitSet {
+        let mut seen = BitSet::new(self.len + 1);
+        if self.len == 0 {
+            return seen;
+        }
+        let mut stack = vec![0];
+        seen.insert(0);
+        while let Some(n) = stack.pop() {
+            for &s in &self.succs[n] {
+                if seen.insert(s) {
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Post-dominator sets, one per node (`pdom[n]` contains `n`).
+    /// Computed by iterating `pdom(v) = {v} ∪ ⋂ pdom(s)` to a fixed
+    /// point; nodes that cannot reach the exit keep the full universe.
+    pub fn postdominators(&self) -> Vec<BitSet> {
+        let n = self.len + 1;
+        let exit = self.exit();
+        let mut pdom: Vec<BitSet> = (0..n)
+            .map(|v| {
+                if v == exit {
+                    BitSet::singleton(n, exit)
+                } else {
+                    BitSet::full(n)
+                }
+            })
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Reverse program order converges fast on forward-structured
+            // code.
+            for v in (0..self.len).rev() {
+                let mut next = BitSet::full(n);
+                let mut any = false;
+                for &s in &self.succs[v] {
+                    next.intersect_with(&pdom[s]);
+                    any = true;
+                }
+                if !any {
+                    next = BitSet::new(n);
+                }
+                next.insert(v);
+                if next != pdom[v] {
+                    pdom[v] = next;
+                    changed = true;
+                }
+            }
+        }
+        pdom
+    }
+
+    /// Immediate post-dominator of every node: among a node's strict
+    /// post-dominators they form a chain, and the nearest one is the one
+    /// with the largest post-dominator set. `None` for the exit node and
+    /// for nodes that cannot reach the exit.
+    pub fn ipdoms(&self, pdom: &[BitSet]) -> Vec<Option<usize>> {
+        let exit = self.exit();
+        (0..self.len + 1)
+            .map(|v| {
+                if v == exit || !pdom[v].contains(exit) {
+                    return None;
+                }
+                pdom[v]
+                    .iter()
+                    .filter(|&p| p != v)
+                    .max_by_key(|&p| pdom[p].count())
+            })
+            .collect()
+    }
+
+    /// Checks every divergent branch's declared reconvergence PC against
+    /// its immediate post-dominator.
+    pub fn check_reconvergence(&self, program: &Program) -> Vec<Diagnostic> {
+        let pdom = self.postdominators();
+        let ipdom = self.ipdoms(&pdom);
+        let reachable = self.reachable();
+        let mut diags = Vec::new();
+        for (pc, instr) in program.iter() {
+            let Instr::BraCond { reconv, .. } = *instr else {
+                continue;
+            };
+            if !reachable.contains(pc) {
+                continue;
+            }
+            let Some(ip) = ipdom[pc] else { continue };
+            let declared = reconv.min(self.exit());
+            if declared != ip {
+                let where_ = if ip == self.exit() {
+                    "exit".to_string()
+                } else {
+                    ip.to_string()
+                };
+                diags.push(Diagnostic::at(
+                    Severity::Error,
+                    Rule::BadReconv,
+                    pc,
+                    format!(
+                        "branch reconverges at @{reconv} but its immediate \
+                         post-dominator is @{where_}"
+                    ),
+                ));
+            }
+        }
+        diags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_isa::op::{AluOp, BranchIf, Operand, Reg};
+
+    fn nop(r: u16) -> Instr {
+        Instr::Alu {
+            op: AluOp::Add,
+            dst: Reg(r),
+            a: Operand::Reg(Reg(r)),
+            b: Operand::Imm(1),
+        }
+    }
+
+    fn brc(target: usize, reconv: usize) -> Instr {
+        Instr::BraCond {
+            pred: Operand::Reg(Reg(0)),
+            when: BranchIf::Zero,
+            target,
+            reconv,
+        }
+    }
+
+    #[test]
+    fn straight_line_chains_to_exit() {
+        let p = Program::new(vec![nop(0), nop(0), Instr::Exit]);
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.succs[0], vec![1]);
+        assert_eq!(cfg.succs[1], vec![2]);
+        assert_eq!(cfg.succs[2], vec![3]);
+        assert_eq!(cfg.preds[3], vec![2]);
+        let pdom = cfg.postdominators();
+        let ipdom = cfg.ipdoms(&pdom);
+        assert_eq!(ipdom[0], Some(1));
+        assert_eq!(ipdom[2], Some(3));
+        assert_eq!(ipdom[3], None);
+    }
+
+    #[test]
+    fn if_branch_ipdom_is_join() {
+        // 0: brc @2 reconv 2; 1: body; 2: join; 3: exit
+        let p = Program::new(vec![brc(2, 2), nop(0), nop(0), Instr::Exit]);
+        let cfg = Cfg::build(&p);
+        let pdom = cfg.postdominators();
+        assert_eq!(cfg.ipdoms(&pdom)[0], Some(2));
+        assert!(cfg.check_reconvergence(&p).is_empty());
+    }
+
+    #[test]
+    fn loop_branch_ipdom_is_loop_exit() {
+        // 0: cond; 1: brc @4 reconv 4; 2: body; 3: bra @0; 4: exit
+        let p = Program::new(vec![
+            nop(0),
+            brc(4, 4),
+            nop(1),
+            Instr::Bra { target: 0 },
+            Instr::Exit,
+        ]);
+        let cfg = Cfg::build(&p);
+        let pdom = cfg.postdominators();
+        assert_eq!(cfg.ipdoms(&pdom)[1], Some(4));
+        assert!(cfg.check_reconvergence(&p).is_empty());
+    }
+
+    #[test]
+    fn late_reconvergence_is_flagged() {
+        // The branch joins at 2 but declares reconvergence one later.
+        let p = Program::new(vec![brc(2, 3), nop(0), nop(0), nop(0), Instr::Exit]);
+        let cfg = Cfg::build(&p);
+        let diags = cfg.check_reconvergence(&p);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::BadReconv);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[0].pc, Some(0));
+    }
+
+    #[test]
+    fn reconv_at_program_end_matches_virtual_exit() {
+        // reconv == len is the virtual exit; ipdom of the branch is the
+        // trailing exit instruction, so reconv == len mismatches it only
+        // when a real join instruction exists.
+        let p = Program::new(vec![brc(1, 1), Instr::Exit]);
+        let cfg = Cfg::build(&p);
+        assert!(cfg.check_reconvergence(&p).is_empty());
+    }
+
+    #[test]
+    fn reachability_skips_dead_code() {
+        let p = Program::new(vec![Instr::Bra { target: 2 }, nop(0), Instr::Exit]);
+        let cfg = Cfg::build(&p);
+        let r = cfg.reachable();
+        assert!(r.contains(0));
+        assert!(!r.contains(1));
+        assert!(r.contains(2));
+    }
+}

@@ -1,0 +1,212 @@
+//! Reaching definitions and the uninitialized-read lint.
+//!
+//! The universe has one bit per instruction (a definition site when the
+//! instruction writes a register) plus one *entry definition* per
+//! register representing the launch-time state. A read is flagged when
+//! the entry definition still reaches it — some path writes nothing to
+//! the register first. Registers are zero-initialised at launch, so the
+//! finding is a warning rather than an error.
+
+use crate::cfg::Cfg;
+use crate::dataflow::{solve, BitSet, Direction, Meet, Problem, Solution};
+use crate::diag::{Diagnostic, Rule, Severity};
+use vt_isa::{Program, Reg};
+
+/// Reaching-definition sets for every instruction.
+pub struct Reaching {
+    /// Definition sites of each register (bits are instruction PCs).
+    pub sites_of: Vec<BitSet>,
+    sol: Solution,
+    len: usize,
+    num_regs: usize,
+}
+
+impl Reaching {
+    /// Runs the forward may-analysis over `program`.
+    pub fn compute(program: &Program, cfg: &Cfg, num_regs: u16) -> Reaching {
+        let n = program.len();
+        let regs = usize::from(num_regs);
+        let bits = n + regs;
+        let mut sites_of = vec![BitSet::new(n); regs];
+        for (pc, instr) in program.iter() {
+            if let Some(d) = instr.dst() {
+                sites_of[usize::from(d.0)].insert(pc);
+            }
+        }
+        let mut gen = vec![BitSet::new(bits); n];
+        let mut kill = vec![BitSet::new(bits); n];
+        for (pc, instr) in program.iter() {
+            if let Some(d) = instr.dst() {
+                let r = usize::from(d.0);
+                gen[pc].insert(pc);
+                for site in sites_of[r].iter() {
+                    if site != pc {
+                        kill[pc].insert(site);
+                    }
+                }
+                kill[pc].insert(n + r);
+            }
+        }
+        // At entry, every register holds its launch value.
+        let mut boundary = BitSet::new(bits);
+        for r in 0..regs {
+            boundary.insert(n + r);
+        }
+        let sol = solve(&Problem {
+            cfg,
+            bits,
+            direction: Direction::Forward,
+            meet: Meet::Union,
+            gen,
+            kill,
+            boundary,
+        });
+        Reaching {
+            sites_of,
+            sol,
+            len: n,
+            num_regs: regs,
+        }
+    }
+
+    /// Whether the launch-time (never-written) state of `r` may reach
+    /// `pc`.
+    pub fn entry_reaches(&self, pc: usize, r: Reg) -> bool {
+        self.sol.input[pc].contains(self.len + usize::from(r.0))
+    }
+
+    /// The definition sites of `r` that may reach `pc`.
+    pub fn defs_at(&self, pc: usize, r: Reg) -> Vec<usize> {
+        // The solution's universe is wider than `sites_of` (it carries
+        // the per-register entry bits too), so filter rather than
+        // intersect.
+        let sites = &self.sites_of[usize::from(r.0)];
+        self.sol.input[pc]
+            .iter()
+            .filter(|&i| i < self.len && sites.contains(i))
+            .collect()
+    }
+
+    /// Number of registers in the universe.
+    pub fn num_regs(&self) -> usize {
+        self.num_regs
+    }
+
+    /// Flags reads that the entry definition may still reach.
+    pub fn uninit_diags(&self, program: &Program, reachable: &BitSet) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        for (pc, instr) in program.iter() {
+            if !reachable.contains(pc) {
+                continue;
+            }
+            let mut seen = Vec::new();
+            for r in instr.src_regs() {
+                if self.entry_reaches(pc, r) && !seen.contains(&r) {
+                    seen.push(r);
+                    diags.push(Diagnostic::at(
+                        Severity::Warning,
+                        Rule::UninitRead,
+                        pc,
+                        format!("{r} may be read before any write (it is zero at launch)"),
+                    ));
+                }
+            }
+        }
+        diags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_isa::op::{AluOp, Operand};
+    use vt_isa::Instr;
+
+    fn mov(dst: u16, a: Operand) -> Instr {
+        Instr::Alu {
+            op: AluOp::Mov,
+            dst: Reg(dst),
+            a,
+            b: Operand::Imm(0),
+        }
+    }
+
+    fn analyse(p: &Program, regs: u16) -> (Cfg, Reaching) {
+        let cfg = Cfg::build(p);
+        let r = Reaching::compute(p, &cfg, regs);
+        (cfg, r)
+    }
+
+    #[test]
+    fn write_then_read_is_clean() {
+        let p = Program::new(vec![
+            mov(0, Operand::Imm(7)),
+            mov(1, Operand::Reg(Reg(0))),
+            Instr::Exit,
+        ]);
+        let (cfg, r) = analyse(&p, 2);
+        assert!(r.uninit_diags(&p, &cfg.reachable()).is_empty());
+        assert_eq!(r.defs_at(1, Reg(0)), vec![0]);
+        assert!(!r.entry_reaches(1, Reg(0)));
+    }
+
+    #[test]
+    fn read_before_write_warns() {
+        let p = Program::new(vec![mov(1, Operand::Reg(Reg(0))), Instr::Exit]);
+        let (cfg, r) = analyse(&p, 2);
+        let diags = r.uninit_diags(&p, &cfg.reachable());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::UninitRead);
+        assert_eq!(diags[0].pc, Some(0));
+        assert!(diags[0].message.contains("r0"));
+    }
+
+    #[test]
+    fn write_on_only_one_path_still_warns() {
+        // 0: brc over the write; 1: write r0; 2: read r0.
+        let p = Program::new(vec![
+            Instr::BraCond {
+                pred: Operand::Imm(1),
+                when: vt_isa::op::BranchIf::Zero,
+                target: 2,
+                reconv: 2,
+            },
+            mov(0, Operand::Imm(5)),
+            mov(1, Operand::Reg(Reg(0))),
+            Instr::Exit,
+        ]);
+        let (cfg, r) = analyse(&p, 2);
+        let diags = r.uninit_diags(&p, &cfg.reachable());
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].pc, Some(2));
+        // Both the real def and the entry state reach the read.
+        assert_eq!(r.defs_at(2, Reg(0)), vec![1]);
+        assert!(r.entry_reaches(2, Reg(0)));
+    }
+
+    #[test]
+    fn loop_carried_defs_all_reach() {
+        // 0: init r0; 1: brc exit; 2: r0 += 1; 3: bra 1; 4: read r0.
+        let p = Program::new(vec![
+            mov(0, Operand::Imm(0)),
+            Instr::BraCond {
+                pred: Operand::Reg(Reg(0)),
+                when: vt_isa::op::BranchIf::Zero,
+                target: 4,
+                reconv: 4,
+            },
+            Instr::Alu {
+                op: AluOp::Add,
+                dst: Reg(0),
+                a: Operand::Reg(Reg(0)),
+                b: Operand::Imm(1),
+            },
+            Instr::Bra { target: 1 },
+            mov(1, Operand::Reg(Reg(0))),
+            Instr::Exit,
+        ]);
+        let (cfg, r) = analyse(&p, 2);
+        assert!(r.uninit_diags(&p, &cfg.reachable()).is_empty());
+        assert_eq!(r.defs_at(4, Reg(0)), vec![0, 2]);
+    }
+}

@@ -1,0 +1,281 @@
+//! Diagnostics and per-kernel reports.
+
+use std::fmt;
+use vt_json::Json;
+
+/// How bad a finding is.
+///
+/// * [`Severity::Error`] — the kernel is wrong: it can deadlock, diverge
+///   past its declared reconvergence point, or otherwise break the
+///   execution model. `vtlint` exits non-zero if any error is present.
+/// * [`Severity::Warning`] — the kernel is suspicious but may be
+///   intentional (a conservative may-race, a read of a zero-initialised
+///   register, a dead store).
+/// * [`Severity::Info`] — a fact worth surfacing, such as a register
+///   declaration padded above actual use (deliberate in the suite's
+///   capacity-limited workloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Breaks the execution model.
+    Error,
+    /// Suspicious but possibly intentional.
+    Warning,
+    /// Informational finding.
+    Info,
+}
+
+impl Severity {
+    /// Lower-case label used in human and JSON output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Info => "info",
+        }
+    }
+}
+
+/// Which lint produced a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// A divergent branch's `reconv` is not the branch's immediate
+    /// post-dominator: lanes reconverge too late (wasting serialised
+    /// execution) or the stack replays instructions.
+    BadReconv,
+    /// A register may be read before any write on some path. Registers
+    /// are zero-initialised at launch, so this is a warning, not an
+    /// error — but it usually means a missing initialisation.
+    UninitRead,
+    /// A pure instruction's destination is never read afterwards.
+    DeadStore,
+    /// A `bar` is reachable while lanes of a CTA may have diverged:
+    /// some threads arrive, others never do — deadlock.
+    DivergentBarrier,
+    /// The two arms of a divergent branch contain different numbers of
+    /// barriers, so threads taking different arms wait at different
+    /// barrier counts.
+    BarrierMismatch,
+    /// Two shared-memory accesses in the same barrier interval — at
+    /// least one a store — may touch the same word from different lanes.
+    SharedRace,
+    /// The kernel declares more registers than it ever uses
+    /// (deliberate footprint padding, or a stale declaration).
+    OverDeclaredRegs,
+}
+
+impl Rule {
+    /// Stable kebab-case name used in output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rule::BadReconv => "bad-reconv",
+            Rule::UninitRead => "uninit-read",
+            Rule::DeadStore => "dead-store",
+            Rule::DivergentBarrier => "divergent-barrier",
+            Rule::BarrierMismatch => "barrier-mismatch",
+            Rule::SharedRace => "shared-race",
+            Rule::OverDeclaredRegs => "over-declared-regs",
+        }
+    }
+}
+
+/// One finding, anchored to a program counter when it concerns a
+/// specific instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// How bad it is.
+    pub severity: Severity,
+    /// The lint that fired.
+    pub rule: Rule,
+    /// Instruction the finding anchors to, if any.
+    pub pc: Option<usize>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic anchored at `pc`.
+    pub fn at(severity: Severity, rule: Rule, pc: usize, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity,
+            rule,
+            pc: Some(pc),
+            message: message.into(),
+        }
+    }
+
+    /// Builds a kernel-level diagnostic with no instruction anchor.
+    pub fn kernel(severity: Severity, rule: Rule, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity,
+            rule,
+            pc: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity.label(), self.rule.name())?;
+        if let Some(pc) = self.pc {
+            write!(f, " pc {pc}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// Everything the analyzer learned about one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Kernel name.
+    pub kernel: String,
+    /// Registers per thread the kernel declares.
+    pub declared_regs: u16,
+    /// Highest register index actually referenced, plus one.
+    pub used_regs: u16,
+    /// Maximum number of simultaneously-live registers at any program
+    /// point (the analyzer's register-pressure estimate).
+    pub register_pressure: u16,
+    /// Static `bar` instruction count.
+    pub barriers: usize,
+    /// Barrier-delimited phases of the kernel (static barriers + 1).
+    pub barrier_intervals: usize,
+    /// All findings, sorted by program counter.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether any error-severity finding is present.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// One-line summary used by `vtlint`'s human output.
+    pub fn headline(&self) -> String {
+        format!(
+            "{}: {} regs declared, {} used, pressure {}; {} barrier{} ({} interval{})",
+            self.kernel,
+            self.declared_regs,
+            self.used_regs,
+            self.register_pressure,
+            self.barriers,
+            if self.barriers == 1 { "" } else { "s" },
+            self.barrier_intervals,
+            if self.barrier_intervals == 1 { "" } else { "s" },
+        )
+    }
+}
+
+impl vt_json::ToJson for Diagnostic {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            (
+                "severity".to_string(),
+                Json::Str(self.severity.label().to_string()),
+            ),
+            ("rule".to_string(), Json::Str(self.rule.name().to_string())),
+            (
+                "pc".to_string(),
+                match self.pc {
+                    Some(pc) => Json::UInt(pc as u64),
+                    None => Json::Null,
+                },
+            ),
+            ("message".to_string(), Json::Str(self.message.clone())),
+        ])
+    }
+}
+
+impl vt_json::ToJson for Report {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("kernel".to_string(), Json::Str(self.kernel.clone())),
+            (
+                "declared_regs".to_string(),
+                Json::UInt(u64::from(self.declared_regs)),
+            ),
+            (
+                "used_regs".to_string(),
+                Json::UInt(u64::from(self.used_regs)),
+            ),
+            (
+                "register_pressure".to_string(),
+                Json::UInt(u64::from(self.register_pressure)),
+            ),
+            ("barriers".to_string(), Json::UInt(self.barriers as u64)),
+            (
+                "barrier_intervals".to_string(),
+                Json::UInt(self.barrier_intervals as u64),
+            ),
+            ("errors".to_string(), Json::UInt(self.error_count() as u64)),
+            (
+                "warnings".to_string(),
+                Json::UInt(self.warning_count() as u64),
+            ),
+            (
+                "diagnostics".to_string(),
+                Json::Array(
+                    self.diagnostics
+                        .iter()
+                        .map(vt_json::ToJson::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_json::ToJson;
+
+    #[test]
+    fn diagnostic_display_and_ordering() {
+        let d = Diagnostic::at(Severity::Error, Rule::BadReconv, 4, "boom");
+        assert_eq!(d.to_string(), "error[bad-reconv] pc 4: boom");
+        let k = Diagnostic::kernel(Severity::Info, Rule::OverDeclaredRegs, "pad");
+        assert_eq!(k.to_string(), "info[over-declared-regs]: pad");
+        assert!(Severity::Error < Severity::Warning);
+        assert!(Severity::Warning < Severity::Info);
+    }
+
+    #[test]
+    fn report_counts_and_json() {
+        let r = Report {
+            kernel: "k".to_string(),
+            declared_regs: 8,
+            used_regs: 6,
+            register_pressure: 4,
+            barriers: 2,
+            barrier_intervals: 3,
+            diagnostics: vec![
+                Diagnostic::at(Severity::Error, Rule::DivergentBarrier, 1, "a"),
+                Diagnostic::at(Severity::Warning, Rule::SharedRace, 2, "b"),
+            ],
+        };
+        assert_eq!(r.error_count(), 1);
+        assert_eq!(r.warning_count(), 1);
+        assert!(r.has_errors());
+        let json = r.to_json().compact();
+        assert!(json.contains("\"errors\":1"));
+        assert!(json.contains("\"rule\":\"divergent-barrier\""));
+        assert!(r.headline().contains("pressure 4"));
+    }
+}

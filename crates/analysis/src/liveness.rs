@@ -1,0 +1,237 @@
+//! Liveness analysis: dead stores and register pressure.
+//!
+//! A backward may-analysis over registers. Two consumers:
+//!
+//! * **dead-store** — a pure instruction (no memory or control side
+//!   effects) whose destination is not live afterwards did nothing.
+//! * **register pressure** — the maximum number of simultaneously-live
+//!   registers at any reachable program point, the analyzer's lower
+//!   bound on how many architectural registers the kernel really needs.
+
+use crate::cfg::Cfg;
+use crate::dataflow::{solve, BitSet, Direction, Meet, Problem, Solution};
+use crate::diag::{Diagnostic, Rule, Severity};
+use vt_isa::Program;
+
+/// Live-register sets around every instruction.
+pub struct Liveness {
+    sol: Solution,
+}
+
+impl Liveness {
+    /// Runs the backward may-analysis.
+    pub fn compute(program: &Program, cfg: &Cfg, num_regs: u16) -> Liveness {
+        let n = program.len();
+        let bits = usize::from(num_regs);
+        let mut gen = vec![BitSet::new(bits); n];
+        let mut kill = vec![BitSet::new(bits); n];
+        for (pc, instr) in program.iter() {
+            for r in instr.src_regs() {
+                gen[pc].insert(usize::from(r.0));
+            }
+            if let Some(d) = instr.dst() {
+                // A register both read and written (e.g. `add r0, r0, 1`)
+                // stays in gen: the read happens before the write.
+                if !gen[pc].contains(usize::from(d.0)) {
+                    kill[pc].insert(usize::from(d.0));
+                }
+            }
+        }
+        let sol = solve(&Problem {
+            cfg,
+            bits,
+            direction: Direction::Backward,
+            meet: Meet::Union,
+            gen,
+            kill,
+            boundary: BitSet::new(bits),
+        });
+        Liveness { sol }
+    }
+
+    /// Registers live immediately before `pc`.
+    pub fn live_in(&self, pc: usize) -> &BitSet {
+        &self.sol.input[pc]
+    }
+
+    /// Registers live immediately after `pc`.
+    pub fn live_out(&self, pc: usize) -> &BitSet {
+        &self.sol.output[pc]
+    }
+
+    /// Maximum live-set size over all reachable program points.
+    pub fn pressure(&self, reachable: &BitSet) -> u16 {
+        let mut max = 0;
+        for pc in 0..self.sol.input.len() {
+            if reachable.contains(pc) {
+                max = max
+                    .max(self.sol.input[pc].count())
+                    .max(self.sol.output[pc].count());
+            }
+        }
+        max as u16
+    }
+
+    /// Flags pure instructions whose destination is never read.
+    pub fn dead_store_diags(&self, program: &Program, reachable: &BitSet) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        for (pc, instr) in program.iter() {
+            if !reachable.contains(pc) || !instr.is_pure() {
+                continue;
+            }
+            let Some(d) = instr.dst() else { continue };
+            if !self.sol.output[pc].contains(usize::from(d.0)) {
+                diags.push(Diagnostic::at(
+                    Severity::Warning,
+                    Rule::DeadStore,
+                    pc,
+                    format!("{d} is written here but never read afterwards"),
+                ));
+            }
+        }
+        diags
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_isa::op::{AluOp, MemSpace, Operand, Reg};
+    use vt_isa::Instr;
+
+    fn mov(dst: u16, a: Operand) -> Instr {
+        Instr::Alu {
+            op: AluOp::Mov,
+            dst: Reg(dst),
+            a,
+            b: Operand::Imm(0),
+        }
+    }
+
+    fn analyse(p: &Program, regs: u16) -> (BitSet, Liveness) {
+        let cfg = Cfg::build(p);
+        let l = Liveness::compute(p, &cfg, regs);
+        (cfg.reachable(), l)
+    }
+
+    #[test]
+    fn consumed_value_is_live() {
+        let p = Program::new(vec![
+            mov(0, Operand::Imm(1)),
+            Instr::St {
+                space: MemSpace::Global,
+                addr: Operand::Imm(0),
+                offset: 0,
+                src: Operand::Reg(Reg(0)),
+            },
+            Instr::Exit,
+        ]);
+        let (reach, l) = analyse(&p, 1);
+        assert!(l.live_out(0).contains(0));
+        assert!(l.dead_store_diags(&p, &reach).is_empty());
+        assert_eq!(l.pressure(&reach), 1);
+    }
+
+    #[test]
+    fn unread_pure_def_is_dead() {
+        let p = Program::new(vec![mov(0, Operand::Imm(1)), Instr::Exit]);
+        let (reach, l) = analyse(&p, 1);
+        let diags = l.dead_store_diags(&p, &reach);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::DeadStore);
+        assert_eq!(diags[0].pc, Some(0));
+    }
+
+    #[test]
+    fn loads_are_never_dead_stores() {
+        // A load's destination being unused is a performance question,
+        // not a dead *computation*: the memory access still happens.
+        let p = Program::new(vec![
+            Instr::Ld {
+                space: MemSpace::Global,
+                dst: Reg(0),
+                addr: Operand::Imm(0),
+                offset: 0,
+            },
+            Instr::Exit,
+        ]);
+        let (reach, l) = analyse(&p, 1);
+        assert!(l.dead_store_diags(&p, &reach).is_empty());
+    }
+
+    #[test]
+    fn overwritten_before_read_is_dead() {
+        let p = Program::new(vec![
+            mov(0, Operand::Imm(1)),
+            mov(0, Operand::Imm(2)),
+            Instr::St {
+                space: MemSpace::Global,
+                addr: Operand::Imm(0),
+                offset: 0,
+                src: Operand::Reg(Reg(0)),
+            },
+            Instr::Exit,
+        ]);
+        let (reach, l) = analyse(&p, 1);
+        let diags = l.dead_store_diags(&p, &reach);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].pc, Some(0));
+    }
+
+    #[test]
+    fn pressure_counts_overlapping_lifetimes() {
+        // r0 and r1 are both live across the second mov.
+        let p = Program::new(vec![
+            mov(0, Operand::Imm(1)),
+            mov(1, Operand::Imm(2)),
+            Instr::Alu {
+                op: AluOp::Add,
+                dst: Reg(2),
+                a: Operand::Reg(Reg(0)),
+                b: Operand::Reg(Reg(1)),
+            },
+            Instr::St {
+                space: MemSpace::Global,
+                addr: Operand::Imm(0),
+                offset: 0,
+                src: Operand::Reg(Reg(2)),
+            },
+            Instr::Exit,
+        ]);
+        let (reach, l) = analyse(&p, 3);
+        assert_eq!(l.pressure(&reach), 2);
+        assert!(l.live_in(2).contains(0) && l.live_in(2).contains(1));
+    }
+
+    #[test]
+    fn self_update_keeps_register_live_through_loops() {
+        // 0: init; 1: brc exit; 2: r0 += 1 (read+write); 3: bra 1;
+        // 4: store r0.
+        let p = Program::new(vec![
+            mov(0, Operand::Imm(0)),
+            Instr::BraCond {
+                pred: Operand::Reg(Reg(0)),
+                when: vt_isa::op::BranchIf::Zero,
+                target: 4,
+                reconv: 4,
+            },
+            Instr::Alu {
+                op: AluOp::Add,
+                dst: Reg(0),
+                a: Operand::Reg(Reg(0)),
+                b: Operand::Imm(1),
+            },
+            Instr::Bra { target: 1 },
+            Instr::St {
+                space: MemSpace::Global,
+                addr: Operand::Imm(0),
+                offset: 0,
+                src: Operand::Reg(Reg(0)),
+            },
+            Instr::Exit,
+        ]);
+        let (reach, l) = analyse(&p, 1);
+        assert!(l.dead_store_diags(&p, &reach).is_empty());
+        assert!(l.live_in(1).contains(0));
+    }
+}

@@ -1,0 +1,629 @@
+//! Conservative shared-memory race detection.
+//!
+//! Between two barriers the warps of a CTA run asynchronously, so any
+//! two shared-memory accesses in the same barrier interval — including
+//! two dynamic instances of the *same* instruction in different lanes —
+//! may execute in either order. The detector pairs up accesses that can
+//! reach each other without crossing a `bar`, keeps pairs with at least
+//! one store, and asks whether two distinct lanes could touch the same
+//! 32-bit word.
+//!
+//! Addresses are classified into the affine form `k·tid + c (+ base)`
+//! by chasing single reaching definitions through moves, adds, shifts
+//! and multiplies by constants; `base` is an opaque CTA-uniform term (a
+//! uniform special register or a uniform unmatched definition).
+//! Anything else is `Unknown` and conservatively overlaps everything,
+//! so the analysis errs toward reporting: findings are warnings.
+
+use crate::cfg::Cfg;
+use crate::dataflow::BitSet;
+use crate::defs::Reaching;
+use crate::diag::{Diagnostic, Rule, Severity};
+use crate::uniform::Uniformity;
+use vt_isa::op::{AluOp, MemSpace, Operand, Sreg};
+use vt_isa::{Instr, Program};
+
+/// Symbolic classification of an address expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddrClass {
+    /// `k·tid + c + base` in bytes.
+    Affine {
+        /// Per-thread stride (coefficient of `%tid`).
+        k: i64,
+        /// Constant byte offset.
+        c: i64,
+        /// Opaque CTA-uniform term shared by all lanes, if any.
+        base: Option<Base>,
+    },
+    /// Not expressible in the affine form; overlaps everything.
+    Unknown,
+}
+
+/// An opaque uniform term two affine forms can share (and cancel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Base {
+    /// A CTA-uniform special register.
+    Sreg(Sreg),
+    /// The (uniform) value defined at this PC.
+    Def(usize),
+}
+
+const MAX_DEPTH: u32 = 16;
+
+/// Classifies the operand read at `pc` as an address expression.
+pub fn classify(
+    program: &Program,
+    reaching: &Reaching,
+    uniform: &Uniformity,
+    pc: usize,
+    op: Operand,
+    depth: u32,
+) -> AddrClass {
+    let affine = |k, c, base| AddrClass::Affine { k, c, base };
+    if depth == 0 {
+        return AddrClass::Unknown;
+    }
+    match op {
+        Operand::Imm(v) => affine(0, i64::from(v), None),
+        Operand::Sreg(Sreg::Tid) => affine(1, 0, None),
+        Operand::Sreg(s) if !s.is_thread_varying() => affine(0, 0, Some(Base::Sreg(s))),
+        Operand::Sreg(_) => AddrClass::Unknown,
+        Operand::Reg(r) => {
+            let defs = reaching.defs_at(pc, r);
+            match (defs.as_slice(), reaching.entry_reaches(pc, r)) {
+                // Never written: the launch value, zero.
+                ([], _) => affine(0, 0, None),
+                ([d], false) => classify_def(program, reaching, uniform, *d, depth - 1),
+                // Multiple candidate values (or a write raced against the
+                // launch state): give up.
+                _ => AddrClass::Unknown,
+            }
+        }
+    }
+}
+
+fn classify_def(
+    program: &Program,
+    reaching: &Reaching,
+    uniform: &Uniformity,
+    d: usize,
+    depth: u32,
+) -> AddrClass {
+    let class = |op| classify(program, reaching, uniform, d, op, depth);
+    match *program.fetch(d) {
+        Instr::Alu {
+            op: AluOp::Mov, a, ..
+        } => class(a),
+        Instr::Alu {
+            op: AluOp::Add,
+            a,
+            b,
+            ..
+        } => add(class(a), class(b)),
+        Instr::Alu {
+            op: AluOp::Sub,
+            a,
+            b,
+            ..
+        } => sub(class(a), class(b)),
+        Instr::Alu {
+            op: AluOp::Mul,
+            a,
+            b,
+            ..
+        } => mul(class(a), class(b)),
+        Instr::Alu {
+            op: AluOp::Shl,
+            a,
+            b,
+            ..
+        } => match class(b) {
+            AddrClass::Affine {
+                k: 0,
+                c: sh,
+                base: None,
+            } if (0..32).contains(&sh) => mul(
+                class(a),
+                AddrClass::Affine {
+                    k: 0,
+                    c: 1 << sh,
+                    base: None,
+                },
+            ),
+            _ => AddrClass::Unknown,
+        },
+        Instr::Mad { a, b, c, .. } => add(mul(class(a), class(b)), class(c)),
+        // An unmatched definition is still a usable base when every lane
+        // computes the same value.
+        _ if !uniform.varying_def[d] => AddrClass::Affine {
+            k: 0,
+            c: 0,
+            base: Some(Base::Def(d)),
+        },
+        _ => AddrClass::Unknown,
+    }
+}
+
+fn add(a: AddrClass, b: AddrClass) -> AddrClass {
+    let (
+        AddrClass::Affine {
+            k: ka,
+            c: ca,
+            base: ba,
+        },
+        AddrClass::Affine {
+            k: kb,
+            c: cb,
+            base: bb,
+        },
+    ) = (a, b)
+    else {
+        return AddrClass::Unknown;
+    };
+    let base = match (ba, bb) {
+        (None, b) | (b, None) => b,
+        (Some(_), Some(_)) => return AddrClass::Unknown,
+    };
+    AddrClass::Affine {
+        k: ka + kb,
+        c: ca + cb,
+        base,
+    }
+}
+
+fn sub(a: AddrClass, b: AddrClass) -> AddrClass {
+    let (
+        AddrClass::Affine {
+            k: ka,
+            c: ca,
+            base: ba,
+        },
+        AddrClass::Affine {
+            k: kb,
+            c: cb,
+            base: bb,
+        },
+    ) = (a, b)
+    else {
+        return AddrClass::Unknown;
+    };
+    let base = match (ba, bb) {
+        (b, None) => b,
+        (a, b) if a == b => None,
+        _ => return AddrClass::Unknown,
+    };
+    AddrClass::Affine {
+        k: ka - kb,
+        c: ca - cb,
+        base,
+    }
+}
+
+fn mul(a: AddrClass, b: AddrClass) -> AddrClass {
+    // One side must be a plain constant; scaling an opaque base is not
+    // representable.
+    let (scale, term) = match (a, b) {
+        (
+            AddrClass::Affine {
+                k: 0,
+                c,
+                base: None,
+            },
+            t,
+        ) => (c, t),
+        (
+            t,
+            AddrClass::Affine {
+                k: 0,
+                c,
+                base: None,
+            },
+        ) => (c, t),
+        _ => return AddrClass::Unknown,
+    };
+    match term {
+        AddrClass::Affine { k, c, base: None } => AddrClass::Affine {
+            k: k * scale,
+            c: c * scale,
+            base: None,
+        },
+        _ => AddrClass::Unknown,
+    }
+}
+
+/// Whether two classified accesses may touch the same 32-bit word from
+/// two *distinct* lanes of a CTA.
+pub fn may_overlap(a: AddrClass, b: AddrClass, threads_per_cta: u32) -> bool {
+    let (
+        AddrClass::Affine {
+            k: ka,
+            c: ca,
+            base: ba,
+        },
+        AddrClass::Affine {
+            k: kb,
+            c: cb,
+            base: bb,
+        },
+    ) = (a, b)
+    else {
+        return true;
+    };
+    if ba != bb || ka != kb {
+        return true;
+    }
+    let k = ka;
+    if k == 0 {
+        // Every lane of each access hits one fixed word each.
+        return (ca - cb).abs() < 4;
+    }
+    // Lane i of A touches ka·i + ca; lane j of B touches k·j + cb. With
+    // a word-aligned stride and offset delta the accesses stay on one
+    // 4-byte lattice and only exact address equality can collide.
+    if k % 4 != 0 || (ca - cb) % 4 != 0 {
+        return true;
+    }
+    let d = cb - ca;
+    if d % k != 0 {
+        return false;
+    }
+    let lanediff = d / k;
+    lanediff != 0 && lanediff.unsigned_abs() < u64::from(threads_per_cta)
+}
+
+/// One shared-memory access site.
+struct Access {
+    pc: usize,
+    class: AddrClass,
+    store: bool,
+}
+
+fn shared_accesses(
+    program: &Program,
+    reaching: &Reaching,
+    uniform: &Uniformity,
+    reachable: &BitSet,
+) -> Vec<Access> {
+    let mut out = Vec::new();
+    for (pc, instr) in program.iter() {
+        if !reachable.contains(pc) {
+            continue;
+        }
+        let (addr, offset, store) = match *instr {
+            Instr::Ld {
+                space: MemSpace::Shared,
+                addr,
+                offset,
+                ..
+            } => (addr, offset, false),
+            Instr::St {
+                space: MemSpace::Shared,
+                addr,
+                offset,
+                ..
+            } => (addr, offset, true),
+            _ => continue,
+        };
+        let class = match classify(program, reaching, uniform, pc, addr, MAX_DEPTH) {
+            AddrClass::Affine { k, c, base } => AddrClass::Affine {
+                k,
+                c: c + i64::from(offset),
+                base,
+            },
+            AddrClass::Unknown => AddrClass::Unknown,
+        };
+        out.push(Access { pc, class, store });
+    }
+    out
+}
+
+/// PCs reachable from `from` without executing a `bar` (the start PC's
+/// own instruction is not crossed; `bar` nodes are entered but not
+/// passed through).
+fn barrier_free_reach(cfg: &Cfg, program: &Program, from: usize) -> BitSet {
+    let mut seen = BitSet::new(cfg.len);
+    let mut stack: Vec<usize> = cfg.succs[from].clone();
+    while let Some(v) = stack.pop() {
+        if v == cfg.exit() || !seen.insert(v) {
+            continue;
+        }
+        if matches!(program.fetch(v), Instr::Bar) {
+            continue;
+        }
+        stack.extend_from_slice(&cfg.succs[v]);
+    }
+    seen
+}
+
+/// Flags pairs of same-interval shared accesses (at least one store)
+/// that two distinct lanes could aim at the same word.
+pub fn check(
+    program: &Program,
+    cfg: &Cfg,
+    reaching: &Reaching,
+    uniform: &Uniformity,
+    reachable: &BitSet,
+    threads_per_cta: u32,
+) -> Vec<Diagnostic> {
+    let accesses = shared_accesses(program, reaching, uniform, reachable);
+    let reach: Vec<BitSet> = accesses
+        .iter()
+        .map(|a| barrier_free_reach(cfg, program, a.pc))
+        .collect();
+    let mut diags = Vec::new();
+    let kind = |a: &Access| if a.store { "store" } else { "load" };
+    for (i, a) in accesses.iter().enumerate() {
+        for (j, b) in accesses.iter().enumerate().skip(i) {
+            if !(a.store || b.store) {
+                continue;
+            }
+            // A store always forms an interval with itself: one dynamic
+            // execution already runs in every lane concurrently.
+            let same_interval = if i == j {
+                a.store
+            } else {
+                reach[i].contains(b.pc) || reach[j].contains(a.pc)
+            };
+            if !same_interval || !may_overlap(a.class, b.class, threads_per_cta) {
+                continue;
+            }
+            let msg = if i == j {
+                format!(
+                    "shared store at pc {}: two lanes may write the same word \
+                     (the address does not vary by a word-aligned per-thread stride)",
+                    a.pc
+                )
+            } else {
+                format!(
+                    "shared {} at pc {} and shared {} at pc {} may touch the same \
+                     word from different lanes with no barrier in between",
+                    kind(a),
+                    a.pc,
+                    kind(b),
+                    b.pc
+                )
+            };
+            diags.push(Diagnostic::at(
+                Severity::Warning,
+                Rule::SharedRace,
+                a.pc,
+                msg,
+            ));
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_isa::op::{BranchIf, Reg};
+
+    fn analyse(p: &Program, regs: u16, threads: u32) -> Vec<Diagnostic> {
+        let cfg = Cfg::build(p);
+        let reach = cfg.reachable();
+        let r = Reaching::compute(p, &cfg, regs);
+        let u = Uniformity::compute(p, &r, &reach);
+        check(p, &cfg, &r, &u, &reach, threads)
+    }
+
+    fn mov(dst: u16, a: Operand) -> Instr {
+        Instr::Alu {
+            op: AluOp::Mov,
+            dst: Reg(dst),
+            a,
+            b: Operand::Imm(0),
+        }
+    }
+
+    fn st_shared(addr: Operand, offset: i32) -> Instr {
+        Instr::St {
+            space: MemSpace::Shared,
+            addr,
+            offset,
+            src: Operand::Imm(1),
+        }
+    }
+
+    fn ld_shared(dst: u16, addr: Operand, offset: i32) -> Instr {
+        Instr::Ld {
+            space: MemSpace::Shared,
+            dst: Reg(dst),
+            addr,
+            offset,
+        }
+    }
+
+    /// `rdst = tid * 4` via shl.
+    fn tid_word_addr(dst: u16, tid_reg: u16) -> [Instr; 2] {
+        [
+            mov(tid_reg, Operand::Sreg(Sreg::Tid)),
+            Instr::Alu {
+                op: AluOp::Shl,
+                dst: Reg(dst),
+                a: Operand::Reg(Reg(tid_reg)),
+                b: Operand::Imm(2),
+            },
+        ]
+    }
+
+    #[test]
+    fn per_thread_slots_are_race_free() {
+        let [a, b] = tid_word_addr(1, 0);
+        let p = Program::new(vec![
+            a,
+            b,
+            st_shared(Operand::Reg(Reg(1)), 0),
+            ld_shared(2, Operand::Reg(Reg(1)), 0),
+            Instr::Exit,
+        ]);
+        assert!(analyse(&p, 3, 64).is_empty());
+    }
+
+    #[test]
+    fn uniform_store_races_with_itself() {
+        let p = Program::new(vec![st_shared(Operand::Imm(0), 0), Instr::Exit]);
+        let diags = analyse(&p, 1, 64);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::SharedRace);
+        assert!(diags[0].message.contains("two lanes may write"));
+    }
+
+    #[test]
+    fn neighbour_slot_read_without_barrier_races() {
+        // st shm[tid*4]; ld shm[tid*4 + 4] — lane i reads lane i+1's slot.
+        let [a, b] = tid_word_addr(1, 0);
+        let p = Program::new(vec![
+            a,
+            b,
+            st_shared(Operand::Reg(Reg(1)), 0),
+            ld_shared(2, Operand::Reg(Reg(1)), 4),
+            Instr::Exit,
+        ]);
+        let diags = analyse(&p, 3, 64);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].pc, Some(2));
+    }
+
+    #[test]
+    fn barrier_separates_the_interval() {
+        // Same as above but with a bar between store and load: clean.
+        let [a, b] = tid_word_addr(1, 0);
+        let p = Program::new(vec![
+            a,
+            b,
+            st_shared(Operand::Reg(Reg(1)), 0),
+            Instr::Bar,
+            ld_shared(2, Operand::Reg(Reg(1)), 4),
+            Instr::Exit,
+        ]);
+        assert!(analyse(&p, 3, 64).is_empty());
+    }
+
+    #[test]
+    fn loop_back_edge_joins_accesses_into_one_interval() {
+        // ld at the top of a barrier-free loop body, st at the bottom:
+        // the back edge makes them the same interval in both orders.
+        let [a, b] = tid_word_addr(1, 0);
+        let p = Program::new(vec![
+            a,
+            b,
+            Instr::BraCond {
+                pred: Operand::Imm(1),
+                when: BranchIf::Zero,
+                target: 6,
+                reconv: 6,
+            },
+            ld_shared(2, Operand::Reg(Reg(1)), 4),
+            st_shared(Operand::Reg(Reg(1)), 0),
+            Instr::Bra { target: 2 },
+            Instr::Exit,
+        ]);
+        let diags = analyse(&p, 3, 64);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn unknown_addresses_are_conservative() {
+        // Address loaded from memory: unclassifiable, so a following
+        // store to a disjoint-looking slot still warns.
+        let p = Program::new(vec![
+            Instr::Ld {
+                space: MemSpace::Global,
+                dst: Reg(0),
+                addr: Operand::Imm(0),
+                offset: 0,
+            },
+            st_shared(Operand::Reg(Reg(0)), 0),
+            Instr::Exit,
+        ]);
+        let diags = analyse(&p, 1, 64);
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn distinct_uniform_words_do_not_collide() {
+        // Two uniform stores to different words race only with
+        // themselves, not each other.
+        let p = Program::new(vec![
+            st_shared(Operand::Imm(0), 0),
+            st_shared(Operand::Imm(64), 0),
+            Instr::Exit,
+        ]);
+        let diags = analyse(&p, 1, 64);
+        assert_eq!(diags.len(), 2);
+        assert!(diags
+            .iter()
+            .all(|d| d.message.contains("two lanes may write")));
+    }
+
+    #[test]
+    fn lane_shift_beyond_cta_cannot_collide() {
+        // ld shm[tid*4 + 1024] with 64 threads: 256-lane shift, out of
+        // range of any lane in the CTA.
+        let [a, b] = tid_word_addr(1, 0);
+        let p = Program::new(vec![
+            a,
+            b,
+            st_shared(Operand::Reg(Reg(1)), 0),
+            ld_shared(2, Operand::Reg(Reg(1)), 1024),
+            Instr::Exit,
+        ]);
+        assert!(analyse(&p, 3, 64).is_empty());
+        // With a big enough CTA the shift is back in range.
+        let diags = analyse(&p, 3, 512);
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn classification_follows_mad_and_mul() {
+        // addr = tid * 8 + 16 via mad.
+        let p = Program::new(vec![
+            mov(0, Operand::Sreg(Sreg::Tid)),
+            Instr::Mad {
+                dst: Reg(1),
+                a: Operand::Reg(Reg(0)),
+                b: Operand::Imm(8),
+                c: Operand::Imm(16),
+            },
+            Instr::Exit,
+        ]);
+        let cfg = Cfg::build(&p);
+        let reach = cfg.reachable();
+        let r = Reaching::compute(&p, &cfg, 2);
+        let u = Uniformity::compute(&p, &r, &reach);
+        let class = classify(&p, &r, &u, 2, Operand::Reg(Reg(1)), MAX_DEPTH);
+        assert_eq!(
+            class,
+            AddrClass::Affine {
+                k: 8,
+                c: 16,
+                base: None
+            }
+        );
+    }
+
+    #[test]
+    fn uniform_base_terms_cancel() {
+        // addr = ctaid*0 + ... simpler: a = ntid + tid*4 on both sides.
+        let p = Program::new(vec![
+            mov(0, Operand::Sreg(Sreg::Tid)),
+            Instr::Alu {
+                op: AluOp::Shl,
+                dst: Reg(1),
+                a: Operand::Reg(Reg(0)),
+                b: Operand::Imm(2),
+            },
+            Instr::Alu {
+                op: AluOp::Add,
+                dst: Reg(2),
+                a: Operand::Reg(Reg(1)),
+                b: Operand::Sreg(Sreg::NTid),
+            },
+            st_shared(Operand::Reg(Reg(2)), 0),
+            ld_shared(3, Operand::Reg(Reg(2)), 0),
+            Instr::Exit,
+        ]);
+        assert!(analyse(&p, 4, 64).is_empty());
+    }
+}

@@ -1,0 +1,270 @@
+//! Thread-uniformity analysis.
+//!
+//! Classifies every register definition as CTA-uniform (all threads of a
+//! CTA compute the same value) or varying, and every instruction as
+//! executing under uniform or possibly-divergent control. Seeds:
+//! `%tid`, `%lane` and `%warpid` vary; immediates, `%ctaid`, `%ntid`
+//! and `%ncta` are uniform; loaded values are conservatively varying.
+//! A definition under divergent control is varying regardless of its
+//! operands (control dependence).
+//!
+//! Divergent control is derived from the structured-branch encoding: a
+//! `brc` with a varying predicate makes everything between it and its
+//! reconvergence PC divergent, and any back edge leaving that region
+//! drags the loop-header range in too (later iterations run under a
+//! partial mask).
+//!
+//! The whole thing is a mutual fixpoint — divergence makes definitions
+//! varying, varying predicates create divergence — iterated to
+//! stability. Everything is monotone, so it terminates.
+
+use crate::dataflow::BitSet;
+use crate::defs::Reaching;
+use vt_isa::op::Operand;
+use vt_isa::{Instr, Program};
+
+/// Per-definition and per-instruction uniformity facts.
+pub struct Uniformity {
+    /// Whether the value defined at each PC may differ across threads.
+    pub varying_def: Vec<bool>,
+    /// Whether each PC may execute with only a subset of lanes active.
+    pub divergent: Vec<bool>,
+    /// Whether each PC is a `brc` with a varying predicate.
+    pub divergent_branch: Vec<bool>,
+}
+
+impl Uniformity {
+    /// Runs the fixpoint over `program`.
+    pub fn compute(program: &Program, reaching: &Reaching, reachable: &BitSet) -> Uniformity {
+        let n = program.len();
+        let mut u = Uniformity {
+            varying_def: vec![false; n],
+            divergent: vec![false; n],
+            divergent_branch: vec![false; n],
+        };
+        loop {
+            let mut changed = false;
+            for (pc, instr) in program.iter() {
+                if !reachable.contains(pc) {
+                    continue;
+                }
+                if let Instr::BraCond { pred, .. } = instr {
+                    if !u.divergent_branch[pc] && u.operand_varying(reaching, pc, *pred) {
+                        u.divergent_branch[pc] = true;
+                        changed = true;
+                    }
+                }
+            }
+            let div = u.divergent_regions(program);
+            if div != u.divergent {
+                u.divergent = div;
+                changed = true;
+            }
+            for (pc, instr) in program.iter() {
+                if !reachable.contains(pc) || instr.dst().is_none() || u.varying_def[pc] {
+                    continue;
+                }
+                let varying = u.divergent[pc]
+                    || matches!(instr, Instr::Ld { .. } | Instr::Atom { .. })
+                    || instr
+                        .sources()
+                        .iter()
+                        .any(|&op| u.operand_varying(reaching, pc, op));
+                if varying {
+                    u.varying_def[pc] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                return u;
+            }
+        }
+    }
+
+    /// Whether `op`, read at `pc`, may differ across threads of a CTA.
+    pub fn operand_varying(&self, reaching: &Reaching, pc: usize, op: Operand) -> bool {
+        match op {
+            Operand::Imm(_) => false,
+            Operand::Sreg(s) => s.is_thread_varying(),
+            // The launch value (zero) is uniform, so only real defs count.
+            Operand::Reg(r) => reaching.defs_at(pc, r).iter().any(|&d| self.varying_def[d]),
+        }
+    }
+
+    /// Marks the PCs covered by the current divergent branches: the
+    /// branch-to-reconvergence span, widened over back edges so loop
+    /// headers re-entered under a partial mask are included.
+    fn divergent_regions(&self, program: &Program) -> Vec<bool> {
+        let n = program.len();
+        let mut div = vec![false; n];
+        for (pc, instr) in program.iter() {
+            if !self.divergent_branch[pc] {
+                continue;
+            }
+            let Instr::BraCond { reconv, .. } = *instr else {
+                continue;
+            };
+            let hi = reconv.min(n);
+            for d in div.iter_mut().take(hi).skip(pc + 1) {
+                *d = true;
+            }
+            for j in pc + 1..hi {
+                if let Instr::Bra { target } = *program.fetch(j) {
+                    if target <= pc {
+                        for d in div.iter_mut().take(pc + 1).skip(target) {
+                            *d = true;
+                        }
+                    }
+                }
+            }
+        }
+        div
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use vt_isa::op::{AluOp, BranchIf, MemSpace, Reg, Sreg};
+
+    fn analyse(p: &Program, regs: u16) -> (Reaching, BitSet, Uniformity) {
+        let cfg = Cfg::build(p);
+        let reach = cfg.reachable();
+        let r = Reaching::compute(p, &cfg, regs);
+        let u = Uniformity::compute(p, &r, &reach);
+        (r, reach, u)
+    }
+
+    fn mov(dst: u16, a: Operand) -> Instr {
+        Instr::Alu {
+            op: AluOp::Mov,
+            dst: Reg(dst),
+            a,
+            b: Operand::Imm(0),
+        }
+    }
+
+    #[test]
+    fn tid_taints_derived_values() {
+        let p = Program::new(vec![
+            mov(0, Operand::Sreg(Sreg::Tid)),
+            mov(1, Operand::Sreg(Sreg::CtaId)),
+            Instr::Alu {
+                op: AluOp::Add,
+                dst: Reg(2),
+                a: Operand::Reg(Reg(0)),
+                b: Operand::Reg(Reg(1)),
+            },
+            Instr::Exit,
+        ]);
+        let (_, _, u) = analyse(&p, 3);
+        assert!(u.varying_def[0], "tid is varying");
+        assert!(!u.varying_def[1], "ctaid is CTA-uniform");
+        assert!(u.varying_def[2], "tid + ctaid is varying");
+    }
+
+    #[test]
+    fn loads_are_conservatively_varying() {
+        let p = Program::new(vec![
+            Instr::Ld {
+                space: MemSpace::Global,
+                dst: Reg(0),
+                addr: Operand::Imm(0),
+                offset: 0,
+            },
+            Instr::Exit,
+        ]);
+        let (_, _, u) = analyse(&p, 1);
+        assert!(u.varying_def[0]);
+    }
+
+    #[test]
+    fn varying_branch_makes_body_divergent_and_taints_defs() {
+        // 0: p = tid; 1: brc p @3 reconv 3; 2: r1 = 7 (in region);
+        // 3: r2 = 7 (after reconvergence); 4: exit.
+        let p = Program::new(vec![
+            mov(0, Operand::Sreg(Sreg::Tid)),
+            Instr::BraCond {
+                pred: Operand::Reg(Reg(0)),
+                when: BranchIf::Zero,
+                target: 3,
+                reconv: 3,
+            },
+            mov(1, Operand::Imm(7)),
+            mov(2, Operand::Imm(7)),
+            Instr::Exit,
+        ]);
+        let (_, _, u) = analyse(&p, 3);
+        assert!(u.divergent_branch[1]);
+        assert!(u.divergent[2]);
+        assert!(!u.divergent[3], "reconvergence point is uniform again");
+        assert!(
+            u.varying_def[2],
+            "def under divergence is control-dependent"
+        );
+        assert!(!u.varying_def[3]);
+    }
+
+    #[test]
+    fn uniform_loop_stays_uniform() {
+        // for (r0 = 0; r0 < 10; r0++) — everything CTA-uniform.
+        let p = Program::new(vec![
+            mov(0, Operand::Imm(0)),
+            Instr::Alu {
+                op: AluOp::SetLt,
+                dst: Reg(1),
+                a: Operand::Reg(Reg(0)),
+                b: Operand::Imm(10),
+            },
+            Instr::BraCond {
+                pred: Operand::Reg(Reg(1)),
+                when: BranchIf::Zero,
+                target: 5,
+                reconv: 5,
+            },
+            Instr::Alu {
+                op: AluOp::Add,
+                dst: Reg(0),
+                a: Operand::Reg(Reg(0)),
+                b: Operand::Imm(1),
+            },
+            Instr::Bra { target: 1 },
+            Instr::Exit,
+        ]);
+        let (_, _, u) = analyse(&p, 2);
+        assert!(!u.divergent_branch[2]);
+        assert!(u.divergent.iter().all(|&d| !d));
+        assert!(!u.varying_def[0] && !u.varying_def[1] && !u.varying_def[3]);
+    }
+
+    #[test]
+    fn varying_loop_back_edge_drags_header_into_region() {
+        // while (r0 != 0) { r0 = load(...) } with r0 seeded from tid:
+        // the condition code at the header re-executes under a partial
+        // mask, so defs there are varying too.
+        let p = Program::new(vec![
+            mov(0, Operand::Sreg(Sreg::Tid)),
+            Instr::Alu {
+                op: AluOp::SetNe,
+                dst: Reg(1),
+                a: Operand::Reg(Reg(0)),
+                b: Operand::Imm(0),
+            },
+            Instr::BraCond {
+                pred: Operand::Reg(Reg(1)),
+                when: BranchIf::Zero,
+                target: 5,
+                reconv: 5,
+            },
+            mov(2, Operand::Imm(1)),
+            Instr::Bra { target: 1 },
+            Instr::Exit,
+        ]);
+        let (_, _, u) = analyse(&p, 3);
+        assert!(u.divergent_branch[2]);
+        assert!(u.divergent[3], "loop body");
+        assert!(u.divergent[1], "header re-entered under partial mask");
+        assert!(u.varying_def[3]);
+    }
+}

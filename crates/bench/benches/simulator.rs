@@ -1,10 +1,15 @@
-//! Criterion micro-benchmarks of the simulator's hot paths plus two
-//! end-to-end kernel simulations (baseline and Virtual Thread), so
+//! Micro-benchmarks of the simulator's hot paths plus two end-to-end
+//! kernel simulations (baseline and Virtual Thread), so
 //! simulator-performance regressions are caught alongside the
 //! architecture experiments.
+//!
+//! This is a plain `harness = false` benchmark (no external framework so
+//! the workspace builds offline): each case is timed with
+//! `std::time::Instant` over a fixed iteration count after a warm-up
+//! pass, reporting mean ns/iter.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use vt_core::{Architecture, Gpu, GpuConfig};
 use vt_isa::interp::Interpreter;
 use vt_isa::SimtStack;
@@ -14,7 +19,21 @@ use vt_mem::mshr::Mshr;
 use vt_mem::{MemConfig, MemSystem, ReqKind};
 use vt_workloads::{suite, Scale};
 
-fn bench_coalescer(c: &mut Criterion) {
+/// Times `f` over `iters` iterations (after `iters / 10 + 1` warm-up
+/// iterations) and prints mean ns/iter.
+fn bench<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) {
+    for _ in 0..iters / 10 + 1 {
+        black_box(f());
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let per_iter = t0.elapsed().as_nanos() as f64 / f64::from(iters);
+    println!("{name:<32} {per_iter:>12.0} ns/iter  ({iters} iters)");
+}
+
+fn bench_coalescer() {
     let mut unit = [0u32; 32];
     let mut strided = [0u32; 32];
     let mut random = [0u32; 32];
@@ -23,89 +42,74 @@ fn bench_coalescer(c: &mut Criterion) {
         strided[i as usize] = 0x1000 + i * 512;
         random[i as usize] = i.wrapping_mul(2654435761) % (1 << 20);
     }
-    c.bench_function("coalesce/unit-stride", |b| {
-        b.iter(|| coalesce(black_box(&unit), u32::MAX, 128))
+    bench("coalesce/unit-stride", 100_000, || {
+        coalesce(black_box(&unit), u32::MAX, 128)
     });
-    c.bench_function("coalesce/strided", |b| {
-        b.iter(|| coalesce(black_box(&strided), u32::MAX, 128))
+    bench("coalesce/strided", 100_000, || {
+        coalesce(black_box(&strided), u32::MAX, 128)
     });
-    c.bench_function("coalesce/random", |b| {
-        b.iter(|| coalesce(black_box(&random), u32::MAX, 128))
+    bench("coalesce/random", 100_000, || {
+        coalesce(black_box(&random), u32::MAX, 128)
     });
-    c.bench_function("smem-bank-conflicts", |b| {
-        b.iter(|| shared_bank_conflicts(black_box(&random), u32::MAX, 32))
+    bench("smem-bank-conflicts", 100_000, || {
+        shared_bank_conflicts(black_box(&random), u32::MAX, 32)
     });
 }
 
-fn bench_simt_stack(c: &mut Criterion) {
-    c.bench_function("simt/diverge-reconverge", |b| {
-        b.iter(|| {
-            let mut s = SimtStack::new(u32::MAX);
-            s.branch(0x0000_ffff, 10, 20);
-            for _ in 10..20 {
-                s.advance();
+fn bench_simt_stack() {
+    bench("simt/diverge-reconverge", 100_000, || {
+        let mut s = SimtStack::new(u32::MAX);
+        s.branch(0x0000_ffff, 10, 20);
+        for _ in 10..20 {
+            s.advance();
+        }
+        for _ in 1..19 {
+            s.advance();
+        }
+        s.depth()
+    });
+}
+
+fn bench_cache() {
+    bench("cache/probe-fill", 10_000, || {
+        let mut cache = Cache::new(32, 4);
+        for i in 0..256u64 {
+            let _ = cache.probe(i % 192, i);
+            let _ = cache.fill(i % 192, i, false);
+        }
+        cache.valid_lines()
+    });
+    bench("mshr/alloc-fill", 10_000, || {
+        let mut mshr = Mshr::<u64>::new(64, 8);
+        for i in 0..64u64 {
+            let _ = mshr.alloc(i % 32, i);
+        }
+        let mut total = 0;
+        for i in 0..32u64 {
+            total += mshr.fill(i).len();
+        }
+        total
+    });
+}
+
+fn bench_mem_system() {
+    bench("mem-system/load-round-trip", 2_000, || {
+        let mut mem = MemSystem::new(&MemConfig::default(), 1);
+        mem.tick(0);
+        assert!(mem.try_submit(0, 1, 12345, ReqKind::Load).accepted());
+        let mut cycle = 1;
+        loop {
+            mem.tick(cycle);
+            if mem.pop_response(0).is_some() {
+                break;
             }
-            for _ in 1..19 {
-                s.advance();
-            }
-            black_box(s.depth())
-        })
+            cycle += 1;
+        }
+        cycle
     });
 }
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache/probe-fill", |b| {
-        b.iter_batched(
-            || Cache::new(32, 4),
-            |mut cache| {
-                for i in 0..256u64 {
-                    let _ = cache.probe(i % 192, i);
-                    let _ = cache.fill(i % 192, i, false);
-                }
-                black_box(cache.valid_lines())
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    c.bench_function("mshr/alloc-fill", |b| {
-        b.iter_batched(
-            || Mshr::<u64>::new(64, 8),
-            |mut mshr| {
-                for i in 0..64u64 {
-                    let _ = mshr.alloc(i % 32, i);
-                }
-                for i in 0..32u64 {
-                    black_box(mshr.fill(i).len());
-                }
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-fn bench_mem_system(c: &mut Criterion) {
-    c.bench_function("mem-system/load-round-trip", |b| {
-        b.iter_batched(
-            || MemSystem::new(&MemConfig::default(), 1),
-            |mut mem| {
-                mem.tick(0);
-                assert!(mem.try_submit(0, 1, 12345, ReqKind::Load).accepted());
-                let mut cycle = 1;
-                loop {
-                    mem.tick(cycle);
-                    if mem.pop_response(0).is_some() {
-                        break;
-                    }
-                    cycle += 1;
-                }
-                black_box(cycle)
-            },
-            BatchSize::SmallInput,
-        )
-    });
-}
-
-fn bench_end_to_end(c: &mut Criterion) {
+fn bench_end_to_end() {
     let scale = Scale { ctas: 30, iters: 4 };
     let kernel = suite(&scale)
         .into_iter()
@@ -115,32 +119,30 @@ fn bench_end_to_end(c: &mut Criterion) {
     let mut small = GpuConfig::default();
     small.core.num_sms = 4;
 
-    c.bench_function("sim/streamcluster-baseline", |b| {
-        let gpu = Gpu::new(small.clone());
-        b.iter(|| black_box(gpu.run(&kernel).expect("run succeeds").stats.cycles))
+    let gpu = Gpu::new(small.clone());
+    bench("sim/streamcluster-baseline", 10, || {
+        gpu.run(&kernel).expect("run succeeds").stats.cycles
     });
     let mut vt_cfg = small.clone();
     vt_cfg.arch = Architecture::virtual_thread();
-    c.bench_function("sim/streamcluster-vt", |b| {
-        let gpu = Gpu::new(vt_cfg.clone());
-        b.iter(|| black_box(gpu.run(&kernel).expect("run succeeds").stats.cycles))
+    let gpu_vt = Gpu::new(vt_cfg);
+    bench("sim/streamcluster-vt", 10, || {
+        gpu_vt.run(&kernel).expect("run succeeds").stats.cycles
     });
-    c.bench_function("interp/streamcluster", |b| {
-        b.iter(|| {
-            black_box(
-                Interpreter::new(&kernel)
-                    .expect("valid kernel")
-                    .run()
-                    .expect("runs")
-                    .warp_instrs(),
-            )
-        })
+    bench("interp/streamcluster", 10, || {
+        Interpreter::new(&kernel)
+            .expect("valid kernel")
+            .run()
+            .expect("runs")
+            .warp_instrs()
     });
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_coalescer, bench_simt_stack, bench_cache, bench_mem_system, bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    println!("{:<32} {:>12}", "benchmark", "mean");
+    bench_coalescer();
+    bench_simt_stack();
+    bench_cache();
+    bench_mem_system();
+    bench_end_to_end();
+}

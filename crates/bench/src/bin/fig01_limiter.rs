@@ -5,11 +5,9 @@
 //! that the *scheduling limit* (CTA/warp slots) curtails concurrency for
 //! most general-purpose workloads while on-chip memory sits idle.
 
-use serde::Serialize;
 use vt_bench::{Harness, Table};
 use vt_core::occupancy;
 
-#[derive(Serialize)]
 struct Row {
     name: String,
     by_cta_slots: u32,
@@ -22,6 +20,19 @@ struct Row {
     scheduling_limited: bool,
     headroom: f64,
 }
+
+vt_json::impl_to_json!(Row {
+    name,
+    by_cta_slots,
+    by_warp_slots,
+    by_registers,
+    by_shared_memory,
+    baseline_ctas,
+    capacity_ctas,
+    limiter,
+    scheduling_limited,
+    headroom
+});
 
 fn main() {
     let h = Harness::from_env();

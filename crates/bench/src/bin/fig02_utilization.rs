@@ -3,17 +3,22 @@
 //! registers, shared memory and thread slots. Shows the stranded capacity
 //! Virtual Thread later exploits.
 
-use serde::Serialize;
 use vt_bench::{bar, Harness, Table};
 use vt_core::Architecture;
 
-#[derive(Serialize)]
 struct Row {
     name: String,
     reg_utilization: f64,
     smem_utilization: f64,
     thread_slot_utilization: f64,
 }
+
+vt_json::impl_to_json!(Row {
+    name,
+    reg_utilization,
+    smem_utilization,
+    thread_slot_utilization
+});
 
 fn main() {
     let h = Harness::from_env();
@@ -30,7 +35,11 @@ fn main() {
         };
         table.row(vec![
             row.name.clone(),
-            format!("{} {:5.1}%", bar(row.reg_utilization, 1.0, 20), 100.0 * row.reg_utilization),
+            format!(
+                "{} {:5.1}%",
+                bar(row.reg_utilization, 1.0, 20),
+                100.0 * row.reg_utilization
+            ),
             format!(
                 "{} {:5.1}%",
                 bar(row.smem_utilization, 1.0, 20),

@@ -3,12 +3,10 @@
 //! +23.9% on average, concentrated in scheduling-limited benchmarks with
 //! capacity-limited ones unchanged.
 
-use serde::Serialize;
 use vt_bench::{bar, geomean, Harness, Table};
 use vt_core::Architecture;
 use vt_workloads::LimiterClass;
 
-#[derive(Serialize)]
 struct Row {
     name: String,
     class: String,
@@ -20,14 +18,36 @@ struct Row {
     vt_resident_warps: f64,
 }
 
+vt_json::impl_to_json!(Row {
+    name,
+    class,
+    baseline_cycles,
+    vt_cycles,
+    speedup,
+    swaps,
+    baseline_resident_warps,
+    vt_resident_warps
+});
+
 fn main() {
     let h = Harness::from_env();
-    let mut t = Table::new(vec!["benchmark", "class", "speedup", "", "swaps", "warps base→vt"]);
+    let mut t = Table::new(vec![
+        "benchmark",
+        "class",
+        "speedup",
+        "",
+        "swaps",
+        "warps base→vt",
+    ]);
     let mut rows = Vec::new();
     for w in h.suite() {
         let base = h.run(Architecture::Baseline, &w.kernel);
         let vt = h.run(Architecture::virtual_thread(), &w.kernel);
-        assert_eq!(vt.mem_image, base.mem_image, "{}: functional mismatch", w.name);
+        assert_eq!(
+            vt.mem_image, base.mem_image,
+            "{}: functional mismatch",
+            w.name
+        );
         let row = Row {
             name: w.name.to_string(),
             class: format!("{:?}", w.class),
@@ -44,7 +64,10 @@ fn main() {
             format!("{:.3}", row.speedup),
             bar(row.speedup, 2.5, 25),
             row.swaps.to_string(),
-            format!("{:4.1} → {:4.1}", row.baseline_resident_warps, row.vt_resident_warps),
+            format!(
+                "{:4.1} → {:4.1}",
+                row.baseline_resident_warps, row.vt_resident_warps
+            ),
         ]);
         rows.push(row);
     }
@@ -78,7 +101,10 @@ fn main() {
         (1.05..=1.40).contains(&all),
         "average VT speedup {all:.3} outside the paper's band"
     );
-    assert!(sched > cap, "gains must concentrate in scheduling-limited kernels");
+    assert!(
+        sched > cap,
+        "gains must concentrate in scheduling-limited kernels"
+    );
     assert!(
         (0.99..=1.01).contains(&cap),
         "capacity-limited kernels must be unchanged, got {cap:.3}"

@@ -5,11 +5,9 @@
 //! benefit — the paper's core architectural argument for keeping
 //! registers and shared memory resident during a swap.
 
-use serde::Serialize;
 use vt_bench::{geomean, Harness, Table};
 use vt_core::{Architecture, MemSwapParams};
 
-#[derive(Serialize)]
 struct Row {
     name: String,
     vt: f64,
@@ -18,6 +16,15 @@ struct Row {
     vt_swaps: u64,
     memswap_swaps: u64,
 }
+
+vt_json::impl_to_json!(Row {
+    name,
+    vt,
+    ideal,
+    memswap,
+    vt_swaps,
+    memswap_swaps
+});
 
 fn main() {
     let h = Harness::from_env();
@@ -29,7 +36,11 @@ fn main() {
         let ideal = h.run(Architecture::Ideal, &w.kernel);
         let memswap = h.run(Architecture::MemSwap(MemSwapParams::default()), &w.kernel);
         for r in [&vt, &ideal, &memswap] {
-            assert_eq!(r.mem_image, base.mem_image, "{}: functional mismatch", w.name);
+            assert_eq!(
+                r.mem_image, base.mem_image,
+                "{}: functional mismatch",
+                w.name
+            );
         }
         let row = Row {
             name: w.name.to_string(),
@@ -59,7 +70,10 @@ fn main() {
     );
     h.emit("fig04_alternatives", &human, &rows);
 
-    assert!(g_ideal >= g_vt * 0.98, "ideal ({g_ideal:.3}) is VT's upper bound ({g_vt:.3})");
+    assert!(
+        g_ideal >= g_vt * 0.98,
+        "ideal ({g_ideal:.3}) is VT's upper bound ({g_vt:.3})"
+    );
     assert!(
         g_memswap < g_vt,
         "memory-hierarchy swapping ({g_memswap:.3}) must forfeit VT's benefit ({g_vt:.3})"

@@ -4,18 +4,22 @@
 //! memory-system limits take over — with a cache-sensitivity downturn on
 //! the gather-heavy kernel.
 
-use serde::Serialize;
 use vt_bench::{geomean, Harness, Table};
 use vt_core::{Architecture, VtParams};
 
 const KERNELS: &[&str] = &["streamcluster", "bfs", "nw", "kmeans", "spmv"];
 
-#[derive(Serialize)]
 struct Point {
     max_virtual_ctas: Option<u32>,
     speedups: Vec<(String, f64)>,
     geomean: f64,
 }
+
+vt_json::impl_to_json!(Point {
+    max_virtual_ctas,
+    speedups,
+    geomean
+});
 
 fn main() {
     let h = Harness::from_env();
@@ -26,8 +30,10 @@ fn main() {
     scale.ctas *= 3;
     let suite = vt_workloads::suite(&scale);
     let workloads: Vec<_> = suite.iter().filter(|w| KERNELS.contains(&w.name)).collect();
-    let baselines: Vec<_> =
-        workloads.iter().map(|w| h.run(Architecture::Baseline, &w.kernel)).collect();
+    let baselines: Vec<_> = workloads
+        .iter()
+        .map(|w| h.run(Architecture::Baseline, &w.kernel))
+        .collect();
 
     let caps: &[Option<u32>] = if h.quick {
         &[Some(8), Some(16), None]
@@ -44,8 +50,10 @@ fn main() {
     for &cap in caps {
         let mut speedups = Vec::new();
         for (w, base) in workloads.iter().zip(&baselines) {
-            let arch =
-                Architecture::VirtualThread(VtParams { max_virtual_ctas: cap, ..VtParams::default() });
+            let arch = Architecture::VirtualThread(VtParams {
+                max_virtual_ctas: cap,
+                ..VtParams::default()
+            });
             let r = h.run(arch, &w.kernel);
             speedups.push((w.name.to_string(), r.speedup_over(base)));
         }
@@ -56,7 +64,11 @@ fn main() {
                 .chain(std::iter::once(format!("{gm:.3}")))
                 .collect::<Vec<_>>(),
         );
-        points.push(Point { max_virtual_ctas: cap, speedups, geomean: gm });
+        points.push(Point {
+            max_virtual_ctas: cap,
+            speedups,
+            geomean: gm,
+        });
     }
     let human = format!(
         "Fig. 5 — VT speedup vs. virtual CTA budget per SM (8 = scheduling limit)\n\n{}",

@@ -4,34 +4,50 @@
 //! nearly all of the benefit; at DRAM-like costs the benefit is gone —
 //! the quantitative version of the paper's "registers never move" claim.
 
-use serde::Serialize;
 use vt_bench::{geomean, Harness, Table};
 use vt_core::{Architecture, VtParams};
 
 const KERNELS: &[&str] = &["streamcluster", "bfs", "nw", "hotspot"];
 
-#[derive(Serialize)]
 struct Point {
     buffer_words_per_cycle: u32,
     approx_swap_cycles: u32,
     geomean: f64,
 }
 
+vt_json::impl_to_json!(Point {
+    buffer_words_per_cycle,
+    approx_swap_cycles,
+    geomean
+});
+
 fn main() {
     let h = Harness::from_env();
     let suite = h.suite();
     let workloads: Vec<_> = suite.iter().filter(|w| KERNELS.contains(&w.name)).collect();
-    let baselines: Vec<_> =
-        workloads.iter().map(|w| h.run(Architecture::Baseline, &w.kernel)).collect();
+    let baselines: Vec<_> = workloads
+        .iter()
+        .map(|w| h.run(Architecture::Baseline, &w.kernel))
+        .collect();
 
     // Halving the context-buffer port width doubles the swap cost; width 0
     // is sentinel-mapped to 1 word/cycle below.
-    let widths: &[u32] =
-        if h.quick { &[64, 8, 1] } else { &[64, 32, 16, 8, 4, 2, 1] };
-    let mut t = Table::new(vec!["buffer words/cycle", "≈swap cycles", "geomean speedup"]);
+    let widths: &[u32] = if h.quick {
+        &[64, 8, 1]
+    } else {
+        &[64, 32, 16, 8, 4, 2, 1]
+    };
+    let mut t = Table::new(vec![
+        "buffer words/cycle",
+        "≈swap cycles",
+        "geomean speedup",
+    ]);
     let mut points = Vec::new();
     for &width in widths {
-        let params = VtParams { buffer_words_per_cycle: width, ..VtParams::default() };
+        let params = VtParams {
+            buffer_words_per_cycle: width,
+            ..VtParams::default()
+        };
         let mut speedups = Vec::new();
         let mut cost = 0;
         for (w, base) in workloads.iter().zip(&baselines) {
@@ -40,8 +56,16 @@ fn main() {
             speedups.push(r.speedup_over(base));
         }
         let gm = geomean(&speedups);
-        t.row(vec![width.to_string(), cost.to_string(), format!("{gm:.3}")]);
-        points.push(Point { buffer_words_per_cycle: width, approx_swap_cycles: cost, geomean: gm });
+        t.row(vec![
+            width.to_string(),
+            cost.to_string(),
+            format!("{gm:.3}"),
+        ]);
+        points.push(Point {
+            buffer_words_per_cycle: width,
+            approx_swap_cycles: cost,
+            geomean: gm,
+        });
     }
     let human = format!(
         "Fig. 6 — VT speedup vs. context-switch cost (latency-bound kernels)\n\n{}",
@@ -51,7 +75,11 @@ fn main() {
 
     let fast = points.first().expect("non-empty");
     let slow = points.last().expect("non-empty");
-    assert!(fast.geomean > 1.1, "cheap swaps must show the VT benefit, got {:.3}", fast.geomean);
+    assert!(
+        fast.geomean > 1.1,
+        "cheap swaps must show the VT benefit, got {:.3}",
+        fast.geomean
+    );
     assert!(
         slow.geomean < fast.geomean,
         "expensive swaps ({:.3}) must erode the benefit ({:.3})",

@@ -3,11 +3,9 @@
 //! is largely orthogonal to the issue policy because it attacks a
 //! different bottleneck (too few warps, not warp selection).
 
-use serde::Serialize;
 use vt_bench::{geomean, Harness, Table};
 use vt_core::{Architecture, SchedPolicy};
 
-#[derive(Serialize)]
 struct Row {
     name: String,
     lrr_base_cycles: u64,
@@ -16,10 +14,23 @@ struct Row {
     gto_vt_speedup: f64,
 }
 
+vt_json::impl_to_json!(Row {
+    name,
+    lrr_base_cycles,
+    lrr_vt_speedup,
+    gto_base_cycles,
+    gto_vt_speedup
+});
+
 fn main() {
     let mut h = Harness::from_env();
-    let mut t =
-        Table::new(vec!["benchmark", "LRR base", "LRR vt-speedup", "GTO base", "GTO vt-speedup"]);
+    let mut t = Table::new(vec![
+        "benchmark",
+        "LRR base",
+        "LRR vt-speedup",
+        "GTO base",
+        "GTO vt-speedup",
+    ]);
     let mut rows = Vec::new();
     for w in h.suite() {
         let mut cells = Vec::new();
@@ -57,5 +68,8 @@ fn main() {
     );
     h.emit("fig07_scheduler", &human, &rows);
 
-    assert!(g_lrr > 1.02 && g_gto > 1.02, "VT must help under both schedulers");
+    assert!(
+        g_lrr > 1.02 && g_gto > 1.02,
+        "VT must help under both schedulers"
+    );
 }

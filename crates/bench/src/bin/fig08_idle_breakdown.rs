@@ -3,11 +3,9 @@
 //! every schedulable warp stuck on a long-latency access) shrinks under
 //! VT because swapped-in CTAs supply issuable work.
 
-use serde::Serialize;
 use vt_bench::{Harness, Table};
 use vt_core::{Architecture, Report};
 
-#[derive(Serialize)]
 struct Share {
     issue: f64,
     memory: f64,
@@ -18,12 +16,23 @@ struct Share {
     other: f64,
 }
 
-#[derive(Serialize)]
+vt_json::impl_to_json!(Share {
+    issue,
+    memory,
+    pipeline,
+    barrier,
+    swapping,
+    no_warps,
+    other
+});
+
 struct Row {
     name: String,
     baseline: Share,
     vt: Share,
 }
+
+vt_json::impl_to_json!(Row { name, baseline, vt });
 
 fn share(r: &Report, sms: u32) -> Share {
     let total = (r.stats.cycles * u64::from(sms)) as f64;
@@ -73,7 +82,11 @@ fn main() {
         }
         mem_idle.0 += sb.memory;
         mem_idle.1 += sv.memory;
-        rows.push(Row { name: w.name.to_string(), baseline: sb, vt: sv });
+        rows.push(Row {
+            name: w.name.to_string(),
+            baseline: sb,
+            vt: sv,
+        });
     }
     let n = rows.len() as f64;
     let human = format!(

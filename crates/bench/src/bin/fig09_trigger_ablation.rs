@@ -4,17 +4,22 @@
 //! finishes). Eager swapping evicts CTAs that still have issuable warps;
 //! never swapping strands the virtualised CTAs.
 
-use serde::Serialize;
 use vt_bench::{geomean, Harness, Table};
 use vt_core::{Architecture, SwapTrigger, VtParams};
 
-#[derive(Serialize)]
 struct Row {
     name: String,
     all_stalled: f64,
     any_stalled: f64,
     never: f64,
 }
+
+vt_json::impl_to_json!(Row {
+    name,
+    all_stalled,
+    any_stalled,
+    never
+});
 
 fn main() {
     let h = Harness::from_env();
@@ -29,7 +34,10 @@ fn main() {
         let base = h.run(Architecture::Baseline, &w.kernel);
         let mut s = Vec::new();
         for (_, trigger) in triggers {
-            let arch = Architecture::VirtualThread(VtParams { trigger, ..VtParams::default() });
+            let arch = Architecture::VirtualThread(VtParams {
+                trigger,
+                ..VtParams::default()
+            });
             let r = h.run(arch, &w.kernel);
             s.push(r.speedup_over(&base));
         }
@@ -39,7 +47,12 @@ fn main() {
             format!("{:.3}", s[1]),
             format!("{:.3}", s[2]),
         ]);
-        rows.push(Row { name: w.name.to_string(), all_stalled: s[0], any_stalled: s[1], never: s[2] });
+        rows.push(Row {
+            name: w.name.to_string(),
+            all_stalled: s[0],
+            any_stalled: s[1],
+            never: s[2],
+        });
     }
     let g_all = geomean(&rows.iter().map(|r| r.all_stalled).collect::<Vec<_>>());
     let g_any = geomean(&rows.iter().map(|r| r.any_stalled).collect::<Vec<_>>());

@@ -4,17 +4,46 @@
 //! population rides at the capacity limit while its active set stays
 //! within the scheduling limit.
 
-use serde::Serialize;
 use vt_bench::{bar, Harness};
 use vt_core::{Architecture, Gpu, GpuConfig};
 use vt_sim::stats::Timeline;
 
-#[derive(Serialize)]
 struct Record {
     workload: String,
     interval: u64,
-    baseline: Timeline,
-    vt: Timeline,
+    baseline: TimelineRecord,
+    vt: TimelineRecord,
+}
+
+vt_json::impl_to_json!(Record {
+    workload,
+    interval,
+    baseline,
+    vt
+});
+
+/// Local mirror of [`Timeline`] so the record serializes without a
+/// vt-sim → vt-json coupling.
+struct TimelineRecord {
+    interval: u64,
+    resident_warps: Vec<f32>,
+    active_warps: Vec<f32>,
+}
+
+vt_json::impl_to_json!(TimelineRecord {
+    interval,
+    resident_warps,
+    active_warps
+});
+
+impl From<&Timeline> for TimelineRecord {
+    fn from(t: &Timeline) -> Self {
+        TimelineRecord {
+            interval: t.interval,
+            resident_warps: t.resident_warps.clone(),
+            active_warps: t.active_warps.clone(),
+        }
+    }
 }
 
 const BUCKETS: usize = 24;
@@ -42,7 +71,11 @@ fn main() {
         .expect("suite contains streamcluster");
 
     let run = |arch: Architecture| {
-        let mut cfg = GpuConfig { core: h.core.clone(), mem: h.mem.clone(), arch };
+        let mut cfg = GpuConfig {
+            core: h.core.clone(),
+            mem: h.mem.clone(),
+            arch,
+        };
         cfg.core.timeline_interval = Some(64);
         Gpu::new(cfg).run(&w.kernel).expect("run succeeds")
     };
@@ -86,8 +119,8 @@ fn main() {
         &Record {
             workload: w.name.to_string(),
             interval: 64,
-            baseline: tl_base.clone(),
-            vt: tl_vt.clone(),
+            baseline: TimelineRecord::from(&tl_base),
+            vt: TimelineRecord::from(&tl_vt),
         },
     );
 
@@ -99,7 +132,10 @@ fn main() {
         "VT residency should visibly exceed the baseline mid-run"
     );
     assert!(
-        tl_vt.active_warps.iter().all(|&a| a <= h.core.max_warps_per_sm as f32 + 1e-3),
+        tl_vt
+            .active_warps
+            .iter()
+            .all(|&a| a <= h.core.max_warps_per_sm as f32 + 1e-3),
         "active warps never exceed the scheduling limit"
     );
 }

@@ -3,24 +3,32 @@
 //! extra residency otherwise evicts, so the cache-sensitive kernel
 //! (`spmv`) recovers while the latency-bound kernels keep their gains.
 
-use serde::Serialize;
 use vt_bench::{geomean, Harness, Table};
 use vt_core::Architecture;
 
 const KERNELS: &[&str] = &["streamcluster", "kmeans", "spmv", "stencil"];
 
-#[derive(Serialize)]
 struct Point {
     l1_kib: u32,
     speedups: Vec<(String, f64)>,
     geomean: f64,
 }
 
+vt_json::impl_to_json!(Point {
+    l1_kib,
+    speedups,
+    geomean
+});
+
 fn main() {
     let mut h = Harness::from_env();
     let suite = h.suite();
     let workloads: Vec<_> = suite.iter().filter(|w| KERNELS.contains(&w.name)).collect();
-    let sizes: &[u32] = if h.quick { &[8, 16, 64] } else { &[8, 16, 32, 64] };
+    let sizes: &[u32] = if h.quick {
+        &[8, 16, 64]
+    } else {
+        &[8, 16, 32, 64]
+    };
     let mut t = Table::new(
         std::iter::once("L1D".to_string())
             .chain(workloads.iter().map(|w| w.name.to_string()))
@@ -43,7 +51,11 @@ fn main() {
                 .chain(std::iter::once(format!("{gm:.3}")))
                 .collect::<Vec<_>>(),
         );
-        points.push(Point { l1_kib: kib, speedups, geomean: gm });
+        points.push(Point {
+            l1_kib: kib,
+            speedups,
+            geomean: gm,
+        });
     }
     let human = format!(
         "Fig. 11 — VT speedup vs. L1D capacity (cache-sensitivity interaction)\n\n{}",
@@ -65,5 +77,8 @@ fn main() {
         spmv_big > spmv_small,
         "a larger L1 must recover spmv's cache-thrash loss ({spmv_small:.3} → {spmv_big:.3})"
     );
-    assert!(points.iter().all(|p| p.geomean > 1.0), "VT wins at every L1 size on this subset");
+    assert!(
+        points.iter().all(|p| p.geomean > 1.0),
+        "VT wins at every L1 size on this subset"
+    );
 }

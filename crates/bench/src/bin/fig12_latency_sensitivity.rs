@@ -4,25 +4,33 @@
 //! mechanism is worth — the trend that makes VT *more* relevant on
 //! later, higher-latency parts.
 
-use serde::Serialize;
 use vt_bench::{geomean, Harness, Table};
 use vt_core::Architecture;
 
 const KERNELS: &[&str] = &["streamcluster", "bfs", "nw", "hotspot"];
 
-#[derive(Serialize)]
 struct Point {
     latency_scale: f64,
     uncontended_round_trip: u32,
     geomean: f64,
 }
 
+vt_json::impl_to_json!(Point {
+    latency_scale,
+    uncontended_round_trip,
+    geomean
+});
+
 fn main() {
     let mut h = Harness::from_env();
     let suite = h.suite();
     let workloads: Vec<_> = suite.iter().filter(|w| KERNELS.contains(&w.name)).collect();
     let base_mem = h.mem.clone();
-    let scales: &[f64] = if h.quick { &[0.5, 1.0, 2.0] } else { &[0.25, 0.5, 1.0, 2.0, 4.0] };
+    let scales: &[f64] = if h.quick {
+        &[0.5, 1.0, 2.0]
+    } else {
+        &[0.25, 0.5, 1.0, 2.0, 4.0]
+    };
     let mut t = Table::new(vec!["latency scale", "round trip", "geomean VT speedup"]);
     let mut points = Vec::new();
     for &scale in scales {

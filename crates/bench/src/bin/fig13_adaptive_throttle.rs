@@ -13,14 +13,12 @@
 //! The controller must at least be *safe*: settling into rotation
 //! everywhere, it should cost only probing noise.
 
-use serde::Serialize;
 use vt_bench::{geomean, Harness, Table};
 use vt_core::{Architecture, VtParams};
 use vt_sim::config::ThrottleConfig;
 
 const KERNELS: &[&str] = &["spmv", "kmeans", "streamcluster", "stencil", "bfs"];
 
-#[derive(Serialize)]
 struct Row {
     name: String,
     vt: f64,
@@ -28,6 +26,14 @@ struct Row {
     swaps_plain: u64,
     swaps_throttled: u64,
 }
+
+vt_json::impl_to_json!(Row {
+    name,
+    vt,
+    vt_throttled,
+    swaps_plain,
+    swaps_throttled
+});
 
 fn main() {
     let h = Harness::from_env();
@@ -37,13 +43,23 @@ fn main() {
         adaptive_throttle: Some(ThrottleConfig::default()),
         ..VtParams::default()
     });
-    let mut t = Table::new(vec!["benchmark", "vt", "vt+throttle", "swaps", "swaps+throttle"]);
+    let mut t = Table::new(vec![
+        "benchmark",
+        "vt",
+        "vt+throttle",
+        "swaps",
+        "swaps+throttle",
+    ]);
     let mut rows = Vec::new();
     for w in &workloads {
         let base = h.run(Architecture::Baseline, &w.kernel);
         let vt = h.run(Architecture::virtual_thread(), &w.kernel);
         let th = h.run(throttled, &w.kernel);
-        assert_eq!(th.mem_image, base.mem_image, "{}: functional mismatch", w.name);
+        assert_eq!(
+            th.mem_image, base.mem_image,
+            "{}: functional mismatch",
+            w.name
+        );
         let row = Row {
             name: w.name.to_string(),
             vt: vt.speedup_over(&base),
@@ -81,7 +97,10 @@ fn main() {
     );
     // The documented negative result: spmv is NOT rescued (a local
     // issue-rate signal cannot see the shared-cache damage).
-    let spmv = rows.iter().find(|r| r.name == "spmv").expect("spmv measured");
+    let spmv = rows
+        .iter()
+        .find(|r| r.name == "spmv")
+        .expect("spmv measured");
     assert!(
         spmv.vt_throttled < 1.1 * spmv.vt.max(1.0),
         "if this starts passing, the controller learned something new — update the docs!"

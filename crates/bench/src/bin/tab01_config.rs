@@ -1,14 +1,70 @@
 //! **Table 1** — the simulated machine configuration (Fermi/GTX 480
 //! class, mirroring the paper's GPGPU-Sim setup).
 
-use serde::Serialize;
 use vt_bench::{Harness, Table};
 use vt_core::{CoreConfig, MemConfig};
 
-#[derive(Serialize)]
 struct Record {
     core: CoreConfig,
     mem: MemConfig,
+}
+
+impl vt_json::ToJson for Record {
+    fn to_json(&self) -> vt_json::Json {
+        use vt_json::Json;
+        let c = &self.core;
+        let m = &self.mem;
+        let core = Json::Object(vec![
+            ("num_sms".into(), c.num_sms.to_json()),
+            ("max_warps_per_sm".into(), c.max_warps_per_sm.to_json()),
+            ("max_ctas_per_sm".into(), c.max_ctas_per_sm.to_json()),
+            ("regfile_bytes".into(), c.regfile_bytes.to_json()),
+            ("smem_bytes".into(), c.smem_bytes.to_json()),
+            ("schedulers_per_sm".into(), c.schedulers_per_sm.to_json()),
+            ("scheduler".into(), format!("{:?}", c.scheduler).to_json()),
+            ("alu_latency".into(), c.alu_latency.to_json()),
+            ("sfu_latency".into(), c.sfu_latency.to_json()),
+            ("sfu_init_interval".into(), c.sfu_init_interval.to_json()),
+            ("smem_latency".into(), c.smem_latency.to_json()),
+            ("smem_banks".into(), c.smem_banks.to_json()),
+            ("ldst_queue_depth".into(), c.ldst_queue_depth.to_json()),
+            ("max_cycles".into(), c.max_cycles.to_json()),
+        ]);
+        let mem = Json::Object(vec![
+            ("line_bytes".into(), m.line_bytes.to_json()),
+            ("l1_bytes".into(), m.l1_bytes.to_json()),
+            ("l1_ways".into(), m.l1_ways.to_json()),
+            ("l1_hit_latency".into(), m.l1_hit_latency.to_json()),
+            ("l1_mshr_entries".into(), m.l1_mshr_entries.to_json()),
+            ("l1_mshr_merges".into(), m.l1_mshr_merges.to_json()),
+            ("l1_ports".into(), m.l1_ports.to_json()),
+            ("partitions".into(), m.partitions.to_json()),
+            ("l2_slice_bytes".into(), m.l2_slice_bytes.to_json()),
+            ("l2_ways".into(), m.l2_ways.to_json()),
+            ("l2_hit_latency".into(), m.l2_hit_latency.to_json()),
+            ("l2_mshr_entries".into(), m.l2_mshr_entries.to_json()),
+            ("l2_mshr_merges".into(), m.l2_mshr_merges.to_json()),
+            ("l2_ports".into(), m.l2_ports.to_json()),
+            ("icnt_latency".into(), m.icnt_latency.to_json()),
+            (
+                "icnt_flits_per_cycle".into(),
+                m.icnt_flits_per_cycle.to_json(),
+            ),
+            (
+                "dram_row_hit_latency".into(),
+                m.dram_row_hit_latency.to_json(),
+            ),
+            (
+                "dram_row_miss_latency".into(),
+                m.dram_row_miss_latency.to_json(),
+            ),
+            ("dram_burst_cycles".into(), m.dram_burst_cycles.to_json()),
+            ("dram_banks".into(), m.dram_banks.to_json()),
+            ("dram_row_bytes".into(), m.dram_row_bytes.to_json()),
+            ("dram_queue_depth".into(), m.dram_queue_depth.to_json()),
+        ]);
+        Json::Object(vec![("core".into(), core), ("mem".into(), mem)])
+    }
 }
 
 fn main() {
@@ -18,16 +74,31 @@ fn main() {
     let mut t = Table::new(vec!["parameter", "value"]);
     t.row(vec!["SMs", &c.num_sms.to_string()]);
     t.row(vec!["warp size", "32"]);
-    t.row(vec!["warp slots / SM (scheduling limit)", &c.max_warps_per_sm.to_string()]);
-    t.row(vec!["CTA slots / SM (scheduling limit)", &c.max_ctas_per_sm.to_string()]);
+    t.row(vec![
+        "warp slots / SM (scheduling limit)",
+        &c.max_warps_per_sm.to_string(),
+    ]);
+    t.row(vec![
+        "CTA slots / SM (scheduling limit)",
+        &c.max_ctas_per_sm.to_string(),
+    ]);
     t.row(vec![
         "register file / SM (capacity limit)",
         &format!("{} KiB", c.regfile_bytes / 1024),
     ]);
-    t.row(vec!["shared memory / SM (capacity limit)", &format!("{} KiB", c.smem_bytes / 1024)]);
-    t.row(vec!["warp schedulers / SM", &c.schedulers_per_sm.to_string()]);
+    t.row(vec![
+        "shared memory / SM (capacity limit)",
+        &format!("{} KiB", c.smem_bytes / 1024),
+    ]);
+    t.row(vec![
+        "warp schedulers / SM",
+        &c.schedulers_per_sm.to_string(),
+    ]);
     t.row(vec!["scheduler policy", &format!("{:?}", c.scheduler)]);
-    t.row(vec!["ALU / SFU latency", &format!("{} / {} cycles", c.alu_latency, c.sfu_latency)]);
+    t.row(vec![
+        "ALU / SFU latency",
+        &format!("{} / {} cycles", c.alu_latency, c.sfu_latency),
+    ]);
     t.row(vec![
         "shared memory",
         &format!("{} banks, {}-cycle latency", c.smem_banks, c.smem_latency),
@@ -55,15 +126,30 @@ fn main() {
     ]);
     t.row(vec![
         "interconnect",
-        &format!("{}-cycle latency, {} B/cycle/direction", m.icnt_latency, m.icnt_flits_per_cycle * 32),
+        &format!(
+            "{}-cycle latency, {} B/cycle/direction",
+            m.icnt_latency,
+            m.icnt_flits_per_cycle * 32
+        ),
     ]);
     t.row(vec![
         "DRAM",
         &format!(
             "{} channels x {} banks, row hit/miss {}/{} cycles, {} B rows",
-            m.partitions, m.dram_banks, m.dram_row_hit_latency, m.dram_row_miss_latency, m.dram_row_bytes
+            m.partitions,
+            m.dram_banks,
+            m.dram_row_hit_latency,
+            m.dram_row_miss_latency,
+            m.dram_row_bytes
         ),
     ]);
     let human = format!("Table 1 — simulated GPU configuration\n\n{}", t.render());
-    h.emit("tab01_config", &human, &Record { core: c.clone(), mem: m.clone() });
+    h.emit(
+        "tab01_config",
+        &human,
+        &Record {
+            core: c.clone(),
+            mem: m.clone(),
+        },
+    );
 }

@@ -1,25 +1,47 @@
 //! **Table 2** — benchmark characteristics: CTA shape, resource
-//! footprint, instruction mix, limiter class, and resident CTAs per SM
-//! under the baseline vs. Virtual Thread.
+//! footprint, instruction mix, limiter class, resident CTAs per SM
+//! under the baseline vs. Virtual Thread, and the static analyzer's
+//! view of each kernel (register pressure vs. declaration, barrier
+//! intervals).
 
-use serde::Serialize;
 use vt_bench::{Harness, Table};
 use vt_core::occupancy;
 
-#[derive(Serialize)]
 struct Row {
     name: String,
     mirrors: String,
     threads_per_cta: u32,
     warps_per_cta: u32,
     regs_per_thread: u16,
+    used_regs: u16,
+    register_pressure: u16,
     smem_bytes: u32,
     global_mem_instrs: usize,
     barriers: usize,
+    barrier_intervals: usize,
+    analysis_warnings: usize,
     limiter: String,
     baseline_ctas: u32,
     vt_ctas: u32,
 }
+
+vt_json::impl_to_json!(Row {
+    name,
+    mirrors,
+    threads_per_cta,
+    warps_per_cta,
+    regs_per_thread,
+    used_regs,
+    register_pressure,
+    smem_bytes,
+    global_mem_instrs,
+    barriers,
+    barrier_intervals,
+    analysis_warnings,
+    limiter,
+    baseline_ctas,
+    vt_ctas
+});
 
 fn main() {
     let h = Harness::from_env();
@@ -29,7 +51,9 @@ fn main() {
         "cta",
         "warps",
         "regs",
+        "pressure",
         "smem",
+        "bar ivals",
         "limiter",
         "ctas/SM base",
         "ctas/SM vt",
@@ -38,13 +62,21 @@ fn main() {
     for w in h.suite() {
         let occ = occupancy::analyze(&h.core, &w.kernel);
         let mix = w.kernel.program().mix();
+        let report = vt_analysis::analyze(&w.kernel);
+        assert!(!report.has_errors(), "{}: {:?}", w.name, report.diagnostics);
         t.row(vec![
             w.name.to_string(),
-            w.mirrors.split(" (").next().unwrap_or(w.mirrors).to_string(),
+            w.mirrors
+                .split(" (")
+                .next()
+                .unwrap_or(w.mirrors)
+                .to_string(),
             w.kernel.threads_per_cta().to_string(),
             w.kernel.warps_per_cta().to_string(),
             w.kernel.regs_per_thread().to_string(),
+            format!("{}/{}", report.register_pressure, report.used_regs),
             w.kernel.smem_bytes_per_cta().to_string(),
+            report.barrier_intervals.to_string(),
             occ.limiter.to_string(),
             occ.baseline_ctas.to_string(),
             occ.capacity_ctas.to_string(),
@@ -55,9 +87,13 @@ fn main() {
             threads_per_cta: w.kernel.threads_per_cta(),
             warps_per_cta: w.kernel.warps_per_cta(),
             regs_per_thread: w.kernel.regs_per_thread(),
+            used_regs: report.used_regs,
+            register_pressure: report.register_pressure,
             smem_bytes: w.kernel.smem_bytes_per_cta(),
             global_mem_instrs: mix.global_mem,
             barriers: mix.barrier,
+            barrier_intervals: report.barrier_intervals,
+            analysis_warnings: report.warning_count(),
             limiter: occ.limiter.to_string(),
             baseline_ctas: occ.baseline_ctas,
             vt_ctas: occ.capacity_ctas,

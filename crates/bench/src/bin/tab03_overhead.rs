@@ -4,17 +4,44 @@
 //! Substantiates the paper's low-complexity claim: a few KiB against a
 //! 128 KiB register file.
 
-use serde::Serialize;
 use vt_bench::{Harness, Table};
 use vt_core::{context_buffer, OverheadBreakdown, VtParams};
 
-#[derive(Serialize)]
 struct Row {
     virtual_ctas: u32,
     warps_per_cta: u32,
     breakdown: OverheadBreakdown,
     total_bytes: u32,
     fraction_of_regfile: f64,
+}
+
+impl vt_json::ToJson for Row {
+    fn to_json(&self) -> vt_json::Json {
+        use vt_json::Json;
+        let b = &self.breakdown;
+        Json::Object(vec![
+            ("virtual_ctas".into(), self.virtual_ctas.to_json()),
+            ("warps_per_cta".into(), self.warps_per_cta.to_json()),
+            (
+                "breakdown".into(),
+                Json::Object(vec![
+                    (
+                        "buffered_warp_contexts".into(),
+                        b.buffered_warp_contexts.to_json(),
+                    ),
+                    ("pc_bytes".into(), b.pc_bytes.to_json()),
+                    ("simt_stack_bytes".into(), b.simt_stack_bytes.to_json()),
+                    ("scoreboard_bytes".into(), b.scoreboard_bytes.to_json()),
+                    ("cta_metadata_bytes".into(), b.cta_metadata_bytes.to_json()),
+                ]),
+            ),
+            ("total_bytes".into(), self.total_bytes.to_json()),
+            (
+                "fraction_of_regfile".into(),
+                self.fraction_of_regfile.to_json(),
+            ),
+        ])
+    }
 }
 
 fn main() {

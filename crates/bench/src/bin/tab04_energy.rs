@@ -4,11 +4,9 @@
 //! baseline. Quantifies the paper's "only scheduling state moves" energy
 //! argument.
 
-use serde::Serialize;
 use vt_bench::{geomean, Harness, Table};
 use vt_core::{estimate_energy, Architecture, EnergyParams, MemSwapParams};
 
-#[derive(Serialize)]
 struct Row {
     name: String,
     baseline_uj: f64,
@@ -19,6 +17,17 @@ struct Row {
     vt_edp_rel: f64,
     memswap_edp_rel: f64,
 }
+
+vt_json::impl_to_json!(Row {
+    name,
+    baseline_uj,
+    vt_uj,
+    vt_swap_fraction,
+    memswap_uj,
+    memswap_swap_fraction,
+    vt_edp_rel,
+    memswap_edp_rel
+});
 
 fn main() {
     let h = Harness::from_env();
@@ -66,8 +75,10 @@ fn main() {
     }
     let g_vt_edp = geomean(&rows.iter().map(|r| r.vt_edp_rel).collect::<Vec<_>>());
     let g_ms_edp = geomean(&rows.iter().map(|r| r.memswap_edp_rel).collect::<Vec<_>>());
-    let max_vt_swap =
-        rows.iter().map(|r| r.vt_swap_fraction).fold(0.0f64, f64::max);
+    let max_vt_swap = rows
+        .iter()
+        .map(|r| r.vt_swap_fraction)
+        .fold(0.0f64, f64::max);
     let human = format!(
         "Table 4 — dynamic energy and energy-delay product (EDP relative to baseline)\n\n{}\n\
          geomean EDP: vt {:.3}, memswap {:.3}; worst-case VT swap energy share {:.2}%",
@@ -78,7 +89,10 @@ fn main() {
     );
     h.emit("tab04_energy", &human, &rows);
 
-    assert!(max_vt_swap < 0.05, "VT swap energy must stay negligible ({max_vt_swap:.4})");
+    assert!(
+        max_vt_swap < 0.05,
+        "VT swap energy must stay negligible ({max_vt_swap:.4})"
+    );
     assert!(g_vt_edp < 1.0, "VT must improve EDP ({g_vt_edp:.3})");
     assert!(g_ms_edp > g_vt_edp, "memswap EDP must be worse than VT's");
 }

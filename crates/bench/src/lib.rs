@@ -11,12 +11,12 @@
 //! cargo run --release -p vt-bench --bin fig03_speedup -- --quick
 //! ```
 
-use serde::Serialize;
 use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;
 use vt_core::{Architecture, CoreConfig, Gpu, GpuConfig, MemConfig, Report};
 use vt_isa::Kernel;
+use vt_json::ToJson;
 use vt_workloads::{suite, Scale, Workload};
 
 /// Common experiment context: hardware configuration, problem scale and
@@ -51,7 +51,12 @@ impl Harness {
                 other => eprintln!("ignoring unknown argument `{other}`"),
             }
         }
-        Harness { quick, out_dir, core: CoreConfig::default(), mem: MemConfig::default() }
+        Harness {
+            quick,
+            out_dir,
+            core: CoreConfig::default(),
+            mem: MemConfig::default(),
+        }
     }
 
     /// The problem scale experiments run at. Quick mode still
@@ -60,7 +65,10 @@ impl Harness {
     /// shorter inner loops.
     pub fn scale(&self) -> Scale {
         if self.quick {
-            Scale { ctas: 240, iters: 4 }
+            Scale {
+                ctas: 240,
+                iters: 4,
+            }
         } else {
             Scale::paper()
         }
@@ -97,22 +105,18 @@ impl Harness {
     }
 
     /// Prints the experiment output and writes its JSON record.
-    pub fn emit<T: Serialize>(&self, name: &str, human: &str, record: &T) {
+    pub fn emit<T: ToJson>(&self, name: &str, human: &str, record: &T) {
         println!("{human}");
         if let Err(e) = fs::create_dir_all(&self.out_dir) {
             eprintln!("cannot create {}: {e}", self.out_dir.display());
             return;
         }
         let path = self.out_dir.join(format!("{name}.json"));
-        match serde_json::to_string_pretty(record) {
-            Ok(json) => {
-                if let Err(e) = fs::write(&path, json) {
-                    eprintln!("cannot write {}: {e}", path.display());
-                } else {
-                    eprintln!("  [record: {}]", path.display());
-                }
-            }
-            Err(e) => eprintln!("cannot serialise record: {e}"),
+        let json = record.to_json().pretty();
+        if let Err(e) = fs::write(&path, json) {
+            eprintln!("cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("  [record: {}]", path.display());
         }
     }
 }
@@ -129,7 +133,9 @@ pub fn geomean(xs: &[f64]) -> f64 {
 /// A fixed-width ASCII horizontal bar for figure-style output.
 pub fn bar(value: f64, max: f64, width: usize) -> String {
     let max = if max <= 0.0 { 1.0 } else { max };
-    let n = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    let n = ((value / max) * width as f64)
+        .round()
+        .clamp(0.0, width as f64) as usize;
     let mut s = "█".repeat(n);
     s.push_str(&" ".repeat(width - n));
     s
@@ -145,7 +151,10 @@ pub struct Table {
 impl Table {
     /// A table with the given column headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; short rows are padded with empty cells.

@@ -1,16 +1,13 @@
 //! The four architectures the paper compares, and how each lowers to the
 //! simulator's CTA-residency mechanism.
 
-use serde::{Deserialize, Serialize};
 use vt_isa::Kernel;
 use vt_mem::MemConfig;
 use vt_sim::config::ThrottleConfig;
-use vt_sim::{
-    ActivePolicy, AdmissionPolicy, CoreConfig, ResidencyConfig, SwapConfig, SwapTrigger,
-};
+use vt_sim::{ActivePolicy, AdmissionPolicy, CoreConfig, ResidencyConfig, SwapConfig, SwapTrigger};
 
 /// Parameters of the Virtual Thread architecture.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VtParams {
     /// Maximum virtual (resident) CTAs per SM, bounding the context
     /// buffer. `None` lets capacity alone decide, the paper's default
@@ -63,7 +60,7 @@ impl VtParams {
 /// Parameters of the memory-hierarchy CTA-swap comparison point: the
 /// conventional alternative that saves and restores the *full* CTA state
 /// (registers and shared memory) through the memory system.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemSwapParams {
     /// Maximum virtual CTAs per SM (same role as in [`VtParams`]).
     pub max_virtual_ctas: Option<u32>,
@@ -96,7 +93,7 @@ impl MemSwapParams {
 }
 
 /// The architecture being simulated.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Architecture {
     /// Conventional GPU: CTAs admitted up to min(scheduling, capacity)
     /// limit, no context switching.
@@ -133,11 +130,18 @@ impl Architecture {
 
     /// Lowers the architecture to the simulator's residency mechanism for
     /// a specific kernel (swap costs depend on the kernel's footprint).
-    pub fn residency_for(&self, kernel: &Kernel, _core: &CoreConfig, _mem: &MemConfig) -> ResidencyConfig {
+    pub fn residency_for(
+        &self,
+        kernel: &Kernel,
+        _core: &CoreConfig,
+        _mem: &MemConfig,
+    ) -> ResidencyConfig {
         match self {
             Architecture::Baseline => ResidencyConfig::baseline(),
             Architecture::Ideal => ResidencyConfig {
-                admission: AdmissionPolicy::CapacityOnly { max_resident_ctas: None },
+                admission: AdmissionPolicy::CapacityOnly {
+                    max_resident_ctas: None,
+                },
                 active: ActivePolicy::Unlimited,
                 swap: None,
             },
@@ -164,7 +168,9 @@ fn virtualized_residency(
     throttle: Option<ThrottleConfig>,
 ) -> ResidencyConfig {
     ResidencyConfig {
-        admission: AdmissionPolicy::CapacityOnly { max_resident_ctas: max_virtual_ctas },
+        admission: AdmissionPolicy::CapacityOnly {
+            max_resident_ctas: max_virtual_ctas,
+        },
         active: ActivePolicy::SchedulingLimit,
         swap: Some(SwapConfig {
             trigger,
@@ -248,8 +254,14 @@ mod tests {
 
     #[test]
     fn context_bytes_scale_with_stack_budget() {
-        let small = VtParams { stack_entries_per_warp: 4, ..VtParams::default() };
-        let big = VtParams { stack_entries_per_warp: 32, ..VtParams::default() };
+        let small = VtParams {
+            stack_entries_per_warp: 4,
+            ..VtParams::default()
+        };
+        let big = VtParams {
+            stack_entries_per_warp: 32,
+            ..VtParams::default()
+        };
         assert!(big.context_bytes_per_warp() > small.context_bytes_per_warp());
     }
 }

@@ -10,11 +10,10 @@
 
 use crate::arch::Architecture;
 use crate::gpu::Report;
-use serde::{Deserialize, Serialize};
 use vt_isa::Kernel;
 
 /// Per-event dynamic energies in picojoules.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyParams {
     /// Execute one thread instruction (ALU + pipeline control).
     pub thread_instr_pj: f64,
@@ -52,7 +51,7 @@ impl Default for EnergyParams {
 }
 
 /// A dynamic-energy estimate for one run, broken down by component.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyEstimate {
     /// Core (ALU + register file) energy, in microjoules.
     pub core_uj: f64,
@@ -98,11 +97,9 @@ impl EnergyEstimate {
 pub fn estimate(report: &Report, kernel: &Kernel, p: &EnergyParams) -> EnergyEstimate {
     let s = &report.stats;
     let pj_to_uj = 1e-6;
-    let core_uj =
-        s.thread_instrs as f64 * (p.thread_instr_pj + p.reg_access_pj) * pj_to_uj;
-    let l1_uj = (s.mem.l1_accesses + s.mem.stores + s.mem.atomics) as f64
-        * p.l1_access_pj
-        * pj_to_uj;
+    let core_uj = s.thread_instrs as f64 * (p.thread_instr_pj + p.reg_access_pj) * pj_to_uj;
+    let l1_uj =
+        (s.mem.l1_accesses + s.mem.stores + s.mem.atomics) as f64 * p.l1_access_pj * pj_to_uj;
     let l2_uj = s.mem.l2_accesses as f64 * p.l2_access_pj * pj_to_uj;
     let dram_lines = (s.mem.dram_reads + s.mem.dram_writes) as f64;
     let icnt_lines = (s.mem.l1_misses + s.mem.stores + s.mem.atomics) as f64 * 2.0;
@@ -115,13 +112,18 @@ pub fn estimate(report: &Report, kernel: &Kernel, p: &EnergyParams) -> EnergyEst
             (swap_events * bytes) as f64 * p.context_byte_pj * pj_to_uj
         }
         Architecture::MemSwap(_) => {
-            let bytes =
-                u64::from(kernel.reg_bytes_per_cta() + kernel.smem_bytes_per_cta());
+            let bytes = u64::from(kernel.reg_bytes_per_cta() + kernel.smem_bytes_per_cta());
             (swap_events * bytes) as f64 * p.memswap_byte_pj * pj_to_uj
         }
         Architecture::Baseline | Architecture::Ideal => 0.0,
     };
-    EnergyEstimate { core_uj, l1_uj, l2_uj, dram_uj, swap_uj }
+    EnergyEstimate {
+        core_uj,
+        l1_uj,
+        l2_uj,
+        dram_uj,
+        swap_uj,
+    }
 }
 
 #[cfg(test)]
@@ -190,7 +192,10 @@ mod tests {
         let p = EnergyParams::default();
         let vt = estimate(&reports[0], &k, &p);
         let ms = estimate(&reports[1], &k, &p);
-        assert!(reports[0].stats.swaps.swaps_out > 0, "VT must actually swap");
+        assert!(
+            reports[0].stats.swaps.swaps_out > 0,
+            "VT must actually swap"
+        );
         assert!(
             vt.swap_fraction() < 0.02,
             "VT swap energy must be negligible, got {:.4}",
@@ -211,7 +216,9 @@ mod tests {
         let k = latency_kernel();
         let p = EnergyParams::default();
         let base = Gpu::new(small(Architecture::Baseline)).run(&k).unwrap();
-        let vt = Gpu::new(small(Architecture::virtual_thread())).run(&k).unwrap();
+        let vt = Gpu::new(small(Architecture::virtual_thread()))
+            .run(&k)
+            .unwrap();
         let e_base = estimate(&base, &k, &p).edp(base.stats.cycles);
         let e_vt = estimate(&vt, &k, &p).edp(vt.stats.cycles);
         assert!(
@@ -222,7 +229,13 @@ mod tests {
 
     #[test]
     fn breakdown_sums_to_total() {
-        let e = EnergyEstimate { core_uj: 1.0, l1_uj: 2.0, l2_uj: 3.0, dram_uj: 4.0, swap_uj: 0.5 };
+        let e = EnergyEstimate {
+            core_uj: 1.0,
+            l1_uj: 2.0,
+            l2_uj: 3.0,
+            dram_uj: 4.0,
+            swap_uj: 0.5,
+        };
         assert!((e.total_uj() - 10.5).abs() < 1e-12);
         assert!((e.swap_fraction() - 0.5 / 10.5).abs() < 1e-12);
         assert_eq!(e.edp(2), 21.0);

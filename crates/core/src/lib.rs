@@ -62,8 +62,7 @@ pub use overhead::{context_buffer, OverheadBreakdown};
 
 // The analysis types figures are built from.
 pub use vt_sim::{
-    occupancy, CoreConfig, Limiter, OccupancyAnalysis, RunStats, SchedPolicy, SimError,
-    SwapTrigger,
+    occupancy, CoreConfig, Limiter, OccupancyAnalysis, RunStats, SchedPolicy, SimError, SwapTrigger,
 };
 
 pub use vt_mem::MemConfig;

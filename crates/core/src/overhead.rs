@@ -3,11 +3,10 @@
 //! (the paper's low-complexity claim, its overhead table).
 
 use crate::arch::VtParams;
-use serde::{Deserialize, Serialize};
 use vt_sim::CoreConfig;
 
 /// Per-SM storage the VT context buffer adds.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OverheadBreakdown {
     /// Warp contexts the buffer must hold (virtual warps beyond the
     /// hardware warp slots).
@@ -103,13 +102,19 @@ mod tests {
         let core = CoreConfig::default();
         let small = context_buffer(
             &core,
-            &VtParams { stack_entries_per_warp: 4, ..VtParams::default() },
+            &VtParams {
+                stack_entries_per_warp: 4,
+                ..VtParams::default()
+            },
             32,
             2,
         );
         let big = context_buffer(
             &core,
-            &VtParams { stack_entries_per_warp: 32, ..VtParams::default() },
+            &VtParams {
+                stack_entries_per_warp: 32,
+                ..VtParams::default()
+            },
             32,
             2,
         );

@@ -44,7 +44,10 @@ use std::collections::HashMap;
 /// if the assembled program fails validation.
 pub fn assemble(src: &str) -> Result<Kernel, IsaError> {
     let parsed = parse(src)?;
-    let regs = parsed.max_reg_seen.map_or(1, |r| r + 1).max(parsed.regs_directive.unwrap_or(0));
+    let regs = parsed
+        .max_reg_seen
+        .map_or(1, |r| r + 1)
+        .max(parsed.regs_directive.unwrap_or(0));
     let kernel = Kernel::new(
         parsed.name.unwrap_or_else(|| "kernel".to_string()),
         Program::new(parsed.instrs),
@@ -136,7 +139,9 @@ fn parse(src: &str) -> Result<Parsed, AsmError> {
         match head {
             ".kernel" => {
                 parsed.name = Some(
-                    it.next().ok_or_else(|| err_val(lineno, ".kernel needs a name"))?.to_string(),
+                    it.next()
+                        .ok_or_else(|| err_val(lineno, ".kernel needs a name"))?
+                        .to_string(),
                 );
             }
             ".grid" => {
@@ -181,11 +186,17 @@ fn track_regs(i: &Instr, max: &mut Option<u16>) {
 }
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
-    Err(AsmError { line, message: message.into() })
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
 }
 
 fn err_val(line: usize, message: impl Into<String>) -> AsmError {
-    AsmError { line, message: message.into() }
+    AsmError {
+        line,
+        message: message.into(),
+    }
 }
 
 fn parse_u32(tok: Option<&str>, line: usize, msg: &str) -> Result<u32, AsmError> {
@@ -300,7 +311,10 @@ fn parse_instr(
         if args.len() == n {
             Ok(())
         } else {
-            err(lineno, format!("{mnem} expects {n} operands, got {}", args.len()))
+            err(
+                lineno,
+                format!("{mnem} expects {n} operands, got {}", args.len()),
+            )
         }
     };
 
@@ -315,13 +329,19 @@ fn parse_instr(
         }
         "bra" => {
             want(1)?;
-            Ok(Instr::Bra { target: parse_target(args[0], lineno, labels)? })
+            Ok(Instr::Bra {
+                target: parse_target(args[0], lineno, labels)?,
+            })
         }
         "brc.nz" | "brc.z" => {
             want(3)?;
             Ok(Instr::BraCond {
                 pred: parse_operand(args[0], lineno)?,
-                when: if mnem == "brc.nz" { BranchIf::NonZero } else { BranchIf::Zero },
+                when: if mnem == "brc.nz" {
+                    BranchIf::NonZero
+                } else {
+                    BranchIf::Zero
+                },
                 target: parse_target(args[1], lineno, labels)?,
                 reconv: parse_target(args[2], lineno, labels)?,
             })
@@ -342,7 +362,11 @@ fn parse_instr(
             want(2)?;
             let (addr, offset) = parse_addr(args[1], lineno)?;
             Ok(Instr::Ld {
-                space: if mnem == "ld.g" { MemSpace::Global } else { MemSpace::Shared },
+                space: if mnem == "ld.g" {
+                    MemSpace::Global
+                } else {
+                    MemSpace::Shared
+                },
                 dst: parse_reg(args[0], lineno)?,
                 addr,
                 offset,
@@ -352,7 +376,11 @@ fn parse_instr(
             want(2)?;
             let (addr, offset) = parse_addr(args[0], lineno)?;
             Ok(Instr::St {
-                space: if mnem == "st.g" { MemSpace::Global } else { MemSpace::Shared },
+                space: if mnem == "st.g" {
+                    MemSpace::Global
+                } else {
+                    MemSpace::Shared
+                },
                 addr,
                 offset,
                 src: parse_operand(args[1], lineno)?,
@@ -481,20 +509,28 @@ mod tests {
 
     #[test]
     fn float_and_hex_immediates() {
-        let p = assemble_program("fadd r0, r1, 1.5f\nand r2, r3, 0xff\nadd r0, r0, -1\nexit")
-            .unwrap();
+        let p =
+            assemble_program("fadd r0, r1, 1.5f\nand r2, r3, 0xff\nadd r0, r0, -1\nexit").unwrap();
         match *p.fetch(0) {
-            Instr::Alu { b: Operand::Imm(bits), .. } => {
+            Instr::Alu {
+                b: Operand::Imm(bits),
+                ..
+            } => {
                 assert_eq!(f32::from_bits(bits), 1.5)
             }
             ref o => panic!("unexpected {o}"),
         }
         match *p.fetch(1) {
-            Instr::Alu { b: Operand::Imm(255), .. } => {}
+            Instr::Alu {
+                b: Operand::Imm(255),
+                ..
+            } => {}
             ref o => panic!("unexpected {o}"),
         }
         match *p.fetch(2) {
-            Instr::Alu { b: Operand::Imm(v), .. } => assert_eq!(v, u32::MAX),
+            Instr::Alu {
+                b: Operand::Imm(v), ..
+            } => assert_eq!(v, u32::MAX),
             ref o => panic!("unexpected {o}"),
         }
     }
@@ -511,8 +547,22 @@ mod tests {
     #[test]
     fn atom_forms() {
         let p = assemble_program("atom.add.g r0, [r1+4], 2\natom.max.g [r1+0], r2").unwrap();
-        assert!(matches!(*p.fetch(0), Instr::Atom { op: AtomOp::Add, dst: Some(Reg(0)), .. }));
-        assert!(matches!(*p.fetch(1), Instr::Atom { op: AtomOp::Max, dst: None, .. }));
+        assert!(matches!(
+            *p.fetch(0),
+            Instr::Atom {
+                op: AtomOp::Add,
+                dst: Some(Reg(0)),
+                ..
+            }
+        ));
+        assert!(matches!(
+            *p.fetch(1),
+            Instr::Atom {
+                op: AtomOp::Max,
+                dst: None,
+                ..
+            }
+        ));
     }
 
     #[test]

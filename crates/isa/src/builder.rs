@@ -303,27 +303,53 @@ impl KernelBuilder {
 
     /// `dst = global[addr + offset]`.
     pub fn ld_global(&mut self, dst: Reg, addr: Operand, offset: i32) {
-        self.emit(Instr::Ld { space: MemSpace::Global, dst, addr, offset });
+        self.emit(Instr::Ld {
+            space: MemSpace::Global,
+            dst,
+            addr,
+            offset,
+        });
     }
 
     /// `global[addr + offset] = src`.
     pub fn st_global(&mut self, addr: Operand, offset: i32, src: Operand) {
-        self.emit(Instr::St { space: MemSpace::Global, addr, offset, src });
+        self.emit(Instr::St {
+            space: MemSpace::Global,
+            addr,
+            offset,
+            src,
+        });
     }
 
     /// `dst = shared[addr + offset]`.
     pub fn ld_shared(&mut self, dst: Reg, addr: Operand, offset: i32) {
-        self.emit(Instr::Ld { space: MemSpace::Shared, dst, addr, offset });
+        self.emit(Instr::Ld {
+            space: MemSpace::Shared,
+            dst,
+            addr,
+            offset,
+        });
     }
 
     /// `shared[addr + offset] = src`.
     pub fn st_shared(&mut self, addr: Operand, offset: i32, src: Operand) {
-        self.emit(Instr::St { space: MemSpace::Shared, addr, offset, src });
+        self.emit(Instr::St {
+            space: MemSpace::Shared,
+            addr,
+            offset,
+            src,
+        });
     }
 
     /// Atomic read-modify-write on global memory.
     pub fn atom(&mut self, op: AtomOp, dst: Option<Reg>, addr: Operand, offset: i32, val: Operand) {
-        self.emit(Instr::Atom { op, dst, addr, offset, val });
+        self.emit(Instr::Atom {
+            op,
+            dst,
+            addr,
+            offset,
+            val,
+        });
     }
 
     /// CTA-wide barrier.
@@ -427,7 +453,11 @@ impl KernelBuilder {
 
     fn patch_brc(&mut self, at: usize, target: usize, reconv: usize) {
         match &mut self.instrs[at] {
-            Instr::BraCond { target: t, reconv: r, .. } => {
+            Instr::BraCond {
+                target: t,
+                reconv: r,
+                ..
+            } => {
                 *t = target;
                 *r = reconv;
             }
@@ -529,7 +559,12 @@ mod tests {
         b.exit();
         let k = b.build(1, 32).unwrap();
         match *k.program().fetch(1) {
-            Instr::BraCond { when: BranchIf::Zero, target, reconv, .. } => {
+            Instr::BraCond {
+                when: BranchIf::Zero,
+                target,
+                reconv,
+                ..
+            } => {
                 assert_eq!(target, 4);
                 assert_eq!(reconv, 4);
             }
@@ -595,7 +630,9 @@ mod tests {
             b.if_else(
                 Operand::Reg(p),
                 |b| {
-                    b.if_(Operand::Reg(x), |b| b.add(x, Operand::Reg(x), Operand::Imm(1)));
+                    b.if_(Operand::Reg(x), |b| {
+                        b.add(x, Operand::Reg(x), Operand::Imm(1))
+                    });
                 },
                 |b| b.mov(x, Operand::Imm(0)),
             );

@@ -110,7 +110,10 @@ impl fmt::Display for ProgramError {
             }
             ProgramError::MissingExit => write!(f, "control can run off the end of the program"),
             ProgramError::SharedOutOfRange { pc } => {
-                write!(f, "shared-memory access at pc {pc} exceeds declared shared memory")
+                write!(
+                    f,
+                    "shared-memory access at pc {pc} exceeds declared shared memory"
+                )
             }
         }
     }

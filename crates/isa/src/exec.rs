@@ -159,7 +159,12 @@ mod tests {
 
     #[test]
     fn thread_ctx_positions() {
-        let c = ThreadCtx { tid: 70, ctaid: 3, ntid: 128, ncta: 8 };
+        let c = ThreadCtx {
+            tid: 70,
+            ctaid: 3,
+            ntid: 128,
+            ncta: 8,
+        };
         assert_eq!(c.lane(), 6);
         assert_eq!(c.warp_id(), 2);
         assert_eq!(c.global_tid(), 3 * 128 + 70);
@@ -167,7 +172,12 @@ mod tests {
 
     #[test]
     fn resolve_all_operand_kinds() {
-        let ctx = ThreadCtx { tid: 5, ctaid: 2, ntid: 64, ncta: 4 };
+        let ctx = ThreadCtx {
+            tid: 5,
+            ctaid: 2,
+            ntid: 64,
+            ncta: 4,
+        };
         let regs = [11, 22, 33];
         assert_eq!(resolve(Operand::Reg(Reg(1)), &regs, &ctx), 22);
         assert_eq!(resolve(Operand::Imm(9), &regs, &ctx), 9);
@@ -183,7 +193,11 @@ mod tests {
     fn integer_alu_semantics() {
         assert_eq!(eval_alu(AluOp::Add, u32::MAX, 2), 1, "wrapping add");
         assert_eq!(eval_alu(AluOp::Sub, 1, 3), u32::MAX - 1);
-        assert_eq!(eval_alu(AluOp::Mul, 1 << 20, 1 << 13), 0, "low 32 bits of 2^33");
+        assert_eq!(
+            eval_alu(AluOp::Mul, 1 << 20, 1 << 13),
+            0,
+            "low 32 bits of 2^33"
+        );
         assert_eq!(eval_alu(AluOp::MulHi, 1 << 20, 1 << 13), 2);
         assert_eq!(eval_alu(AluOp::Div, 7, 2), 3);
         assert_eq!(eval_alu(AluOp::Div, 7, 0), u32::MAX, "PTX div by zero");

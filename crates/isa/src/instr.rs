@@ -1,7 +1,6 @@
 //! The instruction set.
 
 use crate::op::{AluOp, AtomOp, BranchIf, MemSpace, Operand, Reg, SfuOp};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One SIMT instruction.
@@ -11,7 +10,7 @@ use std::fmt;
 /// post-dominator of the branch), so the SIMT stack needs no separate
 /// `SSY` marker. Uniform back-edges use [`Instr::Bra`], which never
 /// diverges (all active lanes jump).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Instr {
     /// `dst = op(a, b)` on the SP pipeline.
     Alu {
@@ -162,22 +161,42 @@ impl Instr {
     /// Whether this is a global or shared memory access (load, store or
     /// atomic) handled by the LD/ST pipeline.
     pub fn is_mem(&self) -> bool {
-        matches!(self, Instr::Ld { .. } | Instr::St { .. } | Instr::Atom { .. })
+        matches!(
+            self,
+            Instr::Ld { .. } | Instr::St { .. } | Instr::Atom { .. }
+        )
     }
 
     /// Whether this accesses global memory (including atomics).
     pub fn is_global_mem(&self) -> bool {
         matches!(
             self,
-            Instr::Ld { space: MemSpace::Global, .. }
-                | Instr::St { space: MemSpace::Global, .. }
-                | Instr::Atom { .. }
+            Instr::Ld {
+                space: MemSpace::Global,
+                ..
+            } | Instr::St {
+                space: MemSpace::Global,
+                ..
+            } | Instr::Atom { .. }
         )
     }
 
     /// Whether this instruction may change control flow.
     pub fn is_control(&self) -> bool {
-        matches!(self, Instr::Bra { .. } | Instr::BraCond { .. } | Instr::Exit)
+        matches!(
+            self,
+            Instr::Bra { .. } | Instr::BraCond { .. } | Instr::Exit
+        )
+    }
+
+    /// Whether the instruction only computes a register value — no memory
+    /// traffic, no synchronisation, no control transfer. A pure
+    /// instruction whose destination is never read afterwards is dead.
+    pub fn is_pure(&self) -> bool {
+        matches!(
+            self,
+            Instr::Alu { .. } | Instr::Mad { .. } | Instr::Ffma { .. } | Instr::Sfu { .. }
+        )
     }
 }
 
@@ -193,19 +212,40 @@ impl fmt::Display for Instr {
             Instr::Mad { dst, a, b, c } => write!(f, "mad {dst}, {a}, {b}, {c}"),
             Instr::Ffma { dst, a, b, c } => write!(f, "ffma {dst}, {a}, {b}, {c}"),
             Instr::Sfu { op, dst, a } => write!(f, "{} {dst}, {a}", op.mnemonic()),
-            Instr::Ld { space, dst, addr, offset } => {
+            Instr::Ld {
+                space,
+                dst,
+                addr,
+                offset,
+            } => {
                 write!(f, "ld.{space} {dst}, [{addr}{offset:+}]")
             }
-            Instr::St { space, addr, offset, src } => {
+            Instr::St {
+                space,
+                addr,
+                offset,
+                src,
+            } => {
                 write!(f, "st.{space} [{addr}{offset:+}], {src}")
             }
-            Instr::Atom { op, dst, addr, offset, val } => match dst {
+            Instr::Atom {
+                op,
+                dst,
+                addr,
+                offset,
+                val,
+            } => match dst {
                 Some(d) => write!(f, "atom.{}.g {d}, [{addr}{offset:+}], {val}", op.mnemonic()),
                 None => write!(f, "atom.{}.g [{addr}{offset:+}], {val}", op.mnemonic()),
             },
             Instr::Bar => f.write_str("bar"),
             Instr::Bra { target } => write!(f, "bra @{target}"),
-            Instr::BraCond { pred, when, target, reconv } => {
+            Instr::BraCond {
+                pred,
+                when,
+                target,
+                reconv,
+            } => {
                 let pol = match when {
                     BranchIf::NonZero => "nz",
                     BranchIf::Zero => "z",

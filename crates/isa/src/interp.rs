@@ -84,7 +84,10 @@ impl<'k> Interpreter<'k> {
         kernel
             .program()
             .validate(kernel.regs_per_thread(), kernel.smem_bytes_per_cta())?;
-        Ok(Interpreter { kernel, budget_per_cta: DEFAULT_INSTR_BUDGET })
+        Ok(Interpreter {
+            kernel,
+            budget_per_cta: DEFAULT_INSTR_BUDGET,
+        })
     }
 
     /// Overrides the per-CTA dynamic instruction budget.
@@ -110,7 +113,12 @@ impl<'k> Interpreter<'k> {
             thread_instrs += ti;
             max_depth = max_depth.max(md);
         }
-        Ok(InterpResult { mem, warp_instrs, thread_instrs, max_simt_depth: max_depth })
+        Ok(InterpResult {
+            mem,
+            warp_instrs,
+            thread_instrs,
+            max_simt_depth: max_depth,
+        })
     }
 
     fn run_cta(&self, ctaid: u32, mem: &mut MemImage) -> Result<(u64, u64, usize), IsaError> {
@@ -122,7 +130,11 @@ impl<'k> Interpreter<'k> {
             .map(|w| {
                 let first_tid = w * WARP_SIZE;
                 let lanes = (nthreads - first_tid).min(WARP_SIZE);
-                let mask = if lanes == 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+                let mask = if lanes == 32 {
+                    u32::MAX
+                } else {
+                    (1u32 << lanes) - 1
+                };
                 WarpState {
                     stack: SimtStack::new(mask),
                     regs: vec![vec![0u32; k.regs_per_thread() as usize]; lanes as usize],
@@ -158,8 +170,7 @@ impl<'k> Interpreter<'k> {
                     }
                 }
             }
-            let unfinished: Vec<&WarpState> =
-                warps.iter().filter(|w| !w.stack.is_done()).collect();
+            let unfinished: Vec<&WarpState> = warps.iter().filter(|w| !w.stack.is_done()).collect();
             if unfinished.is_empty() {
                 break;
             }
@@ -215,8 +226,11 @@ impl<'k> Interpreter<'k> {
                     let va = exec::resolve(a, regs, &ctx);
                     let vb = exec::resolve(b, regs, &ctx);
                     let vc = exec::resolve(c, regs, &ctx);
-                    regs[dst.0 as usize] =
-                        if is_f { exec::eval_ffma(va, vb, vc) } else { exec::eval_mad(va, vb, vc) };
+                    regs[dst.0 as usize] = if is_f {
+                        exec::eval_ffma(va, vb, vc)
+                    } else {
+                        exec::eval_mad(va, vb, vc)
+                    };
                     Ok(())
                 })?;
                 warp.stack.advance();
@@ -231,7 +245,12 @@ impl<'k> Interpreter<'k> {
                 })?;
                 warp.stack.advance();
             }
-            Instr::Ld { space, dst, addr, offset } => {
+            Instr::Ld {
+                space,
+                dst,
+                addr,
+                offset,
+            } => {
                 for_lanes(mask, |lane| {
                     let ctx = self.ctx(warp, lane, ctaid);
                     let regs = &mut warp.regs[lane as usize];
@@ -241,7 +260,12 @@ impl<'k> Interpreter<'k> {
                 })?;
                 warp.stack.advance();
             }
-            Instr::St { space, addr, offset, src } => {
+            Instr::St {
+                space,
+                addr,
+                offset,
+                src,
+            } => {
                 for_lanes(mask, |lane| {
                     let ctx = self.ctx(warp, lane, ctaid);
                     let regs = &warp.regs[lane as usize];
@@ -251,7 +275,13 @@ impl<'k> Interpreter<'k> {
                 })?;
                 warp.stack.advance();
             }
-            Instr::Atom { op, dst, addr, offset, val } => {
+            Instr::Atom {
+                op,
+                dst,
+                addr,
+                offset,
+                val,
+            } => {
                 for_lanes(mask, |lane| {
                     let ctx = self.ctx(warp, lane, ctaid);
                     let regs = &mut warp.regs[lane as usize];
@@ -274,7 +304,12 @@ impl<'k> Interpreter<'k> {
             Instr::Bra { target } => {
                 warp.stack.jump(target);
             }
-            Instr::BraCond { pred, when, target, reconv } => {
+            Instr::BraCond {
+                pred,
+                when,
+                target,
+                reconv,
+            } => {
                 let mut taken = 0u32;
                 for_lanes(mask, |lane| {
                     let ctx = self.ctx(warp, lane, ctaid);
@@ -298,10 +333,7 @@ impl<'k> Interpreter<'k> {
     }
 }
 
-fn for_lanes(
-    mask: u32,
-    mut f: impl FnMut(u32) -> Result<(), ExecError>,
-) -> Result<(), ExecError> {
+fn for_lanes(mask: u32, mut f: impl FnMut(u32) -> Result<(), ExecError>) -> Result<(), ExecError> {
     let mut m = mask;
     while m != 0 {
         let lane = m.trailing_zeros();
@@ -430,7 +462,11 @@ mod tests {
         let k = b.build(1, 32).unwrap();
         let r = Interpreter::new(&k).unwrap().run().unwrap();
         for t in 0..32u32 {
-            assert_eq!(r.load_words(out + 4 * t, 1)[0], (0..t).sum::<u32>(), "thread {t}");
+            assert_eq!(
+                r.load_words(out + 4 * t, 1)[0],
+                (0..t).sum::<u32>(),
+                "thread {t}"
+            );
         }
     }
 
@@ -531,7 +567,11 @@ mod tests {
         let k = b.build(1, 64).unwrap();
         let r = Interpreter::new(&k).unwrap().run().unwrap();
         assert_eq!(r.load_words(out, 1)[0], 0, "warp 0 skipped the store");
-        assert_eq!(r.load_words(out + 4 * 32, 1)[0], 9, "warp 1 passed the barrier");
+        assert_eq!(
+            r.load_words(out + 4 * 32, 1)[0],
+            9,
+            "warp 1 passed the barrier"
+        );
     }
 
     #[test]
@@ -554,7 +594,11 @@ mod tests {
         b.while_(|_| Operand::Imm(1), |_| {});
         b.exit();
         let k = b.build(1, 32).unwrap();
-        let err = Interpreter::new(&k).unwrap().with_budget(10_000).run().unwrap_err();
+        let err = Interpreter::new(&k)
+            .unwrap()
+            .with_budget(10_000)
+            .run()
+            .unwrap_err();
         assert_eq!(err, IsaError::Exec(ExecError::InstructionBudgetExceeded));
     }
 }

@@ -3,7 +3,6 @@
 use crate::error::ProgramError;
 use crate::program::Program;
 use crate::WARP_SIZE;
-use serde::{Deserialize, Serialize};
 
 /// A launchable GPU kernel.
 ///
@@ -12,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// count, its per-CTA shared-memory footprint and the initial global-memory
 /// image. The resource declaration is what the occupancy machinery and the
 /// Virtual Thread CTA allocator reason about.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Kernel {
     name: String,
     program: Program,
@@ -138,7 +137,7 @@ impl Kernel {
 /// Addresses are byte addresses; all accesses are 4-byte aligned words.
 /// The image doubles as the initial kernel input and (after a run) the
 /// functional output that tests compare against the reference interpreter.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemImage {
     words: Vec<u32>,
 }
@@ -146,7 +145,9 @@ pub struct MemImage {
 impl MemImage {
     /// An image of `words` zeroed 32-bit words.
     pub fn zeroed(words: usize) -> MemImage {
-        MemImage { words: vec![0; words] }
+        MemImage {
+            words: vec![0; words],
+        }
     }
 
     /// Wraps an existing word vector.

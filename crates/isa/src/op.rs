@@ -1,13 +1,12 @@
 //! Operand and opcode vocabulary of the mini-ISA.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A general-purpose 32-bit register index within a thread's register frame.
 ///
 /// Register indices are validated against the kernel's declared
 /// `regs_per_thread` by [`crate::program::Program::validate`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(pub u16);
 
 impl fmt::Display for Reg {
@@ -17,7 +16,7 @@ impl fmt::Display for Reg {
 }
 
 /// Read-only special registers exposing the thread's position in the grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Sreg {
     /// Thread index within the CTA (`threadIdx.x`).
     Tid,
@@ -31,6 +30,16 @@ pub enum Sreg {
     Lane,
     /// Warp index within the CTA.
     WarpId,
+}
+
+impl Sreg {
+    /// Whether the special register's value can differ between threads of
+    /// the same CTA. `%ctaid`, `%ntid` and `%ncta` are CTA-uniform;
+    /// `%tid`, `%lane` and `%warpid` are not. Divergence and barrier
+    /// analyses seed their uniformity lattice from this.
+    pub fn is_thread_varying(&self) -> bool {
+        matches!(self, Sreg::Tid | Sreg::Lane | Sreg::WarpId)
+    }
 }
 
 impl fmt::Display for Sreg {
@@ -48,7 +57,7 @@ impl fmt::Display for Sreg {
 }
 
 /// A source operand: a register, a 32-bit immediate or a special register.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Operand {
     /// Value of a general-purpose register.
     Reg(Reg),
@@ -100,7 +109,7 @@ impl From<u32> for Operand {
 /// Integer ops treat values as `u32` with wrapping semantics unless the name
 /// carries an `S` suffix (signed comparison). Float ops reinterpret the bit
 /// pattern as IEEE-754 `f32`. Comparison ops produce `1` or `0`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AluOp {
     /// `dst = a` (second source ignored).
     Mov,
@@ -246,7 +255,7 @@ impl AluOp {
 }
 
 /// Long-latency transcendental operations executed on the SFU pipeline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SfuOp {
     /// Reciprocal `1/x`.
     Rcp,
@@ -287,7 +296,7 @@ impl SfuOp {
 }
 
 /// Read-modify-write operations for `atom.*` instructions.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AtomOp {
     /// Atomic wrapping add; returns the old value.
     Add,
@@ -312,7 +321,7 @@ impl AtomOp {
 }
 
 /// Address space of a memory instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemSpace {
     /// Device memory, served by L1 → L2 → DRAM.
     Global,
@@ -330,7 +339,7 @@ impl fmt::Display for MemSpace {
 }
 
 /// Polarity of a conditional branch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum BranchIf {
     /// Taken by lanes whose predicate value is non-zero.
     NonZero,

@@ -3,7 +3,6 @@
 use crate::error::ProgramError;
 use crate::instr::Instr;
 use crate::op::Operand;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// An immutable, index-addressed instruction sequence.
@@ -12,7 +11,7 @@ use std::fmt;
 /// `Program` is usually produced by [`crate::builder::KernelBuilder`] or
 /// [`crate::asm::assemble`] and validated against a kernel's resource
 /// declaration by [`Program::validate`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     instrs: Vec<Instr>,
 }
@@ -89,10 +88,9 @@ impl Program {
                 }
             }
             match *instr {
-                Instr::Bra { target }
-                    if target >= len => {
-                        return Err(ProgramError::TargetOutOfRange { pc, target });
-                    }
+                Instr::Bra { target } if target >= len => {
+                    return Err(ProgramError::TargetOutOfRange { pc, target });
+                }
                 Instr::BraCond { target, reconv, .. } => {
                     if target >= len {
                         return Err(ProgramError::TargetOutOfRange { pc, target });
@@ -108,11 +106,26 @@ impl Program {
                         return Err(ProgramError::UnstructuredBranch { pc });
                     }
                 }
-                Instr::Ld { space: crate::op::MemSpace::Shared, addr, offset, .. }
-                | Instr::St { space: crate::op::MemSpace::Shared, addr, offset, .. } => {
+                Instr::Ld {
+                    space: crate::op::MemSpace::Shared,
+                    addr,
+                    offset,
+                    ..
+                }
+                | Instr::St {
+                    space: crate::op::MemSpace::Shared,
+                    addr,
+                    offset,
+                    ..
+                } => {
                     if let Operand::Imm(base) = addr {
-                        let a = base.wrapping_add(offset as u32);
-                        if a.saturating_add(4) > smem_bytes {
+                        // Exact arithmetic: a huge immediate base plus a
+                        // positive offset can wrap the u32 address space
+                        // back into range under `wrapping_add`, and a
+                        // negative offset can underflow past zero; both
+                        // must be rejected, so evaluate in i64.
+                        let a = i64::from(base) + i64::from(offset);
+                        if a < 0 || a + 4 > i64::from(smem_bytes) {
                             return Err(ProgramError::SharedOutOfRange { pc });
                         }
                     }
@@ -135,8 +148,14 @@ impl Program {
             match i {
                 Instr::Alu { .. } | Instr::Mad { .. } | Instr::Ffma { .. } => mix.alu += 1,
                 Instr::Sfu { .. } => mix.sfu += 1,
-                Instr::Ld { space: crate::op::MemSpace::Global, .. }
-                | Instr::St { space: crate::op::MemSpace::Global, .. }
+                Instr::Ld {
+                    space: crate::op::MemSpace::Global,
+                    ..
+                }
+                | Instr::St {
+                    space: crate::op::MemSpace::Global,
+                    ..
+                }
                 | Instr::Atom { .. } => mix.global_mem += 1,
                 Instr::Ld { .. } | Instr::St { .. } => mix.shared_mem += 1,
                 Instr::Bar => mix.barrier += 1,
@@ -163,7 +182,7 @@ impl FromIterator<Instr> for Program {
 }
 
 /// Static instruction mix of a program.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct InstrMix {
     /// SP-pipeline arithmetic instructions.
     pub alu: usize,
@@ -201,7 +220,10 @@ mod tests {
 
     #[test]
     fn validate_rejects_empty() {
-        assert_eq!(Program::new(vec![]).validate(8, 0), Err(ProgramError::Empty));
+        assert_eq!(
+            Program::new(vec![]).validate(8, 0),
+            Err(ProgramError::Empty)
+        );
     }
 
     #[test]
@@ -209,7 +231,11 @@ mod tests {
         let p = Program::new(vec![add(5, 0), Instr::Exit]);
         assert_eq!(
             p.validate(4, 0),
-            Err(ProgramError::RegisterOutOfRange { pc: 0, reg: 5, limit: 4 })
+            Err(ProgramError::RegisterOutOfRange {
+                pc: 0,
+                reg: 5,
+                limit: 4
+            })
         );
     }
 
@@ -231,7 +257,10 @@ mod tests {
             },
             Instr::Exit,
         ]);
-        assert_eq!(p.validate(1, 0), Err(ProgramError::UnstructuredBranch { pc: 1 }));
+        assert_eq!(
+            p.validate(1, 0),
+            Err(ProgramError::UnstructuredBranch { pc: 1 })
+        );
     }
 
     #[test]
@@ -246,13 +275,19 @@ mod tests {
             add(0, 0),
             Instr::Exit,
         ]);
-        assert_eq!(p.validate(1, 0), Err(ProgramError::UnstructuredBranch { pc: 0 }));
+        assert_eq!(
+            p.validate(1, 0),
+            Err(ProgramError::UnstructuredBranch { pc: 0 })
+        );
     }
 
     #[test]
     fn validate_rejects_out_of_range_target() {
         let p = Program::new(vec![Instr::Bra { target: 9 }, Instr::Exit]);
-        assert_eq!(p.validate(1, 0), Err(ProgramError::TargetOutOfRange { pc: 0, target: 9 }));
+        assert_eq!(
+            p.validate(1, 0),
+            Err(ProgramError::TargetOutOfRange { pc: 0, target: 9 })
+        );
     }
 
     #[test]
@@ -266,8 +301,60 @@ mod tests {
             },
             Instr::Exit,
         ]);
-        assert_eq!(p.validate(1, 1024), Err(ProgramError::SharedOutOfRange { pc: 0 }));
+        assert_eq!(
+            p.validate(1, 1024),
+            Err(ProgramError::SharedOutOfRange { pc: 0 })
+        );
         assert!(p.validate(1, 2048).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_wrapped_shared_address() {
+        // Regression: `base.wrapping_add(offset)` folded this address back
+        // into range (0xFFFF_FFFC + 8 wraps to 4), sneaking past the
+        // `saturating_add(4)` guard even though the immediate base is far
+        // beyond any shared declaration.
+        let wrap_high = Program::new(vec![
+            Instr::St {
+                space: MemSpace::Shared,
+                addr: Operand::Imm(u32::MAX - 3),
+                offset: 8,
+                src: Operand::Imm(1),
+            },
+            Instr::Exit,
+        ]);
+        assert_eq!(
+            wrap_high.validate(1, 1024),
+            Err(ProgramError::SharedOutOfRange { pc: 0 })
+        );
+
+        // A negative offset that underflows past address zero is equally
+        // out of range, not a wrap to the top of memory.
+        let underflow = Program::new(vec![
+            Instr::Ld {
+                space: MemSpace::Shared,
+                dst: Reg(0),
+                addr: Operand::Imm(4),
+                offset: -8,
+            },
+            Instr::Exit,
+        ]);
+        assert_eq!(
+            underflow.validate(1, 1024),
+            Err(ProgramError::SharedOutOfRange { pc: 0 })
+        );
+
+        // In-range negative offsets remain fine.
+        let ok = Program::new(vec![
+            Instr::Ld {
+                space: MemSpace::Shared,
+                dst: Reg(0),
+                addr: Operand::Imm(64),
+                offset: -64,
+            },
+            Instr::Exit,
+        ]);
+        assert!(ok.validate(1, 1024).is_ok());
     }
 
     #[test]

@@ -10,10 +10,8 @@
 //! Thread paper virtualizes: each hardware warp slot owns one of these
 //! stacks plus a PC, and VT swaps them to a small context buffer.
 
-use serde::{Deserialize, Serialize};
-
 /// One entry of the reconvergence stack.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimtEntry {
     /// Next PC for the lanes of this entry.
     pub pc: usize,
@@ -25,7 +23,7 @@ pub struct SimtEntry {
 }
 
 /// A per-warp SIMT reconvergence stack.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimtStack {
     entries: Vec<SimtEntry>,
     max_depth: usize,
@@ -38,9 +36,16 @@ impl SimtStack {
         let entries = if initial_mask == 0 {
             Vec::new()
         } else {
-            vec![SimtEntry { pc: 0, rpc: None, mask: initial_mask }]
+            vec![SimtEntry {
+                pc: 0,
+                rpc: None,
+                mask: initial_mask,
+            }]
         };
-        SimtStack { max_depth: entries.len(), entries }
+        SimtStack {
+            max_depth: entries.len(),
+            entries,
+        }
     }
 
     /// Whether every lane has exited.
@@ -127,8 +132,16 @@ impl SimtStack {
             // The current entry becomes the reconvergence point, keeping
             // the merged mask; each path gets its own entry.
             self.top_mut().pc = reconv;
-            self.entries.push(SimtEntry { pc: fall_pc, rpc: Some(reconv), mask: fall_mask });
-            self.entries.push(SimtEntry { pc: target, rpc: Some(reconv), mask: taken_mask });
+            self.entries.push(SimtEntry {
+                pc: fall_pc,
+                rpc: Some(reconv),
+                mask: fall_mask,
+            });
+            self.entries.push(SimtEntry {
+                pc: target,
+                rpc: Some(reconv),
+                mask: taken_mask,
+            });
             self.max_depth = self.max_depth.max(self.entries.len());
             self.reconverge();
             true

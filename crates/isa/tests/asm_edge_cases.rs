@@ -44,10 +44,8 @@ fn inferred_register_count_covers_highest_index() {
 
 #[test]
 fn whitespace_and_comments_are_tolerated() {
-    let p = assemble_program(
-        "   ; leading comment\n\n  mov r0, 1   ; trailing\n\t exit ;done\n\n",
-    )
-    .unwrap();
+    let p = assemble_program("   ; leading comment\n\n  mov r0, 1   ; trailing\n\t exit ;done\n\n")
+        .unwrap();
     assert_eq!(p.len(), 2);
 }
 
@@ -63,7 +61,10 @@ fn every_special_register_parses() {
     ] {
         let p = assemble_program(&format!("mov r0, {txt}")).unwrap();
         match *p.fetch(0) {
-            Instr::Alu { a: Operand::Sreg(s), .. } => assert_eq!(s, sreg),
+            Instr::Alu {
+                a: Operand::Sreg(s),
+                ..
+            } => assert_eq!(s, sreg),
             ref o => panic!("unexpected {o}"),
         }
     }
@@ -85,7 +86,11 @@ fn address_forms() {
         .collect();
     assert_eq!(offsets, vec![0, 0, -4, 8, 12]);
     match *p.fetch(4) {
-        Instr::Ld { addr: Operand::Imm(256), space: MemSpace::Global, .. } => {}
+        Instr::Ld {
+            addr: Operand::Imm(256),
+            space: MemSpace::Global,
+            ..
+        } => {}
         ref o => panic!("unexpected {o}"),
     }
 }
@@ -148,7 +153,11 @@ fn labels_at_program_end_resolve() {
     .unwrap();
     assert_eq!(p.len(), 5);
     match *p.fetch(2) {
-        Instr::BraCond { target: 3, reconv: 4, .. } => {}
+        Instr::BraCond {
+            target: 3,
+            reconv: 4,
+            ..
+        } => {}
         ref o => panic!("unexpected {o}"),
     }
 }

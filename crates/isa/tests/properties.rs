@@ -1,13 +1,15 @@
-//! Property tests for the ISA layer: the SIMT stack conserves lanes for
-//! arbitrary structured programs, the assembler round-trips arbitrary
-//! instruction sequences, and ALU semantics obey algebraic laws.
+//! Randomized property tests for the ISA layer: the SIMT stack conserves
+//! lanes for arbitrary structured programs, the assembler round-trips
+//! arbitrary instruction sequences, and ALU semantics obey algebraic
+//! laws. Driven by the workspace's deterministic [`vt_prng::Prng`] so the
+//! cases are reproducible and the build stays offline.
 
-use proptest::prelude::*;
 use vt_isa::asm::{assemble_program, disassemble};
 use vt_isa::exec::eval_alu;
 use vt_isa::interp::Interpreter;
 use vt_isa::op::{AluOp, AtomOp, BranchIf, MemSpace, Operand, Reg, SfuOp, Sreg};
 use vt_isa::{Instr, KernelBuilder, Program};
+use vt_prng::Prng;
 
 // ---------- lane conservation through arbitrary structured control flow ----
 
@@ -20,18 +22,25 @@ enum Ctl {
     Loop(u8, Vec<Ctl>),
 }
 
-fn ctl_strategy(depth: u32) -> impl Strategy<Value = Ctl> {
-    let leaf = (0u8..4).prop_map(Ctl::Work);
-    leaf.prop_recursive(depth, 12, 4, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 0..3).prop_map(Ctl::If),
-            (proptest::collection::vec(inner.clone(), 0..3),
-             proptest::collection::vec(inner.clone(), 0..3))
-                .prop_map(|(a, b)| Ctl::IfElse(a, b)),
-            (1u8..4, proptest::collection::vec(inner, 0..3))
-                .prop_map(|(n, body)| Ctl::Loop(n, body)),
-        ]
-    })
+fn gen_ctl(r: &mut Prng, depth: u32) -> Ctl {
+    let leaf = depth == 0 || r.gen_bool(0.4);
+    if leaf {
+        return Ctl::Work(r.gen_range(0..4) as u8);
+    }
+    let children = |r: &mut Prng| -> Vec<Ctl> {
+        (0..r.gen_range(0..3))
+            .map(|_| gen_ctl(r, depth - 1))
+            .collect()
+    };
+    match r.gen_range(0..3) {
+        0 => Ctl::If(children(r)),
+        1 => {
+            let t = children(r);
+            let e = children(r);
+            Ctl::IfElse(t, e)
+        }
+        _ => Ctl::Loop(r.gen_range(1..4) as u8, children(r)),
+    }
 }
 
 fn emit(b: &mut KernelBuilder, node: &Ctl, acc: Reg, p: Reg, salt: &mut u32) {
@@ -44,28 +53,26 @@ fn emit(b: &mut KernelBuilder, node: &Ctl, acc: Reg, p: Reg, salt: &mut u32) {
         }
         Ctl::If(body) => {
             b.and_(p, Operand::Sreg(Sreg::Tid), Operand::Imm(1 + (*salt & 7)));
-            let body = body.clone();
             let mut s = *salt;
             b.if_(Operand::Reg(p), |b| {
-                for n in &body {
+                for n in body {
                     emit(b, n, acc, p, &mut s);
                 }
             });
         }
         Ctl::IfElse(t, e) => {
             b.and_(p, Operand::Sreg(Sreg::Tid), Operand::Imm(1 + (*salt & 7)));
-            let (t, e) = (t.clone(), e.clone());
             let mut s = *salt;
             let mut s2 = salt.wrapping_add(99);
             b.if_else(
                 Operand::Reg(p),
                 |b| {
-                    for n in &t {
+                    for n in t {
                         emit(b, n, acc, p, &mut s);
                     }
                 },
                 |b| {
-                    for n in &e {
+                    for n in e {
                         emit(b, n, acc, p, &mut s2);
                     }
                 },
@@ -76,11 +83,14 @@ fn emit(b: &mut KernelBuilder, node: &Ctl, acc: Reg, p: Reg, salt: &mut u32) {
             // Trip count varies per thread (tid-dependent) to force
             // loop-exit divergence.
             let lim = b.reg();
-            b.and_(lim, Operand::Sreg(Sreg::Tid), Operand::Imm(u32::from(*trips)));
-            let body = body.clone();
+            b.and_(
+                lim,
+                Operand::Sreg(Sreg::Tid),
+                Operand::Imm(u32::from(*trips)),
+            );
             let mut s = *salt;
             b.for_range(ctr, Operand::Imm(0), Operand::Reg(lim), 1, |b, _| {
-                for n in &body {
+                for n in body {
                     emit(b, n, acc, p, &mut s);
                 }
             });
@@ -88,17 +98,15 @@ fn emit(b: &mut KernelBuilder, node: &Ctl, acc: Reg, p: Reg, salt: &mut u32) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
-
-    /// Every thread must complete and write its result exactly once, no
-    /// matter how control flow nests: the SIMT stack never strands or
-    /// duplicates lanes.
-    #[test]
-    fn structured_programs_conserve_lanes(
-        nodes in proptest::collection::vec(ctl_strategy(3), 1..5),
-        threads in prop_oneof![Just(32u32), Just(40), Just(64)],
-    ) {
+/// Every thread must complete and write its result exactly once, no
+/// matter how control flow nests: the SIMT stack never strands or
+/// duplicates lanes.
+#[test]
+fn structured_programs_conserve_lanes() {
+    let mut r = Prng::new(0x1a4e5);
+    for case in 0..48 {
+        let nodes: Vec<Ctl> = (0..r.gen_range(1..5)).map(|_| gen_ctl(&mut r, 3)).collect();
+        let threads = *r.choose(&[32u32, 40, 64]);
         let mut b = KernelBuilder::new("lanes");
         let out = b.alloc_global(threads as usize);
         let acc = b.reg();
@@ -114,137 +122,193 @@ proptest! {
         b.shl(off, Operand::Sreg(Sreg::Tid), Operand::Imm(2));
         b.st_global(Operand::Reg(off), out as i32, Operand::Reg(acc));
         let kernel = b.build(1, threads).unwrap();
-        let r = Interpreter::new(&kernel).unwrap().run().unwrap();
+        let rep = Interpreter::new(&kernel).unwrap().run().unwrap();
         for t in 0..threads {
-            prop_assert!(
-                r.load_words(out + 4 * t, 1)[0] >= 1,
-                "thread {t} never reached the epilogue"
+            assert!(
+                rep.load_words(out + 4 * t, 1)[0] >= 1,
+                "case {case}: thread {t} never reached the epilogue\n{nodes:?}"
             );
         }
-        prop_assert!(r.max_simt_depth() <= 2 * 3 * 5 + 1, "stack stays bounded");
+        assert!(
+            rep.max_simt_depth() <= 2 * 3 * 5 + 1,
+            "case {case}: stack stays bounded"
+        );
     }
 }
 
 // ---------- assembler round trip ------------------------------------------
 
-fn operand_strategy() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        (0u16..32).prop_map(|r| Operand::Reg(Reg(r))),
-        any::<u32>().prop_map(Operand::Imm),
-        prop_oneof![
-            Just(Sreg::Tid),
-            Just(Sreg::CtaId),
-            Just(Sreg::NTid),
-            Just(Sreg::NCta),
-            Just(Sreg::Lane),
-            Just(Sreg::WarpId)
-        ]
-        .prop_map(Operand::Sreg),
-    ]
+fn gen_operand(r: &mut Prng) -> Operand {
+    match r.gen_range(0..3) {
+        0 => Operand::Reg(Reg(r.gen_range(0..32) as u16)),
+        1 => Operand::Imm(r.next_u32()),
+        _ => Operand::Sreg(*r.choose(&[
+            Sreg::Tid,
+            Sreg::CtaId,
+            Sreg::NTid,
+            Sreg::NCta,
+            Sreg::Lane,
+            Sreg::WarpId,
+        ])),
+    }
 }
 
-fn instr_strategy() -> impl Strategy<Value = Instr> {
-    let alu = proptest::sample::select(AluOp::ALL.to_vec());
-    let sfu = proptest::sample::select(SfuOp::ALL.to_vec());
-    let space = prop_oneof![Just(MemSpace::Global), Just(MemSpace::Shared)];
-    let atom = prop_oneof![
-        Just(AtomOp::Add),
-        Just(AtomOp::Max),
-        Just(AtomOp::Min),
-        Just(AtomOp::Exch)
-    ];
-    prop_oneof![
-        (alu, 0u16..32, operand_strategy(), operand_strategy()).prop_map(|(op, d, a, b)| {
-            // Unary forms print without the second operand; normalise it.
+fn gen_reg(r: &mut Prng) -> Reg {
+    Reg(r.gen_range(0..32) as u16)
+}
+
+fn gen_offset(r: &mut Prng) -> i32 {
+    r.gen_range(0..128) as i32 - 64
+}
+
+fn gen_instr(r: &mut Prng) -> Instr {
+    let space = |r: &mut Prng| *r.choose(&[MemSpace::Global, MemSpace::Shared]);
+    match r.gen_range(0..11) {
+        0 => {
+            let op = *r.choose(AluOp::ALL);
             let b = match op {
+                // Unary forms print without the second operand; normalise it.
                 AluOp::Mov | AluOp::U2F | AluOp::F2U => Operand::Imm(0),
-                _ => b,
+                _ => gen_operand(r),
             };
-            Instr::Alu { op, dst: Reg(d), a, b }
-        }),
-        (0u16..32, operand_strategy(), operand_strategy(), operand_strategy())
-            .prop_map(|(d, a, b, c)| Instr::Mad { dst: Reg(d), a, b, c }),
-        (0u16..32, operand_strategy(), operand_strategy(), operand_strategy())
-            .prop_map(|(d, a, b, c)| Instr::Ffma { dst: Reg(d), a, b, c }),
-        (sfu, 0u16..32, operand_strategy()).prop_map(|(op, d, a)| Instr::Sfu {
-            op,
-            dst: Reg(d),
-            a
-        }),
-        (space.clone(), 0u16..32, operand_strategy(), -64i32..64).prop_map(
-            |(space, d, addr, offset)| Instr::Ld { space, dst: Reg(d), addr, offset }
-        ),
-        (space, operand_strategy(), -64i32..64, operand_strategy())
-            .prop_map(|(space, addr, offset, src)| Instr::St { space, addr, offset, src }),
-        (atom, proptest::option::of(0u16..32), operand_strategy(), -64i32..64, operand_strategy())
-            .prop_map(|(op, d, addr, offset, val)| Instr::Atom {
+            Instr::Alu {
                 op,
-                dst: d.map(Reg),
-                addr,
-                offset,
-                val
-            }),
-        Just(Instr::Bar),
-        (0usize..100).prop_map(|t| Instr::Bra { target: t }),
-        (prop_oneof![Just(BranchIf::NonZero), Just(BranchIf::Zero)], operand_strategy())
-            .prop_map(|(when, pred)| Instr::BraCond { pred, when, target: 50, reconv: 60 }),
-        Just(Instr::Exit),
-    ]
+                dst: gen_reg(r),
+                a: gen_operand(r),
+                b,
+            }
+        }
+        1 => Instr::Mad {
+            dst: gen_reg(r),
+            a: gen_operand(r),
+            b: gen_operand(r),
+            c: gen_operand(r),
+        },
+        2 => Instr::Ffma {
+            dst: gen_reg(r),
+            a: gen_operand(r),
+            b: gen_operand(r),
+            c: gen_operand(r),
+        },
+        3 => Instr::Sfu {
+            op: *r.choose(SfuOp::ALL),
+            dst: gen_reg(r),
+            a: gen_operand(r),
+        },
+        4 => Instr::Ld {
+            space: space(r),
+            dst: gen_reg(r),
+            addr: gen_operand(r),
+            offset: gen_offset(r),
+        },
+        5 => Instr::St {
+            space: space(r),
+            addr: gen_operand(r),
+            offset: gen_offset(r),
+            src: gen_operand(r),
+        },
+        6 => Instr::Atom {
+            op: *r.choose(&[AtomOp::Add, AtomOp::Max, AtomOp::Min, AtomOp::Exch]),
+            dst: if r.gen_bool(0.5) {
+                Some(gen_reg(r))
+            } else {
+                None
+            },
+            addr: gen_operand(r),
+            offset: gen_offset(r),
+            val: gen_operand(r),
+        },
+        7 => Instr::Bar,
+        8 => Instr::Bra {
+            target: r.gen_range_usize(0..100),
+        },
+        9 => Instr::BraCond {
+            pred: gen_operand(r),
+            when: *r.choose(&[BranchIf::NonZero, BranchIf::Zero]),
+            target: 50,
+            reconv: 60,
+        },
+        _ => Instr::Exit,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
-
-    #[test]
-    fn disassembly_reassembles_identically(
-        instrs in proptest::collection::vec(instr_strategy(), 1..30),
-    ) {
+#[test]
+fn disassembly_reassembles_identically() {
+    let mut r = Prng::new(0x5eed);
+    for _ in 0..64 {
+        let n = r.gen_range_usize(1..30);
+        let instrs: Vec<Instr> = (0..n).map(|_| gen_instr(&mut r)).collect();
         let program = Program::new(instrs);
         let text = disassemble(&program);
-        let back = assemble_program(&text).unwrap_or_else(|e| {
-            panic!("reassembly failed: {e}\n{text}")
-        });
-        prop_assert_eq!(program, back);
+        let back =
+            assemble_program(&text).unwrap_or_else(|e| panic!("reassembly failed: {e}\n{text}"));
+        assert_eq!(program, back, "{text}");
     }
 }
 
 // ---------- ALU algebra -----------------------------------------------------
 
-proptest! {
-    #[test]
-    fn commutative_ops(a in any::<u32>(), b in any::<u32>()) {
-        for op in [AluOp::Add, AluOp::Mul, AluOp::Min, AluOp::Max, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::MulHi] {
-            prop_assert_eq!(eval_alu(op, a, b), eval_alu(op, b, a), "{:?}", op);
+#[test]
+fn commutative_ops() {
+    let mut r = Prng::new(1);
+    for _ in 0..256 {
+        let (a, b) = (r.next_u32(), r.next_u32());
+        for op in [
+            AluOp::Add,
+            AluOp::Mul,
+            AluOp::Min,
+            AluOp::Max,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::MulHi,
+        ] {
+            assert_eq!(eval_alu(op, a, b), eval_alu(op, b, a), "{op:?}");
         }
     }
+}
 
-    #[test]
-    fn identities(a in any::<u32>()) {
-        prop_assert_eq!(eval_alu(AluOp::Add, a, 0), a);
-        prop_assert_eq!(eval_alu(AluOp::Mul, a, 1), a);
-        prop_assert_eq!(eval_alu(AluOp::Or, a, 0), a);
-        prop_assert_eq!(eval_alu(AluOp::And, a, u32::MAX), a);
-        prop_assert_eq!(eval_alu(AluOp::Xor, a, a), 0);
-        prop_assert_eq!(eval_alu(AluOp::Sub, a, a), 0);
-        prop_assert_eq!(eval_alu(AluOp::Mov, a, 12345), a);
+#[test]
+fn identities() {
+    let mut r = Prng::new(2);
+    for _ in 0..256 {
+        let a = r.next_u32();
+        assert_eq!(eval_alu(AluOp::Add, a, 0), a);
+        assert_eq!(eval_alu(AluOp::Mul, a, 1), a);
+        assert_eq!(eval_alu(AluOp::Or, a, 0), a);
+        assert_eq!(eval_alu(AluOp::And, a, u32::MAX), a);
+        assert_eq!(eval_alu(AluOp::Xor, a, a), 0);
+        assert_eq!(eval_alu(AluOp::Sub, a, a), 0);
+        assert_eq!(eval_alu(AluOp::Mov, a, 12345), a);
     }
+}
 
-    #[test]
-    fn comparisons_are_consistent(a in any::<u32>(), b in any::<u32>()) {
+#[test]
+fn comparisons_are_consistent() {
+    let mut r = Prng::new(3);
+    for i in 0..256 {
+        // Mix fully random pairs with equal pairs so SetEq/SetNe see both.
+        let a = r.next_u32();
+        let b = if i % 4 == 0 { a } else { r.next_u32() };
         let lt = eval_alu(AluOp::SetLt, a, b);
         let ge = eval_alu(AluOp::SetGe, a, b);
-        prop_assert_eq!(lt ^ ge, 1, "lt and ge partition");
+        assert_eq!(lt ^ ge, 1, "lt and ge partition");
         let eq = eval_alu(AluOp::SetEq, a, b);
         let ne = eval_alu(AluOp::SetNe, a, b);
-        prop_assert_eq!(eq ^ ne, 1);
-        prop_assert_eq!(eval_alu(AluOp::SetGt, a, b), eval_alu(AluOp::SetLt, b, a));
+        assert_eq!(eq ^ ne, 1);
+        assert_eq!(eval_alu(AluOp::SetGt, a, b), eval_alu(AluOp::SetLt, b, a));
     }
+}
 
-    #[test]
-    fn div_rem_reconstruct(a in any::<u32>(), b in 1u32..) {
+#[test]
+fn div_rem_reconstruct() {
+    let mut r = Prng::new(4);
+    for _ in 0..256 {
+        let a = r.next_u32();
+        let b = r.next_u32().max(1);
         let q = eval_alu(AluOp::Div, a, b);
-        let r = eval_alu(AluOp::Rem, a, b);
-        prop_assert_eq!(q * b + r, a);
-        prop_assert!(r < b);
+        let rem = eval_alu(AluOp::Rem, a, b);
+        assert_eq!(q.wrapping_mul(b).wrapping_add(rem), a);
+        assert!(rem < b);
     }
 }

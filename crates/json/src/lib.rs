@@ -1,0 +1,345 @@
+//! Minimal JSON emission for experiment results.
+//!
+//! The bench harness writes every figure/table record to `results/*.json`.
+//! The workspace builds fully offline, so instead of `serde`/`serde_json`
+//! this crate provides a tiny JSON value model, a [`ToJson`] conversion
+//! trait, and an [`impl_to_json!`] macro that derives the trait for plain
+//! record structs. Output is deterministic: object keys keep declaration
+//! order and the pretty printer is stable.
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Signed integer, emitted exactly.
+    Int(i64),
+    /// Unsigned integer, emitted exactly.
+    UInt(u64),
+    /// Floating point; non-finite values emit as `null`.
+    Float(f64),
+    /// String (escaped on output).
+    Str(String),
+    /// Array.
+    Array(Vec<Json>),
+    /// Object; insertion order is preserved.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object(fields: Vec<(String, Json)>) -> Json {
+        Json::Object(fields)
+    }
+
+    /// Serializes with two-space indentation and a trailing newline-free
+    /// body, matching typical pretty-printer output.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    /// Serializes without any whitespace.
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Array(items) if !items.is_empty() => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Object(fields) if !fields.is_empty() => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+            _ => self.write_compact(out),
+        }
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(v) => out.push_str(&v.to_string()),
+            Json::UInt(v) => out.push_str(&v.to_string()),
+            Json::Float(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Conversion into a [`Json`] value. Implemented for primitives,
+/// strings, slices/vectors, options and references; derive it for record
+/// structs with [`impl_to_json!`].
+pub trait ToJson {
+    /// Converts `self` to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),+) => {
+        $(impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::UInt(u64::from(*self))
+            }
+        })+
+    };
+}
+
+macro_rules! impl_int {
+    ($($t:ty),+) => {
+        $(impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Int(i64::from(*self))
+            }
+        })+
+    };
+}
+
+impl_uint!(u8, u16, u32, u64);
+impl_int!(i8, i16, i32, i64);
+
+impl ToJson for usize {
+    fn to_json(&self) -> Json {
+        Json::UInt(*self as u64)
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Json {
+        Json::Float(f64::from(*self))
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Float(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(v) => v.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+/// Implements [`ToJson`] for a struct by listing its fields:
+///
+/// ```
+/// use vt_json::{impl_to_json, ToJson};
+///
+/// struct Row {
+///     name: String,
+///     cycles: u64,
+/// }
+/// impl_to_json!(Row { name, cycles });
+///
+/// let r = Row { name: "sgemm".into(), cycles: 10 };
+/// assert_eq!(r.to_json().compact(), r#"{"name":"sgemm","cycles":10}"#);
+/// ```
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> $crate::Json {
+                $crate::Json::Object(vec![
+                    $((stringify!($field).to_string(),
+                       $crate::ToJson::to_json(&self.$field)),)+
+                ])
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.compact(), "null");
+        assert_eq!(Json::Bool(true).compact(), "true");
+        assert_eq!(Json::Int(-3).compact(), "-3");
+        assert_eq!(Json::UInt(u64::MAX).compact(), u64::MAX.to_string());
+        assert_eq!(Json::Float(1.5).compact(), "1.5");
+        assert_eq!(Json::Float(f64::NAN).compact(), "null");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = Json::Str("a\"b\\c\nd\u{1}".to_string());
+        assert_eq!(s.compact(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn arrays_and_objects_nest() {
+        let v = Json::Object(vec![
+            ("xs".into(), Json::Array(vec![Json::Int(1), Json::Int(2)])),
+            ("e".into(), Json::Array(vec![])),
+        ]);
+        assert_eq!(v.compact(), r#"{"xs":[1,2],"e":[]}"#);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = Json::Array(vec![Json::Object(vec![("k".into(), Json::UInt(7))])]);
+        assert_eq!(v.pretty(), "[\n  {\n    \"k\": 7\n  }\n]");
+    }
+
+    #[test]
+    fn to_json_primitives() {
+        assert_eq!(42u32.to_json().compact(), "42");
+        assert_eq!((-1i32).to_json().compact(), "-1");
+        assert_eq!("hi".to_json().compact(), "\"hi\"");
+        assert_eq!(Some(3u8).to_json().compact(), "3");
+        assert_eq!(None::<u8>.to_json().compact(), "null");
+        assert_eq!(vec![1u32, 2].to_json().compact(), "[1,2]");
+        assert_eq!(("a".to_string(), 0.5f64).to_json().compact(), "[\"a\",0.5]");
+    }
+
+    #[test]
+    fn derive_macro_preserves_field_order() {
+        struct R {
+            b: u32,
+            a: String,
+        }
+        impl_to_json!(R { b, a });
+        let r = R {
+            b: 9,
+            a: "x".into(),
+        };
+        assert_eq!(r.to_json().compact(), r#"{"b":9,"a":"x"}"#);
+    }
+}

@@ -46,7 +46,12 @@ impl Cache {
         assert!(num_sets > 0 && ways > 0, "degenerate cache geometry");
         Cache {
             sets: vec![
-                Line { tag: 0, valid: false, dirty: false, last_use: 0 };
+                Line {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    last_use: 0
+                };
                 (num_sets * ways) as usize
             ],
             num_sets: u64::from(num_sets),
@@ -74,7 +79,9 @@ impl Cache {
     /// Looks up without touching replacement state.
     pub fn contains(&self, line_addr: u64) -> bool {
         let range = self.set_range(line_addr);
-        self.sets[range].iter().any(|l| l.valid && l.tag == line_addr)
+        self.sets[range]
+            .iter()
+            .any(|l| l.valid && l.tag == line_addr)
     }
 
     /// Marks a present line dirty, returning whether it was present.
@@ -101,15 +108,28 @@ impl Cache {
             return None;
         }
         if let Some(line) = set.iter_mut().find(|l| !l.valid) {
-            *line = Line { tag: line_addr, valid: true, dirty, last_use: now };
+            *line = Line {
+                tag: line_addr,
+                valid: true,
+                dirty,
+                last_use: now,
+            };
             return None;
         }
         let victim = set
             .iter_mut()
             .min_by_key(|l| l.last_use)
             .expect("non-empty set");
-        let evicted = Evicted { line_addr: victim.tag, dirty: victim.dirty };
-        *victim = Line { tag: line_addr, valid: true, dirty, last_use: now };
+        let evicted = Evicted {
+            line_addr: victim.tag,
+            dirty: victim.dirty,
+        };
+        *victim = Line {
+            tag: line_addr,
+            valid: true,
+            dirty,
+            last_use: now,
+        };
         Some(evicted)
     }
 

@@ -24,7 +24,10 @@ pub struct Transaction {
 ///
 /// Panics if `segment_bytes` is not a power of two.
 pub fn coalesce(addrs: &[u32; 32], mask: u32, segment_bytes: u32) -> Vec<Transaction> {
-    assert!(segment_bytes.is_power_of_two(), "segment size must be a power of two");
+    assert!(
+        segment_bytes.is_power_of_two(),
+        "segment size must be a power of two"
+    );
     let shift = segment_bytes.trailing_zeros();
     let mut txs: Vec<Transaction> = Vec::new();
     let mut m = mask;
@@ -34,7 +37,10 @@ pub fn coalesce(addrs: &[u32; 32], mask: u32, segment_bytes: u32) -> Vec<Transac
         let line = u64::from(addrs[lane as usize] >> shift);
         match txs.iter_mut().find(|t| t.line_addr == line) {
             Some(t) => t.lane_mask |= 1 << lane,
-            None => txs.push(Transaction { line_addr: line, lane_mask: 1 << lane }),
+            None => txs.push(Transaction {
+                line_addr: line,
+                lane_mask: 1 << lane,
+            }),
         }
     }
     txs

@@ -1,13 +1,11 @@
 //! Memory-system configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// Configuration of the whole memory hierarchy.
 ///
 /// Defaults approximate the Fermi (GTX 480)-class configuration the paper
 /// simulates: 16 KiB L1D per SM, 6 memory partitions each with a 128 KiB
 /// L2 slice and one GDDR channel. All latencies are in core cycles.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemConfig {
     /// Cache line (and coalescing segment) size in bytes.
     pub line_bytes: u32,

@@ -37,7 +37,10 @@ impl<T> Mshr<T> {
     ///
     /// Panics if either capacity is zero.
     pub fn new(max_entries: u32, max_merges: u32) -> Mshr<T> {
-        assert!(max_entries > 0 && max_merges > 0, "degenerate MSHR geometry");
+        assert!(
+            max_entries > 0 && max_merges > 0,
+            "degenerate MSHR geometry"
+        );
         Mshr {
             entries: HashMap::new(),
             max_entries: max_entries as usize,

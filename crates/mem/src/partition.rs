@@ -105,7 +105,12 @@ impl Partition {
                 if w.kind != ReqKind::Store {
                     self.schedule_resp(
                         now + 1,
-                        PartResp { sm: w.sm, id: w.id, line_addr: line, kind: w.kind },
+                        PartResp {
+                            sm: w.sm,
+                            id: w.id,
+                            line_addr: line,
+                            kind: w.kind,
+                        },
                     );
                 }
             }
@@ -258,7 +263,10 @@ impl Dram {
             queue: VecDeque::new(),
             in_service: Vec::new(),
             banks: vec![
-                DramBank { open_row: None, busy_until: 0 };
+                DramBank {
+                    open_row: None,
+                    busy_until: 0
+                };
                 cfg.dram_banks.max(1) as usize
             ],
             next_issue_at: 0,
@@ -378,17 +386,30 @@ mod tests {
     fn load_miss_goes_to_dram_then_hits() {
         let mut p = Partition::new(&cfg());
         let mut s = MemStats::default();
-        p.push(PartReq { sm: 0, id: 1, line_addr: 10, kind: ReqKind::Load });
+        p.push(PartReq {
+            sm: 0,
+            id: 1,
+            line_addr: 10,
+            kind: ReqKind::Load,
+        });
         let resps = drain(&mut p, &mut s, 500);
         assert_eq!(resps.len(), 1);
-        assert_eq!((resps[0].1.sm, resps[0].1.id, resps[0].1.line_addr), (0, 1, 10));
+        assert_eq!(
+            (resps[0].1.sm, resps[0].1.id, resps[0].1.line_addr),
+            (0, 1, 10)
+        );
         assert_eq!(s.l2_misses, 1);
         assert_eq!(s.dram_reads, 1);
         assert_eq!(s.dram_row_misses, 1);
         assert!(p.quiesced());
 
         // Same line again: L2 hit, no DRAM traffic, faster.
-        p.push(PartReq { sm: 0, id: 2, line_addr: 10, kind: ReqKind::Load });
+        p.push(PartReq {
+            sm: 0,
+            id: 2,
+            line_addr: 10,
+            kind: ReqKind::Load,
+        });
         let t_miss = resps[0].0;
         let resps2 = drain(&mut p, &mut s, 1000);
         assert_eq!(resps2.len(), 1);
@@ -401,8 +422,18 @@ mod tests {
     fn misses_to_same_line_merge() {
         let mut p = Partition::new(&cfg());
         let mut s = MemStats::default();
-        p.push(PartReq { sm: 0, id: 1, line_addr: 5, kind: ReqKind::Load });
-        p.push(PartReq { sm: 1, id: 2, line_addr: 5, kind: ReqKind::Load });
+        p.push(PartReq {
+            sm: 0,
+            id: 1,
+            line_addr: 5,
+            kind: ReqKind::Load,
+        });
+        p.push(PartReq {
+            sm: 1,
+            id: 2,
+            line_addr: 5,
+            kind: ReqKind::Load,
+        });
         let resps = drain(&mut p, &mut s, 500);
         assert_eq!(resps.len(), 2, "both waiters answered");
         assert_eq!(s.dram_reads, 1, "one fill serves both");
@@ -418,7 +449,12 @@ mod tests {
         // are spaced by l2_sets().
         let sets = u64::from(c.l2_sets());
         for i in 0..=u64::from(c.l2_ways) {
-            p.push(PartReq { sm: 0, id: i, line_addr: i * sets, kind: ReqKind::Store });
+            p.push(PartReq {
+                sm: 0,
+                id: i,
+                line_addr: i * sets,
+                kind: ReqKind::Store,
+            });
         }
         drain(&mut p, &mut s, 2000);
         assert_eq!(s.stores, u64::from(c.l2_ways) + 1);
@@ -430,11 +466,19 @@ mod tests {
     fn atomics_respond_and_dirty_the_line() {
         let mut p = Partition::new(&cfg());
         let mut s = MemStats::default();
-        p.push(PartReq { sm: 2, id: 9, line_addr: 77, kind: ReqKind::Atomic });
+        p.push(PartReq {
+            sm: 2,
+            id: 9,
+            line_addr: 77,
+            kind: ReqKind::Atomic,
+        });
         let resps = drain(&mut p, &mut s, 500);
         assert_eq!(resps.len(), 1);
         assert_eq!(resps[0].1.sm, 2);
-        assert_eq!(s.atomics, 0, "partition does not count atomics; the L1 layer does");
+        assert_eq!(
+            s.atomics, 0,
+            "partition does not count atomics; the L1 layer does"
+        );
         assert_eq!(s.dram_reads, 1);
     }
 
@@ -444,8 +488,18 @@ mod tests {
         let mut p = Partition::new(&c);
         let mut s = MemStats::default();
         // Two different lines in the same DRAM row (consecutive lines).
-        p.push(PartReq { sm: 0, id: 1, line_addr: 0, kind: ReqKind::Load });
-        p.push(PartReq { sm: 0, id: 2, line_addr: 1, kind: ReqKind::Load });
+        p.push(PartReq {
+            sm: 0,
+            id: 1,
+            line_addr: 0,
+            kind: ReqKind::Load,
+        });
+        p.push(PartReq {
+            sm: 0,
+            id: 2,
+            line_addr: 1,
+            kind: ReqKind::Load,
+        });
         drain(&mut p, &mut s, 1000);
         assert_eq!(s.dram_row_misses, 1);
         assert_eq!(s.dram_row_hits, 1);

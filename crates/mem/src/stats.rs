@@ -1,9 +1,7 @@
 //! Memory-system statistics.
 
-use serde::{Deserialize, Serialize};
-
 /// Counters accumulated by the memory system over a run.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// L1D lookups (loads and atomics; stores bypass).
     pub l1_accesses: u64,
@@ -52,7 +50,10 @@ impl MemStats {
 
     /// DRAM row-buffer hit rate.
     pub fn row_hit_rate(&self) -> f64 {
-        ratio(self.dram_row_hits, self.dram_row_hits + self.dram_row_misses)
+        ratio(
+            self.dram_row_hits,
+            self.dram_row_hits + self.dram_row_misses,
+        )
     }
 
     /// Mean load round-trip latency in cycles.
@@ -104,8 +105,16 @@ mod tests {
 
     #[test]
     fn merge_adds_fields() {
-        let mut a = MemStats { l1_hits: 3, l1_accesses: 4, ..Default::default() };
-        let b = MemStats { l1_hits: 1, l1_accesses: 4, ..Default::default() };
+        let mut a = MemStats {
+            l1_hits: 3,
+            l1_accesses: 4,
+            ..Default::default()
+        };
+        let b = MemStats {
+            l1_hits: 1,
+            l1_accesses: 4,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.l1_hits, 4);
         assert_eq!(a.l1_accesses, 8);

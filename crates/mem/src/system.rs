@@ -193,7 +193,16 @@ impl MemSystem {
                         self.stats.l1_accesses += 1;
                         self.stats.l1_misses += 1;
                         self.submit_times.insert(id, now);
-                        self.to_mem.push(now, REQ_FLITS, PartReq { sm, id, line_addr, kind });
+                        self.to_mem.push(
+                            now,
+                            REQ_FLITS,
+                            PartReq {
+                                sm,
+                                id,
+                                line_addr,
+                                kind,
+                            },
+                        );
                         Submit::Miss
                     }
                     MshrAlloc::Merged => {
@@ -215,7 +224,16 @@ impl MemSystem {
                 // Write-through, write-evict: drop any cached copy and
                 // send the data to the partition.
                 l1.cache.invalidate(line_addr);
-                self.to_mem.push(now, STORE_FLITS, PartReq { sm, id, line_addr, kind });
+                self.to_mem.push(
+                    now,
+                    STORE_FLITS,
+                    PartReq {
+                        sm,
+                        id,
+                        line_addr,
+                        kind,
+                    },
+                );
                 Submit::Miss
             }
             ReqKind::Atomic => {
@@ -223,7 +241,16 @@ impl MemSystem {
                 self.stats.atomics += 1;
                 l1.cache.invalidate(line_addr);
                 self.submit_times.insert(id, now);
-                self.to_mem.push(now, REQ_FLITS, PartReq { sm, id, line_addr, kind });
+                self.to_mem.push(
+                    now,
+                    REQ_FLITS,
+                    PartReq {
+                        sm,
+                        id,
+                        line_addr,
+                        kind,
+                    },
+                );
                 Submit::Miss
             }
         }
@@ -350,20 +377,35 @@ mod tests {
         let mut mem = MemSystem::new(&cfg, 1);
         mem.tick(0);
         assert_eq!(mem.try_submit(0, 1, 1, ReqKind::Load), Submit::Miss);
-        assert_eq!(mem.try_submit(0, 2, 2, ReqKind::Load), Submit::Rejected, "port exhausted");
+        assert_eq!(
+            mem.try_submit(0, 2, 2, ReqKind::Load),
+            Submit::Rejected,
+            "port exhausted"
+        );
         assert_eq!(mem.stats().l1_stalls, 1);
         mem.tick(1);
-        assert!(mem.try_submit(0, 2, 2, ReqKind::Load).accepted(), "new cycle, new port");
+        assert!(
+            mem.try_submit(0, 2, 2, ReqKind::Load).accepted(),
+            "new cycle, new port"
+        );
     }
 
     #[test]
     fn mshr_exhaustion_stalls() {
-        let cfg = MemConfig { l1_mshr_entries: 2, l1_ports: 8, ..MemConfig::default() };
+        let cfg = MemConfig {
+            l1_mshr_entries: 2,
+            l1_ports: 8,
+            ..MemConfig::default()
+        };
         let mut mem = MemSystem::new(&cfg, 1);
         mem.tick(0);
         assert!(mem.try_submit(0, 1, 10, ReqKind::Load).accepted());
         assert!(mem.try_submit(0, 2, 20, ReqKind::Load).accepted());
-        assert_eq!(mem.try_submit(0, 3, 30, ReqKind::Load), Submit::Rejected, "MSHRs full");
+        assert_eq!(
+            mem.try_submit(0, 3, 30, ReqKind::Load),
+            Submit::Rejected,
+            "MSHRs full"
+        );
     }
 
     #[test]

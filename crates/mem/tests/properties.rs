@@ -1,59 +1,71 @@
-//! Property tests for the memory subsystem: the coalescer partitions
+//! Randomized tests for the memory subsystem: the coalescer partitions
 //! masks, the cache agrees with a reference set model, MSHRs respect
 //! their capacities, and the full memory system answers every load
-//! exactly once and quiesces.
+//! exactly once and quiesces. Driven by the deterministic
+//! [`vt_prng::Prng`] so runs are reproducible offline.
 
-use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 use vt_mem::cache::{Cache, Probe};
 use vt_mem::coalesce::{coalesce, shared_bank_conflicts};
 use vt_mem::mshr::{Mshr, MshrAlloc};
 use vt_mem::{MemConfig, MemSystem, ReqKind};
+use vt_prng::Prng;
 
-proptest! {
-    #[test]
-    fn coalescer_partitions_the_active_mask(
-        addrs in proptest::array::uniform32(0u32..(1 << 24)),
-        mask in any::<u32>(),
-    ) {
+#[test]
+fn coalescer_partitions_the_active_mask() {
+    let mut r = Prng::new(0xc0a1);
+    for _ in 0..256 {
+        let mut addrs = [0u32; 32];
+        for a in &mut addrs {
+            *a = r.gen_range(0..1 << 24);
+        }
+        let mask = r.next_u32();
         let txs = coalesce(&addrs, mask, 128);
         let mut union = 0u32;
         for t in &txs {
-            prop_assert_eq!(union & t.lane_mask, 0, "lane in two transactions");
+            assert_eq!(union & t.lane_mask, 0, "lane in two transactions");
             union |= t.lane_mask;
             // Every lane's address falls inside its transaction's segment.
             let mut m = t.lane_mask;
             while m != 0 {
                 let lane = m.trailing_zeros();
                 m &= m - 1;
-                prop_assert_eq!(u64::from(addrs[lane as usize] >> 7), t.line_addr);
+                assert_eq!(u64::from(addrs[lane as usize] >> 7), t.line_addr);
             }
         }
-        prop_assert_eq!(union, mask);
-        prop_assert!(txs.len() <= mask.count_ones() as usize);
+        assert_eq!(union, mask);
+        assert!(txs.len() <= mask.count_ones() as usize);
         // Distinct transactions have distinct lines.
         let lines: HashSet<u64> = txs.iter().map(|t| t.line_addr).collect();
-        prop_assert_eq!(lines.len(), txs.len());
+        assert_eq!(lines.len(), txs.len());
     }
+}
 
-    #[test]
-    fn bank_conflict_rounds_are_bounded(
-        addrs in proptest::array::uniform32((0u32..(1 << 16)).prop_map(|a| a * 4)),
-        mask in any::<u32>(),
-    ) {
+#[test]
+fn bank_conflict_rounds_are_bounded() {
+    let mut r = Prng::new(0xba27);
+    for _ in 0..256 {
+        let mut addrs = [0u32; 32];
+        for a in &mut addrs {
+            *a = r.gen_range(0..1 << 16) * 4;
+        }
+        let mask = r.next_u32();
         let rounds = shared_bank_conflicts(&addrs, mask, 32);
-        prop_assert!(rounds >= 1);
-        prop_assert!(rounds <= mask.count_ones().max(1));
+        assert!(rounds >= 1);
+        assert!(rounds <= mask.count_ones().max(1));
     }
+}
 
-    #[test]
-    fn cache_agrees_with_reference_model(
-        ops in proptest::collection::vec((any::<bool>(), 0u64..64), 1..200),
-    ) {
+#[test]
+fn cache_agrees_with_reference_model() {
+    let mut r = Prng::new(0xcac8e);
+    for _ in 0..64 {
         // 4 sets x 2 ways; the model tracks per-set LRU order.
         let mut cache = Cache::new(4, 2);
         let mut model: Vec<Vec<u64>> = vec![Vec::new(); 4]; // MRU at front
-        for (i, (is_fill, line)) in ops.into_iter().enumerate() {
+        for i in 0..r.gen_range_usize(1..200) {
+            let is_fill = r.gen_bool(0.5);
+            let line = u64::from(r.gen_range(0..64));
             let set = (line % 4) as usize;
             let now = i as u64;
             if is_fill {
@@ -61,86 +73,89 @@ proptest! {
                 let m = &mut model[set];
                 if let Some(pos) = m.iter().position(|&l| l == line) {
                     m.remove(pos);
-                    prop_assert!(evicted.is_none(), "refill must not evict");
+                    assert!(evicted.is_none(), "refill must not evict");
                 } else if m.len() == 2 {
                     let victim = m.pop().expect("full set");
-                    prop_assert_eq!(evicted.map(|e| e.line_addr), Some(victim));
+                    assert_eq!(evicted.map(|e| e.line_addr), Some(victim));
                 } else {
-                    prop_assert!(evicted.is_none());
+                    assert!(evicted.is_none());
                 }
                 m.insert(0, line);
             } else {
                 let hit = cache.probe(line, now) == Probe::Hit;
                 let m = &mut model[set];
                 let model_hit = m.contains(&line);
-                prop_assert_eq!(hit, model_hit, "probe({})", line);
+                assert_eq!(hit, model_hit, "probe({line})");
                 if let Some(pos) = m.iter().position(|&l| l == line) {
                     let l = m.remove(pos);
                     m.insert(0, l); // refresh LRU
                 }
             }
         }
-        prop_assert_eq!(
+        assert_eq!(
             cache.valid_lines(),
             model.iter().map(Vec::len).sum::<usize>()
         );
     }
+}
 
-    #[test]
-    fn mshr_never_exceeds_capacity(
-        ops in proptest::collection::vec((any::<bool>(), 0u64..16), 1..120),
-    ) {
+#[test]
+fn mshr_never_exceeds_capacity() {
+    let mut r = Prng::new(0x358);
+    for _ in 0..64 {
         let mut mshr: Mshr<u32> = Mshr::new(4, 3);
         let mut model: HashMap<u64, u32> = HashMap::new();
-        for (i, (is_alloc, line)) in ops.into_iter().enumerate() {
+        for i in 0..r.gen_range_usize(1..120) {
+            let is_alloc = r.gen_bool(0.5);
+            let line = u64::from(r.gen_range(0..16));
             if is_alloc {
                 match mshr.alloc(line, i as u32) {
                     MshrAlloc::NewMiss => {
-                        prop_assert!(!model.contains_key(&line));
-                        prop_assert!(model.len() < 4);
+                        assert!(!model.contains_key(&line));
+                        assert!(model.len() < 4);
                         model.insert(line, 1);
                     }
                     MshrAlloc::Merged => {
                         let n = model.get_mut(&line).expect("merge needs entry");
-                        prop_assert!(*n < 3);
+                        assert!(*n < 3);
                         *n += 1;
                     }
                     MshrAlloc::Stall => {
                         let full_entry = model.get(&line).map(|&n| n >= 3).unwrap_or(false);
                         let full_table = !model.contains_key(&line) && model.len() >= 4;
-                        prop_assert!(full_entry || full_table, "spurious stall");
+                        assert!(full_entry || full_table, "spurious stall");
                     }
                 }
             } else {
                 let waiters = mshr.fill(line);
-                prop_assert_eq!(waiters.len() as u32, model.remove(&line).unwrap_or(0));
+                assert_eq!(waiters.len() as u32, model.remove(&line).unwrap_or(0));
             }
-            prop_assert!(mshr.len() <= 4);
-            prop_assert_eq!(mshr.len(), model.len());
+            assert!(mshr.len() <= 4);
+            assert_eq!(mshr.len(), model.len());
         }
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    /// Liveness + exactly-once: every accepted load gets exactly one
-    /// response, stores drain, and the system quiesces.
-    #[test]
-    fn every_load_answered_exactly_once(
-        reqs in proptest::collection::vec(
-            (0usize..2, 0u64..512, any::<bool>()), 1..60
-        ),
-    ) {
+/// Liveness + exactly-once: every accepted load gets exactly one
+/// response, stores drain, and the system quiesces.
+#[test]
+fn every_load_answered_exactly_once() {
+    let mut r = Prng::new(0x10ad);
+    for case in 0..24 {
         let mut mem = MemSystem::new(&MemConfig::default(), 2);
         let mut outstanding: HashSet<u64> = HashSet::new();
         let mut answered: HashSet<u64> = HashSet::new();
         let mut next_id = 0u64;
-        let mut pending: Vec<(usize, u64, u64, ReqKind)> = reqs
-            .into_iter()
-            .map(|(sm, line, is_store)| {
+        let mut pending: Vec<(usize, u64, u64, ReqKind)> = (0..r.gen_range_usize(1..60))
+            .map(|_| {
                 next_id += 1;
-                let kind = if is_store { ReqKind::Store } else { ReqKind::Load };
+                let sm = r.gen_range_usize(0..2);
+                let line = u64::from(r.gen_range(0..512));
+                let kind = if r.gen_bool(0.5) {
+                    ReqKind::Store
+                } else {
+                    ReqKind::Load
+                };
                 (sm, next_id, line, kind)
             })
             .collect();
@@ -151,7 +166,9 @@ proptest! {
             mem.tick(cycle);
             // Submit a few per cycle, retrying rejected ones.
             for _ in 0..2 {
-                let Some(&(sm, id, line, kind)) = pending.last() else { break };
+                let Some(&(sm, id, line, kind)) = pending.last() else {
+                    break;
+                };
                 if mem.try_submit(sm, id, line, kind).accepted() {
                     pending.pop();
                     if kind == ReqKind::Load {
@@ -161,8 +178,11 @@ proptest! {
             }
             for sm in 0..2 {
                 while let Some(id) = mem.pop_response(sm) {
-                    prop_assert!(outstanding.remove(&id), "response for unknown id {}", id);
-                    prop_assert!(answered.insert(id), "duplicate response {}", id);
+                    assert!(
+                        outstanding.remove(&id),
+                        "case {case}: response for unknown id {id}"
+                    );
+                    assert!(answered.insert(id), "case {case}: duplicate response {id}");
                 }
             }
             if pending.is_empty() && outstanding.is_empty() && mem.quiesced() {
@@ -170,8 +190,8 @@ proptest! {
             }
             cycle += 1;
         }
-        prop_assert!(pending.is_empty(), "submissions starved");
-        prop_assert!(outstanding.is_empty(), "loads never answered");
-        prop_assert!(mem.quiesced(), "system did not quiesce");
+        assert!(pending.is_empty(), "case {case}: submissions starved");
+        assert!(outstanding.is_empty(), "case {case}: loads never answered");
+        assert!(mem.quiesced(), "case {case}: system did not quiesce");
     }
 }

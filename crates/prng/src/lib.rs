@@ -1,0 +1,183 @@
+//! A small, dependency-free, deterministic pseudo-random number generator.
+//!
+//! The workspace builds in fully offline environments, so workload data
+//! generation and randomized tests use this xorshift64* generator instead of
+//! an external `rand` crate. The stream is stable across platforms and
+//! releases: the same seed always produces the same kernel inputs, which is
+//! exactly what reproducible experiments need.
+
+/// Deterministic xorshift64* generator.
+///
+/// Passes the usual empirical smoke tests (equidistribution of low/high bits
+/// after the `*` finalizer) and is more than good enough for synthetic
+/// workload data. Not cryptographically secure — never use it for secrets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Prng {
+    state: u64,
+}
+
+impl Prng {
+    /// Creates a generator from a seed. Seed 0 is remapped internally so the
+    /// all-zero fixed point is unreachable.
+    pub fn new(seed: u64) -> Self {
+        // SplitMix64 scramble of the seed so nearby seeds give unrelated
+        // streams (plain xorshift is sensitive to low-entropy seeds).
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Prng {
+            state: if z == 0 { 0x853C_49E6_748F_EA9B } else { z },
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Next 32 random bits (the high half of the 64-bit output, which has
+    /// the better statistical quality).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform integer in `[range.start, range.end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range(&mut self, range: std::ops::Range<u32>) -> u32 {
+        assert!(range.start < range.end, "gen_range: empty range");
+        let span = u64::from(range.end - range.start);
+        // Multiply-shift mapping; the modulo bias over a 64-bit draw is
+        // below 2^-32 for any span we use, so no rejection loop is needed.
+        range.start + ((u128::from(self.next_u64()) * u128::from(span)) >> 64) as u32
+    }
+
+    /// Uniform integer in `[range.start, range.end)` over `usize`.
+    pub fn gen_range_usize(&mut self, range: std::ops::Range<usize>) -> usize {
+        assert!(range.start < range.end, "gen_range_usize: empty range");
+        let span = (range.end - range.start) as u128;
+        range.start + ((u128::from(self.next_u64()).wrapping_mul(span)) >> 64) as usize
+    }
+
+    /// Uniform float in `[0, 1)` with 24 random mantissa bits.
+    pub fn gen_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform float in `[range.start, range.end)`.
+    pub fn gen_range_f32(&mut self, range: std::ops::Range<f32>) -> f32 {
+        range.start + (range.end - range.start) * self.gen_f32()
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        f64::from(self.next_u32()) < p * f64::from(u32::MAX)
+    }
+
+    /// Chooses one element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.gen_range_usize(0..items.len())]
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range_usize(0..i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Prng::new(42);
+        let mut b = Prng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Prng::new(1);
+        let mut b = Prng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = Prng::new(0);
+        let v: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert!(v.iter().any(|&x| x != 0));
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_all_values() {
+        let mut r = Prng::new(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.gen_range(5..15);
+            assert!((5..15).contains(&v));
+            seen[(v - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range hit");
+    }
+
+    #[test]
+    fn gen_f32_unit_interval() {
+        let mut r = Prng::new(9);
+        for _ in 0..1000 {
+            let v = r.gen_f32();
+            assert!((0.0..1.0).contains(&v));
+        }
+        let v = r.gen_range_f32(-2.0..2.0);
+        assert!((-2.0..2.0).contains(&v));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = Prng::new(11);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Prng::new(13);
+        let mut v: Vec<u32> = (0..32).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(v, (0..32).collect::<Vec<_>>(), "seed 13 permutes");
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut r = Prng::new(99);
+        let mut buckets = [0u32; 16];
+        for _ in 0..16000 {
+            buckets[(r.next_u32() >> 28) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!((700..1300).contains(&b), "bucket {b} badly skewed");
+        }
+    }
+}

@@ -1,12 +1,11 @@
 //! Simulator configuration: the SM core, the scheduling/capacity limits
 //! and the CTA residency policy.
 
-use serde::{Deserialize, Serialize};
 use vt_isa::{Kernel, WARP_SIZE};
 use vt_mem::MemConfig;
 
 /// Warp-scheduler policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchedPolicy {
     /// Loose round-robin: rotate through ready warps.
     Lrr,
@@ -21,7 +20,7 @@ pub enum SchedPolicy {
 /// simulates: 15 SMs, 48 warp slots and 8 CTA slots per SM (the
 /// *scheduling limit*), 128 KiB register file and 48 KiB shared memory per
 /// SM (the *capacity limit*), two warp schedulers.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CoreConfig {
     /// Number of SMs.
     pub num_sms: u32,
@@ -91,7 +90,7 @@ impl CoreConfig {
 }
 
 /// How the CTA dispatcher decides whether another CTA fits on an SM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdmissionPolicy {
     /// Baseline hardware: respect both the scheduling limit (CTA and warp
     /// slots) and the capacity limit (registers, shared memory).
@@ -106,7 +105,7 @@ pub enum AdmissionPolicy {
 }
 
 /// How many resident CTAs may be *active* (own warp-scheduler slots).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ActivePolicy {
     /// Active CTAs respect the scheduling limit (the VT design point).
     SchedulingLimit,
@@ -116,7 +115,7 @@ pub enum ActivePolicy {
 }
 
 /// When an active CTA is context-switched out.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SwapTrigger {
     /// The paper's policy: swap when every unfinished warp of the CTA is
     /// blocked on a long-latency stall (outstanding global load, or a
@@ -136,7 +135,7 @@ pub enum SwapTrigger {
 /// mode periodically. Cache-sensitive kernels settle into "hold" (a
 /// stable active working set, CCWS-style); latency-bound kernels settle
 /// into "rotate".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ThrottleConfig {
     /// Cycles per observation window.
     pub window_cycles: u32,
@@ -149,12 +148,16 @@ pub struct ThrottleConfig {
 
 impl Default for ThrottleConfig {
     fn default() -> Self {
-        ThrottleConfig { window_cycles: 2048, phase_windows: 4, probe_every_phases: 4 }
+        ThrottleConfig {
+            window_cycles: 2048,
+            phase_windows: 4,
+            probe_every_phases: 4,
+        }
     }
 }
 
 /// Context-switch mechanics and cost.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SwapConfig {
     /// Trigger policy.
     pub trigger: SwapTrigger,
@@ -170,7 +173,7 @@ pub struct SwapConfig {
 
 /// CTA residency policy: admission, activation and swapping. Composed by
 /// `vt-core` for each architecture (Baseline / VT / Ideal / MemSwap).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResidencyConfig {
     /// Admission policy for making a CTA resident on an SM.
     pub admission: AdmissionPolicy,
@@ -193,7 +196,7 @@ impl ResidencyConfig {
 }
 
 /// Full simulation configuration.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
     /// Core/SM parameters.
     pub core: CoreConfig,
@@ -249,7 +252,10 @@ impl std::fmt::Display for LaunchError {
                 write!(f, "CTA needs {needed} register bytes, SM has {available}")
             }
             LaunchError::CtaTooMuchSmem { needed, available } => {
-                write!(f, "CTA needs {needed} shared-memory bytes, SM has {available}")
+                write!(
+                    f,
+                    "CTA needs {needed} shared-memory bytes, SM has {available}"
+                )
             }
         }
     }
@@ -272,11 +278,17 @@ pub fn check_launchable(core: &CoreConfig, kernel: &Kernel) -> Result<(), Launch
     }
     let regs = kernel.reg_bytes_per_cta();
     if regs > core.regfile_bytes {
-        return Err(LaunchError::CtaTooManyRegs { needed: regs, available: core.regfile_bytes });
+        return Err(LaunchError::CtaTooManyRegs {
+            needed: regs,
+            available: core.regfile_bytes,
+        });
     }
     let smem = kernel.smem_bytes_per_cta();
     if smem > core.smem_bytes {
-        return Err(LaunchError::CtaTooMuchSmem { needed: smem, available: core.smem_bytes });
+        return Err(LaunchError::CtaTooMuchSmem {
+            needed: smem,
+            available: core.smem_bytes,
+        });
     }
     Ok(())
 }

@@ -135,11 +135,10 @@ impl<'k> GpuSim<'k> {
     /// Returns [`SimError::Exec`] on a functional trap and
     /// [`SimError::Watchdog`] if `core.max_cycles` elapses first.
     pub fn run(mut self) -> Result<RunResult, SimError> {
-        let mut timeline = self
-            .cfg
-            .core
-            .timeline_interval
-            .map(|interval| Timeline { interval: interval.max(1), ..Timeline::default() });
+        let mut timeline = self.cfg.core.timeline_interval.map(|interval| Timeline {
+            interval: interval.max(1),
+            ..Timeline::default()
+        });
         let mut cycle: u64 = 0;
         loop {
             if let Some(t) = &mut timeline {
@@ -173,10 +172,12 @@ impl<'k> GpuSim<'k> {
         }
         self.stats.cycles = cycle + 1;
         self.stats.mem = self.mem.stats().clone();
-        self.stats.max_simt_depth =
-            self.sms.iter().map(Sm::max_simt_depth).max().unwrap_or(0);
+        self.stats.max_simt_depth = self.sms.iter().map(Sm::max_simt_depth).max().unwrap_or(0);
         self.stats.timeline = timeline;
-        Ok(RunResult { stats: self.stats, mem_image: self.image })
+        Ok(RunResult {
+            stats: self.stats,
+            mem_image: self.image,
+        })
     }
 
     /// Hands out up to one CTA per SM per cycle, rotating the starting SM
@@ -354,7 +355,13 @@ mod tests {
         let bin = b.reg();
         b.and_(bin, Operand::Sreg(Sreg::Tid), Operand::Imm(3));
         b.shl(bin, Operand::Reg(bin), Operand::Imm(2));
-        b.atom(AtomOp::Add, None, Operand::Reg(bin), out as i32, Operand::Imm(1));
+        b.atom(
+            AtomOp::Add,
+            None,
+            Operand::Reg(bin),
+            out as i32,
+            Operand::Imm(1),
+        );
         b.exit();
         let k = b.build(6, 96).unwrap();
         let sim = simulate(&small_cfg(), &k).unwrap();
@@ -379,7 +386,11 @@ mod tests {
             cfg.core.scheduler = policy;
             let r = simulate(&cfg, &k).unwrap();
             let reference = Interpreter::new(&k).unwrap().run().unwrap();
-            assert_eq!(r.mem_image.as_words(), reference.mem().as_words(), "{policy:?}");
+            assert_eq!(
+                r.mem_image.as_words(),
+                reference.mem().as_words(),
+                "{policy:?}"
+            );
         }
     }
 
@@ -390,7 +401,9 @@ mod tests {
         let k = streaming_kernel(64, 64);
         let mut cfg = small_cfg();
         cfg.residency = ResidencyConfig {
-            admission: AdmissionPolicy::CapacityOnly { max_resident_ctas: Some(32) },
+            admission: AdmissionPolicy::CapacityOnly {
+                max_resident_ctas: Some(32),
+            },
             active: ActivePolicy::SchedulingLimit,
             swap: Some(SwapConfig {
                 trigger: SwapTrigger::AllWarpsStalled,
@@ -419,7 +432,9 @@ mod tests {
         let base = simulate(&small_cfg(), &k).unwrap();
         let mut cfg = small_cfg();
         cfg.residency = ResidencyConfig {
-            admission: AdmissionPolicy::CapacityOnly { max_resident_ctas: None },
+            admission: AdmissionPolicy::CapacityOnly {
+                max_resident_ctas: None,
+            },
             active: ActivePolicy::Unlimited,
             swap: None,
         };
@@ -439,7 +454,10 @@ mod tests {
         let k = b.build(1, 32).unwrap();
         let mut cfg = small_cfg();
         cfg.core.max_cycles = 5_000;
-        assert_eq!(simulate(&cfg, &k).unwrap_err(), SimError::Watchdog { cycle: 5_000 });
+        assert_eq!(
+            simulate(&cfg, &k).unwrap_err(),
+            SimError::Watchdog { cycle: 5_000 }
+        );
     }
 
     #[test]
@@ -449,7 +467,10 @@ mod tests {
         b.ld_global(r, Operand::Imm(1 << 26), 0);
         let k = b.build(1, 32).unwrap();
         let err = simulate(&small_cfg(), &k).unwrap_err();
-        assert!(matches!(err, SimError::Exec(ExecError::GlobalOutOfRange { .. })));
+        assert!(matches!(
+            err,
+            SimError::Exec(ExecError::GlobalOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -485,8 +506,15 @@ mod tests {
         let k = streaming_kernel(8, 64);
         let r = simulate(&small_cfg(), &k).unwrap();
         let occ = &r.stats.occupancy;
-        assert_eq!(occ.sm_cycles, r.stats.cycles * 2, "2 SMs accumulate once per cycle");
+        assert_eq!(
+            occ.sm_cycles,
+            r.stats.cycles * 2,
+            "2 SMs accumulate once per cycle"
+        );
         assert!(r.stats.idle.total() <= occ.sm_cycles);
-        assert!(r.stats.idle.memory > 0, "a streaming kernel stalls on memory");
+        assert!(
+            r.stats.idle.memory > 0,
+            "a streaming kernel stalls on memory"
+        );
     }
 }

@@ -148,7 +148,10 @@ impl LdstUnit {
         self.queue.push_back(MemWork {
             warp_slot,
             warp_uid,
-            body: MemWorkBody::Shared { rounds_left: rounds.max(1), dst },
+            body: MemWorkBody::Shared {
+                rounds_left: rounds.max(1),
+                dst,
+            },
         });
     }
 
@@ -175,14 +178,25 @@ impl LdstUnit {
             let token = self.fresh_id();
             self.groups.insert(
                 token,
-                LoadGroup { warp_slot, warp_uid, dst, remaining: lines.len() as u32, missed: false },
+                LoadGroup {
+                    warp_slot,
+                    warp_uid,
+                    dst,
+                    remaining: lines.len() as u32,
+                    missed: false,
+                },
             );
             Some(token)
         };
         self.queue.push_back(MemWork {
             warp_slot,
             warp_uid,
-            body: MemWorkBody::Global { lines, submitted: 0, token, kind },
+            body: MemWorkBody::Global {
+                lines,
+                submitted: 0,
+                token,
+                kind,
+            },
         });
     }
 
@@ -225,7 +239,12 @@ impl LdstUnit {
                         pop = true;
                     }
                 }
-                MemWorkBody::Global { lines, submitted, token, kind } => {
+                MemWorkBody::Global {
+                    lines,
+                    submitted,
+                    token,
+                    kind,
+                } => {
                     // Each transaction gets its own request id, mapped back
                     // to the instruction's load group on response.
                     while *submitted < lines.len() {
@@ -351,7 +370,10 @@ mod tests {
             for e in u.tick(now, &mut mem) {
                 match e {
                     LdstEvent::Completed(c) => completions.push(c),
-                    LdstEvent::MissObserved { warp_slot, warp_uid } => {
+                    LdstEvent::MissObserved {
+                        warp_slot,
+                        warp_uid,
+                    } => {
                         assert_eq!((warp_slot, warp_uid), (7, 9));
                         misses += 1;
                     }

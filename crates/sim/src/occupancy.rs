@@ -2,11 +2,10 @@
 //! binds — the paper's motivation study (its Figures 1–2).
 
 use crate::config::CoreConfig;
-use serde::{Deserialize, Serialize};
 use vt_isa::Kernel;
 
 /// The resource that limits concurrent CTAs per SM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Limiter {
     /// CTA slots (scheduling limit).
     CtaSlots,
@@ -42,7 +41,7 @@ impl std::fmt::Display for Limiter {
 }
 
 /// Static occupancy of one kernel on one SM configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OccupancyAnalysis {
     /// CTAs allowed by the CTA-slot limit.
     pub by_cta_slots: u32,

@@ -165,7 +165,10 @@ impl Sm {
         now: u64,
         stats: &mut RunStats,
     ) {
-        assert!(self.can_admit(kernel, core, res), "admit called without can_admit");
+        assert!(
+            self.can_admit(kernel, core, res),
+            "admit called without can_admit"
+        );
         let wpc = kernel.warps_per_cta();
         let nthreads = kernel.threads_per_cta();
         let cta_slot = match self.free_cta_slots.pop() {
@@ -271,8 +274,15 @@ impl Sm {
                 .enumerate()
                 .filter(|(_, c)| self.cta_ready(c))
                 .min_by_key(|(_, c)| c.seq)
-                .map(|(i, c)| (i, matches!(c.phase, CtaPhase::Inactive { has_context: true })));
-            let Some((slot, has_context)) = candidate else { return };
+                .map(|(i, c)| {
+                    (
+                        i,
+                        matches!(c.phase, CtaPhase::Inactive { has_context: true }),
+                    )
+                });
+            let Some((slot, has_context)) = candidate else {
+                return;
+            };
             let n_warps = self.ctas[slot].warps.len() as u32;
             self.slot_ctas += 1;
             self.slot_warps += n_warps;
@@ -288,7 +298,9 @@ impl Sm {
                     if cost == 0 {
                         self.finish_activation(slot);
                     } else {
-                        self.ctas[slot].phase = CtaPhase::SwappingIn { done_at: now + cost };
+                        self.ctas[slot].phase = CtaPhase::SwappingIn {
+                            done_at: now + cost,
+                        };
                         self.swapping_ctas += 1;
                     }
                 }
@@ -366,8 +378,9 @@ impl Sm {
                         let slot = usize::from(self.throttle_hold);
                         // Light EWMA so one noisy phase cannot flip modes
                         // permanently.
-                        self.mode_ipc_est[slot] =
-                            Some(self.mode_ipc_est[slot].map_or(measured, |old| (old + measured) / 2));
+                        self.mode_ipc_est[slot] = Some(
+                            self.mode_ipc_est[slot].map_or(measured, |old| (old + measured) / 2),
+                        );
                         self.phase_accum = 0;
                         self.phase_window = 0;
                         self.phases_since_probe += 1;
@@ -401,11 +414,7 @@ impl Sm {
         if swap.trigger == SwapTrigger::Never {
             return;
         }
-        let mut ready_replacements = self
-            .ctas
-            .iter()
-            .filter(|c| self.cta_ready(c))
-            .count();
+        let mut ready_replacements = self.ctas.iter().filter(|c| self.cta_ready(c)).count();
         if ready_replacements == 0 {
             return;
         }
@@ -419,8 +428,9 @@ impl Sm {
             }
             if self.swap_trigger_met(slot, swap.trigger, kernel) {
                 let n_warps = self.ctas[slot].warps.len() as u32;
-                self.ctas[slot].phase =
-                    CtaPhase::SwappingOut { done_at: now + u64::from(swap.save_cycles) };
+                self.ctas[slot].phase = CtaPhase::SwappingOut {
+                    done_at: now + u64::from(swap.save_cycles),
+                };
                 // Release the slot immediately: the incoming CTA's restore
                 // overlaps with this save through the context buffer.
                 self.slot_ctas -= 1;
@@ -521,7 +531,10 @@ impl Sm {
                         cta.pending_loads -= 1;
                     }
                 }
-                LdstEvent::MissObserved { warp_slot, warp_uid } => {
+                LdstEvent::MissObserved {
+                    warp_slot,
+                    warp_uid,
+                } => {
                     if self.warp_uids[warp_slot] == warp_uid {
                         self.warps[warp_slot].long_pending_loads += 1;
                     }
@@ -599,7 +612,13 @@ impl Sm {
     /// Picks a warp for scheduler `s` (warps are statically partitioned
     /// across schedulers by slot index). Allocation-free: this runs once
     /// per scheduler per cycle.
-    fn pick_warp(&mut self, s: usize, now: u64, kernel: &Kernel, core: &CoreConfig) -> Option<usize> {
+    fn pick_warp(
+        &mut self,
+        s: usize,
+        now: u64,
+        kernel: &Kernel,
+        core: &CoreConfig,
+    ) -> Option<usize> {
         let schedulers = self.sched_last.len();
         let in_partition = |w: usize| w % schedulers == s;
         match core.scheduler {
@@ -633,8 +652,11 @@ impl Sm {
                         if !in_partition(w) {
                             continue;
                         }
-                        let in_range =
-                            if round == 0 { idx >= start } else { idx < start };
+                        let in_range = if round == 0 {
+                            idx >= start
+                        } else {
+                            idx < start
+                        };
                         if in_range && self.readiness(w, now, kernel) == Readiness::Ready {
                             pick = Some((idx, w));
                             break;
@@ -682,8 +704,11 @@ impl Sm {
             }
             Instr::Mad { dst, a, b, c } => {
                 self.exec_lanes(wslot, kernel, mask, |regs, ctx| {
-                    let (va, vb, vc) =
-                        (exec::resolve(a, regs, ctx), exec::resolve(b, regs, ctx), exec::resolve(c, regs, ctx));
+                    let (va, vb, vc) = (
+                        exec::resolve(a, regs, ctx),
+                        exec::resolve(b, regs, ctx),
+                        exec::resolve(c, regs, ctx),
+                    );
                     Some((dst, exec::eval_mad(va, vb, vc)))
                 });
                 self.retire_alu(wslot, dst, now + u64::from(core.alu_latency));
@@ -691,8 +716,11 @@ impl Sm {
             }
             Instr::Ffma { dst, a, b, c } => {
                 self.exec_lanes(wslot, kernel, mask, |regs, ctx| {
-                    let (va, vb, vc) =
-                        (exec::resolve(a, regs, ctx), exec::resolve(b, regs, ctx), exec::resolve(c, regs, ctx));
+                    let (va, vb, vc) = (
+                        exec::resolve(a, regs, ctx),
+                        exec::resolve(b, regs, ctx),
+                        exec::resolve(c, regs, ctx),
+                    );
                     Some((dst, exec::eval_ffma(va, vb, vc)))
                 });
                 self.retire_alu(wslot, dst, now + u64::from(core.alu_latency));
@@ -706,15 +734,51 @@ impl Sm {
                 self.sfu_free_at = now + u64::from(core.sfu_init_interval);
                 self.advance(wslot);
             }
-            Instr::Ld { space, dst, addr, offset } => {
-                self.exec_mem(wslot, kernel, core, mask, space, addr, offset, MemOp::Load { dst }, image)?;
+            Instr::Ld {
+                space,
+                dst,
+                addr,
+                offset,
+            } => {
+                self.exec_mem(
+                    wslot,
+                    kernel,
+                    core,
+                    mask,
+                    space,
+                    addr,
+                    offset,
+                    MemOp::Load { dst },
+                    image,
+                )?;
                 self.advance(wslot);
             }
-            Instr::St { space, addr, offset, src } => {
-                self.exec_mem(wslot, kernel, core, mask, space, addr, offset, MemOp::Store { src }, image)?;
+            Instr::St {
+                space,
+                addr,
+                offset,
+                src,
+            } => {
+                self.exec_mem(
+                    wslot,
+                    kernel,
+                    core,
+                    mask,
+                    space,
+                    addr,
+                    offset,
+                    MemOp::Store { src },
+                    image,
+                )?;
                 self.advance(wslot);
             }
-            Instr::Atom { op, dst, addr, offset, val } => {
+            Instr::Atom {
+                op,
+                dst,
+                addr,
+                offset,
+                val,
+            } => {
                 self.exec_mem(
                     wslot,
                     kernel,
@@ -741,7 +805,12 @@ impl Sm {
                 self.warps[wslot].stack.jump(target);
                 self.check_done(wslot, kernel, core, res, now, stats);
             }
-            Instr::BraCond { pred, when, target, reconv } => {
+            Instr::BraCond {
+                pred,
+                when,
+                target,
+                reconv,
+            } => {
                 let mut taken = 0u32;
                 {
                     let w = &self.warps[wslot];
@@ -795,7 +864,8 @@ impl Sm {
 
     fn retire_alu(&mut self, wslot: usize, dst: Reg, ready: u64) {
         self.warps[wslot].scoreboard.set_pending(dst);
-        self.writebacks.push(Reverse((ready, wslot, dst.0, self.warp_uids[wslot])));
+        self.writebacks
+            .push(Reverse((ready, wslot, dst.0, self.warp_uids[wslot])));
     }
 
     fn advance(&mut self, wslot: usize) {
@@ -840,9 +910,9 @@ impl Sm {
                 match op {
                     MemOp::Load { dst } => {
                         let v = match space {
-                            MemSpace::Global => {
-                                image.load(a).ok_or(ExecError::GlobalOutOfRange { addr: a })?
-                            }
+                            MemSpace::Global => image
+                                .load(a)
+                                .ok_or(ExecError::GlobalOutOfRange { addr: a })?,
                             MemSpace::Shared => *cta
                                 .smem
                                 .get((a / 4) as usize)
@@ -869,7 +939,9 @@ impl Sm {
                     }
                     MemOp::Atomic { op, dst, val } => {
                         let v = exec::resolve(val, w.lane_regs(lane), &ctx);
-                        let old = image.load(a).ok_or(ExecError::GlobalOutOfRange { addr: a })?;
+                        let old = image
+                            .load(a)
+                            .ok_or(ExecError::GlobalOutOfRange { addr: a })?;
                         let new = exec::eval_atom(op, old, v);
                         image.store(a, new);
                         if let Some(d) = dst {
@@ -891,7 +963,8 @@ impl Sm {
                     }
                     _ => None,
                 };
-                self.ldst.push_shared(wslot, self.warp_uids[wslot], rounds, dst);
+                self.ldst
+                    .push_shared(wslot, self.warp_uids[wslot], rounds, dst);
             }
             MemSpace::Global => {
                 let txs = coalesce(&addrs, mask, self.line_bytes);
@@ -1123,9 +1196,17 @@ impl Sm {
 /// Memory micro-op discriminant used by `exec_mem`.
 #[derive(Debug, Clone, Copy)]
 enum MemOp {
-    Load { dst: Reg },
-    Store { src: Operand },
-    Atomic { op: vt_isa::AtomOp, dst: Option<Reg>, val: Operand },
+    Load {
+        dst: Reg,
+    },
+    Store {
+        src: Operand,
+    },
+    Atomic {
+        op: vt_isa::AtomOp,
+        dst: Option<Reg>,
+        val: Operand,
+    },
 }
 
 fn thread_ctx(w: &WarpRt, lane: u32, kernel: &Kernel, ctas: &[CtaRt]) -> ThreadCtx {
@@ -1136,4 +1217,3 @@ fn thread_ctx(w: &WarpRt, lane: u32, kernel: &Kernel, ctas: &[CtaRt]) -> ThreadC
         ncta: kernel.num_ctas(),
     }
 }
-

@@ -1,13 +1,12 @@
 //! Run statistics: performance, occupancy, stall breakdown and swap
 //! activity — everything the paper's figures are built from.
 
-use serde::{Deserialize, Serialize};
 use vt_mem::MemStats;
 
 /// Why an SM issued nothing in a cycle. One bucket is charged per SM-cycle
 /// with zero issues; the buckets are mutually exclusive by the listed
 /// precedence.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IdleBreakdown {
     /// No warp resident at all (SM drained near kernel end or start).
     pub no_warps: u64,
@@ -43,7 +42,7 @@ impl IdleBreakdown {
 }
 
 /// Time-integrated resource occupancy, accumulated once per SM-cycle.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OccupancyAccum {
     /// Σ resident warps over SM-cycles.
     pub resident_warp_cycles: u64,
@@ -79,18 +78,27 @@ impl OccupancyAccum {
 
     /// Mean register-file utilisation (0..1) given the file size.
     pub fn reg_utilization(&self, regfile_bytes: u32) -> f64 {
-        ratio(self.reg_byte_cycles, self.sm_cycles * u64::from(regfile_bytes))
+        ratio(
+            self.reg_byte_cycles,
+            self.sm_cycles * u64::from(regfile_bytes),
+        )
     }
 
     /// Mean shared-memory utilisation (0..1) given the scratchpad size.
     pub fn smem_utilization(&self, smem_bytes: u32) -> f64 {
-        ratio(self.smem_byte_cycles, self.sm_cycles * u64::from(smem_bytes))
+        ratio(
+            self.smem_byte_cycles,
+            self.sm_cycles * u64::from(smem_bytes),
+        )
     }
 
     /// Mean thread-slot utilisation (0..1) given the warp slots, counting
     /// *active* warps (the ones occupying scheduling structures).
     pub fn thread_slot_utilization(&self, max_warps: u32) -> f64 {
-        ratio(self.active_warp_cycles, self.sm_cycles * u64::from(max_warps))
+        ratio(
+            self.active_warp_cycles,
+            self.sm_cycles * u64::from(max_warps),
+        )
     }
 
     /// Adds another accumulator into this one.
@@ -106,7 +114,7 @@ impl OccupancyAccum {
 }
 
 /// CTA context-switch activity.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SwapStats {
     /// CTAs switched out.
     pub swaps_out: u64,
@@ -130,7 +138,7 @@ impl SwapStats {
 
 /// A sampled time series of per-SM occupancy, for occupancy-over-time
 /// figures. Enabled via `CoreConfig::timeline_interval`.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Timeline {
     /// Cycles between samples.
     pub interval: u64,
@@ -159,7 +167,7 @@ impl Timeline {
 }
 
 /// Complete statistics of one simulated kernel run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
     /// Cycles the kernel took.
     pub cycles: u64,
@@ -237,7 +245,10 @@ mod tests {
 
     #[test]
     fn timeline_accumulates_samples() {
-        let mut t = Timeline { interval: 100, ..Timeline::default() };
+        let mut t = Timeline {
+            interval: 100,
+            ..Timeline::default()
+        };
         assert!(t.is_empty());
         t.push(10.0, 5.0);
         t.push(20.0, 8.0);
@@ -248,13 +259,27 @@ mod tests {
 
     #[test]
     fn merges_add_up() {
-        let mut a = IdleBreakdown { memory: 5, ..Default::default() };
-        a.merge(&IdleBreakdown { memory: 3, barrier: 1, ..Default::default() });
+        let mut a = IdleBreakdown {
+            memory: 5,
+            ..Default::default()
+        };
+        a.merge(&IdleBreakdown {
+            memory: 3,
+            barrier: 1,
+            ..Default::default()
+        });
         assert_eq!(a.memory, 8);
         assert_eq!(a.total(), 9);
 
-        let mut s = SwapStats { swaps_out: 1, ..Default::default() };
-        s.merge(&SwapStats { swaps_out: 2, swaps_in: 2, ..Default::default() });
+        let mut s = SwapStats {
+            swaps_out: 1,
+            ..Default::default()
+        };
+        s.merge(&SwapStats {
+            swaps_out: 2,
+            swaps_in: 2,
+            ..Default::default()
+        });
         assert_eq!(s.swaps_out, 3);
         assert_eq!(s.swaps_in, 2);
     }

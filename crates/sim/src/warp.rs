@@ -48,7 +48,11 @@ impl WarpRt {
         regs_per_thread: u16,
         age: u64,
     ) -> WarpRt {
-        let mask = if lanes >= WARP_SIZE { u32::MAX } else { (1u32 << lanes) - 1 };
+        let mask = if lanes >= WARP_SIZE {
+            u32::MAX
+        } else {
+            (1u32 << lanes) - 1
+        };
         WarpRt {
             cta_slot,
             warp_in_cta,

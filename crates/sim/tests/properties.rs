@@ -1,26 +1,28 @@
-//! Property tests for the timing simulator: arbitrary residency
+//! Randomized tests for the timing simulator: arbitrary residency
 //! configurations preserve functional results, the scoreboard agrees
-//! with a set model, and randomly-shaped kernels complete.
+//! with a set model, and randomly-shaped kernels complete. Driven by the
+//! deterministic [`vt_prng::Prng`] so runs are reproducible offline.
 
-use proptest::prelude::*;
 use std::collections::HashSet;
 use vt_isa::interp::Interpreter;
 use vt_isa::op::{Operand, Sreg};
 use vt_isa::{Instr, Kernel, KernelBuilder, Reg};
+use vt_prng::Prng;
 use vt_sim::scoreboard::Scoreboard;
 use vt_sim::{
     simulate, ActivePolicy, AdmissionPolicy, ResidencyConfig, SchedPolicy, SimConfig, SwapConfig,
     SwapTrigger,
 };
 
-proptest! {
-    #[test]
-    fn scoreboard_matches_set_model(
-        ops in proptest::collection::vec((any::<bool>(), 0u16..256), 1..300),
-    ) {
+#[test]
+fn scoreboard_matches_set_model() {
+    let mut r = Prng::new(0x5c0eb);
+    for _ in 0..16 {
         let mut sb = Scoreboard::new();
         let mut model: HashSet<u16> = HashSet::new();
-        for (set, reg) in ops {
+        for _ in 0..r.gen_range_usize(1..300) {
+            let set = r.gen_bool(0.5);
+            let reg = r.gen_range(0..256) as u16;
             if set {
                 sb.set_pending(Reg(reg));
                 model.insert(reg);
@@ -28,8 +30,8 @@ proptest! {
                 sb.clear(Reg(reg));
                 model.remove(&reg);
             }
-            prop_assert_eq!(sb.pending_count() as usize, model.len());
-            prop_assert_eq!(sb.is_pending(Reg(reg)), model.contains(&reg));
+            assert_eq!(sb.pending_count() as usize, model.len());
+            assert_eq!(sb.is_pending(Reg(reg)), model.contains(&reg));
             // can_issue agrees with the model for an instruction reading
             // and writing this register.
             let i = Instr::Alu {
@@ -38,7 +40,7 @@ proptest! {
                 a: Operand::Reg(Reg(reg)),
                 b: Operand::Imm(1),
             };
-            prop_assert_eq!(sb.can_issue(&i), !model.contains(&reg));
+            assert_eq!(sb.can_issue(&i), !model.contains(&reg));
         }
     }
 }
@@ -76,58 +78,64 @@ fn kernel(ctas: u32, threads: u32, regs: u16, smem: u32, iters: u32) -> Kernel {
     b.build(ctas, threads).expect("valid property kernel")
 }
 
-fn residency_strategy() -> impl Strategy<Value = ResidencyConfig> {
-    let admission = prop_oneof![
-        Just(AdmissionPolicy::SchedulingAndCapacity),
-        prop_oneof![Just(None), (9u32..48).prop_map(Some)]
-            .prop_map(|cap| AdmissionPolicy::CapacityOnly { max_resident_ctas: cap }),
-    ];
-    let active = prop_oneof![Just(ActivePolicy::SchedulingLimit), Just(ActivePolicy::Unlimited)];
-    let swap = proptest::option::of(
-        (
-            prop_oneof![
-                Just(SwapTrigger::AllWarpsStalled),
-                Just(SwapTrigger::AnyWarpStalled),
-                Just(SwapTrigger::Never)
-            ],
-            0u32..120,
-            0u32..120,
-            0u32..8,
-        )
-            .prop_map(|(trigger, save, restore, fresh)| SwapConfig {
-                trigger,
-                save_cycles: save,
-                restore_cycles: restore,
-                fresh_activation_cycles: fresh,
-                throttle: if fresh % 2 == 0 {
-                    None
-                } else {
-                    Some(vt_sim::config::ThrottleConfig::default())
-                },
-            }),
-    );
-    (admission, active, swap).prop_map(|(admission, active, swap)| ResidencyConfig {
+fn gen_residency(r: &mut Prng) -> ResidencyConfig {
+    let admission = if r.gen_bool(0.5) {
+        AdmissionPolicy::SchedulingAndCapacity
+    } else {
+        let cap = if r.gen_bool(0.5) {
+            None
+        } else {
+            Some(r.gen_range(9..48))
+        };
+        AdmissionPolicy::CapacityOnly {
+            max_resident_ctas: cap,
+        }
+    };
+    let active = if r.gen_bool(0.5) {
+        ActivePolicy::SchedulingLimit
+    } else {
+        ActivePolicy::Unlimited
+    };
+    let swap = if r.gen_bool(0.5) {
+        let fresh = r.gen_range(0..8);
+        Some(SwapConfig {
+            trigger: *r.choose(&[
+                SwapTrigger::AllWarpsStalled,
+                SwapTrigger::AnyWarpStalled,
+                SwapTrigger::Never,
+            ]),
+            save_cycles: r.gen_range(0..120),
+            restore_cycles: r.gen_range(0..120),
+            fresh_activation_cycles: fresh,
+            throttle: if fresh.is_multiple_of(2) {
+                None
+            } else {
+                Some(vt_sim::config::ThrottleConfig::default())
+            },
+        })
+    } else {
+        None
+    };
+    ResidencyConfig {
         admission,
         active,
         swap,
-    })
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 20, ..ProptestConfig::default() })]
-
-    /// Whatever the residency policy — any admission rule, any activation
-    /// rule, any swap costs and trigger — the functional result matches
-    /// the interpreter and every CTA completes.
-    #[test]
-    fn any_residency_config_is_functionally_transparent(
-        residency in residency_strategy(),
-        sched in prop_oneof![Just(SchedPolicy::Lrr), Just(SchedPolicy::Gto)],
-        threads in prop_oneof![Just(32u32), Just(48), Just(96)],
-        ctas in 4u32..12,
-        regs in 8u16..40,
-        smem in prop_oneof![Just(0u32), Just(1024), Just(6 * 1024)],
-    ) {
+/// Whatever the residency policy — any admission rule, any activation
+/// rule, any swap costs and trigger — the functional result matches
+/// the interpreter and every CTA completes.
+#[test]
+fn any_residency_config_is_functionally_transparent() {
+    let mut r = Prng::new(0xc0ffee);
+    for case in 0..20 {
+        let residency = gen_residency(&mut r);
+        let sched = *r.choose(&[SchedPolicy::Lrr, SchedPolicy::Gto]);
+        let threads = *r.choose(&[32u32, 48, 96]);
+        let ctas = r.gen_range(4..12);
+        let regs = r.gen_range(8..40) as u16;
+        let smem = *r.choose(&[0u32, 1024, 6 * 1024]);
         let k = kernel(ctas, threads, regs, smem, 3);
         let mut cfg = SimConfig::default();
         cfg.core.num_sms = 2;
@@ -135,8 +143,12 @@ proptest! {
         cfg.residency = residency;
         let result = simulate(&cfg, &k).expect("simulation completes");
         let reference = Interpreter::new(&k).unwrap().run().unwrap();
-        prop_assert_eq!(result.mem_image.as_words(), reference.mem().as_words());
-        prop_assert_eq!(result.stats.ctas_completed, u64::from(ctas));
-        prop_assert!(result.stats.idle.total() <= result.stats.occupancy.sm_cycles);
+        assert_eq!(
+            result.mem_image.as_words(),
+            reference.mem().as_words(),
+            "case {case}: {residency:?} {sched:?} {threads}x{ctas}"
+        );
+        assert_eq!(result.stats.ctas_completed, u64::from(ctas));
+        assert!(result.stats.idle.total() <= result.stats.occupancy.sm_cycles);
     }
 }

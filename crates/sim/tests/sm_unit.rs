@@ -30,7 +30,9 @@ fn load_kernel(ctas: u32) -> Kernel {
 
 fn vt_residency() -> ResidencyConfig {
     ResidencyConfig {
-        admission: AdmissionPolicy::CapacityOnly { max_resident_ctas: None },
+        admission: AdmissionPolicy::CapacityOnly {
+            max_resident_ctas: None,
+        },
         active: ActivePolicy::SchedulingLimit,
         swap: Some(SwapConfig {
             trigger: SwapTrigger::AllWarpsStalled,
@@ -86,7 +88,14 @@ impl Rig {
     fn admit_while_possible(&mut self, kernel: &Kernel, limit: u32) -> u32 {
         let mut admitted = 0;
         while admitted < limit && self.sm.can_admit(kernel, &self.core, &self.res) {
-            self.sm.admit(admitted, kernel, &self.core, &self.res, self.cycle, &mut self.stats);
+            self.sm.admit(
+                admitted,
+                kernel,
+                &self.core,
+                &self.res,
+                self.cycle,
+                &mut self.stats,
+            );
             admitted += 1;
         }
         admitted
@@ -100,7 +109,11 @@ fn baseline_admission_stops_at_cta_slots() {
     let admitted = rig.admit_while_possible(&k, 64);
     assert_eq!(admitted, rig.core.max_ctas_per_sm, "CTA slots bind");
     assert_eq!(rig.sm.resident_ctas(), 8);
-    assert_eq!(rig.sm.slot_ctas(), 8, "baseline activates everything admitted");
+    assert_eq!(
+        rig.sm.slot_ctas(),
+        8,
+        "baseline activates everything admitted"
+    );
 }
 
 #[test]
@@ -111,14 +124,20 @@ fn capacity_admission_goes_to_the_register_limit() {
     // 32 threads x 16 regs x 4 B = 2 KiB per CTA; 128 KiB register file.
     assert_eq!(admitted, 64);
     assert_eq!(rig.sm.resident_ctas(), 64);
-    assert_eq!(rig.sm.slot_ctas(), 8, "active slots still respect the scheduling limit");
+    assert_eq!(
+        rig.sm.slot_ctas(),
+        8,
+        "active slots still respect the scheduling limit"
+    );
 }
 
 #[test]
 fn explicit_cap_bounds_admission() {
     let k = load_kernel(64);
     let mut rig = Rig::new(ResidencyConfig {
-        admission: AdmissionPolicy::CapacityOnly { max_resident_ctas: Some(13) },
+        admission: AdmissionPolicy::CapacityOnly {
+            max_resident_ctas: Some(13),
+        },
         ..vt_residency()
     });
     assert_eq!(rig.admit_while_possible(&k, 128), 13);
@@ -128,7 +147,9 @@ fn explicit_cap_bounds_admission() {
 fn unlimited_active_policy_activates_everything() {
     let k = load_kernel(64);
     let mut rig = Rig::new(ResidencyConfig {
-        admission: AdmissionPolicy::CapacityOnly { max_resident_ctas: None },
+        admission: AdmissionPolicy::CapacityOnly {
+            max_resident_ctas: None,
+        },
         active: ActivePolicy::Unlimited,
         swap: None,
     });
@@ -146,8 +167,14 @@ fn all_warps_stalled_trigger_swaps_against_ready_ctas() {
     for _ in 0..200 {
         rig.tick(&k);
     }
-    assert!(rig.stats.swaps.swaps_out > 0, "stalled CTAs must be switched out");
-    assert!(rig.stats.swaps.fresh_activations > 8, "parked CTAs took the slots");
+    assert!(
+        rig.stats.swaps.swaps_out > 0,
+        "stalled CTAs must be switched out"
+    );
+    assert!(
+        rig.stats.swaps.fresh_activations > 8,
+        "parked CTAs took the slots"
+    );
     assert!(rig.sm.slot_ctas() <= 8);
 }
 
@@ -199,7 +226,10 @@ fn throttle_settles_and_stays_functional() {
             break;
         }
     }
-    assert_eq!(rig.stats.ctas_completed, 64, "throttled runs still complete");
+    assert_eq!(
+        rig.stats.ctas_completed, 64,
+        "throttled runs still complete"
+    );
     assert!(rig.sm.slot_ctas() == 0);
 }
 
@@ -241,5 +271,6 @@ fn admit_without_capacity_panics() {
     let mut rig = Rig::new(ResidencyConfig::baseline());
     rig.admit_while_possible(&k, 64);
     let cycle = rig.cycle;
-    rig.sm.admit(99, &k, &rig.core, &rig.res, cycle, &mut rig.stats);
+    rig.sm
+        .admit(99, &k, &rig.core, &rig.res, cycle, &mut rig.stats);
 }

@@ -3,12 +3,11 @@
 //! memory intensity and access pattern.
 
 use crate::kernels::util::{rand_indices, rng};
-use serde::{Deserialize, Serialize};
 use vt_isa::op::{Operand, Sreg};
 use vt_isa::{Kernel, KernelBuilder};
 
 /// How the generated kernel's global loads address memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AccessPattern {
     /// Unit-stride: one transaction per warp access.
     Coalesced,
@@ -20,7 +19,7 @@ pub enum AccessPattern {
 }
 
 /// The knobs of a synthetic kernel.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SyntheticParams {
     /// Kernel name.
     pub name: String,
@@ -116,44 +115,64 @@ impl SyntheticParams {
         let tmp = b.reg();
         b.global_thread_id(gid);
         b.mov(acc, Operand::Imm(1));
-        b.for_range(i, Operand::Imm(0), Operand::Imm(self.iters.max(1)), 1, |b, i| {
-            for l in 0..self.loads_per_iter {
-                match self.access {
-                    AccessPattern::Coalesced => {
-                        // addr = ((i*loads + l)*n + gid) * 4, wrapped.
-                        b.mad(tmp, Operand::Reg(i), Operand::Imm(self.loads_per_iter), Operand::Imm(l));
-                        b.mad(tmp, Operand::Reg(tmp), Operand::Imm(n), Operand::Reg(gid));
-                        b.rem(tmp, Operand::Reg(tmp), Operand::Imm(words));
-                        b.shl(addr, Operand::Reg(tmp), Operand::Imm(2));
+        b.for_range(
+            i,
+            Operand::Imm(0),
+            Operand::Imm(self.iters.max(1)),
+            1,
+            |b, i| {
+                for l in 0..self.loads_per_iter {
+                    match self.access {
+                        AccessPattern::Coalesced => {
+                            // addr = ((i*loads + l)*n + gid) * 4, wrapped.
+                            b.mad(
+                                tmp,
+                                Operand::Reg(i),
+                                Operand::Imm(self.loads_per_iter),
+                                Operand::Imm(l),
+                            );
+                            b.mad(tmp, Operand::Reg(tmp), Operand::Imm(n), Operand::Reg(gid));
+                            b.rem(tmp, Operand::Reg(tmp), Operand::Imm(words));
+                            b.shl(addr, Operand::Reg(tmp), Operand::Imm(2));
+                        }
+                        AccessPattern::Strided(s) => {
+                            b.mad(
+                                tmp,
+                                Operand::Reg(i),
+                                Operand::Imm(self.loads_per_iter),
+                                Operand::Imm(l),
+                            );
+                            b.mad(tmp, Operand::Reg(tmp), Operand::Imm(n), Operand::Reg(gid));
+                            b.mul(tmp, Operand::Reg(tmp), Operand::Imm(s.max(1)));
+                            b.rem(tmp, Operand::Reg(tmp), Operand::Imm(words));
+                            b.shl(addr, Operand::Reg(tmp), Operand::Imm(2));
+                        }
+                        AccessPattern::Random => {
+                            // Chase through the index array, offset by the
+                            // running accumulator so iterations depend on the
+                            // previous load.
+                            b.add(tmp, Operand::Reg(gid), Operand::Reg(acc));
+                            b.rem(tmp, Operand::Reg(tmp), Operand::Imm(n));
+                            b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
+                            b.ld_global(
+                                tmp,
+                                Operand::Reg(tmp),
+                                idx.expect("random has index") as i32,
+                            );
+                            b.shl(addr, Operand::Reg(tmp), Operand::Imm(2));
+                        }
                     }
-                    AccessPattern::Strided(s) => {
-                        b.mad(tmp, Operand::Reg(i), Operand::Imm(self.loads_per_iter), Operand::Imm(l));
-                        b.mad(tmp, Operand::Reg(tmp), Operand::Imm(n), Operand::Reg(gid));
-                        b.mul(tmp, Operand::Reg(tmp), Operand::Imm(s.max(1)));
-                        b.rem(tmp, Operand::Reg(tmp), Operand::Imm(words));
-                        b.shl(addr, Operand::Reg(tmp), Operand::Imm(2));
-                    }
-                    AccessPattern::Random => {
-                        // Chase through the index array, offset by the
-                        // running accumulator so iterations depend on the
-                        // previous load.
-                        b.add(tmp, Operand::Reg(gid), Operand::Reg(acc));
-                        b.rem(tmp, Operand::Reg(tmp), Operand::Imm(n));
-                        b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
-                        b.ld_global(tmp, Operand::Reg(tmp), idx.expect("random has index") as i32);
-                        b.shl(addr, Operand::Reg(tmp), Operand::Imm(2));
+                    b.ld_global(v, Operand::Reg(addr), data as i32);
+                    b.add(acc, Operand::Reg(acc), Operand::Reg(v));
+                    for _ in 0..self.alu_per_load {
+                        b.mad(acc, Operand::Reg(acc), Operand::Imm(3), Operand::Imm(1));
                     }
                 }
-                b.ld_global(v, Operand::Reg(addr), data as i32);
-                b.add(acc, Operand::Reg(acc), Operand::Reg(v));
-                for _ in 0..self.alu_per_load {
-                    b.mad(acc, Operand::Reg(acc), Operand::Imm(3), Operand::Imm(1));
+                if self.barrier_per_iter {
+                    b.bar();
                 }
-            }
-            if self.barrier_per_iter {
-                b.bar();
-            }
-        });
+            },
+        );
         b.shl(tmp, Operand::Reg(gid), Operand::Imm(2));
         b.st_global(Operand::Reg(tmp), out as i32, Operand::Reg(acc));
         if self.smem_bytes > 0 {
@@ -165,7 +184,8 @@ impl SyntheticParams {
         }
         b.pad_regs(self.regs_per_thread);
         b.exit();
-        b.build(self.ctas, self.threads_per_cta).expect("synthetic kernel is valid")
+        b.build(self.ctas, self.threads_per_cta)
+            .expect("synthetic kernel is valid")
     }
 }
 
@@ -176,7 +196,11 @@ mod tests {
     use vt_isa::interp::Interpreter;
 
     fn tiny(p: SyntheticParams) -> SyntheticParams {
-        SyntheticParams { ctas: 4, iters: 2, ..p }
+        SyntheticParams {
+            ctas: 4,
+            iters: 2,
+            ..p
+        }
     }
 
     #[test]
@@ -202,8 +226,14 @@ mod tests {
     #[test]
     fn footprint_knobs_control_occupancy() {
         let core = CoreConfig::default();
-        let lean = tiny(SyntheticParams { regs_per_thread: 12, ..SyntheticParams::default() });
-        let fat = tiny(SyntheticParams { regs_per_thread: 96, ..SyntheticParams::default() });
+        let lean = tiny(SyntheticParams {
+            regs_per_thread: 12,
+            ..SyntheticParams::default()
+        });
+        let fat = tiny(SyntheticParams {
+            regs_per_thread: 96,
+            ..SyntheticParams::default()
+        });
         let occ_lean = occupancy::analyze(&core, &lean.build());
         let occ_fat = occupancy::analyze(&core, &fat.build());
         assert!(occ_lean.limiter.is_scheduling());

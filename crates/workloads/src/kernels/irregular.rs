@@ -24,8 +24,9 @@ pub fn bfs_like(scale: &Scale) -> Kernel {
     // warp's chase stays within a handful of cache lines the way BFS
     // frontier expansion over a partitioned graph does. The hop target is
     // random per block, so every chase is still an L2 round trip.
-    let block_jump: Vec<u32> =
-        (0..nodes / 64).map(|_| r.gen_range(0..nodes / 64) * 64).collect();
+    let block_jump: Vec<u32> = (0..nodes / 64)
+        .map(|_| r.gen_range(0..nodes / 64) * 64)
+        .collect();
     let mut b = KernelBuilder::new("bfs");
     let cols_data: Vec<u32> = (0..nodes)
         .map(|i| {
@@ -35,7 +36,9 @@ pub fn bfs_like(scale: &Scale) -> Kernel {
         .collect();
     let cols = b.alloc_global_init(&cols_data);
     let dist = b.alloc_global_init(
-        &(0..nodes).map(|_| r.gen_range(0u32..1_000_000)).collect::<Vec<_>>(),
+        &(0..nodes)
+            .map(|_| r.gen_range(0..1_000_000))
+            .collect::<Vec<_>>(),
     );
     let out = b.alloc_global(n as usize);
 
@@ -81,7 +84,9 @@ pub fn spmv_like(scale: &Scale) -> Kernel {
     let mut r = rng(0x0005_93a7);
     let mut b = KernelBuilder::new("spmv");
     let deg = b.alloc_global_init(
-        &(0..rows).map(|_| r.gen_range(1..=max_deg)).collect::<Vec<_>>(),
+        &(0..rows)
+            .map(|_| r.gen_range(1..max_deg + 1))
+            .collect::<Vec<_>>(),
     );
     // Banded sparsity: each row's columns fall in a 64-wide window around
     // its own block, like the diagonal-dominant matrices SpMV suites use.
@@ -95,10 +100,14 @@ pub fn spmv_like(scale: &Scale) -> Kernel {
         .collect();
     let cols = b.alloc_global_init(&cols);
     let vals = b.alloc_global_init(
-        &(0..rows * max_deg).map(|_| r.gen_range(0.1f32..2.0).to_bits()).collect::<Vec<_>>(),
+        &(0..rows * max_deg)
+            .map(|_| r.gen_range_f32(0.1..2.0).to_bits())
+            .collect::<Vec<_>>(),
     );
     let xvec = b.alloc_global_init(
-        &(0..rows).map(|_| r.gen_range(0.1f32..2.0).to_bits()).collect::<Vec<_>>(),
+        &(0..rows)
+            .map(|_| r.gen_range_f32(0.1..2.0).to_bits())
+            .collect::<Vec<_>>(),
     );
     let out = b.alloc_global(n as usize);
 
@@ -162,7 +171,13 @@ pub fn histo_like(scale: &Scale) -> Kernel {
         b.ld_global(v, Operand::Reg(off), data as i32);
         b.and_(bin, Operand::Reg(v), Operand::Imm(255));
         b.shl(bin, Operand::Reg(bin), Operand::Imm(2));
-        b.atom(AtomOp::Add, None, Operand::Reg(bin), hist as i32, Operand::Imm(1));
+        b.atom(
+            AtomOp::Add,
+            None,
+            Operand::Reg(bin),
+            hist as i32,
+            Operand::Imm(1),
+        );
     });
     b.pad_regs(10);
     b.build(ctas, threads).expect("histo kernel is valid")
@@ -180,8 +195,6 @@ pub fn histo_reference(scale: &Scale) -> Vec<u32> {
     }
     hist
 }
-
-use rand::Rng;
 
 #[cfg(test)]
 mod tests {

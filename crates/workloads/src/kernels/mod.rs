@@ -6,27 +6,28 @@ pub mod stencil;
 pub mod sync;
 
 pub(crate) mod util {
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use vt_prng::Prng;
 
     /// Deterministic RNG for workload data; every kernel derives its data
     /// from a fixed per-kernel seed so runs are reproducible.
-    pub fn rng(seed: u64) -> SmallRng {
-        SmallRng::seed_from_u64(seed)
+    pub fn rng(seed: u64) -> Prng {
+        Prng::new(seed)
     }
 
     /// `n` random indices in `[0, bound)`.
-    pub fn rand_indices(rng: &mut SmallRng, n: usize, bound: u32) -> Vec<u32> {
+    pub fn rand_indices(rng: &mut Prng, n: usize, bound: u32) -> Vec<u32> {
         (0..n).map(|_| rng.gen_range(0..bound.max(1))).collect()
     }
 
     /// `n` random words.
-    pub fn rand_words(rng: &mut SmallRng, n: usize) -> Vec<u32> {
-        (0..n).map(|_| rng.gen()).collect()
+    pub fn rand_words(rng: &mut Prng, n: usize) -> Vec<u32> {
+        (0..n).map(|_| rng.next_u32()).collect()
     }
 
     /// `n` random small floats as bit patterns.
-    pub fn rand_floats(rng: &mut SmallRng, n: usize) -> Vec<u32> {
-        (0..n).map(|_| (rng.gen_range(0.0f32..4.0)).to_bits()).collect()
+    pub fn rand_floats(rng: &mut Prng, n: usize) -> Vec<u32> {
+        (0..n)
+            .map(|_| (rng.gen_range_f32(0.0..4.0)).to_bits())
+            .collect()
     }
 }

@@ -135,9 +135,7 @@ pub fn pathfinder_like(scale: &Scale) -> Kernel {
     let n = ctas * threads;
     let mut r = rng(0x9a7f);
     let mut b = KernelBuilder::new("pathfinder");
-    let cost = b.alloc_global_init(
-        &(0..n).map(|_| r.gen_range(0u32..100)).collect::<Vec<_>>(),
-    );
+    let cost = b.alloc_global_init(&(0..n).map(|_| r.gen_range(0..100)).collect::<Vec<_>>());
     let out = b.alloc_global(n as usize);
     let wave = b.alloc_shared(threads);
 
@@ -175,8 +173,6 @@ pub fn pathfinder_like(scale: &Scale) -> Kernel {
     b.build(ctas, threads).expect("pathfinder kernel is valid")
 }
 
-use rand::Rng;
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -211,7 +207,12 @@ mod tests {
     fn hotspot_and_pathfinder_are_scheduling_limited() {
         for k in [hotspot_like(&tiny()), pathfinder_like(&tiny())] {
             let occ = occupancy::analyze(&CoreConfig::default(), &k);
-            assert!(occ.limiter.is_scheduling(), "{}: {:?}", k.name(), occ.limiter);
+            assert!(
+                occ.limiter.is_scheduling(),
+                "{}: {:?}",
+                k.name(),
+                occ.limiter
+            );
         }
     }
 

@@ -1,12 +1,11 @@
 //! The assembled 14-kernel suite with per-workload metadata.
 
 use crate::kernels::{dense, irregular, stencil, sync};
-use serde::{Deserialize, Serialize};
 use vt_isa::Kernel;
 
 /// Problem-size knob shared by every workload: grid size and inner
 /// iteration count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Scale {
     /// CTAs in the grid.
     pub ctas: u32,
@@ -28,12 +27,15 @@ impl Scale {
     /// The scale the experiment harness uses to regenerate the paper's
     /// figures: enough waves of CTAs per SM for steady-state behaviour.
     pub fn paper() -> Scale {
-        Scale { ctas: 360, iters: 8 }
+        Scale {
+            ctas: 360,
+            iters: 8,
+        }
     }
 }
 
 /// Which limit family binds a workload's baseline occupancy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LimiterClass {
     /// CTA or warp slots bind first — Virtual Thread's target population.
     Scheduling,
@@ -173,10 +175,18 @@ mod tests {
             let is_sched = occ.limiter.is_scheduling();
             match w.class {
                 LimiterClass::Scheduling => {
-                    assert!(is_sched, "{} declared scheduling but is {:?}", w.name, occ.limiter)
+                    assert!(
+                        is_sched,
+                        "{} declared scheduling but is {:?}",
+                        w.name, occ.limiter
+                    )
                 }
                 LimiterClass::Capacity => {
-                    assert!(!is_sched, "{} declared capacity but is {:?}", w.name, occ.limiter)
+                    assert!(
+                        !is_sched,
+                        "{} declared capacity but is {:?}",
+                        w.name, occ.limiter
+                    )
                 }
             }
         }
@@ -185,8 +195,15 @@ mod tests {
     #[test]
     fn majority_is_scheduling_limited_like_the_paper_claims() {
         let s = suite(&Scale::test());
-        let sched = s.iter().filter(|w| w.class == LimiterClass::Scheduling).count();
-        assert!(sched * 2 > s.len(), "{sched}/{} scheduling-limited", s.len());
+        let sched = s
+            .iter()
+            .filter(|w| w.class == LimiterClass::Scheduling)
+            .count();
+        assert!(
+            sched * 2 > s.len(),
+            "{sched}/{} scheduling-limited",
+            s.len()
+        );
     }
 
     #[test]

@@ -29,7 +29,11 @@ const SRC: &str = r"
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kernel = assemble(SRC)?;
-    println!("assembled `{}` ({} instructions):\n", kernel.name(), kernel.program().len());
+    println!(
+        "assembled `{}` ({} instructions):\n",
+        kernel.name(),
+        kernel.program().len()
+    );
     println!("{}", disassemble(kernel.program()));
 
     // Functional oracle.

@@ -12,7 +12,10 @@ use vt_isa::op::Operand;
 use vt_isa::KernelBuilder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let iterations: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(5);
+    let iterations: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
     let n = 16 * 1024u32;
 
     // One relaxation sweep: x[i] = (x[i] + x[(i+1) mod n]) / 2, staged
@@ -33,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         b.ld_global(c, Operand::Reg(c), (buf + 4 * n * src_half) as i32);
         b.add(a, Operand::Reg(a), Operand::Reg(c));
         b.shr(a, Operand::Reg(a), Operand::Imm(1));
-        b.st_global(Operand::Reg(off), (buf + 4 * n * dst_half) as i32, Operand::Reg(a));
+        b.st_global(
+            Operand::Reg(off),
+            (buf + 4 * n * dst_half) as i32,
+            Operand::Reg(a),
+        );
         b.build(n / 64, 64).expect("sweep kernel is valid")
     };
     let sweep_ab = build_sweep(0, 1);

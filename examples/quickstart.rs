@@ -41,8 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kernel = b.build(480, 64)?; // 480 CTAs of 64 threads
 
     println!("kernel `{}`:", kernel.name());
-    println!("  {} CTAs x {} threads, {} regs/thread", kernel.num_ctas(),
-             kernel.threads_per_cta(), kernel.regs_per_thread());
+    println!(
+        "  {} CTAs x {} threads, {} regs/thread",
+        kernel.num_ctas(),
+        kernel.threads_per_cta(),
+        kernel.regs_per_thread()
+    );
 
     // What limits its occupancy?
     let gpu = Gpu::new(GpuConfig::default());

@@ -10,8 +10,13 @@ use vt_core::{Architecture, Gpu, GpuConfig, SchedPolicy};
 use vt_workloads::{suite, Scale};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "streamcluster".to_string());
-    let workloads = suite(&Scale { ctas: 240, iters: 4 });
+    let which = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "streamcluster".to_string());
+    let workloads = suite(&Scale {
+        ctas: 240,
+        iters: 4,
+    });
     let w = workloads
         .iter()
         .find(|w| w.name == which)

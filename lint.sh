@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Repository lint gate: formatting, clippy (warnings are errors), and
+# the static kernel analyzer over the built-in workload suite.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== vtlint --suite"
+cargo run -q -p vt-analysis --bin vtlint -- --suite
+
+echo "lint: OK"

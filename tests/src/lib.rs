@@ -7,7 +7,10 @@ use vt_isa::Kernel;
 /// exercising multi-SM dispatch, the shared L2 and DRAM contention.
 pub fn small_config(arch: Architecture) -> GpuConfig {
     GpuConfig {
-        core: CoreConfig { num_sms: 2, ..CoreConfig::default() },
+        core: CoreConfig {
+            num_sms: 2,
+            ..CoreConfig::default()
+        },
         mem: MemConfig::default(),
         arch,
     }

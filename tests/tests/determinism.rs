@@ -28,7 +28,10 @@ fn suite_construction_is_reproducible() {
 
 #[test]
 fn synthetic_generator_is_reproducible() {
-    let p = SyntheticParams { ctas: 6, ..SyntheticParams::latency_bound() };
+    let p = SyntheticParams {
+        ctas: 6,
+        ..SyntheticParams::latency_bound()
+    };
     assert_eq!(p.build(), p.build());
 }
 

@@ -20,7 +20,10 @@ fn latency_bound() -> vt_isa::Kernel {
 
 #[test]
 fn baseline_never_exceeds_scheduling_limit() {
-    let core = CoreConfig { num_sms: 2, ..CoreConfig::default() };
+    let core = CoreConfig {
+        num_sms: 2,
+        ..CoreConfig::default()
+    };
     for w in suite(&Scale::test()) {
         let r = run(Architecture::Baseline, &w.kernel);
         let occ = &r.stats.occupancy;
@@ -40,7 +43,10 @@ fn baseline_never_exceeds_scheduling_limit() {
 
 #[test]
 fn vt_respects_active_limit_while_exceeding_residency() {
-    let core = CoreConfig { num_sms: 2, ..CoreConfig::default() };
+    let core = CoreConfig {
+        num_sms: 2,
+        ..CoreConfig::default()
+    };
     let k = latency_bound();
     let r = run(Architecture::virtual_thread(), &k);
     let occ = &r.stats.occupancy;
@@ -79,7 +85,10 @@ fn performance_ordering_on_latency_bound_kernel() {
         ideal.stats.cycles,
         vt.stats.cycles
     );
-    assert!(memswap.stats.cycles >= vt.stats.cycles, "memswap pays more per switch");
+    assert!(
+        memswap.stats.cycles >= vt.stats.cycles,
+        "memswap pays more per switch"
+    );
     assert!(vt.stats.swaps.swaps_out > 0);
     assert!(vt.stats.swaps.swaps_in <= vt.stats.swaps.swaps_out);
 }
@@ -93,7 +102,11 @@ fn capacity_limited_kernels_are_untouched_by_vt() {
         let base = run(Architecture::Baseline, &w.kernel);
         let vt = run(Architecture::virtual_thread(), &w.kernel);
         assert_eq!(base.stats.cycles, vt.stats.cycles, "{}", w.name);
-        assert_eq!(vt.stats.swaps.swaps_out, 0, "{}: nothing to swap against", w.name);
+        assert_eq!(
+            vt.stats.swaps.swaps_out, 0,
+            "{}: nothing to swap against",
+            w.name
+        );
     }
 }
 
@@ -103,7 +116,9 @@ fn oversized_cta_is_rejected_at_launch() {
     b.pad_regs(200);
     b.exit();
     let k = b.build(1, 1536).unwrap();
-    let err = Gpu::new(small_config(Architecture::Baseline)).run(&k).unwrap_err();
+    let err = Gpu::new(small_config(Architecture::Baseline))
+        .run(&k)
+        .unwrap_err();
     assert!(matches!(err, SimError::Launch(_)), "got {err}");
 }
 
@@ -122,8 +137,17 @@ fn watchdog_aborts_runaway_kernels() {
 fn idle_cycles_never_exceed_sm_cycles() {
     for w in suite(&Scale::test()) {
         let r = run(Architecture::virtual_thread(), &w.kernel);
-        assert!(r.stats.idle.total() <= r.stats.occupancy.sm_cycles, "{}", w.name);
-        assert_eq!(r.stats.occupancy.sm_cycles, r.stats.cycles * 2, "{}", w.name);
+        assert!(
+            r.stats.idle.total() <= r.stats.occupancy.sm_cycles,
+            "{}",
+            w.name
+        );
+        assert_eq!(
+            r.stats.occupancy.sm_cycles,
+            r.stats.cycles * 2,
+            "{}",
+            w.name
+        );
     }
 }
 
@@ -142,7 +166,9 @@ fn swap_accounting_is_consistent() {
 #[test]
 fn report_exposes_resolved_residency() {
     let k = latency_bound();
-    let r = Gpu::new(GpuConfig::with_arch(Architecture::virtual_thread())).run(&k).unwrap();
+    let r = Gpu::new(GpuConfig::with_arch(Architecture::virtual_thread()))
+        .run(&k)
+        .unwrap();
     assert!(r.residency.swap.is_some());
     let base = Gpu::new(GpuConfig::default()).run(&k).unwrap();
     assert!(base.residency.swap.is_none());

@@ -1,89 +1,90 @@
-//! Property-based integration tests: random synthetic kernels and random
+//! Randomized integration tests: random synthetic kernels and random
 //! straight-line programs must agree between the cycle-level simulator
 //! and the reference interpreter, and random architecture parameters must
-//! preserve functional results.
+//! preserve functional results. Driven by the deterministic
+//! [`vt_prng::Prng`] so runs are reproducible offline.
 
-use proptest::prelude::*;
 use vt_core::{Architecture, SwapTrigger, VtParams};
 use vt_isa::interp::Interpreter;
 use vt_isa::op::{AluOp, Operand, Reg, Sreg};
 use vt_isa::{Kernel, KernelBuilder};
+use vt_prng::Prng;
 use vt_tests::run;
 use vt_workloads::{AccessPattern, SyntheticParams};
 
-fn access_strategy() -> impl Strategy<Value = AccessPattern> {
-    prop_oneof![
-        Just(AccessPattern::Coalesced),
-        (1u32..64).prop_map(AccessPattern::Strided),
-        Just(AccessPattern::Random),
-    ]
+fn gen_access(r: &mut Prng) -> AccessPattern {
+    match r.gen_range(0..3) {
+        0 => AccessPattern::Coalesced,
+        1 => AccessPattern::Strided(r.gen_range(1..64)),
+        _ => AccessPattern::Random,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
-
-    #[test]
-    fn synthetic_kernels_match_interpreter(
-        threads in prop_oneof![Just(32u32), Just(48), Just(64), Just(128)],
-        ctas in 2u32..8,
-        iters in 1u32..5,
-        loads in 1u32..4,
-        alu in 0u32..6,
-        access in access_strategy(),
-        barrier in any::<bool>(),
-    ) {
+#[test]
+fn synthetic_kernels_match_interpreter() {
+    let mut r = Prng::new(0x515);
+    for case in 0..12 {
+        let barrier = r.gen_bool(0.5);
         let p = SyntheticParams {
             name: "prop".to_string(),
-            ctas,
-            threads_per_cta: threads,
+            ctas: r.gen_range(2..8),
+            threads_per_cta: *r.choose(&[32u32, 48, 64, 128]),
             regs_per_thread: 16,
             smem_bytes: if barrier { 256 } else { 0 },
-            iters,
-            loads_per_iter: loads,
-            alu_per_load: alu,
-            access,
+            iters: r.gen_range(1..5),
+            loads_per_iter: r.gen_range(1..4),
+            alu_per_load: r.gen_range(0..6),
+            access: gen_access(&mut r),
             barrier_per_iter: barrier,
         };
         let kernel = p.build();
         let reference = Interpreter::new(&kernel).unwrap().run().unwrap();
         for arch in [Architecture::Baseline, Architecture::virtual_thread()] {
             let report = run(arch, &kernel);
-            prop_assert_eq!(
+            assert_eq!(
                 report.mem_image.as_words(),
                 reference.mem().as_words(),
-                "arch {}", arch.label()
+                "case {case}: arch {} params {p:?}",
+                arch.label()
             );
         }
     }
+}
 
-    #[test]
-    fn random_vt_parameters_preserve_functionality(
-        max_virtual in prop_oneof![Just(None), (9u32..40).prop_map(Some)],
-        buffer_width in 1u32..64,
-        stack_entries in 1u32..32,
-        trigger in prop_oneof![
-            Just(SwapTrigger::AllWarpsStalled),
-            Just(SwapTrigger::AnyWarpStalled),
-            Just(SwapTrigger::Never),
-        ],
-    ) {
-        let kernel = SyntheticParams {
-            ctas: 24,
-            access: AccessPattern::Random,
-            ..SyntheticParams::default()
-        }
-        .build();
-        let reference = Interpreter::new(&kernel).unwrap().run().unwrap();
+#[test]
+fn random_vt_parameters_preserve_functionality() {
+    let mut r = Prng::new(0xf7a);
+    let kernel = SyntheticParams {
+        ctas: 24,
+        access: AccessPattern::Random,
+        ..SyntheticParams::default()
+    }
+    .build();
+    let reference = Interpreter::new(&kernel).unwrap().run().unwrap();
+    for case in 0..12 {
+        let max_virtual = if r.gen_bool(0.3) {
+            None
+        } else {
+            Some(r.gen_range(9..40))
+        };
         let arch = Architecture::VirtualThread(VtParams {
             max_virtual_ctas: max_virtual,
-            buffer_words_per_cycle: buffer_width,
-            stack_entries_per_warp: stack_entries,
-            trigger,
+            buffer_words_per_cycle: r.gen_range(1..64),
+            stack_entries_per_warp: r.gen_range(1..32),
+            trigger: *r.choose(&[
+                SwapTrigger::AllWarpsStalled,
+                SwapTrigger::AnyWarpStalled,
+                SwapTrigger::Never,
+            ]),
             ..VtParams::default()
         });
         let report = run(arch, &kernel);
-        prop_assert_eq!(report.mem_image.as_words(), reference.mem().as_words());
-        prop_assert_eq!(report.stats.ctas_completed, 24);
+        assert_eq!(
+            report.mem_image.as_words(),
+            reference.mem().as_words(),
+            "case {case}: {max_virtual:?}"
+        );
+        assert_eq!(report.stats.ctas_completed, 24);
     }
 }
 
@@ -95,7 +96,12 @@ fn straight_line(ops: &[(u8, u8, u8, u8)]) -> Kernel {
     let regs: Vec<Reg> = (0..REGS).map(|_| b.reg()).collect();
     // Seed registers with thread-dependent values.
     for (i, r) in regs.iter().enumerate() {
-        b.mad(*r, Operand::Sreg(Sreg::Tid), Operand::Imm(i as u32 + 1), Operand::Imm(7));
+        b.mad(
+            *r,
+            Operand::Sreg(Sreg::Tid),
+            Operand::Imm(i as u32 + 1),
+            Operand::Imm(7),
+        );
     }
     let table: &[AluOp] = &[
         AluOp::Add,
@@ -134,16 +140,23 @@ fn straight_line(ops: &[(u8, u8, u8, u8)]) -> Kernel {
     b.build(2, 32).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    #[test]
-    fn random_alu_programs_match_interpreter(
-        ops in proptest::collection::vec(any::<(u8, u8, u8, u8)>(), 1..40),
-    ) {
+#[test]
+fn random_alu_programs_match_interpreter() {
+    let mut r = Prng::new(0xa1b);
+    for case in 0..24 {
+        let ops: Vec<(u8, u8, u8, u8)> = (0..r.gen_range_usize(1..40))
+            .map(|_| {
+                let w = r.next_u32();
+                (w as u8, (w >> 8) as u8, (w >> 16) as u8, (w >> 24) as u8)
+            })
+            .collect();
         let kernel = straight_line(&ops);
         let reference = Interpreter::new(&kernel).unwrap().run().unwrap();
         let report = run(Architecture::Baseline, &kernel);
-        prop_assert_eq!(report.mem_image.as_words(), reference.mem().as_words());
+        assert_eq!(
+            report.mem_image.as_words(),
+            reference.mem().as_words(),
+            "case {case}"
+        );
     }
 }

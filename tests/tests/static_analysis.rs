@@ -1,0 +1,101 @@
+//! The static analyzer against the real workload suite: every shipped
+//! kernel must lint clean of errors, the analyzer's register-pressure
+//! estimate must stay within the declared footprint, and the assembler
+//! must round-trip every builder-generated program.
+
+use vt_analysis::{analyze, Severity};
+use vt_isa::asm::{assemble_program, disassemble};
+use vt_prng::Prng;
+use vt_workloads::{suite, AccessPattern, Scale, SyntheticParams};
+
+#[test]
+fn suite_kernels_have_no_analysis_errors() {
+    for w in suite(&Scale::test()) {
+        let report = analyze(&w.kernel);
+        let errors: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        assert!(errors.is_empty(), "{}: {errors:?}", w.name);
+    }
+}
+
+#[test]
+fn suite_register_declarations_cover_the_analyzer_estimate() {
+    for w in suite(&Scale::test()) {
+        let report = analyze(&w.kernel);
+        assert!(
+            report.used_regs <= report.declared_regs,
+            "{}: uses r0..r{} but declares only {}",
+            w.name,
+            report.used_regs.saturating_sub(1),
+            report.declared_regs,
+        );
+        assert!(
+            report.register_pressure <= report.declared_regs,
+            "{}: pressure {} exceeds declared {}",
+            w.name,
+            report.register_pressure,
+            report.declared_regs,
+        );
+        // Pressure never exceeds the number of distinct registers.
+        assert!(report.register_pressure <= report.used_regs, "{}", w.name);
+    }
+}
+
+#[test]
+fn suite_barrier_counts_match_kernel_structure() {
+    for w in suite(&Scale::test()) {
+        let report = analyze(&w.kernel);
+        assert_eq!(report.barrier_intervals, report.barriers + 1, "{}", w.name);
+    }
+}
+
+#[test]
+fn assembler_round_trips_every_suite_kernel() {
+    for w in suite(&Scale::test()) {
+        let text = disassemble(w.kernel.program());
+        let back = assemble_program(&text)
+            .unwrap_or_else(|e| panic!("{}: reassembly failed: {e}", w.name));
+        assert_eq!(
+            &back,
+            w.kernel.program(),
+            "{}: round trip changed the program",
+            w.name
+        );
+    }
+}
+
+#[test]
+fn assembler_round_trips_random_synthetic_kernels() {
+    let mut r = Prng::new(0xa5a5);
+    for case in 0..24 {
+        let barrier = r.gen_bool(0.5);
+        let p = SyntheticParams {
+            name: format!("rt{case}"),
+            ctas: r.gen_range(1..6),
+            threads_per_cta: *r.choose(&[32u32, 64, 96]),
+            regs_per_thread: r.gen_range(4..32) as u16,
+            smem_bytes: if barrier { 256 } else { 0 },
+            iters: r.gen_range(1..4),
+            loads_per_iter: r.gen_range(1..4),
+            alu_per_load: r.gen_range(0..5),
+            access: match r.gen_range(0..3) {
+                0 => AccessPattern::Coalesced,
+                1 => AccessPattern::Strided(r.gen_range(1..32)),
+                _ => AccessPattern::Random,
+            },
+            barrier_per_iter: barrier,
+        };
+        let kernel = p.build();
+        let text = disassemble(kernel.program());
+        let back = assemble_program(&text)
+            .unwrap_or_else(|e| panic!("case {case}: reassembly failed: {e}"));
+        assert_eq!(
+            &back,
+            kernel.program(),
+            "case {case}: round trip changed the program"
+        );
+    }
+}

@@ -19,7 +19,10 @@ fn histo_histogram_matches_cpu_reference_under_vt() {
     let r = run(Architecture::virtual_thread(), &k);
     let hist = r.mem_image.load_words(0, 256);
     assert_eq!(hist, irregular::histo_reference(&s).as_slice());
-    assert_eq!(hist.iter().map(|&v| u64::from(v)).sum::<u64>(), 6 * 128 * 2u64);
+    assert_eq!(
+        hist.iter().map(|&v| u64::from(v)).sum::<u64>(),
+        6 * 128 * 2u64
+    );
 }
 
 #[test]
@@ -48,15 +51,24 @@ fn barrier_kernels_actually_use_barriers() {
 
 #[test]
 fn divergent_kernels_report_divergence() {
-    let spmv = suite(&tiny()).into_iter().find(|w| w.name == "spmv").unwrap();
+    let spmv = suite(&tiny())
+        .into_iter()
+        .find(|w| w.name == "spmv")
+        .unwrap();
     let r = run(Architecture::Baseline, &spmv.kernel);
-    assert!(r.stats.divergent_branches > 0, "variable-degree rows diverge");
+    assert!(
+        r.stats.divergent_branches > 0,
+        "variable-degree rows diverge"
+    );
     assert!(r.stats.max_simt_depth >= 3);
 }
 
 #[test]
 fn atomic_kernels_produce_atomic_traffic() {
-    let histo = suite(&tiny()).into_iter().find(|w| w.name == "histo").unwrap();
+    let histo = suite(&tiny())
+        .into_iter()
+        .find(|w| w.name == "histo")
+        .unwrap();
     let r = run(Architecture::Baseline, &histo.kernel);
     // The counter is per *transaction*: a warp's 32 atomics coalesce into
     // at most 8 line-granular transactions (256 bins = 8 lines), at least
@@ -72,7 +84,10 @@ fn capacity_kernels_have_zero_virtualization_effect_on_memory_traffic() {
         let w = suite(&tiny()).into_iter().find(|w| w.name == name).unwrap();
         let base = run(Architecture::Baseline, &w.kernel);
         let vt = run(Architecture::virtual_thread(), &w.kernel);
-        assert_eq!(base.stats.mem, vt.stats.mem, "{name}: identical memory behaviour");
+        assert_eq!(
+            base.stats.mem, vt.stats.mem,
+            "{name}: identical memory behaviour"
+        );
     }
 }
 

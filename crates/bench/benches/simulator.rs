@@ -17,6 +17,7 @@ use vt_mem::cache::Cache;
 use vt_mem::coalesce::{coalesce, shared_bank_conflicts};
 use vt_mem::mshr::Mshr;
 use vt_mem::{MemConfig, MemSystem, ReqKind};
+use vt_trace::RingSink;
 use vt_workloads::{suite, Scale};
 
 /// Times `f` over `iters` iterations (after `iters / 10 + 1` warm-up
@@ -138,6 +139,36 @@ fn bench_end_to_end() {
     });
 }
 
+/// Guard for the zero-overhead-tracing claim: `Gpu::run` (NullSink,
+/// instrumentation monomorphized away) must track the pre-instrumentation
+/// simulation speed, while an attached `RingSink` shows the real cost of
+/// recording events.
+fn bench_tracing_overhead() {
+    let scale = Scale { ctas: 30, iters: 4 };
+    let kernel = suite(&scale)
+        .into_iter()
+        .find(|w| w.name == "spmv")
+        .expect("suite contains spmv")
+        .kernel;
+    let mut cfg = GpuConfig::default();
+    cfg.core.num_sms = 4;
+    cfg.arch = Architecture::virtual_thread();
+    let gpu = Gpu::new(cfg);
+
+    bench("trace/spmv-disabled", 10, || {
+        gpu.run(&kernel).expect("run succeeds").stats.cycles
+    });
+    bench("trace/spmv-ring-sink", 10, || {
+        let mut sink = RingSink::new(1 << 20);
+        let cycles = gpu
+            .run_traced(&kernel, &mut sink)
+            .expect("run succeeds")
+            .stats
+            .cycles;
+        (cycles, sink.len())
+    });
+}
+
 fn main() {
     println!("{:<32} {:>12}", "benchmark", "mean");
     bench_coalescer();
@@ -145,4 +176,5 @@ fn main() {
     bench_cache();
     bench_mem_system();
     bench_end_to_end();
+    bench_tracing_overhead();
 }

@@ -28,12 +28,16 @@ struct TimelineRecord {
     interval: u64,
     resident_warps: Vec<f32>,
     active_warps: Vec<f32>,
+    reg_util: Vec<f32>,
+    smem_util: Vec<f32>,
 }
 
 vt_json::impl_to_json!(TimelineRecord {
     interval,
     resident_warps,
-    active_warps
+    active_warps,
+    reg_util,
+    smem_util
 });
 
 impl From<&Timeline> for TimelineRecord {
@@ -42,6 +46,8 @@ impl From<&Timeline> for TimelineRecord {
             interval: t.interval,
             resident_warps: t.resident_warps.clone(),
             active_warps: t.active_warps.clone(),
+            reg_util: t.reg_util.clone(),
+            smem_util: t.smem_util.clone(),
         }
     }
 }
@@ -113,6 +119,20 @@ fn main() {
         h.core.max_warps_per_sm,
         vt.stats.occupancy.avg_active_warps(),
     ));
+    let mean = |xs: &[f32]| {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f32>() / xs.len() as f32
+        }
+    };
+    human.push_str(&format!(
+        "\nmean regfile util: baseline {:.0}%, vt {:.0}%; mean smem util: baseline {:.0}%, vt {:.0}%",
+        mean(&tl_base.reg_util) * 100.0,
+        mean(&tl_vt.reg_util) * 100.0,
+        mean(&tl_base.smem_util) * 100.0,
+        mean(&tl_vt.smem_util) * 100.0,
+    ));
     h.emit(
         "fig10_timeline",
         &human,
@@ -137,5 +157,18 @@ fn main() {
             .iter()
             .all(|&a| a <= h.core.max_warps_per_sm as f32 + 1e-3),
         "active warps never exceed the scheduling limit"
+    );
+    for tl in [&tl_base, &tl_vt] {
+        assert!(
+            tl.reg_util
+                .iter()
+                .chain(&tl.smem_util)
+                .all(|&u| (0.0..=1.0).contains(&u)),
+            "resource utilisation samples are fractions of capacity"
+        );
+    }
+    assert!(
+        mean(&tl_vt.reg_util) >= mean(&tl_base.reg_util),
+        "VT keeps the register file at least as full as the baseline"
     );
 }

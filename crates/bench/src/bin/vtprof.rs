@@ -1,0 +1,314 @@
+//! `vtprof` — trace-driven profiler for the simulator.
+//!
+//! Runs suite kernels under a named architecture with event tracing
+//! enabled, exports a Chrome-trace-event JSON per run (loadable in
+//! Perfetto / `chrome://tracing`) and prints a latency/occupancy metrics
+//! summary.
+//!
+//! ```text
+//! cargo run --release -p vt-bench --bin vtprof                 # all kernels
+//! cargo run --release -p vt-bench --bin vtprof -- bfs spmv --arch vt
+//! cargo run --release -p vt-bench --bin vtprof -- bfs --check  # validate
+//! ```
+//!
+//! Exit codes: 0 success, 1 a `--check` validation failed, 2 usage or
+//! simulation error.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use vt_core::{Architecture, Gpu, GpuConfig, MemSwapParams};
+use vt_json::Json;
+use vt_trace::{to_chrome_json, validate, Gauge, Histogram, RingSink, TimedEvent};
+use vt_workloads::{suite, Scale, Workload};
+
+const USAGE: &str = "\
+usage: vtprof [KERNEL...] [options]
+
+Runs suite kernels with cycle-accurate event tracing, writes one
+Chrome-trace JSON per run and prints a metrics summary.
+
+options:
+  --arch baseline|vt|ideal|memswap   architecture to run (default vt)
+  --scale test|small|paper           problem scale (default test)
+  --sms N                            number of SMs (default config's 15)
+  --out DIR                          trace output directory (default traces/)
+  --ring N                           ring-buffer capacity in events (default 1048576)
+  --check                            fail (exit 1) on validation errors or
+                                     dropped events
+  --json                             machine-readable metrics on stdout
+  --list                             list suite kernel names and exit
+  -h, --help                         this help";
+
+struct Opts {
+    kernels: Vec<String>,
+    arch: Architecture,
+    scale: Scale,
+    sms: Option<u32>,
+    out: PathBuf,
+    ring: usize,
+    check: bool,
+    json: bool,
+}
+
+fn parse_args() -> Result<Option<Opts>, String> {
+    let mut o = Opts {
+        kernels: Vec::new(),
+        arch: Architecture::virtual_thread(),
+        scale: Scale::test(),
+        sms: None,
+        out: PathBuf::from("traces"),
+        ring: 1 << 20,
+        check: false,
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let mut list = false;
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match a.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--list" => list = true,
+            "--check" => o.check = true,
+            "--json" => o.json = true,
+            "--arch" => {
+                o.arch = match value("--arch")?.as_str() {
+                    "baseline" => Architecture::Baseline,
+                    "vt" => Architecture::virtual_thread(),
+                    "ideal" => Architecture::Ideal,
+                    "memswap" => Architecture::MemSwap(MemSwapParams::default()),
+                    other => return Err(format!("unknown architecture `{other}`")),
+                };
+            }
+            "--scale" => {
+                o.scale = match value("--scale")?.as_str() {
+                    "test" => Scale::test(),
+                    "small" => Scale::small(),
+                    "paper" => Scale::paper(),
+                    other => return Err(format!("unknown scale `{other}`")),
+                };
+            }
+            "--sms" => {
+                o.sms = Some(value("--sms")?.parse().map_err(|e| format!("--sms: {e}"))?);
+            }
+            "--out" => o.out = PathBuf::from(value("--out")?),
+            "--ring" => {
+                o.ring = value("--ring")?
+                    .parse()
+                    .map_err(|e| format!("--ring: {e}"))?;
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            name => o.kernels.push(name.to_string()),
+        }
+    }
+    if list {
+        for w in suite(&Scale::test()) {
+            println!("{}", w.name);
+        }
+        return Ok(None);
+    }
+    Ok(Some(o))
+}
+
+fn select<'a>(all: &'a [Workload], names: &[String]) -> Result<Vec<&'a Workload>, String> {
+    if names.is_empty() {
+        return Ok(all.iter().collect());
+    }
+    names
+        .iter()
+        .map(|n| {
+            all.iter()
+                .find(|w| w.name == n)
+                .ok_or(format!("unknown kernel `{n}` (try --list)"))
+        })
+        .collect()
+}
+
+fn hist_json(h: &Histogram) -> Json {
+    Json::object(vec![
+        ("count".into(), Json::UInt(h.count)),
+        ("mean".into(), Json::Float(h.mean())),
+        (
+            "min".into(),
+            Json::UInt(if h.is_empty() { 0 } else { h.min }),
+        ),
+        ("p50".into(), Json::UInt(h.percentile(50.0))),
+        ("p99".into(), Json::UInt(h.percentile(99.0))),
+        ("max".into(), Json::UInt(h.max)),
+    ])
+}
+
+fn gauge_json(g: &Gauge) -> Json {
+    Json::object(vec![
+        ("samples".into(), Json::UInt(g.samples)),
+        ("mean".into(), Json::Float(g.mean())),
+        ("max".into(), Json::UInt(g.max)),
+    ])
+}
+
+fn hist_line(name: &str, h: &Histogram) -> String {
+    if h.is_empty() {
+        return format!("  {name:<18} (no samples)");
+    }
+    format!(
+        "  {name:<18} n={:<8} mean={:<9.1} p50={:<7} p99={:<8} max={}",
+        h.count,
+        h.mean(),
+        h.percentile(50.0),
+        h.percentile(99.0),
+        h.max
+    )
+}
+
+struct RunOutcome {
+    metrics: Json,
+    check_failed: bool,
+}
+
+fn profile_one(w: &Workload, opts: &Opts, gpu: &Gpu) -> Result<RunOutcome, String> {
+    let mut sink = RingSink::new(opts.ring);
+    let report = gpu
+        .run_traced(&w.kernel, &mut sink)
+        .map_err(|e| format!("{}: {e}", w.name))?;
+    let dropped = sink.dropped();
+    let events: Vec<TimedEvent> = sink.into_events();
+
+    // A full ring cannot validate (span begins fell off the front), so
+    // only check structure for complete traces; a lossy trace is itself a
+    // `--check` failure.
+    let complete = dropped == 0;
+    let issues: Vec<String> = if complete {
+        match validate(&events) {
+            Ok(_) => Vec::new(),
+            Err(errors) => errors,
+        }
+    } else {
+        Vec::new()
+    };
+    let check_failed = opts.check && !(complete && issues.is_empty());
+
+    fs::create_dir_all(&opts.out).map_err(|e| format!("cannot create {:?}: {e}", opts.out))?;
+    let path = opts
+        .out
+        .join(format!("{}.{}.trace.json", w.name, report.arch.label()));
+    fs::write(&path, to_chrome_json(&events).compact())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+
+    let s = &report.stats;
+    let metrics = Json::object(vec![
+        ("kernel".into(), Json::Str(w.name.to_string())),
+        ("arch".into(), Json::Str(report.arch.label().to_string())),
+        ("cycles".into(), Json::UInt(s.cycles)),
+        ("ipc".into(), Json::Float(s.ipc())),
+        ("warp_instrs".into(), Json::UInt(s.warp_instrs)),
+        ("ctas_completed".into(), Json::UInt(s.ctas_completed)),
+        ("issue_cycles".into(), Json::UInt(s.issue_cycles)),
+        ("idle_cycles".into(), Json::UInt(s.idle.total())),
+        ("swaps_out".into(), Json::UInt(s.swaps.swaps_out)),
+        ("swaps_in".into(), Json::UInt(s.swaps.swaps_in)),
+        ("load_latency".into(), hist_json(&s.mem.load_latency)),
+        ("swap_duration".into(), hist_json(&s.swap_duration)),
+        ("swap_gap".into(), hist_json(&s.swap_gap)),
+        ("barrier_wait".into(), hist_json(&s.barrier_wait)),
+        ("mshr_occupancy".into(), gauge_json(&s.mem.mshr_occupancy)),
+        ("ldst_queue".into(), gauge_json(&s.ldst_queue)),
+        ("events".into(), Json::UInt(events.len() as u64)),
+        ("events_dropped".into(), Json::UInt(dropped)),
+        (
+            "validation_errors".into(),
+            Json::Array(issues.iter().cloned().map(Json::Str).collect()),
+        ),
+        ("trace".into(), Json::Str(path.display().to_string())),
+    ]);
+
+    if !opts.json {
+        println!(
+            "{} [{}]: {} cycles, ipc {:.2}, {} events -> {}",
+            w.name,
+            report.arch.label(),
+            s.cycles,
+            s.ipc(),
+            events.len(),
+            path.display()
+        );
+        println!("{}", hist_line("load_latency", &s.mem.load_latency));
+        println!("{}", hist_line("swap_duration", &s.swap_duration));
+        println!("{}", hist_line("swap_gap", &s.swap_gap));
+        println!("{}", hist_line("barrier_wait", &s.barrier_wait));
+        println!(
+            "  {:<18} mean={:<9.1} max={}",
+            "mshr_occupancy",
+            s.mem.mshr_occupancy.mean(),
+            s.mem.mshr_occupancy.max
+        );
+        println!(
+            "  {:<18} mean={:<9.1} max={}",
+            "ldst_queue",
+            s.ldst_queue.mean(),
+            s.ldst_queue.max
+        );
+        if dropped > 0 {
+            println!("  WARNING: ring overflow, {dropped} events dropped (raise --ring)");
+        }
+        for issue in &issues {
+            println!("  INVALID: {issue}");
+        }
+        if opts.check && issues.is_empty() && dropped == 0 {
+            println!("  check: ok ({} events)", events.len());
+        }
+    }
+    Ok(RunOutcome {
+        metrics,
+        check_failed,
+    })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(Some(o)) => o,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("vtprof: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let all = suite(&opts.scale);
+    let picked = match select(&all, &opts.kernels) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("vtprof: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut cfg = GpuConfig::with_arch(opts.arch);
+    if let Some(sms) = opts.sms {
+        cfg.core.num_sms = sms.max(1);
+    }
+    let gpu = Gpu::new(cfg);
+
+    let mut records = Vec::new();
+    let mut failed = false;
+    for w in picked {
+        match profile_one(w, &opts, &gpu) {
+            Ok(out) => {
+                failed |= out.check_failed;
+                records.push(out.metrics);
+            }
+            Err(e) => {
+                eprintln!("vtprof: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if opts.json {
+        println!("{}", Json::Array(records).pretty());
+    }
+    if failed {
+        eprintln!("vtprof: --check failed");
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

@@ -173,6 +173,22 @@ impl Gpu {
     /// Returns [`SimError`] on launch failure, a functional trap, or
     /// watchdog expiry.
     pub fn run(&self, kernel: &Kernel) -> Result<Report, SimError> {
+        self.run_traced(kernel, &mut vt_trace::NullSink)
+    }
+
+    /// [`Gpu::run`] with an explicit trace sink receiving every simulation
+    /// event; with [`vt_trace::NullSink`] the instrumentation compiles
+    /// away.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on launch failure, a functional trap, or
+    /// watchdog expiry.
+    pub fn run_traced<S: vt_trace::TraceSink>(
+        &self,
+        kernel: &Kernel,
+        sink: &mut S,
+    ) -> Result<Report, SimError> {
         let residency = self
             .cfg
             .arch
@@ -182,7 +198,7 @@ impl Gpu {
             mem: self.cfg.mem.clone(),
             residency,
         };
-        let result = GpuSim::new(&sim_cfg, kernel)?.run()?;
+        let result = GpuSim::new(&sim_cfg, kernel)?.run_traced(sink)?;
         Ok(Report {
             kernel: kernel.name().to_string(),
             arch: self.cfg.arch,

@@ -10,6 +10,7 @@ use crate::mshr::{Mshr, MshrAlloc};
 use crate::stats::MemStats;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use vt_trace::{MemLevel, NullSink, TraceEvent, TraceSink};
 
 /// The kind of a memory request as seen below the SM.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -20,6 +21,17 @@ pub enum ReqKind {
     Store,
     /// An atomic; performed at the L2, a response returns to the SM.
     Atomic,
+}
+
+impl ReqKind {
+    /// The trace-layer equivalent of this kind.
+    pub fn trace_kind(self) -> vt_trace::MemKind {
+        match self {
+            ReqKind::Load => vt_trace::MemKind::Load,
+            ReqKind::Store => vt_trace::MemKind::Store,
+            ReqKind::Atomic => vt_trace::MemKind::Atomic,
+        }
+    }
 }
 
 /// A request routed to a partition.
@@ -92,6 +104,17 @@ impl Partition {
     /// Advances one cycle; returns responses ready to enter the
     /// interconnect this cycle.
     pub fn tick(&mut self, now: u64, stats: &mut MemStats) -> Vec<PartResp> {
+        self.tick_traced(now, stats, &mut NullSink)
+    }
+
+    /// [`Partition::tick`] with trace instrumentation; the `NullSink`
+    /// instantiation is the plain tick.
+    pub fn tick_traced<S: TraceSink>(
+        &mut self,
+        now: u64,
+        stats: &mut MemStats,
+        sink: &mut S,
+    ) -> Vec<PartResp> {
         // 1. DRAM: finish in-service requests; fills release MSHR waiters.
         for line in self.dram.tick(now, stats) {
             let waiters = self.mshr.fill(line);
@@ -103,6 +126,16 @@ impl Partition {
             }
             for w in waiters {
                 if w.kind != ReqKind::Store {
+                    if S::ENABLED {
+                        sink.emit(
+                            now,
+                            TraceEvent::MemAt {
+                                sm: w.sm as u32,
+                                req: w.id,
+                                level: MemLevel::DramFill,
+                            },
+                        );
+                    }
                     self.schedule_resp(
                         now + 1,
                         PartResp {
@@ -128,7 +161,7 @@ impl Partition {
         // 3. Service incoming requests, up to the slice's port limit.
         for _ in 0..self.l2_ports {
             let Some(&req) = self.in_q.front() else { break };
-            if !self.service(req, now, stats) {
+            if !self.service(req, now, stats, sink) {
                 break; // resource stall: head-of-line blocks
             }
             self.in_q.pop_front();
@@ -147,7 +180,25 @@ impl Partition {
     }
 
     /// Attempts to service one request; returns false on a resource stall.
-    fn service(&mut self, req: PartReq, now: u64, stats: &mut MemStats) -> bool {
+    fn service<S: TraceSink>(
+        &mut self,
+        req: PartReq,
+        now: u64,
+        stats: &mut MemStats,
+        sink: &mut S,
+    ) -> bool {
+        let progress = |sink: &mut S, level: MemLevel| {
+            if S::ENABLED {
+                sink.emit(
+                    now,
+                    TraceEvent::MemAt {
+                        sm: req.sm as u32,
+                        req: req.id,
+                        level,
+                    },
+                );
+            }
+        };
         stats.l2_accesses += 1;
         match req.kind {
             ReqKind::Load | ReqKind::Atomic => {
@@ -156,6 +207,7 @@ impl Partition {
                     if req.kind == ReqKind::Atomic {
                         self.l2.mark_dirty(req.line_addr);
                     }
+                    progress(sink, MemLevel::L2Hit);
                     self.schedule_resp(
                         now + self.l2_hit_latency,
                         PartResp {
@@ -172,6 +224,7 @@ impl Partition {
                     match self.mshr.alloc(req.line_addr, req) {
                         MshrAlloc::Merged => {
                             stats.l2_misses += 1;
+                            progress(sink, MemLevel::L2MshrMerge);
                             true
                         }
                         MshrAlloc::Stall => {
@@ -190,6 +243,7 @@ impl Partition {
                             stats.l2_misses += 1;
                             let pushed = self.dram.try_push(req.line_addr, false);
                             debug_assert!(pushed, "space was checked");
+                            progress(sink, MemLevel::L2Miss);
                             true
                         }
                         MshrAlloc::Stall => {

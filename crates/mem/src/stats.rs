@@ -1,5 +1,7 @@
 //! Memory-system statistics.
 
+use vt_trace::{Gauge, Histogram};
+
 /// Counters accumulated by the memory system over a run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemStats {
@@ -35,6 +37,10 @@ pub struct MemStats {
     pub load_latency_sum: u64,
     /// Loads (and atomics) that completed.
     pub loads_completed: u64,
+    /// Distribution of load/atomic round-trip latencies.
+    pub load_latency: Histogram,
+    /// L1 MSHR entries in flight, sampled once per cycle across all SMs.
+    pub mshr_occupancy: Gauge,
 }
 
 impl MemStats {
@@ -80,6 +86,8 @@ impl MemStats {
         self.dram_row_misses += other.dram_row_misses;
         self.load_latency_sum += other.load_latency_sum;
         self.loads_completed += other.loads_completed;
+        self.load_latency.merge(&other.load_latency);
+        self.mshr_occupancy.merge(&other.mshr_occupancy);
     }
 }
 

@@ -20,8 +20,13 @@ use crate::partition::{PartReq, PartResp, Partition};
 use crate::stats::MemStats;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use vt_trace::{MemLevel, NullSink, TraceEvent, TraceSink};
 
 pub use crate::partition::ReqKind;
+
+/// How often (in cycles) per-SM MSHR occupancy counters are emitted to an
+/// enabled sink. Sampled, not per-cycle, to keep traced runs light.
+const COUNTER_PERIOD: u64 = 128;
 
 /// Outcome of [`MemSystem::try_submit`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,40 +111,91 @@ impl MemSystem {
     /// Advances the whole hierarchy to cycle `now`. Call once per cycle,
     /// before the SMs submit that cycle's transactions.
     pub fn tick(&mut self, now: u64) {
+        self.tick_traced(now, &mut NullSink);
+    }
+
+    /// [`MemSystem::tick`] with trace instrumentation; the `NullSink`
+    /// instantiation is the plain tick.
+    pub fn tick_traced<S: TraceSink>(&mut self, now: u64, sink: &mut S) {
         self.now = now;
+        let mut mshr_in_flight = 0u64;
         for l1 in &mut self.l1s {
             l1.ports_used = 0;
+            mshr_in_flight += l1.mshr.len() as u64;
+        }
+        self.stats.mshr_occupancy.sample(mshr_in_flight);
+        if S::ENABLED && now.is_multiple_of(COUNTER_PERIOD) {
+            for (sm, l1) in self.l1s.iter().enumerate() {
+                sink.emit(
+                    now,
+                    TraceEvent::Counter {
+                        sm: sm as u32,
+                        name: "l1_mshr",
+                        value: l1.mshr.len() as u64,
+                    },
+                );
+            }
         }
         // Partitions produce responses into the SM-bound network.
         for p in &mut self.partitions {
-            for resp in p.tick(now, &mut self.stats) {
+            for resp in p.tick_traced(now, &mut self.stats, sink) {
                 self.to_sm.push(now, RESP_FLITS, resp);
             }
         }
         // Requests arrive at partitions.
         for req in self.to_mem.deliver(now) {
+            if S::ENABLED && req.kind != ReqKind::Store {
+                sink.emit(
+                    now,
+                    TraceEvent::MemAt {
+                        sm: req.sm as u32,
+                        req: req.id,
+                        level: MemLevel::PartitionArrive,
+                    },
+                );
+            }
             let p = self.cfg.partition_of(req.line_addr);
             self.partitions[p].push(req);
         }
         // Responses arrive at L1s.
         for resp in self.to_sm.deliver(now) {
-            self.on_response(resp, now);
+            self.on_response(resp, now, sink);
         }
     }
 
-    fn on_response(&mut self, resp: PartResp, now: u64) {
+    fn on_response<S: TraceSink>(&mut self, resp: PartResp, now: u64, sink: &mut S) {
         match resp.kind {
             ReqKind::Load => {
                 let l1 = &mut self.l1s[resp.sm];
                 // Fill; write-through means victims are never dirty.
                 let _ = l1.cache.fill(resp.line_addr, now, false);
                 for id in l1.mshr.fill(resp.line_addr) {
+                    if S::ENABLED {
+                        sink.emit(
+                            now,
+                            TraceEvent::MemAt {
+                                sm: resp.sm as u32,
+                                req: id,
+                                level: MemLevel::L1Fill,
+                            },
+                        );
+                    }
                     self.seq += 1;
                     self.sm_resps[resp.sm].push(Reverse((now, self.seq, id)));
                     self.finish_load(id, now);
                 }
             }
             ReqKind::Atomic => {
+                if S::ENABLED {
+                    sink.emit(
+                        now,
+                        TraceEvent::MemAt {
+                            sm: resp.sm as u32,
+                            req: resp.id,
+                            level: MemLevel::L1Fill,
+                        },
+                    );
+                }
                 self.seq += 1;
                 self.sm_resps[resp.sm].push(Reverse((now, self.seq, resp.id)));
                 self.finish_load(resp.id, now);
@@ -150,8 +206,10 @@ impl MemSystem {
 
     fn finish_load(&mut self, id: u64, now: u64) {
         if let Some(t) = self.submit_times.remove(&id) {
+            let latency = now.saturating_sub(t);
             self.stats.loads_completed += 1;
-            self.stats.load_latency_sum += now.saturating_sub(t);
+            self.stats.load_latency_sum += latency;
+            self.stats.load_latency.record(latency);
         }
     }
 
@@ -165,7 +223,36 @@ impl MemSystem {
     /// SM's perspective. The `Hit`/`Miss` distinction feeds the Virtual
     /// Thread swap trigger, which only reacts to long-latency stalls.
     pub fn try_submit(&mut self, sm: usize, id: u64, line_addr: u64, kind: ReqKind) -> Submit {
+        self.try_submit_traced(sm, id, line_addr, kind, &mut NullSink)
+    }
+
+    /// [`MemSystem::try_submit`] with trace instrumentation. An accepted
+    /// load/atomic opens the request's async span ([`TraceEvent::MemBegin`]);
+    /// a rejection emits nothing, so the retried submission still opens the
+    /// span exactly once.
+    pub fn try_submit_traced<S: TraceSink>(
+        &mut self,
+        sm: usize,
+        id: u64,
+        line_addr: u64,
+        kind: ReqKind,
+        sink: &mut S,
+    ) -> Submit {
         let now = self.now;
+        let begin = |sink: &mut S, level: MemLevel| {
+            if S::ENABLED {
+                sink.emit(
+                    now,
+                    TraceEvent::MemBegin {
+                        sm: sm as u32,
+                        req: id,
+                        line_addr,
+                        kind: kind.trace_kind(),
+                        level,
+                    },
+                );
+            }
+        };
         let l1 = &mut self.l1s[sm];
         if l1.ports_used >= self.cfg.l1_ports {
             self.stats.l1_stalls += 1;
@@ -180,10 +267,13 @@ impl MemSystem {
                     self.stats.l1_accesses += 1;
                     self.stats.l1_hits += 1;
                     self.seq += 1;
-                    let ready = now + u64::from(self.cfg.l1_hit_latency);
+                    let hit_latency = u64::from(self.cfg.l1_hit_latency);
+                    let ready = now + hit_latency;
                     self.sm_resps[sm].push(Reverse((ready, self.seq, id)));
                     self.stats.loads_completed += 1;
-                    self.stats.load_latency_sum += u64::from(self.cfg.l1_hit_latency);
+                    self.stats.load_latency_sum += hit_latency;
+                    self.stats.load_latency.record(hit_latency);
+                    begin(sink, MemLevel::L1Hit);
                     return Submit::Hit;
                 }
                 match l1.mshr.alloc(line_addr, id) {
@@ -193,6 +283,7 @@ impl MemSystem {
                         self.stats.l1_accesses += 1;
                         self.stats.l1_misses += 1;
                         self.submit_times.insert(id, now);
+                        begin(sink, MemLevel::L1Miss);
                         self.to_mem.push(
                             now,
                             REQ_FLITS,
@@ -211,6 +302,7 @@ impl MemSystem {
                         self.stats.l1_accesses += 1;
                         self.stats.l1_mshr_merged += 1;
                         self.submit_times.insert(id, now);
+                        begin(sink, MemLevel::L1MshrMerge);
                         Submit::Miss
                     }
                     MshrAlloc::Stall => {
@@ -224,6 +316,15 @@ impl MemSystem {
                 // Write-through, write-evict: drop any cached copy and
                 // send the data to the partition.
                 l1.cache.invalidate(line_addr);
+                if S::ENABLED {
+                    sink.emit(
+                        now,
+                        TraceEvent::StoreSubmit {
+                            sm: sm as u32,
+                            line_addr,
+                        },
+                    );
+                }
                 self.to_mem.push(
                     now,
                     STORE_FLITS,
@@ -241,6 +342,7 @@ impl MemSystem {
                 self.stats.atomics += 1;
                 l1.cache.invalidate(line_addr);
                 self.submit_times.insert(id, now);
+                begin(sink, MemLevel::L1Bypass);
                 self.to_mem.push(
                     now,
                     REQ_FLITS,
@@ -258,10 +360,25 @@ impl MemSystem {
 
     /// Pops one completed load/atomic id for SM `sm`, if any is ready.
     pub fn pop_response(&mut self, sm: usize) -> Option<u64> {
+        self.pop_response_traced(sm, &mut NullSink)
+    }
+
+    /// [`MemSystem::pop_response`] with trace instrumentation; popping a
+    /// response closes the request's async span ([`TraceEvent::MemEnd`]).
+    pub fn pop_response_traced<S: TraceSink>(&mut self, sm: usize, sink: &mut S) -> Option<u64> {
         let heap = &mut self.sm_resps[sm];
         match heap.peek() {
             Some(&Reverse((ready, _, _))) if ready <= self.now => {
                 let Reverse((_, _, id)) = heap.pop().expect("peeked");
+                if S::ENABLED {
+                    sink.emit(
+                        self.now,
+                        TraceEvent::MemEnd {
+                            sm: sm as u32,
+                            req: id,
+                        },
+                    );
+                }
                 Some(id)
             }
             _ => None,

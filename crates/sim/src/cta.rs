@@ -54,6 +54,9 @@ pub struct CtaRt {
     pub pending_loads: u32,
     /// Admission order (used as an age tiebreak).
     pub seq: u64,
+    /// Cycle the CTA last became inactive (admission or swap-out
+    /// completion); measures the gap until its next swap-in starts.
+    pub inactive_since: u64,
 }
 
 impl CtaRt {
@@ -92,6 +95,7 @@ mod tests {
             smem_bytes: 0,
             pending_loads: 0,
             seq: 0,
+            inactive_since: 0,
         }
     }
 

@@ -10,6 +10,7 @@ use vt_isa::error::ExecError;
 use vt_isa::kernel::MemImage;
 use vt_isa::Kernel;
 use vt_mem::MemSystem;
+use vt_trace::{NullSink, TraceSink};
 
 /// Why a simulation could not complete.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -134,7 +135,19 @@ impl<'k> GpuSim<'k> {
     ///
     /// Returns [`SimError::Exec`] on a functional trap and
     /// [`SimError::Watchdog`] if `core.max_cycles` elapses first.
-    pub fn run(mut self) -> Result<RunResult, SimError> {
+    pub fn run(self) -> Result<RunResult, SimError> {
+        self.run_traced(&mut NullSink)
+    }
+
+    /// [`GpuSim::run`] with an explicit trace sink receiving every
+    /// simulation event. With [`NullSink`] (what [`GpuSim::run`] passes)
+    /// the sink calls compile away entirely.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Exec`] on a functional trap and
+    /// [`SimError::Watchdog`] if `core.max_cycles` elapses first.
+    pub fn run_traced<S: TraceSink>(mut self, sink: &mut S) -> Result<RunResult, SimError> {
         let mut timeline = self.cfg.core.timeline_interval.map(|interval| Timeline {
             interval: interval.max(1),
             ..Timeline::default()
@@ -146,12 +159,37 @@ impl<'k> GpuSim<'k> {
                     let n = self.sms.len() as f32;
                     let resident: u32 = self.sms.iter().map(Sm::resident_warps).sum();
                     let active: u32 = self.sms.iter().map(Sm::active_warps).sum();
-                    t.push(resident as f32 / n, active as f32 / n);
+                    let reg: u64 = self
+                        .sms
+                        .iter()
+                        .map(|s| u64::from(s.resident_reg_bytes()))
+                        .sum();
+                    let smem: u64 = self
+                        .sms
+                        .iter()
+                        .map(|s| u64::from(s.resident_smem_bytes()))
+                        .sum();
+                    let reg_cap = n * self.cfg.core.regfile_bytes as f32;
+                    let smem_cap = n * self.cfg.core.smem_bytes as f32;
+                    t.push(
+                        resident as f32 / n,
+                        active as f32 / n,
+                        if reg_cap > 0.0 {
+                            reg as f32 / reg_cap
+                        } else {
+                            0.0
+                        },
+                        if smem_cap > 0.0 {
+                            smem as f32 / smem_cap
+                        } else {
+                            0.0
+                        },
+                    );
                 }
             }
-            self.mem.tick(cycle);
+            self.mem.tick_traced(cycle, sink);
             for sm in &mut self.sms {
-                sm.tick(
+                sm.tick_traced(
                     cycle,
                     self.kernel,
                     &self.cfg.core,
@@ -159,9 +197,10 @@ impl<'k> GpuSim<'k> {
                     &mut self.mem,
                     &mut self.image,
                     &mut self.stats,
+                    sink,
                 )?;
             }
-            self.dispatch(cycle);
+            self.dispatch(cycle, sink);
             if self.finished() {
                 break;
             }
@@ -182,7 +221,7 @@ impl<'k> GpuSim<'k> {
 
     /// Hands out up to one CTA per SM per cycle, rotating the starting SM
     /// for balance.
-    fn dispatch(&mut self, now: u64) {
+    fn dispatch<S: TraceSink>(&mut self, now: u64, sink: &mut S) {
         if self.next_cta >= self.kernel.num_ctas() {
             return;
         }
@@ -193,13 +232,14 @@ impl<'k> GpuSim<'k> {
             }
             let sm = &mut self.sms[(self.dispatch_ptr + i) % n];
             if sm.can_admit(self.kernel, &self.cfg.core, &self.cfg.residency) {
-                sm.admit(
+                sm.admit_traced(
                     self.next_cta,
                     self.kernel,
                     &self.cfg.core,
                     &self.cfg.residency,
                     now,
                     &mut self.stats,
+                    sink,
                 );
                 self.next_cta += 1;
             }

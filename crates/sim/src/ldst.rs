@@ -4,6 +4,7 @@
 use std::collections::{HashMap, VecDeque};
 use vt_isa::Reg;
 use vt_mem::{MemSystem, ReqKind, Submit};
+use vt_trace::{NullSink, TraceSink};
 
 /// One warp memory instruction queued in the LD/ST unit.
 #[derive(Debug, Clone)]
@@ -204,6 +205,17 @@ impl LdstUnit {
     /// into the memory system and completes shared-memory accesses whose
     /// latency elapsed. Returns events for the SM to apply.
     pub fn tick(&mut self, now: u64, mem: &mut MemSystem) -> Vec<LdstEvent> {
+        self.tick_traced(now, mem, &mut NullSink)
+    }
+
+    /// [`LdstUnit::tick`] with an explicit trace sink, so memory-request
+    /// span events carry through submission and response draining.
+    pub fn tick_traced<S: TraceSink>(
+        &mut self,
+        now: u64,
+        mem: &mut MemSystem,
+        sink: &mut S,
+    ) -> Vec<LdstEvent> {
         let mut out = Vec::new();
 
         // Shared accesses that finished their latency.
@@ -249,7 +261,8 @@ impl LdstUnit {
                     // to the instruction's load group on response.
                     while *submitted < lines.len() {
                         let id = ((self.sm_id as u64) << 40) | (self.next_id + 1);
-                        let outcome = mem.try_submit(self.sm_id, id, lines[*submitted], *kind);
+                        let outcome =
+                            mem.try_submit_traced(self.sm_id, id, lines[*submitted], *kind, sink);
                         if outcome == Submit::Rejected {
                             break;
                         }
@@ -280,7 +293,7 @@ impl LdstUnit {
         }
 
         // Drain global responses.
-        while let Some(id) = mem.pop_response(self.sm_id) {
+        while let Some(id) = mem.pop_response_traced(self.sm_id, sink) {
             let Some(token) = self.req_to_group.remove(&id) else {
                 continue;
             };

@@ -16,6 +16,7 @@ use vt_isa::op::{BranchIf, MemSpace, Operand};
 use vt_isa::{Instr, Kernel, Reg, WARP_SIZE};
 use vt_mem::coalesce::{coalesce, shared_bank_conflicts};
 use vt_mem::{MemSystem, ReqKind};
+use vt_trace::{NullSink, SwapDir, TraceEvent, TraceSink};
 
 /// Why a warp cannot issue this cycle; used for scheduling and for the
 /// idle-cycle breakdown.
@@ -165,6 +166,22 @@ impl Sm {
         now: u64,
         stats: &mut RunStats,
     ) {
+        self.admit_traced(cta_id, kernel, core, res, now, stats, &mut NullSink);
+    }
+
+    /// [`Sm::admit`] with trace instrumentation; the `NullSink`
+    /// instantiation is the plain admit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn admit_traced<S: TraceSink>(
+        &mut self,
+        cta_id: u32,
+        kernel: &Kernel,
+        core: &CoreConfig,
+        res: &ResidencyConfig,
+        now: u64,
+        stats: &mut RunStats,
+        sink: &mut S,
+    ) {
         assert!(
             self.can_admit(kernel, core, res),
             "admit called without can_admit"
@@ -185,6 +202,7 @@ impl Sm {
                     smem_bytes: 0,
                     pending_loads: 0,
                     seq: 0,
+                    inactive_since: 0,
                 });
                 self.ctas.len() - 1
             }
@@ -220,6 +238,7 @@ impl Sm {
             smem_bytes: kernel.smem_bytes_per_cta(),
             pending_loads: 0,
             seq: self.cta_seq,
+            inactive_since: now,
         };
         self.resident_reg_bytes += cta.reg_bytes;
         self.resident_smem_bytes += cta.smem_bytes;
@@ -227,7 +246,17 @@ impl Sm {
         self.resident_ctas += 1;
         self.ctas[cta_slot] = cta;
         self.issue_dirty = true;
-        self.try_activate(now, kernel, core, res, stats);
+        if S::ENABLED {
+            sink.emit(
+                now,
+                TraceEvent::CtaLaunch {
+                    sm: self.id as u32,
+                    cta_slot: cta_slot as u32,
+                    cta_id,
+                },
+            );
+        }
+        self.try_activate(now, kernel, core, res, stats, sink);
     }
 
     fn active_slot_available(&self, wpc: u32, core: &CoreConfig, res: &ResidencyConfig) -> bool {
@@ -253,13 +282,14 @@ impl Sm {
     }
 
     /// Activates ready inactive CTAs while active slots are available.
-    fn try_activate(
+    fn try_activate<S: TraceSink>(
         &mut self,
         now: u64,
         kernel: &Kernel,
         core: &CoreConfig,
         res: &ResidencyConfig,
         stats: &mut RunStats,
+        sink: &mut S,
     ) {
         let wpc = kernel.warps_per_cta();
         loop {
@@ -286,17 +316,37 @@ impl Sm {
             let n_warps = self.ctas[slot].warps.len() as u32;
             self.slot_ctas += 1;
             self.slot_warps += n_warps;
+            // Every activation opens a swap-in span (zero-length for
+            // instant activations), so `finish_activation` can close it
+            // unconditionally.
+            if S::ENABLED {
+                sink.emit(
+                    now,
+                    TraceEvent::SwapBegin {
+                        sm: self.id as u32,
+                        cta_slot: slot as u32,
+                        cta_id: self.ctas[slot].cta_id,
+                        dir: SwapDir::In,
+                        fresh: !has_context,
+                    },
+                );
+            }
             match res.swap {
                 Some(swap) => {
                     let cost = if has_context {
                         stats.swaps.swaps_in += 1;
-                        u64::from(swap.restore_cycles)
+                        let cost = u64::from(swap.restore_cycles);
+                        stats
+                            .swap_gap
+                            .record(now.saturating_sub(self.ctas[slot].inactive_since));
+                        stats.swap_duration.record(cost);
+                        cost
                     } else {
                         stats.swaps.fresh_activations += 1;
                         u64::from(swap.fresh_activation_cycles)
                     };
                     if cost == 0 {
-                        self.finish_activation(slot);
+                        self.finish_activation(slot, now, sink);
                     } else {
                         self.ctas[slot].phase = CtaPhase::SwappingIn {
                             done_at: now + cost,
@@ -310,20 +360,41 @@ impl Sm {
                     } else {
                         stats.swaps.fresh_activations += 1;
                     }
-                    self.finish_activation(slot);
+                    self.finish_activation(slot, now, sink);
                 }
             }
         }
     }
 
-    fn finish_activation(&mut self, slot: usize) {
+    fn finish_activation<S: TraceSink>(&mut self, slot: usize, now: u64, sink: &mut S) {
         self.ctas[slot].phase = CtaPhase::Active;
         self.active_phase_warps += self.ctas[slot].warps.len() as u32;
         self.issue_dirty = true;
+        if S::ENABLED {
+            let (sm, cta_slot, cta_id) = (self.id as u32, slot as u32, self.ctas[slot].cta_id);
+            sink.emit(
+                now,
+                TraceEvent::SwapEnd {
+                    sm,
+                    cta_slot,
+                    cta_id,
+                    dir: SwapDir::In,
+                },
+            );
+            sink.emit(
+                now,
+                TraceEvent::CtaActivate {
+                    sm,
+                    cta_slot,
+                    cta_id,
+                },
+            );
+        }
     }
 
     /// Completes timed swap transitions and evaluates the swap trigger.
-    fn update_residency(
+    #[allow(clippy::too_many_arguments)]
+    fn update_residency<S: TraceSink>(
         &mut self,
         now: u64,
         kernel: &Kernel,
@@ -331,12 +402,13 @@ impl Sm {
         res: &ResidencyConfig,
         _mem: &mut MemSystem,
         stats: &mut RunStats,
+        sink: &mut S,
     ) {
         let Some(swap) = res.swap else {
             // No swapping: still activate parked CTAs when slots free up
             // (e.g. after a CTA finished).
             if self.issue_dirty {
-                self.try_activate(now, kernel, core, res, stats);
+                self.try_activate(now, kernel, core, res, stats, sink);
             }
             return;
         };
@@ -347,18 +419,30 @@ impl Sm {
                 CtaPhase::SwappingOut { done_at } if done_at <= now => {
                     // The slot was already released when the save started.
                     self.ctas[slot].phase = CtaPhase::Inactive { has_context: true };
+                    self.ctas[slot].inactive_since = now;
                     self.swapping_ctas -= 1;
+                    if S::ENABLED {
+                        sink.emit(
+                            now,
+                            TraceEvent::SwapEnd {
+                                sm: self.id as u32,
+                                cta_slot: slot as u32,
+                                cta_id: self.ctas[slot].cta_id,
+                                dir: SwapDir::Out,
+                            },
+                        );
+                    }
                 }
                 CtaPhase::SwappingIn { done_at } if done_at <= now => {
                     self.swapping_ctas -= 1;
-                    self.finish_activation(slot);
+                    self.finish_activation(slot, now, sink);
                 }
                 _ => {}
             }
         }
 
         // 2. Fill any free active slots with ready CTAs.
-        self.try_activate(now, kernel, core, res, stats);
+        self.try_activate(now, kernel, core, res, stats, sink);
 
         // 3. Thrash feedback: hill-climb between "rotate" (normal VT) and
         //    "hold" (stable active set) on the measured issue rate.
@@ -439,13 +523,36 @@ impl Sm {
                 self.swapping_ctas += 1;
                 self.issue_dirty = true;
                 stats.swaps.swaps_out += 1;
+                stats.swap_duration.record(u64::from(swap.save_cycles));
+                if S::ENABLED {
+                    let (sm, cta_slot, cta_id) =
+                        (self.id as u32, slot as u32, self.ctas[slot].cta_id);
+                    sink.emit(
+                        now,
+                        TraceEvent::CtaDeactivate {
+                            sm,
+                            cta_slot,
+                            cta_id,
+                        },
+                    );
+                    sink.emit(
+                        now,
+                        TraceEvent::SwapBegin {
+                            sm,
+                            cta_slot,
+                            cta_id,
+                            dir: SwapDir::Out,
+                            fresh: false,
+                        },
+                    );
+                }
                 ready_replacements -= 1;
                 swapped_any = true;
             }
         }
         if swapped_any {
             // Refill the freed slots in the same cycle (overlapped swap).
-            self.try_activate(now, kernel, core, res, stats);
+            self.try_activate(now, kernel, core, res, stats, sink);
         }
     }
 
@@ -498,6 +605,23 @@ impl Sm {
         image: &mut MemImage,
         stats: &mut RunStats,
     ) -> Result<(), ExecError> {
+        self.tick_traced(now, kernel, core, res, mem, image, stats, &mut NullSink)
+    }
+
+    /// [`Sm::tick`] with an explicit trace sink. With [`NullSink`] this
+    /// monomorphizes to the untraced fast path.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tick_traced<S: TraceSink>(
+        &mut self,
+        now: u64,
+        kernel: &Kernel,
+        core: &CoreConfig,
+        res: &ResidencyConfig,
+        mem: &mut MemSystem,
+        image: &mut MemImage,
+        stats: &mut RunStats,
+        sink: &mut S,
+    ) -> Result<(), ExecError> {
         // 1. Short-latency writebacks.
         while let Some(&Reverse((ready, wslot, reg, uid))) = self.writebacks.peek() {
             if ready > now {
@@ -512,7 +636,7 @@ impl Sm {
         // 2. Memory events (shared latency, global responses, long-stall
         //    notifications). Events may outlive their CTA — a warp can
         //    exit with loads in flight — so uids filter stale records.
-        for event in self.ldst.tick(now, mem) {
+        for event in self.ldst.tick_traced(now, mem, sink) {
             match event {
                 LdstEvent::Completed(c) => {
                     if self.warp_uids[c.warp_slot] != c.warp_uid {
@@ -543,7 +667,7 @@ impl Sm {
         }
 
         // 3. CTA residency: swap completions, trigger, activations.
-        self.update_residency(now, kernel, core, res, mem, stats);
+        self.update_residency(now, kernel, core, res, mem, stats, sink);
 
         // 4. Issue.
         if self.issue_dirty {
@@ -553,7 +677,7 @@ impl Sm {
         let mut issued = 0u32;
         for s in 0..schedulers {
             if let Some(wslot) = self.pick_warp(s, now, kernel, core) {
-                self.issue_warp(wslot, now, kernel, core, res, image, stats)?;
+                self.issue_warp(wslot, s, now, kernel, core, res, image, stats, sink)?;
                 self.sched_last[s] = Some(wslot);
                 issued += 1;
             }
@@ -677,20 +801,33 @@ impl Sm {
     // ----- instruction execution --------------------------------------------
 
     #[allow(clippy::too_many_arguments)]
-    fn issue_warp(
+    fn issue_warp<S: TraceSink>(
         &mut self,
         wslot: usize,
+        sched: usize,
         now: u64,
         kernel: &Kernel,
         core: &CoreConfig,
         res: &ResidencyConfig,
         image: &mut MemImage,
         stats: &mut RunStats,
+        sink: &mut S,
     ) -> Result<(), ExecError> {
         let instr = *kernel.program().fetch(self.warps[wslot].stack.pc());
         let mask = self.warps[wslot].stack.active_mask();
         stats.warp_instrs += 1;
         stats.thread_instrs += u64::from(mask.count_ones());
+        if S::ENABLED {
+            sink.emit(
+                now,
+                TraceEvent::WarpIssue {
+                    sm: self.id as u32,
+                    sched: sched as u32,
+                    warp_slot: wslot as u32,
+                    pc: self.warps[wslot].stack.pc() as u32,
+                },
+            );
+        }
 
         match instr {
             Instr::Alu { op, dst, a, b } => {
@@ -742,6 +879,7 @@ impl Sm {
             } => {
                 self.exec_mem(
                     wslot,
+                    now,
                     kernel,
                     core,
                     mask,
@@ -750,6 +888,7 @@ impl Sm {
                     offset,
                     MemOp::Load { dst },
                     image,
+                    sink,
                 )?;
                 self.advance(wslot);
             }
@@ -761,6 +900,7 @@ impl Sm {
             } => {
                 self.exec_mem(
                     wslot,
+                    now,
                     kernel,
                     core,
                     mask,
@@ -769,6 +909,7 @@ impl Sm {
                     offset,
                     MemOp::Store { src },
                     image,
+                    sink,
                 )?;
                 self.advance(wslot);
             }
@@ -781,6 +922,7 @@ impl Sm {
             } => {
                 self.exec_mem(
                     wslot,
+                    now,
                     kernel,
                     core,
                     mask,
@@ -789,21 +931,33 @@ impl Sm {
                     offset,
                     MemOp::Atomic { op, dst, val },
                     image,
+                    sink,
                 )?;
                 self.advance(wslot);
             }
             Instr::Bar => {
                 stats.barriers += 1;
                 self.warps[wslot].waiting_barrier = true;
+                self.warps[wslot].barrier_since = now;
                 self.warps[wslot].stack.advance();
                 let cta_slot = self.warps[wslot].cta_slot;
                 self.ctas[cta_slot].barrier_arrived += 1;
-                self.check_barrier_release(cta_slot);
+                if S::ENABLED {
+                    sink.emit(
+                        now,
+                        TraceEvent::BarrierArrive {
+                            sm: self.id as u32,
+                            cta_slot: cta_slot as u32,
+                            warp_slot: wslot as u32,
+                        },
+                    );
+                }
+                self.check_barrier_release(cta_slot, now, stats, sink);
                 self.issue_dirty = true;
             }
             Instr::Bra { target } => {
                 self.warps[wslot].stack.jump(target);
-                self.check_done(wslot, kernel, core, res, now, stats);
+                self.check_done(wslot, kernel, core, res, now, stats, sink);
             }
             Instr::BraCond {
                 pred,
@@ -835,7 +989,7 @@ impl Sm {
             }
             Instr::Exit => {
                 self.warps[wslot].stack.exit();
-                self.check_done(wslot, kernel, core, res, now, stats);
+                self.check_done(wslot, kernel, core, res, now, stats, sink);
             }
         }
         Ok(())
@@ -873,9 +1027,10 @@ impl Sm {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn exec_mem(
+    fn exec_mem<S: TraceSink>(
         &mut self,
         wslot: usize,
+        now: u64,
         kernel: &Kernel,
         core: &CoreConfig,
         mask: u32,
@@ -884,6 +1039,7 @@ impl Sm {
         offset: i32,
         op: MemOp,
         image: &mut MemImage,
+        sink: &mut S,
     ) -> Result<(), ExecError> {
         // Compute lane addresses and apply functional effects now; the
         // LD/ST unit and memory system model only the timing.
@@ -969,6 +1125,22 @@ impl Sm {
             MemSpace::Global => {
                 let txs = coalesce(&addrs, mask, self.line_bytes);
                 let lines: Vec<u64> = txs.iter().map(|t| t.line_addr).collect();
+                if S::ENABLED {
+                    let kind = match op {
+                        MemOp::Load { .. } => ReqKind::Load,
+                        MemOp::Store { .. } => ReqKind::Store,
+                        MemOp::Atomic { .. } => ReqKind::Atomic,
+                    };
+                    sink.emit(
+                        now,
+                        TraceEvent::Coalesce {
+                            sm: self.id as u32,
+                            warp_slot: wslot as u32,
+                            kind: kind.trace_kind(),
+                            lines: lines.len() as u32,
+                        },
+                    );
+                }
                 match op {
                     MemOp::Load { dst } => {
                         self.warps[wslot].scoreboard.set_pending(dst);
@@ -1013,18 +1185,40 @@ impl Sm {
         Ok(())
     }
 
-    fn check_barrier_release(&mut self, cta_slot: usize) {
+    fn check_barrier_release<S: TraceSink>(
+        &mut self,
+        cta_slot: usize,
+        now: u64,
+        stats: &mut RunStats,
+        sink: &mut S,
+    ) {
         let cta = &mut self.ctas[cta_slot];
         if cta.live_warps > 0 && cta.barrier_arrived >= cta.live_warps {
             cta.barrier_arrived = 0;
             for &w in &cta.warps.clone() {
-                self.warps[w].waiting_barrier = false;
+                if self.warps[w].waiting_barrier {
+                    self.warps[w].waiting_barrier = false;
+                    stats
+                        .barrier_wait
+                        .record(now.saturating_sub(self.warps[w].barrier_since));
+                    if S::ENABLED {
+                        sink.emit(
+                            now,
+                            TraceEvent::BarrierRelease {
+                                sm: self.id as u32,
+                                cta_slot: cta_slot as u32,
+                                warp_slot: w as u32,
+                            },
+                        );
+                    }
+                }
             }
             self.issue_dirty = true;
         }
     }
 
-    fn check_done(
+    #[allow(clippy::too_many_arguments)]
+    fn check_done<S: TraceSink>(
         &mut self,
         wslot: usize,
         kernel: &Kernel,
@@ -1032,6 +1226,7 @@ impl Sm {
         res: &ResidencyConfig,
         now: u64,
         stats: &mut RunStats,
+        sink: &mut S,
     ) {
         if !self.warps[wslot].stack.is_done() || self.warps[wslot].done {
             return;
@@ -1042,14 +1237,15 @@ impl Sm {
         self.ctas[cta_slot].live_warps -= 1;
         self.issue_dirty = true;
         if self.ctas[cta_slot].live_warps == 0 {
-            self.finish_cta(cta_slot, kernel, core, res, now, stats);
+            self.finish_cta(cta_slot, kernel, core, res, now, stats, sink);
         } else {
             // Remaining warps may all be at the barrier now.
-            self.check_barrier_release(cta_slot);
+            self.check_barrier_release(cta_slot, now, stats, sink);
         }
     }
 
-    fn finish_cta(
+    #[allow(clippy::too_many_arguments)]
+    fn finish_cta<S: TraceSink>(
         &mut self,
         cta_slot: usize,
         kernel: &Kernel,
@@ -1057,8 +1253,42 @@ impl Sm {
         res: &ResidencyConfig,
         now: u64,
         stats: &mut RunStats,
+        sink: &mut S,
     ) {
         let n_warps = self.ctas[cta_slot].warps.len() as u32;
+        if S::ENABLED {
+            let (sm, slot, cta_id) = (self.id as u32, cta_slot as u32, self.ctas[cta_slot].cta_id);
+            // Close whatever span is open above the resident span so the
+            // final CtaComplete balances the CtaLaunch.
+            if self.ctas[cta_slot].is_active() {
+                sink.emit(
+                    now,
+                    TraceEvent::CtaDeactivate {
+                        sm,
+                        cta_slot: slot,
+                        cta_id,
+                    },
+                );
+            } else if matches!(self.ctas[cta_slot].phase, CtaPhase::SwappingIn { .. }) {
+                sink.emit(
+                    now,
+                    TraceEvent::SwapEnd {
+                        sm,
+                        cta_slot: slot,
+                        cta_id,
+                        dir: SwapDir::In,
+                    },
+                );
+            }
+            sink.emit(
+                now,
+                TraceEvent::CtaComplete {
+                    sm,
+                    cta_slot: slot,
+                    cta_id,
+                },
+            );
+        }
         if self.ctas[cta_slot].holds_active_slot() {
             self.slot_ctas -= 1;
             self.slot_warps -= n_warps;
@@ -1090,7 +1320,7 @@ impl Sm {
         self.issue_dirty = true;
         stats.ctas_completed += 1;
         // A slot freed: a parked CTA may activate.
-        self.try_activate(now, kernel, core, res, stats);
+        self.try_activate(now, kernel, core, res, stats, sink);
     }
 
     // ----- stats -------------------------------------------------------------
@@ -1107,7 +1337,9 @@ impl Sm {
         if self.swapping_ctas > 0 {
             stats.swaps.swap_busy_cycles += 1;
         }
+        stats.ldst_queue.sample(self.ldst.queue_len() as u64);
         if issued > 0 {
+            stats.issue_cycles += 1;
             return;
         }
         // Idle cycle: classify.
@@ -1190,6 +1422,16 @@ impl Sm {
     /// Deepest SIMT stack seen on this SM so far.
     pub fn max_simt_depth(&self) -> usize {
         self.max_simt_depth
+    }
+
+    /// Register-file bytes held by resident CTAs right now.
+    pub fn resident_reg_bytes(&self) -> u32 {
+        self.resident_reg_bytes
+    }
+
+    /// Shared-memory bytes held by resident CTAs right now.
+    pub fn resident_smem_bytes(&self) -> u32 {
+        self.resident_smem_bytes
     }
 }
 

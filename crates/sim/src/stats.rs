@@ -2,6 +2,7 @@
 //! activity — everything the paper's figures are built from.
 
 use vt_mem::MemStats;
+use vt_trace::{Gauge, Histogram};
 
 /// Why an SM issued nothing in a cycle. One bucket is charged per SM-cycle
 /// with zero issues; the buckets are mutually exclusive by the listed
@@ -146,13 +147,20 @@ pub struct Timeline {
     pub resident_warps: Vec<f32>,
     /// Mean schedulable (active-phase) warps per SM at each sample.
     pub active_warps: Vec<f32>,
+    /// Register-file utilisation (0..1, allocated / capacity) at each
+    /// sample, averaged over SMs.
+    pub reg_util: Vec<f32>,
+    /// Shared-memory utilisation (0..1) at each sample, averaged over SMs.
+    pub smem_util: Vec<f32>,
 }
 
 impl Timeline {
     /// Appends one sample.
-    pub fn push(&mut self, resident: f32, active: f32) {
+    pub fn push(&mut self, resident: f32, active: f32, reg_util: f32, smem_util: f32) {
         self.resident_warps.push(resident);
         self.active_warps.push(active);
+        self.reg_util.push(reg_util);
+        self.smem_util.push(smem_util);
     }
 
     /// Number of samples taken.
@@ -181,6 +189,10 @@ pub struct RunStats {
     pub barriers: u64,
     /// CTAs completed.
     pub ctas_completed: u64,
+    /// SM-cycles in which at least one instruction issued. Complements
+    /// [`RunStats::idle`]: `idle.total() + issue_cycles ==
+    /// occupancy.sm_cycles` exactly.
+    pub issue_cycles: u64,
     /// Idle-cycle classification.
     pub idle: IdleBreakdown,
     /// Time-integrated occupancy.
@@ -191,6 +203,16 @@ pub struct RunStats {
     pub mem: MemStats,
     /// Deepest SIMT stack observed.
     pub max_simt_depth: usize,
+    /// Distribution of swap-in/out transfer durations in cycles (the
+    /// configured save/restore costs, weighted by how often each fired).
+    pub swap_duration: Histogram,
+    /// Distribution of inactive gaps: cycles a swapped-out CTA waited
+    /// between losing its slot and starting its swap back in.
+    pub swap_gap: Histogram,
+    /// Distribution of per-warp barrier wait times in cycles.
+    pub barrier_wait: Histogram,
+    /// LD/ST queue depth, sampled once per SM-cycle.
+    pub ldst_queue: Gauge,
     /// Occupancy time series, if sampling was enabled.
     pub timeline: Option<Timeline>,
 }
@@ -250,11 +272,13 @@ mod tests {
             ..Timeline::default()
         };
         assert!(t.is_empty());
-        t.push(10.0, 5.0);
-        t.push(20.0, 8.0);
+        t.push(10.0, 5.0, 0.25, 0.1);
+        t.push(20.0, 8.0, 0.5, 0.2);
         assert_eq!(t.len(), 2);
         assert_eq!(t.resident_warps, vec![10.0, 20.0]);
         assert_eq!(t.active_warps, vec![5.0, 8.0]);
+        assert_eq!(t.reg_util, vec![0.25, 0.5]);
+        assert_eq!(t.smem_util, vec![0.1, 0.2]);
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub struct WarpRt {
     pub regs_per_thread: u16,
     /// Waiting at a CTA barrier.
     pub waiting_barrier: bool,
+    /// Cycle this warp arrived at the barrier it is waiting on (valid
+    /// while `waiting_barrier`); feeds the barrier-wait histogram.
+    pub barrier_since: u64,
     /// Outstanding global load/atomic *instructions* (not transactions).
     pub pending_loads: u32,
     /// Outstanding loads known to have missed the L1 — the long-latency
@@ -62,6 +65,7 @@ impl WarpRt {
             regs: vec![0; WARP_SIZE as usize * regs_per_thread as usize],
             regs_per_thread,
             waiting_barrier: false,
+            barrier_since: 0,
             pending_loads: 0,
             long_pending_loads: 0,
             done: false,

@@ -1,0 +1,393 @@
+//! Chrome Trace Event Format export.
+//!
+//! Converts a timed event stream into the JSON array format understood by
+//! Perfetto and `about://tracing`. The mapping:
+//!
+//! - each **SM is a process** (`pid = sm + 1`);
+//! - each **CTA slot is a thread** (`tid = 1 + cta_slot`) carrying nested
+//!   `B`/`E` spans: `cta<N>` (residency) containing `swap-in`/`swap-out`
+//!   transfers and `active` execution windows;
+//! - each **warp slot is a thread** (`tid = 1000 + warp_slot`) carrying
+//!   `barrier-wait` spans and instruction-issue instants;
+//! - **memory requests are async spans** (`b`/`n`/`e`, category `mem`,
+//!   `id` = request id) so their lifetime renders as one arrow-connected
+//!   track regardless of which unit is currently servicing them;
+//! - sampled counters become `C` events.
+//!
+//! Timestamps are raw cycles passed through as microseconds; Perfetto's
+//! absolute time unit is irrelevant for a cycle-level simulator, and 1:1
+//! keeps the UI's numbers readable as cycles.
+
+use crate::event::{MemKind, SwapDir, TimedEvent, TraceEvent};
+use std::collections::BTreeSet;
+use vt_json::Json;
+
+const WARP_TID_BASE: u32 = 1000;
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn meta(pid: u32, tid: Option<u32>, which: &str, name: String) -> Json {
+    let mut fields = vec![
+        ("name", Json::Str(which.to_string())),
+        ("ph", Json::Str("M".to_string())),
+        ("pid", Json::UInt(u64::from(pid))),
+    ];
+    if let Some(tid) = tid {
+        fields.push(("tid", Json::UInt(u64::from(tid))));
+    }
+    fields.push(("args", obj(vec![("name", Json::Str(name))])));
+    obj(fields)
+}
+
+fn span(ph: &str, name: &str, t: u64, pid: u32, tid: u32, args: Vec<(&str, Json)>) -> Json {
+    let mut fields = vec![
+        ("name", Json::Str(name.to_string())),
+        ("ph", Json::Str(ph.to_string())),
+        ("ts", Json::UInt(t)),
+        ("pid", Json::UInt(u64::from(pid))),
+        ("tid", Json::UInt(u64::from(tid))),
+    ];
+    if !args.is_empty() {
+        fields.push(("args", obj(args)));
+    }
+    obj(fields)
+}
+
+fn async_ev(ph: &str, name: &str, t: u64, pid: u32, id: u64, args: Vec<(&str, Json)>) -> Json {
+    let mut fields = vec![
+        ("name", Json::Str(name.to_string())),
+        ("cat", Json::Str("mem".to_string())),
+        ("ph", Json::Str(ph.to_string())),
+        ("ts", Json::UInt(t)),
+        ("pid", Json::UInt(u64::from(pid))),
+        ("tid", Json::UInt(0)),
+        ("id", Json::Str(format!("{id:#x}"))),
+    ];
+    if !args.is_empty() {
+        fields.push(("args", obj(args)));
+    }
+    obj(fields)
+}
+
+fn instant(name: &str, t: u64, pid: u32, tid: u32, args: Vec<(&str, Json)>) -> Json {
+    let mut fields = vec![
+        ("name", Json::Str(name.to_string())),
+        ("ph", Json::Str("i".to_string())),
+        ("s", Json::Str("t".to_string())),
+        ("ts", Json::UInt(t)),
+        ("pid", Json::UInt(u64::from(pid))),
+        ("tid", Json::UInt(u64::from(tid))),
+    ];
+    if !args.is_empty() {
+        fields.push(("args", obj(args)));
+    }
+    obj(fields)
+}
+
+fn counter(name: &str, t: u64, pid: u32, value: u64) -> Json {
+    obj(vec![
+        ("name", Json::Str(name.to_string())),
+        ("ph", Json::Str("C".to_string())),
+        ("ts", Json::UInt(t)),
+        ("pid", Json::UInt(u64::from(pid))),
+        ("args", obj(vec![("value", Json::UInt(value))])),
+    ])
+}
+
+fn kind_name(kind: MemKind) -> &'static str {
+    match kind {
+        MemKind::Load => "load",
+        MemKind::Store => "store",
+        MemKind::Atomic => "atomic",
+    }
+}
+
+/// Converts events to a Chrome-trace JSON document
+/// (`{"traceEvents": [...]}`), ready to write to a `.trace.json` file and
+/// open in Perfetto.
+pub fn to_chrome_json(events: &[TimedEvent]) -> Json {
+    // First pass: discover which (pid, tid) tracks exist so metadata rows
+    // can name them up front.
+    let mut sms: BTreeSet<u32> = BTreeSet::new();
+    let mut cta_tracks: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut warp_tracks: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for e in events {
+        match e.ev {
+            TraceEvent::CtaLaunch { sm, cta_slot, .. }
+            | TraceEvent::SwapBegin { sm, cta_slot, .. }
+            | TraceEvent::SwapEnd { sm, cta_slot, .. }
+            | TraceEvent::CtaActivate { sm, cta_slot, .. }
+            | TraceEvent::CtaDeactivate { sm, cta_slot, .. }
+            | TraceEvent::CtaComplete { sm, cta_slot, .. } => {
+                sms.insert(sm);
+                cta_tracks.insert((sm, cta_slot));
+            }
+            TraceEvent::WarpIssue { sm, warp_slot, .. }
+            | TraceEvent::BarrierArrive { sm, warp_slot, .. }
+            | TraceEvent::BarrierRelease { sm, warp_slot, .. }
+            | TraceEvent::Coalesce { sm, warp_slot, .. } => {
+                sms.insert(sm);
+                warp_tracks.insert((sm, warp_slot));
+            }
+            TraceEvent::MemBegin { sm, .. }
+            | TraceEvent::MemAt { sm, .. }
+            | TraceEvent::MemEnd { sm, .. }
+            | TraceEvent::StoreSubmit { sm, .. }
+            | TraceEvent::Counter { sm, .. } => {
+                sms.insert(sm);
+            }
+        }
+    }
+
+    let mut rows: Vec<Json> = Vec::with_capacity(events.len() + sms.len());
+    for &sm in &sms {
+        rows.push(meta(sm + 1, None, "process_name", format!("SM{sm}")));
+    }
+    for &(sm, slot) in &cta_tracks {
+        rows.push(meta(
+            sm + 1,
+            Some(1 + slot),
+            "thread_name",
+            format!("cta-slot {slot}"),
+        ));
+    }
+    for &(sm, slot) in &warp_tracks {
+        rows.push(meta(
+            sm + 1,
+            Some(WARP_TID_BASE + slot),
+            "thread_name",
+            format!("warp {slot}"),
+        ));
+    }
+
+    for e in events {
+        let t = e.t;
+        match e.ev {
+            TraceEvent::CtaLaunch {
+                sm,
+                cta_slot,
+                cta_id,
+            } => rows.push(span(
+                "B",
+                &format!("cta{cta_id}"),
+                t,
+                sm + 1,
+                1 + cta_slot,
+                vec![("cta", Json::UInt(u64::from(cta_id)))],
+            )),
+            TraceEvent::SwapBegin {
+                sm,
+                cta_slot,
+                dir,
+                fresh,
+                ..
+            } => {
+                let name = if fresh && dir == SwapDir::In {
+                    "fresh-init"
+                } else {
+                    dir.label()
+                };
+                rows.push(span("B", name, t, sm + 1, 1 + cta_slot, vec![]));
+            }
+            TraceEvent::SwapEnd {
+                sm, cta_slot, dir, ..
+            } => {
+                // `E` matches the innermost open `B` by position; the name
+                // is informational, so the fresh/restore split is fine.
+                let _ = dir;
+                rows.push(span("E", "", t, sm + 1, 1 + cta_slot, vec![]));
+            }
+            TraceEvent::CtaActivate { sm, cta_slot, .. } => {
+                rows.push(span("B", "active", t, sm + 1, 1 + cta_slot, vec![]));
+            }
+            TraceEvent::CtaDeactivate { sm, cta_slot, .. } => {
+                rows.push(span("E", "", t, sm + 1, 1 + cta_slot, vec![]));
+            }
+            TraceEvent::CtaComplete { sm, cta_slot, .. } => {
+                rows.push(span("E", "", t, sm + 1, 1 + cta_slot, vec![]));
+            }
+            TraceEvent::WarpIssue {
+                sm,
+                sched,
+                warp_slot,
+                pc,
+            } => rows.push(instant(
+                "issue",
+                t,
+                sm + 1,
+                WARP_TID_BASE + warp_slot,
+                vec![
+                    ("pc", Json::UInt(u64::from(pc))),
+                    ("sched", Json::UInt(u64::from(sched))),
+                ],
+            )),
+            TraceEvent::BarrierArrive { sm, warp_slot, .. } => {
+                rows.push(span(
+                    "B",
+                    "barrier-wait",
+                    t,
+                    sm + 1,
+                    WARP_TID_BASE + warp_slot,
+                    vec![],
+                ));
+            }
+            TraceEvent::BarrierRelease { sm, warp_slot, .. } => {
+                rows.push(span("E", "", t, sm + 1, WARP_TID_BASE + warp_slot, vec![]));
+            }
+            TraceEvent::Coalesce {
+                sm,
+                warp_slot,
+                kind,
+                lines,
+            } => rows.push(instant(
+                "coalesce",
+                t,
+                sm + 1,
+                WARP_TID_BASE + warp_slot,
+                vec![
+                    ("kind", Json::Str(kind_name(kind).to_string())),
+                    ("lines", Json::UInt(u64::from(lines))),
+                ],
+            )),
+            TraceEvent::MemBegin {
+                sm,
+                req,
+                line_addr,
+                kind,
+                level,
+            } => rows.push(async_ev(
+                "b",
+                kind_name(kind),
+                t,
+                sm + 1,
+                req,
+                vec![
+                    ("line", Json::Str(format!("{line_addr:#x}"))),
+                    ("at", Json::Str(level.label().to_string())),
+                ],
+            )),
+            TraceEvent::MemAt { sm, req, level } => {
+                rows.push(async_ev("n", level.label(), t, sm + 1, req, vec![]))
+            }
+            TraceEvent::MemEnd { sm, req } => {
+                rows.push(async_ev("e", "done", t, sm + 1, req, vec![]));
+            }
+            TraceEvent::StoreSubmit { sm, line_addr } => rows.push(instant(
+                "store",
+                t,
+                sm + 1,
+                1,
+                vec![("line", Json::Str(format!("{line_addr:#x}")))],
+            )),
+            TraceEvent::Counter { sm, name, value } => {
+                rows.push(counter(name, t, sm + 1, value));
+            }
+        }
+    }
+
+    obj(vec![("traceEvents", Json::Array(rows))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64, ev: TraceEvent) -> TimedEvent {
+        TimedEvent { t, ev }
+    }
+
+    #[test]
+    fn emits_metadata_for_every_track() {
+        let events = vec![
+            ev(
+                0,
+                TraceEvent::CtaLaunch {
+                    sm: 2,
+                    cta_slot: 3,
+                    cta_id: 7,
+                },
+            ),
+            ev(
+                1,
+                TraceEvent::WarpIssue {
+                    sm: 2,
+                    sched: 0,
+                    warp_slot: 5,
+                    pc: 0,
+                },
+            ),
+        ];
+        let json = to_chrome_json(&events).compact();
+        assert!(json.starts_with(r#"{"traceEvents":["#));
+        assert!(json.contains(r#""process_name""#));
+        assert!(json.contains(r#""SM2""#));
+        assert!(json.contains(r#""cta-slot 3""#));
+        assert!(json.contains(r#""warp 5""#));
+        assert!(json.contains(r#""pid":3"#), "pid = sm + 1");
+        assert!(json.contains(r#""tid":1005"#), "warp tid offset");
+    }
+
+    #[test]
+    fn memory_requests_render_as_async_spans() {
+        let events = vec![
+            ev(
+                5,
+                TraceEvent::MemBegin {
+                    sm: 0,
+                    req: 0xab,
+                    line_addr: 0x1000,
+                    kind: MemKind::Load,
+                    level: crate::event::MemLevel::L1Miss,
+                },
+            ),
+            ev(
+                9,
+                TraceEvent::MemAt {
+                    sm: 0,
+                    req: 0xab,
+                    level: crate::event::MemLevel::L2Hit,
+                },
+            ),
+            ev(20, TraceEvent::MemEnd { sm: 0, req: 0xab }),
+        ];
+        let json = to_chrome_json(&events).compact();
+        assert!(json.contains(r#""ph":"b""#));
+        assert!(json.contains(r#""ph":"n""#));
+        assert!(json.contains(r#""ph":"e""#));
+        assert!(json.contains(r#""id":"0xab""#));
+        assert!(json.contains(r#""cat":"mem""#));
+        assert!(json.contains(r#""l2-hit""#));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let events = vec![
+            ev(
+                0,
+                TraceEvent::Counter {
+                    sm: 1,
+                    name: "l1_mshr",
+                    value: 4,
+                },
+            ),
+            ev(
+                3,
+                TraceEvent::StoreSubmit {
+                    sm: 1,
+                    line_addr: 0x40,
+                },
+            ),
+        ];
+        assert_eq!(
+            to_chrome_json(&events).pretty(),
+            to_chrome_json(&events).pretty()
+        );
+    }
+}

@@ -1,0 +1,260 @@
+//! The trace event model.
+//!
+//! Events are small, copyable records stamped with the cycle they occurred
+//! at. They mirror the simulator's observable state transitions without
+//! depending on any simulator crate: `vt-mem` and `vt-sim` depend on this
+//! crate, not the other way round, so the enums here re-state the few
+//! shared vocabularies (request kind, swap direction) locally.
+
+/// Kind of a global-memory request, as seen below the LD/ST unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemKind {
+    /// A load; a response returns to the SM.
+    Load,
+    /// A fire-and-forget store (no span — see [`TraceEvent::StoreSubmit`]).
+    Store,
+    /// An atomic, performed at the L2; a response returns to the SM.
+    Atomic,
+}
+
+impl MemKind {
+    /// Short lower-case label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemKind::Load => "load",
+            MemKind::Store => "store",
+            MemKind::Atomic => "atomic",
+        }
+    }
+}
+
+/// Direction of a CTA context transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapDir {
+    /// Restore (or fresh initialisation) into an active slot.
+    In,
+    /// Save out to the context buffer.
+    Out,
+}
+
+impl SwapDir {
+    /// Span name used in exports and validation.
+    pub fn label(self) -> &'static str {
+        match self {
+            SwapDir::In => "swap-in",
+            SwapDir::Out => "swap-out",
+        }
+    }
+}
+
+/// Where in the hierarchy a memory request made progress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemLevel {
+    /// Served by the L1D (short latency).
+    L1Hit,
+    /// Missed the L1D; a fresh MSHR line was allocated.
+    L1Miss,
+    /// Merged onto an in-flight L1 MSHR line.
+    L1MshrMerge,
+    /// Bypassed the L1D (atomics execute at the L2).
+    L1Bypass,
+    /// Arrived at its memory partition off the interconnect.
+    PartitionArrive,
+    /// Served by the L2 slice.
+    L2Hit,
+    /// Missed the L2; sent to DRAM.
+    L2Miss,
+    /// Merged onto an in-flight L2 MSHR line.
+    L2MshrMerge,
+    /// The DRAM fill for its line completed.
+    DramFill,
+    /// The response filled the L1 / reached the SM's response queue.
+    L1Fill,
+}
+
+impl MemLevel {
+    /// Short label for exports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemLevel::L1Hit => "l1-hit",
+            MemLevel::L1Miss => "l1-miss",
+            MemLevel::L1MshrMerge => "l1-mshr-merge",
+            MemLevel::L1Bypass => "l1-bypass",
+            MemLevel::PartitionArrive => "partition-arrive",
+            MemLevel::L2Hit => "l2-hit",
+            MemLevel::L2Miss => "l2-miss",
+            MemLevel::L2MshrMerge => "l2-mshr-merge",
+            MemLevel::DramFill => "dram-fill",
+            MemLevel::L1Fill => "l1-fill",
+        }
+    }
+}
+
+/// One simulator event. Each variant corresponds to a state transition
+/// observable at a specific cycle; begin/end pairs form spans that the
+/// validator checks and the Chrome exporter renders as nested slices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A CTA became resident on an SM (span opens on its CTA-slot track).
+    CtaLaunch {
+        /// SM index.
+        sm: u32,
+        /// CTA slot within the SM.
+        cta_slot: u32,
+        /// CTA index within the kernel grid.
+        cta_id: u32,
+    },
+    /// A context transfer began: a restore/fresh-init (`dir == In`) or a
+    /// save to the context buffer (`dir == Out`).
+    SwapBegin {
+        /// SM index.
+        sm: u32,
+        /// CTA slot within the SM.
+        cta_slot: u32,
+        /// CTA index within the kernel grid.
+        cta_id: u32,
+        /// Transfer direction.
+        dir: SwapDir,
+        /// For `dir == In`: a fresh activation (no saved context) rather
+        /// than a restore.
+        fresh: bool,
+    },
+    /// The context transfer opened by the matching [`TraceEvent::SwapBegin`]
+    /// completed.
+    SwapEnd {
+        /// SM index.
+        sm: u32,
+        /// CTA slot within the SM.
+        cta_slot: u32,
+        /// CTA index within the kernel grid.
+        cta_id: u32,
+        /// Transfer direction.
+        dir: SwapDir,
+    },
+    /// The CTA entered the `Active` phase (its warps may issue).
+    CtaActivate {
+        /// SM index.
+        sm: u32,
+        /// CTA slot within the SM.
+        cta_slot: u32,
+        /// CTA index within the kernel grid.
+        cta_id: u32,
+    },
+    /// The CTA left the `Active` phase (swap-out started or CTA finished).
+    CtaDeactivate {
+        /// SM index.
+        sm: u32,
+        /// CTA slot within the SM.
+        cta_slot: u32,
+        /// CTA index within the kernel grid.
+        cta_id: u32,
+    },
+    /// All warps exited; the resident span closes and the slot is free.
+    CtaComplete {
+        /// SM index.
+        sm: u32,
+        /// CTA slot within the SM.
+        cta_slot: u32,
+        /// CTA index within the kernel grid.
+        cta_id: u32,
+    },
+    /// Scheduler `sched` issued the instruction at `pc` from warp
+    /// `warp_slot` — one record per issued warp instruction.
+    WarpIssue {
+        /// SM index.
+        sm: u32,
+        /// Scheduler index within the SM.
+        sched: u32,
+        /// Warp slot within the SM.
+        warp_slot: u32,
+        /// Program counter of the issued instruction.
+        pc: u32,
+    },
+    /// A warp arrived at its CTA barrier (wait span opens on the warp's
+    /// track).
+    BarrierArrive {
+        /// SM index.
+        sm: u32,
+        /// CTA slot of the barrier.
+        cta_slot: u32,
+        /// Arriving warp's slot.
+        warp_slot: u32,
+    },
+    /// The barrier released this warp (wait span closes).
+    BarrierRelease {
+        /// SM index.
+        sm: u32,
+        /// CTA slot of the barrier.
+        cta_slot: u32,
+        /// Released warp's slot.
+        warp_slot: u32,
+    },
+    /// The coalescer broke one warp global-memory instruction into `lines`
+    /// transactions.
+    Coalesce {
+        /// SM index.
+        sm: u32,
+        /// Issuing warp's slot.
+        warp_slot: u32,
+        /// Access kind.
+        kind: MemKind,
+        /// Coalesced transaction count.
+        lines: u32,
+    },
+    /// A load/atomic transaction was accepted at the L1 (request span
+    /// opens). `level` records the L1 outcome.
+    MemBegin {
+        /// Originating SM.
+        sm: u32,
+        /// Request id (unique per transaction).
+        req: u64,
+        /// Cache-line address.
+        line_addr: u64,
+        /// Request kind.
+        kind: MemKind,
+        /// L1 outcome at acceptance.
+        level: MemLevel,
+    },
+    /// An open request made progress at `level`.
+    MemAt {
+        /// Originating SM.
+        sm: u32,
+        /// Request id.
+        req: u64,
+        /// Progress point.
+        level: MemLevel,
+    },
+    /// The SM's LD/ST unit popped the response (request span closes).
+    MemEnd {
+        /// Originating SM.
+        sm: u32,
+        /// Request id.
+        req: u64,
+    },
+    /// A fire-and-forget store was accepted at the L1 (instant; stores get
+    /// no response, hence no span).
+    StoreSubmit {
+        /// Originating SM.
+        sm: u32,
+        /// Cache-line address.
+        line_addr: u64,
+    },
+    /// A sampled counter (MSHR occupancy, LD/ST queue depth, …).
+    Counter {
+        /// SM index the counter belongs to.
+        sm: u32,
+        /// Counter name.
+        name: &'static str,
+        /// Sampled value.
+        value: u64,
+    },
+}
+
+/// An event stamped with the cycle it occurred at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedEvent {
+    /// Cycle of occurrence.
+    pub t: u64,
+    /// The event.
+    pub ev: TraceEvent,
+}

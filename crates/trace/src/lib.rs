@@ -1,0 +1,37 @@
+//! # vt-trace — the simulator's observability layer
+//!
+//! Aggregate counters (`RunStats`) answer *how much*; this crate answers
+//! *when* and *why*. It provides:
+//!
+//! - an [`event::TraceEvent`] model covering warp issue, the CTA
+//!   lifecycle (launch → activate → swap-out → swap-in → complete),
+//!   the memory-request lifecycle (coalesce → L1 → MSHR → interconnect →
+//!   partition → return), and barrier arrive/release;
+//! - [`sink::TraceSink`] with a zero-overhead [`sink::NullSink`] (the
+//!   `const ENABLED` guard monomorphizes instrumentation away entirely —
+//!   the default simulation path is byte-for-byte the uninstrumented one)
+//!   and a bounded [`sink::RingSink`];
+//! - [`chrome::to_chrome_json`], an exporter to the Chrome Trace Event
+//!   Format (open the `.trace.json` in [Perfetto](https://ui.perfetto.dev)
+//!   or `about://tracing`; SMs render as processes, CTA slots and warps
+//!   as threads, memory requests as async spans);
+//! - [`validate::validate`], the structural checker behind
+//!   `vtprof --check` (monotonic time, balanced spans, every memory
+//!   request closed);
+//! - [`hist::Histogram`] / [`hist::Gauge`], the log2-bucketed latency
+//!   and occupancy aggregates folded into `RunStats`/`MemStats`.
+//!
+//! This crate is a leaf: it depends only on `vt-json`, so `vt-mem` and
+//! `vt-sim` can hook into it without cycles.
+
+pub mod chrome;
+pub mod event;
+pub mod hist;
+pub mod sink;
+pub mod validate;
+
+pub use chrome::to_chrome_json;
+pub use event::{MemKind, MemLevel, SwapDir, TimedEvent, TraceEvent};
+pub use hist::{Gauge, Histogram};
+pub use sink::{NullSink, RingSink, TraceSink};
+pub use validate::{validate, TraceReport};

@@ -1,0 +1,429 @@
+//! Structural validation of a trace: the checks behind `vtprof --check`.
+//!
+//! A well-formed trace satisfies:
+//!
+//! 1. **Monotonic timestamps** — events are ordered by non-decreasing
+//!    cycle.
+//! 2. **Balanced CTA spans** — on every (sm, cta-slot) track the
+//!    launch/complete, swap-begin/swap-end and activate/deactivate pairs
+//!    nest properly, and every span opened is eventually closed.
+//! 3. **Balanced barrier waits** — a warp never arrives at a barrier
+//!    twice without a release in between, and no warp is left waiting.
+//! 4. **Closed memory spans** — every request id opens exactly once,
+//!    progress marks only touch open requests, and every load/atomic span
+//!    is closed by the end of the trace.
+//!
+//! Validation works on the *retained* window of a ring sink, so callers
+//! should treat a sink with drops as unverifiable rather than feeding it
+//! here.
+
+use crate::event::{MemKind, SwapDir, TimedEvent, TraceEvent};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What a span stack entry on a CTA-slot track is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CtaSpan {
+    Resident,
+    Swap(SwapDir),
+    Active,
+}
+
+/// Summary of a validated trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceReport {
+    /// Total events checked.
+    pub events: usize,
+    /// CTA residency spans opened (== CTAs launched in the window).
+    pub cta_spans: u64,
+    /// Swap-in/out + fresh-init transfer spans.
+    pub swap_spans: u64,
+    /// Barrier wait spans.
+    pub barrier_spans: u64,
+    /// Memory request spans (loads + atomics).
+    pub mem_spans: u64,
+    /// Instruction-issue events.
+    pub issues: u64,
+}
+
+const MAX_ERRORS: usize = 20;
+
+/// Validates `events`, returning a summary or the list of violations
+/// (capped at 20 so a systematically broken trace stays readable).
+pub fn validate(events: &[TimedEvent]) -> Result<TraceReport, Vec<String>> {
+    let mut errors: Vec<String> = Vec::new();
+    let mut report = TraceReport {
+        events: events.len(),
+        ..TraceReport::default()
+    };
+
+    let mut last_t = 0u64;
+    let mut cta_stacks: BTreeMap<(u32, u32), Vec<CtaSpan>> = BTreeMap::new();
+    let mut waiting: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let mut open_mem: BTreeSet<u64> = BTreeSet::new();
+
+    let err = |errors: &mut Vec<String>, msg: String| {
+        if errors.len() < MAX_ERRORS {
+            errors.push(msg);
+        }
+    };
+
+    for e in events {
+        if e.t < last_t {
+            err(
+                &mut errors,
+                format!("timestamp went backwards: {} after {}", e.t, last_t),
+            );
+        }
+        last_t = last_t.max(e.t);
+        let t = e.t;
+        match e.ev {
+            TraceEvent::CtaLaunch { sm, cta_slot, .. } => {
+                let stack = cta_stacks.entry((sm, cta_slot)).or_default();
+                if !stack.is_empty() {
+                    err(
+                        &mut errors,
+                        format!("t={t}: sm{sm} slot{cta_slot}: launch into occupied slot"),
+                    );
+                }
+                stack.push(CtaSpan::Resident);
+                report.cta_spans += 1;
+            }
+            TraceEvent::SwapBegin {
+                sm, cta_slot, dir, ..
+            } => {
+                let stack = cta_stacks.entry((sm, cta_slot)).or_default();
+                match stack.last() {
+                    Some(CtaSpan::Resident) => stack.push(CtaSpan::Swap(dir)),
+                    top => err(
+                        &mut errors,
+                        format!(
+                            "t={t}: sm{sm} slot{cta_slot}: {} begun atop {top:?}",
+                            dir.label()
+                        ),
+                    ),
+                }
+                report.swap_spans += 1;
+            }
+            TraceEvent::SwapEnd {
+                sm, cta_slot, dir, ..
+            } => {
+                let stack = cta_stacks.entry((sm, cta_slot)).or_default();
+                if stack.last() == Some(&CtaSpan::Swap(dir)) {
+                    stack.pop();
+                } else {
+                    err(
+                        &mut errors,
+                        format!(
+                            "t={t}: sm{sm} slot{cta_slot}: unmatched {} end",
+                            dir.label()
+                        ),
+                    );
+                }
+            }
+            TraceEvent::CtaActivate { sm, cta_slot, .. } => {
+                let stack = cta_stacks.entry((sm, cta_slot)).or_default();
+                match stack.last() {
+                    Some(CtaSpan::Resident) => stack.push(CtaSpan::Active),
+                    top => err(
+                        &mut errors,
+                        format!("t={t}: sm{sm} slot{cta_slot}: activate atop {top:?}"),
+                    ),
+                }
+            }
+            TraceEvent::CtaDeactivate { sm, cta_slot, .. } => {
+                let stack = cta_stacks.entry((sm, cta_slot)).or_default();
+                if stack.last() == Some(&CtaSpan::Active) {
+                    stack.pop();
+                } else {
+                    err(
+                        &mut errors,
+                        format!("t={t}: sm{sm} slot{cta_slot}: deactivate while not active"),
+                    );
+                }
+            }
+            TraceEvent::CtaComplete { sm, cta_slot, .. } => {
+                let stack = cta_stacks.entry((sm, cta_slot)).or_default();
+                if stack.as_slice() == [CtaSpan::Resident] {
+                    stack.pop();
+                } else {
+                    err(
+                        &mut errors,
+                        format!("t={t}: sm{sm} slot{cta_slot}: complete with open spans {stack:?}"),
+                    );
+                    stack.clear();
+                }
+            }
+            TraceEvent::WarpIssue { .. } => report.issues += 1,
+            TraceEvent::BarrierArrive { sm, warp_slot, .. } => {
+                if !waiting.insert((sm, warp_slot)) {
+                    err(
+                        &mut errors,
+                        format!("t={t}: sm{sm} warp{warp_slot}: double barrier arrive"),
+                    );
+                }
+                report.barrier_spans += 1;
+            }
+            TraceEvent::BarrierRelease { sm, warp_slot, .. } => {
+                if !waiting.remove(&(sm, warp_slot)) {
+                    err(
+                        &mut errors,
+                        format!("t={t}: sm{sm} warp{warp_slot}: release without arrive"),
+                    );
+                }
+            }
+            TraceEvent::Coalesce { .. } => {}
+            TraceEvent::MemBegin { sm, req, kind, .. } => {
+                if kind == MemKind::Store {
+                    err(
+                        &mut errors,
+                        format!("t={t}: sm{sm} req {req:#x}: store must not open a span"),
+                    );
+                }
+                if !open_mem.insert(req) {
+                    err(
+                        &mut errors,
+                        format!("t={t}: sm{sm} req {req:#x}: begun twice"),
+                    );
+                }
+                report.mem_spans += 1;
+            }
+            TraceEvent::MemAt { sm, req, level } => {
+                if !open_mem.contains(&req) {
+                    err(
+                        &mut errors,
+                        format!(
+                            "t={t}: sm{sm} req {req:#x}: progress ({}) on unopened request",
+                            level.label()
+                        ),
+                    );
+                }
+            }
+            TraceEvent::MemEnd { sm, req } => {
+                if !open_mem.remove(&req) {
+                    err(
+                        &mut errors,
+                        format!("t={t}: sm{sm} req {req:#x}: end without begin"),
+                    );
+                }
+            }
+            TraceEvent::StoreSubmit { .. } | TraceEvent::Counter { .. } => {}
+        }
+    }
+
+    for ((sm, slot), stack) in &cta_stacks {
+        if !stack.is_empty() {
+            err(
+                &mut errors,
+                format!("end of trace: sm{sm} slot{slot}: open spans {stack:?}"),
+            );
+        }
+    }
+    for (sm, warp) in &waiting {
+        err(
+            &mut errors,
+            format!("end of trace: sm{sm} warp{warp}: still waiting at barrier"),
+        );
+    }
+    if !open_mem.is_empty() {
+        let sample: Vec<String> = open_mem.iter().take(4).map(|r| format!("{r:#x}")).collect();
+        err(
+            &mut errors,
+            format!(
+                "end of trace: {} memory spans never closed (e.g. {})",
+                open_mem.len(),
+                sample.join(", ")
+            ),
+        );
+    }
+
+    if errors.is_empty() {
+        Ok(report)
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::MemLevel;
+
+    fn ev(t: u64, ev: TraceEvent) -> TimedEvent {
+        TimedEvent { t, ev }
+    }
+
+    fn launch(t: u64) -> TimedEvent {
+        ev(
+            t,
+            TraceEvent::CtaLaunch {
+                sm: 0,
+                cta_slot: 0,
+                cta_id: 0,
+            },
+        )
+    }
+
+    fn complete(t: u64) -> TimedEvent {
+        ev(
+            t,
+            TraceEvent::CtaComplete {
+                sm: 0,
+                cta_slot: 0,
+                cta_id: 0,
+            },
+        )
+    }
+
+    fn swap(t: u64, dir: SwapDir, begin: bool) -> TimedEvent {
+        if begin {
+            ev(
+                t,
+                TraceEvent::SwapBegin {
+                    sm: 0,
+                    cta_slot: 0,
+                    cta_id: 0,
+                    dir,
+                    fresh: false,
+                },
+            )
+        } else {
+            ev(
+                t,
+                TraceEvent::SwapEnd {
+                    sm: 0,
+                    cta_slot: 0,
+                    cta_id: 0,
+                    dir,
+                },
+            )
+        }
+    }
+
+    fn activate(t: u64, on: bool) -> TimedEvent {
+        if on {
+            ev(
+                t,
+                TraceEvent::CtaActivate {
+                    sm: 0,
+                    cta_slot: 0,
+                    cta_id: 0,
+                },
+            )
+        } else {
+            ev(
+                t,
+                TraceEvent::CtaDeactivate {
+                    sm: 0,
+                    cta_slot: 0,
+                    cta_id: 0,
+                },
+            )
+        }
+    }
+
+    #[test]
+    fn accepts_a_complete_cta_lifecycle() {
+        let events = vec![
+            launch(0),
+            swap(0, SwapDir::In, true),
+            swap(2, SwapDir::In, false),
+            activate(2, true),
+            activate(10, false),
+            swap(10, SwapDir::Out, true),
+            swap(12, SwapDir::Out, false),
+            swap(20, SwapDir::In, true),
+            swap(22, SwapDir::In, false),
+            activate(22, true),
+            activate(30, false),
+            complete(30),
+        ];
+        let report = validate(&events).expect("valid trace");
+        assert_eq!(report.cta_spans, 1);
+        assert_eq!(report.swap_spans, 3);
+    }
+
+    #[test]
+    fn rejects_backwards_time() {
+        let events = vec![launch(5), complete(3)];
+        let errs = validate(&events).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("backwards")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_unclosed_cta_span() {
+        let errs = validate(&[launch(0)]).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("open spans")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_complete_while_active() {
+        let events = vec![launch(0), activate(1, true), complete(2)];
+        assert!(validate(&events).is_err());
+    }
+
+    #[test]
+    fn rejects_unbalanced_barrier() {
+        let arrive = ev(
+            1,
+            TraceEvent::BarrierArrive {
+                sm: 0,
+                cta_slot: 0,
+                warp_slot: 4,
+            },
+        );
+        let errs = validate(&[arrive]).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("waiting")), "{errs:?}");
+    }
+
+    #[test]
+    fn rejects_unclosed_memory_span() {
+        let begin = ev(
+            0,
+            TraceEvent::MemBegin {
+                sm: 0,
+                req: 9,
+                line_addr: 0,
+                kind: MemKind::Load,
+                level: MemLevel::L1Miss,
+            },
+        );
+        let errs = validate(&[begin]).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("never closed")), "{errs:?}");
+        let end = ev(7, TraceEvent::MemEnd { sm: 0, req: 9 });
+        let report = validate(&[begin, end]).expect("closed span ok");
+        assert_eq!(report.mem_spans, 1);
+    }
+
+    #[test]
+    fn l1_hits_close_at_the_same_cycle() {
+        let begin = ev(
+            4,
+            TraceEvent::MemBegin {
+                sm: 1,
+                req: 2,
+                line_addr: 0x80,
+                kind: MemKind::Load,
+                level: MemLevel::L1Hit,
+            },
+        );
+        let at = ev(
+            4,
+            TraceEvent::MemAt {
+                sm: 1,
+                req: 2,
+                level: MemLevel::L1Fill,
+            },
+        );
+        let end = ev(4, TraceEvent::MemEnd { sm: 1, req: 2 });
+        assert!(validate(&[begin, at, end]).is_ok());
+    }
+
+    #[test]
+    fn error_list_is_capped() {
+        let events: Vec<TimedEvent> = (0..100)
+            .map(|i| ev(i, TraceEvent::MemEnd { sm: 0, req: i }))
+            .collect();
+        let errs = validate(&events).unwrap_err();
+        assert!(errs.len() <= 20);
+    }
+}

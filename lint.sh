@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== vtlint --suite"
 cargo run -q -p vt-analysis --bin vtlint -- --suite
 
+echo "== vtprof --check (trace validation on one suite kernel)"
+cargo run -q -p vt-bench --bin vtprof -- spmv --check --out "$(mktemp -d)"
+
 echo "lint: OK"

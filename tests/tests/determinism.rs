@@ -2,7 +2,9 @@
 //! repeated runs must agree cycle-for-cycle, and the workload generators
 //! must be reproducible.
 
-use vt_tests::{all_archs, run};
+use vt_core::Gpu;
+use vt_tests::{all_archs, run, small_config};
+use vt_trace::{to_chrome_json, RingSink};
 use vt_workloads::{suite, Scale, SyntheticParams};
 
 #[test]
@@ -33,6 +35,37 @@ fn synthetic_generator_is_reproducible() {
         ..SyntheticParams::latency_bound()
     };
     assert_eq!(p.build(), p.build());
+}
+
+#[test]
+fn traced_replays_are_byte_identical() {
+    // Tracing rides on the same deterministic clock as the stats: two
+    // traced runs of the same (config, kernel) must agree on every event
+    // and on the exported Chrome-trace JSON, byte for byte.
+    let ws = suite(&Scale::test());
+    for w in ws.iter().take(2) {
+        for arch in all_archs() {
+            let mut runs = (0..2).map(|_| {
+                let mut sink = RingSink::new(1 << 22);
+                let report = Gpu::new(small_config(arch))
+                    .run_traced(&w.kernel, &mut sink)
+                    .expect("traced run succeeds");
+                assert_eq!(sink.dropped(), 0);
+                (report, sink.into_events())
+            });
+            let (ra, ea) = runs.next().unwrap();
+            let (rb, eb) = runs.next().unwrap();
+            assert_eq!(ra.stats, rb.stats, "{} under {}", w.name, arch.label());
+            assert_eq!(ea, eb, "{} under {}", w.name, arch.label());
+            assert_eq!(
+                to_chrome_json(&ea).compact().into_bytes(),
+                to_chrome_json(&eb).compact().into_bytes(),
+                "{} under {}",
+                w.name,
+                arch.label()
+            );
+        }
+    }
 }
 
 #[test]

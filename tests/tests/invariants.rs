@@ -152,6 +152,36 @@ fn idle_cycles_never_exceed_sm_cycles() {
 }
 
 #[test]
+fn idle_accounting_partitions_every_sm_cycle() {
+    // Each SM-cycle is charged to exactly one bucket: either at least one
+    // instruction issued (`issue_cycles`) or exactly one idle bucket, by
+    // the precedence documented on `IdleBreakdown` (no_warps, then
+    // swapping/memory for a drained active set, then the issue-list scan).
+    // The buckets therefore partition `num_sms × cycles` with no cycle
+    // dropped or double-counted — for every suite kernel and every
+    // architecture.
+    for w in suite(&Scale::test()) {
+        for arch in vt_tests::all_archs() {
+            let r = run(arch, &w.kernel);
+            assert_eq!(
+                r.stats.idle.total() + r.stats.issue_cycles,
+                r.stats.occupancy.sm_cycles,
+                "{} under {}",
+                w.name,
+                arch.label()
+            );
+            assert_eq!(
+                r.stats.occupancy.sm_cycles,
+                r.stats.cycles * 2,
+                "{} under {} (2 SMs accumulate once per cycle)",
+                w.name,
+                arch.label()
+            );
+        }
+    }
+}
+
+#[test]
 fn swap_accounting_is_consistent() {
     let k = latency_bound();
     let r = run(Architecture::virtual_thread(), &k);

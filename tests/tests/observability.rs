@@ -1,0 +1,163 @@
+//! End-to-end observability: traced runs produce structurally valid
+//! event streams for every architecture, observation never perturbs the
+//! simulation, and the Chrome-trace export is well formed.
+
+use vt_core::{Architecture, Gpu, Report};
+use vt_isa::Kernel;
+use vt_tests::{all_archs, run, small_config};
+use vt_trace::{to_chrome_json, validate, RingSink, SwapDir, TimedEvent, TraceEvent};
+use vt_workloads::{suite, AccessPattern, Scale, SyntheticParams};
+
+fn run_traced(arch: Architecture, kernel: &Kernel) -> (Report, Vec<TimedEvent>) {
+    let mut sink = RingSink::new(1 << 22);
+    let report = Gpu::new(small_config(arch))
+        .run_traced(kernel, &mut sink)
+        .unwrap_or_else(|e| panic!("{} under {}: {e}", kernel.name(), arch.label()));
+    assert_eq!(sink.dropped(), 0, "ring large enough for test-scale runs");
+    (report, sink.into_events())
+}
+
+fn latency_bound() -> Kernel {
+    SyntheticParams {
+        ctas: 64,
+        access: AccessPattern::Random,
+        alu_per_load: 1,
+        ..SyntheticParams::default()
+    }
+    .build()
+}
+
+#[test]
+fn traces_validate_across_suite_and_architectures() {
+    for w in suite(&Scale::test()) {
+        let (_, events) = run_traced(Architecture::virtual_thread(), &w.kernel);
+        assert!(!events.is_empty(), "{}", w.name);
+        if let Err(issues) = validate(&events) {
+            panic!("{}: {}", w.name, issues.join("; "));
+        }
+    }
+    let k = latency_bound();
+    for arch in all_archs() {
+        let (_, events) = run_traced(arch, &k);
+        if let Err(issues) = validate(&events) {
+            panic!("{}: {}", arch.label(), issues.join("; "));
+        }
+    }
+}
+
+#[test]
+fn tracing_does_not_perturb_the_simulation() {
+    let ws = suite(&Scale::test());
+    for w in ws.iter().take(4) {
+        for arch in all_archs() {
+            let untraced = run(arch, &w.kernel);
+            let (traced, _) = run_traced(arch, &w.kernel);
+            assert_eq!(
+                untraced.stats,
+                traced.stats,
+                "{} under {}",
+                w.name,
+                arch.label()
+            );
+            assert_eq!(untraced.mem_image, traced.mem_image);
+        }
+    }
+}
+
+#[test]
+fn vt_traces_carry_the_swap_protocol() {
+    let k = latency_bound();
+    let (report, events) = run_traced(Architecture::virtual_thread(), &k);
+    assert!(report.stats.swaps.swaps_out > 0, "kernel must swap");
+
+    let count = |f: &dyn Fn(&TraceEvent) -> bool| events.iter().filter(|e| f(&e.ev)).count() as u64;
+    let swap_out_begins = count(&|ev| {
+        matches!(
+            ev,
+            TraceEvent::SwapBegin {
+                dir: SwapDir::Out,
+                ..
+            }
+        )
+    });
+    let swap_out_ends = count(&|ev| {
+        matches!(
+            ev,
+            TraceEvent::SwapEnd {
+                dir: SwapDir::Out,
+                ..
+            }
+        )
+    });
+    assert_eq!(swap_out_begins, report.stats.swaps.swaps_out);
+    assert_eq!(swap_out_ends, swap_out_begins, "every save completes");
+
+    let fresh_ins = count(&|ev| matches!(ev, TraceEvent::SwapBegin { fresh: true, .. }));
+    let restore_ins = count(&|ev| {
+        matches!(
+            ev,
+            TraceEvent::SwapBegin {
+                dir: SwapDir::In,
+                fresh: false,
+                ..
+            }
+        )
+    });
+    assert_eq!(fresh_ins, report.stats.swaps.fresh_activations);
+    assert_eq!(restore_ins, report.stats.swaps.swaps_in);
+
+    let launches = count(&|ev| matches!(ev, TraceEvent::CtaLaunch { .. }));
+    let completes = count(&|ev| matches!(ev, TraceEvent::CtaComplete { .. }));
+    assert_eq!(launches, report.stats.ctas_completed);
+    assert_eq!(completes, launches);
+
+    // Swap-gap samples are one per restore; durations cover saves and
+    // restores.
+    assert_eq!(report.stats.swap_gap.count, report.stats.swaps.swaps_in);
+    assert_eq!(
+        report.stats.swap_duration.count,
+        report.stats.swaps.swaps_in + report.stats.swaps.swaps_out
+    );
+}
+
+#[test]
+fn memory_spans_balance_and_match_counters() {
+    let k = latency_bound();
+    let (report, events) = run_traced(Architecture::Baseline, &k);
+    let begins = events
+        .iter()
+        .filter(|e| matches!(e.ev, TraceEvent::MemBegin { .. }))
+        .count() as u64;
+    let ends = events
+        .iter()
+        .filter(|e| matches!(e.ev, TraceEvent::MemEnd { .. }))
+        .count() as u64;
+    assert!(begins > 0);
+    assert_eq!(begins, ends, "every request span is closed");
+
+    let s = &report.stats.mem;
+    // The load-latency histogram is the same population the legacy
+    // counters track.
+    assert_eq!(s.load_latency.count, s.loads_completed);
+    assert_eq!(s.load_latency.sum, s.load_latency_sum);
+    assert!(s.mshr_occupancy.samples > 0);
+    assert!(report.stats.ldst_queue.samples > 0);
+}
+
+#[test]
+fn chrome_export_is_perfetto_shaped() {
+    let ws = suite(&Scale::test());
+    let w = ws.iter().find(|w| w.name == "reduction").unwrap();
+    let (report, events) = run_traced(Architecture::virtual_thread(), &w.kernel);
+    let json = to_chrome_json(&events).compact();
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.contains("\"process_name\""), "SM process metadata");
+    assert!(json.contains("\"thread_name\""), "track metadata");
+    assert!(json.contains("\"ph\":\"B\"") && json.contains("\"ph\":\"E\""));
+    assert!(json.contains("\"ph\":\"b\""), "async memory spans");
+    assert!(
+        json.contains("barrier-wait"),
+        "reduction executes barriers so the trace has barrier spans"
+    );
+    assert!(report.stats.barriers > 0);
+}

@@ -10,7 +10,7 @@
 
 use std::hint::black_box;
 use std::time::Instant;
-use vt_core::{Architecture, Gpu, GpuConfig};
+use vt_core::{run_matrix, Architecture, Gpu, GpuConfig, Pool};
 use vt_isa::interp::Interpreter;
 use vt_isa::SimtStack;
 use vt_mem::cache::Cache;
@@ -169,6 +169,41 @@ fn bench_tracing_overhead() {
     });
 }
 
+/// The sequential-vs-parallel sweep pair: the full kernels ×
+/// architectures grid run on one thread and on a 4-worker pool. Results
+/// are bit-identical (asserted here); only wall-clock should differ. The
+/// speedup is bounded by the host's core count — on a single-core
+/// machine the pool can only tie the sequential run.
+fn bench_parallel_sweep() {
+    let scale = Scale { ctas: 24, iters: 3 };
+    let kernels: Vec<_> = suite(&scale).into_iter().map(|w| w.kernel).collect();
+    let archs = [
+        Architecture::Baseline,
+        Architecture::virtual_thread(),
+        Architecture::Ideal,
+    ];
+    let cfg = GpuConfig::default();
+
+    let seq_pool = Pool::new(1);
+    let par_pool = Pool::new(4);
+    let seq: Vec<u64> = run_matrix(&seq_pool, &cfg.core, &cfg.mem, &archs, &kernels)
+        .into_iter()
+        .map(|r| r.expect("cell runs").stats.cycles)
+        .collect();
+    let par: Vec<u64> = run_matrix(&par_pool, &cfg.core, &cfg.mem, &archs, &kernels)
+        .into_iter()
+        .map(|r| r.expect("cell runs").stats.cycles)
+        .collect();
+    assert_eq!(seq, par, "parallel sweep must be bit-identical");
+
+    bench("sweep/grid-1-thread", 3, || {
+        run_matrix(&seq_pool, &cfg.core, &cfg.mem, &archs, &kernels).len()
+    });
+    bench("sweep/grid-4-threads", 3, || {
+        run_matrix(&par_pool, &cfg.core, &cfg.mem, &archs, &kernels).len()
+    });
+}
+
 fn main() {
     println!("{:<32} {:>12}", "benchmark", "mean");
     bench_coalescer();
@@ -177,4 +212,5 @@ fn main() {
     bench_mem_system();
     bench_end_to_end();
     bench_tracing_overhead();
+    bench_parallel_sweep();
 }

@@ -1,0 +1,370 @@
+//! `vtsweep` — parallel sweep runner for the experiment grid.
+//!
+//! Runs the suite-kernels × architectures grid on the deterministic
+//! worker pool, either fanning whole grid cells across threads
+//! (`--engine grid`, the default) or sharding the SMs of each run
+//! (`--engine sm`). Results are bit-identical to a sequential run at any
+//! thread count; `--check` verifies exactly that.
+//!
+//! ```text
+//! cargo run --release -p vt-bench --bin vtsweep                  # full grid
+//! cargo run --release -p vt-bench --bin vtsweep -- bfs spmv --threads 4
+//! cargo run --release -p vt-bench --bin vtsweep -- --threads 2 --check
+//! ```
+//!
+//! Exit codes: 0 success, 1 a `--check` mismatch, 2 usage or simulation
+//! error.
+
+use std::process::ExitCode;
+use std::time::Instant;
+use vt_core::{
+    default_threads, run_matrix, Architecture, Gpu, GpuConfig, MemSwapParams, Pool, Report,
+    RunStats, SimError,
+};
+use vt_json::Json;
+use vt_workloads::{suite, Scale, Workload};
+
+const USAGE: &str = "\
+usage: vtsweep [KERNEL...] [options]
+
+Runs the kernels x architectures grid on a deterministic worker pool and
+prints one stats line (or JSON record) per cell. Any thread count gives
+bit-identical statistics; threading only changes wall-clock time.
+
+options:
+  --arch LIST                        comma-separated subset of
+                                     baseline,vt,ideal,memswap or `all`
+                                     (default all)
+  --scale test|small|paper           problem scale (default test)
+  --sms N                            number of SMs (default config's 15)
+  --threads N                        worker threads (default $VT_THREADS,
+                                     else the machine's parallelism;
+                                     1 = fully sequential)
+  --engine grid|sm                   what to parallelise: independent grid
+                                     cells (default) or the SMs inside
+                                     each simulation
+  --check                            re-run the grid single-threaded and
+                                     fail (exit 1) unless every cell is
+                                     bit-identical
+  --json                             machine-readable results on stdout
+  --list                             list suite kernel names and exit
+  -h, --help                         this help";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    Grid,
+    Sm,
+}
+
+struct Opts {
+    kernels: Vec<String>,
+    archs: Vec<Architecture>,
+    scale: Scale,
+    sms: Option<u32>,
+    threads: usize,
+    engine: Engine,
+    check: bool,
+    json: bool,
+}
+
+fn parse_archs(list: &str) -> Result<Vec<Architecture>, String> {
+    if list == "all" {
+        return Ok(all_archs());
+    }
+    list.split(',')
+        .map(|a| match a.trim() {
+            "baseline" => Ok(Architecture::Baseline),
+            "vt" => Ok(Architecture::virtual_thread()),
+            "ideal" => Ok(Architecture::Ideal),
+            "memswap" => Ok(Architecture::MemSwap(MemSwapParams::default())),
+            other => Err(format!("unknown architecture `{other}`")),
+        })
+        .collect()
+}
+
+fn all_archs() -> Vec<Architecture> {
+    vec![
+        Architecture::Baseline,
+        Architecture::virtual_thread(),
+        Architecture::Ideal,
+        Architecture::MemSwap(MemSwapParams::default()),
+    ]
+}
+
+fn parse_args() -> Result<Option<Opts>, String> {
+    let mut o = Opts {
+        kernels: Vec::new(),
+        archs: all_archs(),
+        scale: Scale::test(),
+        sms: None,
+        threads: default_threads(),
+        engine: Engine::Grid,
+        check: false,
+        json: false,
+    };
+    let mut args = std::env::args().skip(1);
+    let mut list = false;
+    while let Some(a) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match a.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--list" => list = true,
+            "--check" => o.check = true,
+            "--json" => o.json = true,
+            "--arch" => o.archs = parse_archs(&value("--arch")?)?,
+            "--scale" => {
+                o.scale = match value("--scale")?.as_str() {
+                    "test" => Scale::test(),
+                    "small" => Scale::small(),
+                    "paper" => Scale::paper(),
+                    other => return Err(format!("unknown scale `{other}`")),
+                };
+            }
+            "--sms" => {
+                o.sms = Some(value("--sms")?.parse().map_err(|e| format!("--sms: {e}"))?);
+            }
+            "--threads" => {
+                let n: usize = value("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?;
+                o.threads = if n == 0 { default_threads() } else { n };
+            }
+            "--engine" => {
+                o.engine = match value("--engine")?.as_str() {
+                    "grid" => Engine::Grid,
+                    "sm" => Engine::Sm,
+                    other => return Err(format!("unknown engine `{other}`")),
+                };
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            name => o.kernels.push(name.to_string()),
+        }
+    }
+    if list {
+        for w in suite(&Scale::test()) {
+            println!("{}", w.name);
+        }
+        return Ok(None);
+    }
+    Ok(Some(o))
+}
+
+fn select<'a>(all: &'a [Workload], names: &[String]) -> Result<Vec<&'a Workload>, String> {
+    if names.is_empty() {
+        return Ok(all.iter().collect());
+    }
+    names
+        .iter()
+        .map(|n| {
+            all.iter()
+                .find(|w| w.name == n)
+                .ok_or(format!("unknown kernel `{n}` (try --list)"))
+        })
+        .collect()
+}
+
+/// Runs the full grid under the chosen engine, returning cells in
+/// kernel-major order.
+fn run_grid(opts: &Opts, picked: &[&Workload], threads: usize) -> Vec<Result<Report, SimError>> {
+    let mut cfg = GpuConfig::default();
+    if let Some(sms) = opts.sms {
+        cfg.core.num_sms = sms.max(1);
+    }
+    let pool = Pool::new(threads);
+    match opts.engine {
+        Engine::Grid => {
+            let kernels: Vec<_> = picked.iter().map(|w| w.kernel.clone()).collect();
+            run_matrix(&pool, &cfg.core, &cfg.mem, &opts.archs, &kernels)
+        }
+        Engine::Sm => {
+            let sm_pool = if threads > 1 { Some(&pool) } else { None };
+            picked
+                .iter()
+                .flat_map(|w| opts.archs.iter().map(move |&arch| (w, arch)))
+                .map(|(w, arch)| {
+                    Gpu::new(GpuConfig {
+                        arch,
+                        ..cfg.clone()
+                    })
+                    .run_on(&w.kernel, sm_pool)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Names the `RunStats` fields that differ, for a readable `--check`
+/// report.
+fn diff_stats(got: &RunStats, want: &RunStats) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut field = |name: &str, a: String, b: String| {
+        if a != b {
+            out.push(format!("{name}: {a} != {b}"));
+        }
+    };
+    field(
+        "cycles",
+        format!("{}", got.cycles),
+        format!("{}", want.cycles),
+    );
+    field(
+        "warp_instrs",
+        format!("{}", got.warp_instrs),
+        format!("{}", want.warp_instrs),
+    );
+    field(
+        "thread_instrs",
+        format!("{}", got.thread_instrs),
+        format!("{}", want.thread_instrs),
+    );
+    field(
+        "issue_cycles",
+        format!("{}", got.issue_cycles),
+        format!("{}", want.issue_cycles),
+    );
+    field(
+        "idle",
+        format!("{:?}", got.idle),
+        format!("{:?}", want.idle),
+    );
+    field(
+        "occupancy",
+        format!("{:?}", got.occupancy),
+        format!("{:?}", want.occupancy),
+    );
+    field(
+        "swaps",
+        format!("{:?}", got.swaps),
+        format!("{:?}", want.swaps),
+    );
+    field("mem", format!("{:?}", got.mem), format!("{:?}", want.mem));
+    if out.is_empty() && got != want {
+        out.push("other fields differ (histograms/gauges/timeline)".to_string());
+    }
+    out
+}
+
+fn cell_json(r: &Report) -> Json {
+    let s = &r.stats;
+    Json::object(vec![
+        ("kernel".into(), Json::Str(r.kernel.clone())),
+        ("arch".into(), Json::Str(r.arch.label().to_string())),
+        ("cycles".into(), Json::UInt(s.cycles)),
+        ("ipc".into(), Json::Float(s.ipc())),
+        ("warp_instrs".into(), Json::UInt(s.warp_instrs)),
+        ("ctas_completed".into(), Json::UInt(s.ctas_completed)),
+        ("issue_cycles".into(), Json::UInt(s.issue_cycles)),
+        ("idle_cycles".into(), Json::UInt(s.idle.total())),
+        ("swaps_out".into(), Json::UInt(s.swaps.swaps_out)),
+        ("swaps_in".into(), Json::UInt(s.swaps.swaps_in)),
+        ("l1_accesses".into(), Json::UInt(s.mem.l1_accesses)),
+        ("l2_accesses".into(), Json::UInt(s.mem.l2_accesses)),
+        ("dram_reads".into(), Json::UInt(s.mem.dram_reads)),
+    ])
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(Some(o)) => o,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("vtsweep: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let all = suite(&opts.scale);
+    let picked = match select(&all, &opts.kernels) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("vtsweep: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let started = Instant::now();
+    let grid = run_grid(&opts, &picked, opts.threads);
+    let elapsed = started.elapsed();
+
+    let mut records = Vec::new();
+    let mut sim_failed = false;
+    for cell in &grid {
+        match cell {
+            Ok(r) => {
+                if !opts.json {
+                    println!(
+                        "{:<16} [{:<8}] {:>10} cycles  ipc {:>6.2}  swaps {}",
+                        r.kernel,
+                        r.arch.label(),
+                        r.stats.cycles,
+                        r.stats.ipc(),
+                        r.stats.swaps.swaps_out,
+                    );
+                }
+                records.push(cell_json(r));
+            }
+            Err(e) => {
+                eprintln!("vtsweep: {e}");
+                sim_failed = true;
+            }
+        }
+    }
+    if sim_failed {
+        return ExitCode::from(2);
+    }
+    if opts.json {
+        println!("{}", Json::Array(records).pretty());
+    } else {
+        println!(
+            "{} cells, {} thread(s), engine {}, {:.2}s",
+            grid.len(),
+            opts.threads,
+            match opts.engine {
+                Engine::Grid => "grid",
+                Engine::Sm => "sm",
+            },
+            elapsed.as_secs_f64()
+        );
+    }
+
+    if opts.check {
+        let reference = run_grid(&opts, &picked, 1);
+        let mut mismatches = 0usize;
+        for (got, want) in grid.iter().zip(&reference) {
+            match (got, want) {
+                (Ok(g), Ok(w)) => {
+                    if g.stats != w.stats || g.mem_image != w.mem_image {
+                        mismatches += 1;
+                        eprintln!(
+                            "vtsweep: MISMATCH {} [{}] vs sequential:",
+                            g.kernel,
+                            g.arch.label()
+                        );
+                        for line in diff_stats(&g.stats, &w.stats) {
+                            eprintln!("  {line}");
+                        }
+                        if g.mem_image != w.mem_image {
+                            eprintln!("  final memory image differs");
+                        }
+                    }
+                }
+                (Err(g), Err(w)) if format!("{g}") == format!("{w}") => {}
+                _ => mismatches += 1,
+            }
+        }
+        if mismatches > 0 {
+            eprintln!(
+                "vtsweep: --check failed: {mismatches} cell(s) diverge from the sequential run"
+            );
+            return ExitCode::from(1);
+        }
+        println!(
+            "check: ok ({} cells bit-identical at {} thread(s))",
+            grid.len(),
+            opts.threads
+        );
+    }
+    ExitCode::SUCCESS
+}

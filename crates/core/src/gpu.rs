@@ -5,6 +5,7 @@ use crate::arch::Architecture;
 use vt_isa::kernel::MemImage;
 use vt_isa::Kernel;
 use vt_mem::MemConfig;
+use vt_par::Pool;
 use vt_sim::{
     check_launchable, occupancy, CoreConfig, GpuSim, LaunchError, OccupancyAnalysis,
     ResidencyConfig, RunStats, SimConfig, SimError,
@@ -176,6 +177,18 @@ impl Gpu {
         self.run_traced(kernel, &mut vt_trace::NullSink)
     }
 
+    /// [`Gpu::run`] with the per-cycle SM phase sharded across `pool`'s
+    /// workers. Results are bit-identical to [`Gpu::run`] at any thread
+    /// count; `None` runs inline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on launch failure, a functional trap, or
+    /// watchdog expiry.
+    pub fn run_on(&self, kernel: &Kernel, pool: Option<&Pool>) -> Result<Report, SimError> {
+        self.run_traced_on(kernel, pool, &mut vt_trace::NullSink)
+    }
+
     /// [`Gpu::run`] with an explicit trace sink receiving every simulation
     /// event; with [`vt_trace::NullSink`] the instrumentation compiles
     /// away.
@@ -189,6 +202,23 @@ impl Gpu {
         kernel: &Kernel,
         sink: &mut S,
     ) -> Result<Report, SimError> {
+        self.run_traced_on(kernel, None, sink)
+    }
+
+    /// Tracing plus optional SM-level parallelism — the full engine
+    /// surface. Stats, traces and the final memory image are identical
+    /// for every `pool` choice.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on launch failure, a functional trap, or
+    /// watchdog expiry.
+    pub fn run_traced_on<S: vt_trace::TraceSink>(
+        &self,
+        kernel: &Kernel,
+        pool: Option<&Pool>,
+        sink: &mut S,
+    ) -> Result<Report, SimError> {
         let residency = self
             .cfg
             .arch
@@ -198,7 +228,7 @@ impl Gpu {
             mem: self.cfg.mem.clone(),
             residency,
         };
-        let result = GpuSim::new(&sim_cfg, kernel)?.run_traced(sink)?;
+        let result = GpuSim::new(&sim_cfg, kernel)?.run_traced_on(pool, sink)?;
         Ok(Report {
             kernel: kernel.name().to_string(),
             arch: self.cfg.arch,
@@ -232,6 +262,36 @@ pub fn compare(
             .run(kernel)
         })
         .collect()
+}
+
+/// Runs the full `kernels` × `archs` grid, fanning independent cells
+/// across `pool`'s workers. Returns one result per cell in kernel-major
+/// order (`kernels[0]` under every architecture, then `kernels[1]`, …),
+/// regardless of which worker finished first — each cell is an isolated
+/// simulation, so the grid is deterministic at any thread count.
+///
+/// Per-cell failures are reported in place rather than aborting the grid,
+/// so a sweep can present partial results.
+pub fn run_matrix(
+    pool: &Pool,
+    core: &CoreConfig,
+    mem: &MemConfig,
+    archs: &[Architecture],
+    kernels: &[Kernel],
+) -> Vec<Result<Report, SimError>> {
+    let jobs: Vec<_> = kernels
+        .iter()
+        .flat_map(|kernel| archs.iter().map(move |&arch| (kernel, arch)))
+        .map(|(kernel, arch)| {
+            let cfg = GpuConfig {
+                core: core.clone(),
+                mem: mem.clone(),
+                arch,
+            };
+            move || Gpu::new(cfg).run(kernel)
+        })
+        .collect();
+    vt_par::sweep(pool, jobs)
 }
 
 #[cfg(test)]
@@ -378,6 +438,42 @@ mod tests {
         ] {
             let cfg = GpuConfig::with_arch(arch);
             assert_eq!(cfg.clone(), cfg);
+        }
+    }
+
+    #[test]
+    fn run_on_pool_is_bit_identical_to_run() {
+        let k = latency_bound_kernel(32);
+        let gpu = Gpu::new(GpuConfig {
+            core: small_core(),
+            mem: MemConfig::default(),
+            arch: Architecture::virtual_thread(),
+        });
+        let seq = gpu.run(&k).unwrap();
+        let pool = Pool::new(4);
+        let par = gpu.run_on(&k, Some(&pool)).unwrap();
+        assert_eq!(par.stats, seq.stats);
+        assert_eq!(par.mem_image, seq.mem_image);
+    }
+
+    #[test]
+    fn run_matrix_matches_sequential_compare() {
+        let kernels = vec![latency_bound_kernel(16), latency_bound_kernel(24)];
+        let archs = [Architecture::Baseline, Architecture::virtual_thread()];
+        let core = small_core();
+        let mem = MemConfig::default();
+        let pool = Pool::new(3);
+        let grid = run_matrix(&pool, &core, &mem, &archs, &kernels);
+        assert_eq!(grid.len(), kernels.len() * archs.len());
+        for (ki, k) in kernels.iter().enumerate() {
+            let seq = compare(&core, &mem, &archs, k).unwrap();
+            for (ai, want) in seq.iter().enumerate() {
+                let got = grid[ki * archs.len() + ai].as_ref().unwrap();
+                assert_eq!(got.kernel, want.kernel);
+                assert_eq!(got.arch, want.arch);
+                assert_eq!(got.stats, want.stats);
+                assert_eq!(got.mem_image, want.mem_image);
+            }
         }
     }
 

@@ -57,7 +57,7 @@ pub mod overhead;
 
 pub use arch::{Architecture, MemSwapParams, VtParams};
 pub use energy::{estimate as estimate_energy, EnergyEstimate, EnergyParams};
-pub use gpu::{compare, Gpu, GpuConfig, Report};
+pub use gpu::{compare, run_matrix, Gpu, GpuConfig, Report};
 pub use overhead::{context_buffer, OverheadBreakdown};
 
 // The analysis types figures are built from.
@@ -66,3 +66,7 @@ pub use vt_sim::{
 };
 
 pub use vt_mem::MemConfig;
+
+// The deterministic executor, so downstream tools need not depend on
+// vt-par directly.
+pub use vt_par::{default_threads, sweep, Pool};

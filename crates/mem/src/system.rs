@@ -1,6 +1,7 @@
 //! The top-level memory system an SM talks to.
 //!
-//! One [`MemSystem`] serves all SMs: it owns the per-SM L1D caches, the
+//! One [`MemSystem`] serves all SMs: it owns the per-SM L1D front-ends
+//! ([`SmFront`]: L1 cache, MSHRs, response queue, request outbox), the
 //! two interconnect directions and the memory partitions, and is ticked
 //! once per core cycle by the GPU model.
 //!
@@ -11,6 +12,21 @@
 //! MSHR or port exhaustion — in which case the LD/ST unit retries next
 //! cycle) and drain completions with [`MemSystem::pop_response`].
 //! Responses are matched by the opaque `id` the SM chose at submission.
+//!
+//! ## Parallel-engine split
+//!
+//! To let the GPU model tick SMs on worker threads, the per-SM state is
+//! factored into [`SmFront`]: everything `try_submit`/`pop_response`
+//! touch is private to one SM, *except* the SM→partition interconnect.
+//! A front therefore never pushes into the interconnect directly — it
+//! appends accepted requests to its **outbox**, and the (sequential)
+//! merge step calls [`MemSystem::merge_outboxes`] to flush all outboxes
+//! in `(sm_id, submission order)`. Because [`Icnt::push`] computes the
+//! arrival cycle purely from its arguments and preserves push order, the
+//! deferred flush is cycle-for-cycle identical to the pre-split
+//! immediate push, for any thread count. The sequential compatibility
+//! wrappers ([`MemSystem::try_submit`] etc.) flush the outbox
+//! immediately, preserving the original single-threaded call shape.
 
 use crate::cache::{Cache, Probe};
 use crate::config::MemConfig;
@@ -54,58 +70,279 @@ const STORE_FLITS: u32 = 5;
 /// Flits for a fill response (header + 128 B data).
 const RESP_FLITS: u32 = 5;
 
-/// The complete memory hierarchy below the SMs' LD/ST units.
+/// One SM's private slice of the memory system: L1 cache, MSHRs, the
+/// ready-response queue and the outbox of requests bound for the
+/// interconnect. All methods touch only this SM's state, so distinct
+/// fronts may be driven from distinct threads within a cycle.
 #[derive(Debug)]
-pub struct MemSystem {
-    l1s: Vec<L1>,
-    to_mem: Icnt<PartReq>,
-    to_sm: Icnt<PartResp>,
-    partitions: Vec<Partition>,
-    sm_resps: Vec<BinaryHeap<Reverse<(u64, u64, u64)>>>, // (ready, seq, id)
-    submit_times: HashMap<u64, u64>,
-    stats: MemStats,
-    cfg: MemConfig,
-    now: u64,
-    seq: u64,
-}
-
-#[derive(Debug)]
-struct L1 {
+pub struct SmFront {
+    sm_id: usize,
     cache: Cache,
     mshr: Mshr<u64>,
     ports_used: u32,
     window_hits: u64,
     window_accesses: u64,
+    /// Min-heap of (ready_cycle, seq, id). `seq` is per-front and makes
+    /// pop order stable for same-cycle completions; entries of one front
+    /// are never compared against another's, so per-front numbering pops
+    /// in exactly the order a globally numbered heap would.
+    resps: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    submit_times: HashMap<u64, u64>,
+    seq: u64,
+    /// Accepted requests awaiting the ordered flush into the
+    /// SM→partition interconnect: `(flits, request)` in submission order.
+    outbox: Vec<(u32, PartReq)>,
+    /// Front-side counters (submit path and load completion); the
+    /// aggregate is assembled by [`MemSystem::stats`].
+    stats: MemStats,
+    l1_ports: u32,
+    l1_hit_latency: u64,
+}
+
+impl SmFront {
+    fn new(cfg: &MemConfig, sm_id: usize) -> SmFront {
+        SmFront {
+            sm_id,
+            cache: Cache::new(cfg.l1_sets(), cfg.l1_ways),
+            mshr: Mshr::new(cfg.l1_mshr_entries, cfg.l1_mshr_merges),
+            ports_used: 0,
+            window_hits: 0,
+            window_accesses: 0,
+            resps: BinaryHeap::new(),
+            submit_times: HashMap::new(),
+            seq: 0,
+            outbox: Vec::new(),
+            stats: MemStats::default(),
+            l1_ports: cfg.l1_ports,
+            l1_hit_latency: u64::from(cfg.l1_hit_latency),
+        }
+    }
+
+    /// Submits one coalesced transaction at cycle `now`; see
+    /// [`MemSystem::try_submit`] for the protocol.
+    pub fn try_submit(&mut self, now: u64, id: u64, line_addr: u64, kind: ReqKind) -> Submit {
+        self.try_submit_traced(now, id, line_addr, kind, &mut NullSink)
+    }
+
+    /// [`SmFront::try_submit`] with trace instrumentation. An accepted
+    /// load/atomic opens the request's async span ([`TraceEvent::MemBegin`]);
+    /// a rejection emits nothing, so the retried submission still opens the
+    /// span exactly once.
+    pub fn try_submit_traced<S: TraceSink>(
+        &mut self,
+        now: u64,
+        id: u64,
+        line_addr: u64,
+        kind: ReqKind,
+        sink: &mut S,
+    ) -> Submit {
+        let sm = self.sm_id;
+        let begin = |sink: &mut S, level: MemLevel| {
+            if S::ENABLED {
+                sink.emit(
+                    now,
+                    TraceEvent::MemBegin {
+                        sm: sm as u32,
+                        req: id,
+                        line_addr,
+                        kind: kind.trace_kind(),
+                        level,
+                    },
+                );
+            }
+        };
+        if self.ports_used >= self.l1_ports {
+            self.stats.l1_stalls += 1;
+            return Submit::Rejected;
+        }
+        match kind {
+            ReqKind::Load => {
+                if self.cache.probe(line_addr, now) == Probe::Hit {
+                    self.ports_used += 1;
+                    self.window_hits += 1;
+                    self.window_accesses += 1;
+                    self.stats.l1_accesses += 1;
+                    self.stats.l1_hits += 1;
+                    self.seq += 1;
+                    let ready = now + self.l1_hit_latency;
+                    self.resps.push(Reverse((ready, self.seq, id)));
+                    self.stats.loads_completed += 1;
+                    self.stats.load_latency_sum += self.l1_hit_latency;
+                    self.stats.load_latency.record(self.l1_hit_latency);
+                    begin(sink, MemLevel::L1Hit);
+                    return Submit::Hit;
+                }
+                match self.mshr.alloc(line_addr, id) {
+                    MshrAlloc::NewMiss => {
+                        self.ports_used += 1;
+                        self.window_accesses += 1;
+                        self.stats.l1_accesses += 1;
+                        self.stats.l1_misses += 1;
+                        self.submit_times.insert(id, now);
+                        begin(sink, MemLevel::L1Miss);
+                        self.outbox.push((
+                            REQ_FLITS,
+                            PartReq {
+                                sm,
+                                id,
+                                line_addr,
+                                kind,
+                            },
+                        ));
+                        Submit::Miss
+                    }
+                    MshrAlloc::Merged => {
+                        self.ports_used += 1;
+                        self.window_accesses += 1;
+                        self.stats.l1_accesses += 1;
+                        self.stats.l1_mshr_merged += 1;
+                        self.submit_times.insert(id, now);
+                        begin(sink, MemLevel::L1MshrMerge);
+                        Submit::Miss
+                    }
+                    MshrAlloc::Stall => {
+                        self.stats.l1_stalls += 1;
+                        Submit::Rejected
+                    }
+                }
+            }
+            ReqKind::Store => {
+                self.ports_used += 1;
+                // Write-through, write-evict: drop any cached copy and
+                // send the data to the partition.
+                self.cache.invalidate(line_addr);
+                if S::ENABLED {
+                    sink.emit(
+                        now,
+                        TraceEvent::StoreSubmit {
+                            sm: sm as u32,
+                            line_addr,
+                        },
+                    );
+                }
+                self.outbox.push((
+                    STORE_FLITS,
+                    PartReq {
+                        sm,
+                        id,
+                        line_addr,
+                        kind,
+                    },
+                ));
+                Submit::Miss
+            }
+            ReqKind::Atomic => {
+                self.ports_used += 1;
+                self.stats.atomics += 1;
+                self.cache.invalidate(line_addr);
+                self.submit_times.insert(id, now);
+                begin(sink, MemLevel::L1Bypass);
+                self.outbox.push((
+                    REQ_FLITS,
+                    PartReq {
+                        sm,
+                        id,
+                        line_addr,
+                        kind,
+                    },
+                ));
+                Submit::Miss
+            }
+        }
+    }
+
+    /// Pops one completed load/atomic id ready at or before `now`.
+    pub fn pop_response(&mut self, now: u64) -> Option<u64> {
+        self.pop_response_traced(now, &mut NullSink)
+    }
+
+    /// [`SmFront::pop_response`] with trace instrumentation; popping a
+    /// response closes the request's async span ([`TraceEvent::MemEnd`]).
+    pub fn pop_response_traced<S: TraceSink>(&mut self, now: u64, sink: &mut S) -> Option<u64> {
+        match self.resps.peek() {
+            Some(&Reverse((ready, _, _))) if ready <= now => {
+                let Reverse((_, _, id)) = self.resps.pop().expect("peeked");
+                if S::ENABLED {
+                    sink.emit(
+                        now,
+                        TraceEvent::MemEnd {
+                            sm: self.sm_id as u32,
+                            req: id,
+                        },
+                    );
+                }
+                Some(id)
+            }
+            _ => None,
+        }
+    }
+
+    /// Takes and resets this SM's windowed L1 counters: `(hits, lookups)`
+    /// since the last call. Feeds adaptive thrash-control policies.
+    pub fn take_l1_window(&mut self) -> (u64, u64) {
+        let w = (self.window_hits, self.window_accesses);
+        self.window_hits = 0;
+        self.window_accesses = 0;
+        w
+    }
+
+    fn finish_load(&mut self, id: u64, now: u64) {
+        if let Some(t) = self.submit_times.remove(&id) {
+            let latency = now.saturating_sub(t);
+            self.stats.loads_completed += 1;
+            self.stats.load_latency_sum += latency;
+            self.stats.load_latency.record(latency);
+        }
+    }
+
+    fn quiesced(&self) -> bool {
+        self.mshr.is_empty() && self.resps.is_empty() && self.outbox.is_empty()
+    }
+}
+
+/// The complete memory hierarchy below the SMs' LD/ST units.
+#[derive(Debug)]
+pub struct MemSystem {
+    fronts: Vec<SmFront>,
+    to_mem: Icnt<PartReq>,
+    to_sm: Icnt<PartResp>,
+    partitions: Vec<Partition>,
+    /// Back-end counters (partitions, DRAM, MSHR occupancy); front-side
+    /// counters live in each [`SmFront`].
+    stats: MemStats,
+    cfg: MemConfig,
+    now: u64,
 }
 
 impl MemSystem {
     /// Builds the hierarchy for `num_sms` SMs.
     pub fn new(cfg: &MemConfig, num_sms: usize) -> MemSystem {
         MemSystem {
-            l1s: (0..num_sms)
-                .map(|_| L1 {
-                    cache: Cache::new(cfg.l1_sets(), cfg.l1_ways),
-                    mshr: Mshr::new(cfg.l1_mshr_entries, cfg.l1_mshr_merges),
-                    ports_used: 0,
-                    window_hits: 0,
-                    window_accesses: 0,
-                })
-                .collect(),
+            fronts: (0..num_sms).map(|sm| SmFront::new(cfg, sm)).collect(),
             to_mem: Icnt::new(cfg.icnt_latency, cfg.icnt_flits_per_cycle),
             to_sm: Icnt::new(cfg.icnt_latency, cfg.icnt_flits_per_cycle),
             partitions: (0..cfg.partitions).map(|_| Partition::new(cfg)).collect(),
-            sm_resps: (0..num_sms).map(|_| BinaryHeap::new()).collect(),
-            submit_times: HashMap::new(),
             stats: MemStats::default(),
             cfg: cfg.clone(),
             now: 0,
-            seq: 0,
         }
     }
 
     /// Bytes per cache line / coalescing segment.
     pub fn line_bytes(&self) -> u32 {
         self.cfg.line_bytes
+    }
+
+    /// SM `sm`'s front-end, for thread-parallel submission. The caller is
+    /// responsible for flushing outboxes afterwards (see
+    /// [`MemSystem::merge_outboxes`]).
+    pub fn front_mut(&mut self, sm: usize) -> &mut SmFront {
+        &mut self.fronts[sm]
+    }
+
+    /// All front-ends, for sharding across worker threads.
+    pub fn fronts_mut(&mut self) -> &mut [SmFront] {
+        &mut self.fronts
     }
 
     /// Advances the whole hierarchy to cycle `now`. Call once per cycle,
@@ -119,19 +356,19 @@ impl MemSystem {
     pub fn tick_traced<S: TraceSink>(&mut self, now: u64, sink: &mut S) {
         self.now = now;
         let mut mshr_in_flight = 0u64;
-        for l1 in &mut self.l1s {
-            l1.ports_used = 0;
-            mshr_in_flight += l1.mshr.len() as u64;
+        for f in &mut self.fronts {
+            f.ports_used = 0;
+            mshr_in_flight += f.mshr.len() as u64;
         }
         self.stats.mshr_occupancy.sample(mshr_in_flight);
         if S::ENABLED && now.is_multiple_of(COUNTER_PERIOD) {
-            for (sm, l1) in self.l1s.iter().enumerate() {
+            for f in &self.fronts {
                 sink.emit(
                     now,
                     TraceEvent::Counter {
-                        sm: sm as u32,
+                        sm: f.sm_id as u32,
                         name: "l1_mshr",
-                        value: l1.mshr.len() as u64,
+                        value: f.mshr.len() as u64,
                     },
                 );
             }
@@ -164,12 +401,12 @@ impl MemSystem {
     }
 
     fn on_response<S: TraceSink>(&mut self, resp: PartResp, now: u64, sink: &mut S) {
+        let front = &mut self.fronts[resp.sm];
         match resp.kind {
             ReqKind::Load => {
-                let l1 = &mut self.l1s[resp.sm];
                 // Fill; write-through means victims are never dirty.
-                let _ = l1.cache.fill(resp.line_addr, now, false);
-                for id in l1.mshr.fill(resp.line_addr) {
+                let _ = front.cache.fill(resp.line_addr, now, false);
+                for id in front.mshr.fill(resp.line_addr) {
                     if S::ENABLED {
                         sink.emit(
                             now,
@@ -180,9 +417,9 @@ impl MemSystem {
                             },
                         );
                     }
-                    self.seq += 1;
-                    self.sm_resps[resp.sm].push(Reverse((now, self.seq, id)));
-                    self.finish_load(id, now);
+                    front.seq += 1;
+                    front.resps.push(Reverse((now, front.seq, id)));
+                    front.finish_load(id, now);
                 }
             }
             ReqKind::Atomic => {
@@ -196,20 +433,36 @@ impl MemSystem {
                         },
                     );
                 }
-                self.seq += 1;
-                self.sm_resps[resp.sm].push(Reverse((now, self.seq, resp.id)));
-                self.finish_load(resp.id, now);
+                front.seq += 1;
+                front.resps.push(Reverse((now, front.seq, resp.id)));
+                front.finish_load(resp.id, now);
             }
             ReqKind::Store => {}
         }
     }
 
-    fn finish_load(&mut self, id: u64, now: u64) {
-        if let Some(t) = self.submit_times.remove(&id) {
-            let latency = now.saturating_sub(t);
-            self.stats.loads_completed += 1;
-            self.stats.load_latency_sum += latency;
-            self.stats.load_latency.record(latency);
+    /// Flushes every front's outbox into the SM→partition interconnect in
+    /// `(sm_id, submission order)` — the sequential engine's exact
+    /// ordering. The parallel engine calls this once per cycle after the
+    /// SM phase; [`Icnt::push`] derives arrival purely from `(now, flits)`
+    /// and preserves push order, so deferring to end-of-cycle is
+    /// indistinguishable from pushing at submission time.
+    pub fn merge_outboxes(&mut self) {
+        let now = self.now;
+        for f in &mut self.fronts {
+            for (flits, req) in f.outbox.drain(..) {
+                self.to_mem.push(now, flits, req);
+            }
+        }
+    }
+
+    /// Flushes one front's outbox immediately (sequential compatibility
+    /// path for callers that drive a single front through
+    /// [`MemSystem::front_mut`]).
+    pub fn flush_outbox(&mut self, sm: usize) {
+        let now = self.now;
+        for (flits, req) in self.fronts[sm].outbox.drain(..) {
+            self.to_mem.push(now, flits, req);
         }
     }
 
@@ -226,10 +479,8 @@ impl MemSystem {
         self.try_submit_traced(sm, id, line_addr, kind, &mut NullSink)
     }
 
-    /// [`MemSystem::try_submit`] with trace instrumentation. An accepted
-    /// load/atomic opens the request's async span ([`TraceEvent::MemBegin`]);
-    /// a rejection emits nothing, so the retried submission still opens the
-    /// span exactly once.
+    /// [`MemSystem::try_submit`] with trace instrumentation; see
+    /// [`SmFront::try_submit_traced`].
     pub fn try_submit_traced<S: TraceSink>(
         &mut self,
         sm: usize,
@@ -239,150 +490,21 @@ impl MemSystem {
         sink: &mut S,
     ) -> Submit {
         let now = self.now;
-        let begin = |sink: &mut S, level: MemLevel| {
-            if S::ENABLED {
-                sink.emit(
-                    now,
-                    TraceEvent::MemBegin {
-                        sm: sm as u32,
-                        req: id,
-                        line_addr,
-                        kind: kind.trace_kind(),
-                        level,
-                    },
-                );
-            }
-        };
-        let l1 = &mut self.l1s[sm];
-        if l1.ports_used >= self.cfg.l1_ports {
-            self.stats.l1_stalls += 1;
-            return Submit::Rejected;
-        }
-        match kind {
-            ReqKind::Load => {
-                if l1.cache.probe(line_addr, now) == Probe::Hit {
-                    l1.ports_used += 1;
-                    l1.window_hits += 1;
-                    l1.window_accesses += 1;
-                    self.stats.l1_accesses += 1;
-                    self.stats.l1_hits += 1;
-                    self.seq += 1;
-                    let hit_latency = u64::from(self.cfg.l1_hit_latency);
-                    let ready = now + hit_latency;
-                    self.sm_resps[sm].push(Reverse((ready, self.seq, id)));
-                    self.stats.loads_completed += 1;
-                    self.stats.load_latency_sum += hit_latency;
-                    self.stats.load_latency.record(hit_latency);
-                    begin(sink, MemLevel::L1Hit);
-                    return Submit::Hit;
-                }
-                match l1.mshr.alloc(line_addr, id) {
-                    MshrAlloc::NewMiss => {
-                        l1.ports_used += 1;
-                        l1.window_accesses += 1;
-                        self.stats.l1_accesses += 1;
-                        self.stats.l1_misses += 1;
-                        self.submit_times.insert(id, now);
-                        begin(sink, MemLevel::L1Miss);
-                        self.to_mem.push(
-                            now,
-                            REQ_FLITS,
-                            PartReq {
-                                sm,
-                                id,
-                                line_addr,
-                                kind,
-                            },
-                        );
-                        Submit::Miss
-                    }
-                    MshrAlloc::Merged => {
-                        l1.ports_used += 1;
-                        l1.window_accesses += 1;
-                        self.stats.l1_accesses += 1;
-                        self.stats.l1_mshr_merged += 1;
-                        self.submit_times.insert(id, now);
-                        begin(sink, MemLevel::L1MshrMerge);
-                        Submit::Miss
-                    }
-                    MshrAlloc::Stall => {
-                        self.stats.l1_stalls += 1;
-                        Submit::Rejected
-                    }
-                }
-            }
-            ReqKind::Store => {
-                l1.ports_used += 1;
-                // Write-through, write-evict: drop any cached copy and
-                // send the data to the partition.
-                l1.cache.invalidate(line_addr);
-                if S::ENABLED {
-                    sink.emit(
-                        now,
-                        TraceEvent::StoreSubmit {
-                            sm: sm as u32,
-                            line_addr,
-                        },
-                    );
-                }
-                self.to_mem.push(
-                    now,
-                    STORE_FLITS,
-                    PartReq {
-                        sm,
-                        id,
-                        line_addr,
-                        kind,
-                    },
-                );
-                Submit::Miss
-            }
-            ReqKind::Atomic => {
-                l1.ports_used += 1;
-                self.stats.atomics += 1;
-                l1.cache.invalidate(line_addr);
-                self.submit_times.insert(id, now);
-                begin(sink, MemLevel::L1Bypass);
-                self.to_mem.push(
-                    now,
-                    REQ_FLITS,
-                    PartReq {
-                        sm,
-                        id,
-                        line_addr,
-                        kind,
-                    },
-                );
-                Submit::Miss
-            }
-        }
+        let outcome = self.fronts[sm].try_submit_traced(now, id, line_addr, kind, sink);
+        self.flush_outbox(sm);
+        outcome
     }
 
     /// Pops one completed load/atomic id for SM `sm`, if any is ready.
     pub fn pop_response(&mut self, sm: usize) -> Option<u64> {
-        self.pop_response_traced(sm, &mut NullSink)
+        let now = self.now;
+        self.fronts[sm].pop_response(now)
     }
 
-    /// [`MemSystem::pop_response`] with trace instrumentation; popping a
-    /// response closes the request's async span ([`TraceEvent::MemEnd`]).
+    /// [`MemSystem::pop_response`] with trace instrumentation.
     pub fn pop_response_traced<S: TraceSink>(&mut self, sm: usize, sink: &mut S) -> Option<u64> {
-        let heap = &mut self.sm_resps[sm];
-        match heap.peek() {
-            Some(&Reverse((ready, _, _))) if ready <= self.now => {
-                let Reverse((_, _, id)) = heap.pop().expect("peeked");
-                if S::ENABLED {
-                    sink.emit(
-                        self.now,
-                        TraceEvent::MemEnd {
-                            sm: sm as u32,
-                            req: id,
-                        },
-                    );
-                }
-                Some(id)
-            }
-            _ => None,
-        }
+        let now = self.now;
+        self.fronts[sm].pop_response_traced(now, sink)
     }
 
     /// Whether the entire hierarchy has no request in flight.
@@ -390,29 +512,31 @@ impl MemSystem {
         self.to_mem.is_empty()
             && self.to_sm.is_empty()
             && self.partitions.iter().all(Partition::quiesced)
-            && self.l1s.iter().all(|l| l.mshr.is_empty())
-            && self.sm_resps.iter().all(BinaryHeap::is_empty)
+            && self.fronts.iter().all(SmFront::quiesced)
     }
 
     /// Loads and atomics currently outstanding (submitted, not yet
     /// responded).
     pub fn pending_loads(&self) -> usize {
-        self.submit_times.len()
+        self.fronts.iter().map(|f| f.submit_times.len()).sum()
     }
 
     /// Takes and resets SM `sm`'s windowed L1 counters: `(hits, lookups)`
     /// since the last call. Feeds adaptive thrash-control policies.
     pub fn take_l1_window(&mut self, sm: usize) -> (u64, u64) {
-        let l1 = &mut self.l1s[sm];
-        let w = (l1.window_hits, l1.window_accesses);
-        l1.window_hits = 0;
-        l1.window_accesses = 0;
-        w
+        self.fronts[sm].take_l1_window()
     }
 
-    /// Accumulated statistics.
-    pub fn stats(&self) -> &MemStats {
-        &self.stats
+    /// Accumulated statistics: the back-end counters merged with every
+    /// front's, in SM order. All fields are sums/mins/maxes, so the
+    /// aggregate equals what a single shared counter block would have
+    /// recorded.
+    pub fn stats(&self) -> MemStats {
+        let mut total = self.stats.clone();
+        for f in &self.fronts {
+            total.merge(&f.stats);
+        }
+        total
     }
 }
 
@@ -614,5 +738,42 @@ mod tests {
         run_until_response(&mut mem, 0, 1, 2000);
         assert_eq!(mem.stats().loads_completed, 1);
         assert!(mem.stats().avg_load_latency() > 100.0);
+    }
+
+    #[test]
+    fn deferred_outbox_flush_matches_immediate_submission() {
+        // Submitting through the front with an end-of-cycle
+        // `merge_outboxes` must be cycle-for-cycle identical to the
+        // immediate-flush compatibility path.
+        let cfg = MemConfig::default();
+        let mut imm = MemSystem::new(&cfg, 2);
+        let mut def = MemSystem::new(&cfg, 2);
+        imm.tick(0);
+        def.tick(0);
+        for sm in 0..2usize {
+            let id = sm as u64 + 1;
+            assert!(imm.try_submit(sm, id, 100 + id, ReqKind::Load).accepted());
+            assert!(def
+                .front_mut(sm)
+                .try_submit(0, id, 100 + id, ReqKind::Load)
+                .accepted());
+        }
+        def.merge_outboxes();
+        for cycle in 1..2000 {
+            imm.tick(cycle);
+            def.tick(cycle);
+            for sm in 0..2usize {
+                assert_eq!(
+                    imm.pop_response(sm),
+                    def.front_mut(sm).pop_response(cycle),
+                    "cycle {cycle} sm {sm}"
+                );
+            }
+            if imm.quiesced() && def.quiesced() {
+                break;
+            }
+        }
+        assert!(imm.quiesced() && def.quiesced());
+        assert_eq!(imm.stats(), def.stats());
     }
 }

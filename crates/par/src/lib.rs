@@ -1,0 +1,443 @@
+//! vt-par: a deterministic, std-only thread pool for the simulator.
+//!
+//! The container the simulator builds in is offline, so this crate
+//! deliberately has **zero dependencies**: a fixed set of persistent
+//! worker threads, a condvar-based fork/join protocol, and an atomic
+//! work-stealing index. Two usage shapes are exported:
+//!
+//! * [`Pool::run`] — index-parallel fork/join. Every call hands the pool
+//!   a closure over `0..items`; which thread executes which index is
+//!   *not* deterministic, so callers must only touch disjoint state per
+//!   index (see [`DisjointMut`]) and establish ordering themselves when
+//!   merging. The simulator's per-cycle SM phase uses this.
+//! * [`sweep`] — deterministic job fan-out: a vector of independent
+//!   closures whose results are collected *by index*, so the output is
+//!   identical no matter how the jobs were interleaved. The kernel×arch
+//!   experiment grid uses this.
+//!
+//! Determinism contract: neither primitive makes results depend on
+//! scheduling. `Pool::run` guarantees every index runs exactly once and
+//! all effects are visible to the caller when it returns; `sweep`
+//! additionally orders results positionally. A pool with one thread
+//! (or a single-item `run`) executes inline on the caller with no
+//! synchronization at all — `threads == 1` is exactly the sequential
+//! code path.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Payload of the first panic observed during a [`Pool::run`] call; it is
+/// re-raised on the calling thread once all workers have quiesced.
+type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+/// State shared between the pool owner and its worker threads, guarded by
+/// the mutex half of the fork/join protocol.
+struct Shared {
+    /// Incremented once per `run` call; workers sleep until it changes.
+    epoch: u64,
+    /// The job of the current epoch. `None` outside `run`. The `'static`
+    /// lifetime is a lie told by `Pool::run`, which transmutes a stack
+    /// borrow; soundness comes from `run` not returning until `active`
+    /// drops to zero, after which no worker dereferences the pointer.
+    job: Option<&'static JobFn>,
+    /// Workers still executing the current epoch's job.
+    active: usize,
+    /// Set by `Drop` to terminate the worker loops.
+    shutdown: bool,
+}
+
+type JobFn = dyn Fn(usize) + Sync;
+
+struct Inner {
+    state: Mutex<Shared>,
+    /// Signals workers that a new epoch (or shutdown) is available.
+    go: Condvar,
+    /// Signals the owner that `active` reached zero.
+    done: Condvar,
+    /// Next unclaimed item index of the current epoch.
+    next: AtomicUsize,
+    /// Item count of the current epoch.
+    total: AtomicUsize,
+    /// First panic payload observed this epoch, if any.
+    panic: Mutex<Option<PanicPayload>>,
+}
+
+impl Inner {
+    /// Claims and runs items until the index range is exhausted or a
+    /// panic is captured. Returns `true` if a panic was captured.
+    fn drain(&self, job: &JobFn) -> bool {
+        let total = self.total.load(Ordering::Acquire);
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= total {
+                return false;
+            }
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job(i))) {
+                let mut slot = self.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                return true;
+            }
+        }
+    }
+}
+
+/// A fixed-size pool of persistent worker threads.
+///
+/// `Pool::new(n)` spawns `n - 1` workers; the calling thread participates
+/// in every `run`, so `n` is the total parallelism. The pool joins its
+/// workers on drop.
+pub struct Pool {
+    inner: std::sync::Arc<Inner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    /// Serializes concurrent `run` calls (the fork/join protocol supports
+    /// one epoch at a time; `run` takes `&self` so pools can be shared).
+    run_lock: Mutex<()>,
+}
+
+impl Pool {
+    /// Creates a pool with `threads` total threads of parallelism
+    /// (clamped to at least 1). `Pool::new(1)` spawns nothing and runs
+    /// every job inline on the caller.
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let inner = std::sync::Arc::new(Inner {
+            state: Mutex::new(Shared {
+                epoch: 0,
+                job: None,
+                active: 0,
+                shutdown: false,
+            }),
+            go: Condvar::new(),
+            done: Condvar::new(),
+            next: AtomicUsize::new(0),
+            total: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+        });
+        let workers = (1..threads)
+            .map(|i| {
+                let inner = std::sync::Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("vt-par-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn vt-par worker")
+            })
+            .collect();
+        Pool {
+            inner,
+            workers,
+            run_lock: Mutex::new(()),
+        }
+    }
+
+    /// Total parallelism of the pool (workers + the calling thread).
+    pub fn threads(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// Runs `job(i)` for every `i in 0..items`, returning once all items
+    /// have completed. Item-to-thread assignment is dynamic (an atomic
+    /// counter), so `job` must be safe to call concurrently for distinct
+    /// indices and must not rely on execution order. If any invocation
+    /// panics, the first panic is re-raised here after all workers have
+    /// stopped.
+    pub fn run(&self, items: usize, job: &(dyn Fn(usize) + Sync)) {
+        if self.workers.is_empty() || items <= 1 {
+            for i in 0..items {
+                job(i);
+            }
+            return;
+        }
+        // Tolerate poisoning: a prior `run` that re-raised a job panic
+        // unwound with this guard held, which poisons the lock without
+        // leaving any protected state inconsistent.
+        let _guard = self
+            .run_lock
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        // SAFETY: workers only dereference `job` between the epoch bump
+        // below and their `active` decrement; we block until `active`
+        // returns to zero before `job`'s real lifetime ends.
+        let job_static: &'static JobFn = unsafe { std::mem::transmute(job) };
+        self.inner.next.store(0, Ordering::Release);
+        self.inner.total.store(items, Ordering::Release);
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.epoch += 1;
+            st.job = Some(job_static);
+            st.active = self.workers.len();
+            self.inner.go.notify_all();
+        }
+        self.inner.drain(job_static);
+        let mut st = self.inner.state.lock().unwrap();
+        while st.active > 0 {
+            st = self.inner.done.wait(st).unwrap();
+        }
+        st.job = None;
+        drop(st);
+        // Drop the guard before unwinding so the mutex is not poisoned.
+        let payload = self
+            .inner
+            .panic
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            st.shutdown = true;
+            self.inner.go.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = inner.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    break st.job.expect("epoch bumped with a job installed");
+                }
+                st = inner.go.wait(st).unwrap();
+            }
+        };
+        inner.drain(job);
+        let mut st = inner.state.lock().unwrap();
+        st.active -= 1;
+        if st.active == 0 {
+            inner.done.notify_all();
+        }
+    }
+}
+
+/// Shared mutable access to disjoint slice elements across pool workers.
+///
+/// `Pool::run`'s dynamic index assignment guarantees each index is
+/// claimed by exactly one thread, so handing each worker `&mut slice[i]`
+/// for *its* `i` is race-free — but the borrow checker cannot see that
+/// through a shared closure. This wrapper carries the raw parts and puts
+/// the burden on the (unsafe) accessor.
+pub struct DisjointMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: `DisjointMut` only hands out element references through the
+// unsafe `index_mut`, whose contract forbids aliasing across threads;
+// sending/sharing the wrapper itself is then safe for `Send` elements.
+unsafe impl<T: Send> Sync for DisjointMut<'_, T> {}
+unsafe impl<T: Send> Send for DisjointMut<'_, T> {}
+
+impl<'a, T> DisjointMut<'a, T> {
+    /// Wraps `slice` for disjoint-index access.
+    pub fn new(slice: &'a mut [T]) -> DisjointMut<'a, T> {
+        DisjointMut {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of wrapped elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the wrapped slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `&mut slice[i]`.
+    ///
+    /// # Safety
+    ///
+    /// For the lifetime of the returned borrow no other thread may hold a
+    /// reference (mutable or shared) to element `i`. Under `Pool::run`
+    /// this holds when each invocation touches only its own index.
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn index_mut(&self, i: usize) -> &mut T {
+        assert!(
+            i < self.len,
+            "DisjointMut index {i} out of bounds {}",
+            self.len
+        );
+        &mut *self.ptr.add(i)
+    }
+}
+
+/// Runs a vector of independent jobs on `pool` and collects their results
+/// **by position**: `sweep(pool, vec![a, b, c])` always returns
+/// `[a(), b(), c()]` regardless of which thread ran what, so the output
+/// is deterministic whenever the jobs themselves are.
+pub fn sweep<T, F>(pool: &Pool, jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|f| Mutex::new(Some(f))).collect();
+    let results: Vec<Mutex<Option<T>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    pool.run(jobs.len(), &|i| {
+        let f = jobs[i]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("each job claimed once");
+        *results[i].lock().unwrap() = Some(f());
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().unwrap().expect("pool ran every job"))
+        .collect()
+}
+
+/// The default thread count: the `VT_THREADS` environment variable when
+/// set to a positive integer, otherwise the host's available parallelism.
+/// `VT_THREADS=1` forces the exact sequential code path everywhere.
+pub fn default_threads() -> usize {
+    if let Ok(s) = std::env::var("VT_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let tid = std::thread::current().id();
+        let hits = AtomicUsize::new(0);
+        pool.run(8, &|_| {
+            assert_eq!(std::thread::current().id(), tid);
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let pool = Pool::new(4);
+        for items in [0usize, 1, 3, 7, 64, 1000] {
+            let counts: Vec<AtomicU64> = (0..items).map(|_| AtomicU64::new(0)).collect();
+            pool.run(items, &|i| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, c) in counts.iter().enumerate() {
+                assert_eq!(c.load(Ordering::Relaxed), 1, "index {i} of {items}");
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_epochs() {
+        let pool = Pool::new(3);
+        let total = AtomicU64::new(0);
+        for _ in 0..50 {
+            pool.run(10, &|i| {
+                total.fetch_add(i as u64 + 1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 50 * 55);
+    }
+
+    #[test]
+    fn disjoint_mut_writes_are_visible_after_run() {
+        let pool = Pool::new(4);
+        let mut data = vec![0u64; 256];
+        let view = DisjointMut::new(&mut data);
+        pool.run(view.len(), &|i| {
+            // SAFETY: each index is claimed by exactly one thread.
+            let slot = unsafe { view.index_mut(i) };
+            *slot = (i as u64) * 3 + 1;
+        });
+        for (i, v) in data.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn sweep_collects_results_in_job_order() {
+        let pool = Pool::new(4);
+        let jobs: Vec<_> = (0..100).map(|i| move || i * i).collect();
+        let out = sweep(&pool, jobs);
+        assert_eq!(out.len(), 100);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn sweep_moves_non_copy_results() {
+        let pool = Pool::new(2);
+        let jobs: Vec<_> = (0..10).map(|i| move || vec![i; i + 1]).collect();
+        let out = sweep(&pool, jobs);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(v.len(), i + 1);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = Pool::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(64, &|i| {
+                if i == 13 {
+                    panic!("boom at 13");
+                }
+            });
+        }));
+        let payload = result.expect_err("panic must propagate");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(msg.contains("boom at 13"), "got {msg:?}");
+        // The pool must survive a panicked epoch.
+        let hits = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn vt_threads_env_is_respected() {
+        // `default_threads` reads the environment on every call; spot-check
+        // the parse paths without mutating global env (other tests run in
+        // parallel in this binary).
+        let n = default_threads();
+        assert!(n >= 1);
+    }
+}

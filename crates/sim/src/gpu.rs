@@ -1,7 +1,7 @@
 //! The whole-GPU simulation: CTA dispatcher, SMs, memory system and the
 //! main clock loop.
 
-use crate::config::{check_launchable, LaunchError, SimConfig};
+use crate::config::{check_launchable, CoreConfig, LaunchError, ResidencyConfig, SimConfig};
 use crate::sm::Sm;
 use crate::stats::{RunStats, Timeline};
 use std::error::Error;
@@ -9,8 +9,9 @@ use std::fmt;
 use vt_isa::error::ExecError;
 use vt_isa::kernel::MemImage;
 use vt_isa::Kernel;
-use vt_mem::MemSystem;
-use vt_trace::{NullSink, TraceSink};
+use vt_mem::{MemSystem, SmFront};
+use vt_par::{DisjointMut, Pool};
+use vt_trace::{BufSink, NullSink, TimedEvent, TraceSink};
 
 /// Why a simulation could not complete.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,10 +100,62 @@ pub struct GpuSim<'k> {
     cfg: SimConfig,
     mem: MemSystem,
     image: MemImage,
-    sms: Vec<Sm>,
+    lanes: Vec<SmLane>,
     next_cta: u32,
     dispatch_ptr: usize,
     stats: RunStats,
+}
+
+/// One SM plus everything it is allowed to mutate during the concurrent
+/// phase of a cycle: a private stats block and a private trace buffer.
+/// Keeping these per-lane means the phase shares nothing between SMs, so
+/// lanes can tick on worker threads without locks while the sequential
+/// merge (in SM order) keeps every observable output bit-identical to a
+/// single-threaded run.
+#[derive(Debug)]
+struct SmLane {
+    sm: Sm,
+    stats: RunStats,
+    events: Vec<TimedEvent>,
+    err: Option<ExecError>,
+}
+
+/// Advances one SM by one cycle against its private memory front.
+/// Functional global-memory effects are deferred inside the SM and trace
+/// events are buffered in the lane; both are drained by the merge phase.
+fn tick_lane(
+    lane: &mut SmLane,
+    front: &mut SmFront,
+    cycle: u64,
+    trace: bool,
+    kernel: &Kernel,
+    core: &CoreConfig,
+    res: &ResidencyConfig,
+) {
+    let r = if trace {
+        lane.sm.tick_phase(
+            cycle,
+            kernel,
+            core,
+            res,
+            front,
+            &mut lane.stats,
+            &mut BufSink(&mut lane.events),
+        )
+    } else {
+        lane.sm.tick_phase(
+            cycle,
+            kernel,
+            core,
+            res,
+            front,
+            &mut lane.stats,
+            &mut NullSink,
+        )
+    };
+    if let Err(e) = r {
+        lane.err = Some(e);
+    }
 }
 
 impl<'k> GpuSim<'k> {
@@ -120,8 +173,13 @@ impl<'k> GpuSim<'k> {
             cfg: cfg.clone(),
             mem: MemSystem::new(&cfg.mem, num_sms),
             image: kernel.global_mem().clone(),
-            sms: (0..num_sms)
-                .map(|i| Sm::new(i, &cfg.core, cfg.mem.line_bytes))
+            lanes: (0..num_sms)
+                .map(|i| SmLane {
+                    sm: Sm::new(i, &cfg.core, cfg.mem.line_bytes),
+                    stats: RunStats::default(),
+                    events: Vec::new(),
+                    err: None,
+                })
                 .collect(),
             next_cta: 0,
             dispatch_ptr: 0,
@@ -139,6 +197,19 @@ impl<'k> GpuSim<'k> {
         self.run_traced(&mut NullSink)
     }
 
+    /// [`GpuSim::run`] with the concurrent SM phase sharded across `pool`'s
+    /// workers. `None` (or a one-thread pool) runs everything inline; any
+    /// pool produces bit-identical results because only the merge order —
+    /// which is always ascending SM id — is observable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Exec`] on a functional trap and
+    /// [`SimError::Watchdog`] if `core.max_cycles` elapses first.
+    pub fn run_on(self, pool: Option<&Pool>) -> Result<RunResult, SimError> {
+        self.run_traced_on(pool, &mut NullSink)
+    }
+
     /// [`GpuSim::run`] with an explicit trace sink receiving every
     /// simulation event. With [`NullSink`] (what [`GpuSim::run`] passes)
     /// the sink calls compile away entirely.
@@ -147,7 +218,31 @@ impl<'k> GpuSim<'k> {
     ///
     /// Returns [`SimError::Exec`] on a functional trap and
     /// [`SimError::Watchdog`] if `core.max_cycles` elapses first.
-    pub fn run_traced<S: TraceSink>(mut self, sink: &mut S) -> Result<RunResult, SimError> {
+    pub fn run_traced<S: TraceSink>(self, sink: &mut S) -> Result<RunResult, SimError> {
+        self.run_traced_on(None, sink)
+    }
+
+    /// The full engine: tracing and optional SM-level parallelism.
+    ///
+    /// Each cycle has two phases. Phase A ticks every SM against its
+    /// private [`SmFront`], buffering trace events and deferring functional
+    /// global-memory effects; with a pool, lanes run on worker threads.
+    /// The merge phase then walks SMs in ascending id order — flushing
+    /// buffered events, applying deferred accesses to the memory image and
+    /// surfacing traps — before outbound memory requests enter the
+    /// interconnect in the same (SM, issue) order a sequential run uses.
+    /// Stats, traces and the final image are therefore identical at any
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Exec`] on a functional trap and
+    /// [`SimError::Watchdog`] if `core.max_cycles` elapses first.
+    pub fn run_traced_on<S: TraceSink>(
+        mut self,
+        pool: Option<&Pool>,
+        sink: &mut S,
+    ) -> Result<RunResult, SimError> {
         let mut timeline = self.cfg.core.timeline_interval.map(|interval| Timeline {
             interval: interval.max(1),
             ..Timeline::default()
@@ -156,18 +251,18 @@ impl<'k> GpuSim<'k> {
         loop {
             if let Some(t) = &mut timeline {
                 if cycle.is_multiple_of(t.interval) {
-                    let n = self.sms.len() as f32;
-                    let resident: u32 = self.sms.iter().map(Sm::resident_warps).sum();
-                    let active: u32 = self.sms.iter().map(Sm::active_warps).sum();
+                    let n = self.lanes.len() as f32;
+                    let resident: u32 = self.lanes.iter().map(|l| l.sm.resident_warps()).sum();
+                    let active: u32 = self.lanes.iter().map(|l| l.sm.active_warps()).sum();
                     let reg: u64 = self
-                        .sms
+                        .lanes
                         .iter()
-                        .map(|s| u64::from(s.resident_reg_bytes()))
+                        .map(|l| u64::from(l.sm.resident_reg_bytes()))
                         .sum();
                     let smem: u64 = self
-                        .sms
+                        .lanes
                         .iter()
-                        .map(|s| u64::from(s.resident_smem_bytes()))
+                        .map(|l| u64::from(l.sm.resident_smem_bytes()))
                         .sum();
                     let reg_cap = n * self.cfg.core.regfile_bytes as f32;
                     let smem_cap = n * self.cfg.core.smem_bytes as f32;
@@ -188,18 +283,55 @@ impl<'k> GpuSim<'k> {
                 }
             }
             self.mem.tick_traced(cycle, sink);
-            for sm in &mut self.sms {
-                sm.tick_traced(
-                    cycle,
-                    self.kernel,
-                    &self.cfg.core,
-                    &self.cfg.residency,
-                    &mut self.mem,
-                    &mut self.image,
-                    &mut self.stats,
-                    sink,
-                )?;
+
+            // Phase A: every SM advances one cycle touching only its own
+            // lane and memory front.
+            let parallel = pool.is_some_and(|p| p.threads() > 1) && self.lanes.len() > 1;
+            if parallel {
+                let pool = pool.expect("checked above");
+                let kernel = self.kernel;
+                let core = &self.cfg.core;
+                let res = &self.cfg.residency;
+                let lanes = DisjointMut::new(&mut self.lanes);
+                let fronts = DisjointMut::new(self.mem.fronts_mut());
+                pool.run(lanes.len(), &|i| {
+                    // SAFETY: the pool hands each index in 0..len to
+                    // exactly one worker, so no lane or front is aliased.
+                    let lane = unsafe { lanes.index_mut(i) };
+                    let front = unsafe { fronts.index_mut(i) };
+                    tick_lane(lane, front, cycle, S::ENABLED, kernel, core, res);
+                });
+            } else {
+                for (lane, front) in self.lanes.iter_mut().zip(self.mem.fronts_mut()) {
+                    tick_lane(
+                        lane,
+                        front,
+                        cycle,
+                        S::ENABLED,
+                        self.kernel,
+                        &self.cfg.core,
+                        &self.cfg.residency,
+                    );
+                }
             }
+
+            // Merge phase, strictly in ascending SM order: flush the
+            // buffered trace events, apply the deferred functional memory
+            // ops, and surface the first trap exactly where a sequential
+            // run would.
+            for lane in &mut self.lanes {
+                if S::ENABLED {
+                    for e in lane.events.drain(..) {
+                        sink.emit(e.t, e.ev);
+                    }
+                }
+                lane.sm.apply_deferred(&mut self.image)?;
+                if let Some(e) = lane.err.take() {
+                    return Err(SimError::Exec(e));
+                }
+            }
+            self.mem.merge_outboxes();
+
             self.dispatch(cycle, sink);
             if self.finished() {
                 break;
@@ -210,8 +342,16 @@ impl<'k> GpuSim<'k> {
             }
         }
         self.stats.cycles = cycle + 1;
-        self.stats.mem = self.mem.stats().clone();
-        self.stats.max_simt_depth = self.sms.iter().map(Sm::max_simt_depth).max().unwrap_or(0);
+        for lane in &self.lanes {
+            self.stats.merge(&lane.stats);
+        }
+        self.stats.mem = self.mem.stats();
+        self.stats.max_simt_depth = self
+            .lanes
+            .iter()
+            .map(|l| l.sm.max_simt_depth())
+            .max()
+            .unwrap_or(0);
         self.stats.timeline = timeline;
         Ok(RunResult {
             stats: self.stats,
@@ -225,12 +365,12 @@ impl<'k> GpuSim<'k> {
         if self.next_cta >= self.kernel.num_ctas() {
             return;
         }
-        let n = self.sms.len();
+        let n = self.lanes.len();
         for i in 0..n {
             if self.next_cta >= self.kernel.num_ctas() {
                 break;
             }
-            let sm = &mut self.sms[(self.dispatch_ptr + i) % n];
+            let sm = &mut self.lanes[(self.dispatch_ptr + i) % n].sm;
             if sm.can_admit(self.kernel, &self.cfg.core, &self.cfg.residency) {
                 sm.admit_traced(
                     self.next_cta,
@@ -249,7 +389,7 @@ impl<'k> GpuSim<'k> {
 
     fn finished(&self) -> bool {
         self.next_cta >= self.kernel.num_ctas()
-            && self.sms.iter().all(Sm::idle)
+            && self.lanes.iter().all(|l| l.sm.idle())
             && self.mem.quiesced()
     }
 }

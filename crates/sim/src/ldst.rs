@@ -3,7 +3,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use vt_isa::Reg;
-use vt_mem::{MemSystem, ReqKind, Submit};
+use vt_mem::{MemSystem, ReqKind, SmFront, Submit};
 use vt_trace::{NullSink, TraceSink};
 
 /// One warp memory instruction queued in the LD/ST unit.
@@ -201,19 +201,26 @@ impl LdstUnit {
         });
     }
 
-    /// Advances the unit one cycle: injects the front work's transactions
-    /// into the memory system and completes shared-memory accesses whose
-    /// latency elapsed. Returns events for the SM to apply.
+    /// Advances the unit one cycle against the whole memory system
+    /// (sequential compatibility path: drives this SM's front and flushes
+    /// its outbox immediately). The engine's parallel SM phase uses
+    /// [`LdstUnit::tick_traced`] with the front alone.
     pub fn tick(&mut self, now: u64, mem: &mut MemSystem) -> Vec<LdstEvent> {
-        self.tick_traced(now, mem, &mut NullSink)
+        let sm = self.sm_id;
+        let out = self.tick_traced(now, mem.front_mut(sm), &mut NullSink);
+        mem.flush_outbox(sm);
+        out
     }
 
-    /// [`LdstUnit::tick`] with an explicit trace sink, so memory-request
-    /// span events carry through submission and response draining.
+    /// Advances the unit one cycle: injects the front work's transactions
+    /// into this SM's memory front-end and completes shared-memory
+    /// accesses whose latency elapsed. Returns events for the SM to
+    /// apply. Touches only per-SM state — accepted requests park in the
+    /// front's outbox until the engine's ordered merge.
     pub fn tick_traced<S: TraceSink>(
         &mut self,
         now: u64,
-        mem: &mut MemSystem,
+        front: &mut SmFront,
         sink: &mut S,
     ) -> Vec<LdstEvent> {
         let mut out = Vec::new();
@@ -262,7 +269,7 @@ impl LdstUnit {
                     while *submitted < lines.len() {
                         let id = ((self.sm_id as u64) << 40) | (self.next_id + 1);
                         let outcome =
-                            mem.try_submit_traced(self.sm_id, id, lines[*submitted], *kind, sink);
+                            front.try_submit_traced(now, id, lines[*submitted], *kind, sink);
                         if outcome == Submit::Rejected {
                             break;
                         }
@@ -293,7 +300,7 @@ impl LdstUnit {
         }
 
         // Drain global responses.
-        while let Some(id) = mem.pop_response_traced(self.sm_id, sink) {
+        while let Some(id) = front.pop_response_traced(now, sink) {
             let Some(token) = self.req_to_group.remove(&id) else {
                 continue;
             };

@@ -15,7 +15,7 @@ use vt_isa::kernel::MemImage;
 use vt_isa::op::{BranchIf, MemSpace, Operand};
 use vt_isa::{Instr, Kernel, Reg, WARP_SIZE};
 use vt_mem::coalesce::{coalesce, shared_bank_conflicts};
-use vt_mem::{MemSystem, ReqKind};
+use vt_mem::{MemSystem, ReqKind, SmFront};
 use vt_trace::{NullSink, SwapDir, TraceEvent, TraceSink};
 
 /// Why a warp cannot issue this cycle; used for scheduling and for the
@@ -80,6 +80,40 @@ pub struct Sm {
     window_issues: u64,
     // Issue-rate estimate per mode, scaled by 2^16: [rotate, hold].
     mode_ipc_est: [Option<u64>; 2],
+    /// Global-memory functional effects recorded during [`Sm::tick_phase`]
+    /// (which must not touch the shared [`MemImage`]), applied by
+    /// [`Sm::apply_deferred`] in issue order at the cycle's merge point.
+    deferred: Vec<DeferredAccess>,
+}
+
+/// One warp global-memory instruction whose functional effect is deferred
+/// to the sequential merge phase. Addresses and source operand values are
+/// resolved at issue (phase A) — a warp issues at most one instruction
+/// per cycle and registers are private to the warp, so no later
+/// same-cycle write can change them — while the [`MemImage`]
+/// read/modify/write happens at merge in `(sm_id, issue order)`, exactly
+/// the order the sequential engine applies them in.
+#[derive(Debug)]
+struct DeferredAccess {
+    wslot: usize,
+    mask: u32,
+    addrs: [u32; WARP_SIZE as usize],
+    body: DeferredBody,
+}
+
+#[derive(Debug)]
+enum DeferredBody {
+    Load {
+        dst: Reg,
+    },
+    Store {
+        vals: [u32; WARP_SIZE as usize],
+    },
+    Atomic {
+        op: vt_isa::AtomOp,
+        dst: Option<Reg>,
+        vals: [u32; WARP_SIZE as usize],
+    },
 }
 
 impl Sm {
@@ -119,6 +153,7 @@ impl Sm {
             phases_since_probe: 0,
             window_issues: 0,
             mode_ipc_est: [None, None],
+            deferred: Vec::new(),
         }
     }
 
@@ -400,7 +435,6 @@ impl Sm {
         kernel: &Kernel,
         core: &CoreConfig,
         res: &ResidencyConfig,
-        _mem: &mut MemSystem,
         stats: &mut RunStats,
         sink: &mut S,
     ) {
@@ -588,7 +622,10 @@ impl Sm {
 
     // ----- per-cycle operation --------------------------------------------
 
-    /// Advances the SM one cycle.
+    /// Advances the SM one cycle against the whole memory system and
+    /// image (sequential compatibility path): runs the per-SM phase,
+    /// flushes this SM's request outbox, and applies the deferred
+    /// functional memory effects immediately.
     ///
     /// # Errors
     ///
@@ -605,20 +642,43 @@ impl Sm {
         image: &mut MemImage,
         stats: &mut RunStats,
     ) -> Result<(), ExecError> {
-        self.tick_traced(now, kernel, core, res, mem, image, stats, &mut NullSink)
+        let id = self.id;
+        let phase = self.tick_phase(
+            now,
+            kernel,
+            core,
+            res,
+            mem.front_mut(id),
+            stats,
+            &mut NullSink,
+        );
+        mem.flush_outbox(id);
+        self.apply_deferred(image)?;
+        phase
     }
 
-    /// [`Sm::tick`] with an explicit trace sink. With [`NullSink`] this
-    /// monomorphizes to the untraced fast path.
+    /// The per-SM half of a cycle: writebacks, LD/ST events, residency,
+    /// issue and stats. Touches only this SM's state plus its private
+    /// memory front-end, so distinct SMs may run this phase on distinct
+    /// threads. Global-memory functional effects are *recorded*, not
+    /// applied — the engine must call [`Sm::apply_deferred`] afterwards,
+    /// in SM order, to keep the shared [`MemImage`] bit-identical to the
+    /// sequential schedule. With [`NullSink`] this monomorphizes to the
+    /// untraced fast path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] if a warp traps on a fault detectable from
+    /// per-SM state (unaligned or shared-memory out-of-range accesses);
+    /// global out-of-range faults surface from [`Sm::apply_deferred`].
     #[allow(clippy::too_many_arguments)]
-    pub fn tick_traced<S: TraceSink>(
+    pub fn tick_phase<S: TraceSink>(
         &mut self,
         now: u64,
         kernel: &Kernel,
         core: &CoreConfig,
         res: &ResidencyConfig,
-        mem: &mut MemSystem,
-        image: &mut MemImage,
+        front: &mut SmFront,
         stats: &mut RunStats,
         sink: &mut S,
     ) -> Result<(), ExecError> {
@@ -636,7 +696,7 @@ impl Sm {
         // 2. Memory events (shared latency, global responses, long-stall
         //    notifications). Events may outlive their CTA — a warp can
         //    exit with loads in flight — so uids filter stale records.
-        for event in self.ldst.tick_traced(now, mem, sink) {
+        for event in self.ldst.tick_traced(now, front, sink) {
             match event {
                 LdstEvent::Completed(c) => {
                     if self.warp_uids[c.warp_slot] != c.warp_uid {
@@ -667,7 +727,7 @@ impl Sm {
         }
 
         // 3. CTA residency: swap completions, trigger, activations.
-        self.update_residency(now, kernel, core, res, mem, stats, sink);
+        self.update_residency(now, kernel, core, res, stats, sink);
 
         // 4. Issue.
         if self.issue_dirty {
@@ -677,7 +737,7 @@ impl Sm {
         let mut issued = 0u32;
         for s in 0..schedulers {
             if let Some(wslot) = self.pick_warp(s, now, kernel, core) {
-                self.issue_warp(wslot, s, now, kernel, core, res, image, stats, sink)?;
+                self.issue_warp(wslot, s, now, kernel, core, res, stats, sink)?;
                 self.sched_last[s] = Some(wslot);
                 issued += 1;
             }
@@ -809,7 +869,6 @@ impl Sm {
         kernel: &Kernel,
         core: &CoreConfig,
         res: &ResidencyConfig,
-        image: &mut MemImage,
         stats: &mut RunStats,
         sink: &mut S,
     ) -> Result<(), ExecError> {
@@ -887,7 +946,6 @@ impl Sm {
                     addr,
                     offset,
                     MemOp::Load { dst },
-                    image,
                     sink,
                 )?;
                 self.advance(wslot);
@@ -908,7 +966,6 @@ impl Sm {
                     addr,
                     offset,
                     MemOp::Store { src },
-                    image,
                     sink,
                 )?;
                 self.advance(wslot);
@@ -930,7 +987,6 @@ impl Sm {
                     addr,
                     offset,
                     MemOp::Atomic { op, dst, val },
-                    image,
                     sink,
                 )?;
                 self.advance(wslot);
@@ -1038,12 +1094,16 @@ impl Sm {
         addr: Operand,
         offset: i32,
         op: MemOp,
-        image: &mut MemImage,
         sink: &mut S,
     ) -> Result<(), ExecError> {
-        // Compute lane addresses and apply functional effects now; the
-        // LD/ST unit and memory system model only the timing.
+        // Compute lane addresses and resolve source operand values now;
+        // the LD/ST unit and memory system model only the timing.
+        // Shared-memory effects (per-CTA, per-SM state) also apply now,
+        // but global-memory effects are *recorded* and applied by
+        // [`Sm::apply_deferred`] at the cycle's ordered merge, so this
+        // phase never touches state shared between SMs.
         let mut addrs = [0u32; WARP_SIZE as usize];
+        let mut vals = [0u32; WARP_SIZE as usize];
         {
             let (warps, ctas) = (&mut self.warps, &mut self.ctas);
             let w = &mut warps[wslot];
@@ -1065,25 +1125,18 @@ impl Sm {
                 addrs[lane as usize] = a;
                 match op {
                     MemOp::Load { dst } => {
-                        let v = match space {
-                            MemSpace::Global => image
-                                .load(a)
-                                .ok_or(ExecError::GlobalOutOfRange { addr: a })?,
-                            MemSpace::Shared => *cta
+                        if space == MemSpace::Shared {
+                            let v = *cta
                                 .smem
                                 .get((a / 4) as usize)
-                                .ok_or(ExecError::SharedOutOfRange { addr: a })?,
-                        };
-                        w.set_reg(lane, dst.0, v);
+                                .ok_or(ExecError::SharedOutOfRange { addr: a })?;
+                            w.set_reg(lane, dst.0, v);
+                        }
                     }
                     MemOp::Store { src } => {
                         let v = exec::resolve(src, w.lane_regs(lane), &ctx);
                         match space {
-                            MemSpace::Global => {
-                                if !image.store(a, v) {
-                                    return Err(ExecError::GlobalOutOfRange { addr: a });
-                                }
-                            }
+                            MemSpace::Global => vals[lane as usize] = v,
                             MemSpace::Shared => {
                                 let word = cta
                                     .smem
@@ -1093,19 +1146,24 @@ impl Sm {
                             }
                         }
                     }
-                    MemOp::Atomic { op, dst, val } => {
-                        let v = exec::resolve(val, w.lane_regs(lane), &ctx);
-                        let old = image
-                            .load(a)
-                            .ok_or(ExecError::GlobalOutOfRange { addr: a })?;
-                        let new = exec::eval_atom(op, old, v);
-                        image.store(a, new);
-                        if let Some(d) = dst {
-                            w.set_reg(lane, d.0, old);
-                        }
+                    MemOp::Atomic { val, .. } => {
+                        vals[lane as usize] = exec::resolve(val, w.lane_regs(lane), &ctx);
                     }
                 }
             }
+        }
+        if space == MemSpace::Global {
+            let body = match op {
+                MemOp::Load { dst } => DeferredBody::Load { dst },
+                MemOp::Store { .. } => DeferredBody::Store { vals },
+                MemOp::Atomic { op, dst, .. } => DeferredBody::Atomic { op, dst, vals },
+            };
+            self.deferred.push(DeferredAccess {
+                wslot,
+                mask,
+                addrs,
+                body,
+            });
         }
 
         // Timing side.
@@ -1183,6 +1241,64 @@ impl Sm {
             }
         }
         Ok(())
+    }
+
+    /// Applies the global-memory functional effects recorded by this
+    /// cycle's [`Sm::tick_phase`] to the shared image, in issue order.
+    /// The engine calls this once per SM per cycle, in SM order, before
+    /// dispatch — which is exactly the order the fully sequential engine
+    /// interleaved these effects, so the image (and every value a later
+    /// load observes) is bit-identical at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::GlobalOutOfRange`] when a recorded access
+    /// falls outside the image — the sequential engine's trap, surfacing
+    /// one merge step later.
+    pub fn apply_deferred(&mut self, image: &mut MemImage) -> Result<(), ExecError> {
+        let deferred = std::mem::take(&mut self.deferred);
+        let mut result = Ok(());
+        'outer: for acc in &deferred {
+            let w = &mut self.warps[acc.wslot];
+            let mut m = acc.mask;
+            while m != 0 {
+                let lane = m.trailing_zeros();
+                m &= m - 1;
+                let a = acc.addrs[lane as usize];
+                match acc.body {
+                    DeferredBody::Load { dst } => match image.load(a) {
+                        Some(v) => w.set_reg(lane, dst.0, v),
+                        None => {
+                            result = Err(ExecError::GlobalOutOfRange { addr: a });
+                            break 'outer;
+                        }
+                    },
+                    DeferredBody::Store { ref vals } => {
+                        if !image.store(a, vals[lane as usize]) {
+                            result = Err(ExecError::GlobalOutOfRange { addr: a });
+                            break 'outer;
+                        }
+                    }
+                    DeferredBody::Atomic { op, dst, ref vals } => match image.load(a) {
+                        Some(old) => {
+                            image.store(a, exec::eval_atom(op, old, vals[lane as usize]));
+                            if let Some(d) = dst {
+                                w.set_reg(lane, d.0, old);
+                            }
+                        }
+                        None => {
+                            result = Err(ExecError::GlobalOutOfRange { addr: a });
+                            break 'outer;
+                        }
+                    },
+                }
+            }
+        }
+        // Hand the buffer back so its capacity is reused next cycle.
+        let mut deferred = deferred;
+        deferred.clear();
+        self.deferred = deferred;
+        result
     }
 
     fn check_barrier_release<S: TraceSink>(

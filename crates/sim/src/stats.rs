@@ -223,6 +223,31 @@ impl RunStats {
         ratio(self.thread_instrs, self.cycles)
     }
 
+    /// Adds another stats block into this one. Counters add, distributions
+    /// merge, `cycles` and `max_simt_depth` take the maximum, and the
+    /// timeline (a whole-GPU time series, not a per-SM quantity) is kept
+    /// from `self`. The parallel engine uses this to fold per-SM stat
+    /// lanes into the run total; because every field is either additive or
+    /// a max, the fold is independent of lane order.
+    pub fn merge(&mut self, o: &RunStats) {
+        self.cycles = self.cycles.max(o.cycles);
+        self.warp_instrs += o.warp_instrs;
+        self.thread_instrs += o.thread_instrs;
+        self.divergent_branches += o.divergent_branches;
+        self.barriers += o.barriers;
+        self.ctas_completed += o.ctas_completed;
+        self.issue_cycles += o.issue_cycles;
+        self.idle.merge(&o.idle);
+        self.occupancy.merge(&o.occupancy);
+        self.swaps.merge(&o.swaps);
+        self.mem.merge(&o.mem);
+        self.max_simt_depth = self.max_simt_depth.max(o.max_simt_depth);
+        self.swap_duration.merge(&o.swap_duration);
+        self.swap_gap.merge(&o.swap_gap);
+        self.barrier_wait.merge(&o.barrier_wait);
+        self.ldst_queue.merge(&o.ldst_queue);
+    }
+
     /// Warp instructions per cycle.
     pub fn warp_ipc(&self) -> f64 {
         ratio(self.warp_instrs, self.cycles)

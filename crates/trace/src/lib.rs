@@ -33,5 +33,5 @@ pub mod validate;
 pub use chrome::to_chrome_json;
 pub use event::{MemKind, MemLevel, SwapDir, TimedEvent, TraceEvent};
 pub use hist::{Gauge, Histogram};
-pub use sink::{NullSink, RingSink, TraceSink};
+pub use sink::{BufSink, NullSink, RingSink, TraceSink};
 pub use validate::{validate, TraceReport};

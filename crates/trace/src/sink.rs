@@ -96,6 +96,22 @@ impl TraceSink for RingSink {
     }
 }
 
+/// An unbounded sink appending into a borrowed `Vec`. Used by the
+/// parallel engine to buffer each SM's events privately during the
+/// concurrent phase, then flush them into the real sink in a fixed order
+/// so traces stay deterministic.
+#[derive(Debug)]
+pub struct BufSink<'a>(pub &'a mut Vec<TimedEvent>);
+
+impl TraceSink for BufSink<'_> {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn emit(&mut self, t: u64, ev: TraceEvent) {
+        self.0.push(TimedEvent { t, ev });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +157,19 @@ mod tests {
         assert_eq!(s.dropped(), 2);
         let ts: Vec<u64> = s.events().iter().map(|e| e.t).collect();
         assert_eq!(ts, vec![2, 3, 4], "oldest evicted first");
+    }
+
+    #[test]
+    fn buf_sink_appends_to_borrowed_vec() {
+        let mut events = Vec::new();
+        {
+            let mut s = BufSink(&mut events);
+            s.emit(3, issue(1));
+            s.emit(4, issue(2));
+        }
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].t, 3);
+        assert_eq!(events[1].t, 4);
     }
 
     #[test]

@@ -16,4 +16,14 @@ cargo run -q -p vt-analysis --bin vtlint -- --suite
 echo "== vtprof --check (trace validation on one suite kernel)"
 cargo run -q -p vt-bench --bin vtprof -- spmv --check --out "$(mktemp -d)"
 
+echo "== golden stats (suite snapshots must not drift)"
+cargo test -q -p vt-tests --test golden
+
+# Note: `cargo test -- --test-threads` parallelizes the *test harness*;
+# engine parallelism is a separate axis (vtsweep --threads / VT_THREADS)
+# and is what --check verifies against the sequential run below.
+echo "== vtsweep --check (2-thread determinism smoke)"
+cargo run -q --release -p vt-bench --bin vtsweep -- \
+  spmv bfs --threads 2 --sms 4 --check >/dev/null
+
 echo "lint: OK"

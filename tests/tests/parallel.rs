@@ -1,0 +1,97 @@
+//! Differential tests of the parallel execution engine: for every suite
+//! kernel and architecture, runs sharded across 2, 4 and 8 worker
+//! threads must be *bit-identical* to the sequential run — same
+//! statistics, same trace event stream, same final memory, same idle
+//! accounting. This is the contract that makes `--threads N` safe to use
+//! for every experiment in the repo.
+//!
+//! Note the worker counts here deliberately oversubscribe small hosts:
+//! determinism must not depend on how the OS schedules the pool.
+
+use vt_core::{Gpu, Pool, Report};
+use vt_isa::Kernel;
+use vt_tests::{all_archs, small_config};
+use vt_trace::{to_chrome_json, BufSink, TimedEvent};
+use vt_workloads::{suite, Scale};
+
+fn run_traced_on(
+    arch: vt_core::Architecture,
+    kernel: &Kernel,
+    pool: Option<&Pool>,
+) -> (Report, Vec<TimedEvent>) {
+    let mut events = Vec::new();
+    let report = Gpu::new(small_config(arch))
+        .run_traced_on(kernel, pool, &mut BufSink(&mut events))
+        .unwrap_or_else(|e| panic!("{} under {}: {e}", kernel.name(), arch.label()));
+    (report, events)
+}
+
+#[test]
+fn thread_count_never_changes_results() {
+    let pools = [Pool::new(2), Pool::new(4), Pool::new(8)];
+    for w in suite(&Scale::test()) {
+        for arch in all_archs() {
+            let (seq_report, seq_events) = run_traced_on(arch, &w.kernel, None);
+            for pool in &pools {
+                let (par_report, par_events) = run_traced_on(arch, &w.kernel, Some(pool));
+                let label = format!(
+                    "{} [{}] at {} threads",
+                    w.name,
+                    arch.label(),
+                    pool.threads()
+                );
+                assert_eq!(par_report.stats, seq_report.stats, "stats differ: {label}");
+                assert_eq!(
+                    par_report.mem_image, seq_report.mem_image,
+                    "memory image differs: {label}"
+                );
+                assert_eq!(
+                    par_events, seq_events,
+                    "trace event stream differs: {label}"
+                );
+            }
+        }
+    }
+}
+
+/// The exported Chrome trace — what a human actually loads in Perfetto —
+/// must also be byte-identical, not just the in-memory events.
+#[test]
+fn chrome_traces_are_byte_identical_across_thread_counts() {
+    let pool = Pool::new(4);
+    for w in suite(&Scale::test()).iter().take(3) {
+        for arch in all_archs() {
+            let (_, seq_events) = run_traced_on(arch, &w.kernel, None);
+            let (_, par_events) = run_traced_on(arch, &w.kernel, Some(&pool));
+            assert_eq!(
+                to_chrome_json(&par_events).compact(),
+                to_chrome_json(&seq_events).compact(),
+                "{} [{}]",
+                w.name,
+                arch.label()
+            );
+        }
+    }
+}
+
+/// The idle-accounting identity holds under the parallel engine: every
+/// SM-cycle is either an issue cycle or lands in exactly one idle bucket.
+#[test]
+fn idle_identity_holds_under_parallel_engine() {
+    let pool = Pool::new(4);
+    for w in suite(&Scale::test()) {
+        for arch in all_archs() {
+            let report = Gpu::new(small_config(arch))
+                .run_on(&w.kernel, Some(&pool))
+                .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name, arch.label()));
+            let s = &report.stats;
+            assert_eq!(
+                s.idle.total() + s.issue_cycles,
+                s.occupancy.sm_cycles,
+                "{} [{}]: idle + issue must cover every SM-cycle",
+                w.name,
+                arch.label()
+            );
+        }
+    }
+}

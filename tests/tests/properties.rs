@@ -4,12 +4,13 @@
 //! preserve functional results. Driven by the deterministic
 //! [`vt_prng::Prng`] so runs are reproducible offline.
 
-use vt_core::{Architecture, SwapTrigger, VtParams};
+use vt_core::{Architecture, Gpu, Pool, SwapTrigger, VtParams};
 use vt_isa::interp::Interpreter;
 use vt_isa::op::{AluOp, Operand, Reg, Sreg};
 use vt_isa::{Kernel, KernelBuilder};
 use vt_prng::Prng;
-use vt_tests::run;
+use vt_tests::{run, small_config};
+use vt_trace::{BufSink, SwapDir, TraceEvent};
 use vt_workloads::{AccessPattern, SyntheticParams};
 
 fn gen_access(r: &mut Prng) -> AccessPattern {
@@ -86,6 +87,117 @@ fn random_vt_parameters_preserve_functionality() {
         );
         assert_eq!(report.stats.ctas_completed, 24);
     }
+}
+
+/// Random synthetic kernels must be thread-count invariant: the parallel
+/// engine at 2, 4 and 8 workers must reproduce the sequential run's
+/// statistics and final memory bit-for-bit, whatever shape the kernel
+/// takes.
+#[test]
+fn thread_count_invariance_on_random_kernels() {
+    let mut r = Prng::new(0x9a7);
+    let pools = [Pool::new(2), Pool::new(4), Pool::new(8)];
+    for case in 0..8 {
+        let barrier = r.gen_bool(0.5);
+        let p = SyntheticParams {
+            name: "par-prop".to_string(),
+            ctas: r.gen_range(4..16),
+            threads_per_cta: *r.choose(&[32u32, 64, 96]),
+            regs_per_thread: 16,
+            smem_bytes: if barrier { 256 } else { 0 },
+            iters: r.gen_range(1..4),
+            loads_per_iter: r.gen_range(1..4),
+            alu_per_load: r.gen_range(0..5),
+            access: gen_access(&mut r),
+            barrier_per_iter: barrier,
+        };
+        let kernel = p.build();
+        for arch in [Architecture::Baseline, Architecture::virtual_thread()] {
+            let seq = run(arch, &kernel);
+            for pool in &pools {
+                let par = Gpu::new(small_config(arch))
+                    .run_on(&kernel, Some(pool))
+                    .unwrap_or_else(|e| panic!("case {case}: {e}"));
+                assert_eq!(
+                    par.stats,
+                    seq.stats,
+                    "case {case}: stats drift at {} threads under {} ({p:?})",
+                    pool.threads(),
+                    arch.label()
+                );
+                assert_eq!(
+                    par.mem_image,
+                    seq.mem_image,
+                    "case {case}: memory drift at {} threads under {}",
+                    pool.threads(),
+                    arch.label()
+                );
+            }
+        }
+    }
+}
+
+/// The swap protocol survives the parallel engine: a CTA may only enter
+/// the active phase once its context transfer has completed — every
+/// `CtaActivate` must be preceded by a `SwapEnd{In}` for the same
+/// (SM, slot, CTA), with no unconsumed transfer left over.
+#[test]
+fn swap_protocol_holds_under_parallel_engine() {
+    let mut r = Prng::new(0x3c1);
+    let pool = Pool::new(4);
+    let mut activations = 0u64;
+    for case in 0..6 {
+        let p = SyntheticParams {
+            name: "swap-prop".to_string(),
+            ctas: r.gen_range(16..40),
+            threads_per_cta: *r.choose(&[32u32, 64]),
+            regs_per_thread: 16,
+            smem_bytes: 0,
+            iters: r.gen_range(2..5),
+            loads_per_iter: r.gen_range(2..5),
+            alu_per_load: r.gen_range(0..3),
+            access: AccessPattern::Random,
+            barrier_per_iter: false,
+        };
+        let kernel = p.build();
+        let mut events = Vec::new();
+        Gpu::new(small_config(Architecture::virtual_thread()))
+            .run_traced_on(&kernel, Some(&pool), &mut BufSink(&mut events))
+            .unwrap_or_else(|e| panic!("case {case}: {e}"));
+
+        let mut ready: Vec<(u32, u32, u32)> = Vec::new();
+        for e in &events {
+            match e.ev {
+                TraceEvent::SwapEnd {
+                    sm,
+                    cta_slot,
+                    cta_id,
+                    dir: SwapDir::In,
+                } => ready.push((sm, cta_slot, cta_id)),
+                TraceEvent::CtaActivate {
+                    sm,
+                    cta_slot,
+                    cta_id,
+                } => {
+                    let key = (sm, cta_slot, cta_id);
+                    let pos = ready.iter().position(|&k| k == key).unwrap_or_else(|| {
+                        panic!(
+                            "case {case}: CTA {cta_id} activated on SM {sm} slot \
+                             {cta_slot} at t={} without a completed swap-in",
+                            e.t
+                        )
+                    });
+                    ready.swap_remove(pos);
+                    activations += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    assert!(
+        activations > 0,
+        "cases never activated a CTA — the invariant was tested vacuously"
+    );
 }
 
 /// A random straight-line ALU program over a handful of registers.

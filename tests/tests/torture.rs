@@ -2,16 +2,37 @@
 //! warps and early exits — the hardest cases for the SIMT stack and the
 //! barrier unit, checked against the reference interpreter.
 
-use vt_core::Architecture;
+use vt_core::{sweep, Architecture, Gpu, Pool, Report, SimError};
 use vt_isa::interp::Interpreter;
 use vt_isa::op::{Operand, Sreg};
 use vt_isa::{Kernel, KernelBuilder};
-use vt_tests::run;
+use vt_tests::small_config;
+
+/// Per-case cycle watchdog. Every torture kernel finishes in well under a
+/// million cycles; a scheduling or barrier bug that livelocks therefore
+/// fails its own case quickly instead of burning the default 200M-cycle
+/// watchdog and the tier's wall-clock budget with it.
+const CASE_BUDGET_CYCLES: u64 = 2_000_000;
 
 fn check(kernel: &Kernel) {
     let reference = Interpreter::new(kernel).unwrap().run().unwrap();
-    for arch in [Architecture::Baseline, Architecture::virtual_thread()] {
-        let report = run(arch, kernel);
+    let archs = [Architecture::Baseline, Architecture::virtual_thread()];
+    // Fan the architecture runs across the sweep runner — same mechanism
+    // vtsweep uses, so torture cases double as a smoke test of it.
+    let pool = Pool::new(2);
+    let jobs: Vec<_> = archs
+        .into_iter()
+        .map(|arch| {
+            move || -> Result<Report, SimError> {
+                let mut cfg = small_config(arch);
+                cfg.core.max_cycles = CASE_BUDGET_CYCLES;
+                Gpu::new(cfg).run(kernel)
+            }
+        })
+        .collect();
+    for (arch, result) in archs.into_iter().zip(sweep(&pool, jobs)) {
+        let report =
+            result.unwrap_or_else(|e| panic!("{} under {}: {e}", kernel.name(), arch.label()));
         assert_eq!(
             report.mem_image.as_words(),
             reference.mem().as_words(),

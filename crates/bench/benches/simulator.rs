@@ -10,7 +10,7 @@
 
 use std::hint::black_box;
 use std::time::Instant;
-use vt_core::{run_matrix, Architecture, Gpu, GpuConfig, Pool};
+use vt_core::{Architecture, Gpu, GpuConfig, Pool, RunRequest, Session};
 use vt_isa::interp::Interpreter;
 use vt_isa::SimtStack;
 use vt_mem::cache::Cache;
@@ -159,13 +159,15 @@ fn bench_tracing_overhead() {
         gpu.run(&kernel).expect("run succeeds").stats.cycles
     });
     bench("trace/spmv-ring-sink", 10, || {
-        let mut sink = RingSink::new(1 << 20);
-        let cycles = gpu
-            .run_traced(&kernel, &mut sink)
+        let mut session = Session::new(gpu.config().clone()).with_sink(RingSink::new(1 << 20));
+        let cycles = session
+            .run(RunRequest::kernel(&kernel))
             .expect("run succeeds")
+            .completed()
+            .expect("unbudgeted")[0]
             .stats
             .cycles;
-        (cycles, sink.len())
+        (cycles, session.into_sink().len())
     });
 }
 
@@ -184,23 +186,25 @@ fn bench_parallel_sweep() {
     ];
     let cfg = GpuConfig::default();
 
-    let seq_pool = Pool::new(1);
-    let par_pool = Pool::new(4);
-    let seq: Vec<u64> = run_matrix(&seq_pool, &cfg.core, &cfg.mem, &archs, &kernels)
+    let seq_session = Session::new(cfg.clone()).with_pool(Pool::new(1));
+    let par_session = Session::new(cfg.clone()).with_pool(Pool::new(4));
+    let seq: Vec<u64> = seq_session
+        .sweep(&archs, &kernels)
         .into_iter()
         .map(|r| r.expect("cell runs").stats.cycles)
         .collect();
-    let par: Vec<u64> = run_matrix(&par_pool, &cfg.core, &cfg.mem, &archs, &kernels)
+    let par: Vec<u64> = par_session
+        .sweep(&archs, &kernels)
         .into_iter()
         .map(|r| r.expect("cell runs").stats.cycles)
         .collect();
     assert_eq!(seq, par, "parallel sweep must be bit-identical");
 
     bench("sweep/grid-1-thread", 3, || {
-        run_matrix(&seq_pool, &cfg.core, &cfg.mem, &archs, &kernels).len()
+        seq_session.sweep(&archs, &kernels).len()
     });
     bench("sweep/grid-4-threads", 3, || {
-        run_matrix(&par_pool, &cfg.core, &cfg.mem, &archs, &kernels).len()
+        par_session.sweep(&archs, &kernels).len()
     });
 }
 

@@ -17,7 +17,7 @@
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
-use vt_core::{Architecture, Gpu, GpuConfig, MemSwapParams};
+use vt_core::{Architecture, GpuConfig, MemSwapParams, RunRequest, Session};
 use vt_json::Json;
 use vt_trace::{to_chrome_json, validate, Gauge, Histogram, RingSink, TimedEvent};
 use vt_workloads::{suite, Scale, Workload};
@@ -168,11 +168,14 @@ struct RunOutcome {
     check_failed: bool,
 }
 
-fn profile_one(w: &Workload, opts: &Opts, gpu: &Gpu) -> Result<RunOutcome, String> {
-    let mut sink = RingSink::new(opts.ring);
-    let report = gpu
-        .run_traced(&w.kernel, &mut sink)
-        .map_err(|e| format!("{}: {e}", w.name))?;
+fn profile_one(w: &Workload, opts: &Opts, cfg: &GpuConfig) -> Result<RunOutcome, String> {
+    let mut session = Session::new(cfg.clone()).with_sink(RingSink::new(opts.ring));
+    let report = session
+        .run(RunRequest::kernel(&w.kernel))
+        .and_then(|o| o.completed())
+        .map_err(|e| format!("{}: {e}", w.name))?
+        .remove(0);
+    let sink = session.into_sink();
     let dropped = sink.dropped();
     let events: Vec<TimedEvent> = sink.into_events();
 
@@ -287,12 +290,10 @@ fn main() -> ExitCode {
     if let Some(sms) = opts.sms {
         cfg.core.num_sms = sms.max(1);
     }
-    let gpu = Gpu::new(cfg);
-
     let mut records = Vec::new();
     let mut failed = false;
     for w in picked {
-        match profile_one(w, &opts, &gpu) {
+        match profile_one(w, &opts, &cfg) {
             Ok(out) => {
                 failed |= out.check_failed;
                 records.push(out.metrics);

@@ -6,20 +6,32 @@
 //! (`--engine sm`). Results are bit-identical to a sequential run at any
 //! thread count; `--check` verifies exactly that.
 //!
+//! Long runs can be bounded and sliced: `--budget` / `--deadline` stop
+//! each cell after a cycle or wall-clock allowance, `--checkpoint FILE`
+//! saves the truncated simulator state, and `--resume FILE` continues it
+//! bit-identically. Budgeted runs also install a Ctrl-C handler that
+//! cancels the active simulation at the next cycle boundary instead of
+//! killing the process.
+//!
 //! ```text
 //! cargo run --release -p vt-bench --bin vtsweep                  # full grid
 //! cargo run --release -p vt-bench --bin vtsweep -- bfs spmv --threads 4
 //! cargo run --release -p vt-bench --bin vtsweep -- --threads 2 --check
+//! cargo run --release -p vt-bench --bin vtsweep -- bfs --arch vt \
+//!     --budget 5000 --checkpoint bfs.ckpt                        # slice 1
+//! cargo run --release -p vt-bench --bin vtsweep -- bfs --arch vt \
+//!     --resume bfs.ckpt                                          # finish
 //! ```
 //!
 //! Exit codes: 0 success, 1 a `--check` mismatch, 2 usage or simulation
-//! error.
+//! error, 130 cancelled by Ctrl-C.
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 use vt_core::{
-    default_threads, run_matrix, Architecture, Gpu, GpuConfig, MemSwapParams, Pool, Report,
-    RunStats, SimError,
+    default_threads, Architecture, CancelToken, Checkpoint, GpuConfig, MemSwapParams, Pool, Report,
+    RunBudget, RunRequest, RunStats, Session, SessionOutcome, SimError, StopReason, Truncation,
 };
 use vt_json::Json;
 use vt_workloads::{suite, Scale, Workload};
@@ -43,6 +55,16 @@ options:
   --engine grid|sm                   what to parallelise: independent grid
                                      cells (default) or the SMs inside
                                      each simulation
+  --budget CYCLES                    stop each cell after CYCLES simulated
+                                     cycles, reporting partial stats
+                                     (implies the sm engine)
+  --deadline SECS                    stop each cell after SECS wall-clock
+                                     seconds (implies the sm engine;
+                                     partial stats are not deterministic)
+  --checkpoint FILE                  write the truncated cell's state to
+                                     FILE (requires one kernel, one arch)
+  --resume FILE                      continue a checkpointed run from FILE
+                                     (requires one kernel, one arch)
   --check                            re-run the grid single-threaded and
                                      fail (exit 1) unless every cell is
                                      bit-identical
@@ -63,8 +85,35 @@ struct Opts {
     sms: Option<u32>,
     threads: usize,
     engine: Engine,
+    budget: Option<u64>,
+    deadline: Option<Duration>,
+    checkpoint: Option<String>,
+    resume: Option<String>,
     check: bool,
     json: bool,
+}
+
+impl Opts {
+    /// Whether this invocation runs cells through a budgeted/cancellable
+    /// [`Session`] (as opposed to fanning completed cells across the
+    /// pool).
+    fn uses_sessions(&self) -> bool {
+        self.engine == Engine::Sm
+            || self.budget.is_some()
+            || self.deadline.is_some()
+            || self.resume.is_some()
+    }
+
+    fn run_budget(&self) -> RunBudget {
+        let mut b = RunBudget::unlimited();
+        if let Some(cycles) = self.budget {
+            b = b.with_max_cycles(cycles);
+        }
+        if let Some(deadline) = self.deadline {
+            b = b.with_deadline(deadline);
+        }
+        b
+    }
 }
 
 fn parse_archs(list: &str) -> Result<Vec<Architecture>, String> {
@@ -99,6 +148,10 @@ fn parse_args() -> Result<Option<Opts>, String> {
         sms: None,
         threads: default_threads(),
         engine: Engine::Grid,
+        budget: None,
+        deadline: None,
+        checkpoint: None,
+        resume: None,
         check: false,
         json: false,
     };
@@ -139,6 +192,26 @@ fn parse_args() -> Result<Option<Opts>, String> {
                     other => return Err(format!("unknown engine `{other}`")),
                 };
             }
+            "--budget" => {
+                let n: u64 = value("--budget")?
+                    .parse()
+                    .map_err(|e| format!("--budget: {e}"))?;
+                if n == 0 {
+                    return Err("--budget must be at least 1 cycle".to_string());
+                }
+                o.budget = Some(n);
+            }
+            "--deadline" => {
+                let s: f64 = value("--deadline")?
+                    .parse()
+                    .map_err(|e| format!("--deadline: {e}"))?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err("--deadline must be positive seconds".to_string());
+                }
+                o.deadline = Some(Duration::from_secs_f64(s));
+            }
+            "--checkpoint" => o.checkpoint = Some(value("--checkpoint")?),
+            "--resume" => o.resume = Some(value("--resume")?),
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             name => o.kernels.push(name.to_string()),
         }
@@ -166,35 +239,135 @@ fn select<'a>(all: &'a [Workload], names: &[String]) -> Result<Vec<&'a Workload>
         .collect()
 }
 
-/// Runs the full grid under the chosen engine, returning cells in
-/// kernel-major order.
-fn run_grid(opts: &Opts, picked: &[&Workload], threads: usize) -> Vec<Result<Report, SimError>> {
+// ---------------------------------------------------------------- Ctrl-C
+
+/// The token the SIGINT handler flips; installed once per process.
+static CANCEL: OnceLock<CancelToken> = OnceLock::new();
+
+extern "C" fn on_sigint(_signum: i32) {
+    // Only an atomic store — the engine notices at the next cycle.
+    if let Some(token) = CANCEL.get() {
+        token.cancel();
+    }
+}
+
+/// Routes SIGINT to `token` so Ctrl-C truncates the active simulation
+/// (with a checkpoint) instead of killing the process.
+fn install_ctrl_c(token: CancelToken) {
+    if CANCEL.set(token).is_err() {
+        return; // already installed
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+    }
+}
+
+// ------------------------------------------------------------------ grid
+
+/// One grid cell's outcome: completed, or truncated by the budget /
+/// Ctrl-C with partial stats and a resumable checkpoint.
+enum Cell {
+    Done(Box<Report>),
+    Cut {
+        kernel: String,
+        arch: Architecture,
+        truncation: Box<Truncation>,
+    },
+}
+
+impl Cell {
+    fn stats(&self) -> &RunStats {
+        match self {
+            Cell::Done(r) => &r.stats,
+            Cell::Cut { truncation, .. } => &truncation.stats,
+        }
+    }
+}
+
+fn reason_label(reason: StopReason) -> &'static str {
+    match reason {
+        StopReason::CycleBudget => "cycle budget",
+        StopReason::Deadline => "deadline",
+        StopReason::Cancelled => "cancelled",
+    }
+}
+
+fn base_config(opts: &Opts) -> GpuConfig {
     let mut cfg = GpuConfig::default();
     if let Some(sms) = opts.sms {
         cfg.core.num_sms = sms.max(1);
     }
-    let pool = Pool::new(threads);
-    match opts.engine {
-        Engine::Grid => {
-            let kernels: Vec<_> = picked.iter().map(|w| w.kernel.clone()).collect();
-            run_matrix(&pool, &cfg.core, &cfg.mem, &opts.archs, &kernels)
-        }
-        Engine::Sm => {
-            let sm_pool = if threads > 1 { Some(&pool) } else { None };
-            picked
-                .iter()
-                .flat_map(|w| opts.archs.iter().map(move |&arch| (w, arch)))
-                .map(|(w, arch)| {
-                    Gpu::new(GpuConfig {
-                        arch,
-                        ..cfg.clone()
-                    })
-                    .run_on(&w.kernel, sm_pool)
-                })
-                .collect()
+    cfg
+}
+
+/// Runs the full grid, returning cells in kernel-major order.
+fn run_grid(
+    opts: &Opts,
+    picked: &[&Workload],
+    threads: usize,
+    resume: Option<&Checkpoint>,
+    cancel: Option<&CancelToken>,
+) -> Vec<Result<Cell, SimError>> {
+    let cfg = base_config(opts);
+    if !opts.uses_sessions() {
+        let kernels: Vec<_> = picked.iter().map(|w| w.kernel.clone()).collect();
+        let session = Session::new(cfg).with_pool(Pool::new(threads));
+        return session
+            .sweep(&opts.archs, &kernels)
+            .into_iter()
+            .map(|r| r.map(|r| Cell::Done(Box::new(r))))
+            .collect();
+    }
+
+    // Budgeted / cancellable / SM-parallel path: one session per
+    // architecture, each cell run to its budget.
+    let mut sessions: Vec<Session> = opts
+        .archs
+        .iter()
+        .map(|&arch| {
+            let mut s = Session::new(GpuConfig {
+                arch,
+                ..cfg.clone()
+            })
+            .with_budget(opts.run_budget());
+            if threads > 1 {
+                s = s.with_pool(Pool::new(threads));
+            }
+            if let Some(token) = cancel {
+                s = s.with_cancel(token.clone());
+            }
+            s
+        })
+        .collect();
+    let mut out = Vec::new();
+    for w in picked {
+        for (ai, &arch) in opts.archs.iter().enumerate() {
+            // After a Ctrl-C every remaining cell truncates after one
+            // cycle, so the grid still finishes promptly with one
+            // (cheap) truncated record per cell.
+            let mut req = RunRequest::kernel(&w.kernel);
+            if let Some(ckpt) = resume {
+                req = req.resume_from(ckpt);
+            }
+            let cell = sessions[ai].run(req).map(|outcome| match outcome {
+                SessionOutcome::Completed(mut reports) => Cell::Done(Box::new(reports.remove(0))),
+                SessionOutcome::Truncated { truncation, .. } => Cell::Cut {
+                    kernel: w.name.to_string(),
+                    arch,
+                    truncation,
+                },
+            });
+            out.push(cell);
         }
     }
+    out
 }
+
+// ----------------------------------------------------------------- check
 
 /// Names the `RunStats` fields that differ, for a readable `--check`
 /// report.
@@ -247,11 +420,20 @@ fn diff_stats(got: &RunStats, want: &RunStats) -> Vec<String> {
     out
 }
 
-fn cell_json(r: &Report) -> Json {
-    let s = &r.stats;
-    Json::object(vec![
-        ("kernel".into(), Json::Str(r.kernel.clone())),
-        ("arch".into(), Json::Str(r.arch.label().to_string())),
+fn cell_json(cell: &Cell) -> Json {
+    let (kernel, arch, truncated) = match cell {
+        Cell::Done(r) => (r.kernel.as_str(), r.arch, None),
+        Cell::Cut {
+            kernel,
+            arch,
+            truncation,
+        } => (kernel.as_str(), *arch, Some(truncation.reason)),
+    };
+    let s = cell.stats();
+    let mut fields = vec![
+        ("kernel".into(), Json::Str(kernel.to_string())),
+        ("arch".into(), Json::Str(arch.label().to_string())),
+        ("truncated".into(), Json::Bool(truncated.is_some())),
         ("cycles".into(), Json::UInt(s.cycles)),
         ("ipc".into(), Json::Float(s.ipc())),
         ("warp_instrs".into(), Json::UInt(s.warp_instrs)),
@@ -263,7 +445,14 @@ fn cell_json(r: &Report) -> Json {
         ("l1_accesses".into(), Json::UInt(s.mem.l1_accesses)),
         ("l2_accesses".into(), Json::UInt(s.mem.l2_accesses)),
         ("dram_reads".into(), Json::UInt(s.mem.dram_reads)),
-    ])
+    ];
+    if let Some(reason) = truncated {
+        fields.push((
+            "stop_reason".into(),
+            Json::Str(reason_label(reason).to_string()),
+        ));
+    }
+    Json::object(fields)
 }
 
 fn main() -> ExitCode {
@@ -283,27 +472,92 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if (opts.checkpoint.is_some() || opts.resume.is_some())
+        && (picked.len() != 1 || opts.archs.len() != 1)
+    {
+        eprintln!(
+            "vtsweep: --checkpoint/--resume need exactly one kernel and one \
+             --arch (got {} kernel(s), {} arch(s))",
+            picked.len(),
+            opts.archs.len()
+        );
+        return ExitCode::from(2);
+    }
+    let resume = match &opts.resume {
+        Some(path) => {
+            let parsed = std::fs::read_to_string(path)
+                .map_err(|e| format!("{path}: {e}"))
+                .and_then(|text| Checkpoint::parse(&text).map_err(|e| format!("{path}: {e}")));
+            match parsed {
+                Ok(c) => Some(c),
+                Err(e) => {
+                    eprintln!("vtsweep: --resume {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => None,
+    };
+
+    // In the session path, Ctrl-C cancels the running cell cooperatively
+    // (yielding partial stats and a checkpoint) instead of killing us.
+    let cancel = opts.uses_sessions().then(|| {
+        let token = CancelToken::new();
+        install_ctrl_c(token.clone());
+        token
+    });
 
     let started = Instant::now();
-    let grid = run_grid(&opts, &picked, opts.threads);
+    let grid = run_grid(
+        &opts,
+        &picked,
+        opts.threads,
+        resume.as_ref(),
+        cancel.as_ref(),
+    );
     let elapsed = started.elapsed();
 
     let mut records = Vec::new();
     let mut sim_failed = false;
+    let mut cancelled = false;
     for cell in &grid {
         match cell {
-            Ok(r) => {
+            Ok(c) => {
                 if !opts.json {
-                    println!(
-                        "{:<16} [{:<8}] {:>10} cycles  ipc {:>6.2}  swaps {}",
-                        r.kernel,
-                        r.arch.label(),
-                        r.stats.cycles,
-                        r.stats.ipc(),
-                        r.stats.swaps.swaps_out,
-                    );
+                    match c {
+                        Cell::Done(r) => println!(
+                            "{:<16} [{:<8}] {:>10} cycles  ipc {:>6.2}  swaps {}",
+                            r.kernel,
+                            r.arch.label(),
+                            r.stats.cycles,
+                            r.stats.ipc(),
+                            r.stats.swaps.swaps_out,
+                        ),
+                        Cell::Cut {
+                            kernel,
+                            arch,
+                            truncation,
+                        } => println!(
+                            "{:<16} [{:<8}] {:>10} cycles  TRUNCATED: {}",
+                            kernel,
+                            arch.label(),
+                            truncation.stats.cycles,
+                            reason_label(truncation.reason),
+                        ),
+                    }
                 }
-                records.push(cell_json(r));
+                if let Cell::Cut { truncation, .. } = c {
+                    cancelled |= truncation.reason == StopReason::Cancelled;
+                    if let Some(path) = &opts.checkpoint {
+                        if let Err(e) = std::fs::write(path, truncation.checkpoint.to_text()) {
+                            eprintln!("vtsweep: --checkpoint {path}: {e}");
+                            sim_failed = true;
+                        } else if !opts.json {
+                            println!("checkpoint written to {path} (resume with --resume {path})");
+                        }
+                    }
+                }
+                records.push(cell_json(c));
             }
             Err(e) => {
                 eprintln!("vtsweep: {e}");
@@ -321,32 +575,34 @@ fn main() -> ExitCode {
             "{} cells, {} thread(s), engine {}, {:.2}s",
             grid.len(),
             opts.threads,
-            match opts.engine {
-                Engine::Grid => "grid",
-                Engine::Sm => "sm",
-            },
+            if opts.uses_sessions() { "sm" } else { "grid" },
             elapsed.as_secs_f64()
         );
     }
 
     if opts.check {
-        let reference = run_grid(&opts, &picked, 1);
+        let reference = run_grid(&opts, &picked, 1, resume.as_ref(), None);
         let mut mismatches = 0usize;
         for (got, want) in grid.iter().zip(&reference) {
             match (got, want) {
                 (Ok(g), Ok(w)) => {
-                    if g.stats != w.stats || g.mem_image != w.mem_image {
+                    let image_differs = match (g, w) {
+                        (Cell::Done(g), Cell::Done(w)) => g.mem_image != w.mem_image,
+                        // Truncated cells carry no final image; their
+                        // checkpoints must instead be textually identical.
+                        (Cell::Cut { truncation: g, .. }, Cell::Cut { truncation: w, .. }) => {
+                            g.checkpoint.to_text() != w.checkpoint.to_text()
+                        }
+                        _ => true,
+                    };
+                    if g.stats() != w.stats() || image_differs {
                         mismatches += 1;
-                        eprintln!(
-                            "vtsweep: MISMATCH {} [{}] vs sequential:",
-                            g.kernel,
-                            g.arch.label()
-                        );
-                        for line in diff_stats(&g.stats, &w.stats) {
+                        eprintln!("vtsweep: MISMATCH vs sequential:");
+                        for line in diff_stats(g.stats(), w.stats()) {
                             eprintln!("  {line}");
                         }
-                        if g.mem_image != w.mem_image {
-                            eprintln!("  final memory image differs");
+                        if image_differs {
+                            eprintln!("  final memory image / checkpoint differs");
                         }
                     }
                 }
@@ -365,6 +621,9 @@ fn main() -> ExitCode {
             grid.len(),
             opts.threads
         );
+    }
+    if cancelled {
+        return ExitCode::from(130);
     }
     ExitCode::SUCCESS
 }

@@ -8,7 +8,7 @@ use vt_mem::MemConfig;
 use vt_par::Pool;
 use vt_sim::{
     check_launchable, occupancy, CoreConfig, GpuSim, LaunchError, OccupancyAnalysis,
-    ResidencyConfig, RunStats, SimConfig, SimError,
+    ResidencyConfig, RunBudget, RunStats, SimConfig, SimError,
 };
 
 /// Full configuration of a simulated GPU: hardware shape plus the CTA
@@ -140,41 +140,18 @@ impl Gpu {
         occupancy::analyze(&self.cfg.core, kernel)
     }
 
-    /// Runs a dependent sequence of kernels — an iterative application —
-    /// threading each launch's final memory image into the next launch.
-    /// Every kernel must address the same global-memory layout (the image
-    /// of each step becomes the next step's input verbatim).
-    ///
-    /// # Errors
-    ///
-    /// Fails on the first kernel whose run fails.
-    pub fn run_chain(&self, kernels: &[&Kernel]) -> Result<Vec<Report>, SimError> {
-        let mut reports = Vec::with_capacity(kernels.len());
-        let mut image: Option<MemImage> = None;
-        for &k in kernels {
-            let staged;
-            let kernel = match image.take() {
-                Some(img) => {
-                    staged = k.with_global_mem(img);
-                    &staged
-                }
-                None => k,
-            };
-            let report = self.run(kernel)?;
-            image = Some(report.mem_image.clone());
-            reports.push(report);
-        }
-        Ok(reports)
-    }
-
     /// Runs `kernel` to completion under the configured architecture.
+    ///
+    /// This is the one-shot convenience; anything beyond a single
+    /// untraced, unbudgeted run (pools, tracing, budgets, cancellation,
+    /// chains, resume) goes through [`crate::Session`].
     ///
     /// # Errors
     ///
     /// Returns [`SimError`] on launch failure, a functional trap, or
     /// watchdog expiry.
     pub fn run(&self, kernel: &Kernel) -> Result<Report, SimError> {
-        self.run_traced(kernel, &mut vt_trace::NullSink)
+        self.run_inner(kernel, None, &mut vt_trace::NullSink)
     }
 
     /// [`Gpu::run`] with the per-cycle SM phase sharded across `pool`'s
@@ -185,8 +162,12 @@ impl Gpu {
     ///
     /// Returns [`SimError`] on launch failure, a functional trap, or
     /// watchdog expiry.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Session::with_pool + Session::run instead"
+    )]
     pub fn run_on(&self, kernel: &Kernel, pool: Option<&Pool>) -> Result<Report, SimError> {
-        self.run_traced_on(kernel, pool, &mut vt_trace::NullSink)
+        self.run_inner(kernel, pool, &mut vt_trace::NullSink)
     }
 
     /// [`Gpu::run`] with an explicit trace sink receiving every simulation
@@ -197,23 +178,42 @@ impl Gpu {
     ///
     /// Returns [`SimError`] on launch failure, a functional trap, or
     /// watchdog expiry.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Session::with_sink + Session::run instead"
+    )]
     pub fn run_traced<S: vt_trace::TraceSink>(
         &self,
         kernel: &Kernel,
         sink: &mut S,
     ) -> Result<Report, SimError> {
-        self.run_traced_on(kernel, None, sink)
+        self.run_inner(kernel, None, sink)
     }
 
-    /// Tracing plus optional SM-level parallelism — the full engine
-    /// surface. Stats, traces and the final memory image are identical
-    /// for every `pool` choice.
+    /// Tracing plus optional SM-level parallelism. Stats, traces and the
+    /// final memory image are identical for every `pool` choice.
     ///
     /// # Errors
     ///
     /// Returns [`SimError`] on launch failure, a functional trap, or
     /// watchdog expiry.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use Session::with_pool + Session::with_sink + Session::run instead"
+    )]
     pub fn run_traced_on<S: vt_trace::TraceSink>(
+        &self,
+        kernel: &Kernel,
+        pool: Option<&Pool>,
+        sink: &mut S,
+    ) -> Result<Report, SimError> {
+        self.run_inner(kernel, pool, sink)
+    }
+
+    /// The shared single-launch body behind [`Gpu::run`] and the
+    /// deprecated shims: lower the architecture to a residency policy and
+    /// run the engine to completion.
+    fn run_inner<S: vt_trace::TraceSink>(
         &self,
         kernel: &Kernel,
         pool: Option<&Pool>,
@@ -228,7 +228,9 @@ impl Gpu {
             mem: self.cfg.mem.clone(),
             residency,
         };
-        let result = GpuSim::new(&sim_cfg, kernel)?.run_traced_on(pool, sink)?;
+        let result = GpuSim::new(&sim_cfg, kernel)?
+            .execute(pool, sink, &RunBudget::unlimited(), None)?
+            .completed()?;
         Ok(Report {
             kernel: kernel.name().to_string(),
             arch: self.cfg.arch,
@@ -272,6 +274,11 @@ pub fn compare(
 ///
 /// Per-cell failures are reported in place rather than aborting the grid,
 /// so a sweep can present partial results.
+///
+/// Deprecated shim: builds a [`crate::Session`] over a pool of the same
+/// width (results are deterministic, so which pool instance runs the grid
+/// is unobservable) and delegates to [`crate::Session::sweep`].
+#[deprecated(since = "0.2.0", note = "use Session::sweep instead")]
 pub fn run_matrix(
     pool: &Pool,
     core: &CoreConfig,
@@ -279,25 +286,21 @@ pub fn run_matrix(
     archs: &[Architecture],
     kernels: &[Kernel],
 ) -> Vec<Result<Report, SimError>> {
-    let jobs: Vec<_> = kernels
-        .iter()
-        .flat_map(|kernel| archs.iter().map(move |&arch| (kernel, arch)))
-        .map(|(kernel, arch)| {
-            let cfg = GpuConfig {
-                core: core.clone(),
-                mem: mem.clone(),
-                arch,
-            };
-            move || Gpu::new(cfg).run(kernel)
-        })
-        .collect();
-    vt_par::sweep(pool, jobs)
+    let cfg = GpuConfig {
+        core: core.clone(),
+        mem: mem.clone(),
+        arch: Architecture::Baseline, // per-cell archs come from `archs`
+    };
+    crate::session::Session::new(cfg)
+        .with_pool(Pool::new(pool.threads()))
+        .sweep(archs, kernels)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::arch::MemSwapParams;
+    use crate::session::{RunRequest, Session};
     use vt_isa::op::Operand;
     use vt_isa::KernelBuilder;
 
@@ -402,7 +405,7 @@ mod tests {
     }
 
     #[test]
-    fn run_chain_threads_memory_between_launches() {
+    fn chain_request_threads_memory_between_launches() {
         // Kernel increments every word of a shared buffer once per launch.
         let mut b = KernelBuilder::new("inc");
         let buf = b.alloc_global(4096);
@@ -415,11 +418,15 @@ mod tests {
         b.st_global(Operand::Reg(gid), buf as i32, Operand::Reg(v));
         let k = b.build(64, 64).unwrap();
 
-        let gpu = Gpu::new(GpuConfig {
+        let mut session = Session::new(GpuConfig {
             core: small_core(),
             ..GpuConfig::default()
         });
-        let reports = gpu.run_chain(&[&k, &k, &k]).unwrap();
+        let reports = session
+            .run(RunRequest::kernels(&[&k, &k, &k]))
+            .unwrap()
+            .completed()
+            .unwrap();
         assert_eq!(reports.len(), 3);
         assert_eq!(reports[0].mem_image.load(buf), Some(1));
         assert_eq!(reports[1].mem_image.load(buf), Some(2));
@@ -442,28 +449,38 @@ mod tests {
     }
 
     #[test]
-    fn run_on_pool_is_bit_identical_to_run() {
+    fn pooled_session_is_bit_identical_to_run() {
         let k = latency_bound_kernel(32);
-        let gpu = Gpu::new(GpuConfig {
+        let cfg = GpuConfig {
             core: small_core(),
             mem: MemConfig::default(),
             arch: Architecture::virtual_thread(),
-        });
-        let seq = gpu.run(&k).unwrap();
-        let pool = Pool::new(4);
-        let par = gpu.run_on(&k, Some(&pool)).unwrap();
+        };
+        let seq = Gpu::new(cfg.clone()).run(&k).unwrap();
+        let mut session = Session::new(cfg).with_pool(Pool::new(4));
+        let par = session
+            .run(RunRequest::kernel(&k))
+            .unwrap()
+            .completed()
+            .unwrap()
+            .remove(0);
         assert_eq!(par.stats, seq.stats);
         assert_eq!(par.mem_image, seq.mem_image);
     }
 
     #[test]
-    fn run_matrix_matches_sequential_compare() {
+    fn session_sweep_matches_sequential_compare() {
         let kernels = vec![latency_bound_kernel(16), latency_bound_kernel(24)];
         let archs = [Architecture::Baseline, Architecture::virtual_thread()];
         let core = small_core();
         let mem = MemConfig::default();
-        let pool = Pool::new(3);
-        let grid = run_matrix(&pool, &core, &mem, &archs, &kernels);
+        let session = Session::new(GpuConfig {
+            core: core.clone(),
+            mem: mem.clone(),
+            ..GpuConfig::default()
+        })
+        .with_pool(Pool::new(3));
+        let grid = session.sweep(&archs, &kernels);
         assert_eq!(grid.len(), kernels.len() * archs.len());
         for (ki, k) in kernels.iter().enumerate() {
             let seq = compare(&core, &mem, &archs, k).unwrap();
@@ -475,6 +492,32 @@ mod tests {
                 assert_eq!(got.mem_image, want.mem_image);
             }
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_session_paths() {
+        let k = latency_bound_kernel(16);
+        let cfg = GpuConfig {
+            core: small_core(),
+            mem: MemConfig::default(),
+            arch: Architecture::virtual_thread(),
+        };
+        let gpu = Gpu::new(cfg.clone());
+        let want = gpu.run(&k).unwrap();
+        let pool = Pool::new(2);
+        let via_on = gpu.run_on(&k, Some(&pool)).unwrap();
+        assert_eq!(via_on.stats, want.stats);
+        let via_traced = gpu.run_traced(&k, &mut vt_trace::NullSink).unwrap();
+        assert_eq!(via_traced.stats, want.stats);
+        let grid = run_matrix(
+            &pool,
+            &cfg.core,
+            &cfg.mem,
+            &[Architecture::virtual_thread()],
+            std::slice::from_ref(&k),
+        );
+        assert_eq!(grid[0].as_ref().unwrap().stats, want.stats);
     }
 
     #[test]

@@ -54,16 +54,24 @@ pub mod arch;
 pub mod energy;
 pub mod gpu;
 pub mod overhead;
+pub mod session;
 
 pub use arch::{Architecture, MemSwapParams, VtParams};
 pub use energy::{estimate as estimate_energy, EnergyEstimate, EnergyParams};
-pub use gpu::{compare, run_matrix, Gpu, GpuConfig, Report};
+#[allow(deprecated)]
+pub use gpu::run_matrix;
+pub use gpu::{compare, Gpu, GpuConfig, Report};
 pub use overhead::{context_buffer, OverheadBreakdown};
+pub use session::{RunRequest, Session, SessionOutcome};
 
 // The analysis types figures are built from.
 pub use vt_sim::{
     occupancy, CoreConfig, Limiter, OccupancyAnalysis, RunStats, SchedPolicy, SimError, SwapTrigger,
 };
+
+// Execution control (budgets, cancellation, checkpoint/resume), so
+// downstream tools need not depend on vt-sim directly.
+pub use vt_sim::{CancelToken, Checkpoint, RunBudget, RunOutcome, StopReason, Truncation};
 
 pub use vt_mem::MemConfig;
 

@@ -71,7 +71,7 @@ pub use instr::Instr;
 pub use kernel::Kernel;
 pub use op::{AluOp, AtomOp, BranchIf, MemSpace, Operand, Reg, SfuOp, Sreg};
 pub use program::Program;
-pub use simt::SimtStack;
+pub use simt::{SimtEntry, SimtStack};
 
 /// Number of lanes in a warp. The whole simulator is built around 32-lane
 /// warps, matching every NVIDIA GPU generation the paper targets.

@@ -48,6 +48,17 @@ impl SimtStack {
         }
     }
 
+    /// Rebuilds a stack from previously observed state (checkpoint
+    /// restore): `entries` bottom to top as returned by
+    /// [`SimtStack::entries`], and the historical [`SimtStack::max_depth`].
+    /// The recorded maximum is kept at least as deep as `entries`.
+    pub fn from_saved(entries: Vec<SimtEntry>, max_depth: usize) -> SimtStack {
+        SimtStack {
+            max_depth: max_depth.max(entries.len()),
+            entries,
+        }
+    }
+
     /// Whether every lane has exited.
     pub fn is_done(&self) -> bool {
         self.entries.is_empty()

@@ -1,11 +1,14 @@
-//! Minimal JSON emission for experiment results.
+//! Minimal JSON emission and parsing for experiment results.
 //!
-//! The bench harness writes every figure/table record to `results/*.json`.
-//! The workspace builds fully offline, so instead of `serde`/`serde_json`
-//! this crate provides a tiny JSON value model, a [`ToJson`] conversion
-//! trait, and an [`impl_to_json!`] macro that derives the trait for plain
-//! record structs. Output is deterministic: object keys keep declaration
-//! order and the pretty printer is stable.
+//! The bench harness writes every figure/table record to `results/*.json`,
+//! and the execution-control layer round-trips simulator checkpoints
+//! through the same value model. The workspace builds fully offline, so
+//! instead of `serde`/`serde_json` this crate provides a tiny JSON value
+//! model, a [`ToJson`] conversion trait, an [`impl_to_json!`] macro that
+//! derives the trait for plain record structs, and a recursive-descent
+//! [`Json::parse`]. Output is deterministic: object keys keep declaration
+//! order and the pretty printer is stable; `parse(pretty()) == value` for
+//! every value this crate can emit (non-finite floats emit as `null`).
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +50,92 @@ impl Json {
         let mut out = String::new();
         self.write_compact(&mut out);
         out
+    }
+
+    /// Parses a JSON document.
+    ///
+    /// Non-negative integers parse as [`Json::UInt`] (so `u64::MAX`
+    /// round-trips), negative ones as [`Json::Int`], and anything with a
+    /// fraction or exponent as [`Json::Float`]. Duplicate object keys are
+    /// kept in document order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the byte offset of the first syntax error,
+    /// including trailing garbage after the document.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing characters at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Looks up a field of an object (first match wins). `None` for
+    /// non-objects and missing keys.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(v) => Some(*v),
+            Json::Int(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(v) => Some(*v),
+            Json::UInt(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is any number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Float(v) => Some(*v),
+            Json::Int(v) => Some(*v as f64),
+            Json::UInt(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `bool` if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice if it is one.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
     }
 
     fn write(&self, out: &mut String, indent: usize) {
@@ -123,6 +212,334 @@ impl Json {
             }
         }
     }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(format!("unexpected '{}' at byte {}", b as char, self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                } else {
+                                    return Err(format!("lone surrogate at byte {}", self.pos));
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(format!(
+                                        "invalid surrogate pair at byte {}",
+                                        self.pos
+                                    ));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            out.push(
+                                char::from_u32(c)
+                                    .ok_or_else(|| format!("invalid codepoint {c:#x}"))?,
+                            );
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos - 1)),
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err(format!("control character in string at byte {}", self.pos));
+                }
+                Some(_) => {
+                    // Copy a whole UTF-8 scalar (input is valid UTF-8).
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end]).map_err(|e| e.to_string())?;
+        let v = u32::from_str_radix(s, 16)
+            .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut float = false;
+        if self.peek() == Some(b'.') {
+            float = true;
+            self.pos += 1;
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        if !float {
+            // Try u64 first so u64::MAX round-trips, then i64 for
+            // negatives; overflow of both falls through to f64.
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::UInt(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Json::Int(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| format!("invalid number at byte {start}"))
+    }
+}
+
+/// Fetches `key` from an object or fails with a message naming it.
+///
+/// # Errors
+///
+/// Returns an error if `v` is not an object or lacks `key`.
+pub fn req<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+/// Fetches `key` as a `u64`.
+///
+/// # Errors
+///
+/// Returns an error if the field is missing or not a non-negative integer.
+pub fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
+    req(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field `{key}` is not a u64"))
+}
+
+/// Fetches `key` as an `f64`.
+///
+/// # Errors
+///
+/// Returns an error if the field is missing or not a number.
+pub fn req_f64(v: &Json, key: &str) -> Result<f64, String> {
+    req(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field `{key}` is not a number"))
+}
+
+/// Fetches `key` as a `bool`.
+///
+/// # Errors
+///
+/// Returns an error if the field is missing or not a boolean.
+pub fn req_bool(v: &Json, key: &str) -> Result<bool, String> {
+    req(v, key)?
+        .as_bool()
+        .ok_or_else(|| format!("field `{key}` is not a bool"))
+}
+
+/// Fetches `key` as a string slice.
+///
+/// # Errors
+///
+/// Returns an error if the field is missing or not a string.
+pub fn req_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, String> {
+    req(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("field `{key}` is not a string"))
+}
+
+/// Fetches `key` as an array slice.
+///
+/// # Errors
+///
+/// Returns an error if the field is missing or not an array.
+pub fn req_array<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    req(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("field `{key}` is not an array"))
+}
+
+/// Fetches element `i` of a tuple-encoded array.
+///
+/// # Errors
+///
+/// Returns an error if the array is too short.
+pub fn elem(a: &[Json], i: usize) -> Result<&Json, String> {
+    a.get(i).ok_or_else(|| format!("missing element {i}"))
+}
+
+/// Fetches element `i` of a tuple-encoded array as a `u64`.
+///
+/// # Errors
+///
+/// Returns an error if the element is missing or not a non-negative
+/// integer.
+pub fn elem_u64(a: &[Json], i: usize) -> Result<u64, String> {
+    elem(a, i)?
+        .as_u64()
+        .ok_or_else(|| format!("element {i} is not a u64"))
+}
+
+/// Fetches element `i` of a tuple-encoded array as a `bool`.
+///
+/// # Errors
+///
+/// Returns an error if the element is missing or not a boolean.
+pub fn elem_bool(a: &[Json], i: usize) -> Result<bool, String> {
+    elem(a, i)?
+        .as_bool()
+        .ok_or_else(|| format!("element {i} is not a bool"))
 }
 
 fn push_indent(out: &mut String, levels: usize) {
@@ -327,6 +744,76 @@ mod tests {
         assert_eq!(None::<u8>.to_json().compact(), "null");
         assert_eq!(vec![1u32, 2].to_json().compact(), "[1,2]");
         assert_eq!(("a".to_string(), 0.5f64).to_json().compact(), "[\"a\",0.5]");
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("false").unwrap(), Json::Bool(false));
+        assert_eq!(Json::parse("42").unwrap(), Json::UInt(42));
+        assert_eq!(Json::parse("-42").unwrap(), Json::Int(-42));
+        assert_eq!(Json::parse("1.5").unwrap(), Json::Float(1.5));
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Float(1000.0));
+        assert_eq!(
+            Json::parse(&u64::MAX.to_string()).unwrap(),
+            Json::UInt(u64::MAX)
+        );
+        assert_eq!(
+            Json::parse(&i64::MIN.to_string()).unwrap(),
+            Json::Int(i64::MIN)
+        );
+    }
+
+    #[test]
+    fn parse_strings_with_escapes() {
+        assert_eq!(
+            Json::parse(r#""a\"b\\c\nd\u0001é""#).unwrap(),
+            Json::Str("a\"b\\c\nd\u{1}é".to_string())
+        );
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::Str("😀".to_string()));
+        assert!(Json::parse(r#""\ud83d x""#).is_err(), "lone surrogate");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("1 2").is_err());
+        assert!(Json::parse("nul").is_err());
+        assert!(Json::parse("\"open").is_err());
+    }
+
+    #[test]
+    fn roundtrip_pretty_and_compact() {
+        let v = Json::Object(vec![
+            ("max".into(), Json::UInt(u64::MAX)),
+            ("neg".into(), Json::Int(-7)),
+            ("f".into(), Json::Float(0.125)),
+            (
+                "xs".into(),
+                Json::Array(vec![Json::Null, Json::Bool(false), Json::Str("s\n".into())]),
+            ),
+            ("empty".into(), Json::Object(vec![])),
+        ]);
+        assert_eq!(Json::parse(&v.pretty()).unwrap(), v);
+        assert_eq!(Json::parse(&v.compact()).unwrap(), v);
+    }
+
+    #[test]
+    fn accessors_and_req_helpers() {
+        let v = Json::parse(r#"{"n":3,"s":"x","b":true,"xs":[1],"f":0.5}"#).unwrap();
+        assert_eq!(v.get("n").and_then(Json::as_u64), Some(3));
+        assert_eq!(req_u64(&v, "n").unwrap(), 3);
+        assert_eq!(req_str(&v, "s").unwrap(), "x");
+        assert!(req_bool(&v, "b").unwrap());
+        assert_eq!(req_array(&v, "xs").unwrap().len(), 1);
+        assert_eq!(req_f64(&v, "f").unwrap(), 0.5);
+        assert_eq!(Json::UInt(9).as_i64(), Some(9));
+        assert_eq!(Json::Int(-1).as_u64(), None);
+        assert!(req_u64(&v, "missing").unwrap_err().contains("missing"));
+        assert!(req_str(&v, "n").unwrap_err().contains("not a string"));
     }
 
     #[test]

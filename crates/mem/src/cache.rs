@@ -1,5 +1,7 @@
 //! A tags-only set-associative cache array with LRU replacement.
 
+use vt_json::{elem_bool, elem_u64, req_array, req_u64, Json};
+
 /// Outcome of a cache probe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Probe {
@@ -149,6 +151,70 @@ impl Cache {
     /// Number of valid lines (occupancy), for stats and tests.
     pub fn valid_lines(&self) -> usize {
         self.sets.iter().filter(|l| l.valid).count()
+    }
+
+    /// Serializes geometry and every line (including LRU state) for
+    /// checkpointing. Lines are emitted as `[tag, valid, dirty, last_use]`
+    /// in array order, so the restored replacement state is exact.
+    pub fn snapshot(&self) -> Json {
+        Json::Object(vec![
+            ("num_sets".into(), Json::UInt(self.num_sets)),
+            ("ways".into(), Json::UInt(self.ways as u64)),
+            (
+                "lines".into(),
+                Json::Array(
+                    self.sets
+                        .iter()
+                        .map(|l| {
+                            Json::Array(vec![
+                                Json::UInt(l.tag),
+                                Json::Bool(l.valid),
+                                Json::Bool(l.dirty),
+                                Json::UInt(l.last_use),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuilds a cache from [`Cache::snapshot`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on missing fields or a geometry mismatch.
+    pub fn restore(v: &Json) -> Result<Cache, String> {
+        let num_sets = req_u64(v, "num_sets")?;
+        let ways = req_u64(v, "ways")? as usize;
+        let raw = req_array(v, "lines")?;
+        if num_sets == 0 || ways == 0 {
+            return Err("degenerate cache geometry".to_string());
+        }
+        if raw.len() as u64 != num_sets * ways as u64 {
+            return Err(format!(
+                "cache has {} lines, expected {}",
+                raw.len(),
+                num_sets * ways as u64
+            ));
+        }
+        let sets = raw
+            .iter()
+            .map(|item| {
+                let a = item.as_array().ok_or("cache line is not an array")?;
+                Ok(Line {
+                    tag: elem_u64(a, 0)?,
+                    valid: elem_bool(a, 1)?,
+                    dirty: elem_bool(a, 2)?,
+                    last_use: elem_u64(a, 3)?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(Cache {
+            sets,
+            num_sets,
+            ways,
+        })
     }
 }
 

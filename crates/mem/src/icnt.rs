@@ -5,6 +5,7 @@
 //! Items are delivered in injection order (a single virtual channel).
 
 use std::collections::VecDeque;
+use vt_json::{elem, elem_u64, req_array, req_u64, Json};
 
 /// One direction of the interconnect carrying items of type `T`.
 #[derive(Debug, Clone)]
@@ -69,6 +70,57 @@ impl<T> Icnt<T> {
     /// Whether the channel is empty.
     pub fn is_empty(&self) -> bool {
         self.in_flight.is_empty()
+    }
+
+    /// Serializes the channel for checkpointing, encoding each payload
+    /// with `ser`. In-flight items keep their exact queue order.
+    pub fn snapshot_with(&self, ser: &dyn Fn(&T) -> Json) -> Json {
+        Json::Object(vec![
+            ("latency".into(), Json::UInt(self.latency)),
+            (
+                "flits_per_cycle".into(),
+                Json::UInt(u64::from(self.flits_per_cycle)),
+            ),
+            ("debt".into(), Json::UInt(u64::from(self.debt))),
+            (
+                "in_flight".into(),
+                Json::Array(
+                    self.in_flight
+                        .iter()
+                        .map(|(ready, flits, item)| {
+                            Json::Array(vec![
+                                Json::UInt(*ready),
+                                Json::UInt(u64::from(*flits)),
+                                ser(item),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuilds a channel from [`Icnt::snapshot_with`] output, decoding
+    /// each payload with `de`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed input or payload decode failure.
+    pub fn restore_with(
+        v: &Json,
+        de: &dyn Fn(&Json) -> Result<T, String>,
+    ) -> Result<Icnt<T>, String> {
+        let mut in_flight = VecDeque::new();
+        for item in req_array(v, "in_flight")? {
+            let a = item.as_array().ok_or("icnt item is not an array")?;
+            in_flight.push_back((elem_u64(a, 0)?, elem_u64(a, 1)? as u32, de(elem(a, 2)?)?));
+        }
+        Ok(Icnt {
+            latency: req_u64(v, "latency")?,
+            flits_per_cycle: (req_u64(v, "flits_per_cycle")? as u32).max(1),
+            in_flight,
+            debt: req_u64(v, "debt")? as u32,
+        })
     }
 }
 

@@ -10,6 +10,7 @@ use crate::mshr::{Mshr, MshrAlloc};
 use crate::stats::MemStats;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use vt_json::{elem, elem_bool, elem_u64, req, req_array, req_u64, Json};
 use vt_trace::{MemLevel, NullSink, TraceEvent, TraceSink};
 
 /// The kind of a memory request as seen below the SM.
@@ -30,6 +31,29 @@ impl ReqKind {
             ReqKind::Load => vt_trace::MemKind::Load,
             ReqKind::Store => vt_trace::MemKind::Store,
             ReqKind::Atomic => vt_trace::MemKind::Atomic,
+        }
+    }
+
+    /// Checkpoint tag for this kind.
+    pub fn tag(self) -> &'static str {
+        match self {
+            ReqKind::Load => "load",
+            ReqKind::Store => "store",
+            ReqKind::Atomic => "atomic",
+        }
+    }
+
+    /// Parses a [`ReqKind::tag`] back.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unknown tags.
+    pub fn from_tag(s: &str) -> Result<ReqKind, String> {
+        match s {
+            "load" => Ok(ReqKind::Load),
+            "store" => Ok(ReqKind::Store),
+            "atomic" => Ok(ReqKind::Atomic),
+            other => Err(format!("unknown request kind `{other}`")),
         }
     }
 }
@@ -58,6 +82,60 @@ pub struct PartResp {
     pub line_addr: u64,
     /// Kind of the original request (atomic responses bypass the L1 fill).
     pub kind: ReqKind,
+}
+
+impl PartReq {
+    /// Checkpoint encoding: `[sm, id, line_addr, kind]`.
+    pub fn snapshot(&self) -> Json {
+        Json::Array(vec![
+            Json::UInt(self.sm as u64),
+            Json::UInt(self.id),
+            Json::UInt(self.line_addr),
+            Json::Str(self.kind.tag().to_string()),
+        ])
+    }
+
+    /// Decodes [`PartReq::snapshot`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed input.
+    pub fn restore(v: &Json) -> Result<PartReq, String> {
+        let a = v.as_array().ok_or("request is not an array")?;
+        Ok(PartReq {
+            sm: elem_u64(a, 0)? as usize,
+            id: elem_u64(a, 1)?,
+            line_addr: elem_u64(a, 2)?,
+            kind: ReqKind::from_tag(elem(a, 3)?.as_str().ok_or("kind is not a string")?)?,
+        })
+    }
+}
+
+impl PartResp {
+    /// Checkpoint encoding: `[sm, id, line_addr, kind]`.
+    pub fn snapshot(&self) -> Json {
+        Json::Array(vec![
+            Json::UInt(self.sm as u64),
+            Json::UInt(self.id),
+            Json::UInt(self.line_addr),
+            Json::Str(self.kind.tag().to_string()),
+        ])
+    }
+
+    /// Decodes [`PartResp::snapshot`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed input.
+    pub fn restore(v: &Json) -> Result<PartResp, String> {
+        let a = v.as_array().ok_or("response is not an array")?;
+        Ok(PartResp {
+            sm: elem_u64(a, 0)? as usize,
+            id: elem_u64(a, 1)?,
+            line_addr: elem_u64(a, 2)?,
+            kind: ReqKind::from_tag(elem(a, 3)?.as_str().ok_or("kind is not a string")?)?,
+        })
+    }
 }
 
 /// One L2-slice + DRAM-channel pair.
@@ -282,6 +360,83 @@ impl Partition {
             && self.pending_writebacks.is_empty()
             && self.dram.quiesced()
     }
+
+    /// Serializes the whole partition for checkpointing. The response
+    /// heap is emitted in ascending `(ready, seq)` order; since every key
+    /// is unique (`seq` increments per response), re-pushing the sorted
+    /// list reproduces the exact pop order.
+    pub fn snapshot(&self) -> Json {
+        let mut heap: Vec<(u64, u64, PartResp)> =
+            self.resp_heap.iter().map(|Reverse(x)| *x).collect();
+        heap.sort_unstable();
+        Json::Object(vec![
+            ("l2".into(), self.l2.snapshot()),
+            ("mshr".into(), self.mshr.snapshot_with(&|r| r.snapshot())),
+            (
+                "in_q".into(),
+                Json::Array(self.in_q.iter().map(PartReq::snapshot).collect()),
+            ),
+            (
+                "resp_heap".into(),
+                Json::Array(
+                    heap.into_iter()
+                        .map(|(ready, seq, resp)| {
+                            Json::Array(vec![Json::UInt(ready), Json::UInt(seq), resp.snapshot()])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "pending_writebacks".into(),
+                Json::Array(
+                    self.pending_writebacks
+                        .iter()
+                        .map(|&l| Json::UInt(l))
+                        .collect(),
+                ),
+            ),
+            ("dram".into(), self.dram.snapshot()),
+            ("l2_hit_latency".into(), Json::UInt(self.l2_hit_latency)),
+            ("l2_ports".into(), Json::UInt(u64::from(self.l2_ports))),
+            ("seq".into(), Json::UInt(self.seq)),
+        ])
+    }
+
+    /// Rebuilds a partition from [`Partition::snapshot`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed input.
+    pub fn restore(v: &Json) -> Result<Partition, String> {
+        let mut resp_heap = BinaryHeap::new();
+        for item in req_array(v, "resp_heap")? {
+            let a = item.as_array().ok_or("resp_heap item is not an array")?;
+            resp_heap.push(Reverse((
+                elem_u64(a, 0)?,
+                elem_u64(a, 1)?,
+                PartResp::restore(elem(a, 2)?)?,
+            )));
+        }
+        let mut in_q = VecDeque::new();
+        for item in req_array(v, "in_q")? {
+            in_q.push_back(PartReq::restore(item)?);
+        }
+        let mut pending_writebacks = VecDeque::new();
+        for item in req_array(v, "pending_writebacks")? {
+            pending_writebacks.push_back(item.as_u64().ok_or("writeback line is not a u64")?);
+        }
+        Ok(Partition {
+            l2: Cache::restore(req(v, "l2")?)?,
+            mshr: Mshr::restore_with(req(v, "mshr")?, &PartReq::restore)?,
+            in_q,
+            resp_heap,
+            pending_writebacks,
+            dram: Dram::restore(req(v, "dram")?)?,
+            l2_hit_latency: req_u64(v, "l2_hit_latency")?,
+            l2_ports: req_u64(v, "l2_ports")? as u32,
+            seq: req_u64(v, "seq")?,
+        })
+    }
 }
 
 /// One GDDR channel with per-bank row-buffer state and an FR-FCFS-like
@@ -415,6 +570,95 @@ impl Dram {
 
     fn quiesced(&self) -> bool {
         self.queue.is_empty() && self.in_service.is_empty()
+    }
+
+    /// Serializes the channel state. `in_service` keeps its exact vector
+    /// order: completions are sorted before being handed out, so the order
+    /// only needs to match what the uninterrupted run had.
+    fn snapshot(&self) -> Json {
+        let dreq = |r: &DramReq| Json::Array(vec![Json::UInt(r.line_addr), Json::Bool(r.write)]);
+        Json::Object(vec![
+            (
+                "queue".into(),
+                Json::Array(self.queue.iter().map(&dreq).collect()),
+            ),
+            (
+                "in_service".into(),
+                Json::Array(
+                    self.in_service
+                        .iter()
+                        .map(|(finish, r)| Json::Array(vec![Json::UInt(*finish), dreq(r)]))
+                        .collect(),
+                ),
+            ),
+            (
+                "banks".into(),
+                Json::Array(
+                    self.banks
+                        .iter()
+                        .map(|b| {
+                            Json::Array(vec![
+                                match b.open_row {
+                                    Some(r) => Json::UInt(r),
+                                    None => Json::Null,
+                                },
+                                Json::UInt(b.busy_until),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("next_issue_at".into(), Json::UInt(self.next_issue_at)),
+            ("depth".into(), Json::UInt(self.depth as u64)),
+            ("row_hit_latency".into(), Json::UInt(self.row_hit_latency)),
+            ("row_miss_latency".into(), Json::UInt(self.row_miss_latency)),
+            ("burst_cycles".into(), Json::UInt(self.burst_cycles)),
+            ("lines_per_row".into(), Json::UInt(self.lines_per_row)),
+        ])
+    }
+
+    fn restore(v: &Json) -> Result<Dram, String> {
+        let dreq = |item: &Json| -> Result<DramReq, String> {
+            let a = item.as_array().ok_or("DRAM request is not an array")?;
+            Ok(DramReq {
+                line_addr: elem_u64(a, 0)?,
+                write: elem_bool(a, 1)?,
+            })
+        };
+        let mut queue = VecDeque::new();
+        for item in req_array(v, "queue")? {
+            queue.push_back(dreq(item)?);
+        }
+        let mut in_service = Vec::new();
+        for item in req_array(v, "in_service")? {
+            let a = item.as_array().ok_or("in-service item is not an array")?;
+            in_service.push((elem_u64(a, 0)?, dreq(elem(a, 1)?)?));
+        }
+        let mut banks = Vec::new();
+        for item in req_array(v, "banks")? {
+            let a = item.as_array().ok_or("bank is not an array")?;
+            banks.push(DramBank {
+                open_row: match elem(a, 0)? {
+                    Json::Null => None,
+                    other => Some(other.as_u64().ok_or("open row is not a u64")?),
+                },
+                busy_until: elem_u64(a, 1)?,
+            });
+        }
+        if banks.is_empty() {
+            return Err("DRAM has no banks".to_string());
+        }
+        Ok(Dram {
+            queue,
+            in_service,
+            banks,
+            next_issue_at: req_u64(v, "next_issue_at")?,
+            depth: (req_u64(v, "depth")? as usize).max(1),
+            row_hit_latency: req_u64(v, "row_hit_latency")?,
+            row_miss_latency: req_u64(v, "row_miss_latency")?,
+            burst_cycles: req_u64(v, "burst_cycles")?.max(1),
+            lines_per_row: req_u64(v, "lines_per_row")?.max(1),
+        })
     }
 }
 

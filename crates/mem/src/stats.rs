@@ -1,5 +1,6 @@
 //! Memory-system statistics.
 
+use vt_json::{req, req_u64, Json};
 use vt_trace::{Gauge, Histogram};
 
 /// Counters accumulated by the memory system over a run.
@@ -88,6 +89,58 @@ impl MemStats {
         self.loads_completed += other.loads_completed;
         self.load_latency.merge(&other.load_latency);
         self.mshr_occupancy.merge(&other.mshr_occupancy);
+    }
+
+    /// Serializes every counter for checkpointing.
+    pub fn snapshot(&self) -> Json {
+        Json::Object(vec![
+            ("l1_accesses".into(), Json::UInt(self.l1_accesses)),
+            ("l1_hits".into(), Json::UInt(self.l1_hits)),
+            ("l1_misses".into(), Json::UInt(self.l1_misses)),
+            ("l1_mshr_merged".into(), Json::UInt(self.l1_mshr_merged)),
+            ("l1_stalls".into(), Json::UInt(self.l1_stalls)),
+            ("stores".into(), Json::UInt(self.stores)),
+            ("atomics".into(), Json::UInt(self.atomics)),
+            ("l2_accesses".into(), Json::UInt(self.l2_accesses)),
+            ("l2_hits".into(), Json::UInt(self.l2_hits)),
+            ("l2_misses".into(), Json::UInt(self.l2_misses)),
+            ("dram_reads".into(), Json::UInt(self.dram_reads)),
+            ("dram_writes".into(), Json::UInt(self.dram_writes)),
+            ("dram_row_hits".into(), Json::UInt(self.dram_row_hits)),
+            ("dram_row_misses".into(), Json::UInt(self.dram_row_misses)),
+            ("load_latency_sum".into(), Json::UInt(self.load_latency_sum)),
+            ("loads_completed".into(), Json::UInt(self.loads_completed)),
+            ("load_latency".into(), self.load_latency.snapshot()),
+            ("mshr_occupancy".into(), self.mshr_occupancy.snapshot()),
+        ])
+    }
+
+    /// Rebuilds a stats block from [`MemStats::snapshot`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on missing fields.
+    pub fn restore(v: &Json) -> Result<MemStats, String> {
+        Ok(MemStats {
+            l1_accesses: req_u64(v, "l1_accesses")?,
+            l1_hits: req_u64(v, "l1_hits")?,
+            l1_misses: req_u64(v, "l1_misses")?,
+            l1_mshr_merged: req_u64(v, "l1_mshr_merged")?,
+            l1_stalls: req_u64(v, "l1_stalls")?,
+            stores: req_u64(v, "stores")?,
+            atomics: req_u64(v, "atomics")?,
+            l2_accesses: req_u64(v, "l2_accesses")?,
+            l2_hits: req_u64(v, "l2_hits")?,
+            l2_misses: req_u64(v, "l2_misses")?,
+            dram_reads: req_u64(v, "dram_reads")?,
+            dram_writes: req_u64(v, "dram_writes")?,
+            dram_row_hits: req_u64(v, "dram_row_hits")?,
+            dram_row_misses: req_u64(v, "dram_row_misses")?,
+            load_latency_sum: req_u64(v, "load_latency_sum")?,
+            loads_completed: req_u64(v, "loads_completed")?,
+            load_latency: Histogram::restore(req(v, "load_latency")?)?,
+            mshr_occupancy: Gauge::restore(req(v, "mshr_occupancy")?)?,
+        })
     }
 }
 

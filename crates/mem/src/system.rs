@@ -36,6 +36,7 @@ use crate::partition::{PartReq, PartResp, Partition};
 use crate::stats::MemStats;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
+use vt_json::{elem, elem_u64, req, req_array, req_u64, Json};
 use vt_trace::{MemLevel, NullSink, TraceEvent, TraceSink};
 
 pub use crate::partition::ReqKind;
@@ -298,6 +299,101 @@ impl SmFront {
     fn quiesced(&self) -> bool {
         self.mshr.is_empty() && self.resps.is_empty() && self.outbox.is_empty()
     }
+
+    /// Serializes this front for checkpointing. The response heap is
+    /// emitted in ascending `(ready, seq, id)` order (each key unique per
+    /// front), so re-pushing reproduces the exact pop order;
+    /// `submit_times` is emitted sorted by request id for deterministic
+    /// text.
+    fn snapshot(&self) -> Json {
+        let mut resps: Vec<(u64, u64, u64)> = self.resps.iter().map(|Reverse(x)| *x).collect();
+        resps.sort_unstable();
+        let mut submits: Vec<(u64, u64)> =
+            self.submit_times.iter().map(|(&id, &t)| (id, t)).collect();
+        submits.sort_unstable();
+        Json::Object(vec![
+            ("sm_id".into(), Json::UInt(self.sm_id as u64)),
+            ("cache".into(), self.cache.snapshot()),
+            (
+                "mshr".into(),
+                self.mshr.snapshot_with(&|&id| Json::UInt(id)),
+            ),
+            ("ports_used".into(), Json::UInt(u64::from(self.ports_used))),
+            ("window_hits".into(), Json::UInt(self.window_hits)),
+            ("window_accesses".into(), Json::UInt(self.window_accesses)),
+            (
+                "resps".into(),
+                Json::Array(
+                    resps
+                        .into_iter()
+                        .map(|(ready, seq, id)| {
+                            Json::Array(vec![Json::UInt(ready), Json::UInt(seq), Json::UInt(id)])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "submit_times".into(),
+                Json::Array(
+                    submits
+                        .into_iter()
+                        .map(|(id, t)| Json::Array(vec![Json::UInt(id), Json::UInt(t)]))
+                        .collect(),
+                ),
+            ),
+            ("seq".into(), Json::UInt(self.seq)),
+            (
+                "outbox".into(),
+                Json::Array(
+                    self.outbox
+                        .iter()
+                        .map(|(flits, r)| {
+                            Json::Array(vec![Json::UInt(u64::from(*flits)), r.snapshot()])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("stats".into(), self.stats.snapshot()),
+            ("l1_ports".into(), Json::UInt(u64::from(self.l1_ports))),
+            ("l1_hit_latency".into(), Json::UInt(self.l1_hit_latency)),
+        ])
+    }
+
+    fn restore(v: &Json) -> Result<SmFront, String> {
+        let mut resps = BinaryHeap::new();
+        for item in req_array(v, "resps")? {
+            let a = item.as_array().ok_or("response is not an array")?;
+            resps.push(Reverse((elem_u64(a, 0)?, elem_u64(a, 1)?, elem_u64(a, 2)?)));
+        }
+        let mut submit_times = HashMap::new();
+        for item in req_array(v, "submit_times")? {
+            let a = item.as_array().ok_or("submit time is not an array")?;
+            submit_times.insert(elem_u64(a, 0)?, elem_u64(a, 1)?);
+        }
+        let mut outbox = Vec::new();
+        for item in req_array(v, "outbox")? {
+            let a = item.as_array().ok_or("outbox item is not an array")?;
+            outbox.push((elem_u64(a, 0)? as u32, PartReq::restore(elem(a, 1)?)?));
+        }
+        Ok(SmFront {
+            sm_id: req_u64(v, "sm_id")? as usize,
+            cache: Cache::restore(req(v, "cache")?)?,
+            mshr: Mshr::restore_with(req(v, "mshr")?, &|item| {
+                item.as_u64()
+                    .ok_or_else(|| "waiter is not a u64".to_string())
+            })?,
+            ports_used: req_u64(v, "ports_used")? as u32,
+            window_hits: req_u64(v, "window_hits")?,
+            window_accesses: req_u64(v, "window_accesses")?,
+            resps,
+            submit_times,
+            seq: req_u64(v, "seq")?,
+            outbox,
+            stats: MemStats::restore(req(v, "stats")?)?,
+            l1_ports: req_u64(v, "l1_ports")? as u32,
+            l1_hit_latency: req_u64(v, "l1_hit_latency")?,
+        })
+    }
 }
 
 /// The complete memory hierarchy below the SMs' LD/ST units.
@@ -538,6 +634,64 @@ impl MemSystem {
         }
         total
     }
+
+    /// Serializes the entire hierarchy — every front, both interconnect
+    /// directions, every partition and the back-end counters — for
+    /// checkpointing.
+    pub fn snapshot(&self) -> Json {
+        Json::Object(vec![
+            (
+                "fronts".into(),
+                Json::Array(self.fronts.iter().map(SmFront::snapshot).collect()),
+            ),
+            (
+                "to_mem".into(),
+                self.to_mem.snapshot_with(&|r| r.snapshot()),
+            ),
+            ("to_sm".into(), self.to_sm.snapshot_with(&|r| r.snapshot())),
+            (
+                "partitions".into(),
+                Json::Array(self.partitions.iter().map(Partition::snapshot).collect()),
+            ),
+            ("stats".into(), self.stats.snapshot()),
+            ("now".into(), Json::UInt(self.now)),
+        ])
+    }
+
+    /// Rebuilds a hierarchy from [`MemSystem::snapshot`] output. `cfg`
+    /// supplies the line-interleaving function and must be the config the
+    /// snapshot was taken under; structural mismatches (partition count)
+    /// are rejected.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed input or a config mismatch.
+    pub fn restore(cfg: &MemConfig, v: &Json) -> Result<MemSystem, String> {
+        let fronts = req_array(v, "fronts")?
+            .iter()
+            .map(SmFront::restore)
+            .collect::<Result<Vec<_>, String>>()?;
+        let partitions = req_array(v, "partitions")?
+            .iter()
+            .map(Partition::restore)
+            .collect::<Result<Vec<_>, String>>()?;
+        if partitions.len() != cfg.partitions as usize {
+            return Err(format!(
+                "checkpoint has {} partitions, config has {}",
+                partitions.len(),
+                cfg.partitions
+            ));
+        }
+        Ok(MemSystem {
+            fronts,
+            to_mem: Icnt::restore_with(req(v, "to_mem")?, &PartReq::restore)?,
+            to_sm: Icnt::restore_with(req(v, "to_sm")?, &PartResp::restore)?,
+            partitions,
+            stats: MemStats::restore(req(v, "stats")?)?,
+            cfg: cfg.clone(),
+            now: req_u64(v, "now")?,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -738,6 +892,66 @@ mod tests {
         run_until_response(&mut mem, 0, 1, 2000);
         assert_eq!(mem.stats().loads_completed, 1);
         assert!(mem.stats().avg_load_latency() > 100.0);
+    }
+
+    #[test]
+    fn snapshot_restore_mid_flight_is_bit_identical() {
+        // Put a mix of hits, misses, merges, stores and atomics in flight,
+        // snapshot through the JSON text form, then run the original and
+        // the restored copy side by side to quiescence.
+        let cfg = MemConfig::default();
+        let mut mem = MemSystem::new(&cfg, 2);
+        for cycle in 0..40u64 {
+            mem.tick(cycle);
+            let sm = (cycle % 2) as usize;
+            let id = cycle + 1;
+            let _ = mem.try_submit(sm, id, cycle * 3 % 7, ReqKind::Load);
+            if cycle % 5 == 0 {
+                let _ = mem.try_submit(sm, id + 1000, cycle, ReqKind::Store);
+            }
+            if cycle % 11 == 0 {
+                let _ = mem.try_submit(sm, id + 2000, cycle, ReqKind::Atomic);
+            }
+            while mem.pop_response(sm).is_some() {}
+        }
+        let text = mem.snapshot().pretty();
+        let mut copy = MemSystem::restore(&cfg, &vt_json::Json::parse(&text).unwrap()).unwrap();
+        for cycle in 40..4000u64 {
+            mem.tick(cycle);
+            copy.tick(cycle);
+            for sm in 0..2 {
+                loop {
+                    let a = mem.pop_response(sm);
+                    let b = copy.pop_response(sm);
+                    assert_eq!(a, b, "cycle {cycle} sm {sm}");
+                    if a.is_none() {
+                        break;
+                    }
+                }
+            }
+            if mem.quiesced() {
+                break;
+            }
+        }
+        assert!(mem.quiesced() && copy.quiesced());
+        assert_eq!(mem.stats(), copy.stats());
+        assert_eq!(mem.pending_loads(), copy.pending_loads());
+        // A second snapshot of the restored copy is byte-identical.
+        assert_eq!(mem.snapshot().pretty(), copy.snapshot().pretty());
+    }
+
+    #[test]
+    fn restore_rejects_partition_mismatch() {
+        let cfg = MemConfig::default();
+        let mem = MemSystem::new(&cfg, 1);
+        let snap = mem.snapshot();
+        let bad = MemConfig {
+            partitions: cfg.partitions + 1,
+            ..cfg
+        };
+        assert!(MemSystem::restore(&bad, &snap)
+            .unwrap_err()
+            .contains("partitions"));
     }
 
     #[test]

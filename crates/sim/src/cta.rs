@@ -1,5 +1,7 @@
 //! Per-CTA runtime state and the active/inactive phase machine.
 
+use vt_json::{req, req_array, req_u64, Json};
+
 /// Lifecycle phase of a resident CTA.
 ///
 /// The Virtual Thread state machine: CTAs are admitted up to the capacity
@@ -29,6 +31,55 @@ pub enum CtaPhase {
     },
     /// All warps exited; the slot is reusable.
     Finished,
+}
+
+impl CtaPhase {
+    /// Serializes the phase as a `[tag, payload]` pair.
+    pub fn snapshot(&self) -> Json {
+        match *self {
+            CtaPhase::Active => Json::Array(vec![Json::Str("active".into()), Json::Null]),
+            CtaPhase::Inactive { has_context } => {
+                Json::Array(vec![Json::Str("inactive".into()), Json::Bool(has_context)])
+            }
+            CtaPhase::SwappingOut { done_at } => {
+                Json::Array(vec![Json::Str("swapping_out".into()), Json::UInt(done_at)])
+            }
+            CtaPhase::SwappingIn { done_at } => {
+                Json::Array(vec![Json::Str("swapping_in".into()), Json::UInt(done_at)])
+            }
+            CtaPhase::Finished => Json::Array(vec![Json::Str("finished".into()), Json::Null]),
+        }
+    }
+
+    /// Rebuilds a phase from [`CtaPhase::snapshot`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on an unknown tag or payload type mismatch.
+    pub fn restore(v: &Json) -> Result<CtaPhase, String> {
+        let a = v.as_array().ok_or("CTA phase is not an array")?;
+        let tag = a
+            .first()
+            .and_then(Json::as_str)
+            .ok_or("CTA phase tag missing")?;
+        let payload = a.get(1).ok_or("CTA phase payload missing")?;
+        match tag {
+            "active" => Ok(CtaPhase::Active),
+            "inactive" => Ok(CtaPhase::Inactive {
+                has_context: payload.as_bool().ok_or("inactive payload is not a bool")?,
+            }),
+            "swapping_out" => Ok(CtaPhase::SwappingOut {
+                done_at: payload
+                    .as_u64()
+                    .ok_or("swapping_out payload is not a u64")?,
+            }),
+            "swapping_in" => Ok(CtaPhase::SwappingIn {
+                done_at: payload.as_u64().ok_or("swapping_in payload is not a u64")?,
+            }),
+            "finished" => Ok(CtaPhase::Finished),
+            other => Err(format!("unknown CTA phase tag {other:?}")),
+        }
+    }
 }
 
 /// The runtime state of one resident CTA.
@@ -76,6 +127,74 @@ impl CtaRt {
     /// Whether the CTA is schedulable right now.
     pub fn is_active(&self) -> bool {
         self.phase == CtaPhase::Active
+    }
+
+    /// Serializes the CTA — phase machine, warp-slot list and functional
+    /// shared-memory contents — for checkpointing.
+    pub fn snapshot(&self) -> Json {
+        Json::Object(vec![
+            ("cta_id".into(), Json::UInt(u64::from(self.cta_id))),
+            ("phase".into(), self.phase.snapshot()),
+            (
+                "warps".into(),
+                Json::Array(self.warps.iter().map(|&w| Json::UInt(w as u64)).collect()),
+            ),
+            ("live_warps".into(), Json::UInt(u64::from(self.live_warps))),
+            (
+                "barrier_arrived".into(),
+                Json::UInt(u64::from(self.barrier_arrived)),
+            ),
+            (
+                "smem".into(),
+                Json::Array(
+                    self.smem
+                        .iter()
+                        .map(|&w| Json::UInt(u64::from(w)))
+                        .collect(),
+                ),
+            ),
+            ("reg_bytes".into(), Json::UInt(u64::from(self.reg_bytes))),
+            ("smem_bytes".into(), Json::UInt(u64::from(self.smem_bytes))),
+            (
+                "pending_loads".into(),
+                Json::UInt(u64::from(self.pending_loads)),
+            ),
+            ("seq".into(), Json::UInt(self.seq)),
+            ("inactive_since".into(), Json::UInt(self.inactive_since)),
+        ])
+    }
+
+    /// Rebuilds a CTA from [`CtaRt::snapshot`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed input.
+    pub fn restore(v: &Json) -> Result<CtaRt, String> {
+        let warps = req_array(v, "warps")?
+            .iter()
+            .map(|w| {
+                w.as_u64()
+                    .map(|x| x as usize)
+                    .ok_or("warp slot is not a u64")
+            })
+            .collect::<Result<Vec<usize>, &str>>()?;
+        let smem = req_array(v, "smem")?
+            .iter()
+            .map(|w| w.as_u64().map(|x| x as u32).ok_or("smem word is not a u64"))
+            .collect::<Result<Vec<u32>, &str>>()?;
+        Ok(CtaRt {
+            cta_id: req_u64(v, "cta_id")? as u32,
+            phase: CtaPhase::restore(req(v, "phase")?)?,
+            warps,
+            live_warps: req_u64(v, "live_warps")? as u32,
+            barrier_arrived: req_u64(v, "barrier_arrived")? as u32,
+            smem,
+            reg_bytes: req_u64(v, "reg_bytes")? as u32,
+            smem_bytes: req_u64(v, "smem_bytes")? as u32,
+            pending_loads: req_u64(v, "pending_loads")? as u32,
+            seq: req_u64(v, "seq")?,
+            inactive_since: req_u64(v, "inactive_since")?,
+        })
     }
 }
 

@@ -2,19 +2,28 @@
 //! main clock loop.
 
 use crate::config::{check_launchable, CoreConfig, LaunchError, ResidencyConfig, SimConfig};
+use crate::exec::{
+    CancelToken, Checkpoint, RunBudget, RunOutcome, StopReason, Truncation, CHECKPOINT_VERSION,
+};
 use crate::sm::Sm;
 use crate::stats::{RunStats, Timeline};
 use std::error::Error;
 use std::fmt;
+use std::time::Instant;
 use vt_isa::error::ExecError;
 use vt_isa::kernel::MemImage;
 use vt_isa::Kernel;
+use vt_json::{req, req_array, req_str, req_u64, Json};
 use vt_mem::{MemSystem, SmFront};
 use vt_par::{DisjointMut, Pool};
 use vt_trace::{BufSink, NullSink, TimedEvent, TraceSink};
 
 /// Why a simulation could not complete.
+///
+/// Marked non-exhaustive: future execution-control features may add
+/// variants, so downstream matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimError {
     /// The kernel cannot fit on the configured hardware at all.
     Launch(LaunchError),
@@ -25,6 +34,31 @@ pub enum SimError {
         /// Cycle at which the run was aborted.
         cycle: u64,
     },
+    /// A checkpoint could not be parsed or does not match the supplied
+    /// configuration and kernel.
+    Checkpoint {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// A run that was required to complete was truncated instead (see
+    /// [`crate::exec::RunOutcome::completed`]).
+    Truncated {
+        /// What stopped the run.
+        reason: StopReason,
+    },
+}
+
+impl SimError {
+    /// Whether retrying (with a larger budget, a later deadline, or a
+    /// fresh cancellation token) could plausibly succeed. Launch,
+    /// functional-trap and checkpoint-mismatch errors are deterministic
+    /// and will fail again; watchdog and truncation are resource limits.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            SimError::Watchdog { .. } | SimError::Truncated { .. } => true,
+            SimError::Launch(_) | SimError::Exec(_) | SimError::Checkpoint { .. } => false,
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -33,6 +67,10 @@ impl fmt::Display for SimError {
             SimError::Launch(e) => write!(f, "kernel not launchable: {e}"),
             SimError::Exec(e) => write!(f, "warp trapped: {e}"),
             SimError::Watchdog { cycle } => write!(f, "watchdog expired at cycle {cycle}"),
+            SimError::Checkpoint { reason } => write!(f, "bad checkpoint: {reason}"),
+            SimError::Truncated { reason } => {
+                write!(f, "run truncated before completion ({reason:?})")
+            }
         }
     }
 }
@@ -42,7 +80,7 @@ impl Error for SimError {
         match self {
             SimError::Launch(e) => Some(e),
             SimError::Exec(e) => Some(e),
-            SimError::Watchdog { .. } => None,
+            _ => None,
         }
     }
 }
@@ -104,6 +142,11 @@ pub struct GpuSim<'k> {
     next_cta: u32,
     dispatch_ptr: usize,
     stats: RunStats,
+    /// Current cycle (the next one the loop will execute).
+    cycle: u64,
+    /// In-progress occupancy time series, if sampling is enabled; moved
+    /// into the stats at the epilogue.
+    timeline: Option<Timeline>,
 }
 
 /// One SM plus everything it is allowed to mutate during the concurrent
@@ -184,6 +227,11 @@ impl<'k> GpuSim<'k> {
             next_cta: 0,
             dispatch_ptr: 0,
             stats: RunStats::default(),
+            cycle: 0,
+            timeline: cfg.core.timeline_interval.map(|interval| Timeline {
+                interval: interval.max(1),
+                ..Timeline::default()
+            }),
         })
     }
 
@@ -194,7 +242,8 @@ impl<'k> GpuSim<'k> {
     /// Returns [`SimError::Exec`] on a functional trap and
     /// [`SimError::Watchdog`] if `core.max_cycles` elapses first.
     pub fn run(self) -> Result<RunResult, SimError> {
-        self.run_traced(&mut NullSink)
+        self.execute(None, &mut NullSink, &RunBudget::unlimited(), None)?
+            .completed()
     }
 
     /// [`GpuSim::run`] with the concurrent SM phase sharded across `pool`'s
@@ -206,8 +255,13 @@ impl<'k> GpuSim<'k> {
     ///
     /// Returns [`SimError::Exec`] on a functional trap and
     /// [`SimError::Watchdog`] if `core.max_cycles` elapses first.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use GpuSim::execute (or vt-core's Session) instead"
+    )]
     pub fn run_on(self, pool: Option<&Pool>) -> Result<RunResult, SimError> {
-        self.run_traced_on(pool, &mut NullSink)
+        self.execute(pool, &mut NullSink, &RunBudget::unlimited(), None)?
+            .completed()
     }
 
     /// [`GpuSim::run`] with an explicit trace sink receiving every
@@ -218,11 +272,37 @@ impl<'k> GpuSim<'k> {
     ///
     /// Returns [`SimError::Exec`] on a functional trap and
     /// [`SimError::Watchdog`] if `core.max_cycles` elapses first.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use GpuSim::execute (or vt-core's Session) instead"
+    )]
     pub fn run_traced<S: TraceSink>(self, sink: &mut S) -> Result<RunResult, SimError> {
-        self.run_traced_on(None, sink)
+        self.execute(None, sink, &RunBudget::unlimited(), None)?
+            .completed()
     }
 
-    /// The full engine: tracing and optional SM-level parallelism.
+    /// [`GpuSim::run`] with a trace sink and optional SM-level
+    /// parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Exec`] on a functional trap and
+    /// [`SimError::Watchdog`] if `core.max_cycles` elapses first.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use GpuSim::execute (or vt-core's Session) instead"
+    )]
+    pub fn run_traced_on<S: TraceSink>(
+        self,
+        pool: Option<&Pool>,
+        sink: &mut S,
+    ) -> Result<RunResult, SimError> {
+        self.execute(pool, sink, &RunBudget::unlimited(), None)?
+            .completed()
+    }
+
+    /// The full engine: tracing, optional SM-level parallelism, and
+    /// execution control (budget, cancellation).
     ///
     /// Each cycle has two phases. Phase A ticks every SM against its
     /// private [`SmFront`], buffering trace events and deferring functional
@@ -234,22 +314,32 @@ impl<'k> GpuSim<'k> {
     /// Stats, traces and the final image are therefore identical at any
     /// thread count.
     ///
+    /// `budget` and `cancel` are polled once per cycle at the phase
+    /// boundary. When one trips, the run returns
+    /// [`RunOutcome::Truncated`] carrying partial statistics (which obey
+    /// the same invariants as a completed run's, e.g. `idle.total() +
+    /// issue_cycles == num_sms × cycles`) and a [`Checkpoint`] that
+    /// [`GpuSim::resume`] continues bit-identically. If completion and a
+    /// limit coincide on the same cycle, completion wins.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::Exec`] on a functional trap and
     /// [`SimError::Watchdog`] if `core.max_cycles` elapses first.
-    pub fn run_traced_on<S: TraceSink>(
+    pub fn execute<S: TraceSink>(
         mut self,
         pool: Option<&Pool>,
         sink: &mut S,
-    ) -> Result<RunResult, SimError> {
-        let mut timeline = self.cfg.core.timeline_interval.map(|interval| Timeline {
-            interval: interval.max(1),
-            ..Timeline::default()
-        });
-        let mut cycle: u64 = 0;
+        budget: &RunBudget,
+        cancel: Option<&CancelToken>,
+    ) -> Result<RunOutcome, SimError> {
+        let started = budget.deadline.map(|_| Instant::now());
+        let cycle_limit = budget
+            .max_cycles
+            .map(|n| self.cycle.saturating_add(n.max(1)));
         loop {
-            if let Some(t) = &mut timeline {
+            let cycle = self.cycle;
+            if let Some(t) = &mut self.timeline {
                 if cycle.is_multiple_of(t.interval) {
                     let n = self.lanes.len() as f32;
                     let resident: u32 = self.lanes.iter().map(|l| l.sm.resident_warps()).sum();
@@ -336,26 +426,197 @@ impl<'k> GpuSim<'k> {
             if self.finished() {
                 break;
             }
-            cycle += 1;
-            if cycle >= self.cfg.core.max_cycles {
-                return Err(SimError::Watchdog { cycle });
+            self.cycle += 1;
+            if self.cycle >= self.cfg.core.max_cycles {
+                return Err(SimError::Watchdog { cycle: self.cycle });
+            }
+            // Execution-control checks, once per cycle at the phase
+            // boundary. Completion (the break above) wins ties.
+            let reason = if cycle_limit.is_some_and(|limit| self.cycle >= limit) {
+                Some(StopReason::CycleBudget)
+            } else if cancel.is_some_and(|c| c.is_cancelled()) {
+                Some(StopReason::Cancelled)
+            } else if let (Some(deadline), Some(start)) = (budget.deadline, started) {
+                (start.elapsed() >= deadline).then_some(StopReason::Deadline)
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                // Snapshot the live state first; the stats epilogue
+                // below consumes it.
+                let checkpoint = self.checkpoint();
+                let stats = self.finish_stats(self.cycle);
+                return Ok(RunOutcome::Truncated(Box::new(Truncation {
+                    reason,
+                    stats,
+                    checkpoint,
+                })));
             }
         }
-        self.stats.cycles = cycle + 1;
+        let stats = self.finish_stats(self.cycle + 1);
+        Ok(RunOutcome::Completed(RunResult {
+            stats,
+            mem_image: self.image,
+        }))
+    }
+
+    /// Folds the per-lane stat blocks and memory statistics into the
+    /// global stats, stamping the cycle count. Consumes the accumulation
+    /// state, so it runs exactly once per outcome.
+    fn finish_stats(&mut self, cycles: u64) -> RunStats {
+        let mut stats = std::mem::take(&mut self.stats);
+        stats.cycles = cycles;
         for lane in &self.lanes {
-            self.stats.merge(&lane.stats);
+            stats.merge(&lane.stats);
         }
-        self.stats.mem = self.mem.stats();
-        self.stats.max_simt_depth = self
+        stats.mem = self.mem.stats();
+        stats.max_simt_depth = self
             .lanes
             .iter()
             .map(|l| l.sm.max_simt_depth())
             .max()
             .unwrap_or(0);
-        self.stats.timeline = timeline;
-        Ok(RunResult {
-            stats: self.stats,
-            mem_image: self.image,
+        stats.timeline = self.timeline.take();
+        stats
+    }
+
+    /// Serializes the complete simulator state at the current cycle
+    /// boundary. The result can be stored as text
+    /// ([`Checkpoint::to_text`]) and later revived with
+    /// [`Checkpoint::parse`] + [`GpuSim::resume`], which continues the
+    /// run bit-identically to one that was never interrupted — at any
+    /// worker count.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let lanes = self
+            .lanes
+            .iter()
+            .map(|l| {
+                Json::Object(vec![
+                    ("sm".into(), l.sm.snapshot()),
+                    ("stats".into(), l.stats.snapshot()),
+                ])
+            })
+            .collect();
+        Checkpoint::from_json(Json::Object(vec![
+            ("version".into(), Json::UInt(CHECKPOINT_VERSION)),
+            ("kernel".into(), Json::Str(self.kernel.name().to_string())),
+            (
+                "num_ctas".into(),
+                Json::UInt(u64::from(self.kernel.num_ctas())),
+            ),
+            ("num_sms".into(), Json::UInt(self.lanes.len() as u64)),
+            ("cycle".into(), Json::UInt(self.cycle)),
+            ("next_cta".into(), Json::UInt(u64::from(self.next_cta))),
+            ("dispatch_ptr".into(), Json::UInt(self.dispatch_ptr as u64)),
+            ("stats".into(), self.stats.snapshot()),
+            (
+                "timeline".into(),
+                match &self.timeline {
+                    Some(t) => t.snapshot(),
+                    None => Json::Null,
+                },
+            ),
+            ("lanes".into(), Json::Array(lanes)),
+            ("mem".into(), self.mem.snapshot()),
+            (
+                "image".into(),
+                Json::Array(
+                    self.image
+                        .as_words()
+                        .iter()
+                        .map(|&w| Json::UInt(u64::from(w)))
+                        .collect(),
+                ),
+            ),
+        ]))
+    }
+
+    /// Revives a simulation from a checkpoint taken by
+    /// [`GpuSim::checkpoint`], validating that `cfg` and `kernel` match
+    /// the run the checkpoint came from. The continued run is
+    /// bit-identical to an uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Checkpoint`] if the checkpoint is malformed
+    /// or belongs to a different kernel or machine geometry, and
+    /// [`SimError::Launch`] if `kernel` cannot launch under `cfg`.
+    pub fn resume(
+        cfg: &SimConfig,
+        kernel: &'k Kernel,
+        ckpt: &Checkpoint,
+    ) -> Result<GpuSim<'k>, SimError> {
+        check_launchable(&cfg.core, kernel)?;
+        let bad = |reason: String| SimError::Checkpoint { reason };
+        let v = ckpt.json();
+        let version = req_u64(v, "version").map_err(bad)?;
+        if version != CHECKPOINT_VERSION {
+            return Err(bad(format!(
+                "unsupported checkpoint version {version} (expected {CHECKPOINT_VERSION})"
+            )));
+        }
+        let name = req_str(v, "kernel").map_err(bad)?;
+        if name != kernel.name() {
+            return Err(bad(format!(
+                "checkpoint is for kernel {:?}, not {:?}",
+                name,
+                kernel.name()
+            )));
+        }
+        let num_ctas = req_u64(v, "num_ctas").map_err(bad)?;
+        if num_ctas != u64::from(kernel.num_ctas()) {
+            return Err(bad(format!(
+                "checkpoint has {num_ctas} CTAs, kernel has {}",
+                kernel.num_ctas()
+            )));
+        }
+        let num_sms = req_u64(v, "num_sms").map_err(bad)? as usize;
+        if num_sms != cfg.core.num_sms.max(1) as usize {
+            return Err(bad(format!(
+                "checkpoint has {num_sms} SMs, config has {}",
+                cfg.core.num_sms.max(1)
+            )));
+        }
+        let lane_docs = req_array(v, "lanes").map_err(bad)?;
+        if lane_docs.len() != num_sms {
+            return Err(bad(format!(
+                "checkpoint lane table has {} entries for {num_sms} SMs",
+                lane_docs.len()
+            )));
+        }
+        let mut lanes = Vec::with_capacity(num_sms);
+        for doc in lane_docs {
+            lanes.push(SmLane {
+                sm: Sm::restore(req(doc, "sm").map_err(bad)?).map_err(bad)?,
+                stats: RunStats::restore(req(doc, "stats").map_err(bad)?).map_err(bad)?,
+                events: Vec::new(),
+                err: None,
+            });
+        }
+        let image_words = req_array(v, "image")
+            .map_err(bad)?
+            .iter()
+            .map(|w| {
+                w.as_u64()
+                    .map(|x| x as u32)
+                    .ok_or("image word is not a u64")
+            })
+            .collect::<Result<Vec<u32>, &str>>()
+            .map_err(|e| bad(e.to_string()))?;
+        Ok(GpuSim {
+            kernel,
+            cfg: cfg.clone(),
+            mem: MemSystem::restore(&cfg.mem, req(v, "mem").map_err(bad)?).map_err(bad)?,
+            image: MemImage::from_words(image_words),
+            lanes,
+            next_cta: req_u64(v, "next_cta").map_err(bad)? as u32,
+            dispatch_ptr: req_u64(v, "dispatch_ptr").map_err(bad)? as usize,
+            stats: RunStats::restore(req(v, "stats").map_err(bad)?).map_err(bad)?,
+            cycle: req_u64(v, "cycle").map_err(bad)?,
+            timeline: match req(v, "timeline").map_err(bad)? {
+                Json::Null => None,
+                t => Some(Timeline::restore(t).map_err(bad)?),
+            },
         })
     }
 
@@ -679,6 +940,136 @@ mod tests {
         assert!(tl.resident_warps.iter().all(|&w| (0.0..=cap).contains(&w)));
         // Timing stats are unaffected by observation.
         assert_eq!(on.stats.cycles, off.stats.cycles);
+    }
+
+    #[test]
+    fn budget_truncates_with_valid_partial_stats() {
+        let k = streaming_kernel(16, 64);
+        let cfg = small_cfg();
+        let out = GpuSim::new(&cfg, &k)
+            .unwrap()
+            .execute(
+                None,
+                &mut NullSink,
+                &RunBudget::unlimited().with_max_cycles(100),
+                None,
+            )
+            .unwrap();
+        let RunOutcome::Truncated(t) = out else {
+            panic!("expected truncation");
+        };
+        assert_eq!(t.reason, StopReason::CycleBudget);
+        assert_eq!(t.stats.cycles, 100);
+        assert_eq!(
+            t.stats.idle.total() + t.stats.issue_cycles,
+            t.stats.occupancy.sm_cycles,
+            "idle identity holds on partial stats"
+        );
+        assert_eq!(t.stats.occupancy.sm_cycles, 100 * 2, "2 SMs x 100 cycles");
+        assert_eq!(t.checkpoint.cycle().unwrap(), 100);
+    }
+
+    #[test]
+    fn resume_matches_uninterrupted_run_exactly() {
+        let k = streaming_kernel(16, 64);
+        let cfg = small_cfg();
+        let full = simulate(&cfg, &k).unwrap();
+        for cut in [1u64, 50, 300] {
+            let out = GpuSim::new(&cfg, &k)
+                .unwrap()
+                .execute(
+                    None,
+                    &mut NullSink,
+                    &RunBudget::unlimited().with_max_cycles(cut),
+                    None,
+                )
+                .unwrap();
+            let RunOutcome::Truncated(t) = out else {
+                panic!("run shorter than {cut} cycles");
+            };
+            // Round-trip the checkpoint through its text form.
+            let ckpt = Checkpoint::parse(&t.checkpoint.to_text()).unwrap();
+            let resumed = GpuSim::resume(&cfg, &k, &ckpt).unwrap().run().unwrap();
+            assert_eq!(resumed.stats, full.stats, "cut at {cut}");
+            assert_eq!(
+                resumed.mem_image.as_words(),
+                full.mem_image.as_words(),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_token_truncates_after_one_cycle() {
+        let k = streaming_kernel(16, 64);
+        let token = crate::exec::CancelToken::new();
+        token.cancel();
+        let out = GpuSim::new(&small_cfg(), &k)
+            .unwrap()
+            .execute(None, &mut NullSink, &RunBudget::unlimited(), Some(&token))
+            .unwrap();
+        let RunOutcome::Truncated(t) = out else {
+            panic!("expected truncation");
+        };
+        assert_eq!(t.reason, StopReason::Cancelled);
+        assert_eq!(t.stats.cycles, 1, "polled at the first phase boundary");
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_kernel_and_geometry() {
+        let k = streaming_kernel(8, 64);
+        let cfg = small_cfg();
+        let out = GpuSim::new(&cfg, &k)
+            .unwrap()
+            .execute(
+                None,
+                &mut NullSink,
+                &RunBudget::unlimited().with_max_cycles(10),
+                None,
+            )
+            .unwrap();
+        let RunOutcome::Truncated(t) = out else {
+            panic!("expected truncation");
+        };
+        let other = streaming_kernel(4, 64); // same name, different grid
+        assert!(matches!(
+            GpuSim::resume(&cfg, &other, &t.checkpoint),
+            Err(SimError::Checkpoint { .. })
+        ));
+        let mut big = small_cfg();
+        big.core.num_sms = 4;
+        assert!(matches!(
+            GpuSim::resume(&big, &k, &t.checkpoint),
+            Err(SimError::Checkpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn completion_wins_over_budget_tie() {
+        let k = streaming_kernel(2, 32);
+        let cfg = small_cfg();
+        let full = simulate(&cfg, &k).unwrap();
+        // Budget exactly equal to the run length: the run completes.
+        let out = GpuSim::new(&cfg, &k)
+            .unwrap()
+            .execute(
+                None,
+                &mut NullSink,
+                &RunBudget::unlimited().with_max_cycles(full.stats.cycles),
+                None,
+            )
+            .unwrap();
+        assert!(matches!(out, RunOutcome::Completed(_)));
+    }
+
+    #[test]
+    fn error_retryability() {
+        assert!(SimError::Watchdog { cycle: 1 }.is_retryable());
+        assert!(SimError::Truncated {
+            reason: StopReason::Deadline
+        }
+        .is_retryable());
+        assert!(!SimError::Checkpoint { reason: "x".into() }.is_retryable());
     }
 
     #[test]

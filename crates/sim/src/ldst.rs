@@ -3,8 +3,25 @@
 
 use std::collections::{HashMap, VecDeque};
 use vt_isa::Reg;
+use vt_json::{elem, elem_bool, elem_u64, req_array, req_u64, Json};
 use vt_mem::{MemSystem, ReqKind, SmFront, Submit};
 use vt_trace::{NullSink, TraceSink};
+
+fn reg_json(r: Option<Reg>) -> Json {
+    match r {
+        Some(Reg(n)) => Json::UInt(u64::from(n)),
+        None => Json::Null,
+    }
+}
+
+fn reg_from(v: &Json) -> Result<Option<Reg>, String> {
+    match v {
+        Json::Null => Ok(None),
+        other => Ok(Some(Reg(
+            other.as_u64().ok_or("register is not a u64")? as u16
+        ))),
+    }
+}
 
 /// One warp memory instruction queued in the LD/ST unit.
 #[derive(Debug, Clone)]
@@ -325,6 +342,192 @@ impl LdstUnit {
     pub fn idle(&self) -> bool {
         self.queue.is_empty() && self.groups.is_empty() && self.smem_inflight.is_empty()
     }
+
+    /// Serializes the unit for checkpointing. The in-order queue and the
+    /// shared-memory latency pipe keep their exact order; the load-group
+    /// tables are emitted sorted by token/request id (nothing iterates
+    /// them, so rebuild order is irrelevant to determinism).
+    pub fn snapshot(&self) -> Json {
+        let mut tokens: Vec<u64> = self.groups.keys().copied().collect();
+        tokens.sort_unstable();
+        let mut req_ids: Vec<u64> = self.req_to_group.keys().copied().collect();
+        req_ids.sort_unstable();
+        Json::Object(vec![
+            (
+                "queue".into(),
+                Json::Array(self.queue.iter().map(work_json).collect()),
+            ),
+            ("depth".into(), Json::UInt(self.depth as u64)),
+            ("smem_latency".into(), Json::UInt(self.smem_latency)),
+            (
+                "groups".into(),
+                Json::Array(
+                    tokens
+                        .into_iter()
+                        .map(|t| {
+                            let g = &self.groups[&t];
+                            Json::Array(vec![
+                                Json::UInt(t),
+                                Json::UInt(g.warp_slot as u64),
+                                Json::UInt(g.warp_uid),
+                                reg_json(g.dst),
+                                Json::UInt(u64::from(g.remaining)),
+                                Json::Bool(g.missed),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "req_to_group".into(),
+                Json::Array(
+                    req_ids
+                        .into_iter()
+                        .map(|id| {
+                            Json::Array(vec![Json::UInt(id), Json::UInt(self.req_to_group[&id])])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("next_id".into(), Json::UInt(self.next_id)),
+            ("sm_id".into(), Json::UInt(self.sm_id as u64)),
+            (
+                "smem_inflight".into(),
+                Json::Array(
+                    self.smem_inflight
+                        .iter()
+                        .map(|&(ready, slot, uid, dst)| {
+                            Json::Array(vec![
+                                Json::UInt(ready),
+                                Json::UInt(slot as u64),
+                                Json::UInt(uid),
+                                reg_json(dst),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Rebuilds a unit from [`LdstUnit::snapshot`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed input.
+    pub fn restore(v: &Json) -> Result<LdstUnit, String> {
+        let mut queue = VecDeque::new();
+        for item in req_array(v, "queue")? {
+            queue.push_back(work_from(item)?);
+        }
+        let mut groups = HashMap::new();
+        for item in req_array(v, "groups")? {
+            let a = item.as_array().ok_or("load group is not an array")?;
+            groups.insert(
+                elem_u64(a, 0)?,
+                LoadGroup {
+                    warp_slot: elem_u64(a, 1)? as usize,
+                    warp_uid: elem_u64(a, 2)?,
+                    dst: reg_from(elem(a, 3)?)?,
+                    remaining: elem_u64(a, 4)? as u32,
+                    missed: elem_bool(a, 5)?,
+                },
+            );
+        }
+        let mut req_to_group = HashMap::new();
+        for item in req_array(v, "req_to_group")? {
+            let a = item.as_array().ok_or("req mapping is not an array")?;
+            req_to_group.insert(elem_u64(a, 0)?, elem_u64(a, 1)?);
+        }
+        let mut smem_inflight = VecDeque::new();
+        for item in req_array(v, "smem_inflight")? {
+            let a = item.as_array().ok_or("smem inflight is not an array")?;
+            smem_inflight.push_back((
+                elem_u64(a, 0)?,
+                elem_u64(a, 1)? as usize,
+                elem_u64(a, 2)?,
+                reg_from(elem(a, 3)?)?,
+            ));
+        }
+        Ok(LdstUnit {
+            queue,
+            depth: (req_u64(v, "depth")? as usize).max(1),
+            smem_latency: req_u64(v, "smem_latency")?,
+            groups,
+            req_to_group,
+            next_id: req_u64(v, "next_id")?,
+            sm_id: req_u64(v, "sm_id")? as usize,
+            smem_inflight,
+        })
+    }
+}
+
+fn work_json(w: &MemWork) -> Json {
+    let body = match &w.body {
+        MemWorkBody::Shared { rounds_left, dst } => Json::Array(vec![
+            Json::Str("shared".into()),
+            Json::UInt(u64::from(*rounds_left)),
+            reg_json(*dst),
+        ]),
+        MemWorkBody::Global {
+            lines,
+            submitted,
+            token,
+            kind,
+        } => Json::Array(vec![
+            Json::Str("global".into()),
+            Json::Array(lines.iter().map(|&l| Json::UInt(l)).collect()),
+            Json::UInt(*submitted as u64),
+            match token {
+                Some(t) => Json::UInt(*t),
+                None => Json::Null,
+            },
+            Json::Str(kind.tag().into()),
+        ]),
+    };
+    Json::Array(vec![
+        Json::UInt(w.warp_slot as u64),
+        Json::UInt(w.warp_uid),
+        body,
+    ])
+}
+
+fn work_from(v: &Json) -> Result<MemWork, String> {
+    let a = v.as_array().ok_or("mem work is not an array")?;
+    let b = elem(a, 2)?.as_array().ok_or("work body is not an array")?;
+    let tag = b
+        .first()
+        .and_then(Json::as_str)
+        .ok_or("work body tag missing")?;
+    let body = match tag {
+        "shared" => MemWorkBody::Shared {
+            rounds_left: elem_u64(b, 1)? as u32,
+            dst: reg_from(elem(b, 2)?)?,
+        },
+        "global" => {
+            let lines = elem(b, 1)?
+                .as_array()
+                .ok_or("lines is not an array")?
+                .iter()
+                .map(|l| l.as_u64().ok_or("line is not a u64"))
+                .collect::<Result<Vec<u64>, &str>>()?;
+            MemWorkBody::Global {
+                lines,
+                submitted: elem_u64(b, 2)? as usize,
+                token: match elem(b, 3)? {
+                    Json::Null => None,
+                    t => Some(t.as_u64().ok_or("token is not a u64")?),
+                },
+                kind: ReqKind::from_tag(elem(b, 4)?.as_str().ok_or("req kind is not a string")?)?,
+            }
+        }
+        other => return Err(format!("unknown work body tag {other:?}")),
+    };
+    Ok(MemWork {
+        warp_slot: elem_u64(a, 0)? as usize,
+        warp_uid: elem_u64(a, 1)?,
+        body,
+    })
 }
 
 #[cfg(test)]

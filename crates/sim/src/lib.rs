@@ -22,6 +22,7 @@
 
 pub mod config;
 pub mod cta;
+pub mod exec;
 pub mod gpu;
 pub mod ldst;
 pub mod occupancy;
@@ -34,6 +35,7 @@ pub use config::{
     check_launchable, ActivePolicy, AdmissionPolicy, CoreConfig, LaunchError, ResidencyConfig,
     SchedPolicy, SimConfig, SwapConfig, SwapTrigger,
 };
+pub use exec::{CancelToken, Checkpoint, RunBudget, RunOutcome, StopReason, Truncation};
 pub use gpu::{simulate, GpuSim, RunResult, SimError};
 pub use occupancy::{analyze, Limiter, OccupancyAnalysis};
 pub use stats::RunStats;

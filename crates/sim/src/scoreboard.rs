@@ -1,6 +1,7 @@
 //! Per-warp register scoreboard.
 
 use vt_isa::{Instr, Reg};
+use vt_json::{req_array, req_u64, Json};
 
 /// Tracks which destination registers of a warp have results in flight.
 /// Issue is blocked on RAW and WAW hazards against pending registers.
@@ -49,6 +50,37 @@ impl Scoreboard {
     /// Number of registers in flight.
     pub fn pending_count(&self) -> u32 {
         self.count
+    }
+
+    /// Serializes the scoreboard for checkpointing.
+    pub fn snapshot(&self) -> Json {
+        Json::Object(vec![
+            (
+                "pending".into(),
+                Json::Array(self.pending.iter().map(|&w| Json::UInt(w)).collect()),
+            ),
+            ("count".into(), Json::UInt(u64::from(self.count))),
+        ])
+    }
+
+    /// Rebuilds a scoreboard from [`Scoreboard::snapshot`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed input.
+    pub fn restore(v: &Json) -> Result<Scoreboard, String> {
+        let words = req_array(v, "pending")?;
+        if words.len() != 4 {
+            return Err(format!("scoreboard has {} words, expected 4", words.len()));
+        }
+        let mut pending = [0u64; 4];
+        for (i, w) in words.iter().enumerate() {
+            pending[i] = w.as_u64().ok_or("scoreboard word is not a u64")?;
+        }
+        Ok(Scoreboard {
+            pending,
+            count: req_u64(v, "count")? as u32,
+        })
     }
 
     /// Whether `instr` can issue: none of its sources or its destination

@@ -1549,6 +1549,267 @@ impl Sm {
     pub fn resident_smem_bytes(&self) -> u32 {
         self.resident_smem_bytes
     }
+
+    // ----- checkpointing -------------------------------------------------------
+
+    /// Serializes the complete SM state — CTA and warp tables (including
+    /// freed slots awaiting reuse), scheduler pointers, LD/ST unit,
+    /// writeback pipe and throttle state — for checkpointing. Must be
+    /// called at a cycle boundary (after [`Sm::apply_deferred`]); the
+    /// transient issue list is rebuilt on restore.
+    ///
+    /// # Panics
+    ///
+    /// Panics if deferred memory effects are still queued, which would
+    /// mean the caller is mid-cycle.
+    pub fn snapshot(&self) -> vt_json::Json {
+        use vt_json::Json;
+        assert!(
+            self.deferred.is_empty(),
+            "SM snapshot taken mid-cycle (deferred effects queued)"
+        );
+        let opt_u64 = |o: Option<u64>| match o {
+            Some(x) => Json::UInt(x),
+            None => Json::Null,
+        };
+        let mut writebacks: Vec<(u64, usize, u16, u64)> =
+            self.writebacks.iter().map(|r| r.0).collect();
+        writebacks.sort_unstable();
+        Json::Object(vec![
+            ("id".into(), Json::UInt(self.id as u64)),
+            ("line_bytes".into(), Json::UInt(u64::from(self.line_bytes))),
+            (
+                "ctas".into(),
+                Json::Array(self.ctas.iter().map(CtaRt::snapshot).collect()),
+            ),
+            (
+                "free_cta_slots".into(),
+                Json::Array(
+                    self.free_cta_slots
+                        .iter()
+                        .map(|&s| Json::UInt(s as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "warps".into(),
+                Json::Array(self.warps.iter().map(WarpRt::snapshot).collect()),
+            ),
+            (
+                "free_warp_slots".into(),
+                Json::Array(
+                    self.free_warp_slots
+                        .iter()
+                        .map(|&s| Json::UInt(s as u64))
+                        .collect(),
+                ),
+            ),
+            (
+                "warp_uids".into(),
+                Json::Array(self.warp_uids.iter().map(|&u| Json::UInt(u)).collect()),
+            ),
+            (
+                "resident_reg_bytes".into(),
+                Json::UInt(u64::from(self.resident_reg_bytes)),
+            ),
+            (
+                "resident_smem_bytes".into(),
+                Json::UInt(u64::from(self.resident_smem_bytes)),
+            ),
+            (
+                "resident_warps".into(),
+                Json::UInt(u64::from(self.resident_warps)),
+            ),
+            (
+                "resident_ctas".into(),
+                Json::UInt(u64::from(self.resident_ctas)),
+            ),
+            ("slot_ctas".into(), Json::UInt(u64::from(self.slot_ctas))),
+            ("slot_warps".into(), Json::UInt(u64::from(self.slot_warps))),
+            (
+                "active_phase_warps".into(),
+                Json::UInt(u64::from(self.active_phase_warps)),
+            ),
+            (
+                "swapping_ctas".into(),
+                Json::UInt(u64::from(self.swapping_ctas)),
+            ),
+            (
+                "sched_last".into(),
+                Json::Array(
+                    self.sched_last
+                        .iter()
+                        .map(|&o| opt_u64(o.map(|s| s as u64)))
+                        .collect(),
+                ),
+            ),
+            (
+                "sched_ptr".into(),
+                Json::Array(
+                    self.sched_ptr
+                        .iter()
+                        .map(|&p| Json::UInt(p as u64))
+                        .collect(),
+                ),
+            ),
+            ("sfu_free_at".into(), Json::UInt(self.sfu_free_at)),
+            ("ldst".into(), self.ldst.snapshot()),
+            (
+                "writebacks".into(),
+                Json::Array(
+                    writebacks
+                        .into_iter()
+                        .map(|(ready, wslot, reg, uid)| {
+                            Json::Array(vec![
+                                Json::UInt(ready),
+                                Json::UInt(wslot as u64),
+                                Json::UInt(u64::from(reg)),
+                                Json::UInt(uid),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("next_uid".into(), Json::UInt(self.next_uid)),
+            ("cta_seq".into(), Json::UInt(self.cta_seq)),
+            (
+                "max_simt_depth".into(),
+                Json::UInt(self.max_simt_depth as u64),
+            ),
+            ("throttle_hold".into(), Json::Bool(self.throttle_hold)),
+            (
+                "throttle_window_end".into(),
+                Json::UInt(self.throttle_window_end),
+            ),
+            (
+                "phase_window".into(),
+                Json::UInt(u64::from(self.phase_window)),
+            ),
+            ("phase_accum".into(), Json::UInt(self.phase_accum)),
+            (
+                "phases_since_probe".into(),
+                Json::UInt(u64::from(self.phases_since_probe)),
+            ),
+            ("window_issues".into(), Json::UInt(self.window_issues)),
+            (
+                "mode_ipc_est".into(),
+                Json::Array(vec![
+                    opt_u64(self.mode_ipc_est[0]),
+                    opt_u64(self.mode_ipc_est[1]),
+                ]),
+            ),
+        ])
+    }
+
+    /// Rebuilds an SM from [`Sm::snapshot`] output. The issue list is
+    /// marked dirty so the first scheduling pass regenerates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed input.
+    pub fn restore(v: &vt_json::Json) -> Result<Sm, String> {
+        use vt_json::{elem_u64, req, req_array, req_bool, req_u64, Json};
+        let opt_u64 = |j: &Json, what: &str| -> Result<Option<u64>, String> {
+            match j {
+                Json::Null => Ok(None),
+                other => Ok(Some(
+                    other
+                        .as_u64()
+                        .ok_or_else(|| format!("{what} is not a u64"))?,
+                )),
+            }
+        };
+        let usize_vec = |v: &Json, key: &str| -> Result<Vec<usize>, String> {
+            req_array(v, key)?
+                .iter()
+                .map(|s| {
+                    s.as_u64()
+                        .map(|x| x as usize)
+                        .ok_or_else(|| format!("{key} element is not a u64"))
+                })
+                .collect()
+        };
+        let ctas = req_array(v, "ctas")?
+            .iter()
+            .map(CtaRt::restore)
+            .collect::<Result<Vec<_>, _>>()?;
+        let warps = req_array(v, "warps")?
+            .iter()
+            .map(WarpRt::restore)
+            .collect::<Result<Vec<_>, _>>()?;
+        let warp_uids = req_array(v, "warp_uids")?
+            .iter()
+            .map(|u| u.as_u64().ok_or("warp uid is not a u64"))
+            .collect::<Result<Vec<u64>, &str>>()?;
+        if warp_uids.len() != warps.len() {
+            return Err("warp uid table length mismatch".to_string());
+        }
+        let mut sched_last = Vec::new();
+        for item in req_array(v, "sched_last")? {
+            sched_last.push(opt_u64(item, "sched_last slot")?.map(|s| s as usize));
+        }
+        if sched_last.is_empty() {
+            return Err("SM has no schedulers".to_string());
+        }
+        let mut writebacks = BinaryHeap::new();
+        for item in req_array(v, "writebacks")? {
+            let a = item.as_array().ok_or("writeback is not an array")?;
+            writebacks.push(Reverse((
+                elem_u64(a, 0)?,
+                elem_u64(a, 1)? as usize,
+                elem_u64(a, 2)? as u16,
+                elem_u64(a, 3)?,
+            )));
+        }
+        let est = req_array(v, "mode_ipc_est")?;
+        if est.len() != 2 {
+            return Err("mode_ipc_est must have 2 entries".to_string());
+        }
+        Ok(Sm {
+            id: req_u64(v, "id")? as usize,
+            line_bytes: req_u64(v, "line_bytes")? as u32,
+            ctas,
+            free_cta_slots: usize_vec(v, "free_cta_slots")?,
+            warps,
+            free_warp_slots: usize_vec(v, "free_warp_slots")?,
+            warp_uids,
+            resident_reg_bytes: req_u64(v, "resident_reg_bytes")? as u32,
+            resident_smem_bytes: req_u64(v, "resident_smem_bytes")? as u32,
+            resident_warps: req_u64(v, "resident_warps")? as u32,
+            resident_ctas: req_u64(v, "resident_ctas")? as u32,
+            slot_ctas: req_u64(v, "slot_ctas")? as u32,
+            slot_warps: req_u64(v, "slot_warps")? as u32,
+            active_phase_warps: req_u64(v, "active_phase_warps")? as u32,
+            swapping_ctas: req_u64(v, "swapping_ctas")? as u32,
+            sched_ptr: {
+                let p = usize_vec(v, "sched_ptr")?;
+                if p.len() != sched_last.len() {
+                    return Err("scheduler pointer table length mismatch".to_string());
+                }
+                p
+            },
+            sched_last,
+            sfu_free_at: req_u64(v, "sfu_free_at")?,
+            ldst: LdstUnit::restore(req(v, "ldst")?)?,
+            writebacks,
+            issue_list: Vec::new(),
+            issue_dirty: true,
+            next_uid: req_u64(v, "next_uid")?,
+            cta_seq: req_u64(v, "cta_seq")?,
+            max_simt_depth: req_u64(v, "max_simt_depth")? as usize,
+            throttle_hold: req_bool(v, "throttle_hold")?,
+            throttle_window_end: req_u64(v, "throttle_window_end")?,
+            phase_window: req_u64(v, "phase_window")? as u32,
+            phase_accum: req_u64(v, "phase_accum")?,
+            phases_since_probe: req_u64(v, "phases_since_probe")? as u32,
+            window_issues: req_u64(v, "window_issues")?,
+            mode_ipc_est: [
+                opt_u64(&est[0], "mode_ipc_est[0]")?,
+                opt_u64(&est[1], "mode_ipc_est[1]")?,
+            ],
+            deferred: Vec::new(),
+        })
+    }
 }
 
 /// Memory micro-op discriminant used by `exec_mem`.

@@ -1,6 +1,7 @@
 //! Run statistics: performance, occupancy, stall breakdown and swap
 //! activity — everything the paper's figures are built from.
 
+use vt_json::{req, req_array, req_u64, Json};
 use vt_mem::MemStats;
 use vt_trace::{Gauge, Histogram};
 
@@ -39,6 +40,34 @@ impl IdleBreakdown {
         self.barrier += o.barrier;
         self.swapping += o.swapping;
         self.other += o.other;
+    }
+
+    /// Serializes the breakdown for checkpointing.
+    pub fn snapshot(&self) -> Json {
+        Json::Object(vec![
+            ("no_warps".into(), Json::UInt(self.no_warps)),
+            ("memory".into(), Json::UInt(self.memory)),
+            ("pipeline".into(), Json::UInt(self.pipeline)),
+            ("barrier".into(), Json::UInt(self.barrier)),
+            ("swapping".into(), Json::UInt(self.swapping)),
+            ("other".into(), Json::UInt(self.other)),
+        ])
+    }
+
+    /// Rebuilds a breakdown from [`IdleBreakdown::snapshot`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on missing fields.
+    pub fn restore(v: &Json) -> Result<IdleBreakdown, String> {
+        Ok(IdleBreakdown {
+            no_warps: req_u64(v, "no_warps")?,
+            memory: req_u64(v, "memory")?,
+            pipeline: req_u64(v, "pipeline")?,
+            barrier: req_u64(v, "barrier")?,
+            swapping: req_u64(v, "swapping")?,
+            other: req_u64(v, "other")?,
+        })
     }
 }
 
@@ -112,6 +141,48 @@ impl OccupancyAccum {
         self.smem_byte_cycles += o.smem_byte_cycles;
         self.sm_cycles += o.sm_cycles;
     }
+
+    /// Serializes the accumulator for checkpointing.
+    pub fn snapshot(&self) -> Json {
+        Json::Object(vec![
+            (
+                "resident_warp_cycles".into(),
+                Json::UInt(self.resident_warp_cycles),
+            ),
+            (
+                "active_warp_cycles".into(),
+                Json::UInt(self.active_warp_cycles),
+            ),
+            (
+                "resident_cta_cycles".into(),
+                Json::UInt(self.resident_cta_cycles),
+            ),
+            (
+                "active_cta_cycles".into(),
+                Json::UInt(self.active_cta_cycles),
+            ),
+            ("reg_byte_cycles".into(), Json::UInt(self.reg_byte_cycles)),
+            ("smem_byte_cycles".into(), Json::UInt(self.smem_byte_cycles)),
+            ("sm_cycles".into(), Json::UInt(self.sm_cycles)),
+        ])
+    }
+
+    /// Rebuilds an accumulator from [`OccupancyAccum::snapshot`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on missing fields.
+    pub fn restore(v: &Json) -> Result<OccupancyAccum, String> {
+        Ok(OccupancyAccum {
+            resident_warp_cycles: req_u64(v, "resident_warp_cycles")?,
+            active_warp_cycles: req_u64(v, "active_warp_cycles")?,
+            resident_cta_cycles: req_u64(v, "resident_cta_cycles")?,
+            active_cta_cycles: req_u64(v, "active_cta_cycles")?,
+            reg_byte_cycles: req_u64(v, "reg_byte_cycles")?,
+            smem_byte_cycles: req_u64(v, "smem_byte_cycles")?,
+            sm_cycles: req_u64(v, "sm_cycles")?,
+        })
+    }
 }
 
 /// CTA context-switch activity.
@@ -134,6 +205,33 @@ impl SwapStats {
         self.swaps_in += o.swaps_in;
         self.fresh_activations += o.fresh_activations;
         self.swap_busy_cycles += o.swap_busy_cycles;
+    }
+
+    /// Serializes the block for checkpointing.
+    pub fn snapshot(&self) -> Json {
+        Json::Object(vec![
+            ("swaps_out".into(), Json::UInt(self.swaps_out)),
+            ("swaps_in".into(), Json::UInt(self.swaps_in)),
+            (
+                "fresh_activations".into(),
+                Json::UInt(self.fresh_activations),
+            ),
+            ("swap_busy_cycles".into(), Json::UInt(self.swap_busy_cycles)),
+        ])
+    }
+
+    /// Rebuilds a block from [`SwapStats::snapshot`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on missing fields.
+    pub fn restore(v: &Json) -> Result<SwapStats, String> {
+        Ok(SwapStats {
+            swaps_out: req_u64(v, "swaps_out")?,
+            swaps_in: req_u64(v, "swaps_in")?,
+            fresh_activations: req_u64(v, "fresh_activations")?,
+            swap_busy_cycles: req_u64(v, "swap_busy_cycles")?,
+        })
     }
 }
 
@@ -171,6 +269,45 @@ impl Timeline {
     /// Whether no samples were taken.
     pub fn is_empty(&self) -> bool {
         self.resident_warps.is_empty()
+    }
+
+    /// Serializes the time series for checkpointing. `f32` samples emit
+    /// through `f64`, which is exact in both directions.
+    pub fn snapshot(&self) -> Json {
+        let series =
+            |v: &[f32]| Json::Array(v.iter().map(|&x| Json::Float(f64::from(x))).collect());
+        Json::Object(vec![
+            ("interval".into(), Json::UInt(self.interval)),
+            ("resident_warps".into(), series(&self.resident_warps)),
+            ("active_warps".into(), series(&self.active_warps)),
+            ("reg_util".into(), series(&self.reg_util)),
+            ("smem_util".into(), series(&self.smem_util)),
+        ])
+    }
+
+    /// Rebuilds a time series from [`Timeline::snapshot`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed input.
+    pub fn restore(v: &Json) -> Result<Timeline, String> {
+        let series = |key: &str| -> Result<Vec<f32>, String> {
+            req_array(v, key)?
+                .iter()
+                .map(|x| {
+                    x.as_f64()
+                        .map(|f| f as f32)
+                        .ok_or_else(|| format!("{key} sample is not a number"))
+                })
+                .collect()
+        };
+        Ok(Timeline {
+            interval: req_u64(v, "interval")?,
+            resident_warps: series("resident_warps")?,
+            active_warps: series("active_warps")?,
+            reg_util: series("reg_util")?,
+            smem_util: series("smem_util")?,
+        })
     }
 }
 
@@ -251,6 +388,71 @@ impl RunStats {
     /// Warp instructions per cycle.
     pub fn warp_ipc(&self) -> f64 {
         ratio(self.warp_instrs, self.cycles)
+    }
+
+    /// Serializes the complete stats block for checkpointing.
+    pub fn snapshot(&self) -> Json {
+        Json::Object(vec![
+            ("cycles".into(), Json::UInt(self.cycles)),
+            ("warp_instrs".into(), Json::UInt(self.warp_instrs)),
+            ("thread_instrs".into(), Json::UInt(self.thread_instrs)),
+            (
+                "divergent_branches".into(),
+                Json::UInt(self.divergent_branches),
+            ),
+            ("barriers".into(), Json::UInt(self.barriers)),
+            ("ctas_completed".into(), Json::UInt(self.ctas_completed)),
+            ("issue_cycles".into(), Json::UInt(self.issue_cycles)),
+            ("idle".into(), self.idle.snapshot()),
+            ("occupancy".into(), self.occupancy.snapshot()),
+            ("swaps".into(), self.swaps.snapshot()),
+            ("mem".into(), self.mem.snapshot()),
+            (
+                "max_simt_depth".into(),
+                Json::UInt(self.max_simt_depth as u64),
+            ),
+            ("swap_duration".into(), self.swap_duration.snapshot()),
+            ("swap_gap".into(), self.swap_gap.snapshot()),
+            ("barrier_wait".into(), self.barrier_wait.snapshot()),
+            ("ldst_queue".into(), self.ldst_queue.snapshot()),
+            (
+                "timeline".into(),
+                match &self.timeline {
+                    Some(t) => t.snapshot(),
+                    None => Json::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Rebuilds a stats block from [`RunStats::snapshot`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed input.
+    pub fn restore(v: &Json) -> Result<RunStats, String> {
+        Ok(RunStats {
+            cycles: req_u64(v, "cycles")?,
+            warp_instrs: req_u64(v, "warp_instrs")?,
+            thread_instrs: req_u64(v, "thread_instrs")?,
+            divergent_branches: req_u64(v, "divergent_branches")?,
+            barriers: req_u64(v, "barriers")?,
+            ctas_completed: req_u64(v, "ctas_completed")?,
+            issue_cycles: req_u64(v, "issue_cycles")?,
+            idle: IdleBreakdown::restore(req(v, "idle")?)?,
+            occupancy: OccupancyAccum::restore(req(v, "occupancy")?)?,
+            swaps: SwapStats::restore(req(v, "swaps")?)?,
+            mem: MemStats::restore(req(v, "mem")?)?,
+            max_simt_depth: req_u64(v, "max_simt_depth")? as usize,
+            swap_duration: Histogram::restore(req(v, "swap_duration")?)?,
+            swap_gap: Histogram::restore(req(v, "swap_gap")?)?,
+            barrier_wait: Histogram::restore(req(v, "barrier_wait")?)?,
+            ldst_queue: Gauge::restore(req(v, "ldst_queue")?)?,
+            timeline: match req(v, "timeline")? {
+                Json::Null => None,
+                t => Some(Timeline::restore(t)?),
+            },
+        })
     }
 }
 

@@ -1,7 +1,8 @@
 //! Per-warp runtime state.
 
 use crate::scoreboard::Scoreboard;
-use vt_isa::{SimtStack, WARP_SIZE};
+use vt_isa::{SimtEntry, SimtStack, WARP_SIZE};
+use vt_json::{elem_u64, req, req_array, req_bool, req_u64, Json};
 
 /// The runtime state of one warp resident on an SM.
 ///
@@ -88,6 +89,111 @@ impl WarpRt {
     /// Writes register `reg` of `lane`.
     pub fn set_reg(&mut self, lane: u32, reg: u16, value: u32) {
         self.regs[lane as usize * self.regs_per_thread as usize + reg as usize] = value;
+    }
+
+    /// Serializes the complete warp state — scheduling state (SIMT stack,
+    /// scoreboard, barrier flags) and capacity state (register values) —
+    /// for checkpointing.
+    pub fn snapshot(&self) -> Json {
+        Json::Object(vec![
+            ("cta_slot".into(), Json::UInt(self.cta_slot as u64)),
+            (
+                "warp_in_cta".into(),
+                Json::UInt(u64::from(self.warp_in_cta)),
+            ),
+            ("first_tid".into(), Json::UInt(u64::from(self.first_tid))),
+            (
+                "stack".into(),
+                Json::Array(
+                    self.stack
+                        .entries()
+                        .iter()
+                        .map(|e| {
+                            Json::Array(vec![
+                                Json::UInt(e.pc as u64),
+                                match e.rpc {
+                                    Some(rpc) => Json::UInt(rpc as u64),
+                                    None => Json::Null,
+                                },
+                                Json::UInt(u64::from(e.mask)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "stack_max_depth".into(),
+                Json::UInt(self.stack.max_depth() as u64),
+            ),
+            ("scoreboard".into(), self.scoreboard.snapshot()),
+            (
+                "regs".into(),
+                Json::Array(
+                    self.regs
+                        .iter()
+                        .map(|&r| Json::UInt(u64::from(r)))
+                        .collect(),
+                ),
+            ),
+            (
+                "regs_per_thread".into(),
+                Json::UInt(u64::from(self.regs_per_thread)),
+            ),
+            ("waiting_barrier".into(), Json::Bool(self.waiting_barrier)),
+            ("barrier_since".into(), Json::UInt(self.barrier_since)),
+            (
+                "pending_loads".into(),
+                Json::UInt(u64::from(self.pending_loads)),
+            ),
+            (
+                "long_pending_loads".into(),
+                Json::UInt(u64::from(self.long_pending_loads)),
+            ),
+            ("done".into(), Json::Bool(self.done)),
+            ("age".into(), Json::UInt(self.age)),
+        ])
+    }
+
+    /// Rebuilds a warp from [`WarpRt::snapshot`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed input.
+    pub fn restore(v: &Json) -> Result<WarpRt, String> {
+        let mut entries = Vec::new();
+        for item in req_array(v, "stack")? {
+            let a = item.as_array().ok_or("SIMT entry is not an array")?;
+            let rpc = match a.get(1) {
+                Some(Json::Null) => None,
+                Some(j) => Some(j.as_u64().ok_or("SIMT rpc is not a u64")? as usize),
+                None => return Err("SIMT entry too short".to_string()),
+            };
+            entries.push(SimtEntry {
+                pc: elem_u64(a, 0)? as usize,
+                rpc,
+                mask: elem_u64(a, 2)? as u32,
+            });
+        }
+        let stack = SimtStack::from_saved(entries, req_u64(v, "stack_max_depth")? as usize);
+        let regs = req_array(v, "regs")?
+            .iter()
+            .map(|r| r.as_u64().map(|x| x as u32).ok_or("reg is not a u64"))
+            .collect::<Result<Vec<u32>, &str>>()?;
+        Ok(WarpRt {
+            cta_slot: req_u64(v, "cta_slot")? as usize,
+            warp_in_cta: req_u64(v, "warp_in_cta")? as u32,
+            first_tid: req_u64(v, "first_tid")? as u32,
+            stack,
+            scoreboard: Scoreboard::restore(req(v, "scoreboard")?)?,
+            regs,
+            regs_per_thread: req_u64(v, "regs_per_thread")? as u16,
+            waiting_barrier: req_bool(v, "waiting_barrier")?,
+            barrier_since: req_u64(v, "barrier_since")?,
+            pending_loads: req_u64(v, "pending_loads")? as u32,
+            long_pending_loads: req_u64(v, "long_pending_loads")? as u32,
+            done: req_bool(v, "done")?,
+            age: req_u64(v, "age")?,
+        })
     }
 
     /// Whether the warp is parked for a long-latency event: waiting at a

@@ -2,7 +2,10 @@
 //! latency histograms and sampled gauges. Both are tiny fixed-size value
 //! types so they can live inside `RunStats`/`MemStats` and keep those
 //! structs `Default + PartialEq + Eq` (the determinism tests compare whole
-//! stats structs for equality).
+//! stats structs for equality). Both round-trip through `vt_json` for the
+//! checkpoint/resume layer.
+
+use vt_json::{req_array, req_u64, Json};
 
 /// A power-of-two-bucketed histogram of `u64` samples.
 ///
@@ -108,6 +111,49 @@ impl Histogram {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+
+    /// Serializes every field for checkpointing.
+    pub fn snapshot(&self) -> Json {
+        Json::Object(vec![
+            (
+                "buckets".into(),
+                Json::Array(self.buckets.iter().map(|&b| Json::UInt(b)).collect()),
+            ),
+            ("count".into(), Json::UInt(self.count)),
+            ("sum".into(), Json::UInt(self.sum)),
+            ("min".into(), Json::UInt(self.min)),
+            ("max".into(), Json::UInt(self.max)),
+        ])
+    }
+
+    /// Rebuilds a histogram from [`Histogram::snapshot`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on missing fields or a bucket-count mismatch.
+    pub fn restore(v: &Json) -> Result<Histogram, String> {
+        let raw = req_array(v, "buckets")?;
+        if raw.len() != Histogram::BUCKETS {
+            return Err(format!(
+                "expected {} buckets, got {}",
+                Histogram::BUCKETS,
+                raw.len()
+            ));
+        }
+        let mut buckets = [0u64; Histogram::BUCKETS];
+        for (slot, item) in buckets.iter_mut().zip(raw) {
+            *slot = item
+                .as_u64()
+                .ok_or_else(|| "non-integer bucket".to_string())?;
+        }
+        Ok(Histogram {
+            buckets,
+            count: req_u64(v, "count")?,
+            sum: req_u64(v, "sum")?,
+            min: req_u64(v, "min")?,
+            max: req_u64(v, "max")?,
+        })
+    }
 }
 
 /// A sampled gauge: tracks the mean and peak of a level that is polled
@@ -144,6 +190,28 @@ impl Gauge {
         self.samples += other.samples;
         self.sum += other.sum;
         self.max = self.max.max(other.max);
+    }
+
+    /// Serializes every field for checkpointing.
+    pub fn snapshot(&self) -> Json {
+        Json::Object(vec![
+            ("samples".into(), Json::UInt(self.samples)),
+            ("sum".into(), Json::UInt(self.sum)),
+            ("max".into(), Json::UInt(self.max)),
+        ])
+    }
+
+    /// Rebuilds a gauge from [`Gauge::snapshot`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on missing fields.
+    pub fn restore(v: &Json) -> Result<Gauge, String> {
+        Ok(Gauge {
+            samples: req_u64(v, "samples")?,
+            sum: req_u64(v, "sum")?,
+            max: req_u64(v, "max")?,
+        })
     }
 }
 
@@ -211,6 +279,27 @@ mod tests {
         }
         a.merge(&b);
         assert_eq!(a, all);
+    }
+
+    #[test]
+    fn snapshot_roundtrips() {
+        let mut h = Histogram::default();
+        for v in [0, 3, 9_000_000_000] {
+            h.record(v);
+        }
+        let text = h.snapshot().compact();
+        let back = Histogram::restore(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, h);
+        // Empty histogram keeps its u64::MAX min through the text form.
+        let empty =
+            Histogram::restore(&Json::parse(&Histogram::default().snapshot().compact()).unwrap())
+                .unwrap();
+        assert_eq!(empty, Histogram::default());
+
+        let mut g = Gauge::default();
+        g.sample(7);
+        let back = Gauge::restore(&Json::parse(&g.snapshot().compact()).unwrap()).unwrap();
+        assert_eq!(back, g);
     }
 
     #[test]

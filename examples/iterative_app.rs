@@ -1,13 +1,13 @@
 //! An iterative application: repeated relaxation sweeps over a shared
-//! buffer, chained with `Gpu::run_chain` so each launch consumes the
-//! previous launch's memory image — the way real solvers run a kernel
-//! per iteration.
+//! buffer, chained with a multi-kernel `RunRequest` so each launch
+//! consumes the previous launch's memory image — the way real solvers
+//! run a kernel per iteration.
 //!
 //! ```text
 //! cargo run --release -p vt-examples --bin iterative_app [iterations]
 //! ```
 
-use vt_core::{Architecture, Gpu, GpuConfig};
+use vt_core::{Architecture, GpuConfig, RunRequest, Session};
 use vt_isa::op::Operand;
 use vt_isa::KernelBuilder;
 
@@ -52,8 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     for arch in [Architecture::Baseline, Architecture::virtual_thread()] {
-        let gpu = Gpu::new(GpuConfig::with_arch(arch));
-        let reports = gpu.run_chain(&chain)?;
+        let mut session = Session::new(GpuConfig::with_arch(arch));
+        let reports = session.run(RunRequest::kernels(&chain))?.completed()?;
         let total: u64 = reports.iter().map(|r| r.stats.cycles).sum();
         let swaps: u64 = reports.iter().map(|r| r.stats.swaps.swaps_out).sum();
         println!(

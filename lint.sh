@@ -26,4 +26,15 @@ echo "== vtsweep --check (2-thread determinism smoke)"
 cargo run -q --release -p vt-bench --bin vtsweep -- \
   spmv bfs --threads 2 --sms 4 --check >/dev/null
 
+echo "== vtsweep --budget (truncation smoke: partial stats, no hang)"
+cargo run -q --release -p vt-bench --bin vtsweep -- \
+  spmv --arch vt --sms 2 --budget 2000 --check >/dev/null
+
+echo "== public API surface (tools/api.txt must match the source)"
+if ! diff -u tools/api.txt <(tools/api_surface.sh); then
+  echo "lint: public API changed; review the diff above and re-bless" >&2
+  echo "      with tools/api_surface.sh --bless" >&2
+  exit 1
+fi
+
 echo "lint: OK"

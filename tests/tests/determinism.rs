@@ -2,7 +2,7 @@
 //! repeated runs must agree cycle-for-cycle, and the workload generators
 //! must be reproducible.
 
-use vt_core::Gpu;
+use vt_core::{RunRequest, Session};
 use vt_tests::{all_archs, run, small_config};
 use vt_trace::{to_chrome_json, RingSink};
 use vt_workloads::{suite, Scale, SyntheticParams};
@@ -46,10 +46,14 @@ fn traced_replays_are_byte_identical() {
     for w in ws.iter().take(2) {
         for arch in all_archs() {
             let mut runs = (0..2).map(|_| {
-                let mut sink = RingSink::new(1 << 22);
-                let report = Gpu::new(small_config(arch))
-                    .run_traced(&w.kernel, &mut sink)
-                    .expect("traced run succeeds");
+                let mut session =
+                    Session::new(small_config(arch)).with_sink(RingSink::new(1 << 22));
+                let report = session
+                    .run(RunRequest::kernel(&w.kernel))
+                    .and_then(|o| o.completed())
+                    .expect("traced run succeeds")
+                    .remove(0);
+                let sink = session.into_sink();
                 assert_eq!(sink.dropped(), 0);
                 (report, sink.into_events())
             });

@@ -2,17 +2,20 @@
 //! event streams for every architecture, observation never perturbs the
 //! simulation, and the Chrome-trace export is well formed.
 
-use vt_core::{Architecture, Gpu, Report};
+use vt_core::{Architecture, Report, RunRequest, Session};
 use vt_isa::Kernel;
 use vt_tests::{all_archs, run, small_config};
 use vt_trace::{to_chrome_json, validate, RingSink, SwapDir, TimedEvent, TraceEvent};
 use vt_workloads::{suite, AccessPattern, Scale, SyntheticParams};
 
 fn run_traced(arch: Architecture, kernel: &Kernel) -> (Report, Vec<TimedEvent>) {
-    let mut sink = RingSink::new(1 << 22);
-    let report = Gpu::new(small_config(arch))
-        .run_traced(kernel, &mut sink)
-        .unwrap_or_else(|e| panic!("{} under {}: {e}", kernel.name(), arch.label()));
+    let mut session = Session::new(small_config(arch)).with_sink(RingSink::new(1 << 22));
+    let report = session
+        .run(RunRequest::kernel(kernel))
+        .and_then(|o| o.completed())
+        .unwrap_or_else(|e| panic!("{} under {}: {e}", kernel.name(), arch.label()))
+        .remove(0);
+    let sink = session.into_sink();
     assert_eq!(sink.dropped(), 0, "ring large enough for test-scale runs");
     (report, sink.into_events())
 }

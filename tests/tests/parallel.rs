@@ -8,7 +8,7 @@
 //! Note the worker counts here deliberately oversubscribe small hosts:
 //! determinism must not depend on how the OS schedules the pool.
 
-use vt_core::{Gpu, Pool, Report};
+use vt_core::{Pool, Report, RunRequest, Session};
 use vt_isa::Kernel;
 use vt_tests::{all_archs, small_config};
 use vt_trace::{to_chrome_json, BufSink, TimedEvent};
@@ -17,29 +17,30 @@ use vt_workloads::{suite, Scale};
 fn run_traced_on(
     arch: vt_core::Architecture,
     kernel: &Kernel,
-    pool: Option<&Pool>,
+    threads: Option<usize>,
 ) -> (Report, Vec<TimedEvent>) {
     let mut events = Vec::new();
-    let report = Gpu::new(small_config(arch))
-        .run_traced_on(kernel, pool, &mut BufSink(&mut events))
-        .unwrap_or_else(|e| panic!("{} under {}: {e}", kernel.name(), arch.label()));
+    let mut session = Session::new(small_config(arch)).with_sink(BufSink(&mut events));
+    if let Some(n) = threads {
+        session = session.with_pool(Pool::new(n));
+    }
+    let report = session
+        .run(RunRequest::kernel(kernel))
+        .and_then(|o| o.completed())
+        .unwrap_or_else(|e| panic!("{} under {}: {e}", kernel.name(), arch.label()))
+        .remove(0);
+    drop(session);
     (report, events)
 }
 
 #[test]
 fn thread_count_never_changes_results() {
-    let pools = [Pool::new(2), Pool::new(4), Pool::new(8)];
     for w in suite(&Scale::test()) {
         for arch in all_archs() {
             let (seq_report, seq_events) = run_traced_on(arch, &w.kernel, None);
-            for pool in &pools {
-                let (par_report, par_events) = run_traced_on(arch, &w.kernel, Some(pool));
-                let label = format!(
-                    "{} [{}] at {} threads",
-                    w.name,
-                    arch.label(),
-                    pool.threads()
-                );
+            for threads in [2, 4, 8] {
+                let (par_report, par_events) = run_traced_on(arch, &w.kernel, Some(threads));
+                let label = format!("{} [{}] at {} threads", w.name, arch.label(), threads);
                 assert_eq!(par_report.stats, seq_report.stats, "stats differ: {label}");
                 assert_eq!(
                     par_report.mem_image, seq_report.mem_image,
@@ -58,11 +59,10 @@ fn thread_count_never_changes_results() {
 /// must also be byte-identical, not just the in-memory events.
 #[test]
 fn chrome_traces_are_byte_identical_across_thread_counts() {
-    let pool = Pool::new(4);
     for w in suite(&Scale::test()).iter().take(3) {
         for arch in all_archs() {
             let (_, seq_events) = run_traced_on(arch, &w.kernel, None);
-            let (_, par_events) = run_traced_on(arch, &w.kernel, Some(&pool));
+            let (_, par_events) = run_traced_on(arch, &w.kernel, Some(4));
             assert_eq!(
                 to_chrome_json(&par_events).compact(),
                 to_chrome_json(&seq_events).compact(),
@@ -78,12 +78,14 @@ fn chrome_traces_are_byte_identical_across_thread_counts() {
 /// SM-cycle is either an issue cycle or lands in exactly one idle bucket.
 #[test]
 fn idle_identity_holds_under_parallel_engine() {
-    let pool = Pool::new(4);
     for w in suite(&Scale::test()) {
         for arch in all_archs() {
-            let report = Gpu::new(small_config(arch))
-                .run_on(&w.kernel, Some(&pool))
-                .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name, arch.label()));
+            let mut session = Session::new(small_config(arch)).with_pool(Pool::new(4));
+            let report = session
+                .run(RunRequest::kernel(&w.kernel))
+                .and_then(|o| o.completed())
+                .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name, arch.label()))
+                .remove(0);
             let s = &report.stats;
             assert_eq!(
                 s.idle.total() + s.issue_cycles,

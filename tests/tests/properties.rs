@@ -4,7 +4,7 @@
 //! preserve functional results. Driven by the deterministic
 //! [`vt_prng::Prng`] so runs are reproducible offline.
 
-use vt_core::{Architecture, Gpu, Pool, SwapTrigger, VtParams};
+use vt_core::{Architecture, Pool, RunRequest, Session, SwapTrigger, VtParams};
 use vt_isa::interp::Interpreter;
 use vt_isa::op::{AluOp, Operand, Reg, Sreg};
 use vt_isa::{Kernel, KernelBuilder};
@@ -96,7 +96,6 @@ fn random_vt_parameters_preserve_functionality() {
 #[test]
 fn thread_count_invariance_on_random_kernels() {
     let mut r = Prng::new(0x9a7);
-    let pools = [Pool::new(2), Pool::new(4), Pool::new(8)];
     for case in 0..8 {
         let barrier = r.gen_bool(0.5);
         let p = SyntheticParams {
@@ -114,22 +113,23 @@ fn thread_count_invariance_on_random_kernels() {
         let kernel = p.build();
         for arch in [Architecture::Baseline, Architecture::virtual_thread()] {
             let seq = run(arch, &kernel);
-            for pool in &pools {
-                let par = Gpu::new(small_config(arch))
-                    .run_on(&kernel, Some(pool))
-                    .unwrap_or_else(|e| panic!("case {case}: {e}"));
+            for threads in [2, 4, 8] {
+                let mut session = Session::new(small_config(arch)).with_pool(Pool::new(threads));
+                let par = session
+                    .run(RunRequest::kernel(&kernel))
+                    .and_then(|o| o.completed())
+                    .unwrap_or_else(|e| panic!("case {case}: {e}"))
+                    .remove(0);
                 assert_eq!(
                     par.stats,
                     seq.stats,
-                    "case {case}: stats drift at {} threads under {} ({p:?})",
-                    pool.threads(),
+                    "case {case}: stats drift at {threads} threads under {} ({p:?})",
                     arch.label()
                 );
                 assert_eq!(
                     par.mem_image,
                     seq.mem_image,
-                    "case {case}: memory drift at {} threads under {}",
-                    pool.threads(),
+                    "case {case}: memory drift at {threads} threads under {}",
                     arch.label()
                 );
             }
@@ -144,7 +144,6 @@ fn thread_count_invariance_on_random_kernels() {
 #[test]
 fn swap_protocol_holds_under_parallel_engine() {
     let mut r = Prng::new(0x3c1);
-    let pool = Pool::new(4);
     let mut activations = 0u64;
     for case in 0..6 {
         let p = SyntheticParams {
@@ -161,9 +160,14 @@ fn swap_protocol_holds_under_parallel_engine() {
         };
         let kernel = p.build();
         let mut events = Vec::new();
-        Gpu::new(small_config(Architecture::virtual_thread()))
-            .run_traced_on(&kernel, Some(&pool), &mut BufSink(&mut events))
+        let mut session = Session::new(small_config(Architecture::virtual_thread()))
+            .with_pool(Pool::new(4))
+            .with_sink(BufSink(&mut events));
+        session
+            .run(RunRequest::kernel(&kernel))
+            .and_then(|o| o.completed())
             .unwrap_or_else(|e| panic!("case {case}: {e}"));
+        drop(session);
 
         let mut ready: Vec<(u32, u32, u32)> = Vec::new();
         for e in &events {

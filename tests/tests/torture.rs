@@ -2,16 +2,17 @@
 //! warps and early exits — the hardest cases for the SIMT stack and the
 //! barrier unit, checked against the reference interpreter.
 
-use vt_core::{sweep, Architecture, Gpu, Pool, Report, SimError};
+use vt_core::{sweep, Architecture, Pool, Report, RunBudget, RunRequest, Session, SimError};
 use vt_isa::interp::Interpreter;
 use vt_isa::op::{Operand, Sreg};
 use vt_isa::{Kernel, KernelBuilder};
 use vt_tests::small_config;
 
-/// Per-case cycle watchdog. Every torture kernel finishes in well under a
+/// Per-case cycle budget. Every torture kernel finishes in well under a
 /// million cycles; a scheduling or barrier bug that livelocks therefore
-/// fails its own case quickly instead of burning the default 200M-cycle
-/// watchdog and the tier's wall-clock budget with it.
+/// truncates its own case quickly (surfacing as `SimError::Truncated`)
+/// instead of burning the default 200M-cycle watchdog and the tier's
+/// wall-clock budget with it.
 const CASE_BUDGET_CYCLES: u64 = 2_000_000;
 
 fn check(kernel: &Kernel) {
@@ -24,9 +25,12 @@ fn check(kernel: &Kernel) {
         .into_iter()
         .map(|arch| {
             move || -> Result<Report, SimError> {
-                let mut cfg = small_config(arch);
-                cfg.core.max_cycles = CASE_BUDGET_CYCLES;
-                Gpu::new(cfg).run(kernel)
+                let mut session = Session::new(small_config(arch))
+                    .with_budget(RunBudget::unlimited().with_max_cycles(CASE_BUDGET_CYCLES));
+                Ok(session
+                    .run(RunRequest::kernel(kernel))?
+                    .completed()?
+                    .remove(0))
             }
         })
         .collect();

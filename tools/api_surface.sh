@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Dumps the workspace's public API surface: the declaration line of
+# every `pub` item in the library crates, with location stripped down to
+# the file, sorted for stable diffs. `lint.sh` compares the output with
+# the committed tools/api.txt so every public-API change is a reviewed,
+# committed artifact.
+#
+#   tools/api_surface.sh           print the current surface
+#   tools/api_surface.sh --bless   rewrite tools/api.txt from the source
+#
+# `pub(crate)`/`pub(super)` items are deliberately excluded (not public
+# API), and only the first line of a declaration is captured — enough to
+# catch added/removed/renamed items and most signature changes.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dump() {
+  grep -rn --include='*.rs' -E \
+    '^[[:space:]]*pub( unsafe)?( async)? (fn|struct|enum|union|trait|type|const|static|mod|use)\b' \
+    crates/*/src \
+    | sed -E 's|^([^:]+):[0-9]+:[[:space:]]*|\1: |; s/[[:space:]]+\{?[[:space:]]*$//' \
+    | LC_ALL=C sort
+}
+
+if [[ "${1:-}" == "--bless" ]]; then
+  dump > tools/api.txt
+  echo "api_surface: blessed $(wc -l < tools/api.txt) public items into tools/api.txt"
+else
+  dump
+fi

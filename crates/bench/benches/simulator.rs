@@ -171,6 +171,33 @@ fn bench_tracing_overhead() {
     });
 }
 
+/// Guard for the zero-overhead-metrics claim: with
+/// `CoreConfig::metrics_window` unset, `execute` monomorphizes to the
+/// unmetered loop (same speed as before the metrics layer existed);
+/// enabling a 512-cycle window shows the real sampling cost.
+fn bench_metrics_overhead() {
+    let scale = Scale { ctas: 30, iters: 4 };
+    let kernel = suite(&scale)
+        .into_iter()
+        .find(|w| w.name == "spmv")
+        .expect("suite contains spmv")
+        .kernel;
+    let mut cfg = GpuConfig::default();
+    cfg.core.num_sms = 4;
+    cfg.arch = Architecture::virtual_thread();
+
+    let gpu = Gpu::new(cfg.clone());
+    bench("metrics/spmv-disabled", 10, || {
+        gpu.run(&kernel).expect("run succeeds").stats.cycles
+    });
+    cfg.core.metrics_window = Some(512);
+    let gpu_metered = Gpu::new(cfg);
+    bench("metrics/spmv-window-512", 10, || {
+        let stats = gpu_metered.run(&kernel).expect("run succeeds").stats;
+        (stats.cycles, stats.metrics().map_or(0, |m| m.windows()))
+    });
+}
+
 /// The sequential-vs-parallel sweep pair: the full kernels ×
 /// architectures grid run on one thread and on a 4-worker pool. Results
 /// are bit-identical (asserted here); only wall-clock should differ. The
@@ -216,5 +243,6 @@ fn main() {
     bench_mem_system();
     bench_end_to_end();
     bench_tracing_overhead();
+    bench_metrics_overhead();
     bench_parallel_sweep();
 }

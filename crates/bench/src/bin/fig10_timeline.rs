@@ -3,58 +3,73 @@
 //! latency-bound workload. Makes the mechanism visible: VT's resident
 //! population rides at the capacity limit while its active set stays
 //! within the scheduling limit.
+//!
+//! Built on the windowed metric series (`CoreConfig::metrics_window`):
+//! each point is the aggregate level series sampled at a window boundary,
+//! scaled to a per-SM mean (warps) or a fraction of total capacity
+//! (register file, shared memory).
 
 use vt_bench::{bar, Harness};
-use vt_core::{Architecture, Gpu, GpuConfig};
-use vt_sim::stats::Timeline;
+use vt_core::{Architecture, CoreConfig, Gpu, GpuConfig, MetricsRegistry};
+
+const WINDOW: u64 = 64;
 
 struct Record {
     workload: String,
-    interval: u64,
-    baseline: TimelineRecord,
-    vt: TimelineRecord,
+    window: u64,
+    baseline: SeriesRecord,
+    vt: SeriesRecord,
 }
 
 vt_json::impl_to_json!(Record {
     workload,
-    interval,
+    window,
     baseline,
     vt
 });
 
-/// Local mirror of [`Timeline`] so the record serializes without a
-/// vt-sim → vt-json coupling.
-struct TimelineRecord {
-    interval: u64,
+/// Per-SM means and capacity fractions extracted from the aggregate
+/// level series of one run's [`MetricsRegistry`].
+struct SeriesRecord {
+    window: u64,
     resident_warps: Vec<f32>,
     active_warps: Vec<f32>,
     reg_util: Vec<f32>,
     smem_util: Vec<f32>,
 }
 
-vt_json::impl_to_json!(TimelineRecord {
-    interval,
+vt_json::impl_to_json!(SeriesRecord {
+    window,
     resident_warps,
     active_warps,
     reg_util,
     smem_util
 });
 
-impl From<&Timeline> for TimelineRecord {
-    fn from(t: &Timeline) -> Self {
-        TimelineRecord {
-            interval: t.interval,
-            resident_warps: t.resident_warps.clone(),
-            active_warps: t.active_warps.clone(),
-            reg_util: t.reg_util.clone(),
-            smem_util: t.smem_util.clone(),
+impl SeriesRecord {
+    fn from_registry(m: &MetricsRegistry, core: &CoreConfig) -> SeriesRecord {
+        let sms = core.num_sms as f32;
+        let per_sm = |name: &str, denom: f32| -> Vec<f32> {
+            m.get(name, None)
+                .expect("aggregate level series present")
+                .values()
+                .iter()
+                .map(|&v| v as f32 / denom)
+                .collect()
+        };
+        SeriesRecord {
+            window: m.window(),
+            resident_warps: per_sm("resident_warps", sms),
+            active_warps: per_sm("active_warps", sms),
+            reg_util: per_sm("reg_bytes", sms * core.regfile_bytes as f32),
+            smem_util: per_sm("smem_bytes", sms * core.smem_bytes as f32),
         }
     }
 }
 
 const BUCKETS: usize = 24;
 
-/// Averages a timeline into a fixed number of buckets for display.
+/// Averages a series into a fixed number of buckets for display.
 fn resample(xs: &[f32]) -> Vec<f32> {
     if xs.is_empty() {
         return vec![0.0; BUCKETS];
@@ -82,13 +97,14 @@ fn main() {
             mem: h.mem.clone(),
             arch,
         };
-        cfg.core.timeline_interval = Some(64);
+        cfg.core.metrics_window = Some(WINDOW);
         Gpu::new(cfg).run(&w.kernel).expect("run succeeds")
     };
     let base = run(Architecture::Baseline);
     let vt = run(Architecture::virtual_thread());
-    let tl_base = base.stats.timeline.clone().expect("sampling enabled");
-    let tl_vt = vt.stats.timeline.clone().expect("sampling enabled");
+    let tl_base =
+        SeriesRecord::from_registry(base.stats.metrics().expect("sampling enabled"), &h.core);
+    let tl_vt = SeriesRecord::from_registry(vt.stats.metrics().expect("sampling enabled"), &h.core);
 
     let max_warps = h.core.max_warps_per_sm as f64;
     let mut human = format!(
@@ -133,22 +149,20 @@ fn main() {
         mean(&tl_base.smem_util) * 100.0,
         mean(&tl_vt.smem_util) * 100.0,
     ));
-    h.emit(
-        "fig10_timeline",
-        &human,
-        &Record {
-            workload: w.name.to_string(),
-            interval: 64,
-            baseline: TimelineRecord::from(&tl_base),
-            vt: TimelineRecord::from(&tl_vt),
-        },
-    );
+    let record = Record {
+        workload: w.name.to_string(),
+        window: WINDOW,
+        baseline: tl_base,
+        vt: tl_vt,
+    };
+    h.emit("fig10_timeline", &human, &record);
+    let (tl_base, tl_vt) = (&record.baseline, &record.vt);
 
     // Mid-run, VT must hold more residents than the baseline ever can,
     // while its active set respects the scheduling limit.
     let mid = tl_vt.resident_warps.len() / 2;
     assert!(
-        tl_vt.resident_warps[mid] > tl_base.resident_warps[tl_base.len() / 2] * 1.3,
+        tl_vt.resident_warps[mid] > tl_base.resident_warps[tl_base.resident_warps.len() / 2] * 1.3,
         "VT residency should visibly exceed the baseline mid-run"
     );
     assert!(
@@ -158,7 +172,7 @@ fn main() {
             .all(|&a| a <= h.core.max_warps_per_sm as f32 + 1e-3),
         "active warps never exceed the scheduling limit"
     );
-    for tl in [&tl_base, &tl_vt] {
+    for tl in [tl_base, tl_vt] {
         assert!(
             tl.reg_util
                 .iter()

@@ -19,7 +19,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use vt_core::{Architecture, GpuConfig, MemSwapParams, RunRequest, Session};
 use vt_json::Json;
-use vt_trace::{to_chrome_json, validate, Gauge, Histogram, RingSink, TimedEvent};
+use vt_trace::{
+    to_chrome_json_with, validate, validate_metrics, Gauge, Histogram, RingSink, TimedEvent,
+};
 use vt_workloads::{suite, Scale, Workload};
 
 const USAGE: &str = "\
@@ -34,8 +36,17 @@ options:
   --sms N                            number of SMs (default config's 15)
   --out DIR                          trace output directory (default traces/)
   --ring N                           ring-buffer capacity in events (default 1048576)
+  --metrics PATH                     enable windowed metric series and write a
+                                     Prometheus text exposition to PATH (the
+                                     kernel/arch is inserted before the
+                                     extension when profiling several kernels);
+                                     series also appear as Perfetto counter
+                                     tracks in the Chrome trace
+  --window N                         metric window in cycles (default 512)
   --check                            fail (exit 1) on validation errors or
-                                     dropped events
+                                     dropped events; with --metrics, also
+                                     cross-checks the series against the
+                                     event stream
   --json                             machine-readable metrics on stdout
   --list                             list suite kernel names and exit
   -h, --help                         this help";
@@ -47,6 +58,8 @@ struct Opts {
     sms: Option<u32>,
     out: PathBuf,
     ring: usize,
+    metrics: Option<PathBuf>,
+    window: u64,
     check: bool,
     json: bool,
 }
@@ -59,6 +72,8 @@ fn parse_args() -> Result<Option<Opts>, String> {
         sms: None,
         out: PathBuf::from("traces"),
         ring: 1 << 20,
+        metrics: None,
+        window: 512,
         check: false,
         json: false,
     };
@@ -95,6 +110,12 @@ fn parse_args() -> Result<Option<Opts>, String> {
                 o.sms = Some(value("--sms")?.parse().map_err(|e| format!("--sms: {e}"))?);
             }
             "--out" => o.out = PathBuf::from(value("--out")?),
+            "--metrics" => o.metrics = Some(PathBuf::from(value("--metrics")?)),
+            "--window" => {
+                o.window = value("--window")?
+                    .parse()
+                    .map_err(|e| format!("--window: {e}"))?;
+            }
             "--ring" => {
                 o.ring = value("--ring")?
                     .parse()
@@ -168,8 +189,35 @@ struct RunOutcome {
     check_failed: bool,
 }
 
-fn profile_one(w: &Workload, opts: &Opts, cfg: &GpuConfig) -> Result<RunOutcome, String> {
-    let mut session = Session::new(cfg.clone()).with_sink(RingSink::new(opts.ring));
+/// Where one kernel's Prometheus exposition goes: the `--metrics` path
+/// itself for a single kernel, the path with `kernel.arch` inserted
+/// before the extension when profiling several.
+fn metrics_path(base: &std::path::Path, w: &Workload, arch: Architecture, multi: bool) -> PathBuf {
+    if !multi {
+        return base.to_path_buf();
+    }
+    let stem = base
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "metrics".to_string());
+    let ext = base
+        .extension()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "prom".to_string());
+    base.with_file_name(format!("{stem}.{}.{}.{ext}", w.name, arch.label()))
+}
+
+fn profile_one(
+    w: &Workload,
+    opts: &Opts,
+    cfg: &GpuConfig,
+    multi: bool,
+) -> Result<RunOutcome, String> {
+    let mut cfg = cfg.clone();
+    if opts.metrics.is_some() {
+        cfg.core.metrics_window = Some(opts.window);
+    }
+    let mut session = Session::new(cfg).with_sink(RingSink::new(opts.ring));
     let report = session
         .run(RunRequest::kernel(&w.kernel))
         .and_then(|o| o.completed())
@@ -178,12 +226,13 @@ fn profile_one(w: &Workload, opts: &Opts, cfg: &GpuConfig) -> Result<RunOutcome,
     let sink = session.into_sink();
     let dropped = sink.dropped();
     let events: Vec<TimedEvent> = sink.into_events();
+    let registry = report.stats.metrics();
 
     // A full ring cannot validate (span begins fell off the front), so
     // only check structure for complete traces; a lossy trace is itself a
     // `--check` failure.
     let complete = dropped == 0;
-    let issues: Vec<String> = if complete {
+    let mut issues: Vec<String> = if complete {
         match validate(&events) {
             Ok(_) => Vec::new(),
             Err(errors) => errors,
@@ -191,14 +240,33 @@ fn profile_one(w: &Workload, opts: &Opts, cfg: &GpuConfig) -> Result<RunOutcome,
     } else {
         Vec::new()
     };
+    if complete {
+        if let Some(m) = registry {
+            if let Err(errors) = validate_metrics(&events, m) {
+                issues.extend(errors);
+            }
+        }
+    }
     let check_failed = opts.check && !(complete && issues.is_empty());
 
     fs::create_dir_all(&opts.out).map_err(|e| format!("cannot create {:?}: {e}", opts.out))?;
     let path = opts
         .out
         .join(format!("{}.{}.trace.json", w.name, report.arch.label()));
-    fs::write(&path, to_chrome_json(&events).compact())
+    fs::write(&path, to_chrome_json_with(&events, registry).compact())
         .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    let prom_path = match (&opts.metrics, registry) {
+        (Some(base), Some(m)) => {
+            let p = metrics_path(base, w, report.arch, multi);
+            if let Some(dir) = p.parent().filter(|d| !d.as_os_str().is_empty()) {
+                fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+            }
+            fs::write(&p, m.to_prometheus())
+                .map_err(|e| format!("cannot write {}: {e}", p.display()))?;
+            Some(p)
+        }
+        _ => None,
+    };
 
     let s = &report.stats;
     let metrics = Json::object(vec![
@@ -220,6 +288,16 @@ fn profile_one(w: &Workload, opts: &Opts, cfg: &GpuConfig) -> Result<RunOutcome,
         ("ldst_queue".into(), gauge_json(&s.ldst_queue)),
         ("events".into(), Json::UInt(events.len() as u64)),
         ("events_dropped".into(), Json::UInt(dropped)),
+        (
+            "metrics_windows".into(),
+            Json::UInt(registry.map_or(0, |m| m.windows())),
+        ),
+        (
+            "metrics".into(),
+            prom_path
+                .as_ref()
+                .map_or(Json::Null, |p| Json::Str(p.display().to_string())),
+        ),
         (
             "validation_errors".into(),
             Json::Array(issues.iter().cloned().map(Json::Str).collect()),
@@ -253,6 +331,15 @@ fn profile_one(w: &Workload, opts: &Opts, cfg: &GpuConfig) -> Result<RunOutcome,
             s.ldst_queue.mean(),
             s.ldst_queue.max
         );
+        if let (Some(p), Some(m)) = (&prom_path, registry) {
+            println!(
+                "  {:<18} {} windows of {} cycles -> {}",
+                "metrics",
+                m.windows(),
+                m.window(),
+                p.display()
+            );
+        }
         if dropped > 0 {
             println!("  WARNING: ring overflow, {dropped} events dropped (raise --ring)");
         }
@@ -292,8 +379,9 @@ fn main() -> ExitCode {
     }
     let mut records = Vec::new();
     let mut failed = false;
+    let multi = picked.len() > 1;
     for w in picked {
-        match profile_one(w, &opts, &cfg) {
+        match profile_one(w, &opts, &cfg, multi) {
             Ok(out) => {
                 failed |= out.check_failed;
                 records.push(out.metrics);

@@ -26,12 +26,16 @@
 //! Exit codes: 0 success, 1 a `--check` mismatch, 2 usage or simulation
 //! error, 130 cancelled by Ctrl-C.
 
+use std::cell::RefCell;
+use std::io::IsTerminal;
 use std::process::ExitCode;
+use std::rc::Rc;
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 use vt_core::{
-    default_threads, Architecture, CancelToken, Checkpoint, GpuConfig, MemSwapParams, Pool, Report,
-    RunBudget, RunRequest, RunStats, Session, SessionOutcome, SimError, StopReason, Truncation,
+    default_threads, Architecture, CancelToken, Checkpoint, GpuConfig, MemSwapParams, Pool,
+    Progress, Report, RunBudget, RunRequest, RunStats, Session, SessionOutcome, SimError,
+    StopReason, Truncation,
 };
 use vt_json::Json;
 use vt_workloads::{suite, Scale, Workload};
@@ -65,6 +69,11 @@ options:
                                      FILE (requires one kernel, one arch)
   --resume FILE                      continue a checkpointed run from FILE
                                      (requires one kernel, one arch)
+  --progress                         live stderr ticker (cycle/budget,
+                                     windowed IPC, resident CTAs) for each
+                                     cell (implies the sm engine; automatic
+                                     when stderr is a terminal and the sm
+                                     engine is active)
   --check                            re-run the grid single-threaded and
                                      fail (exit 1) unless every cell is
                                      bit-identical
@@ -89,6 +98,7 @@ struct Opts {
     deadline: Option<Duration>,
     checkpoint: Option<String>,
     resume: Option<String>,
+    progress: bool,
     check: bool,
     json: bool,
 }
@@ -102,6 +112,13 @@ impl Opts {
             || self.budget.is_some()
             || self.deadline.is_some()
             || self.resume.is_some()
+            || self.progress
+    }
+
+    /// Whether cells show a live stderr ticker: `--progress` forces it,
+    /// and a session run on an interactive stderr gets it automatically.
+    fn wants_ticker(&self) -> bool {
+        self.progress || (self.uses_sessions() && std::io::stderr().is_terminal())
     }
 
     fn run_budget(&self) -> RunBudget {
@@ -152,6 +169,7 @@ fn parse_args() -> Result<Option<Opts>, String> {
         deadline: None,
         checkpoint: None,
         resume: None,
+        progress: false,
         check: false,
         json: false,
     };
@@ -212,6 +230,7 @@ fn parse_args() -> Result<Option<Opts>, String> {
             }
             "--checkpoint" => o.checkpoint = Some(value("--checkpoint")?),
             "--resume" => o.resume = Some(value("--resume")?),
+            "--progress" => o.progress = true,
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             name => o.kernels.push(name.to_string()),
         }
@@ -304,6 +323,10 @@ fn base_config(opts: &Opts) -> GpuConfig {
     cfg
 }
 
+/// Cycles between ticker updates; coarse enough that the stderr writes
+/// are invisible in the wall-clock profile.
+const TICK_EVERY: u64 = 4096;
+
 /// Runs the full grid, returning cells in kernel-major order.
 fn run_grid(
     opts: &Opts,
@@ -311,6 +334,7 @@ fn run_grid(
     threads: usize,
     resume: Option<&Checkpoint>,
     cancel: Option<&CancelToken>,
+    ticker: bool,
 ) -> Vec<Result<Cell, SimError>> {
     let cfg = base_config(opts);
     if !opts.uses_sessions() {
@@ -324,7 +348,9 @@ fn run_grid(
     }
 
     // Budgeted / cancellable / SM-parallel path: one session per
-    // architecture, each cell run to its budget.
+    // architecture, each cell run to its budget. The ticker label is
+    // shared with every session's callback and rewritten per cell.
+    let label: Rc<RefCell<String>> = Rc::default();
     let mut sessions: Vec<Session> = opts
         .archs
         .iter()
@@ -340,12 +366,30 @@ fn run_grid(
             if let Some(token) = cancel {
                 s = s.with_cancel(token.clone());
             }
+            if ticker {
+                let label = Rc::clone(&label);
+                s = s.with_progress(TICK_EVERY, move |p: &Progress| {
+                    let budget = p.budget_cycles.map_or(String::new(), |b| format!("/{b}"));
+                    eprint!(
+                        "\r\x1b[K  {} cycle {}{}  ipc {:.2} (window {:.2})  resident CTAs {}",
+                        label.borrow(),
+                        p.cycle,
+                        budget,
+                        p.ipc,
+                        p.window_ipc,
+                        p.resident_ctas
+                    );
+                });
+            }
             s
         })
         .collect();
     let mut out = Vec::new();
     for w in picked {
         for (ai, &arch) in opts.archs.iter().enumerate() {
+            if ticker {
+                *label.borrow_mut() = format!("{} [{}]", w.name, arch.label());
+            }
             // After a Ctrl-C every remaining cell truncates after one
             // cycle, so the grid still finishes promptly with one
             // (cheap) truncated record per cell.
@@ -361,6 +405,9 @@ fn run_grid(
                     truncation,
                 },
             });
+            if ticker {
+                eprint!("\r\x1b[K"); // clear the cell's last ticker line
+            }
             out.push(cell);
         }
     }
@@ -415,7 +462,7 @@ fn diff_stats(got: &RunStats, want: &RunStats) -> Vec<String> {
     );
     field("mem", format!("{:?}", got.mem), format!("{:?}", want.mem));
     if out.is_empty() && got != want {
-        out.push("other fields differ (histograms/gauges/timeline)".to_string());
+        out.push("other fields differ (histograms/gauges/metric series)".to_string());
     }
     out
 }
@@ -514,6 +561,7 @@ fn main() -> ExitCode {
         opts.threads,
         resume.as_ref(),
         cancel.as_ref(),
+        opts.wants_ticker(),
     );
     let elapsed = started.elapsed();
 
@@ -581,7 +629,7 @@ fn main() -> ExitCode {
     }
 
     if opts.check {
-        let reference = run_grid(&opts, &picked, 1, resume.as_ref(), None);
+        let reference = run_grid(&opts, &picked, 1, resume.as_ref(), None, false);
         let mut mismatches = 0usize;
         for (got, want) in grid.iter().zip(&reference) {
             match (got, want) {

@@ -69,9 +69,13 @@ pub use vt_sim::{
     occupancy, CoreConfig, Limiter, OccupancyAnalysis, RunStats, SchedPolicy, SimError, SwapTrigger,
 };
 
-// Execution control (budgets, cancellation, checkpoint/resume), so
+// Execution control (budgets, cancellation, checkpoint/resume) and
+// observability (progress reports, windowed metric series), so
 // downstream tools need not depend on vt-sim directly.
-pub use vt_sim::{CancelToken, Checkpoint, RunBudget, RunOutcome, StopReason, Truncation};
+pub use vt_sim::{
+    CancelToken, Checkpoint, Progress, ProgressHook, RunBudget, RunOutcome, StopReason, Truncation,
+};
+pub use vt_trace::MetricsRegistry;
 
 pub use vt_mem::MemConfig;
 

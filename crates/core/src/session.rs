@@ -42,7 +42,8 @@ use vt_isa::kernel::MemImage;
 use vt_isa::Kernel;
 use vt_par::Pool;
 use vt_sim::{
-    CancelToken, Checkpoint, GpuSim, RunBudget, RunOutcome, SimConfig, SimError, Truncation,
+    CancelToken, Checkpoint, GpuSim, Progress, ProgressHook, RunBudget, RunOutcome, SimConfig,
+    SimError, Truncation,
 };
 use vt_trace::{NullSink, TraceSink};
 
@@ -150,7 +151,11 @@ pub struct Session<S: TraceSink = NullSink> {
     sink: S,
     budget: RunBudget,
     cancel: CancelToken,
+    progress: Option<(u64, ProgressCallback)>,
 }
+
+/// Boxed [`Session::with_progress`] callback.
+type ProgressCallback = Box<dyn FnMut(&Progress)>;
 
 impl Session<NullSink> {
     /// A session with no pool, no tracing and no budget.
@@ -161,6 +166,7 @@ impl Session<NullSink> {
             sink: NullSink,
             budget: RunBudget::unlimited(),
             cancel: CancelToken::new(),
+            progress: None,
         }
     }
 }
@@ -187,7 +193,21 @@ impl<S: TraceSink> Session<S> {
             sink,
             budget: self.budget,
             cancel: self.cancel,
+            progress: self.progress,
         }
+    }
+
+    /// Registers a progress callback invoked every `every` cycles of each
+    /// launch (at the top-of-cycle boundary, where the [`Progress`]
+    /// counters are coherent). Progress reporting is independent of
+    /// metrics sampling and never perturbs results.
+    pub fn with_progress(
+        mut self,
+        every: u64,
+        callback: impl FnMut(&Progress) + 'static,
+    ) -> Session<S> {
+        self.progress = Some((every, Box::new(callback)));
+        self
     }
 
     /// The configuration.
@@ -276,11 +296,16 @@ impl<S: TraceSink> Session<S> {
                 Some(ckpt) => GpuSim::resume(&sim_cfg, kernel, ckpt)?,
                 None => GpuSim::new(&sim_cfg, kernel)?,
             };
-            let outcome = sim.execute(
+            let hook = self
+                .progress
+                .as_mut()
+                .map(|(every, cb)| ProgressHook::new(*every, cb.as_mut()));
+            let outcome = sim.execute_with_progress(
                 self.pool.as_ref(),
                 &mut self.sink,
                 &budget,
                 Some(&self.cancel),
+                hook,
             )?;
             match outcome {
                 RunOutcome::Completed(r) => {
@@ -336,5 +361,58 @@ impl<S: TraceSink> Session<S> {
             Some(pool) => vt_par::sweep(pool, jobs),
             None => jobs.into_iter().map(|job| job()).collect(),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use vt_isa::op::Operand;
+    use vt_isa::KernelBuilder;
+
+    fn bump_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("bump");
+        let buf = b.alloc_global(4096);
+        let gid = b.reg();
+        b.global_thread_id(gid);
+        b.shl(gid, Operand::Reg(gid), Operand::Imm(2));
+        b.st_global(Operand::Reg(gid), buf as i32, Operand::Imm(7));
+        b.build(32, 128).expect("kernel builds")
+    }
+
+    #[test]
+    fn progress_callback_fires_without_perturbing_results() {
+        let kernel = bump_kernel();
+        let mut cfg = GpuConfig::with_arch(Architecture::virtual_thread());
+        cfg.core.num_sms = 2;
+
+        let mut plain = Session::new(cfg.clone());
+        let baseline = plain
+            .run(RunRequest::kernel(&kernel))
+            .expect("plain run")
+            .completed()
+            .expect("no budget");
+
+        let reports: Rc<RefCell<Vec<Progress>>> = Rc::default();
+        let sink = Rc::clone(&reports);
+        let mut observed =
+            Session::new(cfg).with_progress(16, move |p: &Progress| sink.borrow_mut().push(*p));
+        let watched = observed
+            .run(RunRequest::kernel(&kernel))
+            .expect("observed run")
+            .completed()
+            .expect("no budget");
+
+        let reports = reports.borrow();
+        let cycles = baseline[0].stats.cycles;
+        assert_eq!(reports.len(), ((cycles - 1) / 16) as usize);
+        assert!(reports.windows(2).all(|w| w[0].cycle < w[1].cycle));
+        assert!(reports.iter().all(|p| p.budget_cycles.is_none()));
+        assert_eq!(
+            baseline[0].stats, watched[0].stats,
+            "progress observation must not perturb the simulation"
+        );
     }
 }

@@ -352,6 +352,12 @@ impl Partition {
         }
     }
 
+    /// Requests waiting in or being serviced by this partition: the L2
+    /// input queue plus the DRAM queue and in-service set.
+    pub fn queue_len(&self) -> u64 {
+        self.in_q.len() as u64 + self.dram.pending()
+    }
+
     /// Whether no request is anywhere in this partition.
     pub fn quiesced(&self) -> bool {
         self.in_q.is_empty()
@@ -570,6 +576,10 @@ impl Dram {
 
     fn quiesced(&self) -> bool {
         self.queue.is_empty() && self.in_service.is_empty()
+    }
+
+    fn pending(&self) -> u64 {
+        (self.queue.len() + self.in_service.len()) as u64
     }
 
     /// Serializes the channel state. `in_service` keeps its exact vector

@@ -617,6 +617,20 @@ impl MemSystem {
         self.fronts.iter().map(|f| f.submit_times.len()).sum()
     }
 
+    /// L1 MSHR entries currently allocated across all SM fronts — the
+    /// instantaneous value behind the `mshr_occupancy` gauge, exposed for
+    /// the windowed metrics sampler.
+    pub fn mshr_in_flight(&self) -> u64 {
+        self.fronts.iter().map(|f| f.mshr.len() as u64).sum()
+    }
+
+    /// Requests queued at the memory partitions (input queues plus DRAM
+    /// queues/in-service), summed over partitions. A back-pressure level
+    /// for the windowed metrics sampler.
+    pub fn partition_queue_len(&self) -> u64 {
+        self.partitions.iter().map(Partition::queue_len).sum()
+    }
+
     /// Takes and resets SM `sm`'s windowed L1 counters: `(hits, lookups)`
     /// since the last call. Feeds adaptive thrash-control policies.
     pub fn take_l1_window(&mut self, sm: usize) -> (u64, u64) {

@@ -50,9 +50,10 @@ pub struct CoreConfig {
     pub ldst_queue_depth: u32,
     /// Watchdog: abort a run after this many cycles.
     pub max_cycles: u64,
-    /// Sample the occupancy timeline every this many cycles
-    /// (`None` disables sampling).
-    pub timeline_interval: Option<u64>,
+    /// Seal a window of the metric series every this many cycles
+    /// (`None` disables the sampler entirely; see
+    /// `vt_trace::metrics::DEFAULT_WINDOW` for the conventional value).
+    pub metrics_window: Option<u64>,
 }
 
 impl Default for CoreConfig {
@@ -72,7 +73,7 @@ impl Default for CoreConfig {
             smem_banks: 32,
             ldst_queue_depth: 8,
             max_cycles: 200_000_000,
-            timeline_interval: None,
+            metrics_window: None,
         }
     }
 }

@@ -149,8 +149,62 @@ impl RunOutcome {
     }
 }
 
-/// Serialization format version written into checkpoints.
-pub const CHECKPOINT_VERSION: u64 = 1;
+/// A point-in-time view of a running simulation, handed to a
+/// [`ProgressHook`] callback. Built from the engine's live counters, so
+/// observing progress never perturbs the simulation itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Progress {
+    /// Current cycle.
+    pub cycle: u64,
+    /// This call's cycle allowance ([`RunBudget::max_cycles`]), if any.
+    pub budget_cycles: Option<u64>,
+    /// Thread instructions executed so far.
+    pub thread_instrs: u64,
+    /// Cumulative IPC (thread instructions / cycles).
+    pub ipc: f64,
+    /// IPC over the cycles since the previous progress report.
+    pub window_ipc: f64,
+    /// CTAs currently resident across all SMs (active + swapped out).
+    pub resident_ctas: u64,
+    /// CTAs currently holding an active slot across all SMs.
+    pub active_ctas: u64,
+    /// Warps currently resident across all SMs.
+    pub resident_warps: u64,
+}
+
+/// A periodic progress callback: the engine invokes `callback` every
+/// `every` cycles (at the top-of-cycle phase boundary, where state is
+/// coherent). Independent of metrics sampling — a progress ticker does
+/// not require a metered run.
+pub struct ProgressHook<'a> {
+    /// Cycles between callbacks (clamped to ≥ 1).
+    pub every: u64,
+    /// Receives each [`Progress`] report.
+    pub callback: &'a mut dyn FnMut(&Progress),
+}
+
+impl<'a> ProgressHook<'a> {
+    /// A hook firing every `every` cycles.
+    pub fn new(every: u64, callback: &'a mut dyn FnMut(&Progress)) -> ProgressHook<'a> {
+        ProgressHook {
+            every: every.max(1),
+            callback,
+        }
+    }
+}
+
+impl std::fmt::Debug for ProgressHook<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressHook")
+            .field("every", &self.every)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Serialization format version written into checkpoints. Version 2
+/// added the `metrics` registry snapshot (replacing the occupancy
+/// timeline of version 1).
+pub const CHECKPOINT_VERSION: u64 = 2;
 
 /// A serialized simulator state: every SM (schedulers, SIMT stacks,
 /// scoreboards, CTA residency and swap state, LD/ST unit), the memory
@@ -266,8 +320,29 @@ mod tests {
             Err(SimError::Checkpoint { .. })
         ));
         assert!(matches!(
-            Checkpoint::parse("{\"version\": 1}"),
+            Checkpoint::parse("{\"version\": 2}"),
             Err(SimError::Checkpoint { .. }),
         ));
+    }
+
+    #[test]
+    fn progress_hook_clamps_period() {
+        let mut hits = 0u32;
+        {
+            let mut cb = |_p: &Progress| hits += 1;
+            let hook = ProgressHook::new(0, &mut cb);
+            assert_eq!(hook.every, 1);
+            (hook.callback)(&Progress {
+                cycle: 1,
+                budget_cycles: None,
+                thread_instrs: 0,
+                ipc: 0.0,
+                window_ipc: 0.0,
+                resident_ctas: 0,
+                active_ctas: 0,
+                resident_warps: 0,
+            });
+        }
+        assert_eq!(hits, 1);
     }
 }

@@ -3,10 +3,12 @@
 
 use crate::config::{check_launchable, CoreConfig, LaunchError, ResidencyConfig, SimConfig};
 use crate::exec::{
-    CancelToken, Checkpoint, RunBudget, RunOutcome, StopReason, Truncation, CHECKPOINT_VERSION,
+    CancelToken, Checkpoint, Progress, ProgressHook, RunBudget, RunOutcome, StopReason, Truncation,
+    CHECKPOINT_VERSION,
 };
+use crate::metrics::MetricsSampler;
 use crate::sm::Sm;
-use crate::stats::{RunStats, Timeline};
+use crate::stats::RunStats;
 use std::error::Error;
 use std::fmt;
 use std::time::Instant;
@@ -144,9 +146,9 @@ pub struct GpuSim<'k> {
     stats: RunStats,
     /// Current cycle (the next one the loop will execute).
     cycle: u64,
-    /// In-progress occupancy time series, if sampling is enabled; moved
-    /// into the stats at the epilogue.
-    timeline: Option<Timeline>,
+    /// Windowed metrics sampler, if metering is enabled; its registry
+    /// moves into the stats at the epilogue.
+    sampler: Option<MetricsSampler>,
 }
 
 /// One SM plus everything it is allowed to mutate during the concurrent
@@ -228,10 +230,10 @@ impl<'k> GpuSim<'k> {
             dispatch_ptr: 0,
             stats: RunStats::default(),
             cycle: 0,
-            timeline: cfg.core.timeline_interval.map(|interval| Timeline {
-                interval: interval.max(1),
-                ..Timeline::default()
-            }),
+            sampler: cfg
+                .core
+                .metrics_window
+                .map(|w| MetricsSampler::new(w, num_sms)),
         })
     }
 
@@ -327,49 +329,116 @@ impl<'k> GpuSim<'k> {
     /// Returns [`SimError::Exec`] on a functional trap and
     /// [`SimError::Watchdog`] if `core.max_cycles` elapses first.
     pub fn execute<S: TraceSink>(
-        mut self,
+        self,
         pool: Option<&Pool>,
         sink: &mut S,
         budget: &RunBudget,
         cancel: Option<&CancelToken>,
     ) -> Result<RunOutcome, SimError> {
+        self.execute_with_progress(pool, sink, budget, cancel, None)
+    }
+
+    /// [`GpuSim::execute`] with an optional periodic [`ProgressHook`].
+    /// The hook fires at the top-of-cycle phase boundary every
+    /// `hook.every` cycles with live counters (cycle, IPC, residency);
+    /// observation never changes simulation state, so metered, hooked and
+    /// plain runs produce bit-identical results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Exec`] on a functional trap and
+    /// [`SimError::Watchdog`] if `core.max_cycles` elapses first.
+    pub fn execute_with_progress<S: TraceSink>(
+        self,
+        pool: Option<&Pool>,
+        sink: &mut S,
+        budget: &RunBudget,
+        cancel: Option<&CancelToken>,
+        progress: Option<ProgressHook<'_>>,
+    ) -> Result<RunOutcome, SimError> {
+        // Metering is monomorphized out exactly like tracing: the
+        // unmetered instantiation contains no sampler code at all.
+        if self.sampler.is_some() {
+            self.execute_inner::<S, true>(pool, sink, budget, cancel, progress)
+        } else {
+            self.execute_inner::<S, false>(pool, sink, budget, cancel, progress)
+        }
+    }
+
+    fn execute_inner<S: TraceSink, const METERED: bool>(
+        mut self,
+        pool: Option<&Pool>,
+        sink: &mut S,
+        budget: &RunBudget,
+        cancel: Option<&CancelToken>,
+        mut progress: Option<ProgressHook<'_>>,
+    ) -> Result<RunOutcome, SimError> {
         let started = budget.deadline.map(|_| Instant::now());
         let cycle_limit = budget
             .max_cycles
             .map(|n| self.cycle.saturating_add(n.max(1)));
+        // (cycle, thread_instrs) at the last progress report, for the
+        // windowed-IPC figure in the ticker.
+        let mut progress_mark = (
+            self.cycle,
+            self.stats.thread_instrs
+                + self
+                    .lanes
+                    .iter()
+                    .map(|l| l.stats.thread_instrs)
+                    .sum::<u64>(),
+        );
         loop {
             let cycle = self.cycle;
-            if let Some(t) = &mut self.timeline {
-                if cycle.is_multiple_of(t.interval) {
-                    let n = self.lanes.len() as f32;
-                    let resident: u32 = self.lanes.iter().map(|l| l.sm.resident_warps()).sum();
-                    let active: u32 = self.lanes.iter().map(|l| l.sm.active_warps()).sum();
-                    let reg: u64 = self
-                        .lanes
-                        .iter()
-                        .map(|l| u64::from(l.sm.resident_reg_bytes()))
-                        .sum();
-                    let smem: u64 = self
-                        .lanes
-                        .iter()
-                        .map(|l| u64::from(l.sm.resident_smem_bytes()))
-                        .sum();
-                    let reg_cap = n * self.cfg.core.regfile_bytes as f32;
-                    let smem_cap = n * self.cfg.core.smem_bytes as f32;
-                    t.push(
-                        resident as f32 / n,
-                        active as f32 / n,
-                        if reg_cap > 0.0 {
-                            reg as f32 / reg_cap
-                        } else {
-                            0.0
-                        },
-                        if smem_cap > 0.0 {
-                            smem as f32 / smem_cap
-                        } else {
-                            0.0
-                        },
+            if METERED {
+                // Seal the window ending at this boundary *before* the
+                // cycle executes, so window k covers [k·w, (k+1)·w)
+                // exactly and a run truncated at a boundary leaves the
+                // seal to its resumption.
+                let window = self.sampler.as_ref().expect("metered").window();
+                if cycle > 0 && cycle.is_multiple_of(window) {
+                    let sampler = self.sampler.as_mut().expect("metered");
+                    sampler.seal_window(
+                        &self.stats,
+                        self.lanes.iter().map(|l| (&l.sm, &l.stats)),
+                        &self.mem,
                     );
+                }
+            }
+            if let Some(hook) = progress.as_mut() {
+                if cycle > 0 && cycle.is_multiple_of(hook.every) {
+                    let thread_instrs = self.stats.thread_instrs
+                        + self
+                            .lanes
+                            .iter()
+                            .map(|l| l.stats.thread_instrs)
+                            .sum::<u64>();
+                    let (last_cycle, last_instrs) = progress_mark;
+                    let span = cycle.saturating_sub(last_cycle);
+                    let p = Progress {
+                        cycle,
+                        budget_cycles: budget.max_cycles,
+                        thread_instrs,
+                        ipc: thread_instrs as f64 / cycle as f64,
+                        window_ipc: if span > 0 {
+                            thread_instrs.saturating_sub(last_instrs) as f64 / span as f64
+                        } else {
+                            0.0
+                        },
+                        resident_ctas: self
+                            .lanes
+                            .iter()
+                            .map(|l| u64::from(l.sm.resident_ctas()))
+                            .sum(),
+                        active_ctas: self.lanes.iter().map(|l| u64::from(l.sm.slot_ctas())).sum(),
+                        resident_warps: self
+                            .lanes
+                            .iter()
+                            .map(|l| u64::from(l.sm.resident_warps()))
+                            .sum(),
+                    };
+                    (hook.callback)(&p);
+                    progress_mark = (cycle, thread_instrs);
                 }
             }
             self.mem.tick_traced(cycle, sink);
@@ -476,7 +545,7 @@ impl<'k> GpuSim<'k> {
             .map(|l| l.sm.max_simt_depth())
             .max()
             .unwrap_or(0);
-        stats.timeline = self.timeline.take();
+        stats.series = self.sampler.take().map(MetricsSampler::into_registry);
         stats
     }
 
@@ -510,9 +579,9 @@ impl<'k> GpuSim<'k> {
             ("dispatch_ptr".into(), Json::UInt(self.dispatch_ptr as u64)),
             ("stats".into(), self.stats.snapshot()),
             (
-                "timeline".into(),
-                match &self.timeline {
-                    Some(t) => t.snapshot(),
+                "metrics".into(),
+                match &self.sampler {
+                    Some(s) => s.registry().snapshot(),
                     None => Json::Null,
                 },
             ),
@@ -603,6 +672,34 @@ impl<'k> GpuSim<'k> {
             })
             .collect::<Result<Vec<u32>, &str>>()
             .map_err(|e| bad(e.to_string()))?;
+        // The metering setting must agree between the checkpoint and the
+        // resuming configuration: stitched series are only bit-identical
+        // to an uninterrupted run when sampling is continuous.
+        let sampler = match (cfg.core.metrics_window, req(v, "metrics").map_err(bad)?) {
+            (None, Json::Null) => None,
+            (Some(_), Json::Null) => {
+                return Err(bad(
+                    "config enables metrics but the checkpoint was taken unmetered".to_string(),
+                ));
+            }
+            (None, _) => {
+                return Err(bad(
+                    "checkpoint was taken with metrics enabled but the config disables them"
+                        .to_string(),
+                ));
+            }
+            (Some(w), m) => {
+                let registry = vt_trace::MetricsRegistry::restore(m).map_err(bad)?;
+                if registry.window() != w.max(1) {
+                    return Err(bad(format!(
+                        "checkpoint metrics window is {}, config wants {}",
+                        registry.window(),
+                        w.max(1)
+                    )));
+                }
+                Some(MetricsSampler::from_registry(registry, num_sms).map_err(bad)?)
+            }
+        };
         Ok(GpuSim {
             kernel,
             cfg: cfg.clone(),
@@ -613,10 +710,7 @@ impl<'k> GpuSim<'k> {
             dispatch_ptr: req_u64(v, "dispatch_ptr").map_err(bad)? as usize,
             stats: RunStats::restore(req(v, "stats").map_err(bad)?).map_err(bad)?,
             cycle: req_u64(v, "cycle").map_err(bad)?,
-            timeline: match req(v, "timeline").map_err(bad)? {
-                Json::Null => None,
-                t => Some(Timeline::restore(t).map_err(bad)?),
-            },
+            sampler,
         })
     }
 
@@ -923,23 +1017,113 @@ mod tests {
     }
 
     #[test]
-    fn timeline_sampling_is_opt_in() {
+    fn metrics_sampling_is_opt_in() {
         let k = streaming_kernel(8, 64);
         let off = simulate(&small_cfg(), &k).unwrap();
-        assert!(off.stats.timeline.is_none(), "disabled by default");
+        assert!(off.stats.metrics().is_none(), "disabled by default");
 
         let mut cfg = small_cfg();
-        cfg.core.timeline_interval = Some(50);
+        cfg.core.metrics_window = Some(50);
         let on = simulate(&cfg, &k).unwrap();
-        let tl = on.stats.timeline.expect("sampling enabled");
-        assert_eq!(tl.interval, 50);
-        let expected = on.stats.cycles.div_ceil(50) as usize;
-        assert!(tl.len() >= expected.saturating_sub(1) && tl.len() <= expected + 1);
-        // Samples never exceed physically-resident warps.
-        let cap = 48.0 * 8.0; // warp slots x generous margin
-        assert!(tl.resident_warps.iter().all(|&w| (0.0..=cap).contains(&w)));
-        // Timing stats are unaffected by observation.
-        assert_eq!(on.stats.cycles, off.stats.cycles);
+        let m = on.stats.metrics().expect("sampling enabled");
+        assert_eq!(m.window(), 50);
+        // The last executed cycle is cycles-1; every boundary at or
+        // before it sealed a window, partial windows never seal.
+        assert_eq!(m.windows(), (on.stats.cycles - 1) / 50);
+        let wi = m.get("warp_instrs", None).unwrap();
+        assert!(
+            wi.total() <= on.stats.warp_instrs,
+            "partial window unsealed"
+        );
+        assert!(wi.total() > 0, "the run issued inside sealed windows");
+        // Per-SM series sum to the aggregate, window by window.
+        let per_sm: Vec<u64> = (0..2)
+            .map(|sm| m.get("warp_instrs", Some(sm)).unwrap())
+            .fold(vec![0u64; m.windows() as usize], |mut acc, s| {
+                for (a, v) in acc.iter_mut().zip(s.values()) {
+                    *a += v;
+                }
+                acc
+            });
+        assert_eq!(per_sm, wi.values());
+        // Levels stay within physical capacity (2 SMs × warp slots).
+        let rw = m.get("resident_warps", None).unwrap();
+        assert!(rw.max() <= u64::from(cfg.core.max_warps_per_sm) * 2);
+        // Metering never perturbs the simulation itself.
+        let mut unmetered = on.stats.clone();
+        unmetered.series = None;
+        assert_eq!(unmetered, off.stats);
+    }
+
+    #[test]
+    fn progress_hook_reports_without_perturbing() {
+        let k = streaming_kernel(8, 64);
+        let plain = simulate(&small_cfg(), &k).unwrap();
+        let mut reports: Vec<(u64, u64)> = Vec::new();
+        let mut cb = |p: &Progress| reports.push((p.cycle, p.thread_instrs));
+        let out = GpuSim::new(&small_cfg(), &k)
+            .unwrap()
+            .execute_with_progress(
+                None,
+                &mut NullSink,
+                &RunBudget::unlimited(),
+                None,
+                Some(ProgressHook::new(64, &mut cb)),
+            )
+            .unwrap();
+        let r = out.completed().unwrap();
+        assert_eq!(r.stats, plain.stats, "observation is free");
+        assert_eq!(reports.len() as u64, (plain.stats.cycles - 1) / 64);
+        assert!(reports
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn metered_resume_rejects_sampling_mismatches() {
+        let k = streaming_kernel(16, 64);
+        let mut metered = small_cfg();
+        metered.core.metrics_window = Some(64);
+        let out = GpuSim::new(&metered, &k)
+            .unwrap()
+            .execute(
+                None,
+                &mut NullSink,
+                &RunBudget::unlimited().with_max_cycles(100),
+                None,
+            )
+            .unwrap();
+        let RunOutcome::Truncated(t) = out else {
+            panic!("expected truncation");
+        };
+        // Resuming unmetered, or with a different window, is rejected.
+        assert!(matches!(
+            GpuSim::resume(&small_cfg(), &k, &t.checkpoint),
+            Err(SimError::Checkpoint { .. })
+        ));
+        let mut other = small_cfg();
+        other.core.metrics_window = Some(128);
+        assert!(matches!(
+            GpuSim::resume(&other, &k, &t.checkpoint),
+            Err(SimError::Checkpoint { .. })
+        ));
+        // An unmetered checkpoint refuses a metered resume.
+        let out = GpuSim::new(&small_cfg(), &k)
+            .unwrap()
+            .execute(
+                None,
+                &mut NullSink,
+                &RunBudget::unlimited().with_max_cycles(100),
+                None,
+            )
+            .unwrap();
+        let RunOutcome::Truncated(t) = out else {
+            panic!("expected truncation");
+        };
+        assert!(matches!(
+            GpuSim::resume(&metered, &k, &t.checkpoint),
+            Err(SimError::Checkpoint { .. })
+        ));
     }
 
     #[test]

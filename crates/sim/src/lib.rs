@@ -25,6 +25,7 @@ pub mod cta;
 pub mod exec;
 pub mod gpu;
 pub mod ldst;
+pub mod metrics;
 pub mod occupancy;
 pub mod scoreboard;
 pub mod sm;
@@ -35,7 +36,10 @@ pub use config::{
     check_launchable, ActivePolicy, AdmissionPolicy, CoreConfig, LaunchError, ResidencyConfig,
     SchedPolicy, SimConfig, SwapConfig, SwapTrigger,
 };
-pub use exec::{CancelToken, Checkpoint, RunBudget, RunOutcome, StopReason, Truncation};
+pub use exec::{
+    CancelToken, Checkpoint, Progress, ProgressHook, RunBudget, RunOutcome, StopReason, Truncation,
+};
 pub use gpu::{simulate, GpuSim, RunResult, SimError};
+pub use metrics::MetricsSampler;
 pub use occupancy::{analyze, Limiter, OccupancyAnalysis};
 pub use stats::RunStats;

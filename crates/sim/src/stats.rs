@@ -1,9 +1,9 @@
 //! Run statistics: performance, occupancy, stall breakdown and swap
 //! activity — everything the paper's figures are built from.
 
-use vt_json::{req, req_array, req_u64, Json};
+use vt_json::{req, req_u64, Json};
 use vt_mem::MemStats;
-use vt_trace::{Gauge, Histogram};
+use vt_trace::{Gauge, Histogram, MetricsRegistry};
 
 /// Why an SM issued nothing in a cycle. One bucket is charged per SM-cycle
 /// with zero issues; the buckets are mutually exclusive by the listed
@@ -235,82 +235,6 @@ impl SwapStats {
     }
 }
 
-/// A sampled time series of per-SM occupancy, for occupancy-over-time
-/// figures. Enabled via `CoreConfig::timeline_interval`.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub struct Timeline {
-    /// Cycles between samples.
-    pub interval: u64,
-    /// Mean resident warps per SM at each sample.
-    pub resident_warps: Vec<f32>,
-    /// Mean schedulable (active-phase) warps per SM at each sample.
-    pub active_warps: Vec<f32>,
-    /// Register-file utilisation (0..1, allocated / capacity) at each
-    /// sample, averaged over SMs.
-    pub reg_util: Vec<f32>,
-    /// Shared-memory utilisation (0..1) at each sample, averaged over SMs.
-    pub smem_util: Vec<f32>,
-}
-
-impl Timeline {
-    /// Appends one sample.
-    pub fn push(&mut self, resident: f32, active: f32, reg_util: f32, smem_util: f32) {
-        self.resident_warps.push(resident);
-        self.active_warps.push(active);
-        self.reg_util.push(reg_util);
-        self.smem_util.push(smem_util);
-    }
-
-    /// Number of samples taken.
-    pub fn len(&self) -> usize {
-        self.resident_warps.len()
-    }
-
-    /// Whether no samples were taken.
-    pub fn is_empty(&self) -> bool {
-        self.resident_warps.is_empty()
-    }
-
-    /// Serializes the time series for checkpointing. `f32` samples emit
-    /// through `f64`, which is exact in both directions.
-    pub fn snapshot(&self) -> Json {
-        let series =
-            |v: &[f32]| Json::Array(v.iter().map(|&x| Json::Float(f64::from(x))).collect());
-        Json::Object(vec![
-            ("interval".into(), Json::UInt(self.interval)),
-            ("resident_warps".into(), series(&self.resident_warps)),
-            ("active_warps".into(), series(&self.active_warps)),
-            ("reg_util".into(), series(&self.reg_util)),
-            ("smem_util".into(), series(&self.smem_util)),
-        ])
-    }
-
-    /// Rebuilds a time series from [`Timeline::snapshot`] output.
-    ///
-    /// # Errors
-    ///
-    /// Returns a message on malformed input.
-    pub fn restore(v: &Json) -> Result<Timeline, String> {
-        let series = |key: &str| -> Result<Vec<f32>, String> {
-            req_array(v, key)?
-                .iter()
-                .map(|x| {
-                    x.as_f64()
-                        .map(|f| f as f32)
-                        .ok_or_else(|| format!("{key} sample is not a number"))
-                })
-                .collect()
-        };
-        Ok(Timeline {
-            interval: req_u64(v, "interval")?,
-            resident_warps: series("resident_warps")?,
-            active_warps: series("active_warps")?,
-            reg_util: series("reg_util")?,
-            smem_util: series("smem_util")?,
-        })
-    }
-}
-
 /// Complete statistics of one simulated kernel run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunStats {
@@ -350,8 +274,9 @@ pub struct RunStats {
     pub barrier_wait: Histogram,
     /// LD/ST queue depth, sampled once per SM-cycle.
     pub ldst_queue: Gauge,
-    /// Occupancy time series, if sampling was enabled.
-    pub timeline: Option<Timeline>,
+    /// Cycle-windowed metric series, if sampling was enabled
+    /// (`CoreConfig::metrics_window`).
+    pub series: Option<MetricsRegistry>,
 }
 
 impl RunStats {
@@ -360,12 +285,17 @@ impl RunStats {
         ratio(self.thread_instrs, self.cycles)
     }
 
+    /// The windowed metric series, when the run was metered.
+    pub fn metrics(&self) -> Option<&MetricsRegistry> {
+        self.series.as_ref()
+    }
+
     /// Adds another stats block into this one. Counters add, distributions
     /// merge, `cycles` and `max_simt_depth` take the maximum, and the
-    /// timeline (a whole-GPU time series, not a per-SM quantity) is kept
-    /// from `self`. The parallel engine uses this to fold per-SM stat
-    /// lanes into the run total; because every field is either additive or
-    /// a max, the fold is independent of lane order.
+    /// metric series (a whole-GPU product of the sampler, not a per-SM
+    /// quantity) is kept from `self`. The parallel engine uses this to
+    /// fold per-SM stat lanes into the run total; because every field is
+    /// either additive or a max, the fold is independent of lane order.
     pub fn merge(&mut self, o: &RunStats) {
         self.cycles = self.cycles.max(o.cycles);
         self.warp_instrs += o.warp_instrs;
@@ -416,9 +346,9 @@ impl RunStats {
             ("barrier_wait".into(), self.barrier_wait.snapshot()),
             ("ldst_queue".into(), self.ldst_queue.snapshot()),
             (
-                "timeline".into(),
-                match &self.timeline {
-                    Some(t) => t.snapshot(),
+                "metrics".into(),
+                match &self.series {
+                    Some(m) => m.snapshot(),
                     None => Json::Null,
                 },
             ),
@@ -448,9 +378,9 @@ impl RunStats {
             swap_gap: Histogram::restore(req(v, "swap_gap")?)?,
             barrier_wait: Histogram::restore(req(v, "barrier_wait")?)?,
             ldst_queue: Gauge::restore(req(v, "ldst_queue")?)?,
-            timeline: match req(v, "timeline")? {
+            series: match req(v, "metrics")? {
                 Json::Null => None,
-                t => Some(Timeline::restore(t)?),
+                m => Some(MetricsRegistry::restore(m)?),
             },
         })
     }
@@ -493,19 +423,21 @@ mod tests {
     }
 
     #[test]
-    fn timeline_accumulates_samples() {
-        let mut t = Timeline {
-            interval: 100,
-            ..Timeline::default()
+    fn metered_stats_roundtrip_through_snapshot() {
+        let mut m = MetricsRegistry::new(64);
+        let r = m.rate("warp_instrs", None);
+        m.sample_total(r, 7);
+        m.seal();
+        let stats = RunStats {
+            cycles: 64,
+            warp_instrs: 7,
+            series: Some(m),
+            ..RunStats::default()
         };
-        assert!(t.is_empty());
-        t.push(10.0, 5.0, 0.25, 0.1);
-        t.push(20.0, 8.0, 0.5, 0.2);
-        assert_eq!(t.len(), 2);
-        assert_eq!(t.resident_warps, vec![10.0, 20.0]);
-        assert_eq!(t.active_warps, vec![5.0, 8.0]);
-        assert_eq!(t.reg_util, vec![0.25, 0.5]);
-        assert_eq!(t.smem_util, vec![0.1, 0.2]);
+        let text = stats.snapshot().compact();
+        let back = RunStats::restore(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, stats);
+        assert_eq!(back.metrics().unwrap().windows(), 1);
     }
 
     #[test]

@@ -19,8 +19,12 @@
 //! keeps the UI's numbers readable as cycles.
 
 use crate::event::{MemKind, SwapDir, TimedEvent, TraceEvent};
+use crate::metrics::{MetricsRegistry, SeriesKind};
 use std::collections::BTreeSet;
 use vt_json::Json;
+
+/// The pid hosting whole-GPU metric counter tracks (SMs are `sm + 1`).
+const METRICS_PID: u32 = 0;
 
 const WARP_TID_BASE: u32 = 1000;
 
@@ -113,6 +117,16 @@ fn kind_name(kind: MemKind) -> &'static str {
 /// (`{"traceEvents": [...]}`), ready to write to a `.trace.json` file and
 /// open in Perfetto.
 pub fn to_chrome_json(events: &[TimedEvent]) -> Json {
+    to_chrome_json_with(events, None)
+}
+
+/// [`to_chrome_json`] plus windowed metric series rendered as Perfetto
+/// counter tracks, so timelines and events inspect in one view.
+/// Whole-GPU series live under a dedicated `metrics` process
+/// (`pid = 0`), per-SM series under their SM's process; each sealed
+/// window contributes one `C` sample at its closing cycle. Distribution
+/// series have no counter representation and are skipped.
+pub fn to_chrome_json_with(events: &[TimedEvent], metrics: Option<&MetricsRegistry>) -> Json {
     // First pass: discover which (pid, tid) tracks exist so metadata rows
     // can name them up front.
     let mut sms: BTreeSet<u32> = BTreeSet::new();
@@ -292,6 +306,26 @@ pub fn to_chrome_json(events: &[TimedEvent]) -> Json {
         }
     }
 
+    if let Some(m) = metrics {
+        if m.series().iter().any(|s| s.sm.is_none()) {
+            rows.push(meta(METRICS_PID, None, "process_name", "metrics".into()));
+        }
+        let window = m.window();
+        for s in m.series() {
+            if matches!(s.kind, SeriesKind::Dist { .. }) {
+                continue;
+            }
+            let pid = match s.sm {
+                Some(sm) => sm + 1,
+                None => METRICS_PID,
+            };
+            let name = format!("vt_{}", s.name);
+            for (k, &v) in s.values().iter().enumerate() {
+                rows.push(counter(&name, (k as u64 + 1) * window, pid, v));
+            }
+        }
+    }
+
     obj(vec![("traceEvents", Json::Array(rows))])
 }
 
@@ -364,6 +398,31 @@ mod tests {
         assert!(json.contains(r#""id":"0xab""#));
         assert!(json.contains(r#""cat":"mem""#));
         assert!(json.contains(r#""l2-hit""#));
+    }
+
+    #[test]
+    fn metric_series_render_as_counter_tracks() {
+        let mut m = MetricsRegistry::new(64);
+        let agg = m.rate("thread_instrs", None);
+        let per = m.level("resident_warps", Some(2));
+        let d = m.dist("sm_issue_balance", None);
+        for total in [100u64, 250] {
+            m.sample_total(agg, total);
+            m.sample_level(per, 7);
+            m.observe(d, 1);
+            m.seal();
+        }
+        let json = to_chrome_json_with(&[], Some(&m)).compact();
+        assert!(json.contains(r#""metrics""#), "metrics process named");
+        assert!(json.contains(r#""vt_thread_instrs""#));
+        // Window 2 closes at cycle 128 and carries the delta 150.
+        assert!(json.contains(r#""ts":128"#));
+        assert!(json.contains(r#""value":150"#));
+        // Per-SM series land in their SM's process (pid = sm + 1).
+        assert!(json.contains(r#""vt_resident_warps""#));
+        assert!(json.contains(r#""pid":3"#));
+        // Distributions are skipped.
+        assert!(!json.contains("sm_issue_balance"));
     }
 
     #[test]

@@ -19,7 +19,11 @@
 //!   `vtprof --check` (monotonic time, balanced spans, every memory
 //!   request closed);
 //! - [`hist::Histogram`] / [`hist::Gauge`], the log2-bucketed latency
-//!   and occupancy aggregates folded into `RunStats`/`MemStats`.
+//!   and occupancy aggregates folded into `RunStats`/`MemStats`;
+//! - [`metrics::MetricsRegistry`], cycle-windowed time series (rates,
+//!   levels, per-window distributions) sampled by the engine, exported
+//!   to Prometheus text and vt-json, and cross-checked against the event
+//!   stream by [`validate::validate_metrics`].
 //!
 //! This crate is a leaf: it depends only on `vt-json`, so `vt-mem` and
 //! `vt-sim` can hook into it without cycles.
@@ -27,11 +31,13 @@
 pub mod chrome;
 pub mod event;
 pub mod hist;
+pub mod metrics;
 pub mod sink;
 pub mod validate;
 
-pub use chrome::to_chrome_json;
+pub use chrome::{to_chrome_json, to_chrome_json_with};
 pub use event::{MemKind, MemLevel, SwapDir, TimedEvent, TraceEvent};
 pub use hist::{Gauge, Histogram};
+pub use metrics::{MetricsRegistry, Series, SeriesId, SeriesKind, DEFAULT_WINDOW};
 pub use sink::{BufSink, NullSink, RingSink, TraceSink};
-pub use validate::{validate, TraceReport};
+pub use validate::{validate, validate_metrics, TraceReport};

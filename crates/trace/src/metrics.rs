@@ -1,0 +1,570 @@
+//! Cycle-windowed metric series: the continuous-telemetry counterpart to
+//! the event stream and the end-of-run aggregates in [`crate::hist`].
+//!
+//! A [`MetricsRegistry`] holds typed series sampled once per *window* (a
+//! fixed number of cycles, default [`DEFAULT_WINDOW`]). Three kinds
+//! exist:
+//!
+//! * **Rate** — a monotonically increasing counter sampled at each window
+//!   boundary; the series stores the per-window *deltas* plus the last
+//!   cumulative value, so a checkpointed registry resumes exactly where
+//!   it left off.
+//! * **Level** — an instantaneous value (resident warps, MSHR occupancy)
+//!   read at each window boundary.
+//! * **Dist** — a [`Histogram`] per window of values observed at the
+//!   boundary (e.g. the per-SM issue balance).
+//!
+//! Every stored value is an integer, so series compare bit-identically
+//! across worker counts and checkpoint/resume stitches (the engine seals
+//! whole windows only; a partial window rides inside the checkpoint as
+//! the rates' cumulative baselines). The registry exports to Prometheus
+//! text format ([`MetricsRegistry::to_prometheus`]) and vt-json
+//! ([`MetricsRegistry::to_json`]), and round-trips losslessly through
+//! [`MetricsRegistry::snapshot`] / [`MetricsRegistry::restore`] for the
+//! checkpoint layer.
+
+use crate::hist::Histogram;
+use vt_json::{req, req_array, req_str, req_u64, Json};
+
+/// Default sampling window in cycles.
+pub const DEFAULT_WINDOW: u64 = 512;
+
+/// Handle to a registered series; indexes are stable for the registry's
+/// lifetime (series are never removed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesId(usize);
+
+/// The payload of one series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SeriesKind {
+    /// Windowed rate of a cumulative counter.
+    Rate {
+        /// Cumulative value at the last sealed boundary.
+        last: u64,
+        /// Per-window increments.
+        deltas: Vec<u64>,
+    },
+    /// Instantaneous level at each window boundary.
+    Level {
+        /// One sample per window.
+        values: Vec<u64>,
+    },
+    /// A distribution of boundary observations per window.
+    Dist {
+        /// Observations accumulated for the window being built (boxed to
+        /// keep the enum small next to the slim `Rate`/`Level` variants).
+        current: Box<Histogram>,
+        /// One sealed histogram per window.
+        windows: Vec<Histogram>,
+    },
+}
+
+/// One named series, optionally scoped to a single SM (`sm: None` means
+/// whole-GPU aggregate).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Metric name (snake_case, no `vt_` prefix).
+    pub name: String,
+    /// Scope: `Some(sm)` for a per-SM series, `None` for the aggregate.
+    pub sm: Option<u32>,
+    /// Payload.
+    pub kind: SeriesKind,
+}
+
+impl Series {
+    /// The per-window values: rate deltas or level samples. Empty for a
+    /// distribution series (use [`Series::histograms`]).
+    pub fn values(&self) -> &[u64] {
+        match &self.kind {
+            SeriesKind::Rate { deltas, .. } => deltas,
+            SeriesKind::Level { values } => values,
+            SeriesKind::Dist { .. } => &[],
+        }
+    }
+
+    /// The sealed per-window histograms of a distribution series; empty
+    /// for rates and levels.
+    pub fn histograms(&self) -> &[Histogram] {
+        match &self.kind {
+            SeriesKind::Dist { windows, .. } => windows,
+            _ => &[],
+        }
+    }
+
+    /// Cumulative total: a rate's counter at the last sealed boundary, a
+    /// level's latest sample, a distribution's observation count.
+    pub fn total(&self) -> u64 {
+        match &self.kind {
+            SeriesKind::Rate { last, .. } => *last,
+            SeriesKind::Level { values } => values.last().copied().unwrap_or(0),
+            SeriesKind::Dist { windows, .. } => windows.iter().map(|h| h.count).sum(),
+        }
+    }
+
+    /// Mean per-window value (0 for an empty or distribution series).
+    pub fn mean(&self) -> f64 {
+        let v = self.values();
+        if v.is_empty() {
+            0.0
+        } else {
+            v.iter().sum::<u64>() as f64 / v.len() as f64
+        }
+    }
+
+    /// Largest per-window value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.values().iter().copied().max().unwrap_or(0)
+    }
+
+    fn kind_tag(&self) -> &'static str {
+        match self.kind {
+            SeriesKind::Rate { .. } => "rate",
+            SeriesKind::Level { .. } => "level",
+            SeriesKind::Dist { .. } => "dist",
+        }
+    }
+}
+
+/// A registry of cycle-windowed series. See the module docs for the
+/// sampling model; the engine-side sampler lives in `vt-sim`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsRegistry {
+    window: u64,
+    sealed: u64,
+    series: Vec<Series>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry sampling every `window` cycles (clamped to ≥ 1).
+    pub fn new(window: u64) -> MetricsRegistry {
+        MetricsRegistry {
+            window: window.max(1),
+            sealed: 0,
+            series: Vec::new(),
+        }
+    }
+
+    /// Cycles per window.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Number of sealed (complete) windows.
+    pub fn windows(&self) -> u64 {
+        self.sealed
+    }
+
+    /// Number of registered series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether no series are registered.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// All series, in registration order.
+    pub fn series(&self) -> &[Series] {
+        &self.series
+    }
+
+    /// Looks a series up by name and scope.
+    pub fn get(&self, name: &str, sm: Option<u32>) -> Option<&Series> {
+        self.series.iter().find(|s| s.name == name && s.sm == sm)
+    }
+
+    fn register(&mut self, name: &str, sm: Option<u32>, kind: SeriesKind) -> SeriesId {
+        debug_assert!(
+            self.get(name, sm).is_none(),
+            "duplicate series {name:?}/{sm:?}"
+        );
+        self.series.push(Series {
+            name: name.to_string(),
+            sm,
+            kind,
+        });
+        SeriesId(self.series.len() - 1)
+    }
+
+    /// Registers a rate series over a cumulative counter.
+    pub fn rate(&mut self, name: &str, sm: Option<u32>) -> SeriesId {
+        self.register(
+            name,
+            sm,
+            SeriesKind::Rate {
+                last: 0,
+                deltas: Vec::new(),
+            },
+        )
+    }
+
+    /// Registers an instantaneous-level series.
+    pub fn level(&mut self, name: &str, sm: Option<u32>) -> SeriesId {
+        self.register(name, sm, SeriesKind::Level { values: Vec::new() })
+    }
+
+    /// Registers a per-window distribution series.
+    pub fn dist(&mut self, name: &str, sm: Option<u32>) -> SeriesId {
+        self.register(
+            name,
+            sm,
+            SeriesKind::Dist {
+                current: Box::default(),
+                windows: Vec::new(),
+            },
+        )
+    }
+
+    /// Samples a rate series with the counter's *cumulative* value at
+    /// this boundary, pushing and returning the delta since the previous
+    /// boundary. Call exactly once per series per window, then
+    /// [`MetricsRegistry::seal`].
+    pub fn sample_total(&mut self, id: SeriesId, total: u64) -> u64 {
+        let SeriesKind::Rate { last, deltas } = &mut self.series[id.0].kind else {
+            panic!("sample_total on a non-rate series");
+        };
+        debug_assert!(total >= *last, "counter went backwards");
+        let delta = total.saturating_sub(*last);
+        *last = total;
+        deltas.push(delta);
+        delta
+    }
+
+    /// Samples a level series with the instantaneous value at this
+    /// boundary. Call exactly once per series per window.
+    pub fn sample_level(&mut self, id: SeriesId, value: u64) {
+        let SeriesKind::Level { values } = &mut self.series[id.0].kind else {
+            panic!("sample_level on a non-level series");
+        };
+        values.push(value);
+    }
+
+    /// Records one observation into a distribution series' current
+    /// window.
+    pub fn observe(&mut self, id: SeriesId, value: u64) {
+        let SeriesKind::Dist { current, .. } = &mut self.series[id.0].kind else {
+            panic!("observe on a non-dist series");
+        };
+        current.record(value);
+    }
+
+    /// Closes the current window: distribution series seal their current
+    /// histogram, and every series must have been sampled exactly once
+    /// since the previous seal (debug-asserted).
+    pub fn seal(&mut self) {
+        self.sealed += 1;
+        for s in &mut self.series {
+            match &mut s.kind {
+                SeriesKind::Rate { deltas, .. } => {
+                    debug_assert_eq!(deltas.len() as u64, self.sealed, "{} missed", s.name);
+                }
+                SeriesKind::Level { values } => {
+                    debug_assert_eq!(values.len() as u64, self.sealed, "{} missed", s.name);
+                }
+                SeriesKind::Dist { current, windows } => {
+                    windows.push(std::mem::take(current.as_mut()));
+                }
+            }
+        }
+    }
+
+    /// Renders the registry in Prometheus text exposition format: rates
+    /// as `counter`s (cumulative value at the last sealed boundary),
+    /// levels as `gauge`s (latest sample), distributions as `histogram`s
+    /// (all windows merged), with `sm` labels on per-SM series. Two meta
+    /// gauges carry the window geometry.
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("# TYPE vt_metrics_window_cycles gauge\n");
+        let _ = writeln!(out, "vt_metrics_window_cycles {}", self.window);
+        out.push_str("# TYPE vt_metrics_windows gauge\n");
+        let _ = writeln!(out, "vt_metrics_windows {}", self.sealed);
+        let mut typed: Vec<&str> = Vec::new();
+        for s in &self.series {
+            let label = match s.sm {
+                Some(sm) => format!("{{sm=\"{sm}\"}}"),
+                None => String::new(),
+            };
+            match &s.kind {
+                SeriesKind::Rate { last, .. } => {
+                    if !typed.contains(&s.name.as_str()) {
+                        typed.push(&s.name);
+                        let _ = writeln!(out, "# TYPE vt_{} counter", s.name);
+                    }
+                    let _ = writeln!(out, "vt_{}_total{label} {last}", s.name);
+                }
+                SeriesKind::Level { values } => {
+                    if !typed.contains(&s.name.as_str()) {
+                        typed.push(&s.name);
+                        let _ = writeln!(out, "# TYPE vt_{} gauge", s.name);
+                    }
+                    let v = values.last().copied().unwrap_or(0);
+                    let _ = writeln!(out, "vt_{}{label} {v}", s.name);
+                }
+                SeriesKind::Dist { windows, .. } => {
+                    if !typed.contains(&s.name.as_str()) {
+                        typed.push(&s.name);
+                        let _ = writeln!(out, "# TYPE vt_{} histogram", s.name);
+                    }
+                    let mut merged = Histogram::default();
+                    for w in windows {
+                        merged.merge(w);
+                    }
+                    let lbl = |le: &str| match s.sm {
+                        Some(sm) => format!("{{sm=\"{sm}\",le=\"{le}\"}}"),
+                        None => format!("{{le=\"{le}\"}}"),
+                    };
+                    let top = merged
+                        .buckets
+                        .iter()
+                        .rposition(|&n| n > 0)
+                        .map_or(0, |i| i + 1);
+                    let mut cumulative = 0u64;
+                    for (i, &n) in merged.buckets.iter().take(top).enumerate() {
+                        cumulative += n;
+                        // Bucket i covers values up to 2^i - 1 inclusive.
+                        let le = Histogram::bucket_lo(i + 1).saturating_sub(1);
+                        let _ = writeln!(
+                            out,
+                            "vt_{}_bucket{} {cumulative}",
+                            s.name,
+                            lbl(&le.to_string())
+                        );
+                    }
+                    let _ = writeln!(out, "vt_{}_bucket{} {}", s.name, lbl("+Inf"), merged.count);
+                    let _ = writeln!(out, "vt_{}_sum{label} {}", s.name, merged.sum);
+                    let _ = writeln!(out, "vt_{}_count{label} {}", s.name, merged.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// Full per-window detail as vt-json: window geometry plus every
+    /// series' values (rates/levels) or histogram snapshots (dists).
+    pub fn to_json(&self) -> Json {
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                let mut fields = vec![
+                    ("name".into(), Json::Str(s.name.clone())),
+                    (
+                        "sm".into(),
+                        match s.sm {
+                            Some(sm) => Json::UInt(u64::from(sm)),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("kind".into(), Json::Str(s.kind_tag().to_string())),
+                ];
+                match &s.kind {
+                    SeriesKind::Dist { windows, .. } => fields.push((
+                        "windows".into(),
+                        Json::Array(windows.iter().map(Histogram::snapshot).collect()),
+                    )),
+                    _ => fields.push((
+                        "values".into(),
+                        Json::Array(s.values().iter().map(|&v| Json::UInt(v)).collect()),
+                    )),
+                }
+                Json::Object(fields)
+            })
+            .collect();
+        Json::Object(vec![
+            ("window".into(), Json::UInt(self.window)),
+            ("windows".into(), Json::UInt(self.sealed)),
+            ("series".into(), Json::Array(series)),
+        ])
+    }
+
+    /// Serializes the complete registry state — including the rates'
+    /// cumulative baselines and the dists' in-progress window — for
+    /// checkpointing.
+    pub fn snapshot(&self) -> Json {
+        let series = self
+            .series
+            .iter()
+            .map(|s| {
+                let mut fields = vec![
+                    ("name".into(), Json::Str(s.name.clone())),
+                    (
+                        "sm".into(),
+                        match s.sm {
+                            Some(sm) => Json::UInt(u64::from(sm)),
+                            None => Json::Null,
+                        },
+                    ),
+                    ("kind".into(), Json::Str(s.kind_tag().to_string())),
+                ];
+                let ints = |v: &[u64]| Json::Array(v.iter().map(|&x| Json::UInt(x)).collect());
+                match &s.kind {
+                    SeriesKind::Rate { last, deltas } => {
+                        fields.push(("last".into(), Json::UInt(*last)));
+                        fields.push(("values".into(), ints(deltas)));
+                    }
+                    SeriesKind::Level { values } => {
+                        fields.push(("values".into(), ints(values)));
+                    }
+                    SeriesKind::Dist { current, windows } => {
+                        fields.push(("current".into(), current.snapshot()));
+                        fields.push((
+                            "windows".into(),
+                            Json::Array(windows.iter().map(Histogram::snapshot).collect()),
+                        ));
+                    }
+                }
+                Json::Object(fields)
+            })
+            .collect();
+        Json::Object(vec![
+            ("window".into(), Json::UInt(self.window)),
+            ("sealed".into(), Json::UInt(self.sealed)),
+            ("series".into(), Json::Array(series)),
+        ])
+    }
+
+    /// Rebuilds a registry from [`MetricsRegistry::snapshot`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on malformed input.
+    pub fn restore(v: &Json) -> Result<MetricsRegistry, String> {
+        let ints = |v: &Json, key: &str| -> Result<Vec<u64>, String> {
+            req_array(v, key)?
+                .iter()
+                .map(|x| {
+                    x.as_u64()
+                        .ok_or_else(|| format!("{key} value is not an integer"))
+                })
+                .collect()
+        };
+        let mut series = Vec::new();
+        for doc in req_array(v, "series")? {
+            let name = req_str(doc, "name")?.to_string();
+            let sm = match req(doc, "sm")? {
+                Json::Null => None,
+                j => Some(
+                    j.as_u64()
+                        .ok_or_else(|| "sm is not an integer".to_string())?
+                        as u32,
+                ),
+            };
+            let kind = match req_str(doc, "kind")? {
+                "rate" => SeriesKind::Rate {
+                    last: req_u64(doc, "last")?,
+                    deltas: ints(doc, "values")?,
+                },
+                "level" => SeriesKind::Level {
+                    values: ints(doc, "values")?,
+                },
+                "dist" => SeriesKind::Dist {
+                    current: Box::new(Histogram::restore(req(doc, "current")?)?),
+                    windows: req_array(doc, "windows")?
+                        .iter()
+                        .map(Histogram::restore)
+                        .collect::<Result<Vec<_>, String>>()?,
+                },
+                other => return Err(format!("unknown series kind {other:?}")),
+            };
+            series.push(Series { name, sm, kind });
+        }
+        Ok(MetricsRegistry {
+            window: req_u64(v, "window")?.max(1),
+            sealed: req_u64(v, "sealed")?,
+            series,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> MetricsRegistry {
+        let mut m = MetricsRegistry::new(100);
+        let r = m.rate("instrs", None);
+        let l = m.level("warps", None);
+        let d = m.dist("balance", None);
+        let p = m.rate("instrs", Some(3));
+        for (total, lvl) in [(10u64, 4u64), (25, 6), (25, 0)] {
+            let delta = m.sample_total(r, total);
+            m.sample_level(l, lvl);
+            m.observe(d, delta);
+            m.sample_total(p, total / 2);
+            m.seal();
+        }
+        m
+    }
+
+    #[test]
+    fn rates_store_deltas_and_baseline() {
+        let m = sample_registry();
+        assert_eq!(m.windows(), 3);
+        let s = m.get("instrs", None).unwrap();
+        assert_eq!(s.values(), &[10, 15, 0]);
+        assert_eq!(s.total(), 25);
+        assert_eq!(s.max(), 15);
+        assert!((s.mean() - 25.0 / 3.0).abs() < 1e-12);
+        let p = m.get("instrs", Some(3)).unwrap();
+        assert_eq!(p.values(), &[5, 7, 0]);
+        assert!(m.get("instrs", Some(9)).is_none());
+    }
+
+    #[test]
+    fn levels_and_dists_record_per_window() {
+        let m = sample_registry();
+        let l = m.get("warps", None).unwrap();
+        assert_eq!(l.values(), &[4, 6, 0]);
+        assert_eq!(l.total(), 0, "level total is the latest sample");
+        let d = m.get("balance", None).unwrap();
+        assert_eq!(d.histograms().len(), 3);
+        assert_eq!(d.histograms()[1].count, 1);
+        assert_eq!(d.histograms()[1].sum, 15);
+        assert!(d.values().is_empty());
+    }
+
+    #[test]
+    fn snapshot_roundtrips_mid_window() {
+        let mut m = sample_registry();
+        // Leave state mid-window: a pending dist observation and advanced
+        // rate baselines must survive the round trip.
+        let d = SeriesId(2);
+        m.observe(d, 42);
+        let text = m.snapshot().compact();
+        let back = MetricsRegistry::restore(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_shaped() {
+        let m = sample_registry();
+        let text = m.to_prometheus();
+        assert!(text.contains("# TYPE vt_instrs counter"));
+        assert!(text.contains("vt_instrs_total 25"));
+        assert!(text.contains("vt_instrs_total{sm=\"3\"} 12"));
+        assert!(text.contains("# TYPE vt_warps gauge"));
+        assert!(text.contains("vt_warps 0"));
+        assert!(text.contains("# TYPE vt_balance histogram"));
+        assert!(text.contains("vt_balance_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("vt_balance_sum 25"));
+        assert!(text.contains("vt_metrics_window_cycles 100"));
+        // The TYPE line for a name shared by aggregate + per-SM series
+        // appears exactly once.
+        assert_eq!(text.matches("# TYPE vt_instrs counter").count(), 1);
+    }
+
+    #[test]
+    fn json_export_carries_values() {
+        let m = sample_registry();
+        let j = m.to_json();
+        assert_eq!(j.get("window").and_then(Json::as_u64), Some(100));
+        let series = j.get("series").unwrap();
+        let Json::Array(items) = series else {
+            panic!("series is an array")
+        };
+        assert_eq!(items.len(), 4);
+    }
+}

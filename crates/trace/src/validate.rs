@@ -18,6 +18,7 @@
 //! here.
 
 use crate::event::{MemKind, SwapDir, TimedEvent, TraceEvent};
+use crate::metrics::MetricsRegistry;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// What a span stack entry on a CTA-slot track is.
@@ -243,6 +244,124 @@ pub fn validate(events: &[TimedEvent]) -> Result<TraceReport, Vec<String>> {
     }
 }
 
+/// Cross-checks a windowed [`MetricsRegistry`] against the event stream
+/// it was sampled alongside. The trace must cover the run from cycle 0
+/// with no drops (a ring sink that wrapped cannot be reconciled).
+///
+/// For every sealed window `k` over cycles `[k·w, (k+1)·w)`:
+///
+/// * the aggregate `warp_instrs` rate equals the `WarpIssue` count;
+/// * each per-SM `warp_instrs` rate equals that SM's `WarpIssue` count
+///   (which also pins the per-SM sum to the aggregate);
+/// * `issue_cycles` equals the number of distinct (cycle, SM) pairs with
+///   at least one issue — the issuing side of the idle identity;
+/// * `swaps_in` equals the non-fresh `SwapBegin`(in) count and
+///   `swaps_out` the `SwapBegin`(out) count.
+///
+/// Series the registry does not carry are skipped, so the checker works
+/// on any subset of the engine's standard layout.
+///
+/// # Errors
+///
+/// Returns the list of mismatches (capped at 20).
+pub fn validate_metrics(
+    events: &[TimedEvent],
+    metrics: &MetricsRegistry,
+) -> Result<(), Vec<String>> {
+    let mut errors: Vec<String> = Vec::new();
+    let err = |errors: &mut Vec<String>, msg: String| {
+        if errors.len() < MAX_ERRORS {
+            errors.push(msg);
+        }
+    };
+    let w = metrics.window();
+    let windows = usize::try_from(metrics.windows()).unwrap_or(usize::MAX);
+    if windows == 0 {
+        return Ok(());
+    }
+
+    // Tally events into the sealed windows; anything at or past the last
+    // sealed boundary rides in a partial window the registry never saw.
+    let mut issues = vec![0u64; windows];
+    let mut per_sm_issues: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    let mut issue_cycles: Vec<BTreeSet<(u64, u32)>> = vec![BTreeSet::new(); windows];
+    let mut swaps_in = vec![0u64; windows];
+    let mut swaps_out = vec![0u64; windows];
+    for e in events {
+        let Ok(k) = usize::try_from(e.t / w) else {
+            continue;
+        };
+        if k >= windows {
+            continue;
+        }
+        match e.ev {
+            TraceEvent::WarpIssue { sm, .. } => {
+                issues[k] += 1;
+                per_sm_issues.entry(sm).or_insert_with(|| vec![0; windows])[k] += 1;
+                issue_cycles[k].insert((e.t, sm));
+            }
+            TraceEvent::SwapBegin {
+                dir: SwapDir::In,
+                fresh: false,
+                ..
+            } => swaps_in[k] += 1,
+            TraceEvent::SwapBegin {
+                dir: SwapDir::Out, ..
+            } => swaps_out[k] += 1,
+            _ => {}
+        }
+    }
+
+    let check = |errors: &mut Vec<String>, name: &str, sm: Option<u32>, expect: &[u64]| {
+        let Some(s) = metrics.get(name, sm) else {
+            return;
+        };
+        let got = s.values();
+        if got.len() != expect.len() {
+            err(
+                errors,
+                format!(
+                    "{name}: {} windows recorded, {} sealed",
+                    got.len(),
+                    expect.len()
+                ),
+            );
+        }
+        for (k, (&g, &e)) in got.iter().zip(expect).enumerate() {
+            if g != e {
+                let scope = sm.map(|sm| format!(" (sm{sm})")).unwrap_or_default();
+                err(
+                    errors,
+                    format!("window {k}: {name}{scope} is {g}, events say {e}"),
+                );
+            }
+        }
+    };
+
+    check(&mut errors, "warp_instrs", None, &issues);
+    let distinct: Vec<u64> = issue_cycles.iter().map(|s| s.len() as u64).collect();
+    check(&mut errors, "issue_cycles", None, &distinct);
+    check(&mut errors, "swaps_in", None, &swaps_in);
+    check(&mut errors, "swaps_out", None, &swaps_out);
+    for (&sm, counts) in &per_sm_issues {
+        check(&mut errors, "warp_instrs", Some(sm), counts);
+    }
+    // A per-SM series for an SM that never issued must be all zeros.
+    for s in metrics.series() {
+        if let Some(sm) = s.sm {
+            if s.name == "warp_instrs" && !per_sm_issues.contains_key(&sm) {
+                check(&mut errors, "warp_instrs", Some(sm), &vec![0; windows]);
+            }
+        }
+    }
+
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -425,5 +544,105 @@ mod tests {
             .collect();
         let errs = validate(&events).unwrap_err();
         assert!(errs.len() <= 20);
+    }
+
+    fn issue(t: u64, sm: u32, sched: u32) -> TimedEvent {
+        ev(
+            t,
+            TraceEvent::WarpIssue {
+                sm,
+                sched,
+                warp_slot: 0,
+                pc: 0,
+            },
+        )
+    }
+
+    fn metered_fixture() -> (Vec<TimedEvent>, MetricsRegistry) {
+        // Window 0 (cycles 0..10): sm0 dual-issues at t=1, sm1 issues at
+        // t=1 and t=4, one real swap-in, one fresh activation (ignored).
+        // Window 1 (cycles 10..20): sm0 issues at t=12, one swap-out.
+        // t=25 falls in the partial second window — never reconciled.
+        let events = vec![
+            issue(1, 0, 0),
+            issue(1, 0, 1),
+            issue(1, 1, 0),
+            swap(3, SwapDir::In, true),
+            ev(
+                4,
+                TraceEvent::SwapBegin {
+                    sm: 1,
+                    cta_slot: 0,
+                    cta_id: 7,
+                    dir: SwapDir::In,
+                    fresh: true,
+                },
+            ),
+            issue(4, 1, 0),
+            issue(12, 0, 0),
+            swap(15, SwapDir::Out, true),
+            issue(25, 0, 0),
+        ];
+        let mut m = MetricsRegistry::new(10);
+        let wi = m.rate("warp_instrs", None);
+        let ic = m.rate("issue_cycles", None);
+        let si = m.rate("swaps_in", None);
+        let so = m.rate("swaps_out", None);
+        let p0 = m.rate("warp_instrs", Some(0));
+        let p1 = m.rate("warp_instrs", Some(1));
+        for (wi_t, ic_t, si_t, so_t, p0_t, p1_t) in [(4, 3, 1, 0, 2, 2), (5, 4, 1, 1, 3, 2)] {
+            m.sample_total(wi, wi_t);
+            m.sample_total(ic, ic_t);
+            m.sample_total(si, si_t);
+            m.sample_total(so, so_t);
+            m.sample_total(p0, p0_t);
+            m.sample_total(p1, p1_t);
+            m.seal();
+        }
+        (events, m)
+    }
+
+    #[test]
+    fn metrics_cross_check_accepts_matching_series() {
+        let (events, m) = metered_fixture();
+        validate_metrics(&events, &m).expect("series reconcile");
+    }
+
+    #[test]
+    fn metrics_cross_check_flags_issue_mismatch() {
+        let (mut events, m) = metered_fixture();
+        // An extra issue in window 1 desyncs both warp_instrs (aggregate
+        // and per-SM) and issue_cycles.
+        events.push(issue(16, 0, 0));
+        events.sort_by_key(|e| e.t);
+        let errs = validate_metrics(&events, &m).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.contains("warp_instrs") && e.contains("window 1")),
+            "{errs:?}"
+        );
+        assert!(errs.iter().any(|e| e.contains("issue_cycles")), "{errs:?}");
+    }
+
+    #[test]
+    fn metrics_cross_check_flags_swap_mismatch() {
+        let (mut events, m) = metered_fixture();
+        events.insert(4, swap(3, SwapDir::In, true));
+        let errs = validate_metrics(&events, &m).unwrap_err();
+        assert!(errs.iter().any(|e| e.contains("swaps_in")), "{errs:?}");
+    }
+
+    #[test]
+    fn metrics_cross_check_skips_unsampled_layouts() {
+        let (events, _) = metered_fixture();
+        // A registry without the standard series (or with none sealed)
+        // reconciles vacuously.
+        let empty = MetricsRegistry::new(10);
+        validate_metrics(&events, &empty).expect("no sealed windows");
+        let mut other = MetricsRegistry::new(10);
+        let g = other.level("resident_warps", None);
+        other.sample_level(g, 3);
+        other.seal();
+        validate_metrics(&events, &other).expect("unknown layout skipped");
     }
 }

@@ -13,11 +13,32 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== vtlint --suite"
 cargo run -q -p vt-analysis --bin vtlint -- --suite
 
-echo "== vtprof --check (trace validation on one suite kernel)"
-cargo run -q -p vt-bench --bin vtprof -- spmv --check --out "$(mktemp -d)"
+echo "== vtprof --check (trace + metrics validation on one suite kernel)"
+VTPROF_TMP="$(mktemp -d)"
+cargo run -q -p vt-bench --bin vtprof -- spmv --check \
+  --metrics "$VTPROF_TMP/spmv.prom" --out "$VTPROF_TMP"
 
 echo "== golden stats (suite snapshots must not drift)"
 cargo test -q -p vt-tests --test golden
+
+echo "== metrics exposition golden (Prometheus format must not drift)"
+cargo test -q -p vt-tests --test metrics
+
+echo "== vtbench --diff (perf-regression gate against BENCH_0.json)"
+VTBENCH_TMP="$(mktemp -d)"
+cargo run -q --release -p vt-bench --bin vtbench -- \
+  --out "$VTBENCH_TMP/now.json" >/dev/null
+cargo run -q --release -p vt-bench --bin vtbench -- \
+  --diff BENCH_0.json "$VTBENCH_TMP/now.json" >/dev/null
+
+echo "== vtbench gate trips on a synthetic 5% regression"
+cargo run -q --release -p vt-bench --bin vtbench -- \
+  --degrade 5 "$VTBENCH_TMP/now.json" "$VTBENCH_TMP/slow.json" >/dev/null
+if cargo run -q --release -p vt-bench --bin vtbench -- \
+  --diff BENCH_0.json "$VTBENCH_TMP/slow.json" >/dev/null 2>&1; then
+  echo "lint: vtbench --diff failed to flag a 5% geomean regression" >&2
+  exit 1
+fi
 
 # Note: `cargo test -- --test-threads` parallelizes the *test harness*;
 # engine parallelism is a separate axis (vtsweep --threads / VT_THREADS)

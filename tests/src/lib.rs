@@ -104,8 +104,8 @@ pub mod golden {
         ])
     }
 
-    /// Every `RunStats` field, exactly (the timeline is omitted: golden
-    /// runs never enable sampling).
+    /// Every `RunStats` field, exactly (the metric series are omitted:
+    /// golden runs never enable sampling).
     pub fn stats_json(s: &RunStats) -> Json {
         Json::object(vec![
             ("cycles".into(), Json::UInt(s.cycles)),

@@ -107,6 +107,71 @@ fn resume_is_bit_identical_across_cuts_and_worker_counts() {
     }
 }
 
+/// Metered runs stitch too: with a metrics window enabled, the resumed
+/// run's windowed series (carried inside `RunStats`, so covered by the
+/// stats equality) must equal the uninterrupted run's byte-for-byte at
+/// every cut point and worker count — including cuts that land mid-window
+/// and exactly on a window boundary.
+#[test]
+fn metered_resume_stitches_series_bit_identically() {
+    let kernel = long_kernel();
+    let arch = Architecture::virtual_thread();
+    let mut cfg = small_config(arch);
+    cfg.core.metrics_window = Some(64);
+
+    let want = Session::new(cfg.clone())
+        .run(RunRequest::kernel(&kernel))
+        .and_then(|o| o.completed())
+        .expect("uninterrupted metered run completes")
+        .remove(0);
+    let want_series = want.stats.metrics().expect("metrics enabled");
+    assert!(
+        want_series.windows() >= 2,
+        "kernel too short ({} windows) to exercise stitching",
+        want_series.windows()
+    );
+
+    // Cuts: mid-window (1, 100) and exactly on a boundary (64, 128).
+    for threads in [1usize, 2, 4] {
+        for cut in [1u64, 64, 100, 128] {
+            let label = format!("cut {cut} on {threads} worker(s)");
+            let mut session = Session::new(cfg.clone());
+            if threads > 1 {
+                session = session.with_pool(Pool::new(threads));
+            }
+            let SessionOutcome::Truncated { truncation, .. } = session
+                .run(
+                    RunRequest::kernel(&kernel)
+                        .with_budget(RunBudget::unlimited().with_max_cycles(cut)),
+                )
+                .expect(&label)
+            else {
+                panic!("{label}: expected truncation");
+            };
+            // Partial series never contain a half-sealed window: exactly
+            // the boundaries strictly before the cut are sealed.
+            let partial = truncation.stats.metrics().expect("metrics enabled");
+            assert_eq!(
+                partial.windows(),
+                (cut - 1) / 64,
+                "{label}: sealed windows in the partial stats"
+            );
+
+            let ckpt = Checkpoint::parse(&truncation.checkpoint.to_text()).expect(&label);
+            let resumed = session
+                .run(RunRequest::kernel(&kernel).resume_from(&ckpt))
+                .and_then(|o| o.completed())
+                .expect(&label)
+                .remove(0);
+            assert_eq!(
+                resumed.stats, want.stats,
+                "{label}: stitched stats (incl. metric series) diverge"
+            );
+            assert_eq!(resumed.mem_image, want.mem_image, "{label}");
+        }
+    }
+}
+
 /// Partial statistics keep the full-run invariants: every SM-cycle up to
 /// the truncation point is either an issue cycle or exactly one idle
 /// bucket, i.e. `idle.total() + issue_cycles == num_sms × cycles`.

@@ -1,11 +1,16 @@
 //! End-to-end observability: traced runs produce structurally valid
-//! event streams for every architecture, observation never perturbs the
-//! simulation, and the Chrome-trace export is well formed.
+//! event streams for every architecture, observation (tracing *and*
+//! windowed metrics) never perturbs the simulation, the metric series
+//! agree with the event stream, and the Chrome-trace export is well
+//! formed.
 
 use vt_core::{Architecture, Report, RunRequest, Session};
 use vt_isa::Kernel;
 use vt_tests::{all_archs, run, small_config};
-use vt_trace::{to_chrome_json, validate, RingSink, SwapDir, TimedEvent, TraceEvent};
+use vt_trace::{
+    to_chrome_json, to_chrome_json_with, validate, validate_metrics, RingSink, SwapDir, TimedEvent,
+    TraceEvent,
+};
 use vt_workloads::{suite, AccessPattern, Scale, SyntheticParams};
 
 fn run_traced(arch: Architecture, kernel: &Kernel) -> (Report, Vec<TimedEvent>) {
@@ -63,6 +68,68 @@ fn tracing_does_not_perturb_the_simulation() {
                 arch.label()
             );
             assert_eq!(untraced.mem_image, traced.mem_image);
+        }
+    }
+}
+
+/// Enabling metrics must not change a single counter, cycle or memory
+/// word: the metered run's stats (with the series field cleared) equal
+/// the unmetered run's exactly.
+#[test]
+fn metrics_do_not_perturb_the_simulation() {
+    let ws = suite(&Scale::test());
+    for w in ws.iter().take(4) {
+        for arch in all_archs() {
+            let unmetered = run(arch, &w.kernel);
+            let mut cfg = small_config(arch);
+            cfg.core.metrics_window = Some(128);
+            let mut metered = Session::new(cfg)
+                .run(RunRequest::kernel(&w.kernel))
+                .and_then(|o| o.completed())
+                .unwrap_or_else(|e| panic!("{} under {}: {e}", w.name, arch.label()))
+                .remove(0);
+            let series = metered.stats.series.take().expect("metrics enabled");
+            assert_eq!(
+                series.windows(),
+                (metered.stats.cycles - 1) / 128,
+                "{} under {}: sealed window count",
+                w.name,
+                arch.label()
+            );
+            assert_eq!(
+                unmetered.stats,
+                metered.stats,
+                "{} under {}",
+                w.name,
+                arch.label()
+            );
+            assert_eq!(unmetered.mem_image, metered.mem_image);
+        }
+    }
+}
+
+/// On a run that is traced *and* metered, the windowed series must agree
+/// with the event stream window-by-window (issue counts, distinct issue
+/// cycles, swap traffic) — the two observability layers cross-validate.
+#[test]
+fn metric_series_agree_with_the_event_stream() {
+    let k = latency_bound();
+    for arch in [Architecture::Baseline, Architecture::virtual_thread()] {
+        let mut cfg = small_config(arch);
+        cfg.core.metrics_window = Some(64);
+        let mut session = Session::new(cfg).with_sink(RingSink::new(1 << 22));
+        let report = session
+            .run(RunRequest::kernel(&k))
+            .and_then(|o| o.completed())
+            .unwrap_or_else(|e| panic!("{}: {e}", arch.label()))
+            .remove(0);
+        let sink = session.into_sink();
+        assert_eq!(sink.dropped(), 0);
+        let events = sink.into_events();
+        let m = report.stats.metrics().expect("metrics enabled");
+        assert!(m.windows() >= 2, "{}: run too short", arch.label());
+        if let Err(issues) = validate_metrics(&events, m) {
+            panic!("{}: {}", arch.label(), issues.join("; "));
         }
     }
 }
@@ -163,4 +230,31 @@ fn chrome_export_is_perfetto_shaped() {
         "reduction executes barriers so the trace has barrier spans"
     );
     assert!(report.stats.barriers > 0);
+}
+
+/// With a metered run, the Chrome export additionally carries the
+/// windowed series as Perfetto counter tracks.
+#[test]
+fn chrome_export_renders_metric_counter_tracks() {
+    let k = latency_bound();
+    let mut cfg = small_config(Architecture::virtual_thread());
+    cfg.core.metrics_window = Some(64);
+    let mut session = Session::new(cfg).with_sink(RingSink::new(1 << 22));
+    let report = session
+        .run(RunRequest::kernel(&k))
+        .and_then(|o| o.completed())
+        .expect("run completes")
+        .remove(0);
+    let events = session.into_sink().into_events();
+    let m = report.stats.metrics().expect("metrics enabled");
+    assert!(m.windows() > 0);
+    let json = to_chrome_json_with(&events, Some(m)).compact();
+    assert!(json.contains("\"ph\":\"C\""), "counter events present");
+    assert!(json.contains("vt_resident_warps"), "level series track");
+    assert!(json.contains("vt_warp_instrs"), "rate series track");
+    // Without a registry the export equals the plain form.
+    assert_eq!(
+        to_chrome_json_with(&events, None).compact(),
+        to_chrome_json(&events).compact()
+    );
 }

@@ -1,24 +1,69 @@
-//! `vtlint` — static lints for virtual-thread kernels.
+//! `vtlint` — static lints and performance model for virtual-thread
+//! kernels.
 //!
 //! ```text
-//! vtlint [--json] [--suite] [FILE.vtasm ...]
+//! vtlint [--json] [--model] [--suite] [FILE.vtasm ...]
 //! ```
 //!
 //! Lints `.vtasm` files and/or every kernel of the built-in workload
 //! suite. Human output prints one headline per kernel followed by its
-//! diagnostics; `--json` emits an array of per-kernel reports instead.
+//! diagnostics; `--json` emits machine-readable output instead.
 //!
-//! Exit status: `0` when no error-severity finding was produced, `1`
-//! when at least one kernel has errors, `2` on usage, I/O or parse
-//! problems.
+//! `--model` switches from correctness lints to the static performance
+//! model: per-resource resident-CTA bounds, scheduling-vs-capacity
+//! limiter classification, per-architecture residency predictions,
+//! coalescing/bank-conflict estimates and divergence nesting. Human
+//! output is a fixed-width table (one row per kernel) followed by the
+//! model lints; with `--json` it is an array of model objects.
+//!
+//! # JSON schema
+//!
+//! Without `--model`, the output is an array of report objects:
+//!
+//! ```json
+//! [{"kernel": "...", "declared_regs": n, "used_regs": n,
+//!   "register_pressure": n, "barriers": n, "barrier_intervals": n,
+//!   "errors": n, "warnings": n,
+//!   "diagnostics": [{"severity": "error|warning|info", "rule": "...",
+//!                    "pc": n | null, "message": "..."}]}]
+//! ```
+//!
+//! With `--model`, an array of model objects:
+//!
+//! ```json
+//! [{"kernel": "...", "threads_per_cta": n, "warps_per_cta": n,
+//!   "regs_per_thread": n, "smem_bytes_per_cta": n,
+//!   "bounds": {"by_cta_slots": n, "by_warp_slots": n,
+//!              "by_registers": n, "by_shared_memory": n | null},
+//!   "limiter": "cta-slots|warp-slots|registers|shared-memory|balanced",
+//!   "scheduling_limited": bool,
+//!   "residency": {"baseline": n, "vt": n, "ideal": n, "memswap": n},
+//!   "residency_gain": x, "predicts_vt_gain": bool,
+//!   "divergence_nesting": n, "register_pressure": n,
+//!   "mem_sites": [{"pc": n, "space": "g|s", "store": bool,
+//!                  "stride": n | null, "segments_per_warp": n | null,
+//!                  "bank_conflict_ways": n | null}],
+//!   "diagnostics": [...]}]
+//! ```
+//!
+//! # Exit status
+//!
+//! * `0` — no error-severity finding. **Warnings and infos exit 0**: a
+//!   suspicious-but-legal kernel (may-races, uncoalesced accesses, dead
+//!   stores) must not fail CI pipelines that gate on the exit code.
+//! * `1` — at least one kernel produced an error-severity finding
+//!   (divergent barriers, barrier mismatches: the kernel can deadlock).
+//!   The model's findings are all warnings, so `--model` runs exit 0.
+//! * `2` — usage, I/O or parse problems.
 
 use std::process::ExitCode;
-use vt_analysis::{analyze, Report};
+use vt_analysis::{analyze, model, ModelConfig, Report};
 use vt_json::{Json, ToJson};
 use vt_workloads::{suite, Scale};
 
 struct Args {
     json: bool,
+    model: bool,
     suite: bool,
     files: Vec<String>,
 }
@@ -26,15 +71,19 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         json: false,
+        model: false,
         suite: false,
         files: Vec::new(),
     };
     for a in std::env::args().skip(1) {
         match a.as_str() {
             "--json" => args.json = true,
+            "--model" => args.model = true,
             "--suite" => args.suite = true,
             "--help" | "-h" => {
-                return Err("usage: vtlint [--json] [--suite] [FILE.vtasm ...]".to_string())
+                return Err(
+                    "usage: vtlint [--json] [--model] [--suite] [FILE.vtasm ...]".to_string(),
+                )
             }
             _ if a.starts_with('-') => return Err(format!("unknown flag `{a}`")),
             _ => args.files.push(a),
@@ -46,36 +95,20 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn collect(args: &Args) -> Result<Vec<Report>, String> {
-    let mut reports = Vec::new();
+fn kernels(args: &Args) -> Result<Vec<vt_isa::Kernel>, String> {
+    let mut out = Vec::new();
     for path in &args.files {
         let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let kernel = vt_isa::asm::assemble(&src).map_err(|e| format!("{path}: {e}"))?;
-        reports.push(analyze(&kernel));
+        out.push(vt_isa::asm::assemble(&src).map_err(|e| format!("{path}: {e}"))?);
     }
     if args.suite {
-        for w in suite(&Scale::test()) {
-            reports.push(analyze(&w.kernel));
-        }
+        out.extend(suite(&Scale::test()).into_iter().map(|w| w.kernel));
     }
-    Ok(reports)
+    Ok(out)
 }
 
-fn main() -> ExitCode {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            return ExitCode::from(2);
-        }
-    };
-    let reports = match collect(&args) {
-        Ok(r) => r,
-        Err(msg) => {
-            eprintln!("vtlint: {msg}");
-            return ExitCode::from(2);
-        }
-    };
+fn run_lints(args: &Args, kernels: &[vt_isa::Kernel]) -> ExitCode {
+    let reports: Vec<Report> = kernels.iter().map(analyze).collect();
     if args.json {
         let arr = Json::Array(reports.iter().map(ToJson::to_json).collect());
         println!("{}", arr.pretty());
@@ -96,9 +129,64 @@ fn main() -> ExitCode {
             if warnings == 1 { "" } else { "s" },
         );
     }
+    // Errors-only gate: warnings must not break pipelines.
     if reports.iter().any(Report::has_errors) {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
+    }
+}
+
+fn run_model(args: &Args, kernels: &[vt_isa::Kernel]) -> ExitCode {
+    let cfg = ModelConfig::default();
+    let models: Vec<_> = kernels.iter().map(|k| model(k, &cfg)).collect();
+    if args.json {
+        let arr = Json::Array(models.iter().map(ToJson::to_json).collect());
+        println!("{}", arr.pretty());
+    } else {
+        print!("{}", vt_analysis::model::table(&models));
+        let mut flagged = 0usize;
+        for m in &models {
+            for d in &m.diagnostics {
+                if flagged == 0 {
+                    println!();
+                }
+                flagged += 1;
+                println!("{}: {d}", m.kernel);
+            }
+        }
+        let sched = models.iter().filter(|m| m.scheduling_limited()).count();
+        println!(
+            "\n{} kernel{} modelled: {sched} scheduling-limited, {} capacity-limited, \
+             {flagged} memory/divergence finding{}",
+            models.len(),
+            if models.len() == 1 { "" } else { "s" },
+            models.len() - sched,
+            if flagged == 1 { "" } else { "s" },
+        );
+    }
+    // The model's findings are all warnings; only usage errors fail.
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let kernels = match kernels(&args) {
+        Ok(k) => k,
+        Err(msg) => {
+            eprintln!("vtlint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.model {
+        run_model(&args, &kernels)
+    } else {
+        run_lints(&args, &kernels)
     }
 }

@@ -61,6 +61,15 @@ pub enum Rule {
     /// The kernel declares more registers than it ever uses
     /// (deliberate footprint padding, or a stale declaration).
     OverDeclaredRegs,
+    /// A global access's affine address stride spreads one warp's lanes
+    /// across many 128-byte segments, multiplying memory traffic.
+    UncoalescedGlobal,
+    /// A shared-memory access's affine word stride maps multiple lanes
+    /// of a warp to the same bank, serialising the access.
+    SmemBankConflict,
+    /// Divergent branches nest deeply, so the innermost instructions run
+    /// with a small fraction of the warp's lanes active.
+    DeepDivergence,
 }
 
 impl Rule {
@@ -74,6 +83,9 @@ impl Rule {
             Rule::BarrierMismatch => "barrier-mismatch",
             Rule::SharedRace => "shared-race",
             Rule::OverDeclaredRegs => "over-declared-regs",
+            Rule::UncoalescedGlobal => "uncoalesced-global",
+            Rule::SmemBankConflict => "smem-bank-conflict",
+            Rule::DeepDivergence => "deep-divergence",
         }
     }
 }

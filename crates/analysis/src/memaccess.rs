@@ -1,0 +1,435 @@
+//! Static memory-behaviour estimation: coalescing width per global
+//! access, bank-conflict degree per shared access, and divergence
+//! nesting depth.
+//!
+//! The address classifier is the same affine `k·tid + c (+ base)` engine
+//! the race detector uses ([`crate::race::classify`]); this module asks
+//! different questions of the classified form:
+//!
+//! * **Coalescing** — for a global load/store, how many 128-byte
+//!   segments do one warp's 32 lanes touch? The opaque `base` term is
+//!   assumed segment-aligned (allocations are), so the count is the
+//!   number of distinct `⌊(c + k·l) / seg⌋` values over lanes
+//!   `l ∈ 0..32`. Unknown addresses (data-dependent gathers, values
+//!   merged over loop back edges) get no estimate rather than a wrong
+//!   one.
+//! * **Bank conflicts** — for a shared access, the maximum number of
+//!   *distinct words* one warp maps onto a single bank (`bank =
+//!   word mod 32`). Lanes hitting the same word broadcast and do not
+//!   conflict, matching the simulator's bank model.
+//! * **Divergence nesting** — how deeply divergent branches nest: the
+//!   maximum number of divergent branch-to-reconvergence spans covering
+//!   any one instruction (post-dominator-verified spans, since `reconv`
+//!   is checked against the immediate post-dominator elsewhere).
+
+use crate::dataflow::BitSet;
+use crate::defs::Reaching;
+use crate::diag::{Diagnostic, Rule, Severity};
+use crate::race::{classify, AddrClass};
+use crate::uniform::Uniformity;
+use vt_isa::op::MemSpace;
+use vt_isa::{Instr, Program, WARP_SIZE};
+
+/// Chase depth for address classification (same budget as the race
+/// detector).
+const MAX_DEPTH: u32 = 16;
+
+/// Warn when one warp access touches at least this many segments.
+pub const UNCOALESCED_SEGMENTS: u32 = 8;
+
+/// Warn when at least this many distinct words map to one bank.
+pub const CONFLICT_WAYS: u32 = 2;
+
+/// Warn when divergent branches nest at least this deep.
+pub const DEEP_NESTING: u32 = 3;
+
+/// One global or shared memory access site with its static estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemSite {
+    /// Program counter of the access.
+    pub pc: usize,
+    /// Address space.
+    pub space: MemSpace,
+    /// Whether the access writes (stores and atomics).
+    pub is_store: bool,
+    /// Per-thread byte stride when the address classified as affine.
+    pub stride: Option<i64>,
+    /// Distinct 128-byte segments one warp touches (global, affine
+    /// addresses only; `None` for data-dependent addresses).
+    pub segments_per_warp: Option<u32>,
+    /// Maximum distinct words mapping to one bank (shared, affine
+    /// addresses only; 1 means conflict-free).
+    pub bank_conflict_ways: Option<u32>,
+}
+
+/// Distinct `seg`-byte segments touched by lanes `0..WARP_SIZE` of an
+/// affine access `k·l + c`, assuming a segment-aligned base.
+fn affine_segments(k: i64, c: i64, seg: u32) -> u32 {
+    let seg = i64::from(seg.max(1));
+    let mut segs: Vec<i64> = (0..i64::from(WARP_SIZE))
+        .map(|l| (c + k * l).div_euclid(seg))
+        .collect();
+    segs.sort_unstable();
+    segs.dedup();
+    segs.len() as u32
+}
+
+/// Maximum number of distinct words one bank receives from lanes
+/// `0..WARP_SIZE` of an affine access `k·l + c` (same word broadcasts).
+fn affine_conflict_ways(k: i64, c: i64, banks: u32) -> u32 {
+    let banks = banks.max(1) as usize;
+    let mut per_bank: Vec<Vec<i64>> = vec![Vec::new(); banks];
+    for l in 0..i64::from(WARP_SIZE) {
+        let word = (c + k * l).div_euclid(4);
+        let bank = word.rem_euclid(banks as i64) as usize;
+        if !per_bank[bank].contains(&word) {
+            per_bank[bank].push(word);
+        }
+    }
+    per_bank.iter().map(Vec::len).max().unwrap_or(1).max(1) as u32
+}
+
+/// Collects every reachable memory access with its static estimates.
+pub fn sites(
+    program: &Program,
+    reaching: &Reaching,
+    uniform: &Uniformity,
+    reachable: &BitSet,
+    segment_bytes: u32,
+    banks: u32,
+) -> Vec<MemSite> {
+    let mut out = Vec::new();
+    for (pc, instr) in program.iter() {
+        if !reachable.contains(pc) {
+            continue;
+        }
+        let (space, addr, offset, is_store) = match *instr {
+            Instr::Ld {
+                space,
+                addr,
+                offset,
+                ..
+            } => (space, addr, offset, false),
+            Instr::St {
+                space,
+                addr,
+                offset,
+                ..
+            } => (space, addr, offset, true),
+            // Atomics always target global memory.
+            Instr::Atom { addr, offset, .. } => (MemSpace::Global, addr, offset, true),
+            _ => continue,
+        };
+        let class = classify(program, reaching, uniform, pc, addr, MAX_DEPTH);
+        let (stride, segments_per_warp, bank_conflict_ways) = match class {
+            AddrClass::Affine { k, c, .. } => {
+                let c = c + i64::from(offset);
+                match space {
+                    MemSpace::Global => (Some(k), Some(affine_segments(k, c, segment_bytes)), None),
+                    MemSpace::Shared => (Some(k), None, Some(affine_conflict_ways(k, c, banks))),
+                }
+            }
+            AddrClass::Unknown => (None, None, None),
+        };
+        out.push(MemSite {
+            pc,
+            space,
+            is_store,
+            stride,
+            segments_per_warp,
+            bank_conflict_ways,
+        });
+    }
+    out
+}
+
+/// Maximum nesting depth of divergent branch-to-reconvergence spans: how
+/// many divergent regions enclose the most-enclosed instruction (0 when
+/// control flow never diverges).
+pub fn divergence_nesting(program: &Program, uniform: &Uniformity, reachable: &BitSet) -> u32 {
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    for (pc, instr) in program.iter() {
+        if !reachable.contains(pc) || !uniform.divergent_branch[pc] {
+            continue;
+        }
+        if let Instr::BraCond { reconv, .. } = instr {
+            if *reconv > pc + 1 {
+                spans.push((pc + 1, *reconv));
+            }
+        }
+    }
+    let mut depth = 0u32;
+    for pc in 0..program.len() {
+        let covering = spans
+            .iter()
+            .filter(|(lo, hi)| (*lo..*hi).contains(&pc))
+            .count() as u32;
+        depth = depth.max(covering);
+    }
+    depth
+}
+
+/// Turns the estimates into lint findings (all warnings: the patterns
+/// are legal, just slow).
+pub fn lints(sites: &[MemSite], nesting: u32) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for s in sites {
+        let kind = if s.is_store { "store" } else { "load" };
+        if let Some(segs) = s.segments_per_warp {
+            if segs >= UNCOALESCED_SEGMENTS {
+                diags.push(Diagnostic::at(
+                    Severity::Warning,
+                    Rule::UncoalescedGlobal,
+                    s.pc,
+                    format!(
+                        "global {kind} spreads one warp over {segs} 128-byte segments \
+                         (per-thread stride {} bytes)",
+                        s.stride.unwrap_or(0)
+                    ),
+                ));
+            }
+        }
+        if let Some(ways) = s.bank_conflict_ways {
+            if ways >= CONFLICT_WAYS {
+                diags.push(Diagnostic::at(
+                    Severity::Warning,
+                    Rule::SmemBankConflict,
+                    s.pc,
+                    format!(
+                        "shared {kind} has {ways}-way bank conflicts \
+                         (per-thread stride {} bytes)",
+                        s.stride.unwrap_or(0)
+                    ),
+                ));
+            }
+        }
+    }
+    if nesting >= DEEP_NESTING {
+        diags.push(Diagnostic::kernel(
+            Severity::Warning,
+            Rule::DeepDivergence,
+            format!(
+                "divergent branches nest {nesting} deep; innermost instructions \
+                 run with a small fraction of the warp active"
+            ),
+        ));
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use vt_isa::op::{AluOp, BranchIf, Operand, Reg, Sreg};
+
+    fn facts(p: &Program, regs: u16) -> (Reaching, Uniformity, BitSet) {
+        let cfg = Cfg::build(p);
+        let reach = cfg.reachable();
+        let r = Reaching::compute(p, &cfg, regs);
+        let u = Uniformity::compute(p, &r, &reach);
+        (r, u, reach)
+    }
+
+    fn mov(dst: u16, a: Operand) -> Instr {
+        Instr::Alu {
+            op: AluOp::Mov,
+            dst: Reg(dst),
+            a,
+            b: Operand::Imm(0),
+        }
+    }
+
+    /// `r[dst] = tid << shift` (byte address with stride `1 << shift`).
+    fn tid_shl(dst: u16, tid_reg: u16, shift: u32) -> [Instr; 2] {
+        [
+            mov(tid_reg, Operand::Sreg(Sreg::Tid)),
+            Instr::Alu {
+                op: AluOp::Shl,
+                dst: Reg(dst),
+                a: Operand::Reg(Reg(tid_reg)),
+                b: Operand::Imm(shift),
+            },
+        ]
+    }
+
+    fn ld(space: MemSpace, dst: u16, addr: Operand) -> Instr {
+        Instr::Ld {
+            space,
+            dst: Reg(dst),
+            addr,
+            offset: 0,
+        }
+    }
+
+    #[test]
+    fn unit_stride_coalesces_to_one_segment() {
+        let [a, b] = tid_shl(1, 0, 2); // stride 4
+        let p = Program::new(vec![
+            a,
+            b,
+            ld(MemSpace::Global, 2, Operand::Reg(Reg(1))),
+            Instr::Exit,
+        ]);
+        let (r, u, reach) = facts(&p, 3);
+        let s = sites(&p, &r, &u, &reach, 128, 32);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].stride, Some(4));
+        assert_eq!(s[0].segments_per_warp, Some(1));
+        assert!(lints(&s, 0).is_empty());
+    }
+
+    #[test]
+    fn wide_stride_is_fully_uncoalesced() {
+        let [a, b] = tid_shl(1, 0, 7); // stride 128: one segment per lane
+        let p = Program::new(vec![
+            a,
+            b,
+            ld(MemSpace::Global, 2, Operand::Reg(Reg(1))),
+            Instr::Exit,
+        ]);
+        let (r, u, reach) = facts(&p, 3);
+        let s = sites(&p, &r, &u, &reach, 128, 32);
+        assert_eq!(s[0].segments_per_warp, Some(32));
+        let diags = lints(&s, 0);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::UncoalescedGlobal);
+    }
+
+    #[test]
+    fn broadcast_address_is_one_segment() {
+        let p = Program::new(vec![
+            ld(MemSpace::Global, 0, Operand::Imm(512)),
+            Instr::Exit,
+        ]);
+        let (r, u, reach) = facts(&p, 1);
+        let s = sites(&p, &r, &u, &reach, 128, 32);
+        assert_eq!(s[0].stride, Some(0));
+        assert_eq!(s[0].segments_per_warp, Some(1));
+    }
+
+    #[test]
+    fn data_dependent_gather_has_no_estimate() {
+        let p = Program::new(vec![
+            ld(MemSpace::Global, 0, Operand::Imm(0)),
+            ld(MemSpace::Global, 1, Operand::Reg(Reg(0))),
+            Instr::Exit,
+        ]);
+        let (r, u, reach) = facts(&p, 2);
+        let s = sites(&p, &r, &u, &reach, 128, 32);
+        assert_eq!(s[1].stride, None);
+        assert_eq!(s[1].segments_per_warp, None);
+        assert!(lints(&s, 0).is_empty(), "no estimate, no lint");
+    }
+
+    #[test]
+    fn shared_unit_stride_is_conflict_free() {
+        let [a, b] = tid_shl(1, 0, 2);
+        let p = Program::new(vec![
+            a,
+            b,
+            ld(MemSpace::Shared, 2, Operand::Reg(Reg(1))),
+            Instr::Exit,
+        ]);
+        let (r, u, reach) = facts(&p, 3);
+        let s = sites(&p, &r, &u, &reach, 128, 32);
+        assert_eq!(s[0].bank_conflict_ways, Some(1));
+        assert!(lints(&s, 0).is_empty());
+    }
+
+    #[test]
+    fn power_of_two_word_stride_conflicts() {
+        // stride 32 words (128 bytes): every lane hits bank (c/4) mod 32,
+        // 32 distinct words on one bank.
+        let [a, b] = tid_shl(1, 0, 7);
+        let p = Program::new(vec![
+            a,
+            b,
+            ld(MemSpace::Shared, 2, Operand::Reg(Reg(1))),
+            Instr::Exit,
+        ]);
+        let (r, u, reach) = facts(&p, 3);
+        let s = sites(&p, &r, &u, &reach, 128, 32);
+        assert_eq!(s[0].bank_conflict_ways, Some(32));
+        let diags = lints(&s, 0);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::SmemBankConflict);
+        // Stride 2 words: pairs of lanes share a bank (gcd(2,32) = 2).
+        assert_eq!(affine_conflict_ways(8, 0, 32), 2);
+        // Odd word strides are coprime with 32 banks: conflict-free.
+        assert_eq!(affine_conflict_ways(12, 0, 32), 1);
+        assert_eq!(affine_conflict_ways(20, 0, 32), 1);
+    }
+
+    #[test]
+    fn shared_broadcast_does_not_conflict() {
+        let p = Program::new(vec![ld(MemSpace::Shared, 0, Operand::Imm(64)), Instr::Exit]);
+        let (r, u, reach) = facts(&p, 1);
+        let s = sites(&p, &r, &u, &reach, 128, 32);
+        assert_eq!(s[0].bank_conflict_ways, Some(1), "same word broadcasts");
+    }
+
+    #[test]
+    fn atomics_count_as_global_stores() {
+        let [a, b] = tid_shl(1, 0, 2);
+        let p = Program::new(vec![
+            a,
+            b,
+            Instr::Atom {
+                op: vt_isa::op::AtomOp::Add,
+                dst: None,
+                addr: Operand::Reg(Reg(1)),
+                offset: 0,
+                val: Operand::Imm(1),
+            },
+            Instr::Exit,
+        ]);
+        let (r, u, reach) = facts(&p, 3);
+        let s = sites(&p, &r, &u, &reach, 128, 32);
+        assert_eq!(s.len(), 1);
+        assert!(s[0].is_store);
+        assert_eq!(s[0].space, MemSpace::Global);
+    }
+
+    #[test]
+    fn nesting_depth_counts_divergent_spans_only() {
+        // Uniform branch: depth stays 0.
+        let p = Program::new(vec![
+            Instr::BraCond {
+                pred: Operand::Imm(1),
+                when: BranchIf::Zero,
+                target: 2,
+                reconv: 2,
+            },
+            mov(0, Operand::Imm(1)),
+            Instr::Exit,
+        ]);
+        let (_, u, reach) = facts(&p, 1);
+        assert_eq!(divergence_nesting(&p, &u, &reach), 0);
+
+        // Two nested tid-dependent branches: depth 2.
+        let p = Program::new(vec![
+            mov(0, Operand::Sreg(Sreg::Tid)),
+            Instr::BraCond {
+                pred: Operand::Reg(Reg(0)),
+                when: BranchIf::Zero,
+                target: 5,
+                reconv: 5,
+            },
+            Instr::BraCond {
+                pred: Operand::Reg(Reg(0)),
+                when: BranchIf::NonZero,
+                target: 4,
+                reconv: 4,
+            },
+            mov(1, Operand::Imm(7)),
+            mov(1, Operand::Imm(8)),
+            Instr::Exit,
+        ]);
+        let (_, u, reach) = facts(&p, 2);
+        assert_eq!(divergence_nesting(&p, &u, &reach), 2);
+        let diags = lints(&[], 3);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, Rule::DeepDivergence);
+    }
+}

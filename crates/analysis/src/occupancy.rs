@@ -1,0 +1,199 @@
+//! Static occupancy model: per-resource resident-CTA bounds and the
+//! per-architecture residency policies that consume them.
+//!
+//! The bound arithmetic itself lives in [`vt_isa::limits`] — the single
+//! source of truth shared with the timing simulator's configuration — so
+//! this module only adds what a *static* model needs on top: the
+//! [`ResidencyModel`] each architecture variant applies to the bounds
+//! (mirroring `vt-sim`'s admission policies without depending on the
+//! simulator crate), and the [`OccupancyModel`] wrapper `vtlint --model`
+//! and the cross-validation oracle consume.
+//!
+//! The architecture labels in [`standard_archs`] deliberately match
+//! `vt_core::Architecture::label()`; the integration-test oracle asserts
+//! that the two crates' lowerings agree for every variant so the
+//! duplicated policy table cannot drift.
+
+use vt_isa::Kernel;
+
+pub use vt_isa::limits::{CtaBounds, Limiter, SmLimits};
+
+/// How an architecture turns the per-resource bounds into a resident-CTA
+/// bound. This is the static mirror of `vt_sim::AdmissionPolicy`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResidencyModel {
+    /// Baseline hardware: scheduling and capacity limits both apply.
+    SchedulingAndCapacity,
+    /// Virtual Thread family: only the capacity limit applies, with an
+    /// optional cap on resident (virtual) CTAs modelling a finite
+    /// context buffer.
+    CapacityOnly {
+        /// Maximum resident CTAs per SM, if the context buffer bounds it.
+        max_resident_ctas: Option<u32>,
+    },
+}
+
+impl ResidencyModel {
+    /// The resident-CTA bound this policy extracts from `bounds`.
+    pub fn resident_bound(&self, bounds: &CtaBounds) -> u32 {
+        match self {
+            ResidencyModel::SchedulingAndCapacity => bounds.baseline(),
+            ResidencyModel::CapacityOnly { max_resident_ctas } => {
+                let cap = bounds.capacity();
+                match max_resident_ctas {
+                    Some(max) => cap.min(*max),
+                    None => cap,
+                }
+            }
+        }
+    }
+}
+
+/// One architecture variant as the static model sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArchModel {
+    /// Label matching `vt_core::Architecture::label()`.
+    pub label: &'static str,
+    /// Residency policy the variant applies.
+    pub residency: ResidencyModel,
+}
+
+/// The four architectures under comparison, in the order the experiment
+/// harness tabulates them: baseline, Virtual Thread, ideal, and the
+/// memory-backed swap variant. VT, ideal and memswap all admit to the
+/// capacity limit; they differ only in *active*-CTA handling, which does
+/// not change peak residency.
+pub fn standard_archs() -> [ArchModel; 4] {
+    let capacity = ResidencyModel::CapacityOnly {
+        max_resident_ctas: None,
+    };
+    [
+        ArchModel {
+            label: "baseline",
+            residency: ResidencyModel::SchedulingAndCapacity,
+        },
+        ArchModel {
+            label: "vt",
+            residency: capacity,
+        },
+        ArchModel {
+            label: "ideal",
+            residency: capacity,
+        },
+        ArchModel {
+            label: "memswap",
+            residency: capacity,
+        },
+    ]
+}
+
+/// Static occupancy of one kernel under one set of SM limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OccupancyModel {
+    /// The per-resource resident-CTA bounds.
+    pub bounds: CtaBounds,
+    /// The binding resource class under the baseline policy.
+    pub limiter: Limiter,
+    /// Warps per CTA (for the table output).
+    pub warps_per_cta: u32,
+}
+
+impl OccupancyModel {
+    /// Computes the model for `kernel` under `limits`.
+    pub fn compute(limits: &SmLimits, kernel: &Kernel) -> OccupancyModel {
+        let bounds = limits.bounds(kernel);
+        OccupancyModel {
+            bounds,
+            limiter: bounds.limiter(),
+            warps_per_cta: kernel.warps_per_cta(),
+        }
+    }
+
+    /// The peak residency the dynamic engine should observe on an SM that
+    /// is assigned `ctas_assigned` CTAs of the grid: the resource bound,
+    /// clamped by the work actually available.
+    pub fn predicted_peak(&self, residency: &ResidencyModel, ctas_assigned: u32) -> u32 {
+        residency.resident_bound(&self.bounds).min(ctas_assigned)
+    }
+
+    /// How many times more CTAs the capacity-only policies can host than
+    /// the baseline (the paper's residency-gain headline; 1.0 means VT
+    /// cannot add residency).
+    pub fn vt_headroom(&self) -> f64 {
+        let base = self.bounds.baseline();
+        if base == 0 {
+            return 0.0;
+        }
+        f64::from(self.bounds.capacity()) / f64::from(base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vt_isa::KernelBuilder;
+
+    fn kernel(threads: u32, regs: u16, smem: u32) -> Kernel {
+        let mut b = KernelBuilder::new("k");
+        b.pad_regs(regs);
+        b.pad_smem(smem);
+        b.exit();
+        b.build(1, threads).unwrap()
+    }
+
+    #[test]
+    fn residency_models_split_on_the_scheduling_limit() {
+        let m = OccupancyModel::compute(&SmLimits::fermi(), &kernel(64, 16, 0));
+        assert_eq!(m.limiter, Limiter::CtaSlots);
+        let base = ResidencyModel::SchedulingAndCapacity.resident_bound(&m.bounds);
+        let cap = ResidencyModel::CapacityOnly {
+            max_resident_ctas: None,
+        }
+        .resident_bound(&m.bounds);
+        assert_eq!(base, 8);
+        assert_eq!(cap, 32, "128 KiB / (2 warps × 32 × 16 regs × 4 B)");
+        assert!(m.vt_headroom() > 2.0);
+    }
+
+    #[test]
+    fn context_buffer_cap_clamps_the_capacity_bound() {
+        let m = OccupancyModel::compute(&SmLimits::fermi(), &kernel(64, 16, 0));
+        let capped = ResidencyModel::CapacityOnly {
+            max_resident_ctas: Some(12),
+        };
+        assert_eq!(capped.resident_bound(&m.bounds), 12);
+    }
+
+    #[test]
+    fn predicted_peak_is_grid_clamped() {
+        let m = OccupancyModel::compute(&SmLimits::fermi(), &kernel(64, 16, 0));
+        let cap = ResidencyModel::CapacityOnly {
+            max_resident_ctas: None,
+        };
+        assert_eq!(m.predicted_peak(&cap, 3), 3, "only 3 CTAs to run");
+        assert_eq!(m.predicted_peak(&cap, 100), 32, "resource bound");
+    }
+
+    #[test]
+    fn standard_archs_cover_the_four_variants_once() {
+        let archs = standard_archs();
+        assert_eq!(archs.len(), 4);
+        assert_eq!(archs[0].label, "baseline");
+        assert_eq!(archs[0].residency, ResidencyModel::SchedulingAndCapacity);
+        for a in &archs[1..] {
+            assert!(matches!(
+                a.residency,
+                ResidencyModel::CapacityOnly {
+                    max_resident_ctas: None
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn capacity_limited_kernels_have_no_headroom() {
+        let m = OccupancyModel::compute(&SmLimits::fermi(), &kernel(256, 42, 0));
+        assert!(!m.limiter.is_scheduling());
+        assert!((m.vt_headroom() - 1.0).abs() < 1e-9);
+    }
+}

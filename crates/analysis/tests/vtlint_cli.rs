@@ -1,0 +1,186 @@
+//! End-to-end tests for the `vtlint` binary: exit-code contract and
+//! `--json` schema shape for both the lint and `--model` outputs.
+//!
+//! The contract under test (documented in the binary's module docs):
+//!
+//! * exit 0 — no error-severity finding (warnings/infos do not fail);
+//! * exit 1 — at least one error-severity finding;
+//! * exit 2 — usage, I/O or parse problems.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use vt_json::Json;
+
+fn vtlint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_vtlint"))
+        .args(args)
+        .output()
+        .expect("spawn vtlint")
+}
+
+fn write_fixture(name: &str, src: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("vtlint-cli-{}-{name}", std::process::id()));
+    std::fs::write(&path, src).expect("write fixture");
+    path
+}
+
+/// A legal kernel whose only findings are warnings (uninitialised read
+/// of a zero-initialised register plus a dead store).
+const WARNING_ONLY: &str = "\
+.kernel warn-only
+.grid 1 64
+.regs 2
+    mov r1, r0
+    exit
+";
+
+/// A kernel with a barrier under a tid-dependent branch: a
+/// divergent-barrier *error* (the CTA can deadlock).
+const DIVERGENT_BARRIER: &str = "\
+.kernel div-bar
+.grid 1 64
+.regs 1
+    mov r0, %tid
+    brc.z r0, @end, @end
+    bar
+@end:
+    exit
+";
+
+#[test]
+fn warnings_exit_zero_errors_exit_one() {
+    let warn = write_fixture("warn.vtasm", WARNING_ONLY);
+    let out = vtlint(&[warn.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "warnings must not fail the exit code: {stdout}"
+    );
+    assert!(stdout.contains("warning"), "{stdout}");
+
+    let err = write_fixture("err.vtasm", DIVERGENT_BARRIER);
+    let out = vtlint(&[err.to_str().unwrap()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "errors must exit 1: {stdout}");
+    assert!(stdout.contains("divergent-barrier"), "{stdout}");
+
+    // An error elsewhere in the batch still fails the whole run.
+    let out = vtlint(&[warn.to_str().unwrap(), err.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+
+    std::fs::remove_file(warn).ok();
+    std::fs::remove_file(err).ok();
+}
+
+#[test]
+fn usage_and_io_problems_exit_two() {
+    // No inputs at all.
+    let out = vtlint(&[]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // Unknown flag.
+    let out = vtlint(&["--bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // Missing file.
+    let out = vtlint(&["/nonexistent/kernel.vtasm"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // Unparseable source.
+    let bad = write_fixture("bad.vtasm", "this is not vtasm\n");
+    let out = vtlint(&[bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_file(bad).ok();
+}
+
+#[test]
+fn lint_json_matches_documented_schema() {
+    let out = vtlint(&["--suite", "--json"]);
+    assert_eq!(out.status.code(), Some(0), "suite has warnings only");
+    let json = Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    let reports = json.as_array().expect("top-level array");
+    assert_eq!(reports.len(), 14, "one report per suite kernel");
+    for r in reports {
+        for key in [
+            "kernel",
+            "declared_regs",
+            "used_regs",
+            "register_pressure",
+            "barriers",
+            "barrier_intervals",
+            "errors",
+            "warnings",
+            "diagnostics",
+        ] {
+            assert!(r.get(key).is_some(), "report missing key `{key}`");
+        }
+        assert_eq!(vt_json::req_u64(r, "errors").unwrap(), 0);
+        for d in vt_json::req_array(r, "diagnostics").unwrap() {
+            for key in ["severity", "rule", "pc", "message"] {
+                assert!(d.get(key).is_some(), "diagnostic missing key `{key}`");
+            }
+        }
+    }
+}
+
+#[test]
+fn model_json_matches_documented_schema() {
+    let out = vtlint(&["--model", "--suite", "--json"]);
+    assert_eq!(out.status.code(), Some(0), "model findings are warnings");
+    let json = Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
+    let models = json.as_array().expect("top-level array");
+    assert_eq!(models.len(), 14, "one model per suite kernel");
+    for m in models {
+        for key in [
+            "kernel",
+            "threads_per_cta",
+            "warps_per_cta",
+            "regs_per_thread",
+            "smem_bytes_per_cta",
+            "bounds",
+            "limiter",
+            "scheduling_limited",
+            "residency",
+            "residency_gain",
+            "predicts_vt_gain",
+            "divergence_nesting",
+            "register_pressure",
+            "mem_sites",
+            "diagnostics",
+        ] {
+            assert!(m.get(key).is_some(), "model missing key `{key}`");
+        }
+        let bounds = vt_json::req(m, "bounds").unwrap();
+        let sched = vt_json::req_u64(bounds, "by_cta_slots")
+            .unwrap()
+            .min(vt_json::req_u64(bounds, "by_warp_slots").unwrap());
+        let residency = vt_json::req(m, "residency").unwrap();
+        let base = vt_json::req_u64(residency, "baseline").unwrap();
+        let vt = vt_json::req_u64(residency, "vt").unwrap();
+        assert!(base >= 1, "at least one CTA always fits");
+        assert!(vt >= base, "VT never reduces residency");
+        assert!(base <= sched, "baseline respects scheduling slots");
+        assert_eq!(
+            vt_json::req_u64(residency, "ideal").unwrap(),
+            vt,
+            "ideal and vt share the capacity-only bound"
+        );
+        for site in vt_json::req_array(m, "mem_sites").unwrap() {
+            let space = vt_json::req_str(site, "space").unwrap();
+            assert!(space == "g" || space == "s", "space is `g` or `s`");
+            assert!(site.get("stride").is_some());
+        }
+    }
+}
+
+#[test]
+fn model_table_lists_every_suite_kernel() {
+    let out = vtlint(&["--model", "--suite"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["bfs", "sgemm", "lbm", "backprop", "streamcluster"] {
+        assert!(stdout.contains(name), "table missing `{name}`:\n{stdout}");
+    }
+    assert!(stdout.contains("scheduling-limited"), "{stdout}");
+}

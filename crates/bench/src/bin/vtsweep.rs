@@ -276,13 +276,7 @@ fn install_ctrl_c(token: CancelToken) {
     if CANCEL.set(token).is_err() {
         return; // already installed
     }
-    extern "C" {
-        fn signal(signum: i32, handler: usize) -> usize;
-    }
-    const SIGINT: i32 = 2;
-    unsafe {
-        signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
-    }
+    vt_par::install_sigint(on_sigint);
 }
 
 // ------------------------------------------------------------------ grid

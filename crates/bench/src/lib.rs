@@ -10,6 +10,7 @@
 //! cargo run --release -p vt-bench --bin fig03_speedup          # paper scale
 //! cargo run --release -p vt-bench --bin fig03_speedup -- --quick
 //! ```
+#![forbid(unsafe_code)]
 
 use std::fs;
 use std::path::PathBuf;

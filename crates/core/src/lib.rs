@@ -49,6 +49,7 @@
 //! # Ok(())
 //! # }
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod arch;
 pub mod energy;

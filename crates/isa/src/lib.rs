@@ -18,7 +18,10 @@
 //!   interpreter and the timing simulator,
 //! * [`simt::SimtStack`] — the immediate-post-dominator reconvergence stack,
 //! * [`interp::Interpreter`] — a timing-free reference interpreter used as a
-//!   functional oracle in tests.
+//!   functional oracle in tests,
+//! * [`limits::SmLimits`] — the per-SM scheduling/capacity limit constants
+//!   and the exact per-resource resident-CTA bounds they imply, shared by
+//!   the timing simulator and the static analyzer.
 //!
 //! # Example
 //!
@@ -54,6 +57,8 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod asm;
 pub mod builder;
 pub mod error;
@@ -61,6 +66,7 @@ pub mod exec;
 pub mod instr;
 pub mod interp;
 pub mod kernel;
+pub mod limits;
 pub mod op;
 pub mod program;
 pub mod simt;
@@ -69,6 +75,7 @@ pub use builder::KernelBuilder;
 pub use error::IsaError;
 pub use instr::Instr;
 pub use kernel::Kernel;
+pub use limits::{CtaBounds, Limiter, SmLimits};
 pub use op::{AluOp, AtomOp, BranchIf, MemSpace, Operand, Reg, SfuOp, Sreg};
 pub use program::Program;
 pub use simt::{SimtEntry, SimtStack};

@@ -9,6 +9,7 @@
 //! [`Json::parse`]. Output is deterministic: object keys keep declaration
 //! order and the pretty printer is stable; `parse(pretty()) == value` for
 //! every value this crate can emit (non-finite floats emit as `null`).
+#![forbid(unsafe_code)]
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]

@@ -41,6 +41,7 @@
 //! }
 //! assert_eq!(done, vec![7]);
 //! ```
+#![forbid(unsafe_code)]
 
 pub mod cache;
 pub mod coalesce;

@@ -23,6 +23,8 @@
 //! synchronization at all — `threads == 1` is exactly the sequential
 //! code path.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -188,6 +190,39 @@ impl Pool {
             resume_unwind(payload);
         }
     }
+
+    /// Runs `job(i, &mut a[i], &mut b[i])` for every `i in 0..a.len()`,
+    /// in parallel. This is the safe wrapper around [`DisjointMut`] for
+    /// the common "tick two parallel arrays in lock-step" shape (the
+    /// simulator's per-cycle SM phase): the pool hands each index to
+    /// exactly one thread, so the per-index mutable borrows never alias
+    /// and no caller-side `unsafe` is needed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length, and re-raises the first
+    /// panic of any `job` invocation like [`Pool::run`].
+    pub fn run_pairs<A, B>(
+        &self,
+        a: &mut [A],
+        b: &mut [B],
+        job: &(dyn Fn(usize, &mut A, &mut B) + Sync),
+    ) where
+        A: Send,
+        B: Send,
+    {
+        assert_eq!(a.len(), b.len(), "run_pairs slices must zip exactly");
+        let items = a.len();
+        let a = DisjointMut::new(a);
+        let b = DisjointMut::new(b);
+        self.run(items, &|i| {
+            // SAFETY: `Pool::run` claims each index on exactly one thread,
+            // so these are the only live borrows of elements `i`.
+            let ai = unsafe { a.index_mut(i) };
+            let bi = unsafe { b.index_mut(i) };
+            job(i, ai, bi);
+        });
+    }
 }
 
 impl Drop for Pool {
@@ -281,7 +316,10 @@ impl<'a, T> DisjointMut<'a, T> {
             "DisjointMut index {i} out of bounds {}",
             self.len
         );
-        &mut *self.ptr.add(i)
+        // SAFETY: `i < len` was asserted, so the pointer stays inside the
+        // wrapped slice; exclusivity of the borrow is the caller's
+        // contract (see the `# Safety` section above).
+        unsafe { &mut *self.ptr.add(i) }
     }
 }
 
@@ -308,6 +346,24 @@ where
         .into_iter()
         .map(|m| m.into_inner().unwrap().expect("pool ran every job"))
         .collect()
+}
+
+/// Installs `handler` as the process's SIGINT handler via the libc
+/// `signal(2)` shim the C runtime already links. This is the workspace's
+/// single home for that FFI call, so binaries that want graceful Ctrl-C
+/// (checkpoint-then-exit) stay `unsafe`-free themselves; the handler must
+/// restrict itself to async-signal-safe work (atomic stores).
+pub fn install_sigint(handler: extern "C" fn(i32)) {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    // SAFETY: `signal` is the C standard library's own prototype, SIGINT
+    // is a valid signal number, and the handler pointer has the exact
+    // `extern "C" fn(i32)` ABI the registration expects.
+    unsafe {
+        signal(SIGINT, handler as usize);
+    }
 }
 
 /// The default thread count: the `VT_THREADS` environment variable when

@@ -5,6 +5,7 @@
 //! an external `rand` crate. The stream is stable across platforms and
 //! releases: the same seed always produces the same kernel inputs, which is
 //! exactly what reproducible experiments need.
+#![forbid(unsafe_code)]
 
 /// Deterministic xorshift64* generator.
 ///

@@ -1,7 +1,7 @@
 //! Simulator configuration: the SM core, the scheduling/capacity limits
 //! and the CTA residency policy.
 
-use vt_isa::{Kernel, WARP_SIZE};
+use vt_isa::{Kernel, SmLimits};
 use vt_mem::MemConfig;
 
 /// Warp-scheduler policy.
@@ -58,12 +58,21 @@ pub struct CoreConfig {
 
 impl Default for CoreConfig {
     fn default() -> Self {
+        CoreConfig::from_limits(SmLimits::fermi())
+    }
+}
+
+impl CoreConfig {
+    /// A 15-SM configuration whose per-SM limits come from `limits` — the
+    /// shared source of truth in `vt_isa::limits`. Pipeline and memory
+    /// timing keep the Fermi-class defaults.
+    pub fn from_limits(limits: SmLimits) -> CoreConfig {
         CoreConfig {
             num_sms: 15,
-            max_warps_per_sm: 48,
-            max_ctas_per_sm: 8,
-            regfile_bytes: 128 * 1024,
-            smem_bytes: 48 * 1024,
+            max_warps_per_sm: limits.max_warps_per_sm,
+            max_ctas_per_sm: limits.max_ctas_per_sm,
+            regfile_bytes: limits.regfile_bytes,
+            smem_bytes: limits.smem_bytes,
             schedulers_per_sm: 2,
             scheduler: SchedPolicy::Gto,
             alu_latency: 10,
@@ -79,14 +88,25 @@ impl Default for CoreConfig {
 }
 
 impl CoreConfig {
+    /// The per-SM scheduling/capacity limits of this configuration, in the
+    /// shared [`SmLimits`] form the static analyzer consumes.
+    pub fn limits(&self) -> SmLimits {
+        SmLimits {
+            max_warps_per_sm: self.max_warps_per_sm,
+            max_ctas_per_sm: self.max_ctas_per_sm,
+            regfile_bytes: self.regfile_bytes,
+            smem_bytes: self.smem_bytes,
+        }
+    }
+
     /// Thread slots per SM implied by the warp slots.
     pub fn max_threads_per_sm(&self) -> u32 {
-        self.max_warps_per_sm * WARP_SIZE
+        self.limits().max_threads_per_sm()
     }
 
     /// 32-bit registers per SM.
     pub fn regfile_regs(&self) -> u32 {
-        self.regfile_bytes / 4
+        self.limits().regfile_regs()
     }
 }
 
@@ -312,6 +332,7 @@ mod tests {
         let c = CoreConfig::default();
         assert_eq!(c.max_threads_per_sm(), 1536);
         assert_eq!(c.regfile_regs(), 32768);
+        assert_eq!(c.limits(), SmLimits::fermi(), "limits round-trip");
     }
 
     #[test]

@@ -17,7 +17,7 @@ use vt_isa::kernel::MemImage;
 use vt_isa::Kernel;
 use vt_json::{req, req_array, req_str, req_u64, Json};
 use vt_mem::{MemSystem, SmFront};
-use vt_par::{DisjointMut, Pool};
+use vt_par::Pool;
 use vt_trace::{BufSink, NullSink, TimedEvent, TraceSink};
 
 /// Why a simulation could not complete.
@@ -451,13 +451,7 @@ impl<'k> GpuSim<'k> {
                 let kernel = self.kernel;
                 let core = &self.cfg.core;
                 let res = &self.cfg.residency;
-                let lanes = DisjointMut::new(&mut self.lanes);
-                let fronts = DisjointMut::new(self.mem.fronts_mut());
-                pool.run(lanes.len(), &|i| {
-                    // SAFETY: the pool hands each index in 0..len to
-                    // exactly one worker, so no lane or front is aliased.
-                    let lane = unsafe { lanes.index_mut(i) };
-                    let front = unsafe { fronts.index_mut(i) };
+                pool.run_pairs(&mut self.lanes, self.mem.fronts_mut(), &|_, lane, front| {
                     tick_lane(lane, front, cycle, S::ENABLED, kernel, core, res);
                 });
             } else {

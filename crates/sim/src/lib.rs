@@ -19,6 +19,7 @@
 //! The public entry point is [`gpu::GpuSim`] (or the [`gpu::simulate`]
 //! convenience function); higher-level architecture selection (Baseline /
 //! VirtualThread / Ideal / MemSwap) lives in the `vt-core` crate.
+#![forbid(unsafe_code)]
 
 pub mod config;
 pub mod cta;

@@ -8,7 +8,8 @@
 //! CTAs, allocated register and shared-memory bytes, MSHR occupancy,
 //! partition queues) and a per-window distribution of per-SM issue
 //! balance — plus a small per-SM set (issued instructions, resident and
-//! active warps).
+//! active warps, resident CTAs; the last is what the static occupancy
+//! model's cross-validation oracle compares its bounds against).
 //!
 //! [`MetricsSampler::seal_window`] runs at the top of the cycle loop
 //! whenever `cycle` is a window boundary, *before* the cycle executes, so
@@ -29,6 +30,7 @@ struct PerSmIds {
     warp_instrs: SeriesId,
     resident_warps: SeriesId,
     active_warps: SeriesId,
+    resident_ctas: SeriesId,
 }
 
 /// Aggregate rate-series handles, one per cumulative run counter.
@@ -108,6 +110,7 @@ impl MetricsSampler {
                     warp_instrs: m.rate("warp_instrs", sm),
                     resident_warps: m.level("resident_warps", sm),
                     active_warps: m.level("active_warps", sm),
+                    resident_ctas: m.level("resident_ctas", sm),
                 }
             })
             .collect();
@@ -213,6 +216,8 @@ impl MetricsSampler {
                 .sample_level(ids.resident_warps, u64::from(sm.resident_warps()));
             self.registry
                 .sample_level(ids.active_warps, u64::from(sm.active_warps()));
+            self.registry
+                .sample_level(ids.resident_ctas, u64::from(sm.resident_ctas()));
         }
         let m = &mut self.registry;
         let r = &self.rates;
@@ -251,9 +256,10 @@ mod tests {
         let s = MetricsSampler::new(256, 2);
         let m = s.registry();
         assert_eq!(m.window(), 256);
-        assert_eq!(m.len(), 12 + 8 + 1 + 3 * 2);
+        assert_eq!(m.len(), 12 + 8 + 1 + 4 * 2);
         assert!(m.get("warp_instrs", None).is_some());
         assert!(m.get("warp_instrs", Some(1)).is_some());
+        assert!(m.get("resident_ctas", Some(0)).is_some());
         assert!(m.get("sm_issue_balance", None).is_some());
         assert!(m.get("mshr_in_flight", None).is_some());
     }

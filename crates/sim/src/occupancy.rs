@@ -1,44 +1,15 @@
 //! Static occupancy analysis: how many CTAs fit per SM and which resource
 //! binds — the paper's motivation study (its Figures 1–2).
+//!
+//! The bound arithmetic and the [`Limiter`] classification live in
+//! [`vt_isa::limits`] (the shared source of truth also used by the
+//! `vt-analysis` performance model); this module wraps them in the
+//! simulator-facing [`OccupancyAnalysis`] with its utilization helpers.
 
 use crate::config::CoreConfig;
 use vt_isa::Kernel;
 
-/// The resource that limits concurrent CTAs per SM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Limiter {
-    /// CTA slots (scheduling limit).
-    CtaSlots,
-    /// Warp slots / PCs / SIMT stacks (scheduling limit).
-    WarpSlots,
-    /// Register file (capacity limit).
-    Registers,
-    /// Shared memory (capacity limit).
-    SharedMemory,
-    /// Scheduling and capacity limits coincide.
-    Balanced,
-}
-
-impl Limiter {
-    /// Whether this limiter is a scheduling-structure shortage — the class
-    /// of applications Virtual Thread accelerates.
-    pub fn is_scheduling(&self) -> bool {
-        matches!(self, Limiter::CtaSlots | Limiter::WarpSlots)
-    }
-}
-
-impl std::fmt::Display for Limiter {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            Limiter::CtaSlots => "cta-slots",
-            Limiter::WarpSlots => "warp-slots",
-            Limiter::Registers => "registers",
-            Limiter::SharedMemory => "shared-memory",
-            Limiter::Balanced => "balanced",
-        };
-        f.write_str(s)
-    }
-}
+pub use vt_isa::limits::{CtaBounds, Limiter};
 
 /// Static occupancy of one kernel on one SM configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +33,16 @@ pub struct OccupancyAnalysis {
 }
 
 impl OccupancyAnalysis {
+    /// The per-resource bounds in their shared [`CtaBounds`] form.
+    pub fn bounds(&self) -> CtaBounds {
+        CtaBounds {
+            by_cta_slots: self.by_cta_slots,
+            by_warp_slots: self.by_warp_slots,
+            by_registers: self.by_registers,
+            by_shared_memory: self.by_shared_memory,
+        }
+    }
+
     /// How many times more CTAs Virtual Thread can host than the baseline.
     pub fn virtualization_headroom(&self) -> f64 {
         if self.baseline_ctas == 0 {
@@ -98,44 +79,15 @@ impl OccupancyAnalysis {
 
 /// Computes the static occupancy of `kernel` on `core`.
 pub fn analyze(core: &CoreConfig, kernel: &Kernel) -> OccupancyAnalysis {
-    let wpc = kernel.warps_per_cta().max(1);
-    let by_cta_slots = core.max_ctas_per_sm;
-    let by_warp_slots = core.max_warps_per_sm / wpc;
-    let reg_bytes = kernel.reg_bytes_per_cta().max(1);
-    let by_registers = core.regfile_bytes / reg_bytes;
-    let by_shared_memory = if kernel.smem_bytes_per_cta() == 0 {
-        u32::MAX
-    } else {
-        core.smem_bytes / kernel.smem_bytes_per_cta()
-    };
-    let sched = by_cta_slots.min(by_warp_slots);
-    let cap = by_registers.min(by_shared_memory);
-    let limiter = match sched.cmp(&cap) {
-        std::cmp::Ordering::Less => {
-            if by_cta_slots <= by_warp_slots {
-                Limiter::CtaSlots
-            } else {
-                Limiter::WarpSlots
-            }
-        }
-        std::cmp::Ordering::Greater => {
-            if by_registers <= by_shared_memory {
-                Limiter::Registers
-            } else {
-                Limiter::SharedMemory
-            }
-        }
-        std::cmp::Ordering::Equal => Limiter::Balanced,
-    };
+    let b = core.limits().bounds(kernel);
     OccupancyAnalysis {
-        by_cta_slots,
-        by_warp_slots,
-        by_registers,
-        by_shared_memory,
-        baseline_ctas: sched.min(cap),
-        // `by_registers` is always finite, so the capacity minimum is too.
-        capacity_ctas: cap,
-        limiter,
+        by_cta_slots: b.by_cta_slots,
+        by_warp_slots: b.by_warp_slots,
+        by_registers: b.by_registers,
+        by_shared_memory: b.by_shared_memory,
+        baseline_ctas: b.baseline(),
+        capacity_ctas: b.capacity(),
+        limiter: b.limiter(),
     }
 }
 
@@ -206,6 +158,18 @@ mod tests {
         let a = analyze(&core, &kernel(128, 32, 0));
         assert_eq!(a.by_registers, 8);
         assert_eq!(a.limiter, Limiter::Balanced);
+    }
+
+    #[test]
+    fn analysis_agrees_with_shared_bounds() {
+        let core = CoreConfig::default();
+        let k = kernel(96, 24, 2048);
+        let a = analyze(&core, &k);
+        let b = core.limits().bounds(&k);
+        assert_eq!(a.bounds(), b);
+        assert_eq!(a.baseline_ctas, b.baseline());
+        assert_eq!(a.capacity_ctas, b.capacity());
+        assert_eq!(a.limiter, b.limiter());
     }
 
     #[test]

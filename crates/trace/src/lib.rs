@@ -27,6 +27,7 @@
 //!
 //! This crate is a leaf: it depends only on `vt-json`, so `vt-mem` and
 //! `vt-sim` can hook into it without cycles.
+#![forbid(unsafe_code)]
 
 pub mod chrome;
 pub mod event;

@@ -19,6 +19,7 @@
 //! Use [`suite()`](suite::suite) for the full list, [`Workload`] for per-kernel metadata,
 //! and [`generator::SyntheticParams`] to build parameterised kernels for
 //! sensitivity sweeps.
+#![forbid(unsafe_code)]
 
 pub mod generator;
 pub mod kernels;

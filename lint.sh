@@ -10,8 +10,17 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== unsafe audit (forbid everywhere; par's sites SAFETY-commented)"
+tools/unsafe_audit.sh
+
 echo "== vtlint --suite"
 cargo run -q -p vt-analysis --bin vtlint -- --suite
+
+echo "== vtlint --model --suite (static occupancy/VT-benefit model)"
+cargo run -q -p vt-analysis --bin vtlint -- --model --suite
+
+echo "== vtlint CLI contract (exit codes + JSON schemas)"
+cargo test -q -p vt-analysis --test vtlint_cli
 
 echo "== vtprof --check (trace + metrics validation on one suite kernel)"
 VTPROF_TMP="$(mktemp -d)"
@@ -23,6 +32,12 @@ cargo test -q -p vt-tests --test golden
 
 echo "== metrics exposition golden (Prometheus format must not drift)"
 cargo test -q -p vt-tests --test metrics
+
+echo "== static model golden (vtlint --model --json output must not drift)"
+cargo test -q -p vt-tests --test model_golden
+
+echo "== static-vs-dynamic oracle (model bounds vs observed residency)"
+cargo test -q -p vt-tests --test static_model
 
 echo "== vtbench --diff (perf-regression gate against BENCH_0.json)"
 VTBENCH_TMP="$(mktemp -d)"

@@ -1,4 +1,5 @@
 //! Shared helpers for the workspace's integration tests.
+#![forbid(unsafe_code)]
 
 use vt_core::{Architecture, CoreConfig, Gpu, GpuConfig, MemConfig, Report};
 use vt_isa::Kernel;

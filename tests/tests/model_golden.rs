@@ -1,0 +1,82 @@
+//! Golden snapshot of the static performance model over the suite: the
+//! exact JSON `vtlint --model --json --suite` emits (the CLI prints the
+//! same `ToJson` rendering of the same models — the binary's schema is
+//! covered by `crates/analysis/tests/vtlint_cli.rs`). Any change to the
+//! bound arithmetic, the limiter classification, the residency policies
+//! or the memory lints shows up as a readable line diff here.
+//!
+//! To accept intentional changes:
+//!
+//! ```text
+//! VT_BLESS=1 cargo test -q -p vt-tests --test model_golden
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use vt_analysis::{model, ModelConfig};
+use vt_json::{Json, ToJson};
+use vt_workloads::{suite, Scale};
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join("vtlint.model.json")
+}
+
+/// First differing lines, with line numbers.
+fn line_diff(got: &str, want: &str) -> String {
+    let mut out = String::new();
+    let mut shown = 0;
+    let (mut g, mut w) = (got.lines(), want.lines());
+    let mut line = 0usize;
+    loop {
+        line += 1;
+        match (g.next(), w.next()) {
+            (None, None) => break,
+            (got_l, want_l) => {
+                if got_l != want_l && shown < 12 {
+                    out.push_str(&format!(
+                        "  line {line}: got  {}\n  line {line}: want {}\n",
+                        got_l.unwrap_or("<eof>"),
+                        want_l.unwrap_or("<eof>")
+                    ));
+                    shown += 1;
+                }
+            }
+        }
+    }
+    if shown == 12 {
+        out.push_str("  ... (more differences truncated)\n");
+    }
+    out
+}
+
+#[test]
+fn model_json_matches_golden_snapshot() {
+    let cfg = ModelConfig::default();
+    let models: Vec<_> = suite(&Scale::test())
+        .iter()
+        .map(|w| model(&w.kernel, &cfg))
+        .collect();
+    let got = Json::Array(models.iter().map(ToJson::to_json).collect()).pretty() + "\n";
+
+    let path = golden_path();
+    let bless = std::env::var("VT_BLESS").is_ok_and(|v| !v.is_empty() && v != "0");
+    if bless {
+        fs::create_dir_all(path.parent().unwrap()).expect("create golden dir");
+        fs::write(&path, &got).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{}: {e}\nbless it with VT_BLESS=1 cargo test -q -p vt-tests --test model_golden",
+            path.display()
+        )
+    });
+    assert!(
+        got == want,
+        "static model output drifted from {}:\n{}",
+        path.display(),
+        line_diff(&got, &want)
+    );
+}

@@ -1,0 +1,283 @@
+//! Static-vs-dynamic oracle for the occupancy model.
+//!
+//! The static model (`vt_analysis::occupancy` / `vt_analysis::model`)
+//! predicts, per kernel × architecture, the peak number of resident
+//! CTAs an SM will host and whether Virtual Thread should improve
+//! throughput. This file cross-validates those predictions against the
+//! timing simulator:
+//!
+//! * the static resident-CTA bound must equal the dynamically observed
+//!   peak residency (from the windowed `resident_ctas` metric series),
+//!   exactly, for every suite kernel × architecture;
+//! * the scheduling-limited classification must predict whether VT
+//!   improves measured IPC;
+//! * the per-architecture residency policies in `vt_analysis` must
+//!   agree with `vt_core::Architecture`'s lowering to the simulator's
+//!   admission policy, so the two tables cannot drift apart;
+//! * on random synthetic kernels, the whole pipeline never panics and
+//!   its bounds stay mutually consistent (property test).
+//!
+//! The oracle runs under deliberately *shrunken* SM limits: at the
+//! defaults, `Scale::test()` grids are too small for any bound to bind,
+//! and nothing would be validated.
+
+use vt_core::{Architecture, CoreConfig, GpuConfig, MemConfig, Report, RunRequest, Session};
+use vt_isa::SmLimits;
+use vt_prng::Prng;
+use vt_sim::AdmissionPolicy;
+use vt_workloads::{suite, AccessPattern, Scale, SyntheticParams};
+
+use vt_analysis::{analyze, model, standard_archs, ModelConfig, OccupancyModel, ResidencyModel};
+
+/// Shrunken limits under which every suite kernel still launches (the
+/// largest CTA needs 24 KiB of registers and 8 KiB of shared memory)
+/// but the bounds actually bind at test scale: 2 CTA slots, 8 warp
+/// slots, 48 KiB register file, 16 KiB shared memory.
+fn oracle_limits() -> SmLimits {
+    SmLimits {
+        max_warps_per_sm: 8,
+        max_ctas_per_sm: 2,
+        regfile_bytes: 48 * 1024,
+        smem_bytes: 16 * 1024,
+    }
+}
+
+/// One SM so the whole grid lands on it and `ctas_assigned` is exact;
+/// a short metrics window so the residency plateau is always sampled.
+fn oracle_config(arch: Architecture) -> GpuConfig {
+    let mut core = CoreConfig::from_limits(oracle_limits());
+    core.num_sms = 1;
+    core.metrics_window = Some(32);
+    GpuConfig {
+        core,
+        mem: MemConfig::default(),
+        arch,
+    }
+}
+
+fn oracle_scale() -> Scale {
+    Scale { ctas: 12, iters: 2 }
+}
+
+fn run_oracle(arch: Architecture, kernel: &vt_isa::Kernel) -> Report {
+    Session::new(oracle_config(arch))
+        .run(RunRequest::kernel(kernel))
+        .and_then(|o| o.completed())
+        .unwrap_or_else(|e| panic!("{} under {}: {e}", kernel.name(), arch.label()))
+        .remove(0)
+}
+
+/// Peak of the per-SM `resident_ctas` level series over the whole run.
+fn observed_peak_residency(report: &Report) -> u64 {
+    report
+        .stats
+        .metrics()
+        .expect("metrics enabled")
+        .get("resident_ctas", Some(0))
+        .expect("per-SM resident_ctas series")
+        .values()
+        .iter()
+        .copied()
+        .max()
+        .expect("at least one sealed window")
+}
+
+/// The analysis-side residency policy for a `vt_core` architecture,
+/// looked up by the shared label.
+fn analysis_policy(arch: &Architecture) -> ResidencyModel {
+    standard_archs()
+        .iter()
+        .find(|a| a.label == arch.label())
+        .unwrap_or_else(|| panic!("no ArchModel labelled {}", arch.label()))
+        .residency
+}
+
+/// **The oracle**: for every suite kernel × architecture, the static
+/// resident-CTA bound (grid-clamped) equals the dynamically observed
+/// peak residency. Exact equality — a one-CTA discrepancy means the
+/// static arithmetic and the admission check have drifted apart.
+#[test]
+fn static_bound_matches_observed_peak_residency() {
+    let limits = oracle_limits();
+    for w in suite(&oracle_scale()) {
+        let occ = OccupancyModel::compute(&limits, &w.kernel);
+        for arch in vt_tests::all_archs() {
+            let predicted = occ.predicted_peak(&analysis_policy(&arch), w.kernel.num_ctas());
+            let report = run_oracle(arch, &w.kernel);
+            let observed = observed_peak_residency(&report);
+            assert_eq!(
+                u64::from(predicted),
+                observed,
+                "{} under {}: static bound vs observed peak (bounds {:?})",
+                w.name,
+                arch.label(),
+                occ.bounds,
+            );
+        }
+    }
+}
+
+/// The scheduling-limited classification predicts whether VT improves
+/// measured IPC: residency headroom ⇒ VT is strictly faster; no
+/// headroom ⇒ VT tracks the baseline closely (it runs the very same
+/// schedule, plus at most some activation bookkeeping).
+#[test]
+fn scheduling_classification_predicts_vt_ipc_gain() {
+    let limits = oracle_limits();
+    for w in suite(&oracle_scale()) {
+        let occ = OccupancyModel::compute(&limits, &w.kernel);
+        let headroom = occ.bounds.capacity().min(w.kernel.num_ctas()) > occ.bounds.baseline();
+        // Consistency of the classification itself: strictly binding
+        // scheduling limit ⟺ capacity headroom exists at all.
+        assert_eq!(
+            occ.bounds.capacity() > occ.bounds.baseline(),
+            occ.limiter.is_scheduling(),
+            "{}: limiter {:?} vs bounds {:?}",
+            w.name,
+            occ.limiter,
+            occ.bounds,
+        );
+
+        let base = run_oracle(Architecture::Baseline, &w.kernel);
+        let vt = run_oracle(Architecture::virtual_thread(), &w.kernel);
+        assert_eq!(
+            base.stats.thread_instrs, vt.stats.thread_instrs,
+            "{}: same work under both architectures",
+            w.name
+        );
+        let speedup = base.stats.cycles as f64 / vt.stats.cycles as f64;
+        if headroom {
+            assert!(
+                speedup > 1.02,
+                "{}: scheduling-limited (base {} → vt {} CTAs) but VT speedup is {speedup:.3}",
+                w.name,
+                occ.bounds.baseline(),
+                occ.bounds.capacity(),
+            );
+        } else {
+            assert!(
+                (0.95..=1.05).contains(&speedup),
+                "{}: no residency headroom but VT changed cycles by {speedup:.3}×",
+                w.name,
+            );
+        }
+    }
+}
+
+/// The static policy table and `vt_core::Architecture`'s lowering to
+/// the simulator agree variant-by-variant, so the mirrored
+/// `ResidencyModel` cannot drift from `AdmissionPolicy`.
+#[test]
+fn analysis_policies_agree_with_core_lowering() {
+    let core = CoreConfig::from_limits(oracle_limits());
+    let mem = MemConfig::default();
+    let kernel = &suite(&Scale::test())[0].kernel;
+    for arch in vt_tests::all_archs() {
+        let lowered = arch.residency_for(kernel, &core, &mem).admission;
+        let modelled = analysis_policy(&arch);
+        match (modelled, lowered) {
+            (ResidencyModel::SchedulingAndCapacity, AdmissionPolicy::SchedulingAndCapacity) => {}
+            (
+                ResidencyModel::CapacityOnly {
+                    max_resident_ctas: m,
+                },
+                AdmissionPolicy::CapacityOnly {
+                    max_resident_ctas: l,
+                },
+            ) => assert_eq!(m, l, "{}: context-buffer caps disagree", arch.label()),
+            (m, l) => panic!(
+                "{}: analysis models {m:?} but core lowers to {l:?}",
+                arch.label()
+            ),
+        }
+    }
+}
+
+/// Property test: the full static pipeline (lints and performance
+/// model) never panics on random synthetic kernels, and the model's
+/// bounds are mutually consistent.
+#[test]
+fn model_never_panics_and_bounds_are_consistent_on_random_kernels() {
+    let cfg = ModelConfig::default();
+    let mut rng = Prng::new(0x0c0a_1e5c_e0de);
+    for case in 0..60 {
+        let access = match rng.gen_range(0..3) {
+            0 => AccessPattern::Coalesced,
+            1 => AccessPattern::Strided(rng.gen_range(1..40)),
+            _ => AccessPattern::Random,
+        };
+        let p = SyntheticParams {
+            name: format!("prop-{case}"),
+            ctas: rng.gen_range(1..8),
+            threads_per_cta: 32 * rng.gen_range(1..9),
+            regs_per_thread: rng.gen_range(8..64) as u16,
+            smem_bytes: 256 * rng.gen_range(0..32),
+            iters: rng.gen_range(1..4),
+            loads_per_iter: rng.gen_range(1..4),
+            alu_per_load: rng.gen_range(0..8),
+            access,
+            barrier_per_iter: rng.gen_bool(0.5),
+        };
+        let kernel = p.build();
+
+        // Neither pass may panic.
+        let report = analyze(&kernel);
+        let m = model(&kernel, &cfg);
+
+        let b = &m.occupancy.bounds;
+        let baseline = b.baseline();
+        let capacity = b.capacity();
+        assert!(baseline >= 1, "{}: every suite-shaped kernel fits", p.name);
+        assert!(baseline <= b.by_cta_slots, "{}", p.name);
+        assert!(baseline <= b.by_warp_slots, "{}", p.name);
+        assert!(baseline <= b.by_registers, "{}", p.name);
+        assert!(baseline <= b.by_shared_memory, "{}", p.name);
+        assert!(
+            capacity >= baseline,
+            "{}: VT never reduces residency",
+            p.name
+        );
+        assert!(
+            m.residency_gain() >= 1.0 - 1e-9,
+            "{}: gain {} < 1",
+            p.name,
+            m.residency_gain()
+        );
+
+        // Per-arch predictions agree with the policies they cite, and
+        // the grid clamp holds.
+        for a in &m.archs {
+            assert_eq!(
+                a.resident_bound,
+                a.residency.resident_bound(b),
+                "{}",
+                p.name
+            );
+            let peak = m.occupancy.predicted_peak(&a.residency, kernel.num_ctas());
+            assert!(peak <= a.resident_bound, "{}", p.name);
+            assert!(peak <= kernel.num_ctas(), "{}", p.name);
+        }
+
+        // The model's memory sites are a subset of the program's
+        // instructions and its lints are warnings only.
+        for site in &m.mem_sites {
+            assert!(site.pc < kernel.program().len(), "{}", p.name);
+            if let Some(seg) = site.segments_per_warp {
+                assert!((1..=32).contains(&seg), "{}", p.name);
+            }
+            if let Some(ways) = site.bank_conflict_ways {
+                assert!((1..=32).contains(&ways), "{}", p.name);
+            }
+        }
+        assert!(
+            m.diagnostics
+                .iter()
+                .all(|d| d.severity != vt_analysis::Severity::Error),
+            "{}: model findings are never errors",
+            p.name
+        );
+
+        // The two passes see the same register pressure.
+        assert_eq!(m.register_pressure, report.register_pressure, "{}", p.name);
+    }
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Audits the workspace's unsafe-code policy:
+#
+#   1. `unsafe` appears ONLY in crates/par — every other crate carries
+#      `#![forbid(unsafe_code)]` in its lib root (also checked here), so
+#      a violation elsewhere would already fail the build; this script
+#      makes the policy reviewable and catches a dropped forbid attr.
+#   2. crates/par opts into `#![deny(unsafe_op_in_unsafe_fn)]` and every
+#      line containing `unsafe` is preceded (within 8 lines) by a
+#      `SAFETY:` comment or a `# Safety` doc section explaining why the
+#      invariants hold.
+#
+#   tools/unsafe_audit.sh      exits non-zero with a report on violation
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# -- 1a. No `unsafe` token outside crates/par. -------------------------
+# The forbid attribute itself mentions `unsafe_code`; exclude attr lines.
+if grep -rn --include='*.rs' -w 'unsafe' crates tests/src \
+  | grep -v '^crates/par/' \
+  | grep -v 'forbid(unsafe_code)' \
+  | grep -v '^[^:]*:[0-9]*:[[:space:]]*//'; then
+  echo "unsafe_audit: \`unsafe\` found outside crates/par (above)" >&2
+  fail=1
+fi
+
+# -- 1b. Every non-par lib root forbids unsafe code. -------------------
+for lib in crates/*/src/lib.rs tests/src/lib.rs; do
+  [[ "$lib" == crates/par/* ]] && continue
+  if ! grep -q '^#!\[forbid(unsafe_code)\]' "$lib"; then
+    echo "unsafe_audit: $lib is missing #![forbid(unsafe_code)]" >&2
+    fail=1
+  fi
+done
+
+# -- 2a. crates/par denies implicit unsafe inside unsafe fn. -----------
+if ! grep -q '^#!\[deny(unsafe_op_in_unsafe_fn)\]' crates/par/src/lib.rs; then
+  echo "unsafe_audit: crates/par/src/lib.rs missing #![deny(unsafe_op_in_unsafe_fn)]" >&2
+  fail=1
+fi
+
+# -- 2b. Every unsafe site in crates/par has a nearby SAFETY comment. --
+# awk keeps a sliding window: a line whose code (not comment) part
+# mentions `unsafe` must have seen "SAFETY" or "# Safety" in the
+# previous 8 lines.
+while IFS= read -r src; do
+  if ! awk -v src="$src" '
+    { hist[NR % 9] = $0 }
+    /SAFETY|# Safety/ { last_safety = NR }
+    {
+      line = $0
+      sub(/\/\/.*/, "", line)          # ignore comment text itself
+      if (line ~ /(^|[^[:alnum:]_])unsafe([^[:alnum:]_]|$)/ \
+          && $0 !~ /deny\(unsafe_op_in_unsafe_fn\)/) {
+        if (last_safety == 0 || NR - last_safety > 8) {
+          printf "unsafe_audit: %s:%d: unsafe without a SAFETY comment within 8 lines\n", src, NR
+          bad = 1
+        }
+      }
+    }
+    END { exit bad }
+  ' "$src"; then
+    fail=1
+  fi
+done < <(grep -rl --include='*.rs' -w 'unsafe' crates/par/src || true)
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "unsafe_audit: FAILED" >&2
+  exit 1
+fi
+echo "unsafe_audit: OK"

@@ -9,7 +9,9 @@
 //! `vtbench --diff OLD NEW` compares two records and exits nonzero when
 //! the new geometric-mean IPC regresses by more than the threshold
 //! (default 2%). IPC is deterministic, so the gate is noise-free; wall
-//! clock is recorded but never gated.
+//! clock is recorded but never gated. `--explain` augments the diff
+//! with per-kernel CPI-stack attribution: which cycle-accounting bucket
+//! the delta landed in (see also the standalone `vtdiff` binary).
 //!
 //! ```text
 //! cargo run --release -p vt-bench --bin vtbench -- --out BENCH_0.json
@@ -23,9 +25,11 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
+use vt_bench::cpi::Attribution;
+use vt_bench::record::{self, RECORD_VERSION};
 use vt_bench::{geomean, Table};
 use vt_core::{Architecture, Gpu, GpuConfig, MemSwapParams};
-use vt_json::{req_array, req_f64, req_str, req_u64, Json};
+use vt_json::{req_f64, Json};
 use vt_workloads::{suite, Scale};
 
 const USAGE: &str = "\
@@ -47,12 +51,13 @@ options:
   --diff OLD NEW        compare two records: exit 1 when NEW's geomean
                         IPC is more than the threshold below OLD's,
                         2 when the records are not comparable
+  --explain             with --diff: attribute each kernel's cycle delta
+                        to CPI-stack buckets (see vtdiff for the full
+                        differential report)
   --threshold PCT       --diff regression threshold in percent (default 2)
   --degrade PCT IN OUT  write a copy of IN with every IPC scaled down by
                         PCT percent (exercises the --diff gate)
   -h, --help            this help";
-
-const RECORD_VERSION: u64 = 1;
 
 enum Mode {
     Run,
@@ -68,6 +73,7 @@ struct Opts {
     window: u64,
     threshold: f64,
     json: bool,
+    explain: bool,
 }
 
 fn parse_args() -> Result<Option<Opts>, String> {
@@ -79,6 +85,7 @@ fn parse_args() -> Result<Option<Opts>, String> {
         window: 512,
         threshold: 2.0,
         json: false,
+        explain: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -89,6 +96,7 @@ fn parse_args() -> Result<Option<Opts>, String> {
                 return Ok(None);
             }
             "--json" => o.json = true,
+            "--explain" => o.explain = true,
             "--out" => o.out = Some(PathBuf::from(value("--out")?)),
             "--arch" => {
                 o.arch = match value("--arch")?.as_str() {
@@ -212,6 +220,7 @@ fn run_suite(o: &Opts) -> Result<(), String> {
                 Json::Float(s.cycles as f64 / wall.max(1e-9)),
             ),
             ("windows".into(), Json::UInt(m.windows())),
+            ("cpi".into(), s.cpi_stack().to_json()),
             ("series".into(), series_summary(m)),
         ]));
     }
@@ -252,44 +261,48 @@ fn run_suite(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-fn load_record(path: &str) -> Result<Json, String> {
-    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-    let version = req_u64(&json, "version").map_err(|e| format!("{path}: {e}"))?;
-    if version != RECORD_VERSION {
-        return Err(format!(
-            "{path}: record version {version}, this vtbench understands {RECORD_VERSION}"
-        ));
+/// Prints each kernel's cycle delta decomposed into CPI-stack bucket
+/// deltas (the `--explain` report). Buckets partition SM-cycles, so the
+/// decomposition is exhaustive; only moved buckets are shown.
+fn explain(old: &Json, new: &Json) -> Result<(), String> {
+    let old_kernels = record::kernels(old)?;
+    let new_kernels = record::kernels(new)?;
+    println!("cycle-delta attribution (SM-cycles, new - old):");
+    for o in &old_kernels {
+        let Some(n) = new_kernels.iter().find(|k| k.name == o.name) else {
+            continue;
+        };
+        let a = Attribution::between(&o.cpi, &n.cpi);
+        if a.ranked.iter().all(|&(_, d)| d == 0) {
+            println!("  {}: no change", o.name);
+            continue;
+        }
+        let moved: Vec<String> = a
+            .ranked
+            .iter()
+            .filter(|&&(_, d)| d != 0)
+            .map(|&(b, d)| format!("{b} {d:+}"))
+            .collect();
+        println!(
+            "  {}: {:+} SM-cycles ({:.0}% attributed): {}",
+            o.name,
+            a.delta,
+            a.coverage(),
+            moved.join(", ")
+        );
     }
-    Ok(json)
+    Ok(())
 }
 
-/// The configuration fields two records must share to be comparable.
-fn fingerprint(j: &Json) -> Result<String, String> {
-    let suite = j
-        .get("suite")
-        .ok_or_else(|| "missing key `suite`".to_string())?;
-    Ok(format!(
-        "arch={} sms={} window={} ctas={} iters={}",
-        req_str(j, "arch")?,
-        req_u64(j, "sms")?,
-        req_u64(j, "metrics_window")?,
-        req_u64(suite, "ctas")?,
-        req_u64(suite, "iters")?,
-    ))
-}
-
-fn per_kernel_ipc(j: &Json) -> Result<Vec<(String, f64)>, String> {
-    req_array(j, "kernels")?
-        .iter()
-        .map(|k| Ok((req_str(k, "kernel")?.to_string(), req_f64(k, "ipc")?)))
-        .collect()
-}
-
-fn diff(old_path: &str, new_path: &str, threshold_pct: f64) -> Result<bool, String> {
-    let old = load_record(old_path)?;
-    let new = load_record(new_path)?;
-    let (fp_old, fp_new) = (fingerprint(&old)?, fingerprint(&new)?);
+fn diff(
+    old_path: &str,
+    new_path: &str,
+    threshold_pct: f64,
+    explain_cpi: bool,
+) -> Result<bool, String> {
+    let old = record::load(old_path)?;
+    let new = record::load(new_path)?;
+    let (fp_old, fp_new) = (record::fingerprint(&old)?, record::fingerprint(&new)?);
     if fp_old != fp_new {
         return Err(format!(
             "records are not comparable:\n  {old_path}: {fp_old}\n  {new_path}: {fp_new}"
@@ -300,19 +313,22 @@ fn diff(old_path: &str, new_path: &str, threshold_pct: f64) -> Result<bool, Stri
     let floor = g_old * (1.0 - threshold_pct / 100.0);
 
     let mut table = Table::new(vec!["kernel", "old ipc", "new ipc", "delta"]);
-    let old_ipc = per_kernel_ipc(&old)?;
-    let new_ipc = per_kernel_ipc(&new)?;
-    for (name, o) in &old_ipc {
-        if let Some((_, n)) = new_ipc.iter().find(|(k, _)| k == name) {
+    let old_kernels = record::kernels(&old)?;
+    let new_kernels = record::kernels(&new)?;
+    for o in &old_kernels {
+        if let Some(n) = new_kernels.iter().find(|k| k.name == o.name) {
             table.row(vec![
-                name.clone(),
-                format!("{o:.3}"),
-                format!("{n:.3}"),
-                format!("{:+.1}%", (n / o - 1.0) * 100.0),
+                o.name.clone(),
+                format!("{:.3}", o.ipc),
+                format!("{:.3}", n.ipc),
+                format!("{:+.1}%", (n.ipc / o.ipc - 1.0) * 100.0),
             ]);
         }
     }
     println!("{}", table.render());
+    if explain_cpi {
+        explain(&old, &new)?;
+    }
     let delta_pct = (g_new / g_old - 1.0) * 100.0;
     println!(
         "geomean ipc: {g_old:.3} -> {g_new:.3} ({delta_pct:+.2}%), \
@@ -351,7 +367,7 @@ fn scale_ipc(j: &Json, factor: f64) -> Json {
 }
 
 fn degrade(pct: f64, input: &str, output: &str) -> Result<(), String> {
-    let record = load_record(input)?;
+    let record = record::load(input)?;
     let scaled = scale_ipc(&record, 1.0 - pct / 100.0);
     fs::write(output, scaled.pretty()).map_err(|e| format!("cannot write {output}: {e}"))?;
     println!("wrote {output} with every IPC scaled down {pct}%");
@@ -369,7 +385,7 @@ fn main() -> ExitCode {
     };
     let result = match &opts.mode {
         Mode::Run => run_suite(&opts).map(|()| true),
-        Mode::Diff(old, new) => diff(old, new, opts.threshold),
+        Mode::Diff(old, new) => diff(old, new, opts.threshold, opts.explain),
         Mode::Degrade(pct, input, output) => degrade(*pct, input, output).map(|()| true),
     };
     match result {

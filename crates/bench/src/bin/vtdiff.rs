@@ -1,0 +1,288 @@
+//! `vtdiff` — the differential performance explainer.
+//!
+//! Compares two `vtbench` records and attributes every kernel's cycle
+//! and IPC delta to CPI-stack buckets. The nine buckets partition
+//! SM-cycles exactly (`DESIGN.md §15`), so the decomposition is
+//! exhaustive: the bucket deltas sum to the total SM-cycle delta with
+//! nothing left over, and the report says which bottleneck — memory
+//! stalls, the scheduling limit, end-of-kernel drain, … — the time went
+//! to or came from.
+//!
+//! ```text
+//! cargo run --release -p vt-bench --bin vtbench -- --out OLD.json
+//! # ...change something...
+//! cargo run --release -p vt-bench --bin vtbench -- --out NEW.json
+//! cargo run --release -p vt-bench --bin vtdiff -- OLD.json NEW.json
+//! ```
+//!
+//! Exit codes: 0 success, 1 `--assert-zero` found a difference, 2 usage
+//! error or incomparable records.
+
+use std::process::ExitCode;
+use vt_bench::cpi::Attribution;
+use vt_bench::record::{self, KernelEntry};
+use vt_bench::Table;
+use vt_json::Json;
+
+const USAGE: &str = "\
+usage: vtdiff OLD.json NEW.json [options]
+
+Compares two vtbench records and attributes each kernel's cycle delta
+to CPI-stack buckets (issued / stall_* / empty_*). The buckets
+partition SM-cycles, so attribution is exhaustive by construction.
+
+options:
+  --top N          show at most N moved buckets per kernel (default 3)
+  --json           machine-readable report on stdout
+  --assert-zero    exit 1 unless every kernel's CPI stack is identical
+                   (determinism smoke: two runs of the same build must
+                   produce bit-identical stacks)
+  -h, --help       this help
+
+exit codes: 0 success, 1 --assert-zero found a difference, 2 usage
+error or incomparable records";
+
+struct Opts {
+    old: String,
+    new: String,
+    top: usize,
+    json: bool,
+    assert_zero: bool,
+}
+
+fn parse_args() -> Result<Option<Opts>, String> {
+    let mut paths = Vec::new();
+    let mut top = 3usize;
+    let mut json = false;
+    let mut assert_zero = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--json" => json = true,
+            "--assert-zero" => assert_zero = true,
+            "--top" => {
+                top = args
+                    .next()
+                    .ok_or("--top needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?;
+            }
+            other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [old, new] = <[String; 2]>::try_from(paths)
+        .map_err(|p| format!("expected OLD.json NEW.json, got {} paths", p.len()))?;
+    Ok(Some(Opts {
+        old,
+        new,
+        top,
+        json,
+        assert_zero,
+    }))
+}
+
+/// One kernel's diff: the matched old/new entries and the attribution.
+struct KernelDiff<'a> {
+    old: &'a KernelEntry,
+    new: &'a KernelEntry,
+    attr: Attribution,
+}
+
+impl KernelDiff<'_> {
+    fn changed(&self) -> bool {
+        self.attr.ranked.iter().any(|&(_, d)| d != 0)
+    }
+}
+
+fn match_kernels<'a>(
+    old: &'a [KernelEntry],
+    new: &'a [KernelEntry],
+) -> Result<Vec<KernelDiff<'a>>, String> {
+    let diffs: Vec<KernelDiff> = old
+        .iter()
+        .filter_map(|o| {
+            new.iter().find(|n| n.name == o.name).map(|n| KernelDiff {
+                old: o,
+                new: n,
+                attr: Attribution::between(&o.cpi, &n.cpi),
+            })
+        })
+        .collect();
+    if diffs.is_empty() {
+        return Err("no kernel appears in both records".to_string());
+    }
+    Ok(diffs)
+}
+
+/// The ranked per-kernel table: cycles, IPC, and the top moved buckets
+/// with their share of the kernel's total SM-cycle movement.
+fn render_table(diffs: &[KernelDiff], top: usize) -> String {
+    let mut t = Table::new(vec![
+        "kernel",
+        "old cyc",
+        "new cyc",
+        "delta",
+        "ipc",
+        "attributed to",
+    ]);
+    for d in diffs {
+        let moved: Vec<String> = d
+            .attr
+            .ranked
+            .iter()
+            .filter(|&&(_, v)| v != 0)
+            .take(top)
+            .map(|&(b, v)| format!("{b} {v:+}"))
+            .collect();
+        t.row(vec![
+            d.old.name.clone(),
+            format!("{}", d.old.cycles),
+            format!("{}", d.new.cycles),
+            format!("{:+}", d.new.cycles as i64 - d.old.cycles as i64),
+            format!("{:.3} -> {:.3}", d.old.ipc, d.new.ipc),
+            if moved.is_empty() {
+                "unchanged".to_string()
+            } else {
+                moved.join(", ")
+            },
+        ]);
+    }
+    t.render()
+}
+
+/// The aggregate attribution across all matched kernels.
+fn aggregate(diffs: &[KernelDiff]) -> Vec<(&'static str, i64)> {
+    let mut sums: Vec<(&'static str, i64)> = diffs[0]
+        .attr
+        .ranked
+        .iter()
+        .map(|&(b, _)| (b, 0i64))
+        .collect();
+    sums.sort_by_key(|&(b, _)| {
+        vt_bench::cpi::BUCKET_NAMES
+            .iter()
+            .position(|&n| n == b)
+            .unwrap_or(usize::MAX)
+    });
+    for d in diffs {
+        for &(b, v) in &d.attr.ranked {
+            if let Some(s) = sums.iter_mut().find(|(n, _)| *n == b) {
+                s.1 += v;
+            }
+        }
+    }
+    sums.sort_by_key(|&(_, v)| std::cmp::Reverse(v.unsigned_abs()));
+    sums
+}
+
+fn diff_json(diffs: &[KernelDiff]) -> Json {
+    let kernels: Vec<Json> = diffs
+        .iter()
+        .map(|d| {
+            Json::object(vec![
+                ("kernel".into(), Json::Str(d.old.name.clone())),
+                ("old_cycles".into(), Json::UInt(d.old.cycles)),
+                ("new_cycles".into(), Json::UInt(d.new.cycles)),
+                ("old_ipc".into(), Json::Float(d.old.ipc)),
+                ("new_ipc".into(), Json::Float(d.new.ipc)),
+                ("sm_cycle_delta".into(), Json::Int(d.attr.delta)),
+                ("coverage_pct".into(), Json::Float(d.attr.coverage())),
+                (
+                    "buckets".into(),
+                    Json::object(
+                        d.attr
+                            .ranked
+                            .iter()
+                            .map(|&(b, v)| (b.to_string(), Json::Int(v)))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let agg = aggregate(diffs);
+    Json::object(vec![
+        ("kernels".into(), Json::Array(kernels)),
+        (
+            "aggregate".into(),
+            Json::object(
+                agg.iter()
+                    .map(|&(b, v)| (b.to_string(), Json::Int(v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "changed".into(),
+            Json::Bool(diffs.iter().any(KernelDiff::changed)),
+        ),
+    ])
+}
+
+fn run(o: &Opts) -> Result<bool, String> {
+    let old = record::load(&o.old)?;
+    let new = record::load(&o.new)?;
+    let (fp_old, fp_new) = (record::fingerprint(&old)?, record::fingerprint(&new)?);
+    if fp_old != fp_new {
+        return Err(format!(
+            "records are not comparable:\n  {}: {fp_old}\n  {}: {fp_new}",
+            o.old, o.new
+        ));
+    }
+    let old_kernels = record::kernels(&old)?;
+    let new_kernels = record::kernels(&new)?;
+    let diffs = match_kernels(&old_kernels, &new_kernels)?;
+
+    if o.json {
+        println!("{}", diff_json(&diffs).pretty());
+    } else {
+        println!("{}", render_table(&diffs, o.top));
+        let changed: Vec<&KernelDiff> = diffs.iter().filter(|d| d.changed()).collect();
+        if changed.is_empty() {
+            println!("no CPI-stack difference: the runs are cycle-identical");
+        } else {
+            let total: i64 = changed.iter().map(|d| d.attr.delta).sum();
+            let agg = aggregate(&diffs);
+            let moved: Vec<String> = agg
+                .iter()
+                .filter(|&&(_, v)| v != 0)
+                .take(o.top)
+                .map(|&(b, v)| format!("{b} {v:+}"))
+                .collect();
+            println!(
+                "aggregate: {total:+} SM-cycles across {} changed kernel(s), \
+                 100% attributed: {}",
+                changed.len(),
+                moved.join(", ")
+            );
+        }
+    }
+    if o.assert_zero && diffs.iter().any(|d| d.changed()) {
+        eprintln!("vtdiff: --assert-zero: the records differ");
+        return Ok(false);
+    }
+    Ok(true)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(Some(o)) => o,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("vtdiff: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&opts) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("vtdiff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

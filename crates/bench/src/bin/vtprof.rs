@@ -17,6 +17,7 @@
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use vt_bench::cpi::{stack_report, CpiRecord};
 use vt_core::{Architecture, GpuConfig, MemSwapParams, RunRequest, Session};
 use vt_json::Json;
 use vt_trace::{
@@ -47,6 +48,10 @@ options:
                                      dropped events; with --metrics, also
                                      cross-checks the series against the
                                      event stream
+  --cpi                              print each run's cycle-accounting CPI
+                                     stack (fig08-style): per bucket the
+                                     CPI contribution, share of SM-cycles
+                                     and a proportional bar
   --json                             machine-readable metrics on stdout
   --list                             list suite kernel names and exit
   -h, --help                         this help";
@@ -61,6 +66,7 @@ struct Opts {
     metrics: Option<PathBuf>,
     window: u64,
     check: bool,
+    cpi: bool,
     json: bool,
 }
 
@@ -75,6 +81,7 @@ fn parse_args() -> Result<Option<Opts>, String> {
         metrics: None,
         window: 512,
         check: false,
+        cpi: false,
         json: false,
     };
     let mut args = std::env::args().skip(1);
@@ -88,6 +95,7 @@ fn parse_args() -> Result<Option<Opts>, String> {
             }
             "--list" => list = true,
             "--check" => o.check = true,
+            "--cpi" => o.cpi = true,
             "--json" => o.json = true,
             "--arch" => {
                 o.arch = match value("--arch")?.as_str() {
@@ -278,6 +286,7 @@ fn profile_one(
         ("ctas_completed".into(), Json::UInt(s.ctas_completed)),
         ("issue_cycles".into(), Json::UInt(s.issue_cycles)),
         ("idle_cycles".into(), Json::UInt(s.idle.total())),
+        ("cpi".into(), s.cpi_stack().to_json()),
         ("swaps_out".into(), Json::UInt(s.swaps.swaps_out)),
         ("swaps_in".into(), Json::UInt(s.swaps.swaps_in)),
         ("load_latency".into(), hist_json(&s.mem.load_latency)),
@@ -331,6 +340,13 @@ fn profile_one(
             s.ldst_queue.mean(),
             s.ldst_queue.max
         );
+        if opts.cpi {
+            let rec = CpiRecord::from_stack(&s.cpi_stack());
+            println!("  cpi stack ({} SM-cycles):", rec.total());
+            for line in stack_report(&rec, s.thread_instrs, 24).lines() {
+                println!("    {line}");
+            }
+        }
         if let (Some(p), Some(m)) = (&prom_path, registry) {
             println!(
                 "  {:<18} {} windows of {} cycles -> {}",

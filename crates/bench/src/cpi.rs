@@ -1,0 +1,215 @@
+//! CPI-stack helpers shared by the bench binaries: parsing the
+//! nine-bucket cycle-accounting stack out of `BENCH_<n>.json` records,
+//! rendering fig08-style stacked reports (`vtprof --cpi`) and ranking
+//! bucket deltas for the differential explainer (`vtdiff`,
+//! `vtbench --diff --explain`).
+//!
+//! The buckets partition SM-cycles exactly (see `DESIGN.md §15`), so a
+//! cycle delta between two comparable runs decomposes into bucket
+//! deltas with nothing left over — attribution is 100% by construction,
+//! and [`Attribution::coverage`] reports exactly that.
+
+use crate::{bar, Table};
+use vt_core::CpiStack;
+use vt_json::{req_u64, Json};
+
+/// The nine leaf buckets in canonical (report) order. Matches
+/// `CpiStack::buckets`.
+pub const BUCKET_NAMES: [&str; 9] = [
+    "issued",
+    "stall_memory",
+    "stall_pipeline",
+    "stall_barrier",
+    "stall_swap",
+    "stall_structural",
+    "empty_scheduling",
+    "empty_capacity",
+    "empty_drain",
+];
+
+/// One run's CPI stack as a plain bucket vector, decoupled from the
+/// simulator type so records parsed from JSON and stacks taken from a
+/// live `RunStats` render identically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpiRecord {
+    /// Bucket values in [`BUCKET_NAMES`] order.
+    pub buckets: [u64; 9],
+}
+
+impl CpiRecord {
+    /// Converts a simulator stack.
+    pub fn from_stack(s: &CpiStack) -> CpiRecord {
+        let mut buckets = [0u64; 9];
+        for (i, (_, v)) in s.buckets().iter().enumerate() {
+            buckets[i] = *v;
+        }
+        CpiRecord { buckets }
+    }
+
+    /// Parses the `cpi` object of a record kernel entry (named buckets
+    /// plus `sm_cycles`), verifying the conservation total.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a missing bucket or when the recorded
+    /// `sm_cycles` disagrees with the bucket sum.
+    pub fn from_json(j: &Json) -> Result<CpiRecord, String> {
+        let mut buckets = [0u64; 9];
+        for (i, name) in BUCKET_NAMES.iter().enumerate() {
+            buckets[i] = req_u64(j, name)?;
+        }
+        let rec = CpiRecord { buckets };
+        let sm_cycles = req_u64(j, "sm_cycles")?;
+        if rec.total() != sm_cycles {
+            return Err(format!(
+                "cpi buckets sum to {} but sm_cycles says {sm_cycles}",
+                rec.total()
+            ));
+        }
+        Ok(rec)
+    }
+
+    /// Total attributed SM-cycles (`num_sms × cycles`).
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Named buckets in canonical order.
+    pub fn named(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        BUCKET_NAMES.iter().zip(self.buckets).map(|(&n, v)| (n, v))
+    }
+}
+
+/// Renders a fig08-style stacked CPI report for one kernel: per bucket
+/// the CPI contribution (SM-cycles per executed thread instruction), the
+/// share of all SM-cycles and a proportional bar. Zero buckets are
+/// omitted; the `total` row ties the stack back to `num_sms / IPC`.
+pub fn stack_report(cpi: &CpiRecord, thread_instrs: u64, width: usize) -> String {
+    let total = cpi.total();
+    let instrs = thread_instrs.max(1) as f64;
+    let mut t = Table::new(vec!["bucket", "cpi", "share", ""]);
+    for (name, v) in cpi.named() {
+        if v == 0 {
+            continue;
+        }
+        t.row(vec![
+            name.to_string(),
+            format!("{:.4}", v as f64 / instrs),
+            format!("{:5.1}%", pct(v, total)),
+            bar(v as f64, total as f64, width),
+        ]);
+    }
+    t.row(vec![
+        "total".to_string(),
+        format!("{:.4}", total as f64 / instrs),
+        "100.0%".to_string(),
+        String::new(),
+    ]);
+    t.render()
+}
+
+/// One kernel's cycle-delta attribution between two comparable runs.
+#[derive(Debug, Clone)]
+pub struct Attribution {
+    /// Per-bucket signed SM-cycle deltas (new − old), ranked by
+    /// magnitude descending; canonical order breaks ties.
+    pub ranked: Vec<(&'static str, i64)>,
+    /// Total SM-cycle delta (new − old).
+    pub delta: i64,
+}
+
+impl Attribution {
+    /// Decomposes `new − old` into ranked bucket deltas.
+    pub fn between(old: &CpiRecord, new: &CpiRecord) -> Attribution {
+        let mut ranked: Vec<(&'static str, i64)> = BUCKET_NAMES
+            .iter()
+            .zip(old.buckets.iter().zip(new.buckets.iter()))
+            .map(|(&name, (&o, &n))| (name, n as i64 - o as i64))
+            .collect();
+        ranked.sort_by_key(|&(_, d)| std::cmp::Reverse(d.unsigned_abs()));
+        Attribution {
+            ranked,
+            delta: new.total() as i64 - old.total() as i64,
+        }
+    }
+
+    /// The fraction (in percent) of the total cycle delta the bucket
+    /// deltas explain. The buckets partition SM-cycles exactly, so this
+    /// is 100 whenever anything moved at all.
+    pub fn coverage(&self) -> f64 {
+        let explained: i64 = self.ranked.iter().map(|&(_, d)| d).sum();
+        if self.delta == 0 {
+            return 100.0;
+        }
+        explained as f64 / self.delta as f64 * 100.0
+    }
+}
+
+fn pct(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CpiRecord {
+        CpiRecord {
+            buckets: [40, 30, 0, 5, 0, 5, 0, 12, 8],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_checks_conservation() {
+        let rec = sample();
+        let mut fields: Vec<(String, Json)> = rec
+            .named()
+            .map(|(n, v)| (n.to_string(), Json::UInt(v)))
+            .collect();
+        fields.push(("sm_cycles".into(), Json::UInt(rec.total())));
+        let j = Json::object(fields.clone());
+        assert_eq!(CpiRecord::from_json(&j).unwrap(), rec);
+
+        fields.last_mut().unwrap().1 = Json::UInt(rec.total() + 1);
+        let bad = Json::object(fields);
+        assert!(CpiRecord::from_json(&bad)
+            .unwrap_err()
+            .contains("sm_cycles"));
+    }
+
+    #[test]
+    fn attribution_is_exhaustive_and_ranked() {
+        let old = sample();
+        let mut new = sample();
+        new.buckets[1] += 100; // stall_memory grows
+        new.buckets[0] -= 10; // issued shrinks
+        let a = Attribution::between(&old, &new);
+        assert_eq!(a.delta, 90);
+        assert_eq!(a.ranked[0], ("stall_memory", 100));
+        assert_eq!(a.ranked[1], ("issued", -10));
+        assert!((a.coverage() - 100.0).abs() < 1e-12);
+        assert_eq!(a.ranked.iter().map(|&(_, d)| d).sum::<i64>(), a.delta);
+    }
+
+    #[test]
+    fn zero_delta_attribution_covers_fully() {
+        let a = Attribution::between(&sample(), &sample());
+        assert_eq!(a.delta, 0);
+        assert!(a.ranked.iter().all(|&(_, d)| d == 0));
+        assert_eq!(a.coverage(), 100.0);
+    }
+
+    #[test]
+    fn stack_report_omits_zero_buckets_and_totals() {
+        let s = stack_report(&sample(), 1000, 20);
+        assert!(s.contains("issued"));
+        assert!(s.contains("stall_memory"));
+        assert!(!s.contains("stall_pipeline"), "zero bucket omitted");
+        assert!(s.contains("total"));
+        assert!(s.contains("100.0%"));
+    }
+}

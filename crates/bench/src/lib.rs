@@ -12,6 +12,9 @@
 //! ```
 #![forbid(unsafe_code)]
 
+pub mod cpi;
+pub mod record;
+
 use std::fs;
 use std::path::PathBuf;
 use std::time::Instant;

@@ -1,0 +1,150 @@
+//! Loading and comparing `vtbench` performance records
+//! (`BENCH_<n>.json`), shared by the `vtbench` gate and the `vtdiff`
+//! differential explainer.
+
+use crate::cpi::CpiRecord;
+use vt_json::{req_array, req_f64, req_str, req_u64, Json};
+
+/// Record format version understood by this build. v2 added the
+/// per-kernel `cpi` cycle-accounting stack (nine named buckets plus
+/// `sm_cycles`).
+pub const RECORD_VERSION: u64 = 2;
+
+/// One kernel's entry in a record, with the fields diffing needs.
+#[derive(Debug, Clone)]
+pub struct KernelEntry {
+    /// Suite kernel name.
+    pub name: String,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Executed thread instructions.
+    pub thread_instrs: u64,
+    /// Thread instructions per cycle.
+    pub ipc: f64,
+    /// The nine-bucket cycle-accounting stack.
+    pub cpi: CpiRecord,
+}
+
+/// Parses and version-checks a record file.
+///
+/// # Errors
+///
+/// Returns a message when the file is unreadable, not JSON, or from a
+/// different record version.
+pub fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let version = req_u64(&json, "version").map_err(|e| format!("{path}: {e}"))?;
+    if version != RECORD_VERSION {
+        return Err(format!(
+            "{path}: record version {version}, this build understands {RECORD_VERSION}"
+        ));
+    }
+    Ok(json)
+}
+
+/// The configuration fields two records must share to be comparable.
+///
+/// # Errors
+///
+/// Returns a message on missing fields.
+pub fn fingerprint(j: &Json) -> Result<String, String> {
+    let suite = j
+        .get("suite")
+        .ok_or_else(|| "missing key `suite`".to_string())?;
+    Ok(format!(
+        "arch={} sms={} window={} ctas={} iters={}",
+        req_str(j, "arch")?,
+        req_u64(j, "sms")?,
+        req_u64(j, "metrics_window")?,
+        req_u64(suite, "ctas")?,
+        req_u64(suite, "iters")?,
+    ))
+}
+
+/// The per-kernel entries of a record, in record order.
+///
+/// # Errors
+///
+/// Returns a message on missing fields or a CPI stack whose buckets do
+/// not sum to its `sm_cycles`.
+pub fn kernels(j: &Json) -> Result<Vec<KernelEntry>, String> {
+    req_array(j, "kernels")?
+        .iter()
+        .map(|k| {
+            let name = req_str(k, "kernel")?.to_string();
+            let cpi = k
+                .get("cpi")
+                .ok_or_else(|| format!("{name}: missing key `cpi`"))
+                .and_then(|c| CpiRecord::from_json(c).map_err(|e| format!("{name}: {e}")))?;
+            Ok(KernelEntry {
+                cycles: req_u64(k, "cycles").map_err(|e| format!("{name}: {e}"))?,
+                thread_instrs: req_u64(k, "thread_instrs").map_err(|e| format!("{name}: {e}"))?,
+                ipc: req_f64(k, "ipc").map_err(|e| format!("{name}: {e}"))?,
+                cpi,
+                name,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel_json(name: &str) -> Json {
+        let cpi = Json::object(vec![
+            ("issued".into(), Json::UInt(10)),
+            ("stall_memory".into(), Json::UInt(5)),
+            ("stall_pipeline".into(), Json::UInt(0)),
+            ("stall_barrier".into(), Json::UInt(0)),
+            ("stall_swap".into(), Json::UInt(0)),
+            ("stall_structural".into(), Json::UInt(0)),
+            ("empty_scheduling".into(), Json::UInt(0)),
+            ("empty_capacity".into(), Json::UInt(0)),
+            ("empty_drain".into(), Json::UInt(1)),
+            ("sm_cycles".into(), Json::UInt(16)),
+        ]);
+        Json::object(vec![
+            ("kernel".into(), Json::Str(name.to_string())),
+            ("cycles".into(), Json::UInt(8)),
+            ("thread_instrs".into(), Json::UInt(100)),
+            ("ipc".into(), Json::Float(12.5)),
+            ("cpi".into(), cpi),
+        ])
+    }
+
+    #[test]
+    fn kernels_parse_and_check_conservation() {
+        let j = Json::object(vec![(
+            "kernels".into(),
+            Json::Array(vec![kernel_json("bfs"), kernel_json("spmv")]),
+        )]);
+        let ks = kernels(&j).unwrap();
+        assert_eq!(ks.len(), 2);
+        assert_eq!(ks[0].name, "bfs");
+        assert_eq!(ks[0].cpi.total(), 16);
+        assert_eq!(ks[1].ipc, 12.5);
+    }
+
+    #[test]
+    fn fingerprint_requires_the_comparability_fields() {
+        let j = Json::object(vec![
+            ("arch".into(), Json::Str("vt".into())),
+            ("sms".into(), Json::UInt(4)),
+            ("metrics_window".into(), Json::UInt(512)),
+            (
+                "suite".into(),
+                Json::object(vec![
+                    ("ctas".into(), Json::UInt(64)),
+                    ("iters".into(), Json::UInt(2)),
+                ]),
+            ),
+        ]);
+        assert_eq!(
+            fingerprint(&j).unwrap(),
+            "arch=vt sms=4 window=512 ctas=64 iters=2"
+        );
+        assert!(fingerprint(&Json::object(vec![])).is_err());
+    }
+}

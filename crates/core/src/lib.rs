@@ -67,7 +67,8 @@ pub use session::{RunRequest, Session, SessionOutcome};
 
 // The analysis types figures are built from.
 pub use vt_sim::{
-    occupancy, CoreConfig, Limiter, OccupancyAnalysis, RunStats, SchedPolicy, SimError, SwapTrigger,
+    occupancy, CoreConfig, CpiStack, EmptyBreakdown, IdleBreakdown, Limiter, OccupancyAnalysis,
+    RunStats, SchedPolicy, SimError, SwapTrigger,
 };
 
 // Execution control (budgets, cancellation, checkpoint/resume) and

@@ -203,8 +203,9 @@ impl std::fmt::Debug for ProgressHook<'_> {
 
 /// Serialization format version written into checkpoints. Version 2
 /// added the `metrics` registry snapshot (replacing the occupancy
-/// timeline of version 1).
-pub const CHECKPOINT_VERSION: u64 = 2;
+/// timeline of version 1); version 3 added the `empty` sub-split of
+/// `idle.no_warps` to every stats block (CPI-stack attribution).
+pub const CHECKPOINT_VERSION: u64 = 3;
 
 /// A serialized simulator state: every SM (schedulers, SIMT stacks,
 /// scoreboards, CTA residency and swap state, LD/ST unit), the memory
@@ -320,7 +321,7 @@ mod tests {
             Err(SimError::Checkpoint { .. })
         ));
         assert!(matches!(
-            Checkpoint::parse("{\"version\": 2}"),
+            Checkpoint::parse("{\"version\": 3}"),
             Err(SimError::Checkpoint { .. }),
         ));
     }

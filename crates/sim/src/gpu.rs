@@ -1,13 +1,15 @@
 //! The whole-GPU simulation: CTA dispatcher, SMs, memory system and the
 //! main clock loop.
 
-use crate::config::{check_launchable, CoreConfig, LaunchError, ResidencyConfig, SimConfig};
+use crate::config::{
+    check_launchable, AdmissionPolicy, CoreConfig, LaunchError, ResidencyConfig, SimConfig,
+};
 use crate::exec::{
     CancelToken, Checkpoint, Progress, ProgressHook, RunBudget, RunOutcome, StopReason, Truncation,
     CHECKPOINT_VERSION,
 };
 use crate::metrics::MetricsSampler;
-use crate::sm::Sm;
+use crate::sm::{EmptyAttr, Sm};
 use crate::stats::RunStats;
 use std::error::Error;
 use std::fmt;
@@ -143,6 +145,11 @@ pub struct GpuSim<'k> {
     lanes: Vec<SmLane>,
     next_cta: u32,
     dispatch_ptr: usize,
+    /// Whether this (kernel, config) pair is bound by the scheduling
+    /// limit — fixed for the whole run, derived (not checkpointed) from
+    /// the admission policy and `vt_isa::limits::CtaBounds::limiter`.
+    /// Attributes empty SM-cycles while CTAs remain undispatched.
+    sched_limited: bool,
     stats: RunStats,
     /// Current cycle (the next one the loop will execute).
     cycle: u64,
@@ -168,6 +175,7 @@ struct SmLane {
 /// Advances one SM by one cycle against its private memory front.
 /// Functional global-memory effects are deferred inside the SM and trace
 /// events are buffered in the lane; both are drained by the merge phase.
+#[allow(clippy::too_many_arguments)]
 fn tick_lane(
     lane: &mut SmLane,
     front: &mut SmFront,
@@ -176,6 +184,7 @@ fn tick_lane(
     kernel: &Kernel,
     core: &CoreConfig,
     res: &ResidencyConfig,
+    attr: EmptyAttr,
 ) {
     let r = if trace {
         lane.sm.tick_phase(
@@ -186,6 +195,7 @@ fn tick_lane(
             front,
             &mut lane.stats,
             &mut BufSink(&mut lane.events),
+            attr,
         )
     } else {
         lane.sm.tick_phase(
@@ -196,6 +206,7 @@ fn tick_lane(
             front,
             &mut lane.stats,
             &mut NullSink,
+            attr,
         )
     };
     if let Err(e) = r {
@@ -228,6 +239,7 @@ impl<'k> GpuSim<'k> {
                 .collect(),
             next_cta: 0,
             dispatch_ptr: 0,
+            sched_limited: scheduling_limited(cfg, kernel),
             stats: RunStats::default(),
             cycle: 0,
             sampler: cfg
@@ -443,6 +455,14 @@ impl<'k> GpuSim<'k> {
             }
             self.mem.tick_traced(cycle, sink);
 
+            // Empty-cycle attribution context, fixed before Phase A so
+            // every lane observes the same dispatcher state at any
+            // worker count.
+            let attr = EmptyAttr {
+                work_left: self.next_cta < self.kernel.num_ctas(),
+                scheduling_limited: self.sched_limited,
+            };
+
             // Phase A: every SM advances one cycle touching only its own
             // lane and memory front.
             let parallel = pool.is_some_and(|p| p.threads() > 1) && self.lanes.len() > 1;
@@ -452,7 +472,7 @@ impl<'k> GpuSim<'k> {
                 let core = &self.cfg.core;
                 let res = &self.cfg.residency;
                 pool.run_pairs(&mut self.lanes, self.mem.fronts_mut(), &|_, lane, front| {
-                    tick_lane(lane, front, cycle, S::ENABLED, kernel, core, res);
+                    tick_lane(lane, front, cycle, S::ENABLED, kernel, core, res, attr);
                 });
             } else {
                 for (lane, front) in self.lanes.iter_mut().zip(self.mem.fronts_mut()) {
@@ -464,6 +484,7 @@ impl<'k> GpuSim<'k> {
                         self.kernel,
                         &self.cfg.core,
                         &self.cfg.residency,
+                        attr,
                     );
                 }
             }
@@ -702,6 +723,7 @@ impl<'k> GpuSim<'k> {
             lanes,
             next_cta: req_u64(v, "next_cta").map_err(bad)? as u32,
             dispatch_ptr: req_u64(v, "dispatch_ptr").map_err(bad)? as usize,
+            sched_limited: scheduling_limited(cfg, kernel),
             stats: RunStats::restore(req(v, "stats").map_err(bad)?).map_err(bad)?,
             cycle: req_u64(v, "cycle").map_err(bad)?,
             sampler,
@@ -740,6 +762,20 @@ impl<'k> GpuSim<'k> {
         self.next_cta >= self.kernel.num_ctas()
             && self.lanes.iter().all(|l| l.sm.idle())
             && self.mem.quiesced()
+    }
+}
+
+/// Whether empty SM-cycles with undispatched work should be attributed
+/// to the scheduling limit for this (config, kernel) pair. Under baseline
+/// admission the classification follows the static limiter; under
+/// `CapacityOnly` the scheduling structures are virtualised, so an empty
+/// SM can only be capacity-starved.
+fn scheduling_limited(cfg: &SimConfig, kernel: &Kernel) -> bool {
+    match cfg.residency.admission {
+        AdmissionPolicy::SchedulingAndCapacity => {
+            cfg.core.limits().bounds(kernel).limiter().is_scheduling()
+        }
+        AdmissionPolicy::CapacityOnly { .. } => false,
     }
 }
 

@@ -43,4 +43,4 @@ pub use exec::{
 pub use gpu::{simulate, GpuSim, RunResult, SimError};
 pub use metrics::MetricsSampler;
 pub use occupancy::{analyze, Limiter, OccupancyAnalysis};
-pub use stats::RunStats;
+pub use stats::{CpiStack, EmptyBreakdown, IdleBreakdown, RunStats};

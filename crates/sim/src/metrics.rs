@@ -9,7 +9,12 @@
 //! partition queues) and a per-window distribution of per-SM issue
 //! balance — plus a small per-SM set (issued instructions, resident and
 //! active warps, resident CTAs; the last is what the static occupancy
-//! model's cross-validation oracle compares its bounds against).
+//! model's cross-validation oracle compares its bounds against). The
+//! CPI-stack attribution rides along as three aggregate empty-split
+//! rates (`cpi_empty_scheduling` / `cpi_empty_capacity` /
+//! `cpi_empty_drain`) and a per-SM top level (`cpi_issued` /
+//! `cpi_stalled` / `cpi_empty`), windowed under the same conservation
+//! identity as the run totals.
 //!
 //! [`MetricsSampler::seal_window`] runs at the top of the cycle loop
 //! whenever `cycle` is a window boundary, *before* the cycle executes, so
@@ -31,6 +36,9 @@ struct PerSmIds {
     resident_warps: SeriesId,
     active_warps: SeriesId,
     resident_ctas: SeriesId,
+    cpi_issued: SeriesId,
+    cpi_stalled: SeriesId,
+    cpi_empty: SeriesId,
 }
 
 /// Aggregate rate-series handles, one per cumulative run counter.
@@ -48,6 +56,9 @@ struct AggRates {
     swaps_in: SeriesId,
     swaps_out: SeriesId,
     ctas_completed: SeriesId,
+    cpi_empty_scheduling: SeriesId,
+    cpi_empty_capacity: SeriesId,
+    cpi_empty_drain: SeriesId,
 }
 
 /// Aggregate level-series handles, one per instantaneous quantity.
@@ -91,6 +102,9 @@ impl MetricsSampler {
             swaps_in: m.rate("swaps_in", None),
             swaps_out: m.rate("swaps_out", None),
             ctas_completed: m.rate("ctas_completed", None),
+            cpi_empty_scheduling: m.rate("cpi_empty_scheduling", None),
+            cpi_empty_capacity: m.rate("cpi_empty_capacity", None),
+            cpi_empty_drain: m.rate("cpi_empty_drain", None),
         };
         let levels = AggLevels {
             resident_warps: m.level("resident_warps", None),
@@ -111,6 +125,9 @@ impl MetricsSampler {
                     resident_warps: m.level("resident_warps", sm),
                     active_warps: m.level("active_warps", sm),
                     resident_ctas: m.level("resident_ctas", sm),
+                    cpi_issued: m.rate("cpi_issued", sm),
+                    cpi_stalled: m.rate("cpi_stalled", sm),
+                    cpi_empty: m.rate("cpi_empty", sm),
                 }
             })
             .collect();
@@ -200,6 +217,7 @@ impl MetricsSampler {
             sum.issue_cycles += stats.issue_cycles;
             sum.ctas_completed += stats.ctas_completed;
             sum.idle.merge(&stats.idle);
+            sum.empty.merge(&stats.empty);
             sum.swaps.merge(&stats.swaps);
             resident_warps += u64::from(sm.resident_warps());
             active_warps += u64::from(sm.active_warps());
@@ -218,6 +236,15 @@ impl MetricsSampler {
                 .sample_level(ids.active_warps, u64::from(sm.active_warps()));
             self.registry
                 .sample_level(ids.resident_ctas, u64::from(sm.resident_ctas()));
+            // Per-SM top level of the CPI stack; the aggregate idle_*
+            // rates expose the stalled sub-buckets, the cpi_empty_*
+            // aggregates the empty ones.
+            self.registry
+                .sample_total(ids.cpi_issued, stats.issue_cycles);
+            self.registry
+                .sample_total(ids.cpi_stalled, stats.idle.total() - stats.idle.no_warps);
+            self.registry
+                .sample_total(ids.cpi_empty, stats.idle.no_warps);
         }
         let m = &mut self.registry;
         let r = &self.rates;
@@ -234,6 +261,12 @@ impl MetricsSampler {
         m.sample_total(r.swaps_in, g.swaps.swaps_in + sum.swaps.swaps_in);
         m.sample_total(r.swaps_out, g.swaps.swaps_out + sum.swaps.swaps_out);
         m.sample_total(r.ctas_completed, g.ctas_completed + sum.ctas_completed);
+        m.sample_total(
+            r.cpi_empty_scheduling,
+            g.empty.scheduling + sum.empty.scheduling,
+        );
+        m.sample_total(r.cpi_empty_capacity, g.empty.capacity + sum.empty.capacity);
+        m.sample_total(r.cpi_empty_drain, g.empty.drain + sum.empty.drain);
         let l = &self.levels;
         m.sample_level(l.resident_warps, resident_warps);
         m.sample_level(l.active_warps, active_warps);
@@ -256,12 +289,15 @@ mod tests {
         let s = MetricsSampler::new(256, 2);
         let m = s.registry();
         assert_eq!(m.window(), 256);
-        assert_eq!(m.len(), 12 + 8 + 1 + 4 * 2);
+        assert_eq!(m.len(), 15 + 8 + 1 + 7 * 2);
         assert!(m.get("warp_instrs", None).is_some());
         assert!(m.get("warp_instrs", Some(1)).is_some());
         assert!(m.get("resident_ctas", Some(0)).is_some());
         assert!(m.get("sm_issue_balance", None).is_some());
         assert!(m.get("mshr_in_flight", None).is_some());
+        assert!(m.get("cpi_empty_scheduling", None).is_some());
+        assert!(m.get("cpi_issued", Some(1)).is_some());
+        assert!(m.get("cpi_empty", Some(0)).is_some());
     }
 
     #[test]

@@ -35,6 +35,33 @@ enum Readiness {
     SfuBusy,
 }
 
+/// Per-cycle context for attributing *empty* SM-cycles (zero resident
+/// warps) to a cause in the [`crate::stats::EmptyBreakdown`]. Computed
+/// once per cycle by the engine — before the concurrent SM phase, so
+/// every lane sees the same value regardless of worker count — and
+/// passed by value into [`Sm::tick_phase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyAttr {
+    /// Undispatched CTAs remained in the grid at the top of this cycle.
+    pub work_left: bool,
+    /// Whether this run's admission regime is bound by the *scheduling*
+    /// limit for this kernel (per `vt_isa::limits::CtaBounds::limiter`
+    /// under `AdmissionPolicy::SchedulingAndCapacity`; always `false`
+    /// under `CapacityOnly`, where scheduling structures are virtualised).
+    pub scheduling_limited: bool,
+}
+
+impl EmptyAttr {
+    /// The attribution for a run with no undispatched work — what a
+    /// stand-alone [`Sm::tick`] caller without a grid dispatcher wants.
+    pub fn drained() -> EmptyAttr {
+        EmptyAttr {
+            work_left: false,
+            scheduling_limited: false,
+        }
+    }
+}
+
 /// One streaming multiprocessor.
 #[derive(Debug)]
 pub struct Sm {
@@ -641,6 +668,7 @@ impl Sm {
         mem: &mut MemSystem,
         image: &mut MemImage,
         stats: &mut RunStats,
+        attr: EmptyAttr,
     ) -> Result<(), ExecError> {
         let id = self.id;
         let phase = self.tick_phase(
@@ -651,6 +679,7 @@ impl Sm {
             mem.front_mut(id),
             stats,
             &mut NullSink,
+            attr,
         );
         mem.flush_outbox(id);
         self.apply_deferred(image)?;
@@ -681,6 +710,7 @@ impl Sm {
         front: &mut SmFront,
         stats: &mut RunStats,
         sink: &mut S,
+        attr: EmptyAttr,
     ) -> Result<(), ExecError> {
         // 1. Short-latency writebacks.
         while let Some(&Reverse((ready, wslot, reg, uid))) = self.writebacks.peek() {
@@ -746,7 +776,7 @@ impl Sm {
         self.window_issues += u64::from(issued);
 
         // 5. Stats.
-        self.accumulate_stats(now, issued, kernel, stats);
+        self.accumulate_stats(now, issued, kernel, stats, attr);
         Ok(())
     }
 
@@ -1441,7 +1471,14 @@ impl Sm {
 
     // ----- stats -------------------------------------------------------------
 
-    fn accumulate_stats(&self, now: u64, issued: u32, kernel: &Kernel, stats: &mut RunStats) {
+    fn accumulate_stats(
+        &self,
+        now: u64,
+        issued: u32,
+        kernel: &Kernel,
+        stats: &mut RunStats,
+        attr: EmptyAttr,
+    ) {
         let occ = &mut stats.occupancy;
         occ.sm_cycles += 1;
         occ.resident_warp_cycles += u64::from(self.resident_warps);
@@ -1462,6 +1499,16 @@ impl Sm {
         let idle = &mut stats.idle;
         if self.resident_warps == 0 {
             idle.no_warps += 1;
+            // Empty sub-split (keeps `empty.total() == idle.no_warps`):
+            // with undispatched CTAs left the SM is starved by whichever
+            // limit family governs admission; otherwise it is draining.
+            if !attr.work_left {
+                stats.empty.drain += 1;
+            } else if attr.scheduling_limited {
+                stats.empty.scheduling += 1;
+            } else {
+                stats.empty.capacity += 1;
+            }
             return;
         }
         if self.active_phase_warps == 0 {

@@ -71,6 +71,145 @@ impl IdleBreakdown {
     }
 }
 
+/// Why an SM-cycle had *no resident warps at all* — the sub-split of
+/// [`IdleBreakdown::no_warps`]. One bucket is charged per empty SM-cycle,
+/// so `EmptyBreakdown::total() == idle.no_warps` exactly.
+///
+/// While undispatched CTAs remain, an empty SM is starved by whichever
+/// limit family governs admission for this run (see
+/// `vt_isa::limits::CtaBounds::limiter`): the scheduling limit (CTA/warp
+/// slots — what Virtual Thread lifts) or the capacity limit (registers /
+/// shared memory / context buffer). Once the grid is fully dispatched the
+/// emptiness is just the end-of-kernel drain.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EmptyBreakdown {
+    /// Empty while work remained and admission was bound by the
+    /// scheduling limit (CTA or warp slots).
+    pub scheduling: u64,
+    /// Empty while work remained and admission was bound by the capacity
+    /// limit (registers, shared memory, or the VT context buffer).
+    pub capacity: u64,
+    /// Empty with the grid fully dispatched (kernel-end drain, or the
+    /// pre-dispatch cycle at kernel start counts toward the binding limit
+    /// only while CTAs are still undispatched).
+    pub drain: u64,
+}
+
+impl EmptyBreakdown {
+    /// Total empty SM-cycles; equals [`IdleBreakdown::no_warps`].
+    pub fn total(&self) -> u64 {
+        self.scheduling + self.capacity + self.drain
+    }
+
+    /// Adds another breakdown into this one.
+    pub fn merge(&mut self, o: &EmptyBreakdown) {
+        self.scheduling += o.scheduling;
+        self.capacity += o.capacity;
+        self.drain += o.drain;
+    }
+
+    /// Serializes the breakdown for checkpointing.
+    pub fn snapshot(&self) -> Json {
+        Json::Object(vec![
+            ("scheduling".into(), Json::UInt(self.scheduling)),
+            ("capacity".into(), Json::UInt(self.capacity)),
+            ("drain".into(), Json::UInt(self.drain)),
+        ])
+    }
+
+    /// Rebuilds a breakdown from [`EmptyBreakdown::snapshot`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on missing fields.
+    pub fn restore(v: &Json) -> Result<EmptyBreakdown, String> {
+        Ok(EmptyBreakdown {
+            scheduling: req_u64(v, "scheduling")?,
+            capacity: req_u64(v, "capacity")?,
+            drain: req_u64(v, "drain")?,
+        })
+    }
+}
+
+/// One kernel run's hierarchical cycle-accounting stack — every SM-cycle
+/// attributed to exactly one leaf bucket. Derived from [`RunStats`] by
+/// [`RunStats::cpi_stack`]; the conservation identity
+/// `CpiStack::total() == num_sms × cycles` (`occupancy.sm_cycles`) holds
+/// exactly because the idle and empty identities do.
+///
+/// Hierarchy: `issued`; `stalled → {memory, pipeline, barrier, swap,
+/// structural}` (warps resident but none issued); `empty →
+/// {scheduling, capacity, drain}` (no warps resident at all).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpiStack {
+    /// SM-cycles in which at least one instruction issued.
+    pub issued: u64,
+    /// Stalled on an outstanding global-memory result.
+    pub stall_memory: u64,
+    /// Stalled on short ALU/SFU scoreboard dependencies.
+    pub stall_pipeline: u64,
+    /// All unfinished warps waiting at a barrier.
+    pub stall_barrier: u64,
+    /// Active CTAs mid context switch.
+    pub stall_swap: u64,
+    /// Structural hazards (LD/ST queue, SFU interval, scheduler
+    /// partition imbalance) and anything unclassified.
+    pub stall_structural: u64,
+    /// Empty, starved by the scheduling limit with work left.
+    pub empty_scheduling: u64,
+    /// Empty, starved by the capacity limit with work left.
+    pub empty_capacity: u64,
+    /// Empty, grid fully dispatched (end-of-kernel drain).
+    pub empty_drain: u64,
+}
+
+impl CpiStack {
+    /// The bucket names and values in canonical (report) order.
+    pub fn buckets(&self) -> [(&'static str, u64); 9] {
+        [
+            ("issued", self.issued),
+            ("stall_memory", self.stall_memory),
+            ("stall_pipeline", self.stall_pipeline),
+            ("stall_barrier", self.stall_barrier),
+            ("stall_swap", self.stall_swap),
+            ("stall_structural", self.stall_structural),
+            ("empty_scheduling", self.empty_scheduling),
+            ("empty_capacity", self.empty_capacity),
+            ("empty_drain", self.empty_drain),
+        ]
+    }
+
+    /// Total attributed SM-cycles; equals `num_sms × cycles`.
+    pub fn total(&self) -> u64 {
+        self.buckets().iter().map(|&(_, v)| v).sum()
+    }
+
+    /// Stalled SM-cycles (warps resident, none issued).
+    pub fn stalled(&self) -> u64 {
+        self.stall_memory
+            + self.stall_pipeline
+            + self.stall_barrier
+            + self.stall_swap
+            + self.stall_structural
+    }
+
+    /// Empty SM-cycles (no resident warps).
+    pub fn empty(&self) -> u64 {
+        self.empty_scheduling + self.empty_capacity + self.empty_drain
+    }
+
+    /// Serializes the stack with named buckets plus the totals.
+    pub fn to_json(&self) -> Json {
+        let mut fields: Vec<(String, Json)> = self
+            .buckets()
+            .iter()
+            .map(|&(n, v)| (n.to_string(), Json::UInt(v)))
+            .collect();
+        fields.push(("sm_cycles".into(), Json::UInt(self.total())));
+        Json::Object(fields)
+    }
+}
+
 /// Time-integrated resource occupancy, accumulated once per SM-cycle.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OccupancyAccum {
@@ -256,6 +395,9 @@ pub struct RunStats {
     pub issue_cycles: u64,
     /// Idle-cycle classification.
     pub idle: IdleBreakdown,
+    /// Sub-split of `idle.no_warps`: why the SM was empty
+    /// (`empty.total() == idle.no_warps` exactly).
+    pub empty: EmptyBreakdown,
     /// Time-integrated occupancy.
     pub occupancy: OccupancyAccum,
     /// Context-switch activity.
@@ -290,6 +432,22 @@ impl RunStats {
         self.series.as_ref()
     }
 
+    /// The hierarchical cycle-accounting stack of this run. Conservation:
+    /// `cpi_stack().total() == occupancy.sm_cycles == num_sms × cycles`.
+    pub fn cpi_stack(&self) -> CpiStack {
+        CpiStack {
+            issued: self.issue_cycles,
+            stall_memory: self.idle.memory,
+            stall_pipeline: self.idle.pipeline,
+            stall_barrier: self.idle.barrier,
+            stall_swap: self.idle.swapping,
+            stall_structural: self.idle.other,
+            empty_scheduling: self.empty.scheduling,
+            empty_capacity: self.empty.capacity,
+            empty_drain: self.empty.drain,
+        }
+    }
+
     /// Adds another stats block into this one. Counters add, distributions
     /// merge, `cycles` and `max_simt_depth` take the maximum, and the
     /// metric series (a whole-GPU product of the sampler, not a per-SM
@@ -305,6 +463,7 @@ impl RunStats {
         self.ctas_completed += o.ctas_completed;
         self.issue_cycles += o.issue_cycles;
         self.idle.merge(&o.idle);
+        self.empty.merge(&o.empty);
         self.occupancy.merge(&o.occupancy);
         self.swaps.merge(&o.swaps);
         self.mem.merge(&o.mem);
@@ -334,6 +493,7 @@ impl RunStats {
             ("ctas_completed".into(), Json::UInt(self.ctas_completed)),
             ("issue_cycles".into(), Json::UInt(self.issue_cycles)),
             ("idle".into(), self.idle.snapshot()),
+            ("empty".into(), self.empty.snapshot()),
             ("occupancy".into(), self.occupancy.snapshot()),
             ("swaps".into(), self.swaps.snapshot()),
             ("mem".into(), self.mem.snapshot()),
@@ -370,6 +530,7 @@ impl RunStats {
             ctas_completed: req_u64(v, "ctas_completed")?,
             issue_cycles: req_u64(v, "issue_cycles")?,
             idle: IdleBreakdown::restore(req(v, "idle")?)?,
+            empty: EmptyBreakdown::restore(req(v, "empty")?)?,
             occupancy: OccupancyAccum::restore(req(v, "occupancy")?)?,
             swaps: SwapStats::restore(req(v, "swaps")?)?,
             mem: MemStats::restore(req(v, "mem")?)?,
@@ -438,6 +599,37 @@ mod tests {
         let back = RunStats::restore(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(back, stats);
         assert_eq!(back.metrics().unwrap().windows(), 1);
+    }
+
+    #[test]
+    fn cpi_stack_mirrors_the_breakdowns() {
+        let stats = RunStats {
+            cycles: 100,
+            issue_cycles: 60,
+            idle: IdleBreakdown {
+                no_warps: 10,
+                memory: 20,
+                pipeline: 4,
+                barrier: 3,
+                swapping: 2,
+                other: 1,
+            },
+            empty: EmptyBreakdown {
+                scheduling: 6,
+                capacity: 0,
+                drain: 4,
+            },
+            ..RunStats::default()
+        };
+        let cpi = stats.cpi_stack();
+        assert_eq!(cpi.issued, 60);
+        assert_eq!(cpi.stalled(), 30);
+        assert_eq!(cpi.empty(), 10);
+        assert_eq!(cpi.total(), stats.issue_cycles + stats.idle.total());
+        assert_eq!(stats.empty.total(), stats.idle.no_warps);
+        let j = cpi.to_json();
+        assert_eq!(j.get("empty_scheduling").and_then(Json::as_u64), Some(6));
+        assert_eq!(j.get("sm_cycles").and_then(Json::as_u64), Some(100));
     }
 
     #[test]

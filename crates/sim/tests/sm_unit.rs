@@ -9,7 +9,7 @@ use vt_mem::{MemConfig, MemSystem};
 use vt_sim::config::{
     ActivePolicy, AdmissionPolicy, CoreConfig, ResidencyConfig, SwapConfig, SwapTrigger,
 };
-use vt_sim::sm::Sm;
+use vt_sim::sm::{EmptyAttr, Sm};
 use vt_sim::stats::RunStats;
 
 /// One-warp CTAs that immediately issue a (missing) global load, then a
@@ -80,6 +80,7 @@ impl Rig {
                 &mut self.mem,
                 &mut self.image,
                 &mut self.stats,
+                EmptyAttr::drained(),
             )
             .expect("no traps");
         self.cycle += 1;

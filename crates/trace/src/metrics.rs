@@ -277,28 +277,34 @@ impl MetricsRegistry {
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
+        out.push_str("# HELP vt_metrics_window_cycles Cycles per metric window.\n");
         out.push_str("# TYPE vt_metrics_window_cycles gauge\n");
         let _ = writeln!(out, "vt_metrics_window_cycles {}", self.window);
+        out.push_str("# HELP vt_metrics_windows Sealed metric windows in this exposition.\n");
         out.push_str("# TYPE vt_metrics_windows gauge\n");
         let _ = writeln!(out, "vt_metrics_windows {}", self.sealed);
         let mut typed: Vec<&str> = Vec::new();
+        let meta = |out: &mut String, name: &str, kind: &str| {
+            let _ = writeln!(out, "# HELP vt_{name} {}", series_help(name));
+            let _ = writeln!(out, "# TYPE vt_{name} {kind}");
+        };
         for s in &self.series {
             let label = match s.sm {
-                Some(sm) => format!("{{sm=\"{sm}\"}}"),
+                Some(sm) => format!("{{sm=\"{}\"}}", escape_label_value(&sm.to_string())),
                 None => String::new(),
             };
             match &s.kind {
                 SeriesKind::Rate { last, .. } => {
                     if !typed.contains(&s.name.as_str()) {
                         typed.push(&s.name);
-                        let _ = writeln!(out, "# TYPE vt_{} counter", s.name);
+                        meta(&mut out, &s.name, "counter");
                     }
                     let _ = writeln!(out, "vt_{}_total{label} {last}", s.name);
                 }
                 SeriesKind::Level { values } => {
                     if !typed.contains(&s.name.as_str()) {
                         typed.push(&s.name);
-                        let _ = writeln!(out, "# TYPE vt_{} gauge", s.name);
+                        meta(&mut out, &s.name, "gauge");
                     }
                     let v = values.last().copied().unwrap_or(0);
                     let _ = writeln!(out, "vt_{}{label} {v}", s.name);
@@ -306,15 +312,23 @@ impl MetricsRegistry {
                 SeriesKind::Dist { windows, .. } => {
                     if !typed.contains(&s.name.as_str()) {
                         typed.push(&s.name);
-                        let _ = writeln!(out, "# TYPE vt_{} histogram", s.name);
+                        meta(&mut out, &s.name, "histogram");
                     }
                     let mut merged = Histogram::default();
                     for w in windows {
                         merged.merge(w);
                     }
-                    let lbl = |le: &str| match s.sm {
-                        Some(sm) => format!("{{sm=\"{sm}\",le=\"{le}\"}}"),
-                        None => format!("{{le=\"{le}\"}}"),
+                    let lbl = |le: &str| {
+                        let le = escape_label_value(le);
+                        match s.sm {
+                            Some(sm) => {
+                                format!(
+                                    "{{sm=\"{}\",le=\"{le}\"}}",
+                                    escape_label_value(&sm.to_string())
+                                )
+                            }
+                            None => format!("{{le=\"{le}\"}}"),
+                        }
                     };
                     let top = merged
                         .buckets
@@ -479,6 +493,61 @@ impl MetricsRegistry {
     }
 }
 
+/// Escapes a label value per the Prometheus text-format spec: backslash,
+/// double quote and newline must be written as `\\`, `\"` and `\n`.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The `# HELP` text for a series name. A static lookup at exposition
+/// time — deliberately not stored in the registry, whose snapshot format
+/// is frozen into checkpoints.
+fn series_help(name: &str) -> &'static str {
+    match name {
+        "warp_instrs" => "Warp instructions issued.",
+        "thread_instrs" => "Thread instructions executed (warp instruction x active lanes).",
+        "issue_cycles" => "SM-cycles in which at least one instruction issued.",
+        "idle_no_warps" => "Idle SM-cycles with no resident warps (see cpi_empty_* for the split).",
+        "idle_memory" => "Idle SM-cycles blocked on outstanding global-memory results.",
+        "idle_pipeline" => "Idle SM-cycles blocked on short ALU/SFU scoreboard dependencies.",
+        "idle_barrier" => "Idle SM-cycles with every unfinished warp waiting at a barrier.",
+        "idle_swapping" => "Idle SM-cycles while active CTAs were mid context switch.",
+        "idle_other" => "Idle SM-cycles from structural hazards or unclassified causes.",
+        "swaps_in" => "CTAs switched in (activated from the swapped-out state).",
+        "swaps_out" => "CTAs switched out.",
+        "ctas_completed" => "CTAs completed.",
+        "cpi_issued" => "CPI stack: SM-cycles with at least one issue.",
+        "cpi_stalled" => "CPI stack: SM-cycles stalled with warps resident.",
+        "cpi_empty" => "CPI stack: SM-cycles with no resident warps.",
+        "cpi_empty_scheduling" => {
+            "Empty SM-cycles starved by the scheduling limit (CTA/warp slots) with work left."
+        }
+        "cpi_empty_capacity" => {
+            "Empty SM-cycles starved by the capacity limit (registers/shared memory) with work left."
+        }
+        "cpi_empty_drain" => "Empty SM-cycles after the grid was fully dispatched (drain).",
+        "resident_warps" => "Resident warps at the window boundary.",
+        "active_warps" => "Schedulable (active-phase) warps at the window boundary.",
+        "resident_ctas" => "Resident CTAs at the window boundary.",
+        "active_ctas" => "CTAs holding active slots at the window boundary.",
+        "reg_bytes" => "Allocated register-file bytes at the window boundary.",
+        "smem_bytes" => "Allocated shared-memory bytes at the window boundary.",
+        "mshr_in_flight" => "MSHR entries in flight at the window boundary.",
+        "partition_queue" => "Queued requests across memory partitions at the window boundary.",
+        "sm_issue_balance" => "Per-window distribution of per-SM issued instructions.",
+        _ => "Simulator metric series.",
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -543,6 +612,7 @@ mod tests {
         let m = sample_registry();
         let text = m.to_prometheus();
         assert!(text.contains("# TYPE vt_instrs counter"));
+        assert!(text.contains("# HELP vt_instrs "));
         assert!(text.contains("vt_instrs_total 25"));
         assert!(text.contains("vt_instrs_total{sm=\"3\"} 12"));
         assert!(text.contains("# TYPE vt_warps gauge"));
@@ -551,9 +621,23 @@ mod tests {
         assert!(text.contains("vt_balance_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("vt_balance_sum 25"));
         assert!(text.contains("vt_metrics_window_cycles 100"));
-        // The TYPE line for a name shared by aggregate + per-SM series
-        // appears exactly once.
+        // The HELP/TYPE lines for a name shared by aggregate + per-SM
+        // series appear exactly once, HELP immediately before TYPE.
         assert_eq!(text.matches("# TYPE vt_instrs counter").count(), 1);
+        assert_eq!(text.matches("# HELP vt_instrs ").count(), 1);
+        let help_at = text.find("# HELP vt_instrs ").unwrap();
+        let type_at = text.find("# TYPE vt_instrs ").unwrap();
+        assert!(help_at < type_at);
+        // Every series name carries HELP text.
+        for known in ["warp_instrs", "cpi_empty_scheduling", "sm_issue_balance"] {
+            assert_ne!(super::series_help(known), "Simulator metric series.");
+        }
+    }
+
+    #[test]
+    fn label_values_escape_per_spec() {
+        assert_eq!(super::escape_label_value("plain"), "plain");
+        assert_eq!(super::escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
     }
 
     #[test]

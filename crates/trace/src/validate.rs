@@ -285,6 +285,7 @@ pub fn validate_metrics(
     let mut issues = vec![0u64; windows];
     let mut per_sm_issues: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
     let mut issue_cycles: Vec<BTreeSet<(u64, u32)>> = vec![BTreeSet::new(); windows];
+    let mut per_sm_issue_cycles: BTreeMap<u32, Vec<BTreeSet<u64>>> = BTreeMap::new();
     let mut swaps_in = vec![0u64; windows];
     let mut swaps_out = vec![0u64; windows];
     for e in events {
@@ -299,6 +300,10 @@ pub fn validate_metrics(
                 issues[k] += 1;
                 per_sm_issues.entry(sm).or_insert_with(|| vec![0; windows])[k] += 1;
                 issue_cycles[k].insert((e.t, sm));
+                per_sm_issue_cycles
+                    .entry(sm)
+                    .or_insert_with(|| vec![BTreeSet::new(); windows])[k]
+                    .insert(e.t);
             }
             TraceEvent::SwapBegin {
                 dir: SwapDir::In,
@@ -351,6 +356,101 @@ pub fn validate_metrics(
         if let Some(sm) = s.sm {
             if s.name == "warp_instrs" && !per_sm_issues.contains_key(&sm) {
                 check(&mut errors, "warp_instrs", Some(sm), &vec![0; windows]);
+            }
+        }
+    }
+
+    // CPI attribution vs the event stream: the per-SM `cpi_issued` rate
+    // must equal the distinct issue cycles of that SM per window.
+    for (&sm, cycles) in &per_sm_issue_cycles {
+        let distinct: Vec<u64> = cycles.iter().map(|s| s.len() as u64).collect();
+        check(&mut errors, "cpi_issued", Some(sm), &distinct);
+    }
+
+    // CPI conservation identities, per sealed window (each covers
+    // exactly `w` cycles). Skipped when a registry predates the
+    // attribution series — `read` returns None for absent names.
+    let read = |name: &str, sm: Option<u32>| -> Option<Vec<u64>> {
+        metrics.get(name, sm).map(|s| s.values().to_vec())
+    };
+    let cpi_sms: Vec<u32> = metrics
+        .series()
+        .iter()
+        .filter(|s| s.name == "cpi_issued")
+        .filter_map(|s| s.sm)
+        .collect();
+    // Per SM: issued + stalled + empty == window cycles.
+    for &sm in &cpi_sms {
+        if let (Some(i), Some(s), Some(e)) = (
+            read("cpi_issued", Some(sm)),
+            read("cpi_stalled", Some(sm)),
+            read("cpi_empty", Some(sm)),
+        ) {
+            for k in 0..windows.min(i.len()).min(s.len()).min(e.len()) {
+                let sum = i[k] + s[k] + e[k];
+                if sum != w {
+                    err(
+                        &mut errors,
+                        format!(
+                            "window {k}: sm{sm} CPI buckets sum to {sum}, window is {w} cycles"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    // Aggregate: the idle breakdown plus issue cycles covers every
+    // SM-cycle, and the empty split partitions `idle_no_warps`.
+    let idle_names = [
+        "idle_no_warps",
+        "idle_memory",
+        "idle_pipeline",
+        "idle_barrier",
+        "idle_swapping",
+        "idle_other",
+    ];
+    if let Some(issued) = read("issue_cycles", None) {
+        let idle: Option<Vec<Vec<u64>>> = idle_names.iter().map(|n| read(n, None)).collect();
+        if let Some(idle) = idle {
+            if !cpi_sms.is_empty() {
+                let sm_cycles = w * cpi_sms.len() as u64;
+                for (k, &issued_k) in issued.iter().enumerate().take(windows) {
+                    let sum = issued_k
+                        + idle
+                            .iter()
+                            .map(|v| v.get(k).copied().unwrap_or(0))
+                            .sum::<u64>();
+                    if sum != sm_cycles {
+                        err(
+                            &mut errors,
+                            format!(
+                                "window {k}: issue + idle buckets sum to {sum}, \
+                                 expected {sm_cycles} ({} SMs x {w} cycles)",
+                                cpi_sms.len()
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    if let (Some(no_warps), Some(sched), Some(cap), Some(drain)) = (
+        read("idle_no_warps", None),
+        read("cpi_empty_scheduling", None),
+        read("cpi_empty_capacity", None),
+        read("cpi_empty_drain", None),
+    ) {
+        for (k, &no_warps_k) in no_warps.iter().enumerate().take(windows) {
+            let split = sched.get(k).copied().unwrap_or(0)
+                + cap.get(k).copied().unwrap_or(0)
+                + drain.get(k).copied().unwrap_or(0);
+            if split != no_warps_k {
+                err(
+                    &mut errors,
+                    format!(
+                        "window {k}: empty split sums to {split}, idle_no_warps is {no_warps_k}"
+                    ),
+                );
             }
         }
     }

@@ -55,6 +55,15 @@ if cargo run -q --release -p vt-bench --bin vtbench -- \
   exit 1
 fi
 
+echo "== CPI-stack goldens + conservation property (tests/golden/cpi.*.json)"
+cargo test -q -p vt-tests --test cpi
+
+echo "== vtdiff --assert-zero (two runs of the same build are cycle-identical)"
+cargo run -q --release -p vt-bench --bin vtbench -- \
+  --out "$VTBENCH_TMP/again.json" >/dev/null
+cargo run -q --release -p vt-bench --bin vtdiff -- \
+  "$VTBENCH_TMP/now.json" "$VTBENCH_TMP/again.json" --assert-zero >/dev/null
+
 # Note: `cargo test -- --test-threads` parallelizes the *test harness*;
 # engine parallelism is a separate axis (vtsweep --threads / VT_THREADS)
 # and is what --check verifies against the sequential run below.

@@ -131,6 +131,14 @@ pub mod golden {
                 ]),
             ),
             (
+                "empty".into(),
+                Json::object(vec![
+                    ("scheduling".into(), Json::UInt(s.empty.scheduling)),
+                    ("capacity".into(), Json::UInt(s.empty.capacity)),
+                    ("drain".into(), Json::UInt(s.empty.drain)),
+                ]),
+            ),
+            (
                 "occupancy".into(),
                 Json::object(vec![
                     (

@@ -159,7 +159,9 @@ fn idle_accounting_partitions_every_sm_cycle() {
     // swapping/memory for a drained active set, then the issue-list scan).
     // The buckets therefore partition `num_sms × cycles` with no cycle
     // dropped or double-counted — for every suite kernel and every
-    // architecture.
+    // architecture. The empty split refines `no_warps` the same way
+    // (scheduling + capacity + drain, nothing else), so the derived
+    // CPI stack inherits the conservation identity exactly.
     for w in suite(&Scale::test()) {
         for arch in vt_tests::all_archs() {
             let r = run(arch, &w.kernel);
@@ -177,6 +179,23 @@ fn idle_accounting_partitions_every_sm_cycle() {
                 w.name,
                 arch.label()
             );
+            assert_eq!(
+                r.stats.empty.total(),
+                r.stats.idle.no_warps,
+                "{} under {}: empty split must refine idle.no_warps",
+                w.name,
+                arch.label()
+            );
+            let cpi = r.stats.cpi_stack();
+            assert_eq!(
+                cpi.total(),
+                r.stats.occupancy.sm_cycles,
+                "{} under {}: CPI stack conserves SM-cycles",
+                w.name,
+                arch.label()
+            );
+            assert_eq!(cpi.issued, r.stats.issue_cycles);
+            assert_eq!(cpi.stalled() + cpi.empty(), r.stats.idle.total());
         }
     }
 }

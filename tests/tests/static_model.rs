@@ -164,6 +164,61 @@ fn scheduling_classification_predicts_vt_ipc_gain() {
     }
 }
 
+/// The static limiter predicts which *empty* cycle-accounting bucket
+/// the simulator charges. Under the baseline's scheduling+capacity
+/// admission, empty SM-cycles with work left land in `empty_scheduling`
+/// exactly when the static limiter is a scheduling-structure shortage,
+/// and in `empty_capacity` otherwise — the other bucket stays zero for
+/// the whole run. Under VT's capacity-only admission the scheduling
+/// limit does not exist, so its bucket can never be charged. (The
+/// dispatch-after-tick cycle ordering guarantees at least one empty
+/// pre-dispatch cycle per run, so the positive assertions are never
+/// vacuous.)
+#[test]
+fn static_limiter_predicts_dynamic_empty_bucket() {
+    let limits = oracle_limits();
+    for w in suite(&oracle_scale()) {
+        let scheduling_limited = limits.bounds(&w.kernel).limiter().is_scheduling();
+        let base = run_oracle(Architecture::Baseline, &w.kernel);
+        let e = &base.stats.empty;
+        if scheduling_limited {
+            assert!(
+                e.scheduling > 0,
+                "{}: scheduling-limited but no cycle charged to the limit",
+                w.name
+            );
+            assert_eq!(
+                e.capacity, 0,
+                "{}: scheduling-limited kernels never starve on capacity",
+                w.name
+            );
+        } else {
+            assert!(
+                e.capacity > 0,
+                "{}: capacity-limited but no cycle charged to it",
+                w.name
+            );
+            assert_eq!(
+                e.scheduling, 0,
+                "{}: capacity-limited kernels never starve on the scheduling limit",
+                w.name
+            );
+        }
+
+        let vt = run_oracle(Architecture::virtual_thread(), &w.kernel);
+        assert_eq!(
+            vt.stats.empty.scheduling, 0,
+            "{}: capacity-only admission has no scheduling limit to charge",
+            w.name
+        );
+        assert!(
+            vt.stats.empty.capacity > 0,
+            "{}: the pre-dispatch cycle is capacity-charged under VT",
+            w.name
+        );
+    }
+}
+
 /// The static policy table and `vt_core::Architecture`'s lowering to
 /// the simulator agree variant-by-variant, so the mirrored
 /// `ResidencyModel` cannot drift from `AdmissionPolicy`.

@@ -59,7 +59,7 @@
 use std::process::ExitCode;
 use vt_analysis::{analyze, model, ModelConfig, Report};
 use vt_json::{Json, ToJson};
-use vt_workloads::{suite, Scale};
+use vt_workloads::{full_suite, Scale};
 
 struct Args {
     json: bool,
@@ -102,7 +102,7 @@ fn kernels(args: &Args) -> Result<Vec<vt_isa::Kernel>, String> {
         out.push(vt_isa::asm::assemble(&src).map_err(|e| format!("{path}: {e}"))?);
     }
     if args.suite {
-        out.extend(suite(&Scale::test()).into_iter().map(|w| w.kernel));
+        out.extend(full_suite(&Scale::test()).into_iter().map(|w| w.kernel));
     }
     Ok(out)
 }

@@ -100,7 +100,7 @@ fn lint_json_matches_documented_schema() {
     assert_eq!(out.status.code(), Some(0), "suite has warnings only");
     let json = Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
     let reports = json.as_array().expect("top-level array");
-    assert_eq!(reports.len(), 14, "one report per suite kernel");
+    assert_eq!(reports.len(), 20, "one report per suite kernel");
     for r in reports {
         for key in [
             "kernel",
@@ -130,7 +130,7 @@ fn model_json_matches_documented_schema() {
     assert_eq!(out.status.code(), Some(0), "model findings are warnings");
     let json = Json::parse(&String::from_utf8_lossy(&out.stdout)).expect("valid JSON");
     let models = json.as_array().expect("top-level array");
-    assert_eq!(models.len(), 14, "one model per suite kernel");
+    assert_eq!(models.len(), 20, "one model per suite kernel");
     for m in models {
         for key in [
             "kernel",

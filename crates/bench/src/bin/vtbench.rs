@@ -30,7 +30,7 @@ use vt_bench::record::{self, RECORD_VERSION};
 use vt_bench::{geomean, Table};
 use vt_core::{Architecture, Gpu, GpuConfig, MemSwapParams};
 use vt_json::{req_f64, Json};
-use vt_workloads::{suite, Scale};
+use vt_workloads::{full_suite, Scale};
 
 const USAGE: &str = "\
 usage: vtbench [options]
@@ -192,7 +192,7 @@ fn run_suite(o: &Opts) -> Result<(), String> {
     let mut ipcs = Vec::new();
     let mut total_cycles = 0u64;
     let started = Instant::now();
-    for w in suite(&scale) {
+    for w in full_suite(&scale) {
         let t0 = Instant::now();
         let report = Gpu::new(cfg.clone())
             .run(&w.kernel)

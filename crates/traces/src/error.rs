@@ -1,0 +1,226 @@
+//! Non-panicking error taxonomy for trace ingestion.
+//!
+//! Every defect a malformed trace can exhibit maps to a distinct
+//! variant, so the `vttrace --check` validator (and the fuzz suite) can
+//! assert that corrupt inputs are *rejected*, never mis-parsed and
+//! never allowed to panic downstream.
+
+use std::fmt;
+
+/// Why a trace file could not be parsed or lowered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// The file could not be read at all.
+    Io {
+        /// Path that failed to open/read.
+        path: String,
+        /// OS-level error text.
+        msg: String,
+    },
+    /// A line did not match the grammar (bad token, bad number, unknown
+    /// opcode class, trailing junk).
+    Syntax {
+        /// 1-based source line.
+        line: usize,
+        /// What was wrong.
+        msg: String,
+    },
+    /// A required header field is missing, duplicated or malformed.
+    Header {
+        /// What was wrong.
+        msg: String,
+    },
+    /// Header values describe an unlaunchable kernel (zero or oversized
+    /// grid/block, >1-D geometry, absurd register/smem counts) or the
+    /// trace body disagrees with the declared geometry.
+    Geometry {
+        /// What was wrong.
+        msg: String,
+    },
+    /// An active mask has bits set outside the warp's lane population.
+    MaskOutOfRange {
+        /// 1-based source line.
+        line: usize,
+        /// The offending mask.
+        mask: u32,
+        /// The legal lane mask for that warp.
+        lane_mask: u32,
+    },
+    /// A memory record carried a different number of addresses than the
+    /// popcount of its active mask.
+    AddressCount {
+        /// 1-based source line.
+        line: usize,
+        /// popcount of the mask.
+        expected: usize,
+        /// addresses actually present.
+        got: usize,
+    },
+    /// A memory address is not 4-byte aligned (the replay ISA is
+    /// word-granular).
+    Misaligned {
+        /// 1-based source line.
+        line: usize,
+        /// The offending byte address.
+        addr: u64,
+    },
+    /// A shared-memory address lies outside the CTA's declared
+    /// shared-memory allocation.
+    SharedOutOfRange {
+        /// 1-based source line.
+        line: usize,
+        /// The offending byte address.
+        addr: u64,
+        /// Declared `-shmem` bytes.
+        smem_bytes: u32,
+    },
+    /// The global-address footprint is too large to materialise as a
+    /// replay heap.
+    AddressRange {
+        /// Footprint description.
+        msg: String,
+    },
+    /// The same thread block appeared twice.
+    DuplicateBlock {
+        /// 1-based source line of the second occurrence.
+        line: usize,
+        /// Block id.
+        tb: u32,
+    },
+    /// The same warp appeared twice within one thread block.
+    DuplicateWarp {
+        /// 1-based source line of the second occurrence.
+        line: usize,
+        /// Block id.
+        tb: u32,
+        /// Warp id.
+        warp: u32,
+    },
+    /// A warp declared `insts = K` but its record stream ended early or
+    /// a structural keyword interrupted it.
+    InstCount {
+        /// 1-based source line where the mismatch was detected.
+        line: usize,
+        /// Warp id.
+        warp: u32,
+        /// Declared record count.
+        declared: usize,
+        /// Records actually found.
+        got: usize,
+    },
+    /// The file ended inside a structure (mid-block, mid-warp).
+    Truncated {
+        /// 1-based line number of end-of-file.
+        line: usize,
+    },
+    /// Records appeared after a warp's `EXIT`.
+    TrailingAfterExit {
+        /// 1-based source line.
+        line: usize,
+    },
+    /// Two warps disagree on the opcode class at the same stream slot,
+    /// so no single lock-step replay program exists.
+    SlotMismatch {
+        /// Unified slot index.
+        slot: usize,
+        /// The two classes in conflict.
+        msg: String,
+    },
+    /// A `BAR` record carried a partial active mask; barriers must be
+    /// CTA-uniform to replay without deadlock.
+    BarrierMask {
+        /// Unified slot index.
+        slot: usize,
+        /// Block id.
+        tb: u32,
+    },
+    /// The trace is too large to lower (slot count or replay-table
+    /// footprint over the cap).
+    TooLong {
+        /// What exceeded which cap.
+        msg: String,
+    },
+    /// The generated replay program failed `vt-isa` validation — a
+    /// lowering bug, surfaced as an error instead of a panic.
+    Isa {
+        /// The underlying ISA error text.
+        msg: String,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io { path, msg } => write!(f, "{path}: {msg}"),
+            TraceError::Syntax { line, msg } => write!(f, "line {line}: syntax error: {msg}"),
+            TraceError::Header { msg } => write!(f, "header: {msg}"),
+            TraceError::Geometry { msg } => write!(f, "geometry: {msg}"),
+            TraceError::MaskOutOfRange {
+                line,
+                mask,
+                lane_mask,
+            } => write!(
+                f,
+                "line {line}: mask {mask:#010x} has bits outside lane mask {lane_mask:#010x}"
+            ),
+            TraceError::AddressCount {
+                line,
+                expected,
+                got,
+            } => write!(
+                f,
+                "line {line}: expected {expected} addresses (mask popcount), got {got}"
+            ),
+            TraceError::Misaligned { line, addr } => {
+                write!(f, "line {line}: address {addr:#x} is not 4-byte aligned")
+            }
+            TraceError::SharedOutOfRange {
+                line,
+                addr,
+                smem_bytes,
+            } => write!(
+                f,
+                "line {line}: shared address {addr:#x} outside -shmem = {smem_bytes}"
+            ),
+            TraceError::AddressRange { msg } => write!(f, "global address range: {msg}"),
+            TraceError::DuplicateBlock { line, tb } => {
+                write!(f, "line {line}: thread block {tb} appears twice")
+            }
+            TraceError::DuplicateWarp { line, tb, warp } => {
+                write!(
+                    f,
+                    "line {line}: warp {warp} appears twice in thread block {tb}"
+                )
+            }
+            TraceError::InstCount {
+                line,
+                warp,
+                declared,
+                got,
+            } => write!(
+                f,
+                "line {line}: warp {warp} declared insts = {declared} but has {got} records"
+            ),
+            TraceError::Truncated { line } => {
+                write!(
+                    f,
+                    "line {line}: unexpected end of file inside a thread block"
+                )
+            }
+            TraceError::TrailingAfterExit { line } => {
+                write!(f, "line {line}: record after EXIT")
+            }
+            TraceError::SlotMismatch { slot, msg } => {
+                write!(f, "slot {slot}: opcode class mismatch across warps: {msg}")
+            }
+            TraceError::BarrierMask { slot, tb } => write!(
+                f,
+                "slot {slot}: BAR with partial active mask in thread block {tb}"
+            ),
+            TraceError::TooLong { msg } => write!(f, "trace too large: {msg}"),
+            TraceError::Isa { msg } => write!(f, "lowered program rejected by ISA: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}

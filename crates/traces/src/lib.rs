@@ -1,0 +1,68 @@
+//! # vt-traces — the trace ingestion frontend
+//!
+//! Parses accel-sim-style kernel traces (the text shape of
+//! `trace_parser.hpp`/`trace_warp_inst.hpp`: a kernel header followed by
+//! per-warp instruction records carrying PC, opcode class, active mask
+//! and per-thread addresses) and lowers them into `vt-isa` kernels plus
+//! launch geometry, so recorded GPU executions replay through the same
+//! `Session`/golden/differential machinery as the synthetic suite.
+//!
+//! The pipeline is two total functions, neither of which panics on
+//! malformed input:
+//!
+//! * [`parse_str`] / [`parse_file`] — text to a validated [`Trace`]
+//!   (header, thread blocks, warp record streams), or a [`TraceError`]
+//!   naming the line and defect;
+//! * [`Trace::lower`] — a [`Trace`] to an executable [`vt_isa::Kernel`]:
+//!   warp streams are unified into lock-step *slots*, per-slot active
+//!   masks and per-lane addresses are materialised as tables in the
+//!   kernel's global memory image, and a data-driven replay program is
+//!   generated that predicates each slot on its recorded mask and
+//!   re-issues each memory record at its recorded (rebased) address.
+//!
+//! [`load_kernel`] composes both. The `vttrace` CLI (in `vt-bench`)
+//! wraps this crate with `--check` / `--run` / `--json` modes.
+//!
+//! ## Trace text format
+//!
+//! ```text
+//! -kernel name = vecadd
+//! -grid dim = (2,1,1)
+//! -block dim = (64,1,1)
+//! -shmem = 0
+//! -nregs = 16
+//!
+//! #BEGIN_TB
+//! thread block = 0
+//! warp = 0
+//! insts = 3
+//! 0000 ffffffff ALU
+//! 0008 ffffffff LDG 4 0x1000 0x1004 ... (one address per set mask bit)
+//! 0010 ffffffff EXIT
+//! warp = 1
+//! ...
+//! #END_TB
+//! ```
+//!
+//! Opcode classes: `ALU`, `MAD`, `SFU` (compute), `LDG`, `STG`, `ATOM`
+//! (global memory, with addresses), `LDS`, `STS` (shared memory, with
+//! CTA-local addresses), `BAR` (full-mask CTA barrier), `EXIT`
+//! (stream terminator). Anything else is a [`TraceError::Syntax`].
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod lower;
+pub mod parse;
+
+pub use error::TraceError;
+pub use parse::{parse_file, parse_str, OpClass, Trace, TraceBlock, TraceInst, TraceWarp};
+
+/// Parses `path` and lowers the trace to an executable kernel — the
+/// one-call frontend used by `vttrace --run`.
+///
+/// # Errors
+///
+/// Any [`TraceError`] from parsing or lowering; never panics.
+pub fn load_kernel(path: &str) -> Result<vt_isa::Kernel, TraceError> {
+    parse_file(path)?.lower()
+}

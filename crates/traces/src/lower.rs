@@ -1,0 +1,465 @@
+//! Lowering: a validated [`Trace`] to an executable [`Kernel`].
+//!
+//! ## Scheme
+//!
+//! All warp record streams are unified into a single sequence of
+//! lock-step *slots*: slot `s` is the `s`-th (non-`EXIT`) record of
+//! every warp. Every warp that has a record at slot `s` must agree on
+//! its opcode class ([`TraceError::SlotMismatch`] otherwise), so one
+//! shared replay program can be generated; warps whose stream is
+//! shorter (or absent from the trace) replay the remaining slots with
+//! an all-zero mask.
+//!
+//! The recorded behaviour is *data*, not code:
+//!
+//! * a **mask table** (`[slot][warp] → u32` in the kernel's global
+//!   image) holds each warp's recorded active mask per slot; each lane
+//!   predicates the slot body on its own bit. Slots where every warp is
+//!   fully active skip the table read and the predication entirely.
+//! * an **address table** per memory slot (`[warp*32+lane] → u32`)
+//!   holds each lane's recorded byte address. Global addresses are
+//!   rebased: the trace's global footprint `[min, max]` (capped at
+//!   [`MAX_HEAP_BYTES`]) becomes a zeroed replay heap, preserving the
+//!   exact intra-warp coalescing/divergence pattern of the recording.
+//!   Shared addresses are used verbatim (parse already bounds them).
+//!
+//! Slot bodies re-create the recorded pipeline demand: `ALU`/`MAD`
+//! fold into a running accumulator, `SFU` routes through the SFU
+//! pipeline, loads feed the accumulator, stores/atomics write it out,
+//! `BAR` replays as an unpredicated CTA barrier (every warp executes
+//! the shared program, so no barrier can deadlock — parse and
+//! [`TraceError::BarrierMask`] enforce recorded CTA uniformity). An
+//! epilogue stores each thread's accumulator to a per-thread output
+//! word, giving goldens a functional fingerprint of the whole replay.
+//!
+//! The replay adds deterministic *table-read* traffic that the original
+//! GPU did not execute; it is the price of data-driven replay and is
+//! identical across architectures, so differential comparisons remain
+//! meaningful (see DESIGN.md §16).
+
+use crate::error::TraceError;
+use crate::parse::{OpClass, Trace};
+use vt_isa::{AtomOp, Kernel, KernelBuilder, Operand, Reg, SfuOp, Sreg, WARP_SIZE};
+
+/// Hard ceiling on unified replay slots per trace.
+pub const MAX_SLOTS: usize = 4096;
+/// Hard ceiling on the rebased global footprint a trace may touch.
+pub const MAX_HEAP_BYTES: u64 = 16 * 1024 * 1024;
+/// Hard ceiling on replay-table words (mask table and address tables
+/// each), bounding the lowered kernel's global image.
+pub const MAX_TABLE_WORDS: usize = 4 * 1024 * 1024;
+
+/// Per-slot unification result.
+struct Slot {
+    class: OpClass,
+    /// Recorded mask per global warp index (`tb * warps_per_cta + warp`);
+    /// zero for absent/finished warps.
+    masks: Vec<u32>,
+    /// True when every warp of every block is fully active at this slot,
+    /// so predication (and the mask-table read) can be skipped.
+    uniform: bool,
+}
+
+impl Trace {
+    /// Lowers the trace to an executable kernel with the recorded launch
+    /// geometry, register and shared-memory footprint.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::SlotMismatch`], [`TraceError::BarrierMask`],
+    /// [`TraceError::AddressRange`] or [`TraceError::TooLong`] when the
+    /// streams cannot be unified into a bounded replay program; never
+    /// panics.
+    pub fn lower(&self) -> Result<Kernel, TraceError> {
+        let w_per_cta = self.warps_per_cta() as usize;
+        let total_warps = self.grid as usize * w_per_cta;
+        let slots = self.unify_slots(w_per_cta, total_warps)?;
+
+        // --- global footprint ------------------------------------------------
+        let mut gmin = u64::MAX;
+        let mut gmax = 0u64;
+        for b in &self.blocks {
+            for w in &b.warps {
+                for i in &w.insts {
+                    if i.class.is_global_mem() {
+                        for &a in &i.addrs {
+                            gmin = gmin.min(a);
+                            gmax = gmax.max(a + 4);
+                        }
+                    }
+                }
+            }
+        }
+        let heap_span = if gmin == u64::MAX { 0 } else { gmax - gmin };
+        if heap_span > MAX_HEAP_BYTES {
+            return Err(TraceError::AddressRange {
+                msg: format!("footprint {heap_span} bytes exceeds {MAX_HEAP_BYTES}"),
+            });
+        }
+
+        let mask_words = slots.len() * total_warps;
+        let mem_slots = slots.iter().filter(|s| s.class.has_addresses()).count();
+        let addr_words = mem_slots * total_warps * WARP_SIZE as usize;
+        if mask_words > MAX_TABLE_WORDS || addr_words > MAX_TABLE_WORDS {
+            return Err(TraceError::TooLong {
+                msg: format!(
+                    "replay tables need {mask_words}+{addr_words} words (cap {MAX_TABLE_WORDS})"
+                ),
+            });
+        }
+
+        // --- data layout -----------------------------------------------------
+        let mut b = KernelBuilder::new(self.name.clone());
+        let heap_base = b.alloc_global((heap_span / 4) as usize);
+        let mask_base = b.alloc_global_init(&self.mask_table(&slots, total_warps));
+        let mut addr_bases = vec![0u32; slots.len()];
+        for (s, slot) in slots.iter().enumerate() {
+            if slot.class.has_addresses() {
+                let table = self.addr_table(s, slot, total_warps, w_per_cta, heap_base, gmin)?;
+                addr_bases[s] = b.alloc_global_init(&table);
+            }
+        }
+        let out_base = b.alloc_global(self.grid as usize * self.block as usize);
+
+        // --- codegen ---------------------------------------------------------
+        let wg = b.reg(); // global warp index
+        let wgoff = b.reg(); // wg * 4, mask-table row offset
+        let gloff = b.reg(); // (wg*32 + lane) * 4, addr-table row offset
+        let acc = b.reg(); // running accumulator
+        let tmp = b.reg();
+        let p = b.reg(); // per-lane predicate
+        let addr = b.reg(); // replayed byte address
+        let maskr = b.reg(); // this warp's recorded mask
+        b.mad(
+            wg,
+            Operand::Sreg(Sreg::CtaId),
+            Operand::Imm(w_per_cta as u32),
+            Operand::Sreg(Sreg::WarpId),
+        );
+        b.shl(wgoff, Operand::Reg(wg), Operand::Imm(2));
+        b.shl(gloff, Operand::Reg(wg), Operand::Imm(5));
+        b.add(gloff, Operand::Reg(gloff), Operand::Sreg(Sreg::Lane));
+        b.shl(gloff, Operand::Reg(gloff), Operand::Imm(2));
+        b.mov(acc, Operand::Imm(1));
+
+        for (s, slot) in slots.iter().enumerate() {
+            if slot.class == OpClass::Bar {
+                b.bar();
+                continue;
+            }
+            let body = |b: &mut KernelBuilder| {
+                emit_slot_body(b, slot.class, s, addr_bases[s], gloff, acc, tmp, addr);
+            };
+            if slot.uniform {
+                body(&mut b);
+            } else {
+                let row = mask_base + (s * total_warps * 4) as u32;
+                b.ld_global(maskr, Operand::Reg(wgoff), row as i32);
+                b.shr(p, Operand::Reg(maskr), Operand::Sreg(Sreg::Lane));
+                b.and_(p, Operand::Reg(p), Operand::Imm(1));
+                b.if_(Operand::Reg(p), body);
+            }
+        }
+
+        // Epilogue: out[gid] = acc, a functional fingerprint per thread.
+        b.global_thread_id(tmp);
+        b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
+        b.st_global(Operand::Reg(tmp), out_base as i32, Operand::Reg(acc));
+
+        b.pad_regs(self.nregs as u16);
+        b.pad_smem(self.shmem_bytes);
+        b.build(self.grid, self.block)
+            .map_err(|e| TraceError::Isa { msg: e.to_string() })
+    }
+
+    /// Unifies all warp streams into lock-step slots, checking class
+    /// agreement and barrier uniformity.
+    fn unify_slots(&self, w_per_cta: usize, total_warps: usize) -> Result<Vec<Slot>, TraceError> {
+        let n_slots = self
+            .blocks
+            .iter()
+            .flat_map(|b| &b.warps)
+            .map(|w| w.insts.len())
+            .max()
+            .unwrap_or(0);
+        if n_slots > MAX_SLOTS {
+            return Err(TraceError::TooLong {
+                msg: format!("{n_slots} replay slots (cap {MAX_SLOTS})"),
+            });
+        }
+        let mut slots = Vec::with_capacity(n_slots);
+        for s in 0..n_slots {
+            let mut class: Option<OpClass> = None;
+            let mut masks = vec![0u32; total_warps];
+            let mut uniform = true;
+            for blk in &self.blocks {
+                let mut present = vec![false; w_per_cta];
+                for w in &blk.warps {
+                    let Some(inst) = w.insts.get(s) else {
+                        continue;
+                    };
+                    present[w.warp as usize] = true;
+                    match class {
+                        None => class = Some(inst.class),
+                        Some(c) if c == inst.class => {}
+                        Some(c) => {
+                            return Err(TraceError::SlotMismatch {
+                                slot: s,
+                                msg: format!(
+                                    "{} (tb {}, warp {}, line {}) vs {}",
+                                    inst.class.mnemonic(),
+                                    blk.tb,
+                                    w.warp,
+                                    inst.line,
+                                    c.mnemonic()
+                                ),
+                            });
+                        }
+                    }
+                    let full = self.lane_mask(w.warp);
+                    if inst.class == OpClass::Bar && inst.mask != full {
+                        return Err(TraceError::BarrierMask {
+                            slot: s,
+                            tb: blk.tb,
+                        });
+                    }
+                    if inst.mask != full {
+                        uniform = false;
+                    }
+                    masks[blk.tb as usize * w_per_cta + w.warp as usize] = inst.mask;
+                }
+                if present.iter().any(|&x| !x) {
+                    uniform = false;
+                }
+            }
+            let class = class.expect("slot index below max stream length");
+            slots.push(Slot {
+                class,
+                masks,
+                uniform,
+            });
+        }
+        Ok(slots)
+    }
+
+    /// Slot-major mask table: `words[s * total_warps + wg]`.
+    fn mask_table(&self, slots: &[Slot], total_warps: usize) -> Vec<u32> {
+        let mut words = vec![0u32; slots.len() * total_warps];
+        for (s, slot) in slots.iter().enumerate() {
+            words[s * total_warps..(s + 1) * total_warps].copy_from_slice(&slot.masks);
+        }
+        words
+    }
+
+    /// Per-lane address table for memory slot `s`: `words[wg * 32 + lane]`.
+    /// Global addresses are rebased onto the replay heap; recorded
+    /// addresses map to lanes in ascending set-bit order of the mask.
+    fn addr_table(
+        &self,
+        s: usize,
+        slot: &Slot,
+        total_warps: usize,
+        w_per_cta: usize,
+        heap_base: u32,
+        gmin: u64,
+    ) -> Result<Vec<u32>, TraceError> {
+        let mut words = vec![0u32; total_warps * WARP_SIZE as usize];
+        for blk in &self.blocks {
+            for w in &blk.warps {
+                let Some(inst) = w.insts.get(s) else {
+                    continue;
+                };
+                let wg = blk.tb as usize * w_per_cta + w.warp as usize;
+                let mut ai = 0usize;
+                for lane in 0..WARP_SIZE {
+                    if inst.mask & (1 << lane) == 0 {
+                        continue;
+                    }
+                    let a = inst.addrs[ai];
+                    ai += 1;
+                    let replay = if slot.class.is_global_mem() {
+                        u64::from(heap_base) + (a - gmin)
+                    } else {
+                        a
+                    };
+                    let replay = u32::try_from(replay).map_err(|_| TraceError::AddressRange {
+                        msg: format!("rebased address {replay:#x} exceeds 32 bits"),
+                    })?;
+                    words[wg * WARP_SIZE as usize + lane as usize] = replay;
+                }
+            }
+        }
+        Ok(words)
+    }
+}
+
+/// Emits the replay body for one (non-barrier) slot. `s` varies the
+/// immediates so different slots fold distinguishable values into the
+/// accumulator.
+#[allow(clippy::too_many_arguments)]
+fn emit_slot_body(
+    b: &mut KernelBuilder,
+    class: OpClass,
+    s: usize,
+    addr_base: u32,
+    gloff: Reg,
+    acc: Reg,
+    tmp: Reg,
+    addr: Reg,
+) {
+    let v = (s as u32) & 0xffff;
+    match class {
+        OpClass::Alu => {
+            b.mad(acc, Operand::Reg(acc), Operand::Imm(3), Operand::Imm(v + 1));
+        }
+        OpClass::Mad => {
+            b.mad(acc, Operand::Reg(acc), Operand::Imm(5), Operand::Imm(v + 3));
+        }
+        OpClass::Sfu => {
+            b.and_(tmp, Operand::Reg(acc), Operand::Imm(0xff));
+            b.u2f(tmp, Operand::Reg(tmp));
+            b.sfu(SfuOp::Rcp, tmp, Operand::Reg(tmp));
+            b.f2u(tmp, Operand::Reg(tmp));
+            b.add(acc, Operand::Reg(acc), Operand::Reg(tmp));
+        }
+        OpClass::Ldg => {
+            b.ld_global(addr, Operand::Reg(gloff), addr_base as i32);
+            b.ld_global(tmp, Operand::Reg(addr), 0);
+            b.add(acc, Operand::Reg(acc), Operand::Reg(tmp));
+        }
+        OpClass::Stg => {
+            b.ld_global(addr, Operand::Reg(gloff), addr_base as i32);
+            b.st_global(Operand::Reg(addr), 0, Operand::Reg(acc));
+        }
+        OpClass::Lds => {
+            b.ld_global(addr, Operand::Reg(gloff), addr_base as i32);
+            b.ld_shared(tmp, Operand::Reg(addr), 0);
+            b.add(acc, Operand::Reg(acc), Operand::Reg(tmp));
+        }
+        OpClass::Sts => {
+            b.ld_global(addr, Operand::Reg(gloff), addr_base as i32);
+            b.st_shared(Operand::Reg(addr), 0, Operand::Reg(acc));
+        }
+        OpClass::Atom => {
+            b.ld_global(addr, Operand::Reg(gloff), addr_base as i32);
+            b.atom(AtomOp::Add, None, Operand::Reg(addr), 0, Operand::Imm(1));
+        }
+        OpClass::Bar | OpClass::Exit => unreachable!("handled by caller / stripped at parse"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_str;
+    use vt_isa::interp::Interpreter;
+
+    fn mem_record(class: &str, pc: u32, mask: u32, base: u64, stride: u64) -> String {
+        let addrs: Vec<String> = (0..32)
+            .filter(|l| mask & (1 << l) != 0)
+            .map(|l| format!("{:#x}", base + l as u64 * stride))
+            .collect();
+        format!("{pc:04x} {mask:08x} {class} 4 {}", addrs.join(" "))
+    }
+
+    fn two_warp_trace() -> String {
+        let mut t = String::from(
+            "-kernel name = lower-t\n-grid dim = (2,1,1)\n-block dim = (64,1,1)\n\
+             -shmem = 256\n-nregs = 20\n",
+        );
+        for tb in 0u64..2 {
+            t.push_str("#BEGIN_TB\n");
+            t.push_str(&format!("thread block = {tb}\n"));
+            for w in 0..2 {
+                t.push_str(&format!("warp = {w}\ninsts = 7\n"));
+                t.push_str("0000 ffffffff ALU\n");
+                t.push_str(&mem_record("LDG", 8, 0xffff_ffff, 0x1000 + tb * 0x800, 4));
+                t.push_str("\n0010 ffffffff BAR\n");
+                // Divergent shared store: odd lanes only.
+                t.push_str(&mem_record("STS", 0x18, 0xaaaa_aaaa, 0, 8));
+                t.push_str("\n0020 ffffffff SFU\n");
+                t.push_str(&mem_record("ATOM", 0x28, 0xffff_ffff, 0x9000, 0));
+                t.push_str("\n0030 ffffffff EXIT\n");
+            }
+            t.push_str("#END_TB\n");
+        }
+        t
+    }
+
+    #[test]
+    fn lowers_and_executes() {
+        let trace = parse_str(&two_warp_trace()).unwrap();
+        let k = trace.lower().unwrap();
+        assert_eq!(k.name(), "lower-t");
+        assert_eq!(k.num_ctas(), 2);
+        assert_eq!(k.threads_per_cta(), 64);
+        assert_eq!(k.regs_per_thread(), 20);
+        assert_eq!(k.smem_bytes_per_cta(), 256);
+        let res = Interpreter::new(&k).unwrap().run().unwrap();
+        assert!(res.warp_instrs() > 0);
+    }
+
+    #[test]
+    fn replay_heap_is_rebased_and_atomics_land() {
+        let trace = parse_str(&two_warp_trace()).unwrap();
+        let k = trace.lower().unwrap();
+        // Heap is the first allocation; footprint [0x1000, 0x9004) rebases
+        // to heap offset 0. The ATOM slot adds 1 at 0x9000-0x1000 = 0x8000,
+        // 32 lanes x 2 warps x 2 CTAs = 128 increments.
+        let res = Interpreter::new(&k).unwrap().run().unwrap();
+        assert_eq!(res.mem().load(0x8000), Some(128));
+    }
+
+    #[test]
+    fn uniform_trace_skips_predication() {
+        let uniform = "\
+-kernel name = u\n-grid dim = (1,1,1)\n-block dim = (32,1,1)\n-shmem = 0\n-nregs = 8\n\
+#BEGIN_TB\nthread block = 0\nwarp = 0\ninsts = 3\n\
+0000 ffffffff ALU\n0008 ffffffff MAD\n0010 ffffffff EXIT\n#END_TB\n";
+        let k = parse_str(uniform).unwrap().lower().unwrap();
+        // Prologue (6) + 2 slot bodies (1 each) + epilogue (3) + exit: no
+        // branches at all means predication was skipped.
+        let has_branch = (0..k.program().len())
+            .any(|pc| format!("{}", k.program().fetch(pc)).starts_with("brc"));
+        assert!(!has_branch, "uniform full-mask trace must not predicate");
+    }
+
+    #[test]
+    fn rejects_slot_class_mismatch() {
+        let t = two_warp_trace().replacen("0000 ffffffff ALU", "0000 ffffffff MAD", 1);
+        let err = parse_str(&t).unwrap().lower().unwrap_err();
+        assert!(
+            matches!(err, TraceError::SlotMismatch { slot: 0, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_partial_barrier_mask() {
+        let t = two_warp_trace().replacen("0010 ffffffff BAR", "0010 0000ffff BAR", 1);
+        let err = parse_str(&t).unwrap().lower().unwrap_err();
+        assert!(matches!(err, TraceError::BarrierMask { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_oversized_global_footprint() {
+        let t = two_warp_trace().replace("0x9000", "0x40009000");
+        let err = parse_str(&t).unwrap().lower().unwrap_err();
+        assert!(matches!(err, TraceError::AddressRange { .. }), "{err}");
+    }
+
+    #[test]
+    fn shorter_streams_replay_with_zero_masks() {
+        // Warp 1 records fewer slots than warp 0: the tail slots must be
+        // predicated off for warp 1, not executed or mismatched.
+        let t = "\
+-kernel name = ragged\n-grid dim = (1,1,1)\n-block dim = (64,1,1)\n-shmem = 0\n-nregs = 8\n\
+#BEGIN_TB\nthread block = 0\n\
+warp = 0\ninsts = 4\n0000 ffffffff ALU\n0008 ffffffff ALU\n0010 ffffffff ALU\n0018 ffffffff EXIT\n\
+warp = 1\ninsts = 2\n0000 ffffffff ALU\n0008 ffffffff EXIT\n\
+#END_TB\n";
+        let k = parse_str(t).unwrap().lower().unwrap();
+        let res = Interpreter::new(&k).unwrap().run().unwrap();
+        assert!(res.warp_instrs() > 0);
+    }
+}

@@ -1,0 +1,725 @@
+//! Text-format trace parser: accel-sim-shaped kernel traces to a
+//! validated in-memory [`Trace`].
+//!
+//! The parser is a line-oriented state machine. It is *total*: every
+//! malformed input maps to a [`TraceError`]; no input panics. All
+//! structural constraints that can be checked locally are checked here
+//! (header completeness, geometry sanity, mask/lane containment,
+//! address counts and alignment, duplicate blocks/warps, declared
+//! record counts, truncation); cross-warp constraints (slot class
+//! unification, barrier uniformity, footprint caps) are checked by
+//! [`Trace::lower`](crate::lower).
+
+use crate::error::TraceError;
+use vt_isa::WARP_SIZE;
+
+/// Hard ceiling on `-grid dim` (CTAs per launch) accepted from a trace.
+pub const MAX_GRID: u32 = 4096;
+/// Hard ceiling on `-block dim` (threads per CTA) accepted from a trace.
+pub const MAX_BLOCK: u32 = 1024;
+/// Hard ceiling on `-nregs` accepted from a trace.
+pub const MAX_NREGS: u32 = 255;
+/// Hard ceiling on `-shmem` bytes accepted from a trace.
+pub const MAX_SHMEM: u32 = 96 * 1024;
+/// Hard ceiling on a single warp's declared `insts` count.
+pub const MAX_WARP_INSTS: usize = 65_536;
+
+/// Opcode class of one trace record — the coarse pipeline/space
+/// taxonomy accel-sim traces carry, not a full ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Single-issue integer/float ALU work.
+    Alu,
+    /// Multiply-add (kept distinct so replay preserves the FMA mix).
+    Mad,
+    /// Special-function-unit work (rcp/sqrt/transcendental).
+    Sfu,
+    /// Global load (carries per-lane addresses).
+    Ldg,
+    /// Global store (carries per-lane addresses).
+    Stg,
+    /// Shared-memory load (carries CTA-local addresses).
+    Lds,
+    /// Shared-memory store (carries CTA-local addresses).
+    Sts,
+    /// Global atomic read-modify-write (carries per-lane addresses).
+    Atom,
+    /// CTA-wide barrier.
+    Bar,
+    /// End of the warp's stream.
+    Exit,
+}
+
+impl OpClass {
+    /// Parses a trace-text mnemonic.
+    pub fn parse(tok: &str) -> Option<OpClass> {
+        Some(match tok {
+            "ALU" => OpClass::Alu,
+            "MAD" => OpClass::Mad,
+            "SFU" => OpClass::Sfu,
+            "LDG" => OpClass::Ldg,
+            "STG" => OpClass::Stg,
+            "LDS" => OpClass::Lds,
+            "STS" => OpClass::Sts,
+            "ATOM" => OpClass::Atom,
+            "BAR" => OpClass::Bar,
+            "EXIT" => OpClass::Exit,
+            _ => return None,
+        })
+    }
+
+    /// The trace-text mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpClass::Alu => "ALU",
+            OpClass::Mad => "MAD",
+            OpClass::Sfu => "SFU",
+            OpClass::Ldg => "LDG",
+            OpClass::Stg => "STG",
+            OpClass::Lds => "LDS",
+            OpClass::Sts => "STS",
+            OpClass::Atom => "ATOM",
+            OpClass::Bar => "BAR",
+            OpClass::Exit => "EXIT",
+        }
+    }
+
+    /// Records of this class carry per-lane addresses.
+    pub fn has_addresses(self) -> bool {
+        self.is_global_mem() || self.is_shared_mem()
+    }
+
+    /// Global-memory-space record (addresses are device-global bytes).
+    pub fn is_global_mem(self) -> bool {
+        matches!(self, OpClass::Ldg | OpClass::Stg | OpClass::Atom)
+    }
+
+    /// Shared-memory-space record (addresses are CTA-local bytes).
+    pub fn is_shared_mem(self) -> bool {
+        matches!(self, OpClass::Lds | OpClass::Sts)
+    }
+}
+
+/// One per-warp instruction record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceInst {
+    /// Program counter as recorded (informational; replay is slot-indexed).
+    pub pc: u32,
+    /// Active lane mask.
+    pub mask: u32,
+    /// Opcode class.
+    pub class: OpClass,
+    /// One byte address per set mask bit, in ascending lane order.
+    /// Empty for classes without addresses.
+    pub addrs: Vec<u64>,
+    /// 1-based source line, for diagnostics.
+    pub line: usize,
+}
+
+/// One warp's record stream within a thread block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceWarp {
+    /// Warp id within the CTA.
+    pub warp: u32,
+    /// Records in issue order, `EXIT` terminator stripped.
+    pub insts: Vec<TraceInst>,
+}
+
+/// One traced thread block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceBlock {
+    /// Block id within the grid.
+    pub tb: u32,
+    /// Warps present in the trace, sorted by warp id. Warps absent here
+    /// executed nothing (they replay with all-zero masks).
+    pub warps: Vec<TraceWarp>,
+}
+
+/// A fully parsed, locally validated kernel trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Kernel name from the header.
+    pub name: String,
+    /// Grid size in CTAs (`-grid dim`, x extent; y/z must be 1).
+    pub grid: u32,
+    /// CTA size in threads (`-block dim`, x extent; y/z must be 1).
+    pub block: u32,
+    /// Static shared memory per CTA in bytes (`-shmem`).
+    pub shmem_bytes: u32,
+    /// Registers per thread (`-nregs`).
+    pub nregs: u32,
+    /// Thread blocks, sorted by block id; all `grid` blocks present.
+    pub blocks: Vec<TraceBlock>,
+}
+
+impl Trace {
+    /// Warps per CTA implied by the block size.
+    pub fn warps_per_cta(&self) -> u32 {
+        self.block.div_ceil(WARP_SIZE)
+    }
+
+    /// Legal lane mask for warp `w` (partial for the last warp of a
+    /// non-multiple-of-32 block).
+    pub fn lane_mask(&self, warp: u32) -> u32 {
+        let lo = warp * WARP_SIZE;
+        let hi = self.block.min(lo + WARP_SIZE);
+        let lanes = hi.saturating_sub(lo);
+        if lanes >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << lanes) - 1
+        }
+    }
+
+    /// Total dynamic (non-`EXIT`) warp records across the trace.
+    pub fn total_records(&self) -> u64 {
+        self.blocks
+            .iter()
+            .flat_map(|b| &b.warps)
+            .map(|w| w.insts.len() as u64)
+            .sum()
+    }
+}
+
+// ----- numeric helpers ----------------------------------------------------
+
+fn syntax(line: usize, msg: impl Into<String>) -> TraceError {
+    TraceError::Syntax {
+        line,
+        msg: msg.into(),
+    }
+}
+
+fn parse_dec(tok: &str, line: usize, what: &str) -> Result<u32, TraceError> {
+    tok.parse::<u32>()
+        .map_err(|_| syntax(line, format!("bad {what} `{tok}`")))
+}
+
+fn parse_hex32(tok: &str, line: usize, what: &str) -> Result<u32, TraceError> {
+    let t = tok.strip_prefix("0x").unwrap_or(tok);
+    u32::from_str_radix(t, 16).map_err(|_| syntax(line, format!("bad {what} `{tok}`")))
+}
+
+fn parse_hex64(tok: &str, line: usize, what: &str) -> Result<u64, TraceError> {
+    let t = tok.strip_prefix("0x").unwrap_or(tok);
+    u64::from_str_radix(t, 16).map_err(|_| syntax(line, format!("bad {what} `{tok}`")))
+}
+
+/// Parses `(x,y,z)` and requires y = z = 1 (only 1-D geometry replays).
+fn parse_dim3(val: &str, what: &str) -> Result<u32, TraceError> {
+    let inner = val
+        .trim()
+        .strip_prefix('(')
+        .and_then(|s| s.strip_suffix(')'))
+        .ok_or_else(|| TraceError::Header {
+            msg: format!("{what} must look like (x,1,1), got `{val}`"),
+        })?;
+    let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
+    if parts.len() != 3 {
+        return Err(TraceError::Header {
+            msg: format!("{what} must have three components, got `{val}`"),
+        });
+    }
+    let nums: Vec<u32> = parts
+        .iter()
+        .map(|p| {
+            p.parse::<u32>().map_err(|_| TraceError::Header {
+                msg: format!("bad {what} component `{p}`"),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    if nums[1] != 1 || nums[2] != 1 {
+        return Err(TraceError::Geometry {
+            msg: format!("{what} must be 1-D (y = z = 1), got `{val}`"),
+        });
+    }
+    Ok(nums[0])
+}
+
+// ----- the parser ---------------------------------------------------------
+
+struct Header {
+    name: Option<String>,
+    grid: Option<u32>,
+    block: Option<u32>,
+    shmem: Option<u32>,
+    nregs: Option<u32>,
+}
+
+impl Header {
+    fn set<T>(slot: &mut Option<T>, v: T, key: &str) -> Result<(), TraceError> {
+        if slot.is_some() {
+            return Err(TraceError::Header {
+                msg: format!("duplicate header field `{key}`"),
+            });
+        }
+        *slot = Some(v);
+        Ok(())
+    }
+
+    fn finish(self) -> Result<(String, u32, u32, u32, u32), TraceError> {
+        let missing = |k: &str| TraceError::Header {
+            msg: format!("missing header field `{k}`"),
+        };
+        let name = self.name.ok_or_else(|| missing("kernel name"))?;
+        let grid = self.grid.ok_or_else(|| missing("grid dim"))?;
+        let block = self.block.ok_or_else(|| missing("block dim"))?;
+        let shmem = self.shmem.ok_or_else(|| missing("shmem"))?;
+        let nregs = self.nregs.ok_or_else(|| missing("nregs"))?;
+        let geom = |msg: String| TraceError::Geometry { msg };
+        if grid == 0 || grid > MAX_GRID {
+            return Err(geom(format!("grid dim {grid} outside 1..={MAX_GRID}")));
+        }
+        if block == 0 || block > MAX_BLOCK {
+            return Err(geom(format!("block dim {block} outside 1..={MAX_BLOCK}")));
+        }
+        if nregs == 0 || nregs > MAX_NREGS {
+            return Err(geom(format!("nregs {nregs} outside 1..={MAX_NREGS}")));
+        }
+        if shmem > MAX_SHMEM {
+            return Err(geom(format!("shmem {shmem} exceeds {MAX_SHMEM}")));
+        }
+        Ok((name, grid, block, shmem, nregs))
+    }
+}
+
+/// Reads and parses a trace file. See [`parse_str`].
+///
+/// # Errors
+///
+/// [`TraceError::Io`] if the file cannot be read, otherwise any parse
+/// error from [`parse_str`].
+pub fn parse_file(path: &str) -> Result<Trace, TraceError> {
+    let text = std::fs::read_to_string(path).map_err(|e| TraceError::Io {
+        path: path.to_string(),
+        msg: e.to_string(),
+    })?;
+    parse_str(&text)
+}
+
+/// Parses trace text into a validated [`Trace`].
+///
+/// # Errors
+///
+/// A [`TraceError`] naming the first defect encountered; never panics.
+pub fn parse_str(text: &str) -> Result<Trace, TraceError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with("//"));
+    let mut last_line = text.lines().count();
+    if last_line == 0 {
+        last_line = 1;
+    }
+
+    // --- header: `-key = value` lines until the first #BEGIN_TB -----------
+    let mut hdr = Header {
+        name: None,
+        grid: None,
+        block: None,
+        shmem: None,
+        nregs: None,
+    };
+    let mut pending: Option<(usize, &str)> = None;
+    for (ln, l) in lines.by_ref() {
+        if let Some(rest) = l.strip_prefix('-') {
+            let (key, val) = rest.split_once('=').ok_or_else(|| TraceError::Header {
+                msg: format!("line {ln}: header line without `=`: `{l}`"),
+            })?;
+            let (key, val) = (key.trim(), val.trim());
+            match key {
+                "kernel name" => Header::set(&mut hdr.name, val.to_string(), key)?,
+                "grid dim" => Header::set(&mut hdr.grid, parse_dim3(val, key)?, key)?,
+                "block dim" => Header::set(&mut hdr.block, parse_dim3(val, key)?, key)?,
+                "shmem" => Header::set(&mut hdr.shmem, parse_dec(val, ln, "shmem")?, key)?,
+                "nregs" => Header::set(&mut hdr.nregs, parse_dec(val, ln, "nregs")?, key)?,
+                _ => {
+                    return Err(TraceError::Header {
+                        msg: format!("line {ln}: unknown header field `{key}`"),
+                    })
+                }
+            }
+        } else {
+            pending = Some((ln, l));
+            break;
+        }
+    }
+    let (name, grid, block, shmem_bytes, nregs) = hdr.finish()?;
+    let mut trace = Trace {
+        name,
+        grid,
+        block,
+        shmem_bytes,
+        nregs,
+        blocks: Vec::new(),
+    };
+    let warps_per_cta = trace.warps_per_cta();
+
+    // --- body: #BEGIN_TB ... #END_TB sections ------------------------------
+    let mut next = move || pending.take().or_else(|| lines.next());
+    while let Some((ln, l)) = next() {
+        if l != "#BEGIN_TB" {
+            return Err(syntax(ln, format!("expected #BEGIN_TB, got `{l}`")));
+        }
+        // thread block = N
+        let (ln, l) = next().ok_or(TraceError::Truncated { line: last_line })?;
+        let tb = match l.strip_prefix("thread block") {
+            Some(rest) => {
+                let v = rest
+                    .trim()
+                    .strip_prefix('=')
+                    .map(str::trim)
+                    .ok_or_else(|| syntax(ln, format!("expected `thread block = N`, got `{l}`")))?;
+                parse_dec(v, ln, "thread block id")?
+            }
+            None => {
+                return Err(syntax(
+                    ln,
+                    format!("expected `thread block = N`, got `{l}`"),
+                ))
+            }
+        };
+        if tb >= grid {
+            return Err(TraceError::Geometry {
+                msg: format!("line {ln}: thread block {tb} outside grid of {grid}"),
+            });
+        }
+        if trace.blocks.iter().any(|b| b.tb == tb) {
+            return Err(TraceError::DuplicateBlock { line: ln, tb });
+        }
+        let mut blockrec = TraceBlock {
+            tb,
+            warps: Vec::new(),
+        };
+
+        // warp sections until #END_TB
+        loop {
+            let (ln, l) = next().ok_or(TraceError::Truncated { line: last_line })?;
+            if l == "#END_TB" {
+                break;
+            }
+            let warp = match l.strip_prefix("warp") {
+                Some(rest) => {
+                    let v = rest
+                        .trim()
+                        .strip_prefix('=')
+                        .map(str::trim)
+                        .ok_or_else(|| {
+                            syntax(ln, format!("expected `warp = W` or #END_TB, got `{l}`"))
+                        })?;
+                    parse_dec(v, ln, "warp id")?
+                }
+                None => {
+                    return Err(syntax(
+                        ln,
+                        format!("expected `warp = W` or #END_TB, got `{l}`"),
+                    ))
+                }
+            };
+            if warp >= warps_per_cta {
+                return Err(TraceError::Geometry {
+                    msg: format!(
+                        "line {ln}: warp {warp} outside {warps_per_cta} warps of a {block}-thread block"
+                    ),
+                });
+            }
+            if blockrec.warps.iter().any(|w| w.warp == warp) {
+                return Err(TraceError::DuplicateWarp { line: ln, tb, warp });
+            }
+            let (ln2, l2) = next().ok_or(TraceError::Truncated { line: last_line })?;
+            let declared = match l2.strip_prefix("insts") {
+                Some(rest) => {
+                    let v = rest
+                        .trim()
+                        .strip_prefix('=')
+                        .map(str::trim)
+                        .ok_or_else(|| syntax(ln2, format!("expected `insts = K`, got `{l2}`")))?;
+                    parse_dec(v, ln2, "insts count")? as usize
+                }
+                None => return Err(syntax(ln2, format!("expected `insts = K`, got `{l2}`"))),
+            };
+            if declared > MAX_WARP_INSTS {
+                return Err(TraceError::TooLong {
+                    msg: format!("warp {warp} declares {declared} insts (cap {MAX_WARP_INSTS})"),
+                });
+            }
+            let lane_mask = trace.lane_mask(warp);
+            let mut insts = Vec::with_capacity(declared.min(1024));
+            let mut exited = false;
+            while insts.len() < declared {
+                let Some((ln3, l3)) = next() else {
+                    return Err(TraceError::InstCount {
+                        line: last_line,
+                        warp,
+                        declared,
+                        got: insts.len(),
+                    });
+                };
+                if l3 == "#END_TB" || l3.starts_with("warp") || l3 == "#BEGIN_TB" {
+                    return Err(TraceError::InstCount {
+                        line: ln3,
+                        warp,
+                        declared,
+                        got: insts.len(),
+                    });
+                }
+                if exited {
+                    return Err(TraceError::TrailingAfterExit { line: ln3 });
+                }
+                let inst = parse_record(l3, ln3, lane_mask, shmem_bytes)?;
+                if inst.class == OpClass::Exit {
+                    exited = true;
+                }
+                insts.push(inst);
+            }
+            // Strip the EXIT terminator; replay is driven by stream length.
+            if matches!(insts.last(), Some(i) if i.class == OpClass::Exit) {
+                insts.pop();
+            }
+            blockrec.warps.push(TraceWarp { warp, insts });
+        }
+        blockrec.warps.sort_by_key(|w| w.warp);
+        trace.blocks.push(blockrec);
+    }
+
+    if trace.blocks.len() as u32 != grid {
+        return Err(TraceError::Geometry {
+            msg: format!(
+                "trace has {} thread blocks but grid dim is {grid}",
+                trace.blocks.len()
+            ),
+        });
+    }
+    trace.blocks.sort_by_key(|b| b.tb);
+    Ok(trace)
+}
+
+/// Parses one instruction record: `PC MASK CLASS [WIDTH ADDR...]`.
+fn parse_record(
+    l: &str,
+    line: usize,
+    lane_mask: u32,
+    shmem_bytes: u32,
+) -> Result<TraceInst, TraceError> {
+    let toks: Vec<&str> = l.split_whitespace().collect();
+    if toks.len() < 3 {
+        return Err(syntax(
+            line,
+            format!("record needs PC MASK CLASS, got `{l}`"),
+        ));
+    }
+    let pc = parse_hex32(toks[0], line, "PC")?;
+    let mask = parse_hex32(toks[1], line, "mask")?;
+    let class = OpClass::parse(toks[2])
+        .ok_or_else(|| syntax(line, format!("unknown opcode class `{}`", toks[2])))?;
+    if mask & !lane_mask != 0 {
+        return Err(TraceError::MaskOutOfRange {
+            line,
+            mask,
+            lane_mask,
+        });
+    }
+    let addrs = if class.has_addresses() {
+        if toks.len() < 4 {
+            return Err(syntax(line, format!("{} record needs a width", toks[2])));
+        }
+        if toks[3] != "4" {
+            return Err(syntax(
+                line,
+                format!("unsupported access width `{}` (only 4)", toks[3]),
+            ));
+        }
+        let expected = mask.count_ones() as usize;
+        let got = toks.len() - 4;
+        if got != expected {
+            return Err(TraceError::AddressCount {
+                line,
+                expected,
+                got,
+            });
+        }
+        let mut addrs = Vec::with_capacity(got);
+        for t in &toks[4..] {
+            let a = parse_hex64(t, line, "address")?;
+            if a % 4 != 0 {
+                return Err(TraceError::Misaligned { line, addr: a });
+            }
+            if class.is_shared_mem() && a + 4 > u64::from(shmem_bytes) {
+                return Err(TraceError::SharedOutOfRange {
+                    line,
+                    addr: a,
+                    smem_bytes: shmem_bytes,
+                });
+            }
+            addrs.push(a);
+        }
+        addrs
+    } else {
+        if toks.len() != 3 {
+            return Err(syntax(
+                line,
+                format!("{} record takes no operands, got `{l}`", toks[2]),
+            ));
+        }
+        Vec::new()
+    };
+    Ok(TraceInst {
+        pc,
+        mask,
+        class,
+        addrs,
+        line,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const VALID: &str = "\
+-kernel name = t
+-grid dim = (1,1,1)
+-block dim = (32,1,1)
+-shmem = 16
+-nregs = 8
+
+#BEGIN_TB
+thread block = 0
+warp = 0
+insts = 4
+0000 ffffffff ALU
+0008 ffffffff LDG 4 0x100 0x104 0x108 0x10c 0x110 0x114 0x118 0x11c 0x120 0x124 0x128 0x12c 0x130 0x134 0x138 0x13c 0x140 0x144 0x148 0x14c 0x150 0x154 0x158 0x15c 0x160 0x164 0x168 0x16c 0x170 0x174 0x178 0x17c
+0010 0000000f STS 4 0x0 0x4 0x8 0xc
+0018 ffffffff EXIT
+#END_TB
+";
+
+    #[test]
+    fn parses_valid_trace() {
+        let t = parse_str(VALID).unwrap();
+        assert_eq!(t.name, "t");
+        assert_eq!((t.grid, t.block, t.shmem_bytes, t.nregs), (1, 32, 16, 8));
+        assert_eq!(t.blocks.len(), 1);
+        let w = &t.blocks[0].warps[0];
+        // EXIT stripped.
+        assert_eq!(w.insts.len(), 3);
+        assert_eq!(w.insts[1].class, OpClass::Ldg);
+        assert_eq!(w.insts[1].addrs.len(), 32);
+        assert_eq!(w.insts[2].class, OpClass::Sts);
+        assert_eq!(w.insts[2].addrs, vec![0, 4, 8, 12]);
+    }
+
+    #[test]
+    fn rejects_missing_header_field() {
+        let txt = VALID.replace("-nregs = 8\n", "");
+        assert!(matches!(parse_str(&txt), Err(TraceError::Header { .. })));
+    }
+
+    #[test]
+    fn rejects_mask_outside_partial_warp() {
+        let txt = VALID
+            .replace("(32,1,1)", "(24,1,1)")
+            .replace("0000 ffffffff ALU", "0000 01ffffff ALU");
+        assert!(matches!(
+            parse_str(&txt),
+            Err(TraceError::MaskOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_address_count() {
+        let txt = VALID.replace(
+            "0010 0000000f STS 4 0x0 0x4 0x8 0xc",
+            "0010 0000000f STS 4 0x0",
+        );
+        assert!(matches!(
+            parse_str(&txt),
+            Err(TraceError::AddressCount {
+                expected: 4,
+                got: 1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_shared_address_beyond_shmem() {
+        let txt = VALID.replace("0x0 0x4 0x8 0xc", "0x0 0x4 0x8 0x10");
+        assert!(matches!(
+            parse_str(&txt),
+            Err(TraceError::SharedOutOfRange { addr: 0x10, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_misaligned_address() {
+        let txt = VALID.replace("0x0 0x4 0x8 0xc", "0x0 0x4 0x8 0xe");
+        assert!(matches!(
+            parse_str(&txt),
+            Err(TraceError::Misaligned { addr: 0xe, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let cut = VALID.find("0010").unwrap();
+        let err = parse_str(&VALID[..cut]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                TraceError::InstCount { .. } | TraceError::Truncated { .. }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rejects_record_after_exit() {
+        let txt = VALID.replace("insts = 4", "insts = 5").replace(
+            "0018 ffffffff EXIT",
+            "0018 ffffffff EXIT\n0020 ffffffff ALU",
+        );
+        assert!(matches!(
+            parse_str(&txt),
+            Err(TraceError::TrailingAfterExit { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_warp_and_block() {
+        let dup_warp = VALID.replace(
+            "#END_TB",
+            "warp = 0\ninsts = 1\n0000 ffffffff EXIT\n#END_TB",
+        );
+        assert!(matches!(
+            parse_str(&dup_warp),
+            Err(TraceError::Geometry { .. }) // warp 1 of a 32-thread block would be geometry; warp 0 is duplicate
+                | Err(TraceError::DuplicateWarp { .. })
+        ));
+        let two_tb = VALID.to_string()
+            + "#BEGIN_TB\nthread block = 0\nwarp = 0\ninsts = 1\n0000 ffffffff EXIT\n#END_TB\n";
+        assert!(matches!(
+            parse_str(&two_tb),
+            Err(TraceError::DuplicateBlock { tb: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_blocks() {
+        let txt = VALID.replace("(1,1,1)", "(2,1,1)");
+        assert!(matches!(parse_str(&txt), Err(TraceError::Geometry { .. })));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for garbage in [
+            "\u{0}\u{1}\u{2}",
+            "hello world",
+            "-kernel name",
+            "#BEGIN_TB",
+        ] {
+            assert!(parse_str(garbage).is_err(), "{garbage:?}");
+        }
+    }
+}

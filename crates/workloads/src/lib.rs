@@ -24,6 +24,7 @@
 pub mod generator;
 pub mod kernels;
 pub mod suite;
+pub mod zoo;
 
 pub use generator::{AccessPattern, SyntheticParams};
-pub use suite::{suite, LimiterClass, Scale, Workload};
+pub use suite::{full_suite, suite, LimiterClass, Scale, Workload};

@@ -1,6 +1,12 @@
-//! The assembled 14-kernel suite with per-workload metadata.
+//! The assembled suite with per-workload metadata: the 14 core kernels
+//! mirroring Rodinia/Parboil benchmarks ([`suite`]), the six-family
+//! workload zoo ([`zoo`]) and their union ([`full_suite`]).
 
 use crate::kernels::{dense, irregular, stencil, sync};
+use crate::zoo::{
+    BankStormParams, DivergentTreeParams, FrontierParams, HotBinsParams, RegStairsParams,
+    RelayParams,
+};
 use vt_isa::Kernel;
 
 /// Problem-size knob shared by every workload: grid size and inner
@@ -151,6 +157,94 @@ pub fn suite(scale: &Scale) -> Vec<Workload> {
     ]
 }
 
+/// The six-family workload zoo at the given scale: one canonical preset
+/// per parameterised scenario family in [`crate::zoo`].
+///
+/// Four families are scheduling-limited (divergence, atomic contention,
+/// barrier pipelines, irregular frontiers) and two capacity-limited
+/// (register staircases, shared-memory bank conflicts), extending the
+/// core suite's 11/3 split to 15/5 overall.
+pub fn zoo(scale: &Scale) -> Vec<Workload> {
+    use LimiterClass::{Capacity, Scheduling};
+    vec![
+        Workload {
+            name: "divtree",
+            mirrors: "data-dependent branch trees (ray/MC divergence)",
+            class: Scheduling,
+            kernel: DivergentTreeParams {
+                ctas: scale.ctas,
+                iters: scale.iters,
+                ..DivergentTreeParams::default()
+            }
+            .build(),
+        },
+        Workload {
+            name: "hotbins",
+            mirrors: "contended atomic histogram (few hot bins)",
+            class: Scheduling,
+            kernel: HotBinsParams {
+                ctas: scale.ctas,
+                iters: scale.iters,
+                ..HotBinsParams::default()
+            }
+            .build(),
+        },
+        Workload {
+            name: "relay",
+            mirrors: "producer-consumer warp pipeline (barrier relay)",
+            class: Scheduling,
+            kernel: RelayParams {
+                ctas: scale.ctas,
+                iters: scale.iters,
+                ..RelayParams::default()
+            }
+            .build(),
+        },
+        Workload {
+            name: "frontier",
+            mirrors: "sparse graph frontier push (variable degree)",
+            class: Scheduling,
+            kernel: FrontierParams {
+                ctas: scale.ctas,
+                iters: scale.iters,
+                ..FrontierParams::default()
+            }
+            .build(),
+        },
+        Workload {
+            name: "regstairs",
+            mirrors: "register-pressure staircase (deep live chains)",
+            class: Capacity,
+            kernel: RegStairsParams {
+                ctas: scale.ctas,
+                iters: scale.iters,
+                ..RegStairsParams::default()
+            }
+            .build(),
+        },
+        Workload {
+            name: "bankstorm",
+            mirrors: "shared-memory bank-conflict sweep",
+            class: Capacity,
+            kernel: BankStormParams {
+                ctas: scale.ctas,
+                iters: scale.iters,
+                ..BankStormParams::default()
+            }
+            .build(),
+        },
+    ]
+}
+
+/// The grown suite: the 14 core kernels plus the six-family zoo. This is
+/// what the invariant gates (goldens, CPI oracle, differential tests,
+/// `vtbench`, `vtlint --suite`) iterate.
+pub fn full_suite(scale: &Scale) -> Vec<Workload> {
+    let mut all = suite(scale);
+    all.extend(zoo(scale));
+    all
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,9 +262,21 @@ mod tests {
     }
 
     #[test]
+    fn full_suite_is_core_plus_zoo_with_distinct_names() {
+        let s = full_suite(&Scale::test());
+        assert_eq!(s.len(), 14 + 6);
+        assert_eq!(zoo(&Scale::test()).len(), 6);
+        for (i, a) in s.iter().enumerate() {
+            for b in &s[i + 1..] {
+                assert_ne!(a.name, b.name);
+            }
+        }
+    }
+
+    #[test]
     fn declared_limiter_classes_match_occupancy_analysis() {
         let core = CoreConfig::default();
-        for w in suite(&Scale::test()) {
+        for w in full_suite(&Scale::test()) {
             let occ = occupancy::analyze(&core, &w.kernel);
             let is_sched = occ.limiter.is_scheduling();
             match w.class {
@@ -194,7 +300,7 @@ mod tests {
 
     #[test]
     fn majority_is_scheduling_limited_like_the_paper_claims() {
-        let s = suite(&Scale::test());
+        let s = full_suite(&Scale::test());
         let sched = s
             .iter()
             .filter(|w| w.class == LimiterClass::Scheduling)
@@ -208,8 +314,8 @@ mod tests {
 
     #[test]
     fn scale_changes_grid_size_only() {
-        let a = suite(&Scale { ctas: 4, iters: 2 });
-        let b = suite(&Scale { ctas: 8, iters: 2 });
+        let a = full_suite(&Scale { ctas: 4, iters: 2 });
+        let b = full_suite(&Scale { ctas: 8, iters: 2 });
         for (wa, wb) in a.iter().zip(&b) {
             assert_eq!(wa.kernel.threads_per_cta(), wb.kernel.threads_per_cta());
             assert_eq!(wa.kernel.regs_per_thread(), wb.kernel.regs_per_thread());

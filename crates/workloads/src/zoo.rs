@@ -1,0 +1,626 @@
+//! The workload zoo: parameterised scenario families beyond the core
+//! Rodinia/Parboil-mirroring suite.
+//!
+//! Each family is a knob struct (like [`crate::generator::SyntheticParams`])
+//! whose `build()` produces a `vt-isa` kernel; [`crate::suite::zoo`]
+//! instantiates one canonical preset per family so the scenarios flow
+//! into the golden/differential/torture suites, the CPI oracle and
+//! `vtbench` as named [`crate::Workload`]s. The six families stress the
+//! axes the core suite covers only incidentally:
+//!
+//! * **divtree** — data-dependent nested branching (SIMT-stack depth),
+//! * **hotbins** — atomic contention on a handful of hot histogram bins,
+//! * **relay** — producer→consumer warp pipelines over barrier chains,
+//! * **frontier** — sparse graph frontier expansion with variable degree,
+//! * **regstairs** — register-pressure staircases (capacity-limited),
+//! * **bankstorm** — shared-memory bank-conflict sweeps (capacity-limited).
+//!
+//! The scheduling-limited families use small CTAs with latency-bound
+//! memory behaviour (Virtual Thread's target population); the two
+//! capacity-limited families are tuned so registers or shared memory bind
+//! first on the default Fermi-class limits, where VT must not hurt.
+
+use crate::kernels::util::{rand_indices, rand_words, rng};
+use vt_isa::op::{AtomOp, Operand, Sreg};
+use vt_isa::{Kernel, KernelBuilder};
+
+/// Divergence-heavy branching: every thread walks a `depth`-level tree of
+/// data-dependent branches, each arm performing its own dependent global
+/// load, so warps fork on nearly every level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DivergentTreeParams {
+    /// Kernel name.
+    pub name: String,
+    /// CTAs in the grid.
+    pub ctas: u32,
+    /// Threads per CTA.
+    pub threads_per_cta: u32,
+    /// Nesting levels of data-dependent branching per iteration.
+    pub depth: u32,
+    /// Outer iterations (each re-seeds the branch data).
+    pub iters: u32,
+    /// Declared register footprint per thread.
+    pub regs_per_thread: u16,
+}
+
+impl Default for DivergentTreeParams {
+    fn default() -> Self {
+        DivergentTreeParams {
+            name: "divtree".to_string(),
+            ctas: 60,
+            threads_per_cta: 64,
+            depth: 3,
+            iters: 2,
+            regs_per_thread: 14,
+        }
+    }
+}
+
+impl DivergentTreeParams {
+    /// Builds the kernel.
+    pub fn build(&self) -> Kernel {
+        let n = self.ctas * self.threads_per_cta;
+        let table = 4096u32; // power of two so `& (table-1)` wraps
+        let mut r = rng(0xd1f7_0001);
+        let mut b = KernelBuilder::new(self.name.clone());
+        let data = b.alloc_global_init(&rand_words(&mut r, table as usize));
+        let out = b.alloc_global(n as usize);
+
+        let gid = b.reg();
+        let v = b.reg();
+        let acc = b.reg();
+        let p = b.reg();
+        let tmp = b.reg();
+        let i = b.reg();
+        b.global_thread_id(gid);
+        b.and_(tmp, Operand::Reg(gid), Operand::Imm(table - 1));
+        b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
+        b.ld_global(v, Operand::Reg(tmp), data as i32);
+        b.mov(acc, Operand::Imm(1));
+        b.for_range(
+            i,
+            Operand::Imm(0),
+            Operand::Imm(self.iters.max(1)),
+            1,
+            |b, _| {
+                for d in 0..self.depth.max(1) {
+                    // Branch on bit `d` of the loaded value: roughly half
+                    // of every warp takes each arm, and both arms chase a
+                    // dependent load before reconverging.
+                    b.shr(p, Operand::Reg(v), Operand::Imm(d));
+                    b.and_(p, Operand::Reg(p), Operand::Imm(1));
+                    b.if_else(
+                        Operand::Reg(p),
+                        |b| {
+                            b.mad(tmp, Operand::Reg(v), Operand::Imm(3), Operand::Imm(d));
+                            b.and_(tmp, Operand::Reg(tmp), Operand::Imm(table - 1));
+                            b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
+                            b.ld_global(tmp, Operand::Reg(tmp), data as i32);
+                            b.add(acc, Operand::Reg(acc), Operand::Reg(tmp));
+                        },
+                        |b| {
+                            b.mad(tmp, Operand::Reg(v), Operand::Imm(5), Operand::Imm(d + 7));
+                            b.and_(tmp, Operand::Reg(tmp), Operand::Imm(table - 1));
+                            b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
+                            b.ld_global(tmp, Operand::Reg(tmp), data as i32);
+                            b.mad(acc, Operand::Reg(acc), Operand::Imm(3), Operand::Reg(tmp));
+                        },
+                    );
+                }
+                // Re-seed the branch bits from the accumulator so every
+                // iteration diverges differently.
+                b.add(tmp, Operand::Reg(acc), Operand::Reg(gid));
+                b.and_(tmp, Operand::Reg(tmp), Operand::Imm(table - 1));
+                b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
+                b.ld_global(v, Operand::Reg(tmp), data as i32);
+            },
+        );
+        b.shl(tmp, Operand::Reg(gid), Operand::Imm(2));
+        b.st_global(Operand::Reg(tmp), out as i32, Operand::Reg(acc));
+        b.pad_regs(self.regs_per_thread);
+        b.build(self.ctas, self.threads_per_cta)
+            .expect("divtree kernel is valid")
+    }
+}
+
+/// Atomic-contention histogram: all threads funnel increments into a
+/// handful of hot bins, serialising at the memory system, between
+/// latency-bound key loads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotBinsParams {
+    /// Kernel name.
+    pub name: String,
+    /// CTAs in the grid.
+    pub ctas: u32,
+    /// Threads per CTA.
+    pub threads_per_cta: u32,
+    /// Hot histogram bins (power of two; fewer bins = more contention).
+    pub bins: u32,
+    /// Keys hashed per thread.
+    pub iters: u32,
+    /// Declared register footprint per thread.
+    pub regs_per_thread: u16,
+}
+
+impl Default for HotBinsParams {
+    fn default() -> Self {
+        HotBinsParams {
+            name: "hotbins".to_string(),
+            ctas: 60,
+            threads_per_cta: 64,
+            bins: 8,
+            iters: 2,
+            regs_per_thread: 12,
+        }
+    }
+}
+
+impl HotBinsParams {
+    /// Builds the kernel.
+    pub fn build(&self) -> Kernel {
+        let n = self.ctas * self.threads_per_cta;
+        let keys = 4096u32;
+        let bins = self.bins.max(1).next_power_of_two();
+        let mut r = rng(0x4077_b125);
+        let mut b = KernelBuilder::new(self.name.clone());
+        let hist = b.alloc_global(bins as usize);
+        let data = b.alloc_global_init(&rand_words(&mut r, keys as usize));
+        let out = b.alloc_global(n as usize);
+
+        let gid = b.reg();
+        let k = b.reg();
+        let acc = b.reg();
+        let tmp = b.reg();
+        let i = b.reg();
+        b.global_thread_id(gid);
+        b.mov(acc, Operand::Imm(0));
+        b.for_range(
+            i,
+            Operand::Imm(0),
+            Operand::Imm(self.iters.max(1)),
+            1,
+            |b, i| {
+                // Latency-bound gather of the next key…
+                b.mad(tmp, Operand::Reg(i), Operand::Imm(n), Operand::Reg(gid));
+                b.add(tmp, Operand::Reg(tmp), Operand::Reg(acc));
+                b.and_(tmp, Operand::Reg(tmp), Operand::Imm(keys - 1));
+                b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
+                b.ld_global(k, Operand::Reg(tmp), data as i32);
+                // …then a contended increment of its hot bin.
+                b.and_(tmp, Operand::Reg(k), Operand::Imm(bins - 1));
+                b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
+                b.atom(
+                    AtomOp::Add,
+                    None,
+                    Operand::Reg(tmp),
+                    hist as i32,
+                    Operand::Imm(1),
+                );
+                b.add(acc, Operand::Reg(acc), Operand::Reg(k));
+            },
+        );
+        b.shl(tmp, Operand::Reg(gid), Operand::Imm(2));
+        b.st_global(Operand::Reg(tmp), out as i32, Operand::Reg(acc));
+        b.pad_regs(self.regs_per_thread);
+        b.build(self.ctas, self.threads_per_cta)
+            .expect("hotbins kernel is valid")
+    }
+
+    /// CPU reference: the final bin counts this kernel must produce.
+    pub fn reference(&self) -> Vec<u32> {
+        let n = self.ctas * self.threads_per_cta;
+        let keys = 4096u32;
+        let bins = self.bins.max(1).next_power_of_two();
+        let mut r = rng(0x4077_b125);
+        let data = rand_words(&mut r, keys as usize);
+        let mut hist = vec![0u32; bins as usize];
+        for gid in 0..n {
+            let mut acc = 0u32;
+            for i in 0..self.iters.max(1) {
+                let idx = i.wrapping_mul(n).wrapping_add(gid).wrapping_add(acc) & (keys - 1);
+                let k = data[idx as usize];
+                hist[(k & (bins - 1)) as usize] += 1;
+                acc = acc.wrapping_add(k);
+            }
+        }
+        hist
+    }
+}
+
+/// Producer-consumer barrier relay: warp 0 stages data through shared
+/// memory, a barrier hands it to warp 1, which consumes and accumulates —
+/// the tight barrier cadence of software-pipelined kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelayParams {
+    /// Kernel name.
+    pub name: String,
+    /// CTAs in the grid.
+    pub ctas: u32,
+    /// Threads per CTA (at least two warps).
+    pub threads_per_cta: u32,
+    /// Relay rounds (two barriers each).
+    pub iters: u32,
+    /// Declared shared-memory footprint per CTA.
+    pub smem_bytes: u32,
+    /// Declared register footprint per thread.
+    pub regs_per_thread: u16,
+}
+
+impl Default for RelayParams {
+    fn default() -> Self {
+        RelayParams {
+            name: "relay".to_string(),
+            ctas: 60,
+            threads_per_cta: 64,
+            iters: 2,
+            smem_bytes: 1024,
+            regs_per_thread: 12,
+        }
+    }
+}
+
+impl RelayParams {
+    /// Builds the kernel.
+    pub fn build(&self) -> Kernel {
+        let table = 4096u32;
+        let n = self.ctas * self.threads_per_cta;
+        let mut r = rng(0x4e1a_0003);
+        let mut b = KernelBuilder::new(self.name.clone());
+        let src = b.alloc_global_init(&rand_words(&mut r, table as usize));
+        let out = b.alloc_global(n as usize);
+        let buf = b.alloc_shared(vt_isa::WARP_SIZE);
+        b.pad_smem(self.smem_bytes);
+
+        let gid = b.reg();
+        let soff = b.reg();
+        let p = b.reg();
+        let v = b.reg();
+        let acc = b.reg();
+        let tmp = b.reg();
+        let i = b.reg();
+        b.global_thread_id(gid);
+        b.shl(soff, Operand::Sreg(Sreg::Lane), Operand::Imm(2));
+        b.mov(acc, Operand::Imm(0));
+        b.for_range(
+            i,
+            Operand::Imm(0),
+            Operand::Imm(self.iters.max(1)),
+            1,
+            |b, i| {
+                // Producer warp: gather a fresh line and stage it.
+                b.set_eq(p, Operand::Sreg(Sreg::WarpId), Operand::Imm(0));
+                b.if_(Operand::Reg(p), |b| {
+                    b.mad(tmp, Operand::Reg(i), Operand::Imm(n), Operand::Reg(gid));
+                    b.mul(tmp, Operand::Reg(tmp), Operand::Imm(7));
+                    b.and_(tmp, Operand::Reg(tmp), Operand::Imm(table - 1));
+                    b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
+                    b.ld_global(v, Operand::Reg(tmp), src as i32);
+                    b.st_shared(Operand::Reg(soff), buf as i32, Operand::Reg(v));
+                });
+                b.bar();
+                // Consumer warps: drain the staged line, fold it in, and
+                // chase one more latency-bound load of their own.
+                b.set_ne(p, Operand::Sreg(Sreg::WarpId), Operand::Imm(0));
+                b.if_(Operand::Reg(p), |b| {
+                    b.ld_shared(v, Operand::Reg(soff), buf as i32);
+                    b.mad(acc, Operand::Reg(acc), Operand::Imm(3), Operand::Reg(v));
+                    b.add(tmp, Operand::Reg(gid), Operand::Reg(v));
+                    b.and_(tmp, Operand::Reg(tmp), Operand::Imm(table - 1));
+                    b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
+                    b.ld_global(tmp, Operand::Reg(tmp), src as i32);
+                    b.add(acc, Operand::Reg(acc), Operand::Reg(tmp));
+                });
+                // Second barrier: the producer may not overwrite the stage
+                // until every consumer has drained it.
+                b.bar();
+            },
+        );
+        b.shl(tmp, Operand::Reg(gid), Operand::Imm(2));
+        b.st_global(Operand::Reg(tmp), out as i32, Operand::Reg(acc));
+        b.pad_regs(self.regs_per_thread);
+        b.build(self.ctas, self.threads_per_cta)
+            .expect("relay kernel is valid")
+    }
+}
+
+/// Irregular graph frontier: each thread tests a frontier flag and, when
+/// active, walks a variable-degree adjacency list — the inner loop of a
+/// BFS/SSSP push phase, with warp-divergent trip counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierParams {
+    /// Kernel name.
+    pub name: String,
+    /// CTAs in the grid.
+    pub ctas: u32,
+    /// Threads per CTA.
+    pub threads_per_cta: u32,
+    /// Maximum per-node degree (trip counts vary in `1..=max_degree`).
+    pub max_degree: u32,
+    /// Frontier sweeps.
+    pub iters: u32,
+    /// Declared register footprint per thread.
+    pub regs_per_thread: u16,
+}
+
+impl Default for FrontierParams {
+    fn default() -> Self {
+        FrontierParams {
+            name: "frontier".to_string(),
+            ctas: 60,
+            threads_per_cta: 64,
+            max_degree: 4,
+            iters: 2,
+            regs_per_thread: 14,
+        }
+    }
+}
+
+impl FrontierParams {
+    /// Builds the kernel.
+    pub fn build(&self) -> Kernel {
+        let nodes = 2048u32;
+        let n = self.ctas * self.threads_per_cta;
+        let deg_max = self.max_degree.max(1);
+        let mut r = rng(0xf407_1e02);
+        let mut b = KernelBuilder::new(self.name.clone());
+        // Roughly half the nodes are on the frontier each sweep.
+        let frontier = b.alloc_global_init(
+            &(0..nodes)
+                .map(|_| u32::from(r.gen_bool(0.5)))
+                .collect::<Vec<_>>(),
+        );
+        let degs = b.alloc_global_init(
+            &(0..nodes)
+                .map(|_| r.gen_range(1..deg_max + 1))
+                .collect::<Vec<_>>(),
+        );
+        let adj = b.alloc_global_init(&rand_indices(&mut r, (nodes * deg_max) as usize, nodes));
+        let vals = b.alloc_global_init(&rand_words(&mut r, nodes as usize));
+        let out = b.alloc_global(n as usize);
+
+        let gid = b.reg();
+        let node = b.reg();
+        let acc = b.reg();
+        let f = b.reg();
+        let deg = b.reg();
+        let j = b.reg();
+        let tmp = b.reg();
+        let i = b.reg();
+        b.global_thread_id(gid);
+        b.and_(node, Operand::Reg(gid), Operand::Imm(nodes - 1));
+        b.mov(acc, Operand::Imm(0));
+        b.for_range(
+            i,
+            Operand::Imm(0),
+            Operand::Imm(self.iters.max(1)),
+            1,
+            |b, _| {
+                b.shl(tmp, Operand::Reg(node), Operand::Imm(2));
+                b.ld_global(f, Operand::Reg(tmp), frontier as i32);
+                b.if_(Operand::Reg(f), |b| {
+                    b.shl(tmp, Operand::Reg(node), Operand::Imm(2));
+                    b.ld_global(deg, Operand::Reg(tmp), degs as i32);
+                    b.mov(j, Operand::Imm(0));
+                    b.while_(
+                        |b| {
+                            let c = b.reg();
+                            b.set_lt(c, Operand::Reg(j), Operand::Reg(deg));
+                            Operand::Reg(c)
+                        },
+                        |b| {
+                            // Neighbour id, then its value: two dependent
+                            // gathers per edge.
+                            b.mad(
+                                tmp,
+                                Operand::Reg(node),
+                                Operand::Imm(deg_max),
+                                Operand::Reg(j),
+                            );
+                            b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
+                            b.ld_global(tmp, Operand::Reg(tmp), adj as i32);
+                            b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
+                            b.ld_global(tmp, Operand::Reg(tmp), vals as i32);
+                            b.add(acc, Operand::Reg(acc), Operand::Reg(tmp));
+                            b.add(j, Operand::Reg(j), Operand::Imm(1));
+                        },
+                    );
+                });
+                // Hop to the next node for the following sweep.
+                b.add(node, Operand::Reg(node), Operand::Reg(acc));
+                b.and_(node, Operand::Reg(node), Operand::Imm(nodes - 1));
+            },
+        );
+        b.shl(tmp, Operand::Reg(gid), Operand::Imm(2));
+        b.st_global(Operand::Reg(tmp), out as i32, Operand::Reg(acc));
+        b.pad_regs(self.regs_per_thread);
+        b.build(self.ctas, self.threads_per_cta)
+            .expect("frontier kernel is valid")
+    }
+}
+
+/// Register-pressure staircase: a chain of live values each produced from
+/// a dependent load, forcing a deep register footprint — the kernel class
+/// whose occupancy the register file, not the scheduler, limits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegStairsParams {
+    /// Kernel name.
+    pub name: String,
+    /// CTAs in the grid.
+    pub ctas: u32,
+    /// Threads per CTA.
+    pub threads_per_cta: u32,
+    /// Live values in the staircase.
+    pub steps: u32,
+    /// Outer iterations.
+    pub iters: u32,
+    /// Declared register footprint per thread (the staircase is padded up
+    /// to this — 96 makes the register file bind on Fermi-class limits).
+    pub regs_per_thread: u16,
+}
+
+impl Default for RegStairsParams {
+    fn default() -> Self {
+        RegStairsParams {
+            name: "regstairs".to_string(),
+            ctas: 60,
+            threads_per_cta: 64,
+            steps: 6,
+            iters: 2,
+            regs_per_thread: 96,
+        }
+    }
+}
+
+impl RegStairsParams {
+    /// Builds the kernel.
+    pub fn build(&self) -> Kernel {
+        let table = 4096u32;
+        let n = self.ctas * self.threads_per_cta;
+        let mut r = rng(0x4e65_7a15);
+        let mut b = KernelBuilder::new(self.name.clone());
+        let data = b.alloc_global_init(&rand_words(&mut r, table as usize));
+        let out = b.alloc_global(n as usize);
+
+        let gid = b.reg();
+        let tmp = b.reg();
+        let i = b.reg();
+        let steps: Vec<_> = (0..self.steps.max(2)).map(|_| b.reg()).collect();
+        b.global_thread_id(gid);
+        // Build the staircase: each step loads through the previous one,
+        // and every step stays live until the final fold.
+        b.and_(tmp, Operand::Reg(gid), Operand::Imm(table - 1));
+        b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
+        b.ld_global(steps[0], Operand::Reg(tmp), data as i32);
+        for w in steps.windows(2) {
+            let (prev, next) = (w[0], w[1]);
+            b.and_(tmp, Operand::Reg(prev), Operand::Imm(table - 1));
+            b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
+            b.ld_global(tmp, Operand::Reg(tmp), data as i32);
+            b.mad(next, Operand::Reg(prev), Operand::Imm(3), Operand::Reg(tmp));
+        }
+        b.for_range(
+            i,
+            Operand::Imm(0),
+            Operand::Imm(self.iters.max(1)),
+            1,
+            |b, _| {
+                // Rotate the staircase: the top feeds a load that refreshes
+                // the bottom, keeping every level live across iterations.
+                let top = *steps.last().expect("at least two steps");
+                b.add(tmp, Operand::Reg(top), Operand::Reg(gid));
+                b.and_(tmp, Operand::Reg(tmp), Operand::Imm(table - 1));
+                b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
+                b.ld_global(tmp, Operand::Reg(tmp), data as i32);
+                b.add(steps[0], Operand::Reg(steps[0]), Operand::Reg(tmp));
+                for w in steps.windows(2) {
+                    let (prev, next) = (w[0], w[1]);
+                    b.mad(
+                        next,
+                        Operand::Reg(next),
+                        Operand::Imm(5),
+                        Operand::Reg(prev),
+                    );
+                }
+            },
+        );
+        for s in &steps[1..] {
+            b.add(steps[0], Operand::Reg(steps[0]), Operand::Reg(*s));
+        }
+        b.shl(tmp, Operand::Reg(gid), Operand::Imm(2));
+        b.st_global(Operand::Reg(tmp), out as i32, Operand::Reg(steps[0]));
+        b.pad_regs(self.regs_per_thread);
+        b.build(self.ctas, self.threads_per_cta)
+            .expect("regstairs kernel is valid")
+    }
+}
+
+/// Shared-memory bank-conflict sweep: every lane of a warp strides onto
+/// the same bank, serialising each shared access `ways`-fold, inside a
+/// shared-memory footprint big enough that smem limits occupancy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankStormParams {
+    /// Kernel name.
+    pub name: String,
+    /// CTAs in the grid.
+    pub ctas: u32,
+    /// Threads per CTA.
+    pub threads_per_cta: u32,
+    /// Conflict ways: lane stride in words (32 = every lane on one bank).
+    pub ways: u32,
+    /// Shared round-trips per thread.
+    pub iters: u32,
+    /// Declared shared-memory footprint per CTA (8 KiB makes shared
+    /// memory bind on Fermi-class limits).
+    pub smem_bytes: u32,
+    /// Declared register footprint per thread.
+    pub regs_per_thread: u16,
+}
+
+impl Default for BankStormParams {
+    fn default() -> Self {
+        BankStormParams {
+            name: "bankstorm".to_string(),
+            ctas: 60,
+            threads_per_cta: 64,
+            ways: 32,
+            iters: 2,
+            smem_bytes: 8 * 1024,
+            regs_per_thread: 12,
+        }
+    }
+}
+
+impl BankStormParams {
+    /// Builds the kernel.
+    pub fn build(&self) -> Kernel {
+        let n = self.ctas * self.threads_per_cta;
+        let mut r = rng(0xba9c_5707);
+        let mut b = KernelBuilder::new(self.name.clone());
+        let src = b.alloc_global_init(&rand_words(&mut r, 4096));
+        let out = b.alloc_global(n as usize);
+        let words = (self.smem_bytes.max(256) / 4).next_power_of_two();
+        let buf = b.alloc_shared(words);
+
+        let gid = b.reg();
+        let soff = b.reg();
+        let v = b.reg();
+        let g = b.reg();
+        let tmp = b.reg();
+        let i = b.reg();
+        b.global_thread_id(gid);
+        // Byte offset tid*ways*4 mod the buffer: with ways=32 every lane
+        // of a warp lands on bank 0 — a full 32-way conflict per access.
+        b.mul(
+            soff,
+            Operand::Sreg(Sreg::Tid),
+            Operand::Imm(self.ways.max(1) * 4),
+        );
+        b.and_(soff, Operand::Reg(soff), Operand::Imm(words * 4 - 1));
+        b.and_(tmp, Operand::Reg(gid), Operand::Imm(4095));
+        b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
+        b.ld_global(v, Operand::Reg(tmp), src as i32);
+        b.st_shared(Operand::Reg(soff), buf as i32, Operand::Reg(v));
+        b.bar();
+        b.for_range(
+            i,
+            Operand::Imm(0),
+            Operand::Imm(self.iters.max(1)),
+            1,
+            |b, i| {
+                b.ld_shared(tmp, Operand::Reg(soff), buf as i32);
+                b.mad(v, Operand::Reg(v), Operand::Imm(3), Operand::Reg(tmp));
+                b.st_shared(Operand::Reg(soff), buf as i32, Operand::Reg(v));
+                b.mad(tmp, Operand::Reg(i), Operand::Imm(n), Operand::Reg(gid));
+                b.and_(tmp, Operand::Reg(tmp), Operand::Imm(4095));
+                b.shl(tmp, Operand::Reg(tmp), Operand::Imm(2));
+                b.ld_global(g, Operand::Reg(tmp), src as i32);
+                b.add(v, Operand::Reg(v), Operand::Reg(g));
+            },
+        );
+        b.shl(tmp, Operand::Reg(gid), Operand::Imm(2));
+        b.st_global(Operand::Reg(tmp), out as i32, Operand::Reg(v));
+        b.pad_regs(self.regs_per_thread);
+        b.build(self.ctas, self.threads_per_cta)
+            .expect("bankstorm kernel is valid")
+    }
+}

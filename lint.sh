@@ -75,6 +75,20 @@ echo "== vtsweep --budget (truncation smoke: partial stats, no hang)"
 cargo run -q --release -p vt-bench --bin vtsweep -- \
   spmv --arch vt --sms 2 --budget 2000 --check >/dev/null
 
+echo "== vttrace --check (valid corpus accepted, corrupt corpus rejected)"
+cargo run -q --release -p vt-bench --bin vttrace -- --check traces/*.trace >/dev/null
+if cargo run -q --release -p vt-bench --bin vttrace -- \
+  --check traces/corrupt/*.trace >/dev/null 2>&1; then
+  echo "lint: vttrace --check accepted a corrupt trace" >&2
+  exit 1
+fi
+
+echo "== trace round-trip + fuzz robustness (tests/tests/traces.rs)"
+cargo test -q -p vt-tests --test traces
+
+echo "== property suite (random kernels: lint-clean, all-arch completion)"
+cargo test -q -p vt-tests --test properties
+
 echo "== public API surface (tools/api.txt must match the source)"
 if ! diff -u tools/api.txt <(tools/api_surface.sh); then
   echo "lint: public API changed; review the diff above and re-bless" >&2

@@ -16,7 +16,7 @@ use vt_core::{Checkpoint, Pool, RunBudget, RunRequest, RunStats, Session, Sessio
 use vt_json::Json;
 use vt_prng::Prng;
 use vt_tests::small_config;
-use vt_workloads::{suite, AccessPattern, Scale, SyntheticParams};
+use vt_workloads::{full_suite, AccessPattern, Scale, SyntheticParams};
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden")
@@ -148,7 +148,7 @@ fn conservation_holds_across_archs_workers_and_cuts() {
 #[test]
 fn suite_stacks_match_goldens() {
     let bless = std::env::var("VT_BLESS").is_ok_and(|v| !v.is_empty() && v != "0");
-    for w in suite(&Scale::test()) {
+    for w in full_suite(&Scale::test()) {
         let mut fields = Vec::new();
         for arch in vt_tests::all_archs() {
             let r = vt_tests::run(arch, &w.kernel);

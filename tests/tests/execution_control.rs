@@ -9,9 +9,10 @@ use vt_core::{
     Architecture, Checkpoint, Pool, Report, RunBudget, RunRequest, Session, SessionOutcome,
     SimError, StopReason,
 };
+use vt_prng::Prng;
 use vt_tests::small_config;
 use vt_trace::{BufSink, TimedEvent};
-use vt_workloads::{AccessPattern, SyntheticParams};
+use vt_workloads::{full_suite, AccessPattern, Scale, SyntheticParams};
 
 /// A latency-bound kernel that runs for a few thousand cycles — long
 /// enough that every cut point in these tests lands mid-flight.
@@ -168,6 +169,52 @@ fn metered_resume_stitches_series_bit_identically() {
                 "{label}: stitched stats (incl. metric series) diverge"
             );
             assert_eq!(resumed.mem_image, want.mem_image, "{label}");
+        }
+    }
+}
+
+/// The resume contract over the *grown* suite: every workload — core
+/// and zoo alike — truncated at a random (per-kernel, seeded) cycle cut
+/// and resumed must stitch bit-identically to the uninterrupted run at
+/// 1, 2 and 4 workers: stats, memory image and trace stream. This is
+/// what lets long zoo/trace experiments checkpoint safely.
+#[test]
+fn grown_suite_resumes_bit_identically_from_random_cuts() {
+    let mut r = Prng::new(0x7e57);
+    let arch = Architecture::virtual_thread();
+    for w in full_suite(&Scale { ctas: 6, iters: 2 }) {
+        let (want, want_events) = uninterrupted(arch, &w.kernel, 1);
+        assert!(want.stats.cycles > 2, "{}: too short to cut", w.name);
+        let cut = u64::from(r.gen_range(1..want.stats.cycles as u32));
+        for threads in [1usize, 2, 4] {
+            let label = format!("{} cut {cut} on {threads} worker(s)", w.name);
+            let mut events = Vec::new();
+            let mut session = Session::new(small_config(arch)).with_sink(BufSink(&mut events));
+            if threads > 1 {
+                session = session.with_pool(Pool::new(threads));
+            }
+            let outcome = session
+                .run(
+                    RunRequest::kernel(&w.kernel)
+                        .with_budget(RunBudget::unlimited().with_max_cycles(cut)),
+                )
+                .expect(&label);
+            let SessionOutcome::Truncated { truncation, .. } = outcome else {
+                panic!("{label}: expected truncation");
+            };
+            let ckpt = Checkpoint::parse(&truncation.checkpoint.to_text()).expect(&label);
+            let resumed = session
+                .run(RunRequest::kernel(&w.kernel).resume_from(&ckpt))
+                .and_then(|o| o.completed())
+                .unwrap_or_else(|e| panic!("{label}: {e}"))
+                .remove(0);
+            drop(session);
+            assert_eq!(resumed.stats, want.stats, "{label}: stats diverge");
+            assert_eq!(
+                resumed.mem_image, want.mem_image,
+                "{label}: memory diverges"
+            );
+            assert_eq!(events, want_events, "{label}: stitched trace diverges");
         }
     }
 }

@@ -6,11 +6,11 @@
 
 use vt_isa::interp::Interpreter;
 use vt_tests::{all_archs, run};
-use vt_workloads::{suite, Scale};
+use vt_workloads::{full_suite, Scale};
 
 #[test]
 fn suite_matches_interpreter_under_every_architecture() {
-    for w in suite(&Scale::test()) {
+    for w in full_suite(&Scale::test()) {
         let reference = Interpreter::new(&w.kernel)
             .unwrap_or_else(|e| panic!("{}: {e}", w.name))
             .run()
@@ -32,7 +32,7 @@ fn suite_matches_interpreter_under_every_architecture() {
 fn instruction_counts_match_interpreter() {
     // The simulator issues exactly the dynamic instruction stream the
     // interpreter executes (same warp-level SIMT semantics).
-    for w in suite(&Scale::test()) {
+    for w in full_suite(&Scale::test()) {
         let reference = Interpreter::new(&w.kernel).unwrap().run().unwrap();
         let report = run(vt_core::Architecture::Baseline, &w.kernel);
         assert_eq!(
@@ -52,7 +52,7 @@ fn instruction_counts_match_interpreter() {
 
 #[test]
 fn ctas_all_complete() {
-    for w in suite(&Scale::test()) {
+    for w in full_suite(&Scale::test()) {
         let report = run(vt_core::Architecture::virtual_thread(), &w.kernel);
         assert_eq!(
             report.stats.ctas_completed,

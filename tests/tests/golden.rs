@@ -14,7 +14,7 @@ use std::fs;
 use std::path::PathBuf;
 use vt_tests::golden::report_json;
 use vt_tests::{all_archs, run};
-use vt_workloads::{suite, Scale};
+use vt_workloads::{full_suite, Scale};
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("golden")
@@ -58,7 +58,7 @@ fn stats_match_golden_snapshots() {
     }
 
     let mut failures = Vec::new();
-    for w in suite(&Scale::test()) {
+    for w in full_suite(&Scale::test()) {
         for arch in all_archs() {
             let report = run(arch, &w.kernel);
             let got = report_json(&report).pretty() + "\n";

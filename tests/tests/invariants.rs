@@ -6,7 +6,7 @@ use vt_core::{occupancy, Architecture, CoreConfig, Gpu, GpuConfig, SimError, VtP
 use vt_isa::op::Operand;
 use vt_isa::KernelBuilder;
 use vt_tests::{run, small_config};
-use vt_workloads::{suite, AccessPattern, Scale, SyntheticParams};
+use vt_workloads::{full_suite, AccessPattern, Scale, SyntheticParams};
 
 fn latency_bound() -> vt_isa::Kernel {
     SyntheticParams {
@@ -24,7 +24,7 @@ fn baseline_never_exceeds_scheduling_limit() {
         num_sms: 2,
         ..CoreConfig::default()
     };
-    for w in suite(&Scale::test()) {
+    for w in full_suite(&Scale::test()) {
         let r = run(Architecture::Baseline, &w.kernel);
         let occ = &r.stats.occupancy;
         assert!(
@@ -95,7 +95,7 @@ fn performance_ordering_on_latency_bound_kernel() {
 
 #[test]
 fn capacity_limited_kernels_are_untouched_by_vt() {
-    for w in suite(&Scale::test()) {
+    for w in full_suite(&Scale::test()) {
         if w.class != vt_workloads::LimiterClass::Capacity {
             continue;
         }
@@ -135,7 +135,7 @@ fn watchdog_aborts_runaway_kernels() {
 
 #[test]
 fn idle_cycles_never_exceed_sm_cycles() {
-    for w in suite(&Scale::test()) {
+    for w in full_suite(&Scale::test()) {
         let r = run(Architecture::virtual_thread(), &w.kernel);
         assert!(
             r.stats.idle.total() <= r.stats.occupancy.sm_cycles,
@@ -162,7 +162,7 @@ fn idle_accounting_partitions_every_sm_cycle() {
     // architecture. The empty split refines `no_warps` the same way
     // (scheduling + capacity + drain, nothing else), so the derived
     // CPI stack inherits the conservation identity exactly.
-    for w in suite(&Scale::test()) {
+    for w in full_suite(&Scale::test()) {
         for arch in vt_tests::all_archs() {
             let r = run(arch, &w.kernel);
             assert_eq!(

@@ -15,7 +15,7 @@ use std::fs;
 use std::path::PathBuf;
 use vt_analysis::{model, ModelConfig};
 use vt_json::{Json, ToJson};
-use vt_workloads::{suite, Scale};
+use vt_workloads::{full_suite, Scale};
 
 fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -54,7 +54,7 @@ fn line_diff(got: &str, want: &str) -> String {
 #[test]
 fn model_json_matches_golden_snapshot() {
     let cfg = ModelConfig::default();
-    let models: Vec<_> = suite(&Scale::test())
+    let models: Vec<_> = full_suite(&Scale::test())
         .iter()
         .map(|w| model(&w.kernel, &cfg))
         .collect();

@@ -12,7 +12,7 @@ use vt_core::{Pool, Report, RunRequest, Session};
 use vt_isa::Kernel;
 use vt_tests::{all_archs, small_config};
 use vt_trace::{to_chrome_json, BufSink, TimedEvent};
-use vt_workloads::{suite, Scale};
+use vt_workloads::{full_suite, Scale};
 
 fn run_traced_on(
     arch: vt_core::Architecture,
@@ -35,7 +35,7 @@ fn run_traced_on(
 
 #[test]
 fn thread_count_never_changes_results() {
-    for w in suite(&Scale::test()) {
+    for w in full_suite(&Scale::test()) {
         for arch in all_archs() {
             let (seq_report, seq_events) = run_traced_on(arch, &w.kernel, None);
             for threads in [2, 4, 8] {
@@ -59,7 +59,7 @@ fn thread_count_never_changes_results() {
 /// must also be byte-identical, not just the in-memory events.
 #[test]
 fn chrome_traces_are_byte_identical_across_thread_counts() {
-    for w in suite(&Scale::test()).iter().take(3) {
+    for w in full_suite(&Scale::test()).iter().take(3) {
         for arch in all_archs() {
             let (_, seq_events) = run_traced_on(arch, &w.kernel, None);
             let (_, par_events) = run_traced_on(arch, &w.kernel, Some(4));
@@ -78,7 +78,7 @@ fn chrome_traces_are_byte_identical_across_thread_counts() {
 /// SM-cycle is either an issue cycle or lands in exactly one idle bucket.
 #[test]
 fn idle_identity_holds_under_parallel_engine() {
-    for w in suite(&Scale::test()) {
+    for w in full_suite(&Scale::test()) {
         for arch in all_archs() {
             let mut session = Session::new(small_config(arch)).with_pool(Pool::new(4));
             let report = session

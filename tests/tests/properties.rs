@@ -52,6 +52,51 @@ fn synthetic_kernels_match_interpreter() {
     }
 }
 
+/// Breadth over depth: ~200 random synthetic kernels must all (a) lint
+/// clean of error-severity diagnostics and (b) run to completion under
+/// all four architectures. Catches generator/analyzer/scheduler
+/// mismatches the 12-case deep tests above cannot reach.
+#[test]
+fn two_hundred_random_kernels_lint_clean_and_complete_everywhere() {
+    let mut r = Prng::new(0xc0de);
+    for case in 0..200 {
+        let barrier = r.gen_bool(0.4);
+        let p = SyntheticParams {
+            name: format!("prop-{case}"),
+            ctas: r.gen_range(1..6),
+            threads_per_cta: *r.choose(&[32u32, 48, 64, 96]),
+            regs_per_thread: *r.choose(&[8u16, 16, 24, 48]),
+            smem_bytes: if barrier {
+                *r.choose(&[128u32, 256, 1024])
+            } else {
+                0
+            },
+            iters: r.gen_range(1..3),
+            loads_per_iter: r.gen_range(1..3),
+            alu_per_load: r.gen_range(0..5),
+            access: gen_access(&mut r),
+            barrier_per_iter: barrier,
+        };
+        let kernel = p.build();
+        let errors: Vec<_> = vt_analysis::analyze(&kernel)
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == vt_analysis::Severity::Error)
+            .cloned()
+            .collect();
+        assert!(errors.is_empty(), "case {case} ({p:?}): {errors:?}");
+        for arch in vt_tests::all_archs() {
+            let report = run(arch, &kernel);
+            assert_eq!(
+                report.stats.ctas_completed,
+                u64::from(p.ctas),
+                "case {case} under {}: did not run to completion ({p:?})",
+                arch.label()
+            );
+        }
+    }
+}
+
 #[test]
 fn random_vt_parameters_preserve_functionality() {
     let mut r = Prng::new(0xf7a);

@@ -6,11 +6,11 @@
 use vt_analysis::{analyze, Severity};
 use vt_isa::asm::{assemble_program, disassemble};
 use vt_prng::Prng;
-use vt_workloads::{suite, AccessPattern, Scale, SyntheticParams};
+use vt_workloads::{full_suite, AccessPattern, Scale, SyntheticParams};
 
 #[test]
 fn suite_kernels_have_no_analysis_errors() {
-    for w in suite(&Scale::test()) {
+    for w in full_suite(&Scale::test()) {
         let report = analyze(&w.kernel);
         let errors: Vec<_> = report
             .diagnostics
@@ -23,7 +23,7 @@ fn suite_kernels_have_no_analysis_errors() {
 
 #[test]
 fn suite_register_declarations_cover_the_analyzer_estimate() {
-    for w in suite(&Scale::test()) {
+    for w in full_suite(&Scale::test()) {
         let report = analyze(&w.kernel);
         assert!(
             report.used_regs <= report.declared_regs,
@@ -46,7 +46,7 @@ fn suite_register_declarations_cover_the_analyzer_estimate() {
 
 #[test]
 fn suite_barrier_counts_match_kernel_structure() {
-    for w in suite(&Scale::test()) {
+    for w in full_suite(&Scale::test()) {
         let report = analyze(&w.kernel);
         assert_eq!(report.barrier_intervals, report.barriers + 1, "{}", w.name);
     }
@@ -54,7 +54,7 @@ fn suite_barrier_counts_match_kernel_structure() {
 
 #[test]
 fn assembler_round_trips_every_suite_kernel() {
-    for w in suite(&Scale::test()) {
+    for w in full_suite(&Scale::test()) {
         let text = disassemble(w.kernel.program());
         let back = assemble_program(&text)
             .unwrap_or_else(|e| panic!("{}: reassembly failed: {e}", w.name));

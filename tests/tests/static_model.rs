@@ -25,7 +25,7 @@ use vt_core::{Architecture, CoreConfig, GpuConfig, MemConfig, Report, RunRequest
 use vt_isa::SmLimits;
 use vt_prng::Prng;
 use vt_sim::AdmissionPolicy;
-use vt_workloads::{suite, AccessPattern, Scale, SyntheticParams};
+use vt_workloads::{full_suite, suite, AccessPattern, Scale, SyntheticParams};
 
 use vt_analysis::{analyze, model, standard_archs, ModelConfig, OccupancyModel, ResidencyModel};
 
@@ -99,7 +99,7 @@ fn analysis_policy(arch: &Architecture) -> ResidencyModel {
 #[test]
 fn static_bound_matches_observed_peak_residency() {
     let limits = oracle_limits();
-    for w in suite(&oracle_scale()) {
+    for w in full_suite(&oracle_scale()) {
         let occ = OccupancyModel::compute(&limits, &w.kernel);
         for arch in vt_tests::all_archs() {
             let predicted = occ.predicted_peak(&analysis_policy(&arch), w.kernel.num_ctas());
@@ -124,7 +124,7 @@ fn static_bound_matches_observed_peak_residency() {
 #[test]
 fn scheduling_classification_predicts_vt_ipc_gain() {
     let limits = oracle_limits();
-    for w in suite(&oracle_scale()) {
+    for w in full_suite(&oracle_scale()) {
         let occ = OccupancyModel::compute(&limits, &w.kernel);
         let headroom = occ.bounds.capacity().min(w.kernel.num_ctas()) > occ.bounds.baseline();
         // Consistency of the classification itself: strictly binding
@@ -177,7 +177,7 @@ fn scheduling_classification_predicts_vt_ipc_gain() {
 #[test]
 fn static_limiter_predicts_dynamic_empty_bucket() {
     let limits = oracle_limits();
-    for w in suite(&oracle_scale()) {
+    for w in full_suite(&oracle_scale()) {
         let scheduling_limited = limits.bounds(&w.kernel).limiter().is_scheduling();
         let base = run_oracle(Architecture::Baseline, &w.kernel);
         let e = &base.stats.empty;

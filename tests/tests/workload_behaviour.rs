@@ -6,7 +6,8 @@ use vt_core::Architecture;
 use vt_isa::interp::Interpreter;
 use vt_tests::run;
 use vt_workloads::kernels::{irregular, sync};
-use vt_workloads::{suite, Scale};
+use vt_workloads::zoo::HotBinsParams;
+use vt_workloads::{full_suite, suite, Scale};
 
 fn tiny() -> Scale {
     Scale { ctas: 6, iters: 2 }
@@ -41,8 +42,27 @@ fn reduction_total_matches_cpu_reference_under_every_arch() {
 }
 
 #[test]
+fn hotbins_histogram_matches_cpu_reference_under_every_arch() {
+    let p = HotBinsParams {
+        ctas: 6,
+        ..HotBinsParams::default()
+    };
+    let k = p.build();
+    let bins = p.reference();
+    for arch in vt_tests::all_archs() {
+        let r = run(arch, &k);
+        assert_eq!(
+            r.mem_image.load_words(0, bins.len()),
+            bins.as_slice(),
+            "{}",
+            arch.label()
+        );
+    }
+}
+
+#[test]
 fn barrier_kernels_actually_use_barriers() {
-    for w in suite(&tiny()) {
+    for w in full_suite(&tiny()) {
         let r = run(Architecture::Baseline, &w.kernel);
         let has_bar = w.kernel.program().mix().barrier > 0;
         assert_eq!(r.stats.barriers > 0, has_bar, "{}", w.name);
@@ -80,8 +100,11 @@ fn atomic_kernels_produce_atomic_traffic() {
 
 #[test]
 fn capacity_kernels_have_zero_virtualization_effect_on_memory_traffic() {
-    for name in ["sgemm", "lbm", "srad"] {
-        let w = suite(&tiny()).into_iter().find(|w| w.name == name).unwrap();
+    for name in ["sgemm", "lbm", "srad", "regstairs", "bankstorm"] {
+        let w = full_suite(&tiny())
+            .into_iter()
+            .find(|w| w.name == name)
+            .unwrap();
         let base = run(Architecture::Baseline, &w.kernel);
         let vt = run(Architecture::virtual_thread(), &w.kernel);
         assert_eq!(
@@ -103,7 +126,7 @@ fn nw_uses_single_warp_ctas() {
 #[test]
 fn interpreter_and_simulator_agree_on_dynamic_instruction_mix() {
     // Not just final memory: total executed work must match, per kernel.
-    for w in suite(&tiny()) {
+    for w in full_suite(&tiny()) {
         let reference = Interpreter::new(&w.kernel).unwrap().run().unwrap();
         for arch in [Architecture::Baseline, Architecture::virtual_thread()] {
             let r = run(arch, &w.kernel);

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Regenerates the committed trace corpus under traces/.
+
+Deterministic (no randomness beyond a fixed LCG seed), stdlib-only.
+Run from the repo root:
+
+    python3 tools/gen_traces.py
+
+Valid traces exercise the full record grammar: coalesced and scattered
+global accesses, shared-memory traffic, partial last warps, divergent
+masks, barriers, atomics, and ragged (prefix) stream lengths across
+thread blocks. Corrupt traces under traces/corrupt/ each exhibit exactly
+one defect and must all be rejected by `vttrace --check` (exit 1) — the
+fuzz suite in tests/tests/traces.rs and lint.sh both depend on that.
+"""
+
+import os
+
+ROOT = os.path.join(os.path.dirname(__file__), "..", "traces")
+
+
+class Lcg:
+    """Tiny deterministic generator (same constants as vt-prng's seed mix)."""
+
+    def __init__(self, seed):
+        self.s = seed & 0xFFFFFFFF
+
+    def next(self):
+        self.s = (self.s * 1664525 + 1013904223) & 0xFFFFFFFF
+        return self.s
+
+
+def header(name, grid, block, shmem, nregs):
+    return (
+        f"-kernel name = {name}\n"
+        f"-grid dim = ({grid},1,1)\n"
+        f"-block dim = ({block},1,1)\n"
+        f"-shmem = {shmem}\n"
+        f"-nregs = {nregs}\n\n"
+    )
+
+
+def rec(pc, mask, cls, addrs=None):
+    line = f"{pc:04x} {mask:08x} {cls}"
+    if addrs is not None:
+        line += " 4 " + " ".join(f"0x{a:x}" for a in addrs)
+    return line + "\n"
+
+
+def lanes(mask):
+    return [l for l in range(32) if mask >> l & 1]
+
+
+def warp_block(warp, records):
+    return f"warp = {warp}\ninsts = {len(records)}\n" + "".join(records)
+
+
+def tb(n, *warps):
+    return "#BEGIN_TB\nthread block = " + str(n) + "\n" + "".join(warps) + "#END_TB\n"
+
+
+def full(nlanes=32):
+    return 0xFFFFFFFF if nlanes >= 32 else (1 << nlanes) - 1
+
+
+def vecadd():
+    """Straight-line, fully coalesced: c[i] = a[i] + b[i], 2 TBs x 2 warps."""
+    out = header("vecadd", 2, 64, 0, 16)
+    for t in range(2):
+        warps = []
+        for w in range(2):
+            gid0 = (t * 64 + w * 32) * 4
+            m = full()
+            warps.append(
+                warp_block(
+                    w,
+                    [
+                        rec(0x00, m, "ALU"),
+                        rec(0x08, m, "LDG", [0x1000 + gid0 + 4 * l for l in lanes(m)]),
+                        rec(0x10, m, "LDG", [0x2000 + gid0 + 4 * l for l in lanes(m)]),
+                        rec(0x18, m, "MAD"),
+                        rec(0x20, m, "STG", [0x3000 + gid0 + 4 * l for l in lanes(m)]),
+                        rec(0x28, m, "EXIT"),
+                    ],
+                )
+            )
+        out += tb(t, *warps)
+    return out
+
+
+def divergent():
+    """Divergence, shared memory, barrier, atomics, and a partial last
+    warp (block of 48 threads -> warp 1 has 16 lanes)."""
+    r = Lcg(0x5EED)
+    out = header("divergent", 1, 48, 256, 24)
+    warps = []
+    for w, nl in ((0, 32), (1, 16)):
+        m = full(nl)
+        odd = m & 0xAAAAAAAA
+        gather = [0x4000 + (r.next() % 512) * 4 for _ in lanes(m)]
+        # Warp-disjoint shared addresses: replay stays race-free, so the
+        # functional image is identical across architectures.
+        smem = [(128 * w + 4 * l) % 256 for l in lanes(odd)]
+        warps.append(
+            warp_block(
+                w,
+                [
+                    rec(0x00, m, "ALU"),
+                    rec(0x08, m, "LDG", gather),
+                    rec(0x10, odd, "STS", smem),
+                    rec(0x18, m, "BAR"),
+                    rec(0x20, odd, "LDS", smem),
+                    rec(0x28, m, "SFU"),
+                    rec(0x30, m, "ATOM", [0x8000 for _ in lanes(m)]),
+                    rec(0x38, m, "EXIT"),
+                ],
+            )
+        )
+    return out + tb(0, *warps)
+
+
+def multiblock():
+    """4 single-warp TBs with ragged (prefix) stream lengths: slot
+    unification must pad the short streams with zero masks."""
+    seq = ["ALU", "LDG", "MAD", "STG", "ALU", "SFU"]
+    out = header("multiblock", 4, 32, 0, 12)
+    m = full()
+    for t in range(4):
+        n = len(seq) - t  # 6, 5, 4, 3 records
+        records = []
+        for s, cls in enumerate(seq[:n]):
+            addrs = None
+            if cls == "LDG":
+                addrs = [0x100 * (t + 1) + 4 * l for l in lanes(m)]
+            elif cls == "STG":
+                addrs = [0x4000 + 0x80 * t + 4 * l for l in lanes(m)]
+            records.append(rec(8 * s, m, cls, addrs))
+        records.append(rec(8 * n, m, "EXIT"))
+        out += tb(t, warp_block(0, records))
+    return out
+
+
+def corrupt(valid):
+    """One file per defect class; each must be rejected, never panic."""
+    cut = valid.find("0x2000")
+    files = {
+        # parse-time rejections
+        "truncated.trace": valid[:cut],
+        "garbage.trace": "\x00\x01\x7f\xc3\x28 not a trace \x02\n\xff" * 4,
+        "missing_header.trace": valid.replace("-nregs = 16\n", ""),
+        "badclass.trace": valid.replace(" MAD\n", " FROB\n", 1),
+        "badmask.trace": divergent().replace("0000ffff ALU", "00ffffff ALU", 1),
+        "dupwarp.trace": valid.replace("warp = 1\n", "warp = 0\n", 1),
+        "dupblock.trace": valid.replace("thread block = 1\n", "thread block = 0\n"),
+        "badcount.trace": valid.replace("insts = 6\n", "insts = 9\n", 1),
+        "misaligned.trace": valid.replace("0x1000 ", "0x1001 ", 1),
+        "smem_oob.trace": divergent().replace("LDS 4 0x4", "LDS 4 0x100", 1),
+        "addrcount.trace": valid.replace("0x1000 ", "", 1),
+        "after_exit.trace": valid.replace(
+            "insts = 6\n0000 ffffffff ALU\n",
+            "insts = 7\n0000 ffffffff ALU\n",
+            1,
+        ).replace("0028 ffffffff EXIT\n", "0028 ffffffff EXIT\n0030 ffffffff ALU\n", 1),
+        # lower-time rejections (parse cleanly, cannot be unified/replayed)
+        "slot_mismatch.trace": valid.replace("0018 ffffffff MAD", "0018 ffffffff SFU", 1),
+        "barmask.trace": divergent().replace("ffffffff BAR", "0000ffff BAR", 1),
+        "hugespan.trace": valid.replace("0x3000 ", "0x40003000 ", 1),
+    }
+    return files
+
+
+def main():
+    os.makedirs(os.path.join(ROOT, "corrupt"), exist_ok=True)
+    valid = {
+        "vecadd.trace": vecadd(),
+        "divergent.trace": divergent(),
+        "multiblock.trace": multiblock(),
+    }
+    for name, text in valid.items():
+        with open(os.path.join(ROOT, name), "w") as f:
+            f.write(text)
+    for name, text in corrupt(valid["vecadd.trace"]).items():
+        with open(os.path.join(ROOT, "corrupt", name), "w") as f:
+            f.write(text)
+    # Invalid UTF-8: must surface as an I/O-level rejection, not a panic.
+    with open(os.path.join(ROOT, "corrupt", "binary.trace"), "wb") as f:
+        f.write(bytes([0xFF, 0xFE, 0x00, 0x9D, 0x80] * 13))
+    print(f"wrote {len(valid)} valid + {len(corrupt(valid['vecadd.trace']))} corrupt traces")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,6 +25,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
+use vt_bench::cli;
 use vt_bench::cpi::Attribution;
 use vt_bench::record::{self, RECORD_VERSION};
 use vt_bench::{geomean, Table};
@@ -375,25 +376,14 @@ fn degrade(pct: f64, input: &str, output: &str) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let opts = match parse_args() {
-        Ok(Some(o)) => o,
-        Ok(None) => return ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("vtbench: {e}\n\n{USAGE}");
-            return ExitCode::from(2);
-        }
+    let opts = match cli::parsed("vtbench", USAGE, parse_args()) {
+        Ok(o) => o,
+        Err(code) => return cli::code(code),
     };
     let result = match &opts.mode {
         Mode::Run => run_suite(&opts).map(|()| true),
         Mode::Diff(old, new) => diff(old, new, opts.threshold, opts.explain),
         Mode::Degrade(pct, input, output) => degrade(*pct, input, output).map(|()| true),
     };
-    match result {
-        Ok(true) => ExitCode::SUCCESS,
-        Ok(false) => ExitCode::from(1),
-        Err(e) => {
-            eprintln!("vtbench: {e}");
-            ExitCode::from(2)
-        }
-    }
+    cli::code(cli::finish("vtbench", result))
 }

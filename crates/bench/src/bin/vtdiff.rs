@@ -19,22 +19,33 @@
 //! error or incomparable records.
 
 use std::process::ExitCode;
+use vt_bench::cli;
 use vt_bench::cpi::Attribution;
+use vt_bench::hotspot::{self, ProfileRecord};
 use vt_bench::record::{self, KernelEntry};
 use vt_bench::Table;
 use vt_json::Json;
 
 const USAGE: &str = "\
 usage: vtdiff OLD.json NEW.json [options]
+       vtdiff --pc OLD.hotspots.json NEW.hotspots.json [options]
 
 Compares two vtbench records and attributes each kernel's cycle delta
 to CPI-stack buckets (issued / stall_* / empty_*). The buckets
 partition SM-cycles, so attribution is exhaustive by construction.
 
+With --pc the inputs are per-PC hotspot records (written by
+`vtprof --profile`) and the report ranks per-instruction SM-cycle
+deltas instead: which instructions gained or lost issue and stall-blame
+cycles between the two runs.
+
 options:
-  --top N          show at most N moved buckets per kernel (default 3)
+  --pc             diff per-PC hotspot records instead of vtbench records
+  --top N          show at most N moved buckets per kernel, or N changed
+                   instructions with --pc (default 3, --pc default 10)
   --json           machine-readable report on stdout
-  --assert-zero    exit 1 unless every kernel's CPI stack is identical
+  --assert-zero    exit 1 unless every kernel's CPI stack (or with --pc,
+                   every instruction's profile) is identical
                    (determinism smoke: two runs of the same build must
                    produce bit-identical stacks)
   -h, --help       this help
@@ -45,14 +56,16 @@ error or incomparable records";
 struct Opts {
     old: String,
     new: String,
-    top: usize,
+    pc: bool,
+    top: Option<usize>,
     json: bool,
     assert_zero: bool,
 }
 
 fn parse_args() -> Result<Option<Opts>, String> {
     let mut paths = Vec::new();
-    let mut top = 3usize;
+    let mut pc = false;
+    let mut top = None;
     let mut json = false;
     let mut assert_zero = false;
     let mut args = std::env::args().skip(1);
@@ -62,14 +75,16 @@ fn parse_args() -> Result<Option<Opts>, String> {
                 println!("{USAGE}");
                 return Ok(None);
             }
+            "--pc" => pc = true,
             "--json" => json = true,
             "--assert-zero" => assert_zero = true,
             "--top" => {
-                top = args
-                    .next()
-                    .ok_or("--top needs a value")?
-                    .parse()
-                    .map_err(|e| format!("--top: {e}"))?;
+                top = Some(
+                    args.next()
+                        .ok_or("--top needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--top: {e}"))?,
+                );
             }
             other if other.starts_with('-') => return Err(format!("unknown option `{other}`")),
             path => paths.push(path.to_string()),
@@ -80,6 +95,7 @@ fn parse_args() -> Result<Option<Opts>, String> {
     Ok(Some(Opts {
         old,
         new,
+        pc,
         top,
         json,
         assert_zero,
@@ -223,7 +239,97 @@ fn diff_json(diffs: &[KernelDiff]) -> Json {
     ])
 }
 
+/// The `--pc` report: per-instruction SM-cycle deltas between two
+/// hotspot records, ranked by magnitude.
+fn run_pc(o: &Opts) -> Result<bool, String> {
+    let top = o.top.unwrap_or(10);
+    let old = ProfileRecord::load(&o.old)?;
+    let new = ProfileRecord::load(&o.new)?;
+    let ranked = hotspot::rank_deltas(&old, &new)?;
+    let total: i64 = ranked.iter().map(|d| d.delta).sum();
+
+    if o.json {
+        let pcs: Vec<Json> = ranked
+            .iter()
+            .map(|d| {
+                Json::object(vec![
+                    ("pc".into(), Json::UInt(d.pc as u64)),
+                    ("op".into(), Json::Str(d.op.clone())),
+                    ("delta".into(), Json::Int(d.delta)),
+                    (
+                        "classes".into(),
+                        Json::object(
+                            d.classes
+                                .iter()
+                                .map(|&(n, v)| (n.to_string(), Json::Int(v)))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            })
+            .collect();
+        println!(
+            "{}",
+            Json::object(vec![
+                ("kernel".into(), Json::Str(old.kernel.clone())),
+                ("arch".into(), Json::Str(old.arch.clone())),
+                ("old_cycles".into(), Json::UInt(old.cycles)),
+                ("new_cycles".into(), Json::UInt(new.cycles)),
+                ("sm_cycle_delta".into(), Json::Int(total)),
+                ("changed_pcs".into(), Json::UInt(ranked.len() as u64)),
+                ("pcs".into(), Json::Array(pcs)),
+            ])
+            .pretty()
+        );
+    } else if ranked.is_empty() {
+        println!(
+            "{} [{}]: no per-PC difference: the profiles are identical",
+            old.kernel, old.arch
+        );
+    } else {
+        let mut t = Table::new(vec!["pc", "op", "delta", "attributed to"]);
+        for d in ranked.iter().take(top) {
+            let moved: Vec<String> = d
+                .classes
+                .iter()
+                .map(|&(n, v)| format!("{n} {v:+}"))
+                .collect();
+            t.row(vec![
+                format!("@{}", d.pc),
+                d.op.clone(),
+                format!("{:+}", d.delta),
+                moved.join(", "),
+            ]);
+        }
+        println!("{}", t.render());
+        println!(
+            "{} [{}]: {} cycles -> {}, {:+} attributed SM-cycles across {} changed \
+             instruction(s){}",
+            old.kernel,
+            old.arch,
+            old.cycles,
+            new.cycles,
+            total,
+            ranked.len(),
+            if ranked.len() > top {
+                format!(" (top {top} shown)")
+            } else {
+                String::new()
+            }
+        );
+    }
+    if o.assert_zero && !ranked.is_empty() {
+        eprintln!("vtdiff: --assert-zero: the profiles differ");
+        return Ok(false);
+    }
+    Ok(true)
+}
+
 fn run(o: &Opts) -> Result<bool, String> {
+    if o.pc {
+        return run_pc(o);
+    }
+    let top = o.top.unwrap_or(3);
     let old = record::load(&o.old)?;
     let new = record::load(&o.new)?;
     let (fp_old, fp_new) = (record::fingerprint(&old)?, record::fingerprint(&new)?);
@@ -240,7 +346,7 @@ fn run(o: &Opts) -> Result<bool, String> {
     if o.json {
         println!("{}", diff_json(&diffs).pretty());
     } else {
-        println!("{}", render_table(&diffs, o.top));
+        println!("{}", render_table(&diffs, top));
         let changed: Vec<&KernelDiff> = diffs.iter().filter(|d| d.changed()).collect();
         if changed.is_empty() {
             println!("no CPI-stack difference: the runs are cycle-identical");
@@ -250,7 +356,7 @@ fn run(o: &Opts) -> Result<bool, String> {
             let moved: Vec<String> = agg
                 .iter()
                 .filter(|&&(_, v)| v != 0)
-                .take(o.top)
+                .take(top)
                 .map(|&(b, v)| format!("{b} {v:+}"))
                 .collect();
             println!(
@@ -269,20 +375,9 @@ fn run(o: &Opts) -> Result<bool, String> {
 }
 
 fn main() -> ExitCode {
-    let opts = match parse_args() {
-        Ok(Some(o)) => o,
-        Ok(None) => return ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("vtdiff: {e}\n\n{USAGE}");
-            return ExitCode::from(2);
-        }
+    let opts = match cli::parsed("vtdiff", USAGE, parse_args()) {
+        Ok(o) => o,
+        Err(code) => return cli::code(code),
     };
-    match run(&opts) {
-        Ok(true) => ExitCode::SUCCESS,
-        Ok(false) => ExitCode::from(1),
-        Err(e) => {
-            eprintln!("vtdiff: {e}");
-            ExitCode::from(2)
-        }
-    }
+    cli::code(cli::finish("vtdiff", run(&opts)))
 }

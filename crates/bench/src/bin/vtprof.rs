@@ -17,7 +17,9 @@
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use vt_bench::cli;
 use vt_bench::cpi::{stack_report, CpiRecord};
+use vt_bench::hotspot::{self, ProfileRecord};
 use vt_core::{Architecture, GpuConfig, MemSwapParams, RunRequest, Session};
 use vt_json::Json;
 use vt_trace::{
@@ -52,9 +54,26 @@ options:
                                      stack (fig08-style): per bucket the
                                      CPI contribution, share of SM-cycles
                                      and a proportional bar
+  --profile                          per-PC hotspot profiling: write a
+                                     <kernel>.<arch>.hotspots.json record
+                                     (instruction-level CPI attribution,
+                                     memory latency, coalescing width,
+                                     divergence) next to the trace
+  --annotate                         print a perf-annotate-style listing
+                                     (disassembly + per-line CPI mini-stack
+                                     + observed-vs-static coalescing);
+                                     implies --profile
+  --flame                            write collapsed-stack flamegraph text
+                                     (<kernel>.<arch>.collapsed.txt) and a
+                                     per-PC Perfetto counter-track trace
+                                     (<kernel>.<arch>.pcs.trace.json);
+                                     implies --profile
   --json                             machine-readable metrics on stdout
   --list                             list suite kernel names and exit
-  -h, --help                         this help";
+  -h, --help                         this help
+
+exit codes: 0 success, 1 a --check validation failed, 2 usage or
+simulation error";
 
 struct Opts {
     kernels: Vec<String>,
@@ -67,6 +86,9 @@ struct Opts {
     window: u64,
     check: bool,
     cpi: bool,
+    profile: bool,
+    annotate: bool,
+    flame: bool,
     json: bool,
 }
 
@@ -82,6 +104,9 @@ fn parse_args() -> Result<Option<Opts>, String> {
         window: 512,
         check: false,
         cpi: false,
+        profile: false,
+        annotate: false,
+        flame: false,
         json: false,
     };
     let mut args = std::env::args().skip(1);
@@ -96,6 +121,15 @@ fn parse_args() -> Result<Option<Opts>, String> {
             "--list" => list = true,
             "--check" => o.check = true,
             "--cpi" => o.cpi = true,
+            "--profile" => o.profile = true,
+            "--annotate" => {
+                o.profile = true;
+                o.annotate = true;
+            }
+            "--flame" => {
+                o.profile = true;
+                o.flame = true;
+            }
             "--json" => o.json = true,
             "--arch" => {
                 o.arch = match value("--arch")?.as_str() {
@@ -225,6 +259,9 @@ fn profile_one(
     if opts.metrics.is_some() {
         cfg.core.metrics_window = Some(opts.window);
     }
+    if opts.profile {
+        cfg.core.profile = true;
+    }
     let mut session = Session::new(cfg).with_sink(RingSink::new(opts.ring));
     let report = session
         .run(RunRequest::kernel(&w.kernel))
@@ -276,6 +313,45 @@ fn profile_one(
         _ => None,
     };
 
+    // Per-PC hotspot profile: the record itself, plus its annotate /
+    // flamegraph renderings when asked for.
+    let hotspot_rec = if opts.profile {
+        let rec = ProfileRecord::from_run(
+            w.name,
+            report.arch.label(),
+            w.kernel.program(),
+            &report.stats,
+        )
+        .map_err(|e| format!("{}: {e}", w.name))?;
+        rec.check_conservation()
+            .map_err(|e| format!("{}: per-PC conservation violated: {e}", w.name))?;
+        let path = opts
+            .out
+            .join(format!("{}.{}.hotspots.json", w.name, report.arch.label()));
+        fs::write(&path, rec.to_json().pretty())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        Some((rec, path))
+    } else {
+        None
+    };
+    let flame_paths = match (&hotspot_rec, opts.flame) {
+        (Some((rec, _)), true) => {
+            let leaders = hotspot::block_leaders(w.kernel.program());
+            let collapsed =
+                opts.out
+                    .join(format!("{}.{}.collapsed.txt", w.name, report.arch.label()));
+            fs::write(&collapsed, hotspot::flame_collapsed(rec, &leaders))
+                .map_err(|e| format!("cannot write {}: {e}", collapsed.display()))?;
+            let perfetto =
+                opts.out
+                    .join(format!("{}.{}.pcs.trace.json", w.name, report.arch.label()));
+            fs::write(&perfetto, hotspot::flame_perfetto(rec).compact())
+                .map_err(|e| format!("cannot write {}: {e}", perfetto.display()))?;
+            Some((collapsed, perfetto))
+        }
+        _ => None,
+    };
+
     let s = &report.stats;
     let metrics = Json::object(vec![
         ("kernel".into(), Json::Str(w.name.to_string())),
@@ -312,6 +388,12 @@ fn profile_one(
             Json::Array(issues.iter().cloned().map(Json::Str).collect()),
         ),
         ("trace".into(), Json::Str(path.display().to_string())),
+        (
+            "hotspots".into(),
+            hotspot_rec
+                .as_ref()
+                .map_or(Json::Null, |(_, p)| Json::Str(p.display().to_string())),
+        ),
     ]);
 
     if !opts.json {
@@ -356,6 +438,28 @@ fn profile_one(
                 p.display()
             );
         }
+        if let Some((rec, p)) = &hotspot_rec {
+            println!(
+                "  {:<18} {} PCs -> {}",
+                "hotspots",
+                rec.pcs.len(),
+                p.display()
+            );
+            if opts.annotate {
+                let model = vt_analysis::model(&w.kernel, &vt_analysis::ModelConfig::default());
+                for line in hotspot::annotate(rec, &model.mem_sites, 24).lines() {
+                    println!("  {line}");
+                }
+            }
+        }
+        if let Some((collapsed, perfetto)) = &flame_paths {
+            println!(
+                "  {:<18} {} + {}",
+                "flame",
+                collapsed.display(),
+                perfetto.display()
+            );
+        }
         if dropped > 0 {
             println!("  WARNING: ring overflow, {dropped} events dropped (raise --ring)");
         }
@@ -373,21 +477,14 @@ fn profile_one(
 }
 
 fn main() -> ExitCode {
-    let opts = match parse_args() {
-        Ok(Some(o)) => o,
-        Ok(None) => return ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("vtprof: {e}\n\n{USAGE}");
-            return ExitCode::from(2);
-        }
+    let opts = match cli::parsed("vtprof", USAGE, parse_args()) {
+        Ok(o) => o,
+        Err(code) => return cli::code(code),
     };
     let all = suite(&opts.scale);
     let picked = match select(&all, &opts.kernels) {
         Ok(p) => p,
-        Err(e) => {
-            eprintln!("vtprof: {e}");
-            return ExitCode::from(2);
-        }
+        Err(e) => return cli::code(cli::fail("vtprof", &e)),
     };
     let mut cfg = GpuConfig::with_arch(opts.arch);
     if let Some(sms) = opts.sms {
@@ -402,10 +499,7 @@ fn main() -> ExitCode {
                 failed |= out.check_failed;
                 records.push(out.metrics);
             }
-            Err(e) => {
-                eprintln!("vtprof: {e}");
-                return ExitCode::from(2);
-            }
+            Err(e) => return cli::code(cli::fail("vtprof", &e)),
         }
     }
     if opts.json {
@@ -413,7 +507,6 @@ fn main() -> ExitCode {
     }
     if failed {
         eprintln!("vtprof: --check failed");
-        return ExitCode::from(1);
     }
-    ExitCode::SUCCESS
+    cli::code(cli::finish("vtprof", Ok(!failed)))
 }

@@ -32,6 +32,7 @@ use std::process::ExitCode;
 use std::rc::Rc;
 use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+use vt_bench::cli;
 use vt_core::{
     default_threads, Architecture, CancelToken, Checkpoint, GpuConfig, MemSwapParams, Pool,
     Progress, Report, RunBudget, RunRequest, RunStats, Session, SessionOutcome, SimError,
@@ -497,32 +498,27 @@ fn cell_json(cell: &Cell) -> Json {
 }
 
 fn main() -> ExitCode {
-    let opts = match parse_args() {
-        Ok(Some(o)) => o,
-        Ok(None) => return ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("vtsweep: {e}\n\n{USAGE}");
-            return ExitCode::from(2);
-        }
+    let opts = match cli::parsed("vtsweep", USAGE, parse_args()) {
+        Ok(o) => o,
+        Err(code) => return cli::code(code),
     };
     let all = suite(&opts.scale);
     let picked = match select(&all, &opts.kernels) {
         Ok(p) => p,
-        Err(e) => {
-            eprintln!("vtsweep: {e}");
-            return ExitCode::from(2);
-        }
+        Err(e) => return cli::code(cli::fail("vtsweep", &e)),
     };
     if (opts.checkpoint.is_some() || opts.resume.is_some())
         && (picked.len() != 1 || opts.archs.len() != 1)
     {
-        eprintln!(
-            "vtsweep: --checkpoint/--resume need exactly one kernel and one \
-             --arch (got {} kernel(s), {} arch(s))",
-            picked.len(),
-            opts.archs.len()
-        );
-        return ExitCode::from(2);
+        return cli::code(cli::fail(
+            "vtsweep",
+            &format!(
+                "--checkpoint/--resume need exactly one kernel and one \
+                 --arch (got {} kernel(s), {} arch(s))",
+                picked.len(),
+                opts.archs.len()
+            ),
+        ));
     }
     let resume = match &opts.resume {
         Some(path) => {
@@ -531,10 +527,7 @@ fn main() -> ExitCode {
                 .and_then(|text| Checkpoint::parse(&text).map_err(|e| format!("{path}: {e}")));
             match parsed {
                 Ok(c) => Some(c),
-                Err(e) => {
-                    eprintln!("vtsweep: --resume {e}");
-                    return ExitCode::from(2);
-                }
+                Err(e) => return cli::code(cli::fail("vtsweep", &format!("--resume {e}"))),
             }
         }
         None => None,
@@ -608,7 +601,7 @@ fn main() -> ExitCode {
         }
     }
     if sim_failed {
-        return ExitCode::from(2);
+        return cli::code(cli::EXIT_ERROR);
     }
     if opts.json {
         println!("{}", Json::Array(records).pretty());
@@ -656,7 +649,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "vtsweep: --check failed: {mismatches} cell(s) diverge from the sequential run"
             );
-            return ExitCode::from(1);
+            return cli::code(cli::EXIT_FINDING);
         }
         println!(
             "check: ok ({} cells bit-identical at {} thread(s))",
@@ -665,7 +658,10 @@ fn main() -> ExitCode {
         );
     }
     if cancelled {
+        // Extension to the shared contract: interrupted sweeps report the
+        // conventional SIGINT code so shells can distinguish a Ctrl-C'd
+        // (checkpointed) sweep from a finished or failed one.
         return ExitCode::from(130);
     }
-    ExitCode::SUCCESS
+    cli::code(cli::EXIT_OK)
 }

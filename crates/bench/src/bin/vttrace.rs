@@ -22,6 +22,7 @@
 //! replay error.
 
 use std::process::ExitCode;
+use vt_bench::cli;
 use vt_core::{Architecture, GpuConfig, MemSwapParams, Pool, Report, RunRequest, Session};
 use vt_traces::parse_file;
 
@@ -187,28 +188,13 @@ fn run(file: &str, o: &Opts) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let opts = match parse_args() {
-        Ok(Some(o)) => o,
-        Ok(None) => return ExitCode::SUCCESS,
-        Err(e) => {
-            eprintln!("vttrace: {e}\n\n{USAGE}");
-            return ExitCode::from(2);
-        }
+    let opts = match cli::parsed("vttrace", USAGE, parse_args()) {
+        Ok(o) => o,
+        Err(code) => return cli::code(code),
     };
-    match &opts.mode {
-        Mode::Check(files) => {
-            if check(files) {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
-            }
-        }
-        Mode::Run(file) => match run(file, &opts) {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("vttrace: {e}");
-                ExitCode::from(2)
-            }
-        },
-    }
+    let result = match &opts.mode {
+        Mode::Check(files) => Ok(check(files)),
+        Mode::Run(file) => run(file, &opts).map(|()| true),
+    };
+    cli::code(cli::finish("vttrace", result))
 }

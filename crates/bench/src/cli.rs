@@ -1,0 +1,96 @@
+//! The exit-code contract shared by every vt-bench binary.
+//!
+//! All five CLIs (`vtprof`, `vtdiff`, `vtbench`, `vtsweep`, `vttrace`)
+//! speak the same three codes:
+//!
+//! * **0** — success; the tool did what was asked and found nothing
+//!   wrong.
+//! * **1** — a *finding*: the tool ran correctly but what it was asked
+//!   to check failed (a `--check` mismatch, a regression gate trip, a
+//!   rejected trace, a nonzero `--assert-zero` diff).
+//! * **2** — a usage error or an operational failure (bad flags,
+//!   unreadable files, a simulation error).
+//!
+//! `vtsweep` additionally exits 130 when Ctrl-C cancels a run, matching
+//! shell convention; everything else goes through the helpers here so
+//! the contract cannot drift per binary. Helpers return the raw `u8`
+//! (testable; [`ExitCode`] has no `PartialEq`) and `main` wraps it with
+//! [`code`].
+
+use std::process::ExitCode;
+
+/// Exit code for success.
+pub const EXIT_OK: u8 = 0;
+/// Exit code for a finding: the requested check failed.
+pub const EXIT_FINDING: u8 = 1;
+/// Exit code for usage or operational errors.
+pub const EXIT_ERROR: u8 = 2;
+
+/// Converts a contract code to the [`ExitCode`] `main` returns.
+pub fn code(c: u8) -> ExitCode {
+    ExitCode::from(c)
+}
+
+/// Resolves a `parse_args`-style result: `Ok(Some(opts))` continues,
+/// `Ok(None)` means help/list was printed (exit 0), `Err` prints the
+/// message plus usage to stderr and exits 2.
+///
+/// # Errors
+///
+/// The `Err` arm carries the exit code `main` should return.
+pub fn parsed<T>(tool: &str, usage: &str, parsed: Result<Option<T>, String>) -> Result<T, u8> {
+    match parsed {
+        Ok(Some(o)) => Ok(o),
+        Ok(None) => Err(EXIT_OK),
+        Err(e) => {
+            eprintln!("{tool}: {e}\n\n{usage}");
+            Err(EXIT_ERROR)
+        }
+    }
+}
+
+/// Reports an operational error to stderr and yields exit code 2.
+pub fn fail(tool: &str, msg: &str) -> u8 {
+    eprintln!("{tool}: {msg}");
+    EXIT_ERROR
+}
+
+/// Maps a tool's outcome to the contract: `Ok(true)` → 0, `Ok(false)`
+/// (a finding) → 1, `Err` → message on stderr and 2.
+pub fn finish(tool: &str, result: Result<bool, String>) -> u8 {
+    match result {
+        Ok(true) => EXIT_OK,
+        Ok(false) => EXIT_FINDING,
+        Err(e) => fail(tool, &e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parsed_passes_options_through() {
+        assert_eq!(parsed("t", "u", Ok(Some(7))).unwrap(), 7);
+    }
+
+    #[test]
+    fn parsed_maps_help_to_success() {
+        assert_eq!(parsed::<u32>("t", "u", Ok(None)).unwrap_err(), EXIT_OK);
+    }
+
+    #[test]
+    fn parsed_maps_usage_errors_to_two() {
+        assert_eq!(
+            parsed::<u32>("t", "u", Err("bad flag".into())).unwrap_err(),
+            EXIT_ERROR
+        );
+    }
+
+    #[test]
+    fn finish_covers_the_three_codes() {
+        assert_eq!(finish("t", Ok(true)), EXIT_OK);
+        assert_eq!(finish("t", Ok(false)), EXIT_FINDING);
+        assert_eq!(finish("t", Err("boom".into())), EXIT_ERROR);
+    }
+}

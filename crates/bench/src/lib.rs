@@ -12,7 +12,9 @@
 //! ```
 #![forbid(unsafe_code)]
 
+pub mod cli;
 pub mod cpi;
+pub mod hotspot;
 pub mod record;
 
 use std::fs;

@@ -1,0 +1,183 @@
+//! Exit-code contract tests for the five vt-bench binaries.
+//!
+//! The shared contract (implemented by `vt_bench::cli`, documented in
+//! each binary's module docs):
+//!
+//! * exit 0 — success (including `--help`);
+//! * exit 1 — the tool ran and reported a finding (`--check` rejection,
+//!   `--assert-zero` violation, validation failure);
+//! * exit 2 — usage, I/O or simulation problems.
+//!
+//! `vtsweep` additionally exits 130 when interrupted, which is not
+//! exercised here (it needs a live SIGINT).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use vt_bench::cpi::CpiRecord;
+use vt_bench::hotspot::{PcEntry, ProfileRecord};
+
+fn run(bin: &str, args: &[&str]) -> Output {
+    let exe = match bin {
+        "vtprof" => env!("CARGO_BIN_EXE_vtprof"),
+        "vtdiff" => env!("CARGO_BIN_EXE_vtdiff"),
+        "vtbench" => env!("CARGO_BIN_EXE_vtbench"),
+        "vtsweep" => env!("CARGO_BIN_EXE_vtsweep"),
+        "vttrace" => env!("CARGO_BIN_EXE_vttrace"),
+        other => panic!("unknown binary {other}"),
+    };
+    Command::new(exe)
+        .args(args)
+        .output()
+        .unwrap_or_else(|e| panic!("spawn {bin}: {e}"))
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("binary terminated by signal")
+}
+
+const ALL_BINS: [&str; 5] = ["vtprof", "vtdiff", "vtbench", "vtsweep", "vttrace"];
+
+/// `--help` prints usage on stdout and exits 0, for every binary.
+#[test]
+fn help_exits_zero_everywhere() {
+    for bin in ALL_BINS {
+        let out = run(bin, &["--help"]);
+        assert_eq!(code(&out), 0, "{bin} --help");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage:"), "{bin}: no usage text:\n{stdout}");
+    }
+}
+
+/// An unknown flag is a usage error (exit 2) with the usage text on
+/// stderr, for every binary.
+#[test]
+fn unknown_flags_exit_two_everywhere() {
+    for bin in ALL_BINS {
+        let out = run(bin, &["--definitely-not-a-flag"]);
+        assert_eq!(code(&out), 2, "{bin} --definitely-not-a-flag");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains(bin) && stderr.contains("usage:"),
+            "{bin}: diagnostic must name the tool and repeat usage:\n{stderr}"
+        );
+    }
+}
+
+/// Cheap per-binary usage/I-O error paths beyond the unknown-flag case.
+#[test]
+fn io_and_validation_problems_exit_two() {
+    // Unknown kernel selections.
+    let out = run("vtprof", &["no-such-kernel"]);
+    assert_eq!(code(&out), 2, "vtprof unknown kernel");
+    let out = run("vtsweep", &["no-such-kernel"]);
+    assert_eq!(code(&out), 2, "vtsweep unknown kernel");
+
+    // vtsweep's checkpoint/resume shape validation fires before any
+    // simulation work.
+    let out = run("vtsweep", &["--checkpoint", "/tmp/x.ckpt"]);
+    assert_eq!(code(&out), 2, "vtsweep --checkpoint needs one kernel/arch");
+
+    // Missing input files.
+    let out = run("vtdiff", &["/nonexistent/a.json", "/nonexistent/b.json"]);
+    assert_eq!(code(&out), 2, "vtdiff missing records");
+    let out = run("vttrace", &["--run", "/nonexistent/x.trace"]);
+    assert_eq!(code(&out), 2, "vttrace missing trace");
+
+    // vtbench rejects a fig-bin directory that does not exist only via
+    // env; its remaining cheap error is a malformed flag value.
+    let out = run("vtbench", &["--sms", "zero"]);
+    assert_eq!(code(&out), 2, "vtbench bad --sms value");
+}
+
+/// `vttrace --check` on a rejected file is a finding: exit 1, with a
+/// per-file diagnostic rather than a crash.
+#[test]
+fn vttrace_check_rejection_is_a_finding() {
+    let bad = fixture("garbage.trace", "this is not a trace\n");
+    let out = run("vttrace", &["--check", bad.to_str().unwrap()]);
+    assert_eq!(code(&out), 1, "rejected trace must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REJECTED"), "{stdout}");
+    std::fs::remove_file(bad).ok();
+}
+
+/// `vtprof --list` succeeds without running any simulation.
+#[test]
+fn vtprof_list_exits_zero() {
+    let out = run("vtprof", &["--list"]);
+    assert_eq!(code(&out), 0);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("bfs"), "{stdout}");
+}
+
+fn fixture(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("vt-cli-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).expect("write fixture");
+    path
+}
+
+/// A tiny conserving profile record: 2 PCs, memory stalls only, one
+/// unattributed memory cycle.
+fn toy_record(ld_issued: u64, ld_stall: u64) -> ProfileRecord {
+    let entry = |pc: usize, op: &str, issued: u64, mem_stall: u64| PcEntry {
+        pc,
+        op: op.to_string(),
+        issued,
+        warp_issues: issued,
+        thread_instrs: issued * 32,
+        stalls: [mem_stall, 0, 0, 0, 0],
+        mem: None,
+        coalesce: None,
+        smem: None,
+        branches: 0,
+        divergent: 0,
+    };
+    let pcs = vec![
+        entry(0, "ld.g r1, [r0+0]", ld_issued, ld_stall),
+        entry(1, "exit", 4, 0),
+    ];
+    let unattributed = [1, 0, 0, 0, 0];
+    let cpi = CpiRecord {
+        buckets: [ld_issued + 4, ld_stall + 1, 0, 0, 0, 0, 0, 0, 2],
+    };
+    let rec = ProfileRecord {
+        kernel: "toy".to_string(),
+        arch: "vt".to_string(),
+        cycles: cpi.total() / 2,
+        thread_instrs: (ld_issued + 4) * 32,
+        cpi,
+        pcs,
+        unattributed,
+    };
+    rec.check_conservation().expect("toy record conserves");
+    rec
+}
+
+/// `vtdiff --pc` exits 0 on identical records, and `--assert-zero`
+/// turns any per-PC delta into a finding (exit 1).
+#[test]
+fn vtdiff_pc_assert_zero_contract() {
+    let old = fixture("old.hotspots.json", &toy_record(10, 3).to_json().pretty());
+    let new = fixture("new.hotspots.json", &toy_record(14, 9).to_json().pretty());
+    let old_path = old.to_str().unwrap();
+    let new_path = new.to_str().unwrap();
+
+    let out = run("vtdiff", &["--pc", old_path, old_path, "--assert-zero"]);
+    assert_eq!(
+        code(&out),
+        0,
+        "identical records: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = run("vtdiff", &["--pc", old_path, new_path]);
+    assert_eq!(code(&out), 0, "reporting deltas alone is not a finding");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ld.g"), "{stdout}");
+
+    let out = run("vtdiff", &["--pc", old_path, new_path, "--assert-zero"]);
+    assert_eq!(code(&out), 1, "--assert-zero with deltas must exit 1");
+
+    std::fs::remove_file(old).ok();
+    std::fs::remove_file(new).ok();
+}

@@ -68,7 +68,7 @@ pub use session::{RunRequest, Session, SessionOutcome};
 // The analysis types figures are built from.
 pub use vt_sim::{
     occupancy, CoreConfig, CpiStack, EmptyBreakdown, IdleBreakdown, Limiter, OccupancyAnalysis,
-    RunStats, SchedPolicy, SimError, SwapTrigger,
+    PcCounters, PcProfile, RunStats, SchedPolicy, SimError, StallReason, SwapTrigger,
 };
 
 // Execution control (budgets, cancellation, checkpoint/resume) and

@@ -415,4 +415,33 @@ mod tests {
             "progress observation must not perturb the simulation"
         );
     }
+
+    #[test]
+    fn profile_flag_rides_session_reports() {
+        let kernel = bump_kernel();
+        let mut cfg = GpuConfig::with_arch(Architecture::virtual_thread());
+        cfg.core.num_sms = 2;
+
+        let plain = Session::new(cfg.clone())
+            .run(RunRequest::kernel(&kernel))
+            .expect("plain run")
+            .completed()
+            .expect("no budget");
+        assert!(plain[0].stats.hotspots.is_none(), "profiling is opt-in");
+
+        cfg.core.profile = true;
+        let profiled = Session::new(cfg)
+            .run(RunRequest::kernel(&kernel))
+            .expect("profiled run")
+            .completed()
+            .expect("no budget");
+        let h = profiled[0]
+            .stats
+            .hotspots
+            .as_ref()
+            .expect("profiled session reports per-PC hotspots");
+        assert_eq!(h.len(), kernel.program().len());
+        assert_eq!(h.issued_total(), plain[0].stats.cpi_stack().issued);
+        assert_eq!(plain[0].stats.cycles, profiled[0].stats.cycles);
+    }
 }

@@ -54,6 +54,10 @@ pub struct CoreConfig {
     /// (`None` disables the sampler entirely; see
     /// `vt_trace::metrics::DEFAULT_WINDOW` for the conventional value).
     pub metrics_window: Option<u64>,
+    /// Collect the per-PC hotspot profile
+    /// (`crate::hotspots::PcProfile`). Off by default; disabled runs
+    /// compile the profiling path out entirely and stay bit-identical.
+    pub profile: bool,
 }
 
 impl Default for CoreConfig {
@@ -83,6 +87,7 @@ impl CoreConfig {
             ldst_queue_depth: 8,
             max_cycles: 200_000_000,
             metrics_window: None,
+            profile: false,
         }
     }
 }

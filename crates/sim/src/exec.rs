@@ -204,8 +204,10 @@ impl std::fmt::Debug for ProgressHook<'_> {
 /// Serialization format version written into checkpoints. Version 2
 /// added the `metrics` registry snapshot (replacing the occupancy
 /// timeline of version 1); version 3 added the `empty` sub-split of
-/// `idle.no_warps` to every stats block (CPI-stack attribution).
-pub const CHECKPOINT_VERSION: u64 = 3;
+/// `idle.no_warps` to every stats block (CPI-stack attribution);
+/// version 4 added the per-PC `hotspots` profile to every stats block
+/// and issue-site PC/cycle tags to the LD/ST unit's in-flight state.
+pub const CHECKPOINT_VERSION: u64 = 4;
 
 /// A serialized simulator state: every SM (schedulers, SIMT stacks,
 /// scoreboards, CTA residency and swap state, LD/ST unit), the memory
@@ -321,7 +323,7 @@ mod tests {
             Err(SimError::Checkpoint { .. })
         ));
         assert!(matches!(
-            Checkpoint::parse("{\"version\": 3}"),
+            Checkpoint::parse("{\"version\": 4}"),
             Err(SimError::Checkpoint { .. }),
         ));
     }

@@ -8,6 +8,7 @@ use crate::exec::{
     CancelToken, Checkpoint, Progress, ProgressHook, RunBudget, RunOutcome, StopReason, Truncation,
     CHECKPOINT_VERSION,
 };
+use crate::hotspots::PcProfile;
 use crate::metrics::MetricsSampler;
 use crate::sm::{EmptyAttr, Sm};
 use crate::stats::RunStats;
@@ -175,8 +176,9 @@ struct SmLane {
 /// Advances one SM by one cycle against its private memory front.
 /// Functional global-memory effects are deferred inside the SM and trace
 /// events are buffered in the lane; both are drained by the merge phase.
+/// `PROFILED` monomorphizes the per-PC hotspot recording in or out.
 #[allow(clippy::too_many_arguments)]
-fn tick_lane(
+fn tick_lane<const PROFILED: bool>(
     lane: &mut SmLane,
     front: &mut SmFront,
     cycle: u64,
@@ -187,7 +189,7 @@ fn tick_lane(
     attr: EmptyAttr,
 ) {
     let r = if trace {
-        lane.sm.tick_phase(
+        lane.sm.tick_phase::<_, PROFILED>(
             cycle,
             kernel,
             core,
@@ -198,7 +200,7 @@ fn tick_lane(
             attr,
         )
     } else {
-        lane.sm.tick_phase(
+        lane.sm.tick_phase::<_, PROFILED>(
             cycle,
             kernel,
             core,
@@ -224,6 +226,14 @@ impl<'k> GpuSim<'k> {
     pub fn new(cfg: &SimConfig, kernel: &'k Kernel) -> Result<GpuSim<'k>, SimError> {
         check_launchable(&cfg.core, kernel)?;
         let num_sms = cfg.core.num_sms.max(1) as usize;
+        // When profiling is on, every lane gets a per-PC profile sized to
+        // the program (merged in SM order at the epilogue), and the
+        // global block gets an empty one so resumed runs can tell the
+        // setting apart from an unprofiled checkpoint.
+        let profile = cfg
+            .core
+            .profile
+            .then(|| PcProfile::new(kernel.program().len()));
         Ok(GpuSim {
             kernel,
             cfg: cfg.clone(),
@@ -232,7 +242,10 @@ impl<'k> GpuSim<'k> {
             lanes: (0..num_sms)
                 .map(|i| SmLane {
                     sm: Sm::new(i, &cfg.core, cfg.mem.line_bytes),
-                    stats: RunStats::default(),
+                    stats: RunStats {
+                        hotspots: profile.clone(),
+                        ..RunStats::default()
+                    },
                     events: Vec::new(),
                     err: None,
                 })
@@ -240,7 +253,10 @@ impl<'k> GpuSim<'k> {
             next_cta: 0,
             dispatch_ptr: 0,
             sched_limited: scheduling_limited(cfg, kernel),
-            stats: RunStats::default(),
+            stats: RunStats {
+                hotspots: profile,
+                ..RunStats::default()
+            },
             cycle: 0,
             sampler: cfg
                 .core
@@ -368,16 +384,26 @@ impl<'k> GpuSim<'k> {
         cancel: Option<&CancelToken>,
         progress: Option<ProgressHook<'_>>,
     ) -> Result<RunOutcome, SimError> {
-        // Metering is monomorphized out exactly like tracing: the
-        // unmetered instantiation contains no sampler code at all.
-        if self.sampler.is_some() {
-            self.execute_inner::<S, true>(pool, sink, budget, cancel, progress)
-        } else {
-            self.execute_inner::<S, false>(pool, sink, budget, cancel, progress)
+        // Metering and profiling are monomorphized out exactly like
+        // tracing: the unmetered/unprofiled instantiations contain no
+        // sampler or per-PC recording code at all.
+        match (self.sampler.is_some(), self.cfg.core.profile) {
+            (true, true) => {
+                self.execute_inner::<S, true, true>(pool, sink, budget, cancel, progress)
+            }
+            (true, false) => {
+                self.execute_inner::<S, true, false>(pool, sink, budget, cancel, progress)
+            }
+            (false, true) => {
+                self.execute_inner::<S, false, true>(pool, sink, budget, cancel, progress)
+            }
+            (false, false) => {
+                self.execute_inner::<S, false, false>(pool, sink, budget, cancel, progress)
+            }
         }
     }
 
-    fn execute_inner<S: TraceSink, const METERED: bool>(
+    fn execute_inner<S: TraceSink, const METERED: bool, const PROFILED: bool>(
         mut self,
         pool: Option<&Pool>,
         sink: &mut S,
@@ -472,11 +498,11 @@ impl<'k> GpuSim<'k> {
                 let core = &self.cfg.core;
                 let res = &self.cfg.residency;
                 pool.run_pairs(&mut self.lanes, self.mem.fronts_mut(), &|_, lane, front| {
-                    tick_lane(lane, front, cycle, S::ENABLED, kernel, core, res, attr);
+                    tick_lane::<PROFILED>(lane, front, cycle, S::ENABLED, kernel, core, res, attr);
                 });
             } else {
                 for (lane, front) in self.lanes.iter_mut().zip(self.mem.fronts_mut()) {
-                    tick_lane(
+                    tick_lane::<PROFILED>(
                         lane,
                         front,
                         cycle,
@@ -715,6 +741,30 @@ impl<'k> GpuSim<'k> {
                 Some(MetricsSampler::from_registry(registry, num_sms).map_err(bad)?)
             }
         };
+        // The profiling setting must agree too: a stitched per-PC profile
+        // is only exact when collection was continuous across the cut.
+        let stats = RunStats::restore(req(v, "stats").map_err(bad)?).map_err(bad)?;
+        match (cfg.core.profile, &stats.hotspots) {
+            (true, None) => {
+                return Err(bad(
+                    "config enables profiling but the checkpoint was taken unprofiled".to_string(),
+                ));
+            }
+            (false, Some(_)) => {
+                return Err(bad(
+                    "checkpoint was taken with profiling enabled but the config disables it"
+                        .to_string(),
+                ));
+            }
+            (true, Some(h)) if h.len() != kernel.program().len() => {
+                return Err(bad(format!(
+                    "checkpoint profile covers {} PCs, kernel has {}",
+                    h.len(),
+                    kernel.program().len()
+                )));
+            }
+            _ => {}
+        }
         Ok(GpuSim {
             kernel,
             cfg: cfg.clone(),
@@ -724,7 +774,7 @@ impl<'k> GpuSim<'k> {
             next_cta: req_u64(v, "next_cta").map_err(bad)? as u32,
             dispatch_ptr: req_u64(v, "dispatch_ptr").map_err(bad)? as usize,
             sched_limited: scheduling_limited(cfg, kernel),
-            stats: RunStats::restore(req(v, "stats").map_err(bad)?).map_err(bad)?,
+            stats,
             cycle: req_u64(v, "cycle").map_err(bad)?,
             sampler,
         })
@@ -1154,6 +1204,113 @@ mod tests {
             GpuSim::resume(&metered, &k, &t.checkpoint),
             Err(SimError::Checkpoint { .. })
         ));
+    }
+
+    #[test]
+    fn profiling_is_opt_in_and_conserves() {
+        let k = streaming_kernel(8, 64);
+        let off = simulate(&small_cfg(), &k).unwrap();
+        assert!(off.stats.hotspots.is_none(), "disabled by default");
+
+        let mut cfg = small_cfg();
+        cfg.core.profile = true;
+        let on = simulate(&cfg, &k).unwrap();
+        let h = on.stats.hotspots.as_ref().expect("profiling enabled");
+        assert_eq!(h.len(), k.program().len());
+        // Conservation: per-PC issue tallies sum exactly to the issued
+        // bucket, and per-PC stall charges plus the unattributed
+        // remainder sum exactly to each stall bucket of the CPI stack.
+        let stack = on.stats.cpi_stack();
+        assert_eq!(h.issued_total(), stack.issued);
+        use crate::hotspots::StallReason;
+        for (r, bucket) in [
+            (StallReason::Memory, stack.stall_memory),
+            (StallReason::Pipeline, stack.stall_pipeline),
+            (StallReason::Barrier, stack.stall_barrier),
+            (StallReason::Swap, stack.stall_swap),
+            (StallReason::Structural, stack.stall_structural),
+        ] {
+            assert_eq!(
+                h.stall_total(r) + h.unattributed[r.index()],
+                bucket,
+                "{} conserves",
+                r.name()
+            );
+        }
+        // A streaming kernel's load PC observes latency and coalescing.
+        assert!(h.counters().iter().any(|c| c.mem_accesses > 0));
+        assert!(h.counters().iter().any(|c| c.mem_latency.count > 0));
+        // Profiling never perturbs the simulation itself.
+        let mut unprofiled = on.stats.clone();
+        unprofiled.hotspots = None;
+        assert_eq!(unprofiled, off.stats);
+        assert_eq!(on.mem_image.as_words(), off.mem_image.as_words());
+    }
+
+    #[test]
+    fn profiled_resume_rejects_mismatches() {
+        let k = streaming_kernel(16, 64);
+        let mut profiled = small_cfg();
+        profiled.core.profile = true;
+        let out = GpuSim::new(&profiled, &k)
+            .unwrap()
+            .execute(
+                None,
+                &mut NullSink,
+                &RunBudget::unlimited().with_max_cycles(100),
+                None,
+            )
+            .unwrap();
+        let RunOutcome::Truncated(t) = out else {
+            panic!("expected truncation");
+        };
+        // Resuming unprofiled is rejected...
+        assert!(matches!(
+            GpuSim::resume(&small_cfg(), &k, &t.checkpoint),
+            Err(SimError::Checkpoint { .. })
+        ));
+        // ...and an unprofiled checkpoint refuses a profiled resume.
+        let out = GpuSim::new(&small_cfg(), &k)
+            .unwrap()
+            .execute(
+                None,
+                &mut NullSink,
+                &RunBudget::unlimited().with_max_cycles(100),
+                None,
+            )
+            .unwrap();
+        let RunOutcome::Truncated(t) = out else {
+            panic!("expected truncation");
+        };
+        assert!(matches!(
+            GpuSim::resume(&profiled, &k, &t.checkpoint),
+            Err(SimError::Checkpoint { .. })
+        ));
+    }
+
+    #[test]
+    fn profiled_resume_matches_uninterrupted_run_exactly() {
+        let k = streaming_kernel(16, 64);
+        let mut cfg = small_cfg();
+        cfg.core.profile = true;
+        let full = simulate(&cfg, &k).unwrap();
+        for cut in [1u64, 50, 300] {
+            let out = GpuSim::new(&cfg, &k)
+                .unwrap()
+                .execute(
+                    None,
+                    &mut NullSink,
+                    &RunBudget::unlimited().with_max_cycles(cut),
+                    None,
+                )
+                .unwrap();
+            let RunOutcome::Truncated(t) = out else {
+                panic!("run shorter than {cut} cycles");
+            };
+            let ckpt = Checkpoint::parse(&t.checkpoint.to_text()).unwrap();
+            let resumed = GpuSim::resume(&cfg, &k, &ckpt).unwrap().run().unwrap();
+            assert_eq!(resumed.stats, full.stats, "cut at {cut}");
+        }
     }
 
     #[test]

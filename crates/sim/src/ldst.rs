@@ -30,6 +30,10 @@ pub struct MemWork {
     pub warp_slot: usize,
     /// Uid of the issuing warp, guarding against slot reuse.
     pub warp_uid: u64,
+    /// Program counter the instruction issued from (hotspot profiling).
+    pub pc: u32,
+    /// Cycle the instruction issued at (round-trip latency attribution).
+    pub issued_at: u64,
     /// Operation body.
     pub body: MemWorkBody,
 }
@@ -76,6 +80,10 @@ pub struct LoadGroup {
     /// warp is in a *long-latency* stall, the condition the Virtual
     /// Thread swap trigger reacts to.
     pub missed: bool,
+    /// Program counter the instruction issued from (hotspot profiling).
+    pub pc: u32,
+    /// Cycle the instruction issued at (round-trip latency attribution).
+    pub issued_at: u64,
 }
 
 /// Completion record returned to the SM.
@@ -92,6 +100,11 @@ pub struct MemCompletion {
     pub was_global_load: bool,
     /// Whether the access went below the L1 (ends a long-latency stall).
     pub was_long: bool,
+    /// Program counter the instruction issued from (hotspot profiling).
+    pub pc: u32,
+    /// Cycle the instruction issued at; `now - issued_at` is the observed
+    /// round-trip latency.
+    pub issued_at: u64,
 }
 
 /// An event the LD/ST unit reports to the SM.
@@ -120,8 +133,8 @@ pub struct LdstUnit {
     next_id: u64,
     sm_id: usize,
     /// Shared loads whose rounds finished, waiting out the access latency:
-    /// (ready cycle, warp slot, warp uid, dst).
-    smem_inflight: VecDeque<(u64, usize, u64, Option<Reg>)>,
+    /// (ready cycle, warp slot, warp uid, dst, pc, issued_at).
+    smem_inflight: VecDeque<(u64, usize, u64, Option<Reg>, u32, u64)>,
 }
 
 impl LdstUnit {
@@ -161,11 +174,21 @@ impl LdstUnit {
     ///
     /// Panics if the queue is full; callers must check
     /// [`LdstUnit::has_space`] at issue.
-    pub fn push_shared(&mut self, warp_slot: usize, warp_uid: u64, rounds: u32, dst: Option<Reg>) {
+    pub fn push_shared(
+        &mut self,
+        warp_slot: usize,
+        warp_uid: u64,
+        rounds: u32,
+        dst: Option<Reg>,
+        pc: u32,
+        issued_at: u64,
+    ) {
         assert!(self.has_space(), "LD/ST queue overflow");
         self.queue.push_back(MemWork {
             warp_slot,
             warp_uid,
+            pc,
+            issued_at,
             body: MemWorkBody::Shared {
                 rounds_left: rounds.max(1),
                 dst,
@@ -180,6 +203,7 @@ impl LdstUnit {
     /// # Panics
     ///
     /// Panics if the queue is full or `lines` is empty.
+    #[allow(clippy::too_many_arguments)]
     pub fn push_global(
         &mut self,
         warp_slot: usize,
@@ -187,6 +211,8 @@ impl LdstUnit {
         lines: Vec<u64>,
         kind: ReqKind,
         dst: Option<Reg>,
+        pc: u32,
+        issued_at: u64,
     ) {
         assert!(self.has_space(), "LD/ST queue overflow");
         assert!(!lines.is_empty(), "global access with no transactions");
@@ -202,6 +228,8 @@ impl LdstUnit {
                     dst,
                     remaining: lines.len() as u32,
                     missed: false,
+                    pc,
+                    issued_at,
                 },
             );
             Some(token)
@@ -209,6 +237,8 @@ impl LdstUnit {
         self.queue.push_back(MemWork {
             warp_slot,
             warp_uid,
+            pc,
+            issued_at,
             body: MemWorkBody::Global {
                 lines,
                 submitted: 0,
@@ -243,7 +273,9 @@ impl LdstUnit {
         let mut out = Vec::new();
 
         // Shared accesses that finished their latency.
-        while let Some(&(ready, warp_slot, warp_uid, dst)) = self.smem_inflight.front() {
+        while let Some(&(ready, warp_slot, warp_uid, dst, pc, issued_at)) =
+            self.smem_inflight.front()
+        {
             if ready > now {
                 break;
             }
@@ -254,6 +286,8 @@ impl LdstUnit {
                 dst,
                 was_global_load: false,
                 was_long: false,
+                pc,
+                issued_at,
             }));
         }
 
@@ -270,6 +304,8 @@ impl LdstUnit {
                                 work.warp_slot,
                                 work.warp_uid,
                                 *dst,
+                                work.pc,
+                                work.issued_at,
                             ));
                         }
                         pop = true;
@@ -331,6 +367,8 @@ impl LdstUnit {
                     dst: g.dst,
                     was_global_load: true,
                     was_long: g.missed,
+                    pc: g.pc,
+                    issued_at: g.issued_at,
                 }));
             }
         }
@@ -373,6 +411,8 @@ impl LdstUnit {
                                 reg_json(g.dst),
                                 Json::UInt(u64::from(g.remaining)),
                                 Json::Bool(g.missed),
+                                Json::UInt(u64::from(g.pc)),
+                                Json::UInt(g.issued_at),
                             ])
                         })
                         .collect(),
@@ -396,12 +436,14 @@ impl LdstUnit {
                 Json::Array(
                     self.smem_inflight
                         .iter()
-                        .map(|&(ready, slot, uid, dst)| {
+                        .map(|&(ready, slot, uid, dst, pc, issued_at)| {
                             Json::Array(vec![
                                 Json::UInt(ready),
                                 Json::UInt(slot as u64),
                                 Json::UInt(uid),
                                 reg_json(dst),
+                                Json::UInt(u64::from(pc)),
+                                Json::UInt(issued_at),
                             ])
                         })
                         .collect(),
@@ -431,6 +473,8 @@ impl LdstUnit {
                     dst: reg_from(elem(a, 3)?)?,
                     remaining: elem_u64(a, 4)? as u32,
                     missed: elem_bool(a, 5)?,
+                    pc: elem_u64(a, 6)? as u32,
+                    issued_at: elem_u64(a, 7)?,
                 },
             );
         }
@@ -447,6 +491,8 @@ impl LdstUnit {
                 elem_u64(a, 1)? as usize,
                 elem_u64(a, 2)?,
                 reg_from(elem(a, 3)?)?,
+                elem_u64(a, 4)? as u32,
+                elem_u64(a, 5)?,
             ));
         }
         Ok(LdstUnit {
@@ -489,6 +535,8 @@ fn work_json(w: &MemWork) -> Json {
         Json::UInt(w.warp_slot as u64),
         Json::UInt(w.warp_uid),
         body,
+        Json::UInt(u64::from(w.pc)),
+        Json::UInt(w.issued_at),
     ])
 }
 
@@ -527,6 +575,8 @@ fn work_from(v: &Json) -> Result<MemWork, String> {
         warp_slot: elem_u64(a, 0)? as usize,
         warp_uid: elem_u64(a, 1)?,
         body,
+        pc: elem_u64(a, 3)? as u32,
+        issued_at: elem_u64(a, 4)?,
     })
 }
 
@@ -543,7 +593,7 @@ mod tests {
     fn shared_load_completes_after_rounds_and_latency() {
         let mut mem = mem();
         let mut u = LdstUnit::new(0, 8, 24);
-        u.push_shared(3, 11, 2, Some(Reg(5)));
+        u.push_shared(3, 11, 2, Some(Reg(5)), 7, 0);
         let mut done = Vec::new();
         let mut finish = None;
         for now in 0..100 {
@@ -566,6 +616,8 @@ mod tests {
                 dst: Some(Reg(5)),
                 was_global_load: false,
                 was_long: false,
+                pc: 7,
+                issued_at: 0,
             })
         );
         assert!(u.idle());
@@ -575,7 +627,7 @@ mod tests {
     fn shared_store_frees_queue_without_completion() {
         let mut mem = mem();
         let mut u = LdstUnit::new(0, 8, 24);
-        u.push_shared(0, 1, 1, None);
+        u.push_shared(0, 1, 1, None, 0, 0);
         mem.tick(0);
         assert!(u.tick(0, &mut mem).is_empty());
         assert!(u.idle());
@@ -585,7 +637,7 @@ mod tests {
     fn global_load_group_waits_for_all_transactions() {
         let mut mem = mem();
         let mut u = LdstUnit::new(0, 8, 24);
-        u.push_global(7, 9, vec![10, 20, 30], ReqKind::Load, Some(Reg(1)));
+        u.push_global(7, 9, vec![10, 20, 30], ReqKind::Load, Some(Reg(1)), 4, 0);
         let mut misses = 0;
         let mut completions = Vec::new();
         for now in 0..5000 {
@@ -612,6 +664,8 @@ mod tests {
         assert_eq!(completions[0].dst, Some(Reg(1)));
         assert!(completions[0].was_global_load);
         assert!(completions[0].was_long);
+        assert_eq!(completions[0].pc, 4);
+        assert_eq!(completions[0].issued_at, 0);
         assert!(u.idle());
     }
 
@@ -619,7 +673,7 @@ mod tests {
     fn transactions_respect_l1_port_limit() {
         let mut mem = mem(); // 1 port/cycle
         let mut u = LdstUnit::new(0, 8, 24);
-        u.push_global(0, 1, vec![1, 2, 3], ReqKind::Load, Some(Reg(0)));
+        u.push_global(0, 1, vec![1, 2, 3], ReqKind::Load, Some(Reg(0)), 0, 0);
         mem.tick(0);
         u.tick(0, &mut mem);
         assert_eq!(u.queue_len(), 1, "not fully injected in one cycle");
@@ -634,8 +688,8 @@ mod tests {
     fn in_order_queue_blocks_behind_front() {
         let mut mem = mem();
         let mut u = LdstUnit::new(0, 2, 4);
-        u.push_shared(0, 1, 3, None); // 3 rounds
-        u.push_shared(1, 2, 1, None);
+        u.push_shared(0, 1, 3, None, 0, 0); // 3 rounds
+        u.push_shared(1, 2, 1, None, 1, 0);
         assert!(!u.has_space());
         mem.tick(0);
         u.tick(0, &mut mem);
@@ -652,7 +706,7 @@ mod tests {
     fn stores_need_no_group() {
         let mut mem = mem();
         let mut u = LdstUnit::new(0, 8, 4);
-        u.push_global(0, 1, vec![5], ReqKind::Store, None);
+        u.push_global(0, 1, vec![5], ReqKind::Store, None, 0, 0);
         for now in 0..2000 {
             mem.tick(now);
             assert!(u.tick(now, &mut mem).is_empty(), "stores emit no events");

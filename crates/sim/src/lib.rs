@@ -25,6 +25,7 @@ pub mod config;
 pub mod cta;
 pub mod exec;
 pub mod gpu;
+pub mod hotspots;
 pub mod ldst;
 pub mod metrics;
 pub mod occupancy;
@@ -41,6 +42,7 @@ pub use exec::{
     CancelToken, Checkpoint, Progress, ProgressHook, RunBudget, RunOutcome, StopReason, Truncation,
 };
 pub use gpu::{simulate, GpuSim, RunResult, SimError};
+pub use hotspots::{PcCounters, PcProfile, StallReason, STALL_REASONS};
 pub use metrics::MetricsSampler;
 pub use occupancy::{analyze, Limiter, OccupancyAnalysis};
 pub use stats::{CpiStack, EmptyBreakdown, IdleBreakdown, RunStats};

@@ -4,6 +4,7 @@
 
 use crate::config::{ActivePolicy, AdmissionPolicy, CoreConfig, ResidencyConfig, SwapTrigger};
 use crate::cta::{CtaPhase, CtaRt};
+use crate::hotspots::StallReason;
 use crate::ldst::{LdstEvent, LdstUnit};
 use crate::stats::RunStats;
 use crate::warp::WarpRt;
@@ -671,16 +672,29 @@ impl Sm {
         attr: EmptyAttr,
     ) -> Result<(), ExecError> {
         let id = self.id;
-        let phase = self.tick_phase(
-            now,
-            kernel,
-            core,
-            res,
-            mem.front_mut(id),
-            stats,
-            &mut NullSink,
-            attr,
-        );
+        let phase = if stats.hotspots.is_some() {
+            self.tick_phase::<NullSink, true>(
+                now,
+                kernel,
+                core,
+                res,
+                mem.front_mut(id),
+                stats,
+                &mut NullSink,
+                attr,
+            )
+        } else {
+            self.tick_phase::<NullSink, false>(
+                now,
+                kernel,
+                core,
+                res,
+                mem.front_mut(id),
+                stats,
+                &mut NullSink,
+                attr,
+            )
+        };
         mem.flush_outbox(id);
         self.apply_deferred(image)?;
         phase
@@ -693,7 +707,13 @@ impl Sm {
     /// applied — the engine must call [`Sm::apply_deferred`] afterwards,
     /// in SM order, to keep the shared [`MemImage`] bit-identical to the
     /// sequential schedule. With [`NullSink`] this monomorphizes to the
-    /// untraced fast path.
+    /// untraced fast path, and with `PROFILED = false` every per-PC
+    /// hotspot-profiling branch compiles out — unprofiled runs pay
+    /// nothing and stay bit-identical.
+    ///
+    /// `PROFILED = true` requires `stats.hotspots` to be populated (the
+    /// engine sets it up at construction when `CoreConfig::profile` is
+    /// on); the recording calls are no-ops otherwise.
     ///
     /// # Errors
     ///
@@ -701,7 +721,7 @@ impl Sm {
     /// per-SM state (unaligned or shared-memory out-of-range accesses);
     /// global out-of-range faults surface from [`Sm::apply_deferred`].
     #[allow(clippy::too_many_arguments)]
-    pub fn tick_phase<S: TraceSink>(
+    pub fn tick_phase<S: TraceSink, const PROFILED: bool>(
         &mut self,
         now: u64,
         kernel: &Kernel,
@@ -729,6 +749,14 @@ impl Sm {
         for event in self.ldst.tick_traced(now, front, sink) {
             match event {
                 LdstEvent::Completed(c) => {
+                    // Latency is observed per issue site, before the uid
+                    // filter: the round trip happened even if the issuing
+                    // warp's slot has since been recycled.
+                    if PROFILED {
+                        if let Some(h) = stats.hotspots.as_mut() {
+                            h.record_mem_latency(c.pc as usize, now.saturating_sub(c.issued_at));
+                        }
+                    }
                     if self.warp_uids[c.warp_slot] != c.warp_uid {
                         continue;
                     }
@@ -765,9 +793,14 @@ impl Sm {
         }
         let schedulers = self.sched_last.len();
         let mut issued = 0u32;
+        let mut first_issue_pc = None;
         for s in 0..schedulers {
             if let Some(wslot) = self.pick_warp(s, now, kernel, core) {
-                self.issue_warp(wslot, s, now, kernel, core, res, stats, sink)?;
+                if PROFILED && first_issue_pc.is_none() {
+                    // Read before issue: the stack advances on issue.
+                    first_issue_pc = Some(self.warps[wslot].stack.pc());
+                }
+                self.issue_warp::<S, PROFILED>(wslot, s, now, kernel, core, res, stats, sink)?;
                 self.sched_last[s] = Some(wslot);
                 issued += 1;
             }
@@ -776,7 +809,7 @@ impl Sm {
         self.window_issues += u64::from(issued);
 
         // 5. Stats.
-        self.accumulate_stats(now, issued, kernel, stats, attr);
+        self.accumulate_stats::<PROFILED>(now, issued, first_issue_pc, kernel, stats, attr);
         Ok(())
     }
 
@@ -891,7 +924,7 @@ impl Sm {
     // ----- instruction execution --------------------------------------------
 
     #[allow(clippy::too_many_arguments)]
-    fn issue_warp<S: TraceSink>(
+    fn issue_warp<S: TraceSink, const PROFILED: bool>(
         &mut self,
         wslot: usize,
         sched: usize,
@@ -902,10 +935,16 @@ impl Sm {
         stats: &mut RunStats,
         sink: &mut S,
     ) -> Result<(), ExecError> {
-        let instr = *kernel.program().fetch(self.warps[wslot].stack.pc());
+        let pc = self.warps[wslot].stack.pc();
+        let instr = *kernel.program().fetch(pc);
         let mask = self.warps[wslot].stack.active_mask();
         stats.warp_instrs += 1;
         stats.thread_instrs += u64::from(mask.count_ones());
+        if PROFILED {
+            if let Some(h) = stats.hotspots.as_mut() {
+                h.record_warp_issue(pc, mask.count_ones());
+            }
+        }
         if S::ENABLED {
             sink.emit(
                 now,
@@ -913,7 +952,7 @@ impl Sm {
                     sm: self.id as u32,
                     sched: sched as u32,
                     warp_slot: wslot as u32,
-                    pc: self.warps[wslot].stack.pc() as u32,
+                    pc: pc as u32,
                 },
             );
         }
@@ -966,9 +1005,10 @@ impl Sm {
                 addr,
                 offset,
             } => {
-                self.exec_mem(
+                self.exec_mem::<S, PROFILED>(
                     wslot,
                     now,
+                    pc,
                     kernel,
                     core,
                     mask,
@@ -976,6 +1016,7 @@ impl Sm {
                     addr,
                     offset,
                     MemOp::Load { dst },
+                    stats,
                     sink,
                 )?;
                 self.advance(wslot);
@@ -986,9 +1027,10 @@ impl Sm {
                 offset,
                 src,
             } => {
-                self.exec_mem(
+                self.exec_mem::<S, PROFILED>(
                     wslot,
                     now,
+                    pc,
                     kernel,
                     core,
                     mask,
@@ -996,6 +1038,7 @@ impl Sm {
                     addr,
                     offset,
                     MemOp::Store { src },
+                    stats,
                     sink,
                 )?;
                 self.advance(wslot);
@@ -1007,9 +1050,10 @@ impl Sm {
                 offset,
                 val,
             } => {
-                self.exec_mem(
+                self.exec_mem::<S, PROFILED>(
                     wslot,
                     now,
+                    pc,
                     kernel,
                     core,
                     mask,
@@ -1017,6 +1061,7 @@ impl Sm {
                     addr,
                     offset,
                     MemOp::Atomic { op, dst, val },
+                    stats,
                     sink,
                 )?;
                 self.advance(wslot);
@@ -1069,8 +1114,14 @@ impl Sm {
                         }
                     }
                 }
-                if self.warps[wslot].stack.branch(taken, target, reconv) {
+                let divergent = self.warps[wslot].stack.branch(taken, target, reconv);
+                if divergent {
                     stats.divergent_branches += 1;
+                }
+                if PROFILED {
+                    if let Some(h) = stats.hotspots.as_mut() {
+                        h.record_branch(pc, divergent);
+                    }
                 }
             }
             Instr::Exit => {
@@ -1113,10 +1164,11 @@ impl Sm {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn exec_mem<S: TraceSink>(
+    fn exec_mem<S: TraceSink, const PROFILED: bool>(
         &mut self,
         wslot: usize,
         now: u64,
+        pc: usize,
         kernel: &Kernel,
         core: &CoreConfig,
         mask: u32,
@@ -1124,6 +1176,7 @@ impl Sm {
         addr: Operand,
         offset: i32,
         op: MemOp,
+        stats: &mut RunStats,
         sink: &mut S,
     ) -> Result<(), ExecError> {
         // Compute lane addresses and resolve source operand values now;
@@ -1200,6 +1253,11 @@ impl Sm {
         match space {
             MemSpace::Shared => {
                 let rounds = shared_bank_conflicts(&addrs, mask, core.smem_banks);
+                if PROFILED {
+                    if let Some(h) = stats.hotspots.as_mut() {
+                        h.record_smem(pc, u64::from(rounds));
+                    }
+                }
                 let dst = match op {
                     MemOp::Load { dst } => {
                         self.warps[wslot].scoreboard.set_pending(dst);
@@ -1208,11 +1266,16 @@ impl Sm {
                     _ => None,
                 };
                 self.ldst
-                    .push_shared(wslot, self.warp_uids[wslot], rounds, dst);
+                    .push_shared(wslot, self.warp_uids[wslot], rounds, dst, pc as u32, now);
             }
             MemSpace::Global => {
                 let txs = coalesce(&addrs, mask, self.line_bytes);
                 let lines: Vec<u64> = txs.iter().map(|t| t.line_addr).collect();
+                if PROFILED {
+                    if let Some(h) = stats.hotspots.as_mut() {
+                        h.record_coalesce(pc, lines.len() as u64);
+                    }
+                }
                 if S::ENABLED {
                     let kind = match op {
                         MemOp::Load { .. } => ReqKind::Load,
@@ -1241,6 +1304,8 @@ impl Sm {
                             lines,
                             ReqKind::Load,
                             Some(dst),
+                            pc as u32,
+                            now,
                         );
                     }
                     MemOp::Store { .. } => {
@@ -1250,6 +1315,8 @@ impl Sm {
                             lines,
                             ReqKind::Store,
                             None,
+                            pc as u32,
+                            now,
                         );
                     }
                     MemOp::Atomic { dst, .. } => {
@@ -1265,6 +1332,8 @@ impl Sm {
                             lines,
                             ReqKind::Atomic,
                             dst,
+                            pc as u32,
+                            now,
                         );
                     }
                 }
@@ -1471,10 +1540,11 @@ impl Sm {
 
     // ----- stats -------------------------------------------------------------
 
-    fn accumulate_stats(
+    fn accumulate_stats<const PROFILED: bool>(
         &self,
         now: u64,
         issued: u32,
+        first_issue_pc: Option<usize>,
         kernel: &Kernel,
         stats: &mut RunStats,
         attr: EmptyAttr,
@@ -1493,12 +1563,18 @@ impl Sm {
         stats.ldst_queue.sample(self.ldst.queue_len() as u64);
         if issued > 0 {
             stats.issue_cycles += 1;
+            // The cycle's one issue tally goes to the first PC that
+            // issued, so per-PC `issued` sums exactly to `issue_cycles`.
+            if PROFILED {
+                if let (Some(h), Some(pc)) = (stats.hotspots.as_mut(), first_issue_pc) {
+                    h.record_issue_cycle(pc);
+                }
+            }
             return;
         }
         // Idle cycle: classify.
-        let idle = &mut stats.idle;
         if self.resident_warps == 0 {
-            idle.no_warps += 1;
+            stats.idle.no_warps += 1;
             // Empty sub-split (keeps `empty.total() == idle.no_warps`):
             // with undispatched CTAs left the SM is starved by whichever
             // limit family governs admission; otherwise it is draining.
@@ -1513,45 +1589,83 @@ impl Sm {
         }
         if self.active_phase_warps == 0 {
             if self.swapping_ctas > 0 {
-                idle.swapping += 1;
+                stats.idle.swapping += 1;
+                // Context-switch overhead has no instruction to blame.
+                if PROFILED {
+                    charge_stall(stats, None, StallReason::Swap);
+                }
             } else {
                 // Everything resident is inactive and waiting on memory.
-                idle.memory += 1;
+                stats.idle.memory += 1;
+                if PROFILED {
+                    // Blame the oldest inactive warp with loads in flight.
+                    let pc = self
+                        .warps
+                        .iter()
+                        .filter(|w| !w.done && w.pending_loads > 0)
+                        .min_by_key(|w| w.age)
+                        .map(|w| w.stack.pc());
+                    charge_stall(stats, pc, StallReason::Memory);
+                }
             }
             return;
         }
         let (mut mem_b, mut pipe_b, mut barrier_b) = (false, false, false);
         let mut all_barrier = true;
+        // Oldest blamable instruction per stall class; the issue list is
+        // age-sorted, so the first hit of each class is the oldest.
+        let (mut first_mem, mut first_pipe, mut first_barrier, mut first_other) =
+            (None, None, None, None);
         for &w in &self.issue_list {
             match self.readiness(w, now, kernel) {
                 Readiness::BlockedMem => {
                     mem_b = true;
                     all_barrier = false;
+                    if PROFILED && first_mem.is_none() {
+                        first_mem = Some(self.warps[w].stack.pc());
+                    }
                 }
                 Readiness::BlockedPipe => {
                     pipe_b = true;
                     all_barrier = false;
+                    if PROFILED && first_pipe.is_none() {
+                        first_pipe = Some(self.warps[w].stack.pc());
+                    }
                 }
-                Readiness::Barrier => barrier_b = true,
+                Readiness::Barrier => {
+                    barrier_b = true;
+                    // The stack already advanced past the Bar: the charge
+                    // lands on the instruction waiting behind the barrier.
+                    if PROFILED && first_barrier.is_none() {
+                        first_barrier = Some(self.warps[w].stack.pc());
+                    }
+                }
                 Readiness::Done => {}
                 // LD/ST queue or SFU structural hazards, and ready warps
                 // a scheduler partition could not reach, fall through to
                 // the `other` bucket below.
                 Readiness::LdstFull | Readiness::SfuBusy | Readiness::Ready => {
                     all_barrier = false;
+                    if PROFILED && first_other.is_none() {
+                        first_other = Some(self.warps[w].stack.pc());
+                    }
                 }
             }
         }
-        if mem_b {
-            idle.memory += 1;
+        let (bucket, blame, reason) = if mem_b {
+            (&mut stats.idle.memory, first_mem, StallReason::Memory)
         } else if barrier_b && all_barrier {
-            idle.barrier += 1;
+            (&mut stats.idle.barrier, first_barrier, StallReason::Barrier)
         } else if pipe_b {
-            idle.pipeline += 1;
+            (&mut stats.idle.pipeline, first_pipe, StallReason::Pipeline)
         } else {
             // Structural hazards (LD/ST queue, SFU interval, scheduler
             // partition imbalance) and anything unclassified.
-            idle.other += 1;
+            (&mut stats.idle.other, first_other, StallReason::Structural)
+        };
+        *bucket += 1;
+        if PROFILED {
+            charge_stall(stats, blame, reason);
         }
     }
 
@@ -1873,6 +1987,15 @@ enum MemOp {
         dst: Option<Reg>,
         val: Operand,
     },
+}
+
+/// Charges one stall cycle of `reason` to `pc` in the hotspot profile
+/// (unattributed when no instruction is blamable). Only called on
+/// `PROFILED = true` paths.
+fn charge_stall(stats: &mut RunStats, pc: Option<usize>, reason: StallReason) {
+    if let Some(h) = stats.hotspots.as_mut() {
+        h.record_stall(pc, reason);
+    }
 }
 
 fn thread_ctx(w: &WarpRt, lane: u32, kernel: &Kernel, ctas: &[CtaRt]) -> ThreadCtx {

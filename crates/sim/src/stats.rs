@@ -1,6 +1,7 @@
 //! Run statistics: performance, occupancy, stall breakdown and swap
 //! activity — everything the paper's figures are built from.
 
+use crate::hotspots::PcProfile;
 use vt_json::{req, req_u64, Json};
 use vt_mem::MemStats;
 use vt_trace::{Gauge, Histogram, MetricsRegistry};
@@ -419,6 +420,9 @@ pub struct RunStats {
     /// Cycle-windowed metric series, if sampling was enabled
     /// (`CoreConfig::metrics_window`).
     pub series: Option<MetricsRegistry>,
+    /// Per-PC hotspot profile, if profiling was enabled
+    /// (`CoreConfig::profile`).
+    pub hotspots: Option<PcProfile>,
 }
 
 impl RunStats {
@@ -451,9 +455,11 @@ impl RunStats {
     /// Adds another stats block into this one. Counters add, distributions
     /// merge, `cycles` and `max_simt_depth` take the maximum, and the
     /// metric series (a whole-GPU product of the sampler, not a per-SM
-    /// quantity) is kept from `self`. The parallel engine uses this to
-    /// fold per-SM stat lanes into the run total; because every field is
-    /// either additive or a max, the fold is independent of lane order.
+    /// quantity) is kept from `self`. The per-PC profile merges
+    /// additively (each SM lane carries its own slice of it). The
+    /// parallel engine uses this to fold per-SM stat lanes into the run
+    /// total; because every field is either additive or a max, the fold
+    /// is independent of lane order.
     pub fn merge(&mut self, o: &RunStats) {
         self.cycles = self.cycles.max(o.cycles);
         self.warp_instrs += o.warp_instrs;
@@ -472,6 +478,11 @@ impl RunStats {
         self.swap_gap.merge(&o.swap_gap);
         self.barrier_wait.merge(&o.barrier_wait);
         self.ldst_queue.merge(&o.ldst_queue);
+        match (&mut self.hotspots, &o.hotspots) {
+            (Some(a), Some(b)) => a.merge(b),
+            (h @ None, Some(b)) => *h = Some(b.clone()),
+            (_, None) => {}
+        }
     }
 
     /// Warp instructions per cycle.
@@ -512,6 +523,13 @@ impl RunStats {
                     None => Json::Null,
                 },
             ),
+            (
+                "hotspots".into(),
+                match &self.hotspots {
+                    Some(h) => h.snapshot(),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 
@@ -542,6 +560,10 @@ impl RunStats {
             series: match req(v, "metrics")? {
                 Json::Null => None,
                 m => Some(MetricsRegistry::restore(m)?),
+            },
+            hotspots: match req(v, "hotspots")? {
+                Json::Null => None,
+                h => Some(PcProfile::restore(h)?),
             },
         })
     }

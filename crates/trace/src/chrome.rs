@@ -329,6 +329,21 @@ pub fn to_chrome_json_with(events: &[TimedEvent], metrics: Option<&MetricsRegist
     obj(vec![("traceEvents", Json::Array(rows))])
 }
 
+/// Builds a standalone Chrome-trace document of counter tracks: every
+/// named series becomes one `C` track under a single process called
+/// `process`, with one sample per `(timestamp, value)` pair. Used for
+/// profile views whose x-axis is not time (e.g. `vtprof --flame`
+/// renders per-PC counters with the program counter as the timestamp).
+pub fn counters_to_chrome_json(process: &str, tracks: &[(String, Vec<(u64, u64)>)]) -> Json {
+    let mut rows = vec![meta(METRICS_PID, None, "process_name", process.to_string())];
+    for (name, samples) in tracks {
+        for &(t, v) in samples {
+            rows.push(counter(name, t, METRICS_PID, v));
+        }
+    }
+    obj(vec![("traceEvents", Json::Array(rows))])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -448,5 +463,19 @@ mod tests {
             to_chrome_json(&events).pretty(),
             to_chrome_json(&events).pretty()
         );
+    }
+
+    #[test]
+    fn standalone_counter_tracks_render() {
+        let tracks = vec![
+            ("issued".to_string(), vec![(0, 5), (1, 9)]),
+            ("stall_memory".to_string(), vec![(1, 40)]),
+        ];
+        let json = counters_to_chrome_json("pc-profile", &tracks).compact();
+        assert!(json.contains(r#""pc-profile""#), "process named");
+        assert!(json.contains(r#""issued""#));
+        assert!(json.contains(r#""stall_memory""#));
+        assert!(json.contains(r#""ph":"C""#));
+        assert!(json.contains(r#""value":40"#));
     }
 }

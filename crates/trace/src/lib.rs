@@ -36,7 +36,7 @@ pub mod metrics;
 pub mod sink;
 pub mod validate;
 
-pub use chrome::{to_chrome_json, to_chrome_json_with};
+pub use chrome::{counters_to_chrome_json, to_chrome_json, to_chrome_json_with};
 pub use event::{MemKind, MemLevel, SwapDir, TimedEvent, TraceEvent};
 pub use hist::{Gauge, Histogram};
 pub use metrics::{MetricsRegistry, Series, SeriesId, SeriesKind, DEFAULT_WINDOW};

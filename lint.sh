@@ -58,6 +58,53 @@ fi
 echo "== CPI-stack goldens + conservation property (tests/golden/cpi.*.json)"
 cargo test -q -p vt-tests --test cpi
 
+echo "== per-PC hotspot profiles (conservation suite, goldens, zero-perturbation)"
+cargo test -q -p vt-tests --test hotspots
+
+echo "== vt-bench CLI exit-code contract (vtprof/vtdiff/vtbench/vtsweep/vttrace)"
+cargo test -q -p vt-bench --test cli_contract
+
+echo "== vtprof --annotate/--flame smoke (per-PC profile artifacts)"
+VTHOT_TMP="$(mktemp -d)"
+cargo run -q --release -p vt-bench --bin vtprof -- bfs --annotate --flame \
+  --sms 2 --out "$VTHOT_TMP" >/dev/null
+for f in bfs.vt.hotspots.json bfs.vt.collapsed.txt bfs.vt.pcs.trace.json; do
+  if [[ ! -s "$VTHOT_TMP/$f" ]]; then
+    echo "lint: vtprof --annotate/--flame did not write $f" >&2
+    exit 1
+  fi
+done
+cargo run -q --release -p vt-bench --bin vtdiff -- --pc \
+  "$VTHOT_TMP/bfs.vt.hotspots.json" "$VTHOT_TMP/bfs.vt.hotspots.json" \
+  --assert-zero >/dev/null
+
+# Bit-identity of profiled vs unprofiled stats is asserted exactly by
+# `--test hotspots` above (profiling_never_perturbs_the_run); this is
+# the wall-clock side: enabling the profiler must not blow up runtime.
+# Min-of-3 against a generous 2x bound keeps the gate meaningful but
+# robust to a loaded CI machine.
+echo "== profiling overhead gate (profiled run within 2x of unprofiled)"
+min_ns() {
+  local best=
+  for _ in 1 2 3; do
+    local t0 t1
+    t0=$(date +%s%N)
+    cargo run -q --release -p vt-bench --bin vtprof -- sgemm \
+      --sms 2 --out "$VTHOT_TMP" "$@" >/dev/null
+    t1=$(date +%s%N)
+    local dt=$((t1 - t0))
+    if [[ -z "$best" || $dt -lt $best ]]; then best=$dt; fi
+  done
+  echo "$best"
+}
+plain_ns=$(min_ns)
+prof_ns=$(min_ns --profile)
+if ((prof_ns > 2 * plain_ns)); then
+  echo "lint: profiling overhead gate failed:" \
+    "profiled ${prof_ns}ns vs unprofiled ${plain_ns}ns (> 2x)" >&2
+  exit 1
+fi
+
 echo "== vtdiff --assert-zero (two runs of the same build are cycle-identical)"
 cargo run -q --release -p vt-bench --bin vtbench -- \
   --out "$VTBENCH_TMP/again.json" >/dev/null
